@@ -1,0 +1,139 @@
+//! Workspace-wide error type.
+//!
+//! A single error enum keeps the crate graph simple (every layer already
+//! depends on `txdb-base`) and keeps error construction allocation-free for
+//! the hot paths; variants that describe user input carry owned strings.
+
+use std::fmt;
+
+use crate::ids::{DocId, Eid, VersionId};
+use crate::time::Timestamp;
+
+/// Result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by any layer of the temporal XML database.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// An I/O error from the storage layer.
+    Io(std::io::Error),
+    /// XML input could not be parsed. Carries a byte offset and message.
+    XmlParse {
+        /// Byte offset into the input where parsing failed.
+        offset: usize,
+        /// Human-readable description of the failure.
+        message: String,
+    },
+    /// A date/time literal could not be parsed.
+    TimeParse(String),
+    /// A query string could not be parsed. Carries position and message.
+    QueryParse {
+        /// Byte offset into the query where parsing failed.
+        offset: usize,
+        /// Human-readable description of the failure.
+        message: String,
+    },
+    /// A query was well-formed but cannot be planned or executed.
+    QueryInvalid(String),
+    /// The named document does not exist.
+    NoSuchDocument(String),
+    /// The document id does not exist.
+    NoSuchDocId(DocId),
+    /// The requested version of a document does not exist.
+    NoSuchVersion(DocId, VersionId),
+    /// No version of the document is valid at the given time.
+    NotValidAt(DocId, Timestamp),
+    /// The element does not exist (in the version consulted).
+    NoSuchElement(Eid),
+    /// A delta could not be applied to the tree it was aimed at.
+    DeltaMismatch(String),
+    /// The storage file is corrupt or from an incompatible version.
+    Corrupt(String),
+    /// A record or page reference is invalid.
+    InvalidRef(String),
+    /// The write-ahead log is corrupt past a given offset (truncated tail
+    /// records are tolerated and reported via recovery stats instead).
+    WalCorrupt(u64, String),
+    /// Operation is not supported in the current configuration.
+    Unsupported(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::XmlParse { offset, message } => {
+                write!(f, "XML parse error at byte {offset}: {message}")
+            }
+            Error::TimeParse(s) => write!(f, "cannot parse time literal: {s}"),
+            Error::QueryParse { offset, message } => {
+                write!(f, "query parse error at byte {offset}: {message}")
+            }
+            Error::QueryInvalid(s) => write!(f, "invalid query: {s}"),
+            Error::NoSuchDocument(name) => write!(f, "no such document: {name}"),
+            Error::NoSuchDocId(d) => write!(f, "no such document id: {d}"),
+            Error::NoSuchVersion(d, v) => write!(f, "document {d} has no version {v}"),
+            Error::NotValidAt(d, t) => {
+                write!(f, "document {d} has no version valid at {t}")
+            }
+            Error::NoSuchElement(e) => write!(f, "no such element: {e}"),
+            Error::DeltaMismatch(s) => write!(f, "delta does not match tree: {s}"),
+            Error::Corrupt(s) => write!(f, "storage corrupt: {s}"),
+            Error::InvalidRef(s) => write!(f, "invalid reference: {s}"),
+            Error::WalCorrupt(off, s) => write!(f, "WAL corrupt at offset {off}: {s}"),
+            Error::Unsupported(s) => write!(f, "unsupported operation: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<Error> = vec![
+            Error::Io(std::io::Error::other("x")),
+            Error::XmlParse { offset: 3, message: "bad".into() },
+            Error::TimeParse("32/13/2001".into()),
+            Error::QueryParse { offset: 0, message: "eof".into() },
+            Error::QueryInvalid("no FROM".into()),
+            Error::NoSuchDocument("guide.com".into()),
+            Error::NoSuchDocId(DocId(7)),
+            Error::NoSuchVersion(DocId(7), VersionId(3)),
+            Error::NotValidAt(DocId(7), Timestamp::from_micros(5)),
+            Error::NoSuchElement(Eid::new(DocId(7), crate::ids::Xid(9))),
+            Error::DeltaMismatch("path".into()),
+            Error::Corrupt("magic".into()),
+            Error::InvalidRef("page 9".into()),
+            Error::WalCorrupt(128, "crc".into()),
+            Error::Unsupported("valid time".into()),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let e: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

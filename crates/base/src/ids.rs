@@ -1,0 +1,200 @@
+//! Identifiers: documents, persistent elements, versions.
+//!
+//! The paper (§3.2) observes that XML elements have no identity of their own
+//! that persists across versions, and adopts Xyleme's persistent element
+//! identifiers (XIDs): an XID identifies an element of a particular document
+//! in a time-independent manner and is never reused after deletion. On top
+//! of XIDs the paper defines
+//!
+//! * **EID** — the concatenation of document id and XID, uniquely naming an
+//!   element across the whole database, and
+//! * **TEID** — the concatenation of EID and timestamp, uniquely naming one
+//!   *version* of an element. TEIDs are the output type of the temporal
+//!   operators (`TPatternScan` returns a set of TEIDs, etc.).
+
+use std::fmt;
+
+use crate::time::Timestamp;
+
+/// Identifier of a (named) document in the database.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct DocId(pub u32);
+
+impl fmt::Display for DocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// Persistent element identifier within one document (Xyleme's *XID*).
+///
+/// Assigned when an element first appears in some version, preserved by the
+/// diff across versions, and never reused after the element is deleted.
+/// XID 0 is reserved for "no element" / the virtual forest root.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Xid(pub u64);
+
+impl Xid {
+    /// The reserved "none" XID.
+    pub const NONE: Xid = Xid(0);
+    /// First XID handed out to real elements.
+    pub const FIRST: Xid = Xid(1);
+
+    /// The next XID in allocation order.
+    #[inline]
+    pub const fn next(self) -> Xid {
+        Xid(self.0 + 1)
+    }
+
+    /// True for the reserved "none" XID.
+    #[inline]
+    pub const fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Xid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Dense per-document version number.
+///
+/// §7.1: "Each version is numbered, so that we do not have to store the
+/// timestamps in the text indexes"; the delta index maps version numbers to
+/// timestamps.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct VersionId(pub u32);
+
+impl VersionId {
+    /// The first version of every document.
+    pub const FIRST: VersionId = VersionId(0);
+
+    /// The next version number.
+    #[inline]
+    pub const fn next(self) -> VersionId {
+        VersionId(self.0 + 1)
+    }
+
+    /// The previous version number, or `None` for the first version.
+    #[inline]
+    pub fn prev(self) -> Option<VersionId> {
+        self.0.checked_sub(1).map(VersionId)
+    }
+}
+
+impl fmt::Display for VersionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Element identifier: document id + XID (§3.2).
+///
+/// "An EID identifies uniquely a particular element in a particular
+/// document", independent of time.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Eid {
+    /// The document containing the element.
+    pub doc: DocId,
+    /// The persistent element id within the document.
+    pub xid: Xid,
+}
+
+impl Eid {
+    /// Creates an EID from its parts.
+    #[inline]
+    pub const fn new(doc: DocId, xid: Xid) -> Self {
+        Eid { doc, xid }
+    }
+
+    /// Attaches a timestamp, producing a TEID.
+    #[inline]
+    pub const fn at(self, ts: Timestamp) -> Teid {
+        Teid { eid: self, ts }
+    }
+}
+
+impl fmt::Display for Eid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.doc, self.xid)
+    }
+}
+
+/// Temporal element identifier: EID + timestamp (§3.2).
+///
+/// Uniquely identifies one *version* of an element; the timestamp is the
+/// transaction time at which that version became current. The temporal
+/// operators consume and produce sets of TEIDs.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Teid {
+    /// The time-independent element identifier.
+    pub eid: Eid,
+    /// Timestamp selecting the version of the element.
+    pub ts: Timestamp,
+}
+
+impl Teid {
+    /// Creates a TEID from its parts.
+    #[inline]
+    pub const fn new(eid: Eid, ts: Timestamp) -> Self {
+        Teid { eid, ts }
+    }
+
+    /// The document component.
+    #[inline]
+    pub const fn doc(self) -> DocId {
+        self.eid.doc
+    }
+
+    /// The XID component.
+    #[inline]
+    pub const fn xid(self) -> Xid {
+        self.eid.xid
+    }
+}
+
+impl fmt::Display for Teid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.eid, self.ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xid_allocation_order() {
+        assert!(Xid::NONE.is_none());
+        assert!(!Xid::FIRST.is_none());
+        assert_eq!(Xid::FIRST.next(), Xid(2));
+        assert!(Xid(1) < Xid(2));
+    }
+
+    #[test]
+    fn version_prev_next() {
+        assert_eq!(VersionId::FIRST.prev(), None);
+        assert_eq!(VersionId(3).prev(), Some(VersionId(2)));
+        assert_eq!(VersionId(3).next(), VersionId(4));
+    }
+
+    #[test]
+    fn eid_teid_display() {
+        let e = Eid::new(DocId(4), Xid(17));
+        assert_eq!(e.to_string(), "d4.x17");
+        let t = e.at(Timestamp::from_date(2001, 1, 26));
+        assert_eq!(t.to_string(), "d4.x17@2001-01-26");
+        assert_eq!(t.doc(), DocId(4));
+        assert_eq!(t.xid(), Xid(17));
+    }
+
+    #[test]
+    fn teid_orders_by_eid_then_time() {
+        let a = Eid::new(DocId(1), Xid(1)).at(Timestamp::from_micros(5));
+        let b = Eid::new(DocId(1), Xid(1)).at(Timestamp::from_micros(9));
+        let c = Eid::new(DocId(1), Xid(2)).at(Timestamp::from_micros(1));
+        assert!(a < b && b < c);
+    }
+}

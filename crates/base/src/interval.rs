@@ -1,0 +1,145 @@
+//! Half-open transaction-time intervals `[start, end)`.
+//!
+//! The paper's history operators take intervals written `[t1, t2⟩` — "the
+//! time interval from t1 to t2, including t1 but not t2 (open-ended upper
+//! bound)". An element version that became current at time `t` and was
+//! superseded (or deleted) at time `t'` is valid over `[t, t')`; the current
+//! version has `t' = FOREVER`.
+
+use std::fmt;
+
+use crate::time::Timestamp;
+
+/// A half-open interval of transaction time: `[start, end)`.
+///
+/// Empty intervals (`start >= end`) are permitted and behave as the empty
+/// set under all operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub start: Timestamp,
+    /// Exclusive upper bound.
+    pub end: Timestamp,
+}
+
+impl Interval {
+    /// The full transaction-time line `[ZERO, FOREVER)`.
+    pub const ALL: Interval = Interval {
+        start: Timestamp::ZERO,
+        end: Timestamp::FOREVER,
+    };
+
+    /// Creates `[start, end)`.
+    #[inline]
+    pub const fn new(start: Timestamp, end: Timestamp) -> Self {
+        Interval { start, end }
+    }
+
+    /// The interval of a *current* version: `[start, FOREVER)`.
+    #[inline]
+    pub const fn from_onwards(start: Timestamp) -> Self {
+        Interval { start, end: Timestamp::FOREVER }
+    }
+
+    /// True when the interval contains no instants.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.start >= self.end
+    }
+
+    /// True when `t` lies inside `[start, end)`.
+    #[inline]
+    pub fn contains(self, t: Timestamp) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// True when the two intervals share at least one instant.
+    #[inline]
+    pub fn overlaps(self, other: Interval) -> bool {
+        self.start < other.end && other.start < self.end && !self.is_empty() && !other.is_empty()
+    }
+
+    /// The intersection (possibly empty).
+    #[inline]
+    pub fn intersect(self, other: Interval) -> Interval {
+        Interval {
+            start: self.start.max(other.start),
+            end: self.end.min(other.end),
+        }
+    }
+
+    /// True when `self` fully covers `other` (any interval covers an empty one).
+    #[inline]
+    pub fn covers(self, other: Interval) -> bool {
+        other.is_empty() || (self.start <= other.start && other.end <= self.end)
+    }
+
+    /// True when the interval extends to `FOREVER`, i.e. is still current.
+    #[inline]
+    pub fn is_current(self) -> bool {
+        self.end == Timestamp::FOREVER && !self.is_empty()
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: u64, b: u64) -> Interval {
+        Interval::new(Timestamp::from_micros(a), Timestamp::from_micros(b))
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let i = iv(10, 20);
+        assert!(i.contains(Timestamp::from_micros(10)));
+        assert!(i.contains(Timestamp::from_micros(19)));
+        assert!(!i.contains(Timestamp::from_micros(20)));
+        assert!(!i.contains(Timestamp::from_micros(9)));
+    }
+
+    #[test]
+    fn empty_interval_contains_nothing() {
+        let e = iv(10, 10);
+        assert!(e.is_empty());
+        assert!(!e.contains(Timestamp::from_micros(10)));
+        assert!(!e.overlaps(iv(0, 100)));
+        assert!(iv(0, 100).covers(e));
+    }
+
+    #[test]
+    fn overlap_cases() {
+        assert!(iv(0, 10).overlaps(iv(5, 15)));
+        assert!(!iv(0, 10).overlaps(iv(10, 20)), "touching is not overlapping");
+        assert!(iv(0, 100).overlaps(iv(40, 41)));
+        assert!(!iv(0, 10).overlaps(iv(20, 30)));
+    }
+
+    #[test]
+    fn intersect_and_covers() {
+        assert_eq!(iv(0, 10).intersect(iv(5, 15)), iv(5, 10));
+        assert!(iv(0, 10).intersect(iv(10, 20)).is_empty());
+        assert!(iv(0, 20).covers(iv(5, 15)));
+        assert!(!iv(5, 15).covers(iv(0, 20)));
+    }
+
+    #[test]
+    fn current_interval() {
+        let c = Interval::from_onwards(Timestamp::from_micros(7));
+        assert!(c.is_current());
+        assert!(c.contains(Timestamp::from_micros(1_000_000_000)));
+        assert!(!iv(0, 5).is_current());
+        assert!(Interval::ALL.is_current());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Interval::ALL.to_string(), "[1970-01-01, FOREVER)");
+    }
+}

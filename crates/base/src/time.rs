@@ -1,0 +1,420 @@
+//! Transaction-time timestamps and durations.
+//!
+//! The paper (§3.1) concentrates on *transaction time*: the time a document
+//! version was stored (or, in the warehouse case, crawled). We represent it
+//! as microseconds since the Unix epoch in a `u64` newtype. Two sentinels
+//! matter:
+//!
+//! * [`Timestamp::ZERO`] — the beginning of time,
+//! * [`Timestamp::FOREVER`] — "until changed" / the paper's open upper
+//!   bound; the end-timestamp of every current version.
+//!
+//! The query layer supports the paper's `DD/MM/YYYY` date literals and
+//! `NOW - 14 DAYS`-style arithmetic (§5); parsing and formatting live here so
+//! every crate agrees on the encoding. Calendar conversion uses Howard
+//! Hinnant's `days_from_civil` algorithm, exact over the whole `u64` range we
+//! use.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use crate::error::{Error, Result};
+
+/// Microseconds in one second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+/// Microseconds in one day.
+pub const MICROS_PER_DAY: u64 = 86_400 * MICROS_PER_SEC;
+
+/// A transaction-time instant: microseconds since 1970-01-01T00:00:00Z.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The beginning of time.
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// The open upper bound: a current version is valid `[t, FOREVER)`.
+    pub const FOREVER: Timestamp = Timestamp(u64::MAX);
+
+    /// Creates a timestamp from raw microseconds since the epoch.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Timestamp(us)
+    }
+
+    /// Returns the raw microseconds since the epoch.
+    #[inline]
+    pub const fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// Creates a timestamp from whole seconds since the epoch.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Timestamp(s * MICROS_PER_SEC)
+    }
+
+    /// Creates a timestamp at midnight UTC on the given civil date.
+    ///
+    /// Dates before the epoch are clamped to [`Timestamp::ZERO`]; the
+    /// transaction-time domain of this system starts at the epoch.
+    pub fn from_date(year: i32, month: u32, day: u32) -> Self {
+        let days = days_from_civil(year, month, day);
+        if days < 0 {
+            Timestamp::ZERO
+        } else {
+            Timestamp(days as u64 * MICROS_PER_DAY)
+        }
+    }
+
+    /// Creates a timestamp from a civil date and time of day (UTC).
+    pub fn from_datetime(year: i32, month: u32, day: u32, h: u32, m: u32, s: u32) -> Self {
+        let base = Self::from_date(year, month, day);
+        Timestamp(base.0 + (h as u64 * 3600 + m as u64 * 60 + s as u64) * MICROS_PER_SEC)
+    }
+
+    /// Decomposes into (year, month, day, hour, minute, second, micros).
+    pub fn to_civil(self) -> (i32, u32, u32, u32, u32, u32, u32) {
+        let days = (self.0 / MICROS_PER_DAY) as i64;
+        let rem = self.0 % MICROS_PER_DAY;
+        let (y, mo, d) = civil_from_days(days);
+        let secs = rem / MICROS_PER_SEC;
+        let us = (rem % MICROS_PER_SEC) as u32;
+        (
+            y,
+            mo,
+            d,
+            (secs / 3600) as u32,
+            ((secs / 60) % 60) as u32,
+            (secs % 60) as u32,
+            us,
+        )
+    }
+
+    /// Parses a time literal in any of the formats accepted by the query
+    /// language:
+    ///
+    /// * `26/01/2001` — the paper's `DD/MM/YYYY`,
+    /// * `2001-01-26` — ISO date,
+    /// * `2001-01-26T13:45:00` / `2001-01-26 13:45:00` — ISO date-time,
+    /// * a bare integer — raw microseconds since the epoch.
+    pub fn parse(s: &str) -> Result<Self> {
+        let s = s.trim();
+        let err = || Error::TimeParse(s.to_string());
+        if s.is_empty() {
+            return Err(err());
+        }
+        if s.contains('/') {
+            // DD/MM/YYYY
+            let mut it = s.split('/');
+            let d: u32 = it.next().and_then(|p| p.parse().ok()).ok_or_else(err)?;
+            let m: u32 = it.next().and_then(|p| p.parse().ok()).ok_or_else(err)?;
+            let y: i32 = it.next().and_then(|p| p.parse().ok()).ok_or_else(err)?;
+            if it.next().is_some() {
+                return Err(err());
+            }
+            return validate_date(y, m, d).ok_or_else(err);
+        }
+        if s.contains('-') {
+            let (date, time) = match s.find(['T', ' ']) {
+                Some(i) => (&s[..i], Some(&s[i + 1..])),
+                None => (s, None),
+            };
+            let mut it = date.split('-');
+            let y: i32 = it.next().and_then(|p| p.parse().ok()).ok_or_else(err)?;
+            let m: u32 = it.next().and_then(|p| p.parse().ok()).ok_or_else(err)?;
+            let d: u32 = it.next().and_then(|p| p.parse().ok()).ok_or_else(err)?;
+            if it.next().is_some() {
+                return Err(err());
+            }
+            let base = validate_date(y, m, d).ok_or_else(err)?;
+            let Some(time) = time else { return Ok(base) };
+            let mut it = time.split(':');
+            let h: u32 = it.next().and_then(|p| p.parse().ok()).ok_or_else(err)?;
+            let mi: u32 = it.next().and_then(|p| p.parse().ok()).ok_or_else(err)?;
+            let sec: u32 = match it.next() {
+                Some(p) => p.parse().map_err(|_| err())?,
+                None => 0,
+            };
+            if it.next().is_some() || h >= 24 || mi >= 60 || sec >= 60 {
+                return Err(err());
+            }
+            return Ok(Timestamp(
+                base.0 + (h as u64 * 3600 + mi as u64 * 60 + sec as u64) * MICROS_PER_SEC,
+            ));
+        }
+        s.parse::<u64>().map(Timestamp).map_err(|_| err())
+    }
+
+    /// Saturating addition of a duration.
+    #[inline]
+    pub fn saturating_add(self, d: Duration) -> Self {
+        Timestamp(self.0.saturating_add(d.0))
+    }
+
+    /// Saturating subtraction of a duration.
+    #[inline]
+    pub fn saturating_sub(self, d: Duration) -> Self {
+        Timestamp(self.0.saturating_sub(d.0))
+    }
+
+    /// The duration elapsed from `earlier` to `self` (zero if negative).
+    #[inline]
+    pub fn since(self, earlier: Timestamp) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// True if this is the `FOREVER` sentinel.
+    #[inline]
+    pub const fn is_forever(self) -> bool {
+        self.0 == u64::MAX
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_forever() {
+            return write!(f, "FOREVER");
+        }
+        let (y, mo, d, h, mi, s, us) = self.to_civil();
+        if h == 0 && mi == 0 && s == 0 && us == 0 {
+            write!(f, "{y:04}-{mo:02}-{d:02}")
+        } else if us == 0 {
+            write!(f, "{y:04}-{mo:02}-{d:02}T{h:02}:{mi:02}:{s:02}")
+        } else {
+            write!(f, "{y:04}-{mo:02}-{d:02}T{h:02}:{mi:02}:{s:02}.{us:06}")
+        }
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Timestamp({self})")
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, d: Duration) -> Timestamp {
+        self.saturating_add(d)
+    }
+}
+
+impl Sub<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, d: Duration) -> Timestamp {
+        self.saturating_sub(d)
+    }
+}
+
+fn validate_date(y: i32, m: u32, d: u32) -> Option<Timestamp> {
+    if !(1..=12).contains(&m) || d == 0 || d > days_in_month(y, m) {
+        return None;
+    }
+    Some(Timestamp::from_date(y, m, d))
+}
+
+fn days_in_month(y: i32, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap(y) => 29,
+        2 => 28,
+        _ => 0,
+    }
+}
+
+fn is_leap(y: i32) -> bool {
+    y % 4 == 0 && (y % 100 != 0 || y % 400 == 0)
+}
+
+/// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = y as i64 - if m <= 2 { 1 } else { 0 };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // [0, 11], Mar=0
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Civil date from days since 1970-01-01 (inverse of `days_from_civil`).
+fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((y + if m <= 2 { 1 } else { 0 }) as i32, m, d)
+}
+
+/// A span of transaction time, in microseconds. Supports the paper's
+/// `NOW - 14 DAYS` / `26/01/2001 + 2 WEEKS` query expressions.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// From raw microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us)
+    }
+    /// From whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * MICROS_PER_SEC)
+    }
+    /// From whole minutes.
+    #[inline]
+    pub const fn from_minutes(m: u64) -> Self {
+        Duration(m * 60 * MICROS_PER_SEC)
+    }
+    /// From whole hours.
+    #[inline]
+    pub const fn from_hours(h: u64) -> Self {
+        Duration(h * 3600 * MICROS_PER_SEC)
+    }
+    /// From whole days.
+    #[inline]
+    pub const fn from_days(d: u64) -> Self {
+        Duration(d * MICROS_PER_DAY)
+    }
+    /// From whole weeks.
+    #[inline]
+    pub const fn from_weeks(w: u64) -> Self {
+        Duration(w * 7 * MICROS_PER_DAY)
+    }
+    /// Raw microseconds.
+    #[inline]
+    pub const fn micros(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Duration({}us)", self.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, o: Duration) -> Duration {
+        Duration(self.0.saturating_add(o.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(Timestamp::from_date(1970, 1, 1), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn civil_roundtrip_known_dates() {
+        for &(y, m, d) in &[
+            (1970, 1, 1),
+            (2000, 2, 29),
+            (2001, 1, 26),
+            (2001, 12, 31),
+            (2026, 7, 5),
+            (2100, 3, 1),
+            (1999, 12, 31),
+        ] {
+            let t = Timestamp::from_date(y, m, d);
+            let (yy, mm, dd, h, mi, s, us) = t.to_civil();
+            assert_eq!((yy, mm, dd), (y, m, d));
+            assert_eq!((h, mi, s, us), (0, 0, 0, 0));
+        }
+    }
+
+    #[test]
+    fn parse_paper_format() {
+        let t = Timestamp::parse("26/01/2001").unwrap();
+        assert_eq!(t, Timestamp::from_date(2001, 1, 26));
+    }
+
+    #[test]
+    fn parse_iso_date_and_datetime() {
+        assert_eq!(
+            Timestamp::parse("2001-01-26").unwrap(),
+            Timestamp::from_date(2001, 1, 26)
+        );
+        assert_eq!(
+            Timestamp::parse("2001-01-26T13:45:10").unwrap(),
+            Timestamp::from_datetime(2001, 1, 26, 13, 45, 10)
+        );
+        assert_eq!(
+            Timestamp::parse("2001-01-26 13:45").unwrap(),
+            Timestamp::from_datetime(2001, 1, 26, 13, 45, 0)
+        );
+    }
+
+    #[test]
+    fn parse_raw_micros() {
+        assert_eq!(Timestamp::parse("123456").unwrap(), Timestamp::from_micros(123456));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "32/01/2001", "29/02/2001", "0/01/2001", "2001-13-01", "abc",
+                    "2001-01-26T25:00:00", "1/2/3/4"] {
+            assert!(Timestamp::parse(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn leap_day_accepted_in_leap_year() {
+        assert!(Timestamp::parse("29/02/2000").is_ok());
+        assert!(Timestamp::parse("29/02/1999").is_err());
+    }
+
+    #[test]
+    fn display_date_only_and_datetime() {
+        assert_eq!(Timestamp::from_date(2001, 1, 26).to_string(), "2001-01-26");
+        assert_eq!(
+            Timestamp::from_datetime(2001, 1, 26, 9, 5, 7).to_string(),
+            "2001-01-26T09:05:07"
+        );
+        assert_eq!(Timestamp::FOREVER.to_string(), "FOREVER");
+    }
+
+    #[test]
+    fn display_parses_back() {
+        let t = Timestamp::from_datetime(2011, 11, 3, 1, 2, 3);
+        assert_eq!(Timestamp::parse(&t.to_string()).unwrap(), t);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let t = Timestamp::from_date(2001, 1, 26);
+        assert_eq!(t - Duration::from_days(14), Timestamp::from_date(2001, 1, 12));
+        assert_eq!(t + Duration::from_weeks(2), Timestamp::from_date(2001, 2, 9));
+        assert_eq!(Timestamp::ZERO - Duration::from_days(1), Timestamp::ZERO);
+        assert_eq!(Timestamp::FOREVER + Duration::from_days(1), Timestamp::FOREVER);
+    }
+
+    #[test]
+    fn since_is_saturating() {
+        let a = Timestamp::from_secs(10);
+        let b = Timestamp::from_secs(4);
+        assert_eq!(a.since(b), Duration::from_secs(6));
+        assert_eq!(b.since(a), Duration::ZERO);
+    }
+
+    #[test]
+    fn ordering_matches_micros() {
+        assert!(Timestamp::from_micros(1) < Timestamp::from_micros(2));
+        assert!(Timestamp::FOREVER > Timestamp::from_date(9999, 12, 31));
+    }
+}

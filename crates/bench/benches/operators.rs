@@ -1,0 +1,154 @@
+//! Criterion micro-benchmarks for the temporal operators (E2/E4/E5/E6/E9/E11).
+//!
+//! ```sh
+//! cargo bench -p txdb-bench --bench operators
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use txdb_base::{Eid, Interval, VersionId};
+use txdb_bench::{build_guides, step_ts, GuideParams};
+use txdb_core::ops::lifetime::LifetimeStrategy;
+use txdb_xml::pattern::{PatternNode, PatternTree};
+
+fn napoli_pattern() -> PatternTree {
+    PatternTree::new(
+        PatternNode::tag("restaurant")
+            .project()
+            .child(PatternNode::tag("name").word("napoli")),
+    )
+}
+
+/// E2/E6 — TPatternScan and TPatternScanAll vs history length.
+fn bench_pattern_scans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pattern_scan");
+    g.sample_size(20);
+    for versions in [8usize, 64] {
+        let twin = build_guides(GuideParams { versions, ..Default::default() });
+        let mid = twin.times[twin.times.len() / 2];
+        let p = napoli_pattern();
+        g.bench_with_input(BenchmarkId::new("tpattern_scan", versions), &versions, |b, _| {
+            b.iter(|| twin.temporal.tpattern_scan(None, &p, mid).unwrap())
+        });
+        g.bench_with_input(
+            BenchmarkId::new("tpattern_scan_all", versions),
+            &versions,
+            |b, _| b.iter(|| twin.temporal.tpattern_scan_all(None, &p).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("stratum_scan_at", versions),
+            &versions,
+            |b, _| b.iter(|| twin.stratum.pattern_at(&p, mid)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("stratum_scan_all", versions),
+            &versions,
+            |b, _| b.iter(|| twin.stratum.pattern_all(&p)),
+        );
+    }
+    g.finish();
+}
+
+/// E4 — Reconstruct by chain length and snapshot policy.
+fn bench_reconstruct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reconstruct");
+    g.sample_size(20);
+    for (label, snap) in [("nosnap", None), ("snap16", Some(16u32))] {
+        let twin = build_guides(GuideParams {
+            docs: 1,
+            versions: 128,
+            snapshot_every: snap,
+            ..Default::default()
+        });
+        let doc = twin.temporal.store().list().unwrap()[0].0;
+        // Unchanged generator steps may be skipped, so index from the
+        // actual version count.
+        let nvers = twin.temporal.store().versions(doc).unwrap().len() as u32;
+        for target in [nvers - 1, nvers / 2, 1] {
+            g.bench_function(BenchmarkId::new(label, format!("v{target}")), |b| {
+                b.iter(|| {
+                    twin.temporal
+                        .store()
+                        .version_tree(doc, VersionId(target))
+                        .unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// E5 — CreTime strategies.
+fn bench_cretime(c: &mut Criterion) {
+    let twin = build_guides(GuideParams { docs: 1, versions: 64, ..Default::default() });
+    let db = &twin.temporal;
+    let doc = db.store().list().unwrap()[0].0;
+    let cur = db.store().current_tree(doc).unwrap();
+    let eid = {
+        let n = cur
+            .iter()
+            .find(|&n| cur.node(n).name() == Some("restaurant"))
+            .unwrap();
+        Eid::new(doc, cur.node(n).xid)
+    };
+    let teid = eid.at(*twin.times.last().unwrap());
+    let mut g = c.benchmark_group("cretime");
+    g.bench_function("traverse", |b| {
+        b.iter(|| db.cre_time(teid, LifetimeStrategy::Traverse).unwrap())
+    });
+    g.bench_function("index", |b| {
+        b.iter(|| db.cre_time(teid, LifetimeStrategy::Index).unwrap())
+    });
+    g.finish();
+}
+
+/// E11 — PreviousTS/NextTS/CurrentTS delta-index lookups.
+fn bench_version_ts(c: &mut Criterion) {
+    let twin = build_guides(GuideParams { docs: 1, versions: 64, ..Default::default() });
+    let db = &twin.temporal;
+    let doc = db.store().list().unwrap()[0].0;
+    let cur = db.store().current_tree(doc).unwrap();
+    let eid = Eid::new(doc, cur.node(cur.root().unwrap()).xid);
+    let mid = twin.times[32];
+    let mut g = c.benchmark_group("version_ts");
+    g.bench_function("previous_ts", |b| {
+        b.iter(|| db.previous_ts(eid.at(mid)).unwrap())
+    });
+    g.bench_function("next_ts", |b| b.iter(|| db.next_ts(eid.at(mid)).unwrap()));
+    g.bench_function("current_ts", |b| b.iter(|| db.current_ts(eid).unwrap()));
+    g.finish();
+}
+
+/// E9 — DocHistory / ElementHistory.
+fn bench_history(c: &mut Criterion) {
+    let twin = build_guides(GuideParams { docs: 1, versions: 64, ..Default::default() });
+    let db = &twin.temporal;
+    let doc = db.store().list().unwrap()[0].0;
+    let cur = db.store().current_tree(doc).unwrap();
+    let eid = {
+        let n = cur
+            .iter()
+            .find(|&n| cur.node(n).name() == Some("restaurant"))
+            .unwrap();
+        Eid::new(doc, cur.node(n).xid)
+    };
+    let last16 = Interval::new(step_ts(49), txdb_base::Timestamp::FOREVER);
+    let mut g = c.benchmark_group("history");
+    g.sample_size(20);
+    g.bench_function("doc_history_16", |b| {
+        b.iter(|| db.doc_history(doc, last16).unwrap())
+    });
+    g.bench_function("element_history_16", |b| {
+        b.iter(|| db.element_history(eid, last16).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pattern_scans,
+    bench_reconstruct,
+    bench_cretime,
+    bench_version_ts,
+    bench_history
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion benchmarks for the end-to-end query pipeline (E3/E12):
+//! the three paper query shapes plus the parser alone.
+//!
+//! ```sh
+//! cargo bench -p txdb-bench --bench queries
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use txdb_bench::{build_guides, GuideParams};
+use txdb_query::exec::execute_at;
+use txdb_query::parse_query;
+
+fn bench_queries(c: &mut Criterion) {
+    let twin = build_guides(GuideParams {
+        docs: 10,
+        restaurants: 25,
+        versions: 16,
+        ..Default::default()
+    });
+    let db = &twin.temporal;
+    let mid = twin.times[twin.times.len() / 2];
+    let now = *twin.times.last().unwrap();
+
+    let q1 = format!(
+        r#"SELECT R FROM doc("*")[{}]//restaurant R WHERE R/name = "Golden Napoli 0""#,
+        mid.micros()
+    );
+    let q2 = format!(r#"SELECT COUNT(R) FROM doc("*")[{}]//restaurant R"#, mid.micros());
+    let q3 = r#"SELECT TIME(R), R/price FROM doc("*")[EVERY]//restaurant R
+                WHERE R/name = "Golden Napoli 0""#;
+
+    let mut g = c.benchmark_group("query");
+    g.sample_size(20);
+    g.bench_function("parse_only", |b| b.iter(|| parse_query(q3).unwrap()));
+    g.bench_function("q1_snapshot", |b| {
+        b.iter(|| execute_at(db, &q1, now).unwrap())
+    });
+    g.bench_function("q2_count_no_reconstruct", |b| {
+        b.iter(|| execute_at(db, &q2, now).unwrap())
+    });
+    g.bench_function("q3_history", |b| b.iter(|| execute_at(db, q3, now).unwrap()));
+    g.finish();
+}
+
+/// Ingest throughput: put (parse + diff + store + index maintenance) at
+/// different document sizes — the update-cost side of the system.
+fn bench_ingest(c: &mut Criterion) {
+    use txdb_base::Timestamp;
+    use txdb_core::Database;
+    use txdb_wgen::tdocgen::{DocGen, DocGenConfig};
+
+    let mut g = c.benchmark_group("ingest");
+    g.sample_size(20);
+    for items in [20usize, 100] {
+        // Pre-generate a version stream so generation cost stays out of
+        // the measurement.
+        let mut gen = DocGen::new(
+            DocGenConfig { items, changes_per_version: 3, ..Default::default() },
+            31,
+        );
+        let mut versions = vec![gen.xml()];
+        for _ in 0..64 {
+            versions.push(gen.step());
+        }
+        g.bench_function(format!("put_update_{items}items"), |b| {
+            b.iter_batched(
+                || {
+                    let db = Database::in_memory();
+                    db.put("d", &versions[0], Timestamp::from_secs(1)).unwrap();
+                    db
+                },
+                |db| {
+                    for (i, v) in versions[1..8].iter().enumerate() {
+                        db.put("d", v, Timestamp::from_secs(2 + i as u64)).unwrap();
+                    }
+                    db
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_queries, bench_ingest);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks for the substrates: parser, diff (E10),
+//! codec, B+-tree and heap.
+//!
+//! ```sh
+//! cargo bench -p txdb-bench --bench substrates
+//! ```
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use txdb_base::{Timestamp, VersionId, Xid};
+use txdb_storage::btree::BTree;
+use txdb_storage::buffer::BufferPool;
+use txdb_storage::heap::Heap;
+use txdb_storage::pager::Pager;
+use txdb_wgen::tdocgen::{DocGen, DocGenConfig};
+use txdb_xml::codec::{decode_tree, encode_tree};
+use txdb_xml::parse::parse_document;
+use txdb_xml::serialize::to_string;
+use txdb_xml::tree::{NodeId, Tree};
+
+fn sample_doc(items: usize) -> String {
+    DocGen::new(DocGenConfig { items, ..Default::default() }, 9).xml()
+}
+
+fn with_xids(src: &str) -> Tree {
+    let mut t = parse_document(src).unwrap();
+    let ids: Vec<NodeId> = t.iter().collect();
+    for (i, id) in ids.iter().enumerate() {
+        t.node_mut(*id).xid = Xid(i as u64 + 1);
+    }
+    t
+}
+
+fn bench_parse_serialize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xml");
+    for items in [50usize, 500] {
+        let xml = sample_doc(items);
+        let tree = parse_document(&xml).unwrap();
+        g.bench_with_input(BenchmarkId::new("parse", items), &items, |b, _| {
+            b.iter(|| parse_document(&xml).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("serialize", items), &items, |b, _| {
+            b.iter(|| to_string(&tree))
+        });
+        g.bench_with_input(BenchmarkId::new("codec_encode", items), &items, |b, _| {
+            b.iter(|| encode_tree(&tree))
+        });
+        let bytes = encode_tree(&tree);
+        g.bench_with_input(BenchmarkId::new("codec_decode", items), &items, |b, _| {
+            b.iter(|| decode_tree(&bytes).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// E10 — the diff itself, by document size and change volume.
+fn bench_diff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff");
+    g.sample_size(20);
+    for (items, changes) in [(50usize, 3usize), (200, 3), (200, 30)] {
+        let mut gen = DocGen::new(
+            DocGenConfig { items, changes_per_version: changes, ..Default::default() },
+            21,
+        );
+        let old = with_xids(&gen.xml());
+        let new_xml = gen.step();
+        g.bench_function(BenchmarkId::new(format!("{items}items"), format!("{changes}chg")), |b| {
+            b.iter(|| {
+                let mut new = parse_document(&new_xml).unwrap();
+                let mut next = Xid(1_000_000);
+                txdb_delta::diff_trees(
+                    &old,
+                    &mut new,
+                    &mut next,
+                    VersionId(0),
+                    Timestamp::from_secs(1),
+                    Timestamp::from_secs(2),
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    // Insert throughput into a fresh tree.
+    g.bench_function("insert_1k", |b| {
+        b.iter(|| {
+            let pool = Arc::new(BufferPool::new(Pager::memory(), 1024));
+            let t = BTree::open(pool, 1).unwrap();
+            for i in 0..1000u32 {
+                t.insert(&i.to_be_bytes(), b"value").unwrap();
+            }
+        })
+    });
+    // Point lookups on a populated tree.
+    let pool = Arc::new(BufferPool::new(Pager::memory(), 1024));
+    let tree = BTree::open(pool, 1).unwrap();
+    for i in 0..10_000u32 {
+        tree.insert(&i.to_be_bytes(), &i.to_le_bytes()).unwrap();
+    }
+    g.bench_function("get_hot", |b| {
+        let mut k = 0u32;
+        b.iter(|| {
+            k = (k + 7919) % 10_000;
+            tree.get(&k.to_be_bytes()).unwrap()
+        })
+    });
+    g.bench_function("range_100", |b| {
+        b.iter(|| {
+            tree.range(&5000u32.to_be_bytes(), Some(&5100u32.to_be_bytes()))
+                .unwrap()
+                .count()
+        })
+    });
+    g.finish();
+}
+
+fn bench_heap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heap");
+    let pool = Arc::new(BufferPool::new(Pager::memory(), 1024));
+    let heap = Heap::open(pool, 0).unwrap();
+    let small = vec![7u8; 200];
+    let big = vec![7u8; 30_000];
+    let small_rid = heap.insert(&small).unwrap();
+    let big_rid = heap.insert(&big).unwrap();
+    g.bench_function("insert_small", |b| b.iter(|| heap.insert(&small).unwrap()));
+    g.bench_function("get_small", |b| b.iter(|| heap.get(small_rid).unwrap()));
+    g.bench_function("get_blob_30k", |b| b.iter(|| heap.get(big_rid).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_parse_serialize, bench_diff, bench_btree, bench_heap);
+criterion_main!(benches);

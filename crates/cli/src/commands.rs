@@ -1,0 +1,543 @@
+//! Command implementations for the `txdb` binary.
+//!
+//! Everything takes a `Write` sink so the integration tests can drive the
+//! full command surface without spawning processes.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use txdb_base::{Error, Interval, Result, Timestamp, VersionId};
+use txdb_core::{Database, DbOptions};
+use txdb_query::exec::execute_at;
+use txdb_storage::repo::{StoreOptions, VersionKind};
+
+/// Parsed global options + subcommand tail.
+struct Cli {
+    db_dir: Option<PathBuf>,
+    snapshot_every: Option<u32>,
+    command: Vec<String>,
+}
+
+fn usage() -> String {
+    "usage: txdb [--db DIR] [--snapshot-every N] <command>\n\
+     commands:\n\
+       put <name> <file.xml> [--at TIME]    store a new version\n\
+       delete <name> [--at TIME]            delete (tombstone)\n\
+       ls                                   list documents\n\
+       log <name>                           version history\n\
+       cat <name> [--at TIME|--version N] [--pretty]\n\
+       diff <name> <t1> <t2>                edit script between snapshots\n\
+       history <name> [--from T] [--to T]   reconstruct versions in a range\n\
+       query <QUERY>                        run a temporal query\n\
+       vacuum <name> --before TIME          purge history before a horizon\n\
+       stats                                space and index statistics\n\
+       shell                                interactive query shell"
+        .to_string()
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli> {
+    let mut db_dir = None;
+    let mut snapshot_every = None;
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--db" => {
+                i += 1;
+                db_dir = Some(PathBuf::from(args.get(i).ok_or_else(|| {
+                    Error::QueryInvalid("--db needs a directory".into())
+                })?));
+            }
+            "--snapshot-every" => {
+                i += 1;
+                snapshot_every = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| Error::QueryInvalid("--snapshot-every needs a number".into()))?,
+                );
+            }
+            "--help" | "-h" => {
+                return Err(Error::QueryInvalid(usage()));
+            }
+            _ => rest.push(args[i].clone()),
+        }
+        i += 1;
+    }
+    Ok(Cli { db_dir, snapshot_every, command: rest })
+}
+
+/// Extracts `--flag VALUE` from a command tail, returning the remainder.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    }
+}
+
+fn now() -> Timestamp {
+    Timestamp::from_micros(
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0),
+    )
+}
+
+fn parse_time_arg(v: Option<String>) -> Result<Timestamp> {
+    match v {
+        Some(s) => Timestamp::parse(&s),
+        None => Ok(now()),
+    }
+}
+
+/// Entry point shared by `main` and the tests.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<()> {
+    let cli = parse_cli(args)?;
+    if cli.command.is_empty() {
+        return Err(Error::QueryInvalid(usage()));
+    }
+    let (db, report) = Database::open(DbOptions {
+        store: StoreOptions {
+            path: cli.db_dir.clone(),
+            snapshot_every: cli.snapshot_every,
+            ..Default::default()
+        },
+        ..Default::default()
+    })?;
+    if report.replayed > 0 {
+        writeln!(out, "(recovered {} operations from the WAL)", report.replayed)?;
+    }
+    let mut tail: Vec<String> = cli.command[1..].to_vec();
+    match cli.command[0].as_str() {
+        "put" => {
+            let at = parse_time_arg(take_flag(&mut tail, "--at"))?;
+            let [name, file] = two(&tail, "put <name> <file.xml>")?;
+            let xml = std::fs::read_to_string(file)?;
+            let r = db.put(name, &xml, at)?;
+            db.checkpoint()?;
+            if r.changed {
+                writeln!(out, "{}: stored version {} @ {}", name, r.version.0, r.ts)?;
+            } else {
+                writeln!(out, "{name}: unchanged, no version stored")?;
+            }
+        }
+        "delete" => {
+            let at = parse_time_arg(take_flag(&mut tail, "--at"))?;
+            let [name] = one(&tail, "delete <name>")?;
+            match db.delete(name, at)? {
+                Some(d) => {
+                    db.checkpoint()?;
+                    writeln!(out, "{name}: deleted @ {}", d.ts)?;
+                }
+                None => writeln!(out, "{name}: not present (nothing deleted)")?,
+            }
+        }
+        "ls" => {
+            for (doc, name) in db.store().list()? {
+                let entries = db.store().versions(doc)?;
+                let state = if db.store().is_deleted(doc)? { "deleted" } else { "live" };
+                writeln!(
+                    out,
+                    "{name}  ({} version{}, {state})",
+                    entries.len(),
+                    if entries.len() == 1 { "" } else { "s" }
+                )?;
+            }
+        }
+        "log" => {
+            let [name] = one(&tail, "log <name>")?;
+            let doc = db
+                .store()
+                .doc_id(name)?
+                .ok_or_else(|| Error::NoSuchDocument(name.to_string()))?;
+            for e in db.store().versions(doc)? {
+                let kind = match e.kind {
+                    VersionKind::Content => {
+                        if e.snapshot_rid.is_some() {
+                            "content+snapshot"
+                        } else if e.delta_rid.is_some() {
+                            "content"
+                        } else {
+                            "base"
+                        }
+                    }
+                    VersionKind::Tombstone => "DELETED",
+                    VersionKind::Purged => "purged",
+                };
+                writeln!(out, "v{:<4} {}  {kind}", e.version.0, e.ts)?;
+            }
+        }
+        "cat" => {
+            let at = take_flag(&mut tail, "--at");
+            let version = take_flag(&mut tail, "--version");
+            let pretty = take_switch(&mut tail, "--pretty");
+            let [name] = one(&tail, "cat <name>")?;
+            let doc = db
+                .store()
+                .doc_id(name)?
+                .ok_or_else(|| Error::NoSuchDocument(name.to_string()))?;
+            let tree = match (at, version) {
+                (_, Some(v)) => {
+                    let v: u32 = v
+                        .parse()
+                        .map_err(|_| Error::QueryInvalid("--version needs a number".into()))?;
+                    db.store().version_tree(doc, VersionId(v))?
+                }
+                (Some(t), None) => db.reconstruct_doc_at(doc, Timestamp::parse(&t)?)?,
+                (None, None) => db.store().current_tree(doc)?,
+            };
+            let text = if pretty {
+                txdb_xml::serialize::to_string_pretty(&tree)
+            } else {
+                txdb_xml::serialize::to_string(&tree) + "\n"
+            };
+            write!(out, "{text}")?;
+        }
+        "diff" => {
+            let [name, t1, t2] = three(&tail, "diff <name> <t1> <t2>")?;
+            let doc = db
+                .store()
+                .doc_id(name)?
+                .ok_or_else(|| Error::NoSuchDocument(name.to_string()))?;
+            let (t1, t2) = (Timestamp::parse(t1)?, Timestamp::parse(t2)?);
+            let old = db.reconstruct_doc_at(doc, t1)?;
+            let new = db.reconstruct_doc_at(doc, t2)?;
+            let script = db.diff_trees_xml(&old, new, t1, t2)?;
+            writeln!(out, "{}", txdb_xml::serialize::to_string_pretty(&script))?;
+        }
+        "history" => {
+            let from = take_flag(&mut tail, "--from")
+                .map(|t| Timestamp::parse(&t))
+                .transpose()?
+                .unwrap_or(Timestamp::ZERO);
+            let to = take_flag(&mut tail, "--to")
+                .map(|t| Timestamp::parse(&t))
+                .transpose()?
+                .unwrap_or(Timestamp::FOREVER);
+            let [name] = one(&tail, "history <name> [--from T] [--to T]")?;
+            let doc = db
+                .store()
+                .doc_id(name)?
+                .ok_or_else(|| Error::NoSuchDocument(name.to_string()))?;
+            let history = db.doc_history(doc, Interval::new(from, to))?;
+            if history.is_empty() {
+                writeln!(out, "{name}: no versions valid in [{from}, {to})")?;
+            }
+            for dv in history {
+                writeln!(
+                    out,
+                    "v{} @ {}:\n{}",
+                    dv.version.0,
+                    dv.ts,
+                    txdb_xml::serialize::to_string_pretty(&dv.tree)
+                )?;
+            }
+        }
+        "query" => {
+            let [q] = one(&tail, "query <QUERY>")?;
+            run_query(&db, q, out)?;
+        }
+        "vacuum" => {
+            let before = parse_time_arg(take_flag(&mut tail, "--before"))?;
+            let [name] = one(&tail, "vacuum <name> --before TIME")?;
+            match db.vacuum(name, before)? {
+                Some(v) => {
+                    db.checkpoint()?;
+                    writeln!(
+                        out,
+                        "{name}: purged {} version{}, freed {} bytes",
+                        v.purged_versions,
+                        if v.purged_versions == 1 { "" } else { "s" },
+                        v.freed_bytes
+                    )?;
+                }
+                None => writeln!(out, "{name}: not present")?,
+            }
+        }
+        "stats" => {
+            let s = db.store().space_stats()?;
+            let fti = db.indexes().fti();
+            writeln!(out, "documents:        {}", db.store().list()?.len())?;
+            writeln!(out, "pages:            {}", s.pages)?;
+            writeln!(out, "current bytes:    {}", s.current_bytes)?;
+            writeln!(out, "delta bytes:      {}", s.delta_bytes)?;
+            writeln!(out, "snapshot bytes:   {}", s.snapshot_bytes)?;
+            writeln!(out, "metadata bytes:   {}", s.meta_bytes)?;
+            writeln!(out, "fti postings:     {}", fti.posting_count())?;
+            writeln!(out, "fti tokens:       {}", fti.token_count())?;
+            if let Some(eidx) = db.indexes().eid_index() {
+                writeln!(out, "eid index:        {} elements", eidx.len()?)?;
+            }
+        }
+        "shell" => {
+            shell(&db, out)?;
+        }
+        other => {
+            return Err(Error::QueryInvalid(format!(
+                "unknown command `{other}`\n{}",
+                usage()
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn run_query(db: &Database, q: &str, out: &mut dyn Write) -> Result<()> {
+    let start = std::time::Instant::now();
+    let r = execute_at(db, q, now())?;
+    let elapsed = start.elapsed();
+    writeln!(out, "{}", r.to_xml())?;
+    writeln!(
+        out,
+        "-- {} row{} in {:.1} ms ({} reconstruction{})",
+        r.len(),
+        if r.len() == 1 { "" } else { "s" },
+        elapsed.as_secs_f64() * 1e3,
+        r.stats.reconstructions,
+        if r.stats.reconstructions == 1 { "" } else { "s" },
+    )?;
+    Ok(())
+}
+
+/// The interactive shell: queries, plus dot-commands for inspection.
+fn shell(db: &Database, out: &mut dyn Write) -> Result<()> {
+    writeln!(
+        out,
+        "txdb shell — enter a temporal query, or .help for commands"
+    )?;
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        write!(out, "txdb> ")?;
+        out.flush()?;
+        line.clear();
+        if stdin.read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        let input = line.trim();
+        if input.is_empty() {
+            continue;
+        }
+        match shell_line(db, input, out) {
+            Ok(true) => break,
+            Ok(false) => {}
+            Err(e) => writeln!(out, "error: {e}")?,
+        }
+    }
+    Ok(())
+}
+
+/// Executes one shell line; returns `true` to quit.
+pub fn shell_line(db: &Database, input: &str, out: &mut dyn Write) -> Result<bool> {
+    match input {
+        ".quit" | ".exit" | ".q" => return Ok(true),
+        ".help" => {
+            writeln!(
+                out,
+                ".ls            list documents\n\
+                 .log NAME      version history of NAME\n\
+                 .history NAME  reconstruct every version of NAME\n\
+                 .quit          leave\n\
+                 anything else  executed as a temporal query"
+            )?;
+        }
+        ".ls" => {
+            for (doc, name) in db.store().list()? {
+                let n = db.store().versions(doc)?.len();
+                writeln!(out, "{name}  ({n} versions)")?;
+            }
+        }
+        _ if input.starts_with(".log ") => {
+            let name = input[5..].trim();
+            let doc = db
+                .store()
+                .doc_id(name)?
+                .ok_or_else(|| Error::NoSuchDocument(name.to_string()))?;
+            for e in db.store().versions(doc)? {
+                writeln!(out, "v{:<4} {}", e.version.0, e.ts)?;
+            }
+        }
+        _ if input.starts_with(".history ") => {
+            let name = input[9..].trim();
+            let doc = db
+                .store()
+                .doc_id(name)?
+                .ok_or_else(|| Error::NoSuchDocument(name.to_string()))?;
+            for dv in db.doc_history(doc, Interval::ALL)? {
+                writeln!(
+                    out,
+                    "v{} @ {}: {}",
+                    dv.version.0,
+                    dv.ts,
+                    txdb_xml::serialize::to_string(&dv.tree)
+                )?;
+            }
+        }
+        _ if input.starts_with('.') => {
+            writeln!(out, "unknown dot-command; .help lists them")?;
+        }
+        query => run_query(db, query, out)?,
+    }
+    Ok(false)
+}
+
+fn one<'a>(args: &'a [String], usage: &str) -> Result<[&'a str; 1]> {
+    match args {
+        [a] => Ok([a.as_str()]),
+        _ => Err(Error::QueryInvalid(format!("usage: txdb {usage}"))),
+    }
+}
+
+fn two<'a>(args: &'a [String], usage: &str) -> Result<[&'a str; 2]> {
+    match args {
+        [a, b] => Ok([a.as_str(), b.as_str()]),
+        _ => Err(Error::QueryInvalid(format!("usage: txdb {usage}"))),
+    }
+}
+
+fn three<'a>(args: &'a [String], usage: &str) -> Result<[&'a str; 3]> {
+    match args {
+        [a, b, c] => Ok([a.as_str(), b.as_str(), c.as_str()]),
+        _ => Err(Error::QueryInvalid(format!("usage: txdb {usage}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("txdb-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn run_cmd(args: &[&str]) -> Result<String> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn put_ls_log_cat_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let db = dir.join("db");
+        let f1 = dir.join("v1.xml");
+        let f2 = dir.join("v2.xml");
+        std::fs::write(&f1, "<g><r><n>Napoli</n><p>15</p></r></g>").unwrap();
+        std::fs::write(&f2, "<g><r><n>Napoli</n><p>18</p></r></g>").unwrap();
+        let db_s = db.to_str().unwrap();
+
+        let out = run_cmd(&["--db", db_s, "put", "guide", f1.to_str().unwrap(), "--at", "01/01/2001"]).unwrap();
+        assert!(out.contains("stored version 0"), "{out}");
+        let out = run_cmd(&["--db", db_s, "put", "guide", f2.to_str().unwrap(), "--at", "31/01/2001"]).unwrap();
+        assert!(out.contains("stored version 1"), "{out}");
+        // Unchanged put.
+        let out = run_cmd(&["--db", db_s, "put", "guide", f2.to_str().unwrap(), "--at", "01/02/2001"]).unwrap();
+        assert!(out.contains("unchanged"), "{out}");
+
+        let out = run_cmd(&["--db", db_s, "ls"]).unwrap();
+        assert!(out.contains("guide  (2 versions, live)"), "{out}");
+
+        let out = run_cmd(&["--db", db_s, "log", "guide"]).unwrap();
+        assert!(out.contains("v0    2001-01-01  base"), "{out}");
+        assert!(out.contains("v1    2001-01-31  content"), "{out}");
+
+        // cat current, at a time, and by version.
+        let out = run_cmd(&["--db", db_s, "cat", "guide"]).unwrap();
+        assert!(out.contains("<p>18</p>"), "{out}");
+        let out = run_cmd(&["--db", db_s, "cat", "guide", "--at", "15/01/2001"]).unwrap();
+        assert!(out.contains("<p>15</p>"), "{out}");
+        let out = run_cmd(&["--db", db_s, "cat", "guide", "--version", "0"]).unwrap();
+        assert!(out.contains("<p>15</p>"), "{out}");
+
+        // diff between the snapshots.
+        let out = run_cmd(&["--db", db_s, "diff", "guide", "02/01/2001", "01/02/2001"]).unwrap();
+        assert!(out.contains("<old>15</old>"), "{out}");
+        assert!(out.contains("<new>18</new>"), "{out}");
+
+        // query end-to-end.
+        let out = run_cmd(&[
+            "--db",
+            db_s,
+            "query",
+            r#"SELECT R/p FROM doc("guide")[15/01/2001]//r R"#,
+        ])
+        .unwrap();
+        assert!(out.contains("<p>15</p>"), "{out}");
+        assert!(out.contains("1 row"), "{out}");
+
+        // stats mention stored bytes.
+        let out = run_cmd(&["--db", db_s, "stats"]).unwrap();
+        assert!(out.contains("documents:        1"), "{out}");
+        assert!(out.contains("fti postings"), "{out}");
+
+        // history range.
+        let out = run_cmd(&["--db", db_s, "history", "guide", "--from", "10/01/2001"]).unwrap();
+        assert!(out.contains("v1 @ 2001-01-31"), "{out}");
+        assert!(out.contains("v0 @ 2001-01-01"), "{out}");
+        let out =
+            run_cmd(&["--db", db_s, "history", "guide", "--to", "01/01/1999"]).unwrap();
+        assert!(out.contains("no versions valid"), "{out}");
+
+        // delete.
+        let out = run_cmd(&["--db", db_s, "delete", "guide", "--at", "01/03/2001"]).unwrap();
+        assert!(out.contains("deleted @ 2001-03-01"), "{out}");
+        let out = run_cmd(&["--db", db_s, "ls"]).unwrap();
+        assert!(out.contains("deleted"), "{out}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shell_lines() {
+        let db = Database::in_memory();
+        db.put("d", "<a><b>x</b></a>", Timestamp::from_date(2001, 1, 1)).unwrap();
+        db.put("d", "<a><b>y</b></a>", Timestamp::from_date(2001, 1, 2)).unwrap();
+        let mut out = Vec::new();
+        assert!(!shell_line(&db, ".ls", &mut out).unwrap());
+        assert!(!shell_line(&db, ".log d", &mut out).unwrap());
+        assert!(!shell_line(&db, ".history d", &mut out).unwrap());
+        assert!(!shell_line(&db, ".help", &mut out).unwrap());
+        assert!(!shell_line(&db, ".bogus", &mut out).unwrap());
+        assert!(!shell_line(
+            &db,
+            r#"SELECT R FROM doc("d")[EVERY]//b R"#,
+            &mut out
+        )
+        .unwrap());
+        assert!(shell_line(&db, ".quit", &mut out).unwrap());
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("d  (2 versions)"), "{text}");
+        assert!(text.contains("v0"), "{text}");
+        assert!(text.contains("<b>x</b>"), "{text}");
+        assert!(text.contains("<b>y</b>"), "{text}");
+        assert!(text.contains("2 rows"), "{text}");
+        assert!(text.contains("unknown dot-command"), "{text}");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run_cmd(&[]).is_err());
+        assert!(run_cmd(&["bogus"]).is_err());
+        assert!(run_cmd(&["cat"]).is_err());
+        assert!(run_cmd(&["log", "missing"]).is_err());
+        assert!(run_cmd(&["--db"]).is_err());
+        assert!(run_cmd(&["-h"]).is_err()); // usage via error path
+    }
+}

@@ -1,0 +1,32 @@
+//! `txdb` — the command-line front end of the temporal XML database.
+//!
+//! ```text
+//! txdb --db DIR put <name> <file.xml> [--at TIME]   store a new version
+//! txdb --db DIR delete <name> [--at TIME]           delete (tombstone)
+//! txdb --db DIR ls                                  list documents
+//! txdb --db DIR log <name>                          version history (delta index)
+//! txdb --db DIR cat <name> [--at TIME | --version N] [--pretty]
+//! txdb --db DIR diff <name> <t1> <t2>               edit script between snapshots
+//! txdb --db DIR query "SELECT …"                    run a temporal query
+//! txdb --db DIR stats                               space and index statistics
+//! txdb --db DIR shell                               interactive query shell
+//! ```
+//!
+//! `TIME` accepts the paper's `DD/MM/YYYY`, ISO `YYYY-MM-DD[THH:MM[:SS]]`,
+//! or raw microseconds since the epoch; `--at` defaults to the wall clock.
+//! Without `--db` the database lives in memory (useful for `shell`).
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&args, &mut std::io::stdout()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("txdb: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

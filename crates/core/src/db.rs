@@ -1,0 +1,242 @@
+//! The [`Database`] facade: document store + index set, kept consistent.
+//!
+//! `Database` is what applications (and the query layer) talk to. Writes
+//! go through [`Database::put`] / [`Database::delete`], which update the
+//! repository (§7.1) and drive index maintenance (§7.2) in one step; all
+//! §6 operators are methods implemented in the [`crate::ops`] modules.
+//!
+//! On reopening a persistent store, the in-memory temporal FTI is rebuilt
+//! by replaying each document's stored delta chain (the persistent EID
+//! index is rebuilt too — replay is deterministic, so values are
+//! identical).
+
+use txdb_base::{DocId, Result, Timestamp, VersionId};
+use txdb_index::maint::{IndexConfig, IndexSet};
+use txdb_storage::repo::{
+    DeleteResult, DocumentStore, PutResult, RecoveryReport, StoreOptions, VersionKind,
+};
+use txdb_xml::tree::Tree;
+
+/// Database configuration.
+#[derive(Clone, Debug, Default)]
+pub struct DbOptions {
+    /// Storage options (path, buffer size, snapshot policy, WAL).
+    pub store: StoreOptions,
+    /// Index options (§7.2 alternative, EID index).
+    pub index: IndexConfig,
+}
+
+/// The temporal XML database.
+///
+/// Concurrency contract: the store is single-writer/multi-reader and each
+/// index guards itself, but a write updates the store *then* the indexes —
+/// a reader racing a writer may briefly observe a version in the store
+/// whose postings are not yet open (queries stay crash-free; they may miss
+/// the in-flight version until the put returns). Serialise writers (and
+/// readers that need point-in-time consistency across store + index)
+/// externally if that window matters.
+pub struct Database {
+    store: DocumentStore,
+    indexes: IndexSet,
+}
+
+impl Database {
+    /// Opens (or creates) a database; rebuilds in-memory indexes from the
+    /// stored version chains when the store already has content.
+    pub fn open(opts: DbOptions) -> Result<(Database, RecoveryReport)> {
+        let (store, report) = DocumentStore::open(opts.store)?;
+        let indexes = IndexSet::open(store.pool().clone(), opts.index)?;
+        let db = Database { store, indexes };
+        db.rebuild_indexes()?;
+        Ok((db, report))
+    }
+
+    /// Fresh in-memory database with default options.
+    pub fn in_memory() -> Database {
+        Database::open(DbOptions::default()).expect("in-memory open").0
+    }
+
+    /// In-memory database with a snapshot policy (§7.3.3).
+    pub fn in_memory_with_snapshots(every: u32) -> Database {
+        Database::open(DbOptions {
+            store: StoreOptions { snapshot_every: Some(every), ..Default::default() },
+            ..Default::default()
+        })
+        .expect("in-memory open")
+        .0
+    }
+
+    /// The underlying document store.
+    pub fn store(&self) -> &DocumentStore {
+        &self.store
+    }
+
+    /// The index set.
+    pub fn indexes(&self) -> &IndexSet {
+        &self.indexes
+    }
+
+    /// Stores a new version of `name` (XML text) at transaction time `ts`.
+    pub fn put(&self, name: &str, xml: &str, ts: Timestamp) -> Result<PutResult> {
+        let tree = txdb_xml::parse::parse_document(xml)?;
+        self.put_tree(name, tree, ts)
+    }
+
+    /// Stores a new version of `name` (parsed tree) at time `ts`.
+    pub fn put_tree(&self, name: &str, tree: Tree, ts: Timestamp) -> Result<PutResult> {
+        let resurrected = self
+            .store
+            .doc_id(name)?
+            .map(|d| self.store.is_deleted(d))
+            .transpose()?
+            .unwrap_or(false);
+        let r = self.store.put_tree(name, tree, ts)?;
+        if r.changed {
+            self.indexes
+                .on_put(r.doc, r.version, r.ts, &r.new_tree, r.delta.as_ref(), resurrected)?;
+        }
+        Ok(r)
+    }
+
+    /// Deletes `name` at time `ts` (tombstone; history remains queryable).
+    pub fn delete(&self, name: &str, ts: Timestamp) -> Result<Option<DeleteResult>> {
+        let r = self.store.delete(name, ts)?;
+        if let Some(d) = &r {
+            self.indexes.on_delete(d.doc, d.version, d.ts, &d.old_tree)?;
+        }
+        Ok(r)
+    }
+
+    /// Flushes pages and truncates the WAL.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.store.checkpoint()
+    }
+
+    /// Purges the history of `name` before the given horizon (see
+    /// [`DocumentStore::vacuum`]). The in-memory FTI keeps its historical
+    /// postings until the next reopen; queries at purged times already
+    /// return nothing because the purged versions are unselectable.
+    pub fn vacuum(
+        &self,
+        name: &str,
+        before: Timestamp,
+    ) -> Result<Option<txdb_storage::repo::VacuumStats>> {
+        self.store.vacuum(name, before)
+    }
+
+    /// Rebuilds the in-memory indexes by replaying every document's
+    /// version chain (used at open; also handy in tests).
+    pub fn rebuild_indexes(&self) -> Result<()> {
+        for (doc, _) in self.store.list()? {
+            let entries = self.store.versions(doc)?;
+            let mut prev_tombstone = false;
+            // The first content version after a vacuumed (purged) prefix
+            // must be indexed from scratch: its delta describes a change
+            // against a version that was never indexed.
+            let mut need_full = true;
+            for e in &entries {
+                match e.kind {
+                    // Purged versions have no payload to index; history
+                    // lookups at their times already return nothing.
+                    VersionKind::Purged => {
+                        need_full = true;
+                    }
+                    VersionKind::Tombstone => {
+                        // The tree current before the tombstone:
+                        let prev = entries[..e.version.0 as usize]
+                            .iter()
+                            .rev()
+                            .find(|p| p.kind == VersionKind::Content)
+                            .expect("tombstone follows content");
+                        let old_tree = self.store.version_tree(doc, prev.version)?;
+                        self.indexes.on_delete(doc, e.version, e.ts, &old_tree)?;
+                        prev_tombstone = true;
+                    }
+                    VersionKind::Content => {
+                        let tree = self.store.version_tree(doc, e.version)?;
+                        let delta = if need_full {
+                            None
+                        } else {
+                            self.store.delta(doc, e.version)?
+                        };
+                        self.indexes.on_put(
+                            doc,
+                            e.version,
+                            e.ts,
+                            &tree,
+                            delta.as_ref(),
+                            prev_tombstone,
+                        )?;
+                        prev_tombstone = false;
+                        need_full = false;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The version of `doc` valid at `ts` (delta-index lookup).
+    pub fn version_at(&self, doc: DocId, ts: Timestamp) -> Result<Option<VersionId>> {
+        self.store.version_at(doc, ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txdb_index::fti::OccKind;
+
+    fn ts(n: u64) -> Timestamp {
+        Timestamp::from_micros(n * 1000)
+    }
+
+    #[test]
+    fn put_updates_store_and_indexes() {
+        let db = Database::in_memory();
+        db.put("g", "<guide><name>Napoli</name></guide>", ts(1)).unwrap();
+        assert_eq!(db.indexes().fti().lookup("napoli", OccKind::Word).len(), 1);
+        db.put("g", "<guide><name>Roma</name></guide>", ts(2)).unwrap();
+        assert_eq!(db.indexes().fti().lookup("napoli", OccKind::Word).len(), 0);
+        assert_eq!(db.indexes().fti().lookup("roma", OccKind::Word).len(), 1);
+    }
+
+    #[test]
+    fn delete_closes_index_state() {
+        let db = Database::in_memory();
+        db.put("g", "<a>word</a>", ts(1)).unwrap();
+        db.delete("g", ts(2)).unwrap();
+        assert_eq!(db.indexes().fti().lookup("word", OccKind::Word).len(), 0);
+        assert_eq!(db.indexes().fti().lookup_h("word", OccKind::Word).len(), 1);
+    }
+
+    #[test]
+    fn reopen_rebuilds_fti() {
+        let dir = std::env::temp_dir().join(format!("txdb-db-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = DbOptions {
+            store: StoreOptions { path: Some(dir.clone()), ..Default::default() },
+            ..Default::default()
+        };
+        {
+            let (db, _) = Database::open(opts.clone()).unwrap();
+            db.put("g", "<a><b>alpha</b></a>", ts(1)).unwrap();
+            db.put("g", "<a><b>beta</b></a>", ts(2)).unwrap();
+            db.put("h", "<x>gamma</x>", ts(3)).unwrap();
+            db.delete("h", ts(4)).unwrap();
+            db.checkpoint().unwrap();
+        }
+        let (db, _) = Database::open(opts).unwrap();
+        let fti = db.indexes().fti();
+        assert_eq!(fti.lookup("beta", OccKind::Word).len(), 1);
+        assert_eq!(fti.lookup("alpha", OccKind::Word).len(), 0);
+        assert_eq!(fti.lookup_h("alpha", OccKind::Word).len(), 1);
+        assert_eq!(fti.lookup("gamma", OccKind::Word).len(), 0);
+        drop(fti);
+        // Temporal lookups work after rebuild.
+        let doc = db.store().doc_id("g").unwrap().unwrap();
+        let v = db.version_at(doc, ts(1)).unwrap().unwrap();
+        assert_eq!(v, VersionId(0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

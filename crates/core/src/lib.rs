@@ -1,0 +1,32 @@
+//! # txdb-core — the temporal query operators (the paper's contribution)
+//!
+//! This crate implements every operator of §6 with the algorithms of §7.3,
+//! on top of the substrates built in the sibling crates (storage engine,
+//! completed deltas, temporal full-text index):
+//!
+//! | Operator (§6)                      | Algorithm (§7.3) | Module |
+//! |------------------------------------|------------------|--------|
+//! | `PatternScan(Δ, pattern)`          | per-word FTI lookups + multiway structural join | [`ops::pattern`] |
+//! | `TPatternScan(Δ, pattern, t)`      | same with `FTI_lookup_T` (§7.3.1) | [`ops::pattern`] |
+//! | `TPatternScanAll(Δ, pattern)`      | `FTI_lookup_H` + temporal multiway join (§7.3.2) | [`ops::pattern`] |
+//! | `Reconstruct(TEID)`                | backward completed deltas from nearest snapshot/current (§7.3.3) | [`ops::history`] |
+//! | `DocHistory(doc, t1, t2)`          | incremental backward reconstruction, newest first (§7.3.4) | [`ops::history`] |
+//! | `ElementHistory(EID, t1, t2)`      | DocHistory + subtree filter (§7.3.5) | [`ops::history`] |
+//! | `CreTime(TEID)` / `DelTime(TEID)`  | both §7.3.6 strategies: delta traversal AND the EID-time index | [`ops::lifetime`] |
+//! | `PreviousTS`/`NextTS`/`CurrentTS`  | delta-index lookups (§7.3.7) | [`ops::versions`] |
+//! | `Diff(E1, E2)`                     | XyDiff edit script returned as XML (§7.3.8) | [`ops::diffop`] |
+//!
+//! All of them are methods of [`Database`], which wires the document store
+//! and the index set together and keeps the indexes consistent on every
+//! update. Operators that the paper's cost discussion cares about also
+//! come in `*_counted` variants returning the number of deltas read, the
+//! I/O-cost metric of the experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod db;
+pub mod ops;
+
+pub use db::{Database, DbOptions};
+pub use ops::pattern::{Match, ScanStats};

@@ -1,0 +1,648 @@
+//! `PatternScan`, `TPatternScan` and `TPatternScanAll` (§7.3.1–7.3.2).
+//!
+//! The paper's algorithm, verbatim:
+//!
+//! > 1. For all words wᵢ in pattern, call Lᵢ = FTI_lookup(wᵢ).
+//! > 2. Execute Join(L₁, …, Lₙ) with join attributes: document identifier,
+//! >    relationship (e.g., isparentof or isascendantof).
+//!
+//! `TPatternScan` swaps in `FTI_lookup_T`; `TPatternScanAll` uses
+//! `FTI_lookup_H` and adds **time** to the join attributes ("words in the
+//! pattern valid at same time, which actually implies that this is a
+//! temporal join").
+//!
+//! Per-pattern-node candidates are the same-element intersection of that
+//! node's token posting lists (a pattern node constrains one element with
+//! its tag and content words); the structural join then binds pattern
+//! nodes top-down, deciding `isParentOf`/`isAscendantOf` from the
+//! xid-paths carried in the postings — no document access at all, which is
+//! the point of the paper's Q2 observation (aggregates over scans never
+//! reconstruct).
+//!
+//! Every pattern node must carry at least one token (tag name or word);
+//! the query planner routes wildcard-only patterns to the reconstruction
+//! fallback instead (see `txdb-query`).
+
+use std::collections::HashMap;
+
+use txdb_base::{DocId, Eid, Error, Result, Timestamp, VersionId, Xid};
+use txdb_index::fti::{OccKind, Posting, OPEN};
+use txdb_storage::repo::VersionKind;
+use txdb_xml::pattern::{PatternEdge, PatternNode, PatternTree};
+
+use crate::db::Database;
+
+/// One match produced by a (temporal) pattern scan: the elements bound to
+/// the pattern nodes in pre-order, in one version of one document.
+#[derive(Clone, Debug)]
+pub struct Match {
+    /// The document the match lives in.
+    pub doc: DocId,
+    /// The document version the match refers to.
+    pub version: VersionId,
+    /// The commit timestamp of that version (the TEID timestamp).
+    pub ts: Timestamp,
+    /// Bound elements, indexed like the pattern's pre-order nodes.
+    pub nodes: Vec<Eid>,
+}
+
+impl Match {
+    /// The TEIDs of the bound elements (§3.2: EID + timestamp).
+    pub fn teids(&self) -> Vec<txdb_base::Teid> {
+        self.nodes.iter().map(|e| e.at(self.ts)).collect()
+    }
+
+    /// TEIDs of only the projected pattern nodes.
+    pub fn projected_teids(&self, pattern: &PatternTree) -> Vec<txdb_base::Teid> {
+        pattern
+            .projected()
+            .into_iter()
+            .map(|i| self.nodes[i].at(self.ts))
+            .collect()
+    }
+}
+
+/// Cost counters for a scan (experiment metrics).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScanStats {
+    /// FTI lookups performed (one per pattern token).
+    pub fti_lookups: usize,
+    /// Total postings retrieved.
+    pub postings: usize,
+    /// Matches produced.
+    pub matches: usize,
+}
+
+/// A candidate element for one pattern node, with the version range over
+/// which all the node's tokens co-exist on the element. Paths are borrowed
+/// from the postings (the FTI read guard outlives the scan).
+#[derive(Clone, Copy, Debug)]
+struct Cand<'a> {
+    xid: Xid,
+    path: &'a [Xid],
+    from: u32,
+    to: u32,
+}
+
+/// Flattened pattern: pre-order nodes with parent links.
+struct FlatPattern<'p> {
+    nodes: Vec<(&'p PatternNode, Option<usize>)>,
+}
+
+impl<'p> FlatPattern<'p> {
+    fn new(pattern: &'p PatternTree) -> Self {
+        let mut nodes = Vec::new();
+        fn walk<'p>(
+            n: &'p PatternNode,
+            parent: Option<usize>,
+            out: &mut Vec<(&'p PatternNode, Option<usize>)>,
+        ) {
+            let idx = out.len();
+            out.push((n, parent));
+            for c in &n.children {
+                walk(c, Some(idx), out);
+            }
+        }
+        walk(&pattern.root, None, &mut nodes);
+        FlatPattern { nodes }
+    }
+
+    /// The FTI tokens of node `i`: `(token, kind)`.
+    fn tokens(&self, i: usize) -> Vec<(String, OccKind)> {
+        let node = self.nodes[i].0;
+        let mut out = Vec::new();
+        if let Some(tag) = &node.tag {
+            out.push((tag.to_lowercase(), OccKind::Name));
+        }
+        for w in &node.words {
+            out.push((w.clone(), OccKind::Word));
+        }
+        out
+    }
+}
+
+/// Which lookup mode a scan runs in.
+enum Mode {
+    Current,
+    At(Timestamp),
+    /// All versions whose commit time falls in the interval. `ALL` is the
+    /// plain `TPatternScanAll`; narrower intervals implement the §8
+    /// algebraic rewriting (temporal predicates pushed into the scan).
+    All(txdb_base::Interval),
+}
+
+impl Database {
+    /// `PatternScan(Δ, pattern)` — matches in the *current* versions of all
+    /// undeleted documents (the non-temporal baseline operator of \[2\]).
+    pub fn pattern_scan(&self, docs: Option<DocId>, pattern: &PatternTree) -> Result<Vec<Match>> {
+        Ok(self.scan(docs, pattern, Mode::Current)?.0)
+    }
+
+    /// `TPatternScan(Δ, pattern, t)` — matches in the snapshot valid at
+    /// `t` (§7.3.1). Output rows carry the TEID timestamp of the matched
+    /// version.
+    pub fn tpattern_scan(
+        &self,
+        docs: Option<DocId>,
+        pattern: &PatternTree,
+        t: Timestamp,
+    ) -> Result<Vec<Match>> {
+        Ok(self.scan(docs, pattern, Mode::At(t))?.0)
+    }
+
+    /// `TPatternScan` with cost counters.
+    pub fn tpattern_scan_counted(
+        &self,
+        docs: Option<DocId>,
+        pattern: &PatternTree,
+        t: Timestamp,
+    ) -> Result<(Vec<Match>, ScanStats)> {
+        self.scan(docs, pattern, Mode::At(t))
+    }
+
+    /// `TPatternScanAll(Δ, pattern)` — matches across *all* versions
+    /// (§7.3.2, the temporal multiway join). One [`Match`] is emitted per
+    /// content version of the document within the joint validity range of
+    /// the binding.
+    pub fn tpattern_scan_all(
+        &self,
+        docs: Option<DocId>,
+        pattern: &PatternTree,
+    ) -> Result<Vec<Match>> {
+        Ok(self.scan(docs, pattern, Mode::All(txdb_base::Interval::ALL))?.0)
+    }
+
+    /// `TPatternScanAll` restricted to versions committed within
+    /// `interval` — the §8 "algebraic rewriting" target: the query planner
+    /// lowers `TIME(R) >= t` / `TIME(R) < t` conjuncts into this interval
+    /// instead of expanding every version and filtering afterwards.
+    pub fn tpattern_scan_all_between(
+        &self,
+        docs: Option<DocId>,
+        pattern: &PatternTree,
+        interval: txdb_base::Interval,
+    ) -> Result<Vec<Match>> {
+        Ok(self.scan(docs, pattern, Mode::All(interval))?.0)
+    }
+
+    /// `TPatternScanAll` with cost counters.
+    pub fn tpattern_scan_all_counted(
+        &self,
+        docs: Option<DocId>,
+        pattern: &PatternTree,
+    ) -> Result<(Vec<Match>, ScanStats)> {
+        self.scan(docs, pattern, Mode::All(txdb_base::Interval::ALL))
+    }
+
+    fn scan(
+        &self,
+        docs: Option<DocId>,
+        pattern: &PatternTree,
+        mode: Mode,
+    ) -> Result<(Vec<Match>, ScanStats)> {
+        let flat = FlatPattern::new(pattern);
+        let mut stats = ScanStats::default();
+
+        // Per-document version resolution for the snapshot mode is cached
+        // across all lookups of this scan, as is the decoded delta index.
+        let mut version_cache: HashMap<DocId, Option<VersionId>> = HashMap::new();
+        let mut resolve = |db: &Database, doc: DocId, t: Timestamp| -> Option<VersionId> {
+            *version_cache
+                .entry(doc)
+                .or_insert_with(|| db.store().version_at(doc, t).unwrap_or(None))
+        };
+        let mut entries_cache: HashMap<DocId, std::rc::Rc<Vec<txdb_storage::repo::VersionEntry>>> =
+            HashMap::new();
+        let mut entries_of = |db: &Database,
+                              doc: DocId|
+         -> Result<std::rc::Rc<Vec<txdb_storage::repo::VersionEntry>>> {
+            if let Some(e) = entries_cache.get(&doc) {
+                return Ok(e.clone());
+            }
+            let e = std::rc::Rc::new(db.store().versions(doc)?);
+            entries_cache.insert(doc, e.clone());
+            Ok(e)
+        };
+
+        // Step 1: per-node candidates = same-element intersection of the
+        // node's token posting lists. Nodes are processed most-selective
+        // first (shortest posting list), and each processed node restricts
+        // the documents later lookups touch — the join is per-document, so
+        // documents absent from any node's candidates can never match.
+        let fti = self.indexes().fti();
+        for i in 0..flat.nodes.len() {
+            if flat.tokens(i).is_empty() {
+                return Err(Error::Unsupported(
+                    "index pattern scan requires a tag or word on every pattern node".into(),
+                ));
+            }
+        }
+        let mut order: Vec<usize> = (0..flat.nodes.len()).collect();
+        order.sort_by_key(|&i| {
+            flat.tokens(i)
+                .iter()
+                .map(|(t, _)| fti.list_len(t))
+                .min()
+                .unwrap_or(usize::MAX)
+        });
+        let mut allowed: Option<std::collections::HashSet<DocId>> =
+            docs.map(|d| std::collections::HashSet::from([d]));
+        let mut cands: Vec<HashMap<DocId, Vec<Cand<'_>>>> =
+            (0..flat.nodes.len()).map(|_| HashMap::new()).collect();
+        for &i in &order {
+            // Within the node, start from the rarest token too.
+            let mut tokens = flat.tokens(i);
+            tokens.sort_by_key(|(t, _)| fti.list_len(t));
+            let mut per_elem: HashMap<(DocId, Xid), Vec<Cand<'_>>> = HashMap::new();
+            for (tok_idx, (tok, kind)) in tokens.iter().enumerate() {
+                stats.fti_lookups += 1;
+                let postings: Vec<&Posting> = match &mode {
+                    Mode::Current => fti.lookup_scoped(tok, *kind, allowed.as_ref()),
+                    Mode::At(t) => fti.lookup_t_scoped(tok, *kind, allowed.as_ref(), |doc| {
+                        resolve(self, doc, *t)
+                    }),
+                    Mode::All(_) => fti.lookup_h_scoped(tok, *kind, allowed.as_ref()),
+                };
+                stats.postings += postings.len();
+                let require_root = flat.nodes[i].0.at_root;
+                if tok_idx == 0 {
+                    for p in postings {
+                        if require_root && p.path.len() != 1 {
+                            continue;
+                        }
+                        per_elem.entry((p.doc, p.xid)).or_default().push(Cand {
+                            xid: p.xid,
+                            path: &p.path,
+                            from: p.from_version,
+                            to: p.to_version,
+                        });
+                    }
+                } else {
+                    // Intersect ranges with the accumulated candidates.
+                    let mut next: HashMap<(DocId, Xid), Vec<Cand<'_>>> = HashMap::new();
+                    for p in postings {
+                        let Some(acc) = per_elem.get(&(p.doc, p.xid)) else { continue };
+                        for c in acc {
+                            let from = c.from.max(p.from_version);
+                            let to = c.to.min(p.to_version);
+                            if from < to {
+                                // Paths agree within an overlapping range
+                                // (both postings describe the same element
+                                // in the same versions).
+                                next.entry((p.doc, p.xid))
+                                    .or_default()
+                                    .push(Cand { xid: c.xid, path: c.path, from, to });
+                            }
+                        }
+                    }
+                    per_elem = next;
+                }
+                if per_elem.is_empty() {
+                    break;
+                }
+            }
+            let mut by_doc: HashMap<DocId, Vec<Cand>> = HashMap::new();
+            for ((doc, _), cs) in per_elem {
+                by_doc.entry(doc).or_default().extend(cs);
+            }
+            allowed = Some(by_doc.keys().copied().collect());
+            cands[i] = by_doc;
+            if allowed.as_ref().is_some_and(|a| a.is_empty()) {
+                break;
+            }
+        }
+
+        // Step 2: multiway structural (and temporal) join, per document.
+        let doc_set: Vec<DocId> = {
+            // Documents that have candidates for every pattern node.
+            let mut docs_iter = cands[0].keys().copied().collect::<Vec<_>>();
+            docs_iter.retain(|d| cands.iter().all(|m| m.contains_key(d)));
+            docs_iter.sort();
+            docs_iter
+        };
+
+        let mut out = Vec::new();
+        for doc in doc_set {
+            let per_node: Vec<&[Cand<'_>]> = cands.iter().map(|m| m[&doc].as_slice()).collect();
+            let mut binding: Vec<&Cand<'_>> = Vec::with_capacity(flat.nodes.len());
+            join_rec(&flat, &per_node, doc, &mut binding, &mut |b| {
+                // Joint validity range of the whole binding.
+                let from = b.iter().map(|c| c.from).max().unwrap_or(0);
+                let to = b.iter().map(|c| c.to).min().unwrap_or(OPEN);
+                if from >= to {
+                    return Ok(());
+                }
+                let nodes: Vec<Eid> = b.iter().map(|c| Eid::new(doc, c.xid)).collect();
+                match &mode {
+                    Mode::Current => {
+                        // The binding is valid now; report the current
+                        // content version.
+                        let entries = entries_of(self, doc)?;
+                        if let Some(e) = entries
+                            .iter()
+                            .rev()
+                            .find(|e| e.kind == VersionKind::Content)
+                        {
+                            out.push(Match { doc, version: e.version, ts: e.ts, nodes });
+                        }
+                        Ok(())
+                    }
+                    Mode::At(t) => {
+                        let Some(v) = resolve(self, doc, *t) else { return Ok(()) };
+                        debug_assert!(from <= v.0 && v.0 < to);
+                        let e = &entries_of(self, doc)?[v.0 as usize];
+                        out.push(Match { doc, version: v, ts: e.ts, nodes });
+                        Ok(())
+                    }
+                    Mode::All(interval) => {
+                        // Expand the joint range to content versions — the
+                        // temporal join's "valid at same time" — keeping
+                        // only versions committed inside the requested
+                        // interval (§8 rewriting).
+                        let entries = entries_of(self, doc)?;
+                        for e in entries.iter() {
+                            if e.kind != VersionKind::Content {
+                                continue;
+                            }
+                            if !interval.contains(e.ts) {
+                                continue;
+                            }
+                            if e.version.0 >= from && e.version.0 < to {
+                                out.push(Match {
+                                    doc,
+                                    version: e.version,
+                                    ts: e.ts,
+                                    nodes: nodes.clone(),
+                                });
+                            }
+                        }
+                        Ok(())
+                    }
+                }
+            })?;
+        }
+        // Deterministic output order: doc, version, then bound xids.
+        out.sort_by(|a, b| {
+            (a.doc, a.version, &a.nodes)
+                .cmp(&(b.doc, b.version, &b.nodes))
+        });
+        stats.matches = out.len();
+        Ok((out, stats))
+    }
+}
+
+/// Recursive structural join: bind pattern nodes in pre-order; node `k`'s
+/// candidate must satisfy the edge relationship with its pattern-parent's
+/// binding and overlap it temporally.
+fn join_rec<'c, 'p>(
+    flat: &FlatPattern<'_>,
+    per_node: &[&'c [Cand<'p>]],
+    doc: DocId,
+    binding: &mut Vec<&'c Cand<'p>>,
+    emit: &mut dyn FnMut(&[&Cand<'p>]) -> Result<()>,
+) -> Result<()> {
+    let k = binding.len();
+    if k == flat.nodes.len() {
+        return emit(binding);
+    }
+    let (pnode, parent_idx) = (&flat.nodes[k].0, flat.nodes[k].1);
+    for cand in per_node[k] {
+        if let Some(pi) = parent_idx {
+            let parent = binding[pi];
+            let ok = match pnode.edge {
+                PatternEdge::Child => {
+                    cand.path.len() >= 2 && cand.path[cand.path.len() - 2] == parent.xid
+                }
+                PatternEdge::Descendant => {
+                    cand.path.len() > 1
+                        && cand.path[..cand.path.len() - 1].contains(&parent.xid)
+                }
+            };
+            if !ok {
+                continue;
+            }
+            // Temporal overlap with everything bound so far.
+            if binding.iter().any(|b| cand.from >= b.to || b.from >= cand.to) {
+                continue;
+            }
+        }
+        let _ = doc;
+        binding.push(cand);
+        join_rec(flat, per_node, doc, binding, emit)?;
+        binding.pop();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txdb_xml::pattern::PatternNode;
+
+    fn ts(n: u64) -> Timestamp {
+        Timestamp::from_micros(n * 1000)
+    }
+
+    /// The Figure 1 database: guide.com restaurant list over four states.
+    fn figure1() -> Database {
+        let db = Database::in_memory();
+        // 01/01: Napoli 15
+        db.put(
+            "guide.com/restaurants",
+            "<guide><restaurant><name>Napoli</name><price>15</price></restaurant></guide>",
+            ts(101),
+        )
+        .unwrap();
+        // 15/01: + Akropolis 13
+        db.put(
+            "guide.com/restaurants",
+            "<guide><restaurant><name>Napoli</name><price>15</price></restaurant>\
+             <restaurant><name>Akropolis</name><price>13</price></restaurant></guide>",
+            ts(115),
+        )
+        .unwrap();
+        // 31/01: Akropolis gone, Napoli 18
+        db.put(
+            "guide.com/restaurants",
+            "<guide><restaurant><name>Napoli</name><price>18</price></restaurant></guide>",
+            ts(131),
+        )
+        .unwrap();
+        db
+    }
+
+    fn restaurant_pattern() -> PatternTree {
+        PatternTree::new(PatternNode::tag("restaurant").project())
+    }
+
+    #[test]
+    fn q1_snapshot_restaurants_at_26_01() {
+        // Q1: list all restaurants as of 26/01 → snapshot with 2 restaurants.
+        let db = figure1();
+        let m = db
+            .tpattern_scan(None, &restaurant_pattern(), ts(126))
+            .unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(m.iter().all(|x| x.version == VersionId(1)));
+        assert!(m.iter().all(|x| x.ts == ts(115)), "TEID ts = version commit time");
+    }
+
+    #[test]
+    fn snapshot_before_creation_is_empty() {
+        let db = figure1();
+        let m = db.tpattern_scan(None, &restaurant_pattern(), ts(50)).unwrap();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn current_scan_sees_only_latest() {
+        let db = figure1();
+        let m = db.pattern_scan(None, &restaurant_pattern()).unwrap();
+        assert_eq!(m.len(), 1, "only Napoli remains");
+        assert_eq!(m[0].version, VersionId(2));
+    }
+
+    #[test]
+    fn q3_price_history_of_napoli() {
+        // Q3: EVERY + name=Napoli → all versions of the Napoli restaurant.
+        let db = figure1();
+        let pattern = PatternTree::new(
+            PatternNode::tag("restaurant")
+                .project()
+                .child(PatternNode::tag("name").word("napoli")),
+        );
+        let m = db.tpattern_scan_all(None, &pattern).unwrap();
+        // Napoli exists in versions 0, 1, 2.
+        assert_eq!(m.len(), 3);
+        let versions: Vec<u32> = m.iter().map(|x| x.version.0).collect();
+        assert_eq!(versions, vec![0, 1, 2]);
+        // Akropolis appears in exactly one version.
+        let pattern = PatternTree::new(
+            PatternNode::tag("restaurant")
+                .project()
+                .child(PatternNode::tag("name").word("akropolis")),
+        );
+        let m = db.tpattern_scan_all(None, &pattern).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].version, VersionId(1));
+    }
+
+    #[test]
+    fn structural_join_parent_vs_ancestor() {
+        let db = Database::in_memory();
+        db.put(
+            "d",
+            "<a><b><c>deep</c></b><c>shallow</c></a>",
+            ts(1),
+        )
+        .unwrap();
+        // a isParentOf c → only the shallow c.
+        let p = PatternTree::new(
+            PatternNode::tag("a").child(PatternNode::tag("c").project()),
+        );
+        assert_eq!(db.pattern_scan(None, &p).unwrap().len(), 1);
+        // a isAscendantOf c → both.
+        let p = PatternTree::new(
+            PatternNode::tag("a").descendant(PatternNode::tag("c").project()),
+        );
+        assert_eq!(db.pattern_scan(None, &p).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn word_and_tag_conjunction_same_element() {
+        let db = Database::in_memory();
+        db.put("d", "<g><name>Napoli</name><city>Napoli</city></g>", ts(1))
+            .unwrap();
+        let p = PatternTree::new(PatternNode::tag("name").word("napoli"));
+        assert_eq!(db.pattern_scan(None, &p).unwrap().len(), 1);
+        let p = PatternTree::new(PatternNode::tag("city").word("napoli"));
+        assert_eq!(db.pattern_scan(None, &p).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn doc_filter_restricts() {
+        let db = Database::in_memory();
+        let d1 = db.put("one", "<g><r><n>X</n></r></g>", ts(1)).unwrap().doc;
+        db.put("two", "<g><r><n>X</n></r></g>", ts(2)).unwrap();
+        let p = PatternTree::new(PatternNode::tag("r"));
+        assert_eq!(db.pattern_scan(None, &p).unwrap().len(), 2);
+        assert_eq!(db.pattern_scan(Some(d1), &p).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn deleted_doc_excluded_from_current_but_not_history() {
+        let db = figure1();
+        db.delete("guide.com/restaurants", ts(140)).unwrap();
+        assert!(db.pattern_scan(None, &restaurant_pattern()).unwrap().is_empty());
+        // Snapshot before deletion still works.
+        assert_eq!(
+            db.tpattern_scan(None, &restaurant_pattern(), ts(126)).unwrap().len(),
+            2
+        );
+        // And inside the tombstone gap, nothing.
+        assert!(db
+            .tpattern_scan(None, &restaurant_pattern(), ts(150))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn temporal_join_rejects_disjoint_ranges() {
+        // An element whose word appears only in v0 and a sibling created in
+        // v1 never co-occur.
+        let db = Database::in_memory();
+        db.put("d", "<g><a>early</a></g>", ts(1)).unwrap();
+        db.put("d", "<g><a>late</a><b>other</b></g>", ts(2)).unwrap();
+        let p = PatternTree::new(
+            PatternNode::tag("g")
+                .child(PatternNode::tag("a").word("early"))
+                .child(PatternNode::tag("b")),
+        );
+        assert!(db.tpattern_scan_all(None, &p).unwrap().is_empty());
+        // But "late" and b co-exist in v1.
+        let p = PatternTree::new(
+            PatternNode::tag("g")
+                .child(PatternNode::tag("a").word("late"))
+                .child(PatternNode::tag("b")),
+        );
+        let m = db.tpattern_scan_all(None, &p).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].version, VersionId(1));
+    }
+
+    #[test]
+    fn stats_counters_populated() {
+        let db = figure1();
+        let p = PatternTree::new(
+            PatternNode::tag("restaurant").child(PatternNode::tag("name").word("napoli")),
+        );
+        let (m, stats) = db.tpattern_scan_counted(None, &p, ts(126)).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(stats.fti_lookups, 3, "restaurant, name, napoli");
+        assert!(stats.postings >= 3);
+        assert_eq!(stats.matches, 1);
+    }
+
+    #[test]
+    fn unconstrained_node_rejected() {
+        let db = figure1();
+        let p = PatternTree::new(PatternNode::any());
+        assert!(matches!(
+            db.pattern_scan(None, &p),
+            Err(Error::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn match_teids_projection() {
+        let db = figure1();
+        let pattern = PatternTree::new(
+            PatternNode::tag("restaurant")
+                .child(PatternNode::tag("name").word("napoli").project()),
+        );
+        let m = db.tpattern_scan(None, &pattern, ts(126)).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].teids().len(), 2);
+        assert_eq!(m[0].projected_teids(&pattern).len(), 1);
+    }
+}

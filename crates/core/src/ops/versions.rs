@@ -1,0 +1,134 @@
+//! `PreviousTS`, `NextTS` and `CurrentTS` (§7.3.7).
+//!
+//! "These operators can be evaluated by a lookup in the delta index for a
+//! particular document. The EID gives the document identifier, and given a
+//! certain timestamp the previous, next, and current timestamps can be
+//! found by a lookup in the delta index." The returned timestamp together
+//! with the EID (i.e. a TEID) can then be fed to `Reconstruct`.
+//!
+//! Semantics around tombstones: only *content* versions have timestamps to
+//! return; the version chain may contain deletion gaps, which these
+//! operators step across. `CurrentTS` returns `None` when the document is
+//! deleted (there is no current version); `NextTS` of the last version is
+//! `None`; `PreviousTS` of the first is `None` — matching the paper's note
+//! that the current version's timestamp "is given implicitly".
+
+use txdb_base::{Eid, Error, Result, Teid, Timestamp};
+use txdb_storage::repo::VersionKind;
+
+use crate::db::Database;
+
+impl Database {
+    /// `PreviousTS(TEID)` — the timestamp of the previous (content) version
+    /// of the element's document.
+    pub fn previous_ts(&self, teid: Teid) -> Result<Option<Timestamp>> {
+        let doc = teid.doc();
+        let v = self
+            .store()
+            .version_at(doc, teid.ts)?
+            .ok_or(Error::NotValidAt(doc, teid.ts))?;
+        let entries = self.store().versions(doc)?;
+        Ok(entries[..v.0 as usize]
+            .iter()
+            .rev()
+            .find(|e| e.kind == VersionKind::Content)
+            .map(|e| e.ts))
+    }
+
+    /// `NextTS(TEID)` — the timestamp of the next (content) version.
+    pub fn next_ts(&self, teid: Teid) -> Result<Option<Timestamp>> {
+        let doc = teid.doc();
+        let v = self
+            .store()
+            .version_at(doc, teid.ts)?
+            .ok_or(Error::NotValidAt(doc, teid.ts))?;
+        let entries = self.store().versions(doc)?;
+        Ok(entries[(v.0 as usize + 1)..]
+            .iter()
+            .find(|e| e.kind == VersionKind::Content)
+            .map(|e| e.ts))
+    }
+
+    /// `CurrentTS(EID)` — the timestamp of the current version of the
+    /// element's document ("timestamp is not needed for the current
+    /// version, as this is given implicitly"); `None` if deleted.
+    pub fn current_ts(&self, eid: Eid) -> Result<Option<Timestamp>> {
+        let entries = self.store().versions(eid.doc)?;
+        let Some(last) = entries.last() else { return Ok(None) };
+        if last.kind == VersionKind::Tombstone {
+            return Ok(None);
+        }
+        Ok(Some(last.ts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txdb_base::{DocId, Xid};
+
+    fn ts(n: u64) -> Timestamp {
+        Timestamp::from_micros(n * 1000)
+    }
+
+    fn db3() -> (Database, DocId, Eid) {
+        let db = Database::in_memory();
+        let doc = db.put("d", "<a>1</a>", ts(10)).unwrap().doc;
+        db.put("d", "<a>2</a>", ts(20)).unwrap();
+        db.put("d", "<a>3</a>", ts(30)).unwrap();
+        let eid = Eid::new(doc, Xid(1));
+        (db, doc, eid)
+    }
+
+    #[test]
+    fn previous_next_current_chain() {
+        let (db, _, eid) = db3();
+        // At t=25 we are in version 1 (@20).
+        let teid = eid.at(ts(25));
+        assert_eq!(db.previous_ts(teid).unwrap(), Some(ts(10)));
+        assert_eq!(db.next_ts(teid).unwrap(), Some(ts(30)));
+        assert_eq!(db.current_ts(eid).unwrap(), Some(ts(30)));
+        // Hopping: PREVIOUS(PREVIOUS(current)) reaches v0.
+        let prev = db.previous_ts(eid.at(ts(99))).unwrap().unwrap();
+        let prev2 = db.previous_ts(eid.at(prev)).unwrap().unwrap();
+        assert_eq!(prev2, ts(10));
+    }
+
+    #[test]
+    fn boundaries_are_none() {
+        let (db, _, eid) = db3();
+        assert_eq!(db.previous_ts(eid.at(ts(10))).unwrap(), None);
+        assert_eq!(db.next_ts(eid.at(ts(35))).unwrap(), None);
+    }
+
+    #[test]
+    fn tombstones_are_stepped_over() {
+        let db = Database::in_memory();
+        let doc = db.put("d", "<a>1</a>", ts(10)).unwrap().doc;
+        db.delete("d", ts(20)).unwrap();
+        db.put("d", "<a>2</a>", ts(30)).unwrap();
+        let eid = Eid::new(doc, Xid(1));
+        // From the resurrected version, previous content version is v0.
+        assert_eq!(db.previous_ts(eid.at(ts(30))).unwrap(), Some(ts(10)));
+        // From v0, next content version skips the tombstone.
+        assert_eq!(db.next_ts(eid.at(ts(10))).unwrap(), Some(ts(30)));
+        assert_eq!(db.current_ts(eid).unwrap(), Some(ts(30)));
+        db.delete("d", ts(40)).unwrap();
+        assert_eq!(db.current_ts(eid).unwrap(), None);
+    }
+
+    #[test]
+    fn combined_with_reconstruct() {
+        // The §6 example: retrieve the previous version of an element.
+        let (db, _, eid) = db3();
+        let prev_ts = db.previous_ts(eid.at(ts(99))).unwrap().unwrap();
+        let prev_tree = db.reconstruct(eid.at(prev_ts)).unwrap();
+        assert_eq!(txdb_xml::serialize::to_string(&prev_tree), "<a>2</a>");
+    }
+
+    #[test]
+    fn invalid_time_errors() {
+        let (db, _, eid) = db3();
+        assert!(db.previous_ts(eid.at(ts(1))).is_err());
+    }
+}

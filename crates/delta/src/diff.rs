@@ -1,0 +1,848 @@
+//! XyDiff-style tree diff with XID preservation.
+//!
+//! Computes a completed [`Delta`] turning `old` into `new` while assigning
+//! persistent identifiers: nodes of `new` matched to nodes of `old` keep
+//! their XID (§3.2 — identity persists across versions), unmatched nodes
+//! draw fresh XIDs that are never reused.
+//!
+//! The algorithm follows the published sketch of Cobéna, Abiteboul & Marian
+//! (the paper's \[7\], the diff behind Xyleme's version management):
+//!
+//! 1. **Exact subtree matching** — both trees are hashed bottom-up
+//!    ([`txdb_xml::hash::SubtreeHashes`]); identical subtrees are matched
+//!    greedily, heaviest first, preferring candidates whose parents are
+//!    already matched (verified with `deep_eq`, so hash collisions cannot
+//!    corrupt the result).
+//! 2. **Upward propagation** — parents of matched nodes with equal element
+//!    names are matched, repeatedly.
+//! 3. **Child alignment** — for every matched element pair, the still
+//!    unmatched children are aligned by an LCS over their *labels* (element
+//!    name / text-ness), then leftovers are paired greedily by label. Newly
+//!    aligned pairs are processed recursively. Aligned text nodes with
+//!    different values become `UpdateText`; aligned elements recurse.
+//! 4. **Script generation** — one top-down pass over `new` emits
+//!    `Move`/`InsertSubtree`/`UpdateText`/`SetAttr` ops and a final pass
+//!    deletes unmatched `old` subtrees. Every op is *replayed on a working
+//!    copy while being recorded*, so positions and displaced timestamps are
+//!    exactly what forward application will see — the generated script is
+//!    correct by construction, not by convention.
+
+use std::collections::{HashMap, HashSet};
+
+use txdb_base::{Result, Timestamp, VersionId, Xid};
+use txdb_xml::equality::deep_eq;
+use txdb_xml::hash::SubtreeHashes;
+use txdb_xml::tree::{NodeId, NodeKind, Tree};
+
+use crate::ops::{Applier, Delta, EditOp};
+
+/// Outcome of a diff: the delta plus matching statistics (used by the
+/// diff experiments, E10).
+#[derive(Debug)]
+pub struct DiffResult {
+    /// The completed delta (forward: old → new).
+    pub delta: Delta,
+    /// Nodes of `new` matched to nodes of `old` (identity preserved).
+    pub nodes_matched: usize,
+    /// Nodes of `new` that were inserted (fresh XIDs).
+    pub nodes_inserted: usize,
+    /// Nodes of `old` that were deleted.
+    pub nodes_deleted: usize,
+}
+
+/// Diffs `old` against `new`.
+///
+/// Requirements: every node of `old` has a non-`NONE` XID. On return,
+/// every node of `new` has an XID (preserved or fresh from `next_xid`) and
+/// a direct timestamp consistent with forward application of the delta at
+/// `to_ts`, i.e. `apply_forward(old.clone())` produces a forest identical
+/// to `new` including XIDs and timestamps.
+pub fn diff_trees(
+    old: &Tree,
+    new: &mut Tree,
+    next_xid: &mut Xid,
+    from_version: VersionId,
+    from_ts: Timestamp,
+    to_ts: Timestamp,
+) -> Result<DiffResult> {
+    let matching = compute_matching(old, new);
+
+    // Assign XIDs: matched nodes keep identity, the rest draw fresh ids.
+    let mut inserted = 0usize;
+    {
+        let new_ids: Vec<NodeId> = new.iter().collect();
+        for n in new_ids {
+            match matching.new_to_old.get(&n) {
+                Some(&o) => {
+                    new.node_mut(n).xid = old.node(o).xid;
+                    new.node_mut(n).ts = old.node(o).ts;
+                }
+                None => {
+                    new.node_mut(n).xid = *next_xid;
+                    *next_xid = next_xid.next();
+                    new.node_mut(n).ts = to_ts;
+                    inserted += 1;
+                }
+            }
+        }
+    }
+
+    // Generate the script on a working copy.
+    let mut work = old.clone();
+    let mut gen = ScriptGen {
+        new,
+        matching: &matching,
+        applier: Applier::new(&mut work),
+        ops: Vec::new(),
+        to_ts,
+    };
+    gen.emit_structure()?;
+    gen.emit_deletes()?;
+    let ops = gen.ops;
+
+    // The working copy is now exactly the post-state including displaced
+    // timestamps; copy its direct timestamps onto `new` (nodes touched by
+    // deletes/moves differ from the pre-assignment above).
+    let ts_by_xid: HashMap<Xid, Timestamp> =
+        work.iter().map(|n| (work.node(n).xid, work.node(n).ts)).collect();
+    let new_ids: Vec<NodeId> = new.iter().collect();
+    for n in new_ids {
+        let x = new.node(n).xid;
+        if let Some(&ts) = ts_by_xid.get(&x) {
+            new.node_mut(n).ts = ts;
+        }
+    }
+    debug_assert!(forest_identical(&work, new), "diff replay mismatch");
+
+    let nodes_deleted = old.len() + inserted - new.len();
+    Ok(DiffResult {
+        delta: Delta {
+            from_version,
+            to_version: from_version.next(),
+            from_ts,
+            to_ts,
+            ops,
+        },
+        nodes_matched: matching.new_to_old.len(),
+        nodes_inserted: inserted,
+        nodes_deleted,
+    })
+}
+
+/// Structural identity including XIDs and timestamps — used to validate
+/// diff replay in tests and debug builds.
+pub fn forest_identical(a: &Tree, b: &Tree) -> bool {
+    fn node_identical(ta: &Tree, na: NodeId, tb: &Tree, nb: NodeId) -> bool {
+        let (x, y) = (ta.node(na), tb.node(nb));
+        x.xid == y.xid
+            && x.ts == y.ts
+            && x.kind == y.kind
+            && x.children().len() == y.children().len()
+            && x.children()
+                .iter()
+                .zip(y.children())
+                .all(|(&ca, &cb)| node_identical(ta, ca, tb, cb))
+    }
+    a.roots().len() == b.roots().len()
+        && a.roots()
+            .iter()
+            .zip(b.roots())
+            .all(|(&ra, &rb)| node_identical(a, ra, b, rb))
+}
+
+struct Matching {
+    old_to_new: HashMap<NodeId, NodeId>,
+    new_to_old: HashMap<NodeId, NodeId>,
+}
+
+impl Matching {
+    fn link(&mut self, o: NodeId, n: NodeId) {
+        let a = self.old_to_new.insert(o, n);
+        let b = self.new_to_old.insert(n, o);
+        debug_assert!(a.is_none() && b.is_none(), "double match");
+    }
+}
+
+fn compute_matching(old: &Tree, new: &Tree) -> Matching {
+    let mut m = Matching { old_to_new: HashMap::new(), new_to_old: HashMap::new() };
+    let h_old = SubtreeHashes::compute(old);
+    let h_new = SubtreeHashes::compute(new);
+
+    // Phase 1: exact subtree matching, heaviest first.
+    let mut by_hash: HashMap<u64, Vec<NodeId>> = HashMap::new();
+    for o in old.iter() {
+        by_hash.entry(h_old.hash(o)).or_default().push(o);
+    }
+    let mut new_nodes: Vec<NodeId> = new.iter().collect();
+    new_nodes.sort_by_key(|&n| std::cmp::Reverse(h_new.size(n)));
+    for n in new_nodes {
+        if m.new_to_old.contains_key(&n) {
+            continue;
+        }
+        let Some(cands) = by_hash.get(&h_new.hash(n)) else { continue };
+        // Prefer a candidate whose parent is matched to n's parent.
+        let n_parent_old = new
+            .node(n)
+            .parent()
+            .and_then(|p| m.new_to_old.get(&p).copied());
+        let mut chosen = None;
+        for &o in cands {
+            if m.old_to_new.contains_key(&o) || !deep_eq(old, o, new, n) {
+                continue;
+            }
+            let same_context = match (old.node(o).parent(), n_parent_old) {
+                (Some(op), Some(exp)) => op == exp,
+                (None, None) => true,
+                _ => false,
+            };
+            if same_context {
+                chosen = Some(o);
+                break;
+            }
+            if chosen.is_none() {
+                chosen = Some(o);
+            }
+        }
+        if let Some(o) = chosen {
+            match_subtrees(old, o, new, n, &mut m);
+        }
+    }
+
+    // Phase 2: upward propagation.
+    let pairs: Vec<(NodeId, NodeId)> =
+        m.old_to_new.iter().map(|(&o, &n)| (o, n)).collect();
+    for (mut o, mut n) in pairs {
+        #[allow(clippy::while_let_loop)]
+        loop {
+            let (Some(po), Some(pn)) = (old.node(o).parent(), new.node(n).parent()) else {
+                break;
+            };
+            if m.old_to_new.contains_key(&po) || m.new_to_old.contains_key(&pn) {
+                break;
+            }
+            let same_name = match (old.node(po).name(), new.node(pn).name()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            };
+            if !same_name {
+                break;
+            }
+            m.link(po, pn);
+            o = po;
+            n = pn;
+        }
+    }
+
+    // Phase 3: recursive child alignment from matched pairs and the
+    // forest root level.
+    let mut queue: Vec<(Option<NodeId>, Option<NodeId>)> = vec![(None, None)];
+    let pairs: Vec<(NodeId, NodeId)> =
+        m.old_to_new.iter().map(|(&o, &n)| (o, n)).collect();
+    queue.extend(pairs.into_iter().map(|(o, n)| (Some(o), Some(n))));
+    let mut qi = 0;
+    while qi < queue.len() {
+        let (o, n) = queue[qi];
+        qi += 1;
+        let old_children: Vec<NodeId> = match o {
+            Some(o) => old.node(o).children().to_vec(),
+            None => old.roots().to_vec(),
+        };
+        let new_children: Vec<NodeId> = match n {
+            Some(n) => new.node(n).children().to_vec(),
+            None => new.roots().to_vec(),
+        };
+        let old_un: Vec<NodeId> = old_children
+            .iter()
+            .copied()
+            .filter(|c| !m.old_to_new.contains_key(c))
+            .collect();
+        let new_un: Vec<NodeId> = new_children
+            .iter()
+            .copied()
+            .filter(|c| !m.new_to_old.contains_key(c))
+            .collect();
+        if old_un.is_empty() || new_un.is_empty() {
+            continue;
+        }
+        let keys_old: Vec<Label> = old_un.iter().map(|&c| label(old, c)).collect();
+        let keys_new: Vec<Label> = new_un.iter().map(|&c| label(new, c)).collect();
+        let lcs_pairs = lcs(&keys_old, &keys_new);
+        let mut used_old: HashSet<usize> = HashSet::new();
+        let mut used_new: HashSet<usize> = HashSet::new();
+        let mut newly: Vec<(NodeId, NodeId)> = Vec::new();
+        for (i, j) in lcs_pairs {
+            newly.push((old_un[i], new_un[j]));
+            used_old.insert(i);
+            used_new.insert(j);
+        }
+        // Greedy pass for leftovers with equal labels, in order.
+        let mut j_iter = 0usize;
+        for i in 0..old_un.len() {
+            if used_old.contains(&i) {
+                continue;
+            }
+            while j_iter < new_un.len() {
+                let j = j_iter;
+                j_iter += 1;
+                if used_new.contains(&j) {
+                    continue;
+                }
+                if keys_old[i] == keys_new[j] {
+                    newly.push((old_un[i], new_un[j]));
+                    used_old.insert(i);
+                    used_new.insert(j);
+                    break;
+                }
+            }
+        }
+        for (oc, nc) in newly {
+            m.link(oc, nc);
+            queue.push((Some(oc), Some(nc)));
+        }
+    }
+    m
+}
+
+/// Matches two structurally identical subtrees node-by-node (pre-order zip).
+fn match_subtrees(old: &Tree, o: NodeId, new: &Tree, n: NodeId, m: &mut Matching) {
+    let oi: Vec<NodeId> = old.descendants(o).collect();
+    let ni: Vec<NodeId> = new.descendants(n).collect();
+    debug_assert_eq!(oi.len(), ni.len());
+    for (a, b) in oi.into_iter().zip(ni) {
+        if !m.old_to_new.contains_key(&a) && !m.new_to_old.contains_key(&b) {
+            m.link(a, b);
+        }
+    }
+}
+
+/// Alignment label: element name or "text node".
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Label {
+    Elem(String),
+    Text,
+}
+
+fn label(tree: &Tree, n: NodeId) -> Label {
+    match tree.node(n).name() {
+        Some(name) => Label::Elem(name.to_string()),
+        None => Label::Text,
+    }
+}
+
+/// Longest common subsequence of two label sequences, returning index pairs.
+fn lcs<T: PartialEq>(a: &[T], b: &[T]) -> Vec<(usize, usize)> {
+    let (n, m) = (a.len(), b.len());
+    let mut dp = vec![0u32; (n + 1) * (m + 1)];
+    let at = |i: usize, j: usize| i * (m + 1) + j;
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            dp[at(i, j)] = if a[i] == b[j] {
+                dp[at(i + 1, j + 1)] + 1
+            } else {
+                dp[at(i + 1, j)].max(dp[at(i, j + 1)])
+            };
+        }
+    }
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            out.push((i, j));
+            i += 1;
+            j += 1;
+        } else if dp[at(i + 1, j)] >= dp[at(i, j + 1)] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Emits the edit script, replaying each op on the working copy so that
+/// recorded positions and timestamps match forward application exactly.
+struct ScriptGen<'a, 'w> {
+    new: &'a Tree,
+    matching: &'a Matching,
+    applier: Applier<'w>,
+    ops: Vec<EditOp>,
+    to_ts: Timestamp,
+}
+
+impl ScriptGen<'_, '_> {
+    fn emit(&mut self, op: EditOp) -> Result<()> {
+        self.applier.apply(&op, self.to_ts)?;
+        self.ops.push(op);
+        Ok(())
+    }
+
+    /// Top-down walk over `new`: aligns every matched parent's child list
+    /// with moves and inserts, and applies value updates on matched pairs.
+    fn emit_structure(&mut self) -> Result<()> {
+        // Virtual root first (forest level), then matched elements in
+        // pre-order of `new`.
+        self.align_children(None)?;
+        let order: Vec<NodeId> = self.new.iter().collect();
+        for n in order {
+            if self.matching.new_to_old.contains_key(&n) {
+                self.update_values(n)?;
+                if self.new.node(n).is_element() {
+                    self.align_children(Some(n))?;
+                }
+            } else if self.new.node(n).is_element() && self.was_single_insert(n) {
+                self.align_children(Some(n))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// True when `n` was inserted as a single node (has matched or
+    /// separately-inserted descendants handled by alignment).
+    fn was_single_insert(&self, n: NodeId) -> bool {
+        subtree_has_match(self.new, n, &self.matching.new_to_old)
+    }
+
+    /// Aligns the children of the new node `n` (or the forest roots when
+    /// `None`) in the working copy.
+    fn align_children(&mut self, n: Option<NodeId>) -> Result<()> {
+        let parent_xid = match n {
+            Some(id) => self.new.node(id).xid,
+            None => Xid::NONE,
+        };
+        let desired: Vec<NodeId> = match n {
+            Some(id) => self.new.node(id).children().to_vec(),
+            None => self.new.roots().to_vec(),
+        };
+        for (i, &c) in desired.iter().enumerate() {
+            if self.matching.new_to_old.contains_key(&c) {
+                // Matched: ensure it sits at (parent_xid, i) in the work tree.
+                let cx = self.new.node(c).xid;
+                let w = self.applier.lookup(cx)?;
+                let wt = self.applier.tree();
+                let cur_parent = wt
+                    .node(w)
+                    .parent()
+                    .map(|p| wt.node(p).xid)
+                    .unwrap_or(Xid::NONE);
+                let cur_pos = wt.position(w);
+                if cur_parent != parent_xid || cur_pos != i {
+                    let old_ts = wt.node(w).ts;
+                    let old_parent_ts = if cur_parent.is_none() {
+                        Timestamp::ZERO
+                    } else {
+                        wt.node(self.applier.lookup(cur_parent)?).ts
+                    };
+                    self.emit(EditOp::Move {
+                        xid: cx,
+                        old_parent: cur_parent,
+                        old_pos: cur_pos,
+                        new_parent: parent_xid,
+                        new_pos: i,
+                        old_ts,
+                        old_parent_ts,
+                    })?;
+                }
+            } else if subtree_has_match(self.new, c, &self.matching.new_to_old) {
+                // Insert just this node; its children are placed by later
+                // alignment of `c` itself.
+                let mut single = Tree::new();
+                let root = match &self.new.node(c).kind {
+                    NodeKind::Element { name, attrs } => {
+                        let e = single.new_element(name.clone());
+                        for (k, v) in attrs {
+                            single.set_attr(e, k.clone(), v.clone());
+                        }
+                        e
+                    }
+                    NodeKind::Text { value } => single.new_text(value.clone()),
+                };
+                single.node_mut(root).xid = self.new.node(c).xid;
+                single.node_mut(root).ts = self.to_ts;
+                single.push_root(root);
+                self.emit(EditOp::InsertSubtree { parent: parent_xid, pos: i, subtree: single })?;
+            } else {
+                // Whole fresh subtree.
+                let payload = self.new.extract_subtree(c);
+                self.emit(EditOp::InsertSubtree { parent: parent_xid, pos: i, subtree: payload })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits text/attribute updates for the matched new node `n`.
+    fn update_values(&mut self, n: NodeId) -> Result<()> {
+        let xid = self.new.node(n).xid;
+        let w = self.applier.lookup(xid)?;
+        let (old_kind, old_ts) = {
+            let wt = self.applier.tree();
+            (wt.node(w).kind.clone(), wt.node(w).ts)
+        };
+        match (&old_kind, &self.new.node(n).kind) {
+            (NodeKind::Text { value: ov }, NodeKind::Text { value: nv }) => {
+                if ov != nv {
+                    self.emit(EditOp::UpdateText {
+                        xid,
+                        old: ov.clone(),
+                        new: nv.clone(),
+                        old_ts,
+                    })?;
+                }
+            }
+            (
+                NodeKind::Element { attrs: oa, .. },
+                NodeKind::Element { attrs: na, .. },
+            ) => {
+                // Removed or changed attributes.
+                let mut ops: Vec<EditOp> = Vec::new();
+                for (k, ov) in oa {
+                    match na.iter().find(|(nk, _)| nk == k) {
+                        None => ops.push(EditOp::SetAttr {
+                            xid,
+                            key: k.clone(),
+                            old: Some(ov.clone()),
+                            new: None,
+                            old_ts,
+                        }),
+                        Some((_, nv)) if nv != ov => ops.push(EditOp::SetAttr {
+                            xid,
+                            key: k.clone(),
+                            old: Some(ov.clone()),
+                            new: Some(nv.clone()),
+                            old_ts,
+                        }),
+                        _ => {}
+                    }
+                }
+                for (k, nv) in na {
+                    if !oa.iter().any(|(ok, _)| ok == k) {
+                        ops.push(EditOp::SetAttr {
+                            xid,
+                            key: k.clone(),
+                            old: None,
+                            new: Some(nv.clone()),
+                            old_ts,
+                        });
+                    }
+                }
+                // Chained attr ops on the same node: later ops displace the
+                // already-stamped ts; record the current ts at emit time.
+                for (idx, mut op) in ops.into_iter().enumerate() {
+                    if idx > 0 {
+                        if let EditOp::SetAttr { old_ts: ts_slot, .. } = &mut op {
+                            *ts_slot = self.to_ts;
+                        }
+                    }
+                    self.emit(op)?;
+                }
+            }
+            _ => unreachable!("matching never pairs text with element"),
+        }
+        Ok(())
+    }
+
+    /// Deletes every unmatched old subtree still present in the work tree.
+    fn emit_deletes(&mut self) -> Result<()> {
+        // The work tree now contains exactly: matched nodes (placed) and
+        // unmatched old nodes. Collect topmost unmatched-by-xid subtrees.
+        let new_xids: HashSet<Xid> = self.new.iter().map(|n| self.new.node(n).xid).collect();
+        loop {
+            // Re-scan after each delete: arena ids shift.
+            let wt = self.applier.tree();
+            let mut victim: Option<(Xid, Xid, usize)> = None;
+            let mut stack: Vec<NodeId> = wt.roots().iter().rev().copied().collect();
+            while let Some(id) = stack.pop() {
+                let x = wt.node(id).xid;
+                if !new_xids.contains(&x) {
+                    let parent = wt
+                        .node(id)
+                        .parent()
+                        .map(|p| wt.node(p).xid)
+                        .unwrap_or(Xid::NONE);
+                    victim = Some((x, parent, wt.position(id)));
+                    break;
+                }
+                stack.extend(wt.node(id).children().iter().rev());
+            }
+            let Some((x, parent, pos)) = victim else { break };
+            let wt = self.applier.tree();
+            let id = self.applier.lookup(x)?;
+            let subtree = wt.extract_subtree(id);
+            let old_parent_ts = if parent.is_none() {
+                Timestamp::ZERO
+            } else {
+                wt.node(self.applier.lookup(parent)?).ts
+            };
+            self.emit(EditOp::DeleteSubtree { parent, pos, subtree, old_parent_ts })?;
+        }
+        Ok(())
+    }
+}
+
+/// True when any node of the subtree rooted at `n` (excluding `n` itself)
+/// is matched.
+fn subtree_has_match(tree: &Tree, n: NodeId, matched: &HashMap<NodeId, NodeId>) -> bool {
+    tree.descendants(n).skip(1).any(|d| matched.contains_key(&d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txdb_xml::parse::parse_document;
+    use txdb_xml::serialize::to_string;
+
+    /// Sets up an old tree with XIDs 1..n and ts=100.
+    fn old_tree(src: &str) -> (Tree, Xid) {
+        let mut t = parse_document(src).unwrap();
+        let ids: Vec<NodeId> = t.iter().collect();
+        for (i, id) in ids.iter().enumerate() {
+            t.node_mut(*id).xid = Xid(i as u64 + 1);
+            t.node_mut(*id).ts = Timestamp::from_micros(100);
+        }
+        let next = Xid(ids.len() as u64 + 1);
+        (t, next)
+    }
+
+    /// Runs the diff and verifies forward/backward replay.
+    fn check(old_src: &str, new_src: &str) -> (DiffResult, Tree, Tree) {
+        let (old, mut next) = old_tree(old_src);
+        let mut new = parse_document(new_src).unwrap();
+        let res = diff_trees(
+            &old,
+            &mut new,
+            &mut next,
+            VersionId(0),
+            Timestamp::from_micros(100),
+            Timestamp::from_micros(200),
+        )
+        .unwrap();
+        // Forward replay reproduces `new` exactly (structure + identity).
+        let mut fwd = old.clone();
+        res.delta.apply_forward(&mut fwd).unwrap();
+        assert!(forest_identical(&fwd, &new), "forward replay mismatch");
+        // Backward replay restores `old` exactly.
+        let mut bwd = fwd.clone();
+        res.delta.apply_backward(&mut bwd).unwrap();
+        assert!(forest_identical(&bwd, &old), "backward replay mismatch");
+        (res, old, new)
+    }
+
+    #[test]
+    fn identical_trees_empty_delta() {
+        let (res, ..) = check("<a><b>x</b></a>", "<a><b>x</b></a>");
+        assert!(res.delta.is_empty());
+        assert_eq!(res.nodes_inserted, 0);
+        assert_eq!(res.nodes_deleted, 0);
+    }
+
+    #[test]
+    fn text_update_small_delta() {
+        let (res, _, new) = check(
+            "<r><name>Napoli</name><price>15</price></r>",
+            "<r><name>Napoli</name><price>18</price></r>",
+        );
+        assert_eq!(res.delta.ops.len(), 1);
+        assert!(matches!(res.delta.ops[0], EditOp::UpdateText { .. }));
+        // All nodes keep identity.
+        assert_eq!(res.nodes_inserted, 0);
+        // price element keeps its xid but its text child got new ts.
+        let price_text = new
+            .iter()
+            .find(|&n| new.node(n).text() == Some("18"))
+            .unwrap();
+        assert_eq!(new.node(price_text).ts, Timestamp::from_micros(200));
+        assert_eq!(new.node(price_text).xid, Xid(5));
+    }
+
+    #[test]
+    fn insert_new_sibling() {
+        let (res, _, new) = check(
+            "<guide><restaurant><name>Napoli</name></restaurant></guide>",
+            "<guide><restaurant><name>Napoli</name></restaurant>\
+             <restaurant><name>Akropolis</name></restaurant></guide>",
+        );
+        assert_eq!(res.delta.ops.len(), 1);
+        assert!(matches!(res.delta.ops[0], EditOp::InsertSubtree { pos: 1, .. }));
+        assert_eq!(res.nodes_inserted, 3);
+        // Fresh xids beyond the old range.
+        let max_xid = new.iter().map(|n| new.node(n).xid.0).max().unwrap();
+        assert!(max_xid >= 7);
+    }
+
+    #[test]
+    fn delete_subtree() {
+        let (res, ..) = check(
+            "<g><r><n>A</n></r><r><n>B</n></r></g>",
+            "<g><r><n>A</n></r></g>",
+        );
+        assert_eq!(res.delta.ops.len(), 1);
+        assert!(matches!(res.delta.ops[0], EditOp::DeleteSubtree { .. }));
+        assert_eq!(res.nodes_deleted, 3);
+    }
+
+    #[test]
+    fn attribute_changes() {
+        let (res, ..) = check(
+            r#"<r category="italian" stars="2"/>"#,
+            r#"<r category="greek" rating="5"/>"#,
+        );
+        // change category, remove stars, add rating
+        assert_eq!(res.delta.ops.len(), 3);
+        assert!(res
+            .delta
+            .ops
+            .iter()
+            .all(|o| matches!(o, EditOp::SetAttr { .. })));
+    }
+
+    #[test]
+    fn move_detected_for_identical_subtree() {
+        let (res, _, new) = check(
+            "<g><a><big><x>1</x><y>2</y><z>3</z></big></a><b/></g>",
+            "<g><a/><b><big><x>1</x><y>2</y><z>3</z></big></b></g>",
+        );
+        // The heavy identical subtree must be moved, not delete+insert.
+        assert!(
+            res.delta.ops.iter().any(|o| matches!(o, EditOp::Move { .. })),
+            "expected a move, got {:?}",
+            res.delta.ops
+        );
+        assert_eq!(res.nodes_inserted, 0);
+        assert_eq!(res.nodes_deleted, 0);
+        // `big` keeps its xid.
+        let big = new.iter().find(|&n| new.node(n).name() == Some("big")).unwrap();
+        assert_eq!(new.node(big).xid, Xid(3));
+    }
+
+    #[test]
+    fn reorder_children() {
+        let (res, ..) = check(
+            "<l><i>1</i><i>2</i><i>3</i></l>",
+            "<l><i>3</i><i>1</i><i>2</i></l>",
+        );
+        // One move suffices (3 to front); LCS keeps 1,2 in place.
+        let moves = res
+            .delta
+            .ops
+            .iter()
+            .filter(|o| matches!(o, EditOp::Move { .. }))
+            .count();
+        assert_eq!(moves, 1, "ops: {:?}", res.delta.ops);
+        assert_eq!(res.nodes_inserted, 0);
+    }
+
+    #[test]
+    fn rename_is_delete_plus_insert() {
+        let (res, ..) = check("<g><old>x</old></g>", "<g><new>x</new></g>");
+        assert!(res.delta.ops.iter().any(|o| matches!(o, EditOp::InsertSubtree { .. })));
+        assert!(res.delta.ops.iter().any(|o| matches!(o, EditOp::DeleteSubtree { .. })));
+    }
+
+    #[test]
+    fn insert_wrapper_around_matched_content() {
+        // New element wraps existing (matched) children: single-node insert
+        // + moves.
+        let (res, _, new) = check(
+            "<g><a>1</a><b>2</b></g>",
+            "<g><wrap><a>1</a><b>2</b></wrap></g>",
+        );
+        assert_eq!(res.nodes_inserted, 1, "only <wrap> is new: {:?}", res.delta.ops);
+        let a = new.iter().find(|&n| new.node(n).name() == Some("a")).unwrap();
+        assert_eq!(new.node(a).xid, Xid(2), "a keeps identity");
+    }
+
+    #[test]
+    fn from_empty_tree_inserts_everything() {
+        let old = Tree::new();
+        let mut next = Xid::FIRST;
+        let mut new = parse_document("<a><b>x</b></a>").unwrap();
+        let res = diff_trees(
+            &old,
+            &mut new,
+            &mut next,
+            VersionId(0),
+            Timestamp::ZERO,
+            Timestamp::from_micros(10),
+        )
+        .unwrap();
+        assert_eq!(res.nodes_inserted, 3);
+        let mut fwd = Tree::new();
+        res.delta.apply_forward(&mut fwd).unwrap();
+        assert!(forest_identical(&fwd, &new));
+        assert_eq!(to_string(&fwd), "<a><b>x</b></a>");
+    }
+
+    #[test]
+    fn restaurant_guide_sequence() {
+        // Figure 1's version sequence as one chained test.
+        let v0 = "<guide><restaurant><name>Napoli</name><price>15</price></restaurant></guide>";
+        let v1 = "<guide><restaurant><name>Napoli</name><price>15</price></restaurant>\
+                  <restaurant><name>Akropolis</name><price>13</price></restaurant></guide>";
+        let v2 = "<guide><restaurant><name>Napoli</name><price>18</price></restaurant></guide>";
+        let (d01, ..) = check(v0, v1);
+        assert_eq!(d01.delta.ops.len(), 1);
+        let (d12, ..) = check(v1, v2);
+        // delete Akropolis + update price
+        assert_eq!(d12.delta.ops.len(), 2, "{:?}", d12.delta.ops);
+    }
+
+    #[test]
+    fn xids_never_reused_after_delete_and_reinsert() {
+        // §7.4: deleted and reintroduced content gets a NEW xid.
+        let v0 = "<g><r><n>Napoli</n></r></g>";
+        let v1 = "<g/>";
+        let v2 = "<g><r><n>Napoli</n></r></g>";
+        let (old, mut next) = old_tree(v0);
+        let mut t1 = parse_document(v1).unwrap();
+        let d1 = diff_trees(
+            &old,
+            &mut t1,
+            &mut next,
+            VersionId(0),
+            Timestamp::from_micros(100),
+            Timestamp::from_micros(200),
+        )
+        .unwrap();
+        assert_eq!(d1.nodes_deleted, 3);
+        let mut t2 = parse_document(v2).unwrap();
+        let _d2 = diff_trees(
+            &t1,
+            &mut t2,
+            &mut next,
+            VersionId(1),
+            Timestamp::from_micros(200),
+            Timestamp::from_micros(300),
+        )
+        .unwrap();
+        let r = t2.iter().find(|&n| t2.node(n).name() == Some("r")).unwrap();
+        assert!(t2.node(r).xid.0 > 4, "reintroduced element has fresh xid");
+    }
+
+    #[test]
+    fn timestamps_after_delete_stamp_parent() {
+        let (res, _, new) = check("<g><a/><b/></g>", "<g><a/></g>");
+        let _ = res;
+        let g = new.root().unwrap();
+        // Parent g was stamped by the delete.
+        assert_eq!(new.node(g).ts, Timestamp::from_micros(200));
+        assert_eq!(new.effective_ts(g), Timestamp::from_micros(200));
+    }
+
+    #[test]
+    fn deep_random_like_workload() {
+        // A broader structural shuffle to exercise all op kinds at once.
+        let (res, ..) = check(
+            r#"<db><t a="1"><u>one</u><v>two</v></t><t a="2"><u>three</u></t><junk/></db>"#,
+            r#"<db><t a="2"><u>three</u><w>new</w></t><t a="9"><u>one!</u><v>two</v></t></db>"#,
+        );
+        assert!(!res.delta.ops.is_empty());
+    }
+
+    #[test]
+    fn lcs_basic() {
+        let a = ["a", "b", "c", "d"];
+        let b = ["b", "d", "e"];
+        let pairs = lcs(&a, &b);
+        assert_eq!(pairs, vec![(1, 0), (3, 1)]);
+        assert!(lcs::<&str>(&[], &b).is_empty());
+    }
+}

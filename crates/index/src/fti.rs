@@ -1,0 +1,528 @@
+//! The temporal full-text index (§7.2).
+//!
+//! One inverted list per token. A token is either an element's (lowercased)
+//! tag name — a *Name* occurrence — or a word from the element's own
+//! attribute keys/values and immediate text children — a *Word* occurrence.
+//! Occurrences are attributed to the containing element, exactly what the
+//! `PatternScan` join needs.
+//!
+//! A [`Posting`] covers a half-open **version range** `[from, to)` of its
+//! document: it is opened when the occurrence appears and closed by the
+//! version (or deletion) that removes it — the paper's chosen alternative,
+//! "index the contents of the versions", with version numbers instead of
+//! timestamps (§7.1: timestamps live in the delta index). The hierarchical
+//! information is the element's *xid-path* (chain of XIDs from the root):
+//! persistent XIDs make parent/ancestor tests decidable from two postings
+//! alone.
+//!
+//! The three lookup modes map directly onto ranges:
+//!
+//! * [`FullTextIndex::lookup`] — postings whose range is still open
+//!   (current versions of undeleted documents);
+//! * [`FullTextIndex::lookup_t`] — postings whose range contains the
+//!   version valid at time *t* (the caller resolves time → version per
+//!   document through the delta index);
+//! * [`FullTextIndex::lookup_h`] — every posting, all times.
+//!
+//! The index lives in memory and is maintained incrementally by
+//! [`crate::maint::IndexSet`]; persistence is deliberately out of scope
+//! (the paper treats the FTI as "basic (or primary)" access structure and
+//! the experiments measure lookup and maintenance cost, not bootstrap).
+
+use std::collections::{HashMap, HashSet};
+
+use txdb_base::{DocId, VersionId, Xid};
+
+/// What kind of occurrence a posting records.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum OccKind {
+    /// The token is the element's tag name.
+    Name,
+    /// The token occurs in the element's own text or attributes.
+    Word,
+}
+
+/// Open upper bound for a posting's version range.
+pub const OPEN: u32 = u32::MAX;
+
+/// One posting: a token occurrence in one element over a version range.
+#[derive(Clone, Debug)]
+pub struct Posting {
+    /// The document.
+    pub doc: DocId,
+    /// The element the occurrence is attributed to.
+    pub xid: Xid,
+    /// Name or word occurrence.
+    pub kind: OccKind,
+    /// XIDs from the root down to (and including) `xid` — the
+    /// hierarchical-relationship information of §7.2.
+    pub path: Box<[Xid]>,
+    /// First version (inclusive) the occurrence exists in.
+    pub from_version: u32,
+    /// First version (exclusive) it no longer exists in; [`OPEN`] while
+    /// current.
+    pub to_version: u32,
+}
+
+impl Posting {
+    /// True when the posting is valid in version `v` of its document.
+    #[inline]
+    pub fn valid_at(&self, v: VersionId) -> bool {
+        self.from_version <= v.0 && v.0 < self.to_version
+    }
+
+    /// True while the occurrence exists in the current version.
+    #[inline]
+    pub fn is_open(&self) -> bool {
+        self.to_version == OPEN
+    }
+
+    /// `self` is the parent element of `other` (same document).
+    pub fn is_parent_of(&self, other: &Posting) -> bool {
+        self.doc == other.doc
+            && other.path.len() >= 2
+            && other.path[other.path.len() - 2] == self.xid
+    }
+
+    /// `self` is a proper ancestor element of `other` (same document).
+    pub fn is_ancestor_of(&self, other: &Posting) -> bool {
+        self.doc == other.doc
+            && other.path.len() > 1
+            && other.path[..other.path.len() - 1].contains(&self.xid)
+    }
+
+    /// The two postings describe the same element.
+    #[inline]
+    pub fn same_element(&self, other: &Posting) -> bool {
+        self.doc == other.doc && self.xid == other.xid
+    }
+}
+
+/// One token's postings within one document. Postings are appended in
+/// version order (maintenance processes versions monotonically), so
+/// `from_version` is non-decreasing — snapshot lookups binary-search the
+/// prefix. `open` lists the indices of still-open postings, so
+/// current-version lookups never touch closed history (the "additional
+/// access structures" §7.2 anticipates: without it, every lookup scans a
+/// posting list that grows with churn forever).
+#[derive(Default)]
+struct DocPostings {
+    postings: Vec<Posting>,
+    open: Vec<u32>,
+}
+
+/// One token's inverted list, partitioned by document so that
+/// document-scoped lookups (and selectivity-ordered pattern evaluation)
+/// never touch other documents' postings.
+#[derive(Default)]
+struct TokenList {
+    by_doc: HashMap<DocId, DocPostings>,
+    total: usize,
+}
+
+/// An open posting's address: token, occurrence kind, index into the
+/// per-doc posting vector (append-only, so indices are stable).
+type OpenRef = (String, OccKind, usize);
+
+/// The temporal full-text index.
+#[derive(Default)]
+pub struct FullTextIndex {
+    lists: HashMap<String, TokenList>,
+    /// Open postings per (doc, element).
+    open: HashMap<(DocId, Xid), Vec<OpenRef>>,
+}
+
+impl FullTextIndex {
+    /// Fresh empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a posting at `version` for `(doc, xid)` with the given token.
+    pub fn open_posting(
+        &mut self,
+        token: &str,
+        doc: DocId,
+        xid: Xid,
+        kind: OccKind,
+        path: &[Xid],
+        version: VersionId,
+    ) {
+        let list = self.lists.entry(token.to_string()).or_default();
+        list.total += 1;
+        let per_doc = list.by_doc.entry(doc).or_default();
+        let idx = per_doc.postings.len();
+        debug_assert!(per_doc
+            .postings
+            .last()
+            .is_none_or(|p| p.from_version <= version.0));
+        per_doc.postings.push(Posting {
+            doc,
+            xid,
+            kind,
+            path: path.into(),
+            from_version: version.0,
+            to_version: OPEN,
+        });
+        per_doc.open.push(idx as u32);
+        self.open
+            .entry((doc, xid))
+            .or_default()
+            .push((token.to_string(), kind, idx));
+    }
+
+    /// Closes the open posting for `(doc, xid, token, kind)` at `version`
+    /// (the first version in which the occurrence no longer exists).
+    /// Returns true if an open posting was found.
+    pub fn close_posting(
+        &mut self,
+        token: &str,
+        doc: DocId,
+        xid: Xid,
+        kind: OccKind,
+        version: VersionId,
+    ) -> bool {
+        let Some(entries) = self.open.get_mut(&(doc, xid)) else { return false };
+        let Some(pos) = entries
+            .iter()
+            .position(|(t, k, _)| t == token && *k == kind)
+        else {
+            return false;
+        };
+        let (t, _, idx) = entries.swap_remove(pos);
+        if entries.is_empty() {
+            self.open.remove(&(doc, xid));
+        }
+        let per_doc = self
+            .lists
+            .get_mut(&t)
+            .expect("list exists")
+            .by_doc
+            .get_mut(&doc)
+            .expect("doc list exists");
+        let p = &mut per_doc.postings[idx];
+        debug_assert!(p.is_open());
+        p.to_version = version.0;
+        per_doc.open.retain(|&i| i != idx as u32);
+        true
+    }
+
+    /// Closes *every* open posting of a document at `version` (document
+    /// deletion).
+    pub fn close_document(&mut self, doc: DocId, version: VersionId) {
+        let keys: Vec<(DocId, Xid)> = self
+            .open
+            .keys()
+            .filter(|(d, _)| *d == doc)
+            .copied()
+            .collect();
+        for key in keys {
+            if let Some(entries) = self.open.remove(&key) {
+                for (t, _, idx) in entries {
+                    let per_doc = self
+                        .lists
+                        .get_mut(&t)
+                        .expect("list exists")
+                        .by_doc
+                        .get_mut(&doc)
+                        .expect("doc list exists");
+                    per_doc.postings[idx].to_version = version.0;
+                    per_doc.open.retain(|&i| i != idx as u32);
+                }
+            }
+        }
+    }
+
+    /// The open postings of one element: (token, kind). Used by maintenance
+    /// to diff old vs new occurrence sets.
+    pub fn open_tokens(&self, doc: DocId, xid: Xid) -> Vec<(String, OccKind)> {
+        self.open
+            .get(&(doc, xid))
+            .map(|v| v.iter().map(|(t, k, _)| (t.clone(), *k)).collect())
+            .unwrap_or_default()
+    }
+
+    /// The path recorded on the open postings of one element (all open
+    /// postings of an element share it).
+    pub fn open_path(&self, doc: DocId, xid: Xid) -> Option<Box<[Xid]>> {
+        let (t, _, idx) = self.open.get(&(doc, xid))?.first()?;
+        Some(self.lists[t.as_str()].by_doc[&doc].postings[*idx].path.clone())
+    }
+
+    /// The total posting count of a token (selectivity estimate for the
+    /// pattern-node evaluation order).
+    pub fn list_len(&self, token: &str) -> usize {
+        self.lists.get(token).map(|l| l.total).unwrap_or(0)
+    }
+
+    /// The per-doc posting groups of a token, restricted to `docs` when
+    /// given.
+    fn doc_groups<'a>(
+        &'a self,
+        token: &str,
+        docs: Option<&HashSet<DocId>>,
+    ) -> Vec<&'a DocPostings> {
+        let Some(list) = self.lists.get(token) else {
+            return Vec::new();
+        };
+        match docs {
+            Some(set) => set.iter().filter_map(|d| list.by_doc.get(d)).collect(),
+            None => list.by_doc.values().collect(),
+        }
+    }
+
+    /// `FTI_lookup(word)` — occurrences in current versions of undeleted
+    /// documents (§7.2).
+    pub fn lookup<'a>(&'a self, token: &str, kind: OccKind) -> Vec<&'a Posting> {
+        self.lookup_scoped(token, kind, None)
+    }
+
+    /// `FTI_lookup` restricted to a document set.
+    pub fn lookup_scoped<'a>(
+        &'a self,
+        token: &str,
+        kind: OccKind,
+        docs: Option<&HashSet<DocId>>,
+    ) -> Vec<&'a Posting> {
+        // Only the open lists are touched: cost is O(open postings),
+        // independent of history length.
+        let mut out = Vec::new();
+        for g in self.doc_groups(token, docs) {
+            for &i in &g.open {
+                let p = &g.postings[i as usize];
+                if p.kind == kind {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// `FTI_lookup_T(word, t)` — occurrences valid at time *t*. The caller
+    /// resolves the version valid at *t* per document (through the delta
+    /// index, which maps version numbers to timestamps); documents that did
+    /// not exist at *t* resolve to `None`.
+    pub fn lookup_t<'a>(
+        &'a self,
+        token: &str,
+        kind: OccKind,
+        version_at: impl FnMut(DocId) -> Option<VersionId>,
+    ) -> Vec<&'a Posting> {
+        self.lookup_t_scoped(token, kind, None, version_at)
+    }
+
+    /// `FTI_lookup_T` restricted to a document set.
+    pub fn lookup_t_scoped<'a>(
+        &'a self,
+        token: &str,
+        kind: OccKind,
+        docs: Option<&HashSet<DocId>>,
+        mut version_at: impl FnMut(DocId) -> Option<VersionId>,
+    ) -> Vec<&'a Posting> {
+        let mut out = Vec::new();
+        for g in self.doc_groups(token, docs) {
+            let Some(first) = g.postings.first() else { continue };
+            let Some(v) = version_at(first.doc) else { continue };
+            // from_version is non-decreasing: postings past the partition
+            // point cannot be valid at v.
+            let end = g.postings.partition_point(|p| p.from_version <= v.0);
+            for p in &g.postings[..end] {
+                if p.kind == kind && v.0 < p.to_version {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// `FTI_lookup_H(word)` — every posting over the whole history (§7.2).
+    pub fn lookup_h<'a>(&'a self, token: &str, kind: OccKind) -> Vec<&'a Posting> {
+        self.lookup_h_scoped(token, kind, None)
+    }
+
+    /// `FTI_lookup_H` restricted to a document set.
+    pub fn lookup_h_scoped<'a>(
+        &'a self,
+        token: &str,
+        kind: OccKind,
+        docs: Option<&HashSet<DocId>>,
+    ) -> Vec<&'a Posting> {
+        let mut out = Vec::new();
+        for g in self.doc_groups(token, docs) {
+            out.extend(g.postings.iter().filter(|p| p.kind == kind));
+        }
+        out
+    }
+
+    /// Number of postings (index-size metric for E7).
+    pub fn posting_count(&self) -> usize {
+        self.lists.values().map(|l| l.total).sum()
+    }
+
+    /// Number of distinct tokens.
+    pub fn token_count(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Approximate memory footprint in bytes (E7 index-size metric).
+    pub fn approx_bytes(&self) -> usize {
+        self.lists
+            .iter()
+            .map(|(t, l)| {
+                t.len()
+                    + 48
+                    + l.by_doc
+                        .values()
+                        .flat_map(|g| g.postings.iter())
+                        .map(|p| std::mem::size_of::<Posting>() + p.path.len() * 8)
+                        .sum::<usize>()
+                    + l.by_doc.values().map(|g| 48 + g.open.len() * 4).sum::<usize>()
+            })
+            .sum::<usize>()
+            + self.open.len() * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(n: u32) -> DocId {
+        DocId(n)
+    }
+    fn x(n: u64) -> Xid {
+        Xid(n)
+    }
+    fn v(n: u32) -> VersionId {
+        VersionId(n)
+    }
+
+    #[test]
+    fn open_lookup_close_cycle() {
+        let mut fti = FullTextIndex::new();
+        fti.open_posting("napoli", d(1), x(3), OccKind::Word, &[x(1), x(2), x(3)], v(0));
+        assert_eq!(fti.lookup("napoli", OccKind::Word).len(), 1);
+        assert_eq!(fti.lookup("napoli", OccKind::Name).len(), 0);
+        assert!(fti.close_posting("napoli", d(1), x(3), OccKind::Word, v(2)));
+        assert_eq!(fti.lookup("napoli", OccKind::Word).len(), 0);
+        // Historical lookups still see it within [0, 2).
+        let got = fti.lookup_t("napoli", OccKind::Word, |_| Some(v(1)));
+        assert_eq!(got.len(), 1);
+        let got = fti.lookup_t("napoli", OccKind::Word, |_| Some(v(2)));
+        assert_eq!(got.len(), 0);
+        assert_eq!(fti.lookup_h("napoli", OccKind::Word).len(), 1);
+        // Double close is a no-op-false.
+        assert!(!fti.close_posting("napoli", d(1), x(3), OccKind::Word, v(3)));
+    }
+
+    #[test]
+    fn name_and_word_occurrences_distinct() {
+        let mut fti = FullTextIndex::new();
+        // <restaurant> element named "restaurant" containing word "restaurant".
+        fti.open_posting("restaurant", d(1), x(2), OccKind::Name, &[x(1), x(2)], v(0));
+        fti.open_posting("restaurant", d(1), x(2), OccKind::Word, &[x(1), x(2)], v(0));
+        assert_eq!(fti.lookup("restaurant", OccKind::Name).len(), 1);
+        assert_eq!(fti.lookup("restaurant", OccKind::Word).len(), 1);
+        assert!(fti.close_posting("restaurant", d(1), x(2), OccKind::Word, v(1)));
+        assert_eq!(fti.lookup("restaurant", OccKind::Name).len(), 1, "name survives");
+    }
+
+    #[test]
+    fn relationships_from_paths() {
+        let mut fti = FullTextIndex::new();
+        fti.open_posting("guide", d(1), x(1), OccKind::Name, &[x(1)], v(0));
+        fti.open_posting("restaurant", d(1), x(2), OccKind::Name, &[x(1), x(2)], v(0));
+        fti.open_posting("name", d(1), x(3), OccKind::Name, &[x(1), x(2), x(3)], v(0));
+        let g = &fti.lookup("guide", OccKind::Name)[0];
+        let r = &fti.lookup("restaurant", OccKind::Name)[0];
+        let n = &fti.lookup("name", OccKind::Name)[0];
+        assert!(g.is_parent_of(r));
+        assert!(!g.is_parent_of(n));
+        assert!(g.is_ancestor_of(n));
+        assert!(g.is_ancestor_of(r));
+        assert!(r.is_parent_of(n));
+        assert!(!n.is_ancestor_of(g));
+        assert!(!r.same_element(n));
+    }
+
+    #[test]
+    fn cross_document_relationships_never_hold() {
+        let mut fti = FullTextIndex::new();
+        fti.open_posting("a", d(1), x(1), OccKind::Name, &[x(1)], v(0));
+        fti.open_posting("b", d(2), x(2), OccKind::Name, &[x(1), x(2)], v(0));
+        let a = &fti.lookup("a", OccKind::Name)[0];
+        let b = &fti.lookup("b", OccKind::Name)[0];
+        assert!(!a.is_parent_of(b));
+        assert!(!a.is_ancestor_of(b));
+    }
+
+    #[test]
+    fn close_document_closes_everything() {
+        let mut fti = FullTextIndex::new();
+        fti.open_posting("a", d(1), x(1), OccKind::Name, &[x(1)], v(0));
+        fti.open_posting("w", d(1), x(1), OccKind::Word, &[x(1)], v(0));
+        fti.open_posting("a", d(2), x(1), OccKind::Name, &[x(1)], v(0));
+        fti.close_document(d(1), v(3));
+        assert_eq!(fti.lookup("a", OccKind::Name).len(), 1, "doc 2 untouched");
+        assert_eq!(fti.lookup("w", OccKind::Word).len(), 0);
+        assert_eq!(fti.lookup_t("w", OccKind::Word, |_| Some(v(2))).len(), 1);
+    }
+
+    #[test]
+    fn lookup_t_per_document_versions() {
+        let mut fti = FullTextIndex::new();
+        // doc 1 has the word in versions [0, 5); doc 2 in [3, OPEN).
+        fti.open_posting("w", d(1), x(1), OccKind::Word, &[x(1)], v(0));
+        fti.close_posting("w", d(1), x(1), OccKind::Word, v(5));
+        fti.open_posting("w", d(2), x(1), OccKind::Word, &[x(1)], v(3));
+        // At a time where doc1 is at v4 and doc2 at v2:
+        let got = fti.lookup_t("w", OccKind::Word, |doc| {
+            Some(if doc == d(1) { v(4) } else { v(2) })
+        });
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].doc, d(1));
+        // Doc without a version at t is excluded.
+        let got = fti.lookup_t("w", OccKind::Word, |doc| {
+            if doc == d(2) { Some(v(4)) } else { None }
+        });
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].doc, d(2));
+    }
+
+    #[test]
+    fn open_tokens_and_path() {
+        let mut fti = FullTextIndex::new();
+        fti.open_posting("name", d(1), x(3), OccKind::Name, &[x(1), x(3)], v(0));
+        fti.open_posting("napoli", d(1), x(3), OccKind::Word, &[x(1), x(3)], v(0));
+        let mut toks = fti.open_tokens(d(1), x(3));
+        toks.sort();
+        assert_eq!(
+            toks,
+            vec![
+                ("name".to_string(), OccKind::Name),
+                ("napoli".to_string(), OccKind::Word)
+            ]
+        );
+        assert_eq!(fti.open_path(d(1), x(3)).unwrap().as_ref(), &[x(1), x(3)]);
+        assert!(fti.open_path(d(1), x(9)).is_none());
+    }
+
+    #[test]
+    fn stats_counters() {
+        let mut fti = FullTextIndex::new();
+        assert_eq!(fti.posting_count(), 0);
+        fti.open_posting("a", d(1), x(1), OccKind::Name, &[x(1)], v(0));
+        fti.open_posting("b", d(1), x(1), OccKind::Word, &[x(1)], v(0));
+        assert_eq!(fti.posting_count(), 2);
+        assert_eq!(fti.token_count(), 2);
+        assert!(fti.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn missing_token_lookups_empty() {
+        let fti = FullTextIndex::new();
+        assert!(fti.lookup("nothing", OccKind::Word).is_empty());
+        assert!(fti.lookup_h("nothing", OccKind::Word).is_empty());
+        assert!(fti.lookup_t("nothing", OccKind::Word, |_| Some(v(0))).is_empty());
+    }
+}

@@ -1,0 +1,687 @@
+//! Index maintenance driven by completed deltas.
+//!
+//! One [`IndexSet`] bundles the enabled indexes and keeps them consistent
+//! with the document store on every put/delete. Maintenance is
+//! **delta-driven**: only elements actually affected by a change are
+//! re-examined, which is what makes "the cost of storing only deltas" also
+//! pay off on the indexing side. The affected set of a delta is:
+//!
+//! * all elements of inserted/deleted payload subtrees,
+//! * the parent element of inserted/deleted/updated *text* nodes (their
+//!   words belong to the parent),
+//! * attribute-update targets,
+//! * moved subtrees (every element inside — their xid-paths change) plus
+//!   the old/new parents of moved text nodes.
+//!
+//! For each affected element the old open postings (tracked by the FTI
+//! itself) are diffed against the element's new occurrence signature; only
+//! the difference is closed/opened.
+//!
+//! [`FtiMode`] selects the §7.2 indexing alternative: version contents
+//! (the paper's choice), delta operations, or both (experiment E7).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use txdb_base::{DocId, Eid, Result, Timestamp, VersionId, Xid};
+use txdb_delta::{Delta, EditOp};
+use txdb_storage::buffer::BufferPool;
+use txdb_xml::similarity::tokenize;
+use txdb_xml::tree::{NodeId, NodeKind, Tree};
+
+use crate::deltaindex::DeltaContentIndex;
+use crate::eidindex::EidTimeIndex;
+use crate::fti::{FullTextIndex, OccKind};
+
+/// Which §7.2 indexing alternative the FTI side runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FtiMode {
+    /// Index version contents (the paper's choice).
+    Versions,
+    /// Index delta operations only.
+    Deltas,
+    /// Both (largest indexes, highest update cost — E7 quantifies).
+    Both,
+}
+
+/// Index configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct IndexConfig {
+    /// Indexing alternative for content search.
+    pub fti_mode: FtiMode,
+    /// Maintain the §7.3.6 EID-time index.
+    pub eid_index: bool,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig { fti_mode: FtiMode::Versions, eid_index: true }
+    }
+}
+
+/// The bundle of indexes maintained alongside the document store.
+pub struct IndexSet {
+    /// Configuration the set was opened with.
+    pub config: IndexConfig,
+    fti: RwLock<FullTextIndex>,
+    delta_index: RwLock<DeltaContentIndex>,
+    eid: Option<EidTimeIndex>,
+}
+
+impl IndexSet {
+    /// Opens the index set; the EID index persists on the shared pool.
+    pub fn open(pool: Arc<BufferPool>, config: IndexConfig) -> Result<IndexSet> {
+        let eid = if config.eid_index {
+            Some(EidTimeIndex::open(pool)?)
+        } else {
+            None
+        };
+        Ok(IndexSet {
+            config,
+            fti: RwLock::new(FullTextIndex::new()),
+            delta_index: RwLock::new(DeltaContentIndex::new()),
+            eid,
+        })
+    }
+
+    /// Read access to the temporal FTI.
+    pub fn fti(&self) -> parking_lot::RwLockReadGuard<'_, FullTextIndex> {
+        self.fti.read()
+    }
+
+    /// Read access to the delta-content index.
+    pub fn delta_index(&self) -> parking_lot::RwLockReadGuard<'_, DeltaContentIndex> {
+        self.delta_index.read()
+    }
+
+    /// The EID-time index, when enabled.
+    pub fn eid_index(&self) -> Option<&EidTimeIndex> {
+        self.eid.as_ref()
+    }
+
+    fn fti_enabled(&self) -> bool {
+        matches!(self.config.fti_mode, FtiMode::Versions | FtiMode::Both)
+    }
+
+    fn delta_enabled(&self) -> bool {
+        matches!(self.config.fti_mode, FtiMode::Deltas | FtiMode::Both)
+    }
+
+    /// Maintains all indexes after a document put.
+    ///
+    /// * first version: `delta == None`, everything in `new_tree` opens;
+    /// * update: `delta` drives the affected set;
+    /// * resurrection (put over a tombstone): pass `resurrected = true` so
+    ///   postings closed by the deletion reopen for unchanged elements too.
+    pub fn on_put(
+        &self,
+        doc: DocId,
+        version: VersionId,
+        ts: Timestamp,
+        new_tree: &Tree,
+        delta: Option<&Delta>,
+        resurrected: bool,
+    ) -> Result<()> {
+        if self.delta_enabled() {
+            if let Some(d) = delta {
+                self.delta_index.write().index_delta(doc, d);
+            }
+        }
+        if !self.fti_enabled() && self.eid.is_none() {
+            return Ok(());
+        }
+        match (delta, resurrected) {
+            (None, _) | (_, true) => self.reindex_all(doc, version, ts, new_tree, resurrected),
+            (Some(d), false) => self.apply_delta(doc, version, ts, new_tree, d),
+        }
+    }
+
+    /// Opens postings (and lifetimes) for every element of the tree. For a
+    /// resurrection, elements that already have open postings (none) or
+    /// existing lifetimes are revived rather than re-created.
+    fn reindex_all(
+        &self,
+        doc: DocId,
+        version: VersionId,
+        ts: Timestamp,
+        tree: &Tree,
+        revive: bool,
+    ) -> Result<()> {
+        let mut fti = self.fti.write();
+        for n in tree.iter() {
+            if !tree.node(n).is_element() {
+                continue;
+            }
+            let xid = tree.node(n).xid;
+            if self.fti_enabled() {
+                let path = tree.xid_path(n);
+                for (tok, kind) in element_signature(tree, n) {
+                    fti.open_posting(&tok, doc, xid, kind, &path, version);
+                }
+            }
+            if let Some(eid_idx) = &self.eid {
+                let eid = Eid::new(doc, xid);
+                if revive && eid_idx.lifetime(eid)?.is_some() {
+                    eid_idx.on_revive(eid)?;
+                } else {
+                    eid_idx.on_create(eid, ts)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_delta(
+        &self,
+        doc: DocId,
+        version: VersionId,
+        ts: Timestamp,
+        new_tree: &Tree,
+        delta: &Delta,
+    ) -> Result<()> {
+        let new_map = new_tree.xid_map();
+        let mut affected: HashSet<Xid> = HashSet::new();
+        for op in &delta.ops {
+            match op {
+                EditOp::InsertSubtree { parent, subtree, .. }
+                | EditOp::DeleteSubtree { parent, subtree, .. } => {
+                    let mut any_element = false;
+                    for n in subtree.iter() {
+                        if subtree.node(n).is_element() {
+                            affected.insert(subtree.node(n).xid);
+                            any_element = true;
+                        }
+                    }
+                    // A bare text payload changes the parent's word set.
+                    if !any_element && !parent.is_none() {
+                        affected.insert(*parent);
+                    }
+                }
+                EditOp::UpdateText { xid, .. } => {
+                    // Words belong to the parent element.
+                    if let Some(&n) = new_map.get(xid) {
+                        if let Some(p) = new_tree.node(n).parent() {
+                            affected.insert(new_tree.node(p).xid);
+                        }
+                    }
+                }
+                EditOp::SetAttr { xid, .. } => {
+                    affected.insert(*xid);
+                }
+                EditOp::Move { xid, old_parent, new_parent, .. } => {
+                    if let Some(&n) = new_map.get(xid) {
+                        if new_tree.node(n).is_element() {
+                            // Paths of the whole moved subtree changed.
+                            for d in new_tree.descendants(n) {
+                                if new_tree.node(d).is_element() {
+                                    affected.insert(new_tree.node(d).xid);
+                                }
+                            }
+                        } else {
+                            // Moved text: both parents' word sets changed.
+                            if !old_parent.is_none() {
+                                affected.insert(*old_parent);
+                            }
+                            if !new_parent.is_none() {
+                                affected.insert(*new_parent);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut fti = self.fti.write();
+        for xid in affected {
+            let present = new_map.get(&xid).copied();
+            match present {
+                Some(n) if new_tree.node(n).is_element() => {
+                    let desired_path = new_tree.xid_path(n);
+                    let desired: Vec<(String, OccKind)> = element_signature(new_tree, n);
+                    let current = if self.fti_enabled() {
+                        fti.open_tokens(doc, xid)
+                    } else {
+                        Vec::new()
+                    };
+                    let existed = self
+                        .eid
+                        .as_ref()
+                        .map(|e| e.lifetime(Eid::new(doc, xid)))
+                        .transpose()?
+                        .flatten()
+                        .is_some_and(|lt| lt.is_alive())
+                        || !current.is_empty();
+                    if self.fti_enabled() {
+                        let path_changed = fti
+                            .open_path(doc, xid)
+                            .map(|p| p.as_ref() != desired_path.as_slice())
+                            .unwrap_or(false);
+                        if path_changed {
+                            for (tok, kind) in &current {
+                                fti.close_posting(tok, doc, xid, *kind, version);
+                            }
+                            for (tok, kind) in &desired {
+                                fti.open_posting(tok, doc, xid, *kind, &desired_path, version);
+                            }
+                        } else {
+                            for (tok, kind) in &current {
+                                if !desired.contains(&(tok.clone(), *kind)) {
+                                    fti.close_posting(tok, doc, xid, *kind, version);
+                                }
+                            }
+                            for (tok, kind) in &desired {
+                                if !current.contains(&(tok.clone(), *kind)) {
+                                    fti.open_posting(tok, doc, xid, *kind, &desired_path, version);
+                                }
+                            }
+                        }
+                    }
+                    if let Some(eid_idx) = &self.eid {
+                        if !existed {
+                            eid_idx.on_create(Eid::new(doc, xid), ts)?;
+                        }
+                    }
+                }
+                _ => {
+                    // Element no longer present: close everything.
+                    if self.fti_enabled() {
+                        for (tok, kind) in fti.open_tokens(doc, xid) {
+                            fti.close_posting(&tok, doc, xid, kind, version);
+                        }
+                    }
+                    if let Some(eid_idx) = &self.eid {
+                        let eid = Eid::new(doc, xid);
+                        if eid_idx
+                            .lifetime(eid)?
+                            .is_some_and(|lt| lt.is_alive())
+                        {
+                            eid_idx.on_delete(eid, ts)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Maintains all indexes after a document deletion (tombstone at
+    /// `version`, time `ts`).
+    pub fn on_delete(
+        &self,
+        doc: DocId,
+        version: VersionId,
+        ts: Timestamp,
+        old_tree: &Tree,
+    ) -> Result<()> {
+        if self.fti_enabled() {
+            self.fti.write().close_document(doc, version);
+        }
+        if self.delta_enabled() {
+            // Synthesize the whole-document delete for the change index.
+            let mut ops = Vec::new();
+            for (pos, &r) in old_tree.roots().iter().enumerate() {
+                ops.push(EditOp::DeleteSubtree {
+                    parent: Xid::NONE,
+                    pos,
+                    subtree: old_tree.extract_subtree(r),
+                    old_parent_ts: Timestamp::ZERO,
+                });
+            }
+            let d = Delta {
+                from_version: VersionId(version.0.saturating_sub(1)),
+                to_version: version,
+                from_ts: Timestamp::ZERO,
+                to_ts: ts,
+                ops,
+            };
+            self.delta_index.write().index_delta(doc, &d);
+        }
+        if let Some(eid_idx) = &self.eid {
+            for n in old_tree.iter() {
+                if old_tree.node(n).is_element() {
+                    let eid = Eid::new(doc, old_tree.node(n).xid);
+                    if eid_idx.lifetime(eid)?.is_some_and(|lt| lt.is_alive()) {
+                        eid_idx.on_delete(eid, ts)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The occurrence signature of one element: its lowercased name (Name
+/// occurrence) plus the word tokens of its attributes and immediate text
+/// children (Word occurrences), deduplicated.
+pub fn element_signature(tree: &Tree, n: NodeId) -> Vec<(String, OccKind)> {
+    let mut out: Vec<(String, OccKind)> = Vec::new();
+    let NodeKind::Element { name, attrs } = &tree.node(n).kind else {
+        return out;
+    };
+    out.push((name.to_lowercase(), OccKind::Name));
+    let push_word = |w: String, out: &mut Vec<(String, OccKind)>| {
+        let item = (w, OccKind::Word);
+        if !out.contains(&item) {
+            out.push(item);
+        }
+    };
+    for (k, v) in attrs {
+        for t in tokenize(k).chain(tokenize(v)) {
+            push_word(t, &mut out);
+        }
+    }
+    for &c in tree.node(n).children() {
+        if let Some(t) = tree.node(c).text() {
+            for w in tokenize(t) {
+                push_word(w, &mut out);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deltaindex::ChangeOp;
+    use txdb_storage::repo::{DocumentStore, StoreOptions};
+
+    fn ts(n: u64) -> Timestamp {
+        Timestamp::from_micros(n * 1000)
+    }
+
+    /// A store + index set wired together manually (the core crate's
+    /// Database does this wiring for real use).
+    struct Fixture {
+        store: DocumentStore,
+        idx: IndexSet,
+    }
+
+    impl Fixture {
+        fn new(mode: FtiMode) -> Fixture {
+            let store = DocumentStore::open(StoreOptions::default()).unwrap().0;
+            let idx = IndexSet::open(
+                store.pool().clone(),
+                IndexConfig { fti_mode: mode, eid_index: true },
+            )
+            .unwrap();
+            Fixture { store, idx }
+        }
+
+        fn put(&self, name: &str, xml: &str, t: Timestamp) -> txdb_storage::repo::PutResult {
+            let was_deleted = self
+                .store
+                .doc_id(name)
+                .unwrap()
+                .map(|d| self.store.is_deleted(d).unwrap())
+                .unwrap_or(false);
+            let r = self.store.put(name, xml, t).unwrap();
+            if r.changed {
+                self.idx
+                    .on_put(r.doc, r.version, r.ts, &r.new_tree, r.delta.as_ref(), was_deleted)
+                    .unwrap();
+            }
+            r
+        }
+
+        fn delete(&self, name: &str, t: Timestamp) {
+            if let Some(d) = self.store.delete(name, t).unwrap() {
+                self.idx.on_delete(d.doc, d.version, d.ts, &d.old_tree).unwrap();
+            }
+        }
+
+        /// Oracle: tokens visible for `tok` in the reconstructed version at
+        /// time `t`, via direct scan.
+        fn scan_word_at(&self, tok: &str, t: Timestamp) -> usize {
+            let mut count = 0;
+            for (doc, _) in self.store.list().unwrap() {
+                let Some(v) = self.store.version_at(doc, t).unwrap() else { continue };
+                let tree = self.store.version_tree(doc, v).unwrap();
+                for n in tree.iter() {
+                    if tree.node(n).is_element()
+                        && element_signature(&tree, n)
+                            .iter()
+                            .any(|(w, k)| w == tok && *k == OccKind::Word)
+                    {
+                        count += 1;
+                    }
+                }
+            }
+            count
+        }
+
+        /// FTI count for a word at time t.
+        fn fti_word_at(&self, tok: &str, t: Timestamp) -> usize {
+            self.idx
+                .fti()
+                .lookup_t(tok, OccKind::Word, |doc| self.store.version_at(doc, t).unwrap())
+                .len()
+        }
+    }
+
+    #[test]
+    fn initial_version_indexed() {
+        let f = Fixture::new(FtiMode::Versions);
+        f.put(
+            "guide",
+            r#"<guide><restaurant category="italian"><name>Napoli</name></restaurant></guide>"#,
+            ts(1),
+        );
+        let fti = f.idx.fti();
+        assert_eq!(fti.lookup("restaurant", OccKind::Name).len(), 1);
+        assert_eq!(fti.lookup("napoli", OccKind::Word).len(), 1);
+        assert_eq!(fti.lookup("italian", OccKind::Word).len(), 1);
+        assert_eq!(fti.lookup("guide", OccKind::Name).len(), 1);
+        // Word occurrences attributed to the containing element.
+        let p = &fti.lookup("napoli", OccKind::Word)[0];
+        assert_eq!(p.path.len(), 3, "guide/restaurant/name");
+    }
+
+    #[test]
+    fn text_update_closes_and_opens() {
+        let f = Fixture::new(FtiMode::Versions);
+        f.put("d", "<g><r><p>fifteen</p></r></g>", ts(1));
+        f.put("d", "<g><r><p>eighteen</p></r></g>", ts(2));
+        let fti = f.idx.fti();
+        assert_eq!(fti.lookup("fifteen", OccKind::Word).len(), 0);
+        assert_eq!(fti.lookup("eighteen", OccKind::Word).len(), 1);
+        // History intact.
+        assert_eq!(fti.lookup_h("fifteen", OccKind::Word).len(), 1);
+        drop(fti);
+        assert_eq!(f.fti_word_at("fifteen", ts(1)), 1);
+        assert_eq!(f.fti_word_at("fifteen", ts(2)), 0);
+        assert_eq!(f.fti_word_at("eighteen", ts(2)), 1);
+    }
+
+    #[test]
+    fn insert_and_delete_subtrees() {
+        let f = Fixture::new(FtiMode::Versions);
+        f.put("d", "<g><r><n>Napoli</n></r></g>", ts(1));
+        f.put(
+            "d",
+            "<g><r><n>Napoli</n></r><r><n>Akropolis</n></r></g>",
+            ts(2),
+        );
+        assert_eq!(f.idx.fti().lookup("akropolis", OccKind::Word).len(), 1);
+        assert_eq!(f.idx.fti().lookup("restaurant", OccKind::Name).len(), 0);
+        assert_eq!(f.idx.fti().lookup("r", OccKind::Name).len(), 2);
+        f.put("d", "<g><r><n>Akropolis</n></r></g>", ts(3));
+        assert_eq!(f.idx.fti().lookup("napoli", OccKind::Word).len(), 0);
+        assert_eq!(f.fti_word_at("napoli", ts(2)), 1);
+        assert_eq!(f.fti_word_at("napoli", ts(3)), 0);
+        // Oracle agreement at every time point.
+        for t in [ts(1), ts(2), ts(3)] {
+            assert_eq!(f.fti_word_at("napoli", t), f.scan_word_at("napoli", t));
+            assert_eq!(f.fti_word_at("akropolis", t), f.scan_word_at("akropolis", t));
+        }
+    }
+
+    #[test]
+    fn document_delete_closes_postings_and_lifetimes() {
+        let f = Fixture::new(FtiMode::Versions);
+        let r = f.put("d", "<g><n>Napoli</n></g>", ts(1));
+        f.delete("d", ts(2));
+        assert_eq!(f.idx.fti().lookup("napoli", OccKind::Word).len(), 0);
+        assert_eq!(f.fti_word_at("napoli", ts(1)), 1);
+        // EID lifetimes closed at deletion.
+        let eidx = f.idx.eid_index().unwrap();
+        let root_xid = {
+            let t = &r.new_tree;
+            t.node(t.root().unwrap()).xid
+        };
+        let lt = eidx.lifetime(Eid::new(r.doc, root_xid)).unwrap().unwrap();
+        assert_eq!(lt.created, ts(1));
+        assert_eq!(lt.deleted, ts(2));
+    }
+
+    #[test]
+    fn resurrection_reopens_postings() {
+        let f = Fixture::new(FtiMode::Versions);
+        let r = f.put("d", "<g><n>Napoli</n></g>", ts(1));
+        f.delete("d", ts(2));
+        f.put("d", "<g><n>Napoli</n></g>", ts(3));
+        assert_eq!(f.idx.fti().lookup("napoli", OccKind::Word).len(), 1);
+        assert_eq!(f.fti_word_at("napoli", ts(2)), 0, "gone during tombstone gap");
+        assert_eq!(f.fti_word_at("napoli", ts(3)), 1);
+        // Lifetime revived, original create time kept.
+        let eidx = f.idx.eid_index().unwrap();
+        let root_xid = {
+            let t = &r.new_tree;
+            t.node(t.root().unwrap()).xid
+        };
+        let lt = eidx.lifetime(Eid::new(r.doc, root_xid)).unwrap().unwrap();
+        assert_eq!(lt.created, ts(1));
+        assert!(lt.is_alive());
+    }
+
+    #[test]
+    fn element_lifetimes_from_updates() {
+        let f = Fixture::new(FtiMode::Versions);
+        let r = f.put("d", "<g><a>one</a></g>", ts(1));
+        f.put("d", "<g><a>one</a><b>two</b></g>", ts(2));
+        f.put("d", "<g><b>two</b></g>", ts(3));
+        let eidx = f.idx.eid_index().unwrap();
+        let lts = eidx.doc_lifetimes(r.doc).unwrap();
+        // g, a, text(one) created at 1; b, text(two) created at 2; a's
+        // lifetime [1, 3). Text nodes are not tracked (element index).
+        let alive: Vec<_> = lts.iter().filter(|(_, lt)| lt.is_alive()).collect();
+        assert_eq!(alive.len(), 2, "g and b alive: {lts:?}");
+        let dead: Vec<_> = lts.iter().filter(|(_, lt)| !lt.is_alive()).collect();
+        assert_eq!(dead.len(), 1, "a deleted");
+        assert_eq!(dead[0].1.created, ts(1));
+        assert_eq!(dead[0].1.deleted, ts(3));
+    }
+
+    #[test]
+    fn move_updates_paths() {
+        let f = Fixture::new(FtiMode::Versions);
+        f.put("d", "<g><a><big><x>deep</x></big></a><b/></g>", ts(1));
+        {
+            let fti = f.idx.fti();
+            let p = &fti.lookup("deep", OccKind::Word)[0];
+            assert_eq!(p.path.len(), 4, "g/a/big/x");
+        }
+        f.put("d", "<g><a/><b><big><x>deep</x></big></b></g>", ts(2));
+        let fti = f.idx.fti();
+        let hits = fti.lookup("deep", OccKind::Word);
+        assert_eq!(hits.len(), 1);
+        // Path now runs through b.
+        let b_hits = fti.lookup("b", OccKind::Name);
+        assert_eq!(b_hits.len(), 1);
+        assert!(b_hits[0].is_ancestor_of(hits[0]), "moved under b");
+    }
+
+    #[test]
+    fn attribute_change_indexed() {
+        let f = Fixture::new(FtiMode::Versions);
+        f.put("d", r#"<r category="italian"/>"#, ts(1));
+        f.put("d", r#"<r category="greek"/>"#, ts(2));
+        let fti = f.idx.fti();
+        assert_eq!(fti.lookup("italian", OccKind::Word).len(), 0);
+        assert_eq!(fti.lookup("greek", OccKind::Word).len(), 1);
+        assert_eq!(fti.lookup_h("italian", OccKind::Word).len(), 1);
+    }
+
+    #[test]
+    fn unchanged_elements_untouched() {
+        // Posting count grows only by the changed element's tokens.
+        let f = Fixture::new(FtiMode::Versions);
+        f.put(
+            "d",
+            "<g><r><n>Napoli</n><p>15</p></r><r><n>Akropolis</n><p>13</p></r></g>",
+            ts(1),
+        );
+        let before = f.idx.fti().posting_count();
+        f.put(
+            "d",
+            "<g><r><n>Napoli</n><p>18</p></r><r><n>Akropolis</n><p>13</p></r></g>",
+            ts(2),
+        );
+        let after = f.idx.fti().posting_count();
+        // price 15→18: one closed (15) + one opened (18) ⇒ +1 posting.
+        assert_eq!(after, before + 1, "only the price element re-indexed");
+    }
+
+    #[test]
+    fn delta_mode_indexes_changes_not_content() {
+        let f = Fixture::new(FtiMode::Deltas);
+        f.put("d", "<g><n>Napoli</n></g>", ts(1));
+        f.put("d", "<g><n>Roma</n></g>", ts(2));
+        // No content FTI.
+        assert_eq!(f.idx.fti().lookup("roma", OccKind::Word).len(), 0);
+        // But the change is findable.
+        let di = f.idx.delta_index();
+        assert_eq!(di.find("napoli", Some(ChangeOp::Update)).len(), 1);
+        assert_eq!(di.find("roma", None).len(), 1);
+    }
+
+    #[test]
+    fn both_mode_maintains_both() {
+        let f = Fixture::new(FtiMode::Both);
+        f.put("d", "<g><n>Napoli</n></g>", ts(1));
+        f.put("d", "<g></g>", ts(2));
+        assert_eq!(f.idx.fti().lookup_h("napoli", OccKind::Word).len(), 1);
+        assert_eq!(
+            f.idx.delta_index().find("napoli", Some(ChangeOp::Delete)).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn delete_in_delta_mode_synthesizes_change() {
+        let f = Fixture::new(FtiMode::Deltas);
+        f.put("d", "<g><n>Napoli</n></g>", ts(1));
+        f.delete("d", ts(2));
+        let di = f.idx.delta_index();
+        assert_eq!(di.find("napoli", Some(ChangeOp::Delete)).len(), 1);
+    }
+
+    #[test]
+    fn fti_oracle_agreement_random_workload() {
+        // Differential check across a longer update sequence.
+        let f = Fixture::new(FtiMode::Versions);
+        let words = ["alpha", "beta", "gamma", "delta"];
+        let mut t = 1u64;
+        for round in 0..12u64 {
+            for d in 0..3u64 {
+                let w1 = words[((round + d) % 4) as usize];
+                let w2 = words[((round * 3 + d) % 4) as usize];
+                let xml = format!(
+                    "<doc><item><v>{w1}</v></item><item><v>{w2} {w1}</v></item></doc>"
+                );
+                f.put(&format!("doc{d}"), &xml, ts(t));
+                t += 1;
+            }
+        }
+        for probe in [1, 5, 14, 20, 30, 36] {
+            for w in words {
+                assert_eq!(
+                    f.fti_word_at(w, ts(probe)),
+                    f.scan_word_at(w, ts(probe)),
+                    "word {w} at t{probe}"
+                );
+            }
+        }
+    }
+}

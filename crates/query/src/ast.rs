@@ -1,0 +1,190 @@
+//! Abstract syntax of the temporal query language.
+
+use txdb_base::Timestamp;
+use txdb_xml::path::Path;
+
+/// A whole `SELECT … FROM … WHERE …` query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// `SELECT DISTINCT` deduplicates output rows.
+    pub distinct: bool,
+    /// Projection list.
+    pub select: Vec<Expr>,
+    /// Range variables.
+    pub from: Vec<FromItem>,
+    /// Optional filter.
+    pub where_clause: Option<Expr>,
+}
+
+/// One `FROM` entry: `doc("url")[timespec]/path Var`.
+#[derive(Debug, Clone)]
+pub struct FromItem {
+    /// Document URL; `*` ranges over the whole collection.
+    pub url: String,
+    /// Which version(s) the variable ranges over (§5).
+    pub time: TimeSpec,
+    /// Path from the document root(s) to the bound elements.
+    pub path: Path,
+    /// The variable name.
+    pub var: String,
+}
+
+/// Temporal qualifier of a `FROM` source.
+#[derive(Debug, Clone)]
+pub enum TimeSpec {
+    /// No qualifier: the current version.
+    Current,
+    /// `[<time expression>]`: the snapshot valid at that (constant) time.
+    At(Expr),
+    /// `[EVERY]`: all versions — §5's "when we want more than one version
+    /// to be selected".
+    Every,
+}
+
+/// Expressions.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// String literal.
+    Str(String),
+    /// Numeric literal.
+    Num(f64),
+    /// Date/time literal (already resolved to a timestamp).
+    Date(Timestamp),
+    /// `NOW`.
+    Now,
+    /// `*` (only valid inside `COUNT(*)`).
+    Star,
+    /// A range variable, e.g. `R`.
+    Var(String),
+    /// A path applied to a base expression: `R/price`,
+    /// `CURRENT(R)/name`.
+    PathOf {
+        /// The expression the path navigates from.
+        base: Box<Expr>,
+        /// The relative path.
+        path: Path,
+    },
+    /// Function call.
+    Func {
+        /// Which function.
+        name: Func,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Comparison.
+    Cmp {
+        /// The operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Time arithmetic: `base ± n UNIT` (`NOW - 14 DAYS`).
+    TimeShift {
+        /// The base time expression.
+        base: Box<Expr>,
+        /// True for `-`.
+        negative: bool,
+        /// The shift amount in microseconds.
+        micros: u64,
+    },
+}
+
+/// Built-in functions (§5/§6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Func {
+    /// `TIME(R)` — the timestamp of the element version.
+    Time,
+    /// `CREATETIME(R)` / `CREATE TIME(R)` — the `CreTime` operator.
+    CreateTime,
+    /// `DELETETIME(R)` / `DELETE TIME(R)` — the `DelTime` operator.
+    DeleteTime,
+    /// `CURRENT(R)` — the current version of the element.
+    Current,
+    /// `PREVIOUS(R)` — the previous version of the element.
+    Previous,
+    /// `NEXT(R)` — the next version of the element.
+    Next,
+    /// `DIFF(a, b)` — the edit script between two elements (§7.3.8).
+    Diff,
+    /// `COUNT(expr)` / `COUNT(*)` — aggregate.
+    Count,
+    /// `SUM(expr)` — aggregate over numeric values.
+    Sum,
+    /// `SIMILARITY(a, b)` — the `~` score as a number.
+    Similarity,
+}
+
+/// Comparison operators, with the §7.4 distinction between value equality
+/// (`=`), identity (`==`) and similarity (`~`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=` — value (shallow) equality.
+    Eq,
+    /// `==` — EID identity.
+    Identity,
+    /// `!=` / `<>`.
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `~` — similarity above the default threshold.
+    Similar,
+    /// `CONTAINS` — substring (case-insensitive) on text content.
+    Contains,
+}
+
+impl Expr {
+    /// Does the expression contain an aggregate function call?
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            Expr::Func { name: Func::Count | Func::Sum, .. } => true,
+            Expr::Func { args, .. } => args.iter().any(Expr::has_aggregate),
+            Expr::PathOf { base, .. } => base.has_aggregate(),
+            Expr::Cmp { lhs, rhs, .. } => lhs.has_aggregate() || rhs.has_aggregate(),
+            Expr::And(a, b) | Expr::Or(a, b) => a.has_aggregate() || b.has_aggregate(),
+            Expr::Not(e) => e.has_aggregate(),
+            Expr::TimeShift { base, .. } => base.has_aggregate(),
+            _ => false,
+        }
+    }
+
+    /// The variables referenced by the expression.
+    pub fn variables(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(v)
+                if !out.contains(v) => {
+                    out.push(v.clone());
+                }
+            Expr::PathOf { base, .. } => base.variables(out),
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.variables(out);
+                }
+            }
+            Expr::Cmp { lhs, rhs, .. } => {
+                lhs.variables(out);
+                rhs.variables(out);
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.variables(out);
+                b.variables(out);
+            }
+            Expr::Not(e) => e.variables(out),
+            Expr::TimeShift { base, .. } => base.variables(out),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! Tokenizer for the temporal query language.
+//!
+//! Keywords are case-insensitive (`SELECT`, `select` and `Select` are the
+//! same token); identifiers keep their original spelling. Numbers are kept
+//! as strings so date literals like `26/01/2001` (three numbers joined by
+//! `/`) preserve their leading zeros for the parser.
+
+use txdb_base::{Error, Result};
+
+/// One token with its byte offset (for error reporting).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Byte offset into the query text.
+    pub offset: usize,
+    /// The token itself.
+    pub kind: Tok,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Keyword (uppercased).
+    Kw(Kw),
+    /// Identifier (original spelling).
+    Ident(String),
+    /// Number literal, verbatim text (may contain a decimal point).
+    Number(String),
+    /// String literal (quotes removed, escapes resolved).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `/`
+    Slash,
+    /// `//`
+    DoubleSlash,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `~`
+    Tilde,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// End of input.
+    Eof,
+}
+
+/// Reserved words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Kw {
+    Select,
+    From,
+    Where,
+    And,
+    Or,
+    Not,
+    Distinct,
+    Every,
+    Now,
+    Contains,
+    Doc,
+    Days,
+    Weeks,
+    Hours,
+    Minutes,
+    Seconds,
+}
+
+fn keyword(word: &str) -> Option<Kw> {
+    Some(match word.to_ascii_uppercase().as_str() {
+        "SELECT" => Kw::Select,
+        "FROM" => Kw::From,
+        "WHERE" => Kw::Where,
+        "AND" => Kw::And,
+        "OR" => Kw::Or,
+        "NOT" => Kw::Not,
+        "DISTINCT" => Kw::Distinct,
+        "EVERY" => Kw::Every,
+        "NOW" => Kw::Now,
+        "CONTAINS" => Kw::Contains,
+        "DOC" => Kw::Doc,
+        "DAY" | "DAYS" => Kw::Days,
+        "WEEK" | "WEEKS" => Kw::Weeks,
+        "HOUR" | "HOURS" => Kw::Hours,
+        "MINUTE" | "MINUTES" => Kw::Minutes,
+        "SECOND" | "SECONDS" => Kw::Seconds,
+        _ => return None,
+    })
+}
+
+/// Tokenizes a query.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let b = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let err = |offset: usize, message: &str| Error::QueryParse {
+        offset,
+        message: message.to_string(),
+    };
+    while i < b.len() {
+        let c = b[i];
+        let start = i;
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+                continue;
+            }
+            b'-' if b.get(i + 1) == Some(&b'-') => {
+                // SQL-style line comment.
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            b'(' => {
+                out.push(Token { offset: start, kind: Tok::LParen });
+                i += 1;
+            }
+            b')' => {
+                out.push(Token { offset: start, kind: Tok::RParen });
+                i += 1;
+            }
+            b'[' => {
+                out.push(Token { offset: start, kind: Tok::LBracket });
+                i += 1;
+            }
+            b']' => {
+                out.push(Token { offset: start, kind: Tok::RBracket });
+                i += 1;
+            }
+            b',' => {
+                out.push(Token { offset: start, kind: Tok::Comma });
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token { offset: start, kind: Tok::Star });
+                i += 1;
+            }
+            b'~' => {
+                out.push(Token { offset: start, kind: Tok::Tilde });
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token { offset: start, kind: Tok::Plus });
+                i += 1;
+            }
+            b'-' => {
+                out.push(Token { offset: start, kind: Tok::Minus });
+                i += 1;
+            }
+            b'/' => {
+                if b.get(i + 1) == Some(&b'/') {
+                    out.push(Token { offset: start, kind: Tok::DoubleSlash });
+                    i += 2;
+                } else {
+                    out.push(Token { offset: start, kind: Tok::Slash });
+                    i += 1;
+                }
+            }
+            b'=' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Token { offset: start, kind: Tok::EqEq });
+                    i += 2;
+                } else {
+                    out.push(Token { offset: start, kind: Tok::Eq });
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Token { offset: start, kind: Tok::Neq });
+                    i += 2;
+                } else {
+                    return Err(err(start, "unexpected `!`"));
+                }
+            }
+            b'<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Token { offset: start, kind: Tok::Le });
+                    i += 2;
+                } else if b.get(i + 1) == Some(&b'>') {
+                    out.push(Token { offset: start, kind: Tok::Neq });
+                    i += 2;
+                } else {
+                    out.push(Token { offset: start, kind: Tok::Lt });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Token { offset: start, kind: Tok::Ge });
+                    i += 2;
+                } else {
+                    out.push(Token { offset: start, kind: Tok::Gt });
+                    i += 1;
+                }
+            }
+            b'"' | b'\'' => {
+                let quote = c;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match b.get(i) {
+                        None => return Err(err(start, "unterminated string literal")),
+                        Some(&q) if q == quote => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b'\\') => {
+                            match b.get(i + 1) {
+                                Some(&b'n') => s.push('\n'),
+                                Some(&b't') => s.push('\t'),
+                                Some(&b'\\') => s.push('\\'),
+                                Some(&q) if q == quote => s.push(q as char),
+                                _ => return Err(err(i, "bad escape in string")),
+                            }
+                            i += 2;
+                        }
+                        Some(_) => {
+                            // Advance over one UTF-8 character.
+                            let ch_len = utf8_len(b[i]);
+                            s.push_str(
+                                std::str::from_utf8(&b[i..i + ch_len])
+                                    .map_err(|_| err(i, "invalid UTF-8"))?,
+                            );
+                            i += ch_len;
+                        }
+                    }
+                }
+                out.push(Token { offset: start, kind: Tok::Str(s) });
+            }
+            b'0'..=b'9' => {
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+                    // Only one decimal point.
+                    if b[i] == b'.' && input[start..i].contains('.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.push(Token {
+                    offset: start,
+                    kind: Tok::Number(input[start..i].to_string()),
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                match keyword(word) {
+                    Some(kw) => out.push(Token { offset: start, kind: Tok::Kw(kw) }),
+                    None => out.push(Token {
+                        offset: start,
+                        kind: Tok::Ident(word.to_string()),
+                    }),
+                }
+            }
+            _ => {
+                return Err(err(start, &format!("unexpected character `{}`", c as char)));
+            }
+        }
+    }
+    out.push(Token { offset: input.len(), kind: Tok::Eof });
+    Ok(out)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            kinds("select FROM Where"),
+            vec![Tok::Kw(Kw::Select), Tok::Kw(Kw::From), Tok::Kw(Kw::Where), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn paper_query_q3_tokens() {
+        let toks = kinds(
+            r#"SELECT TIME(R), R/price FROM doc("guide.com/restaurants")[EVERY]//restaurant R WHERE R/name="Napoli""#,
+        );
+        assert!(toks.contains(&Tok::Ident("TIME".into())));
+        assert!(toks.contains(&Tok::Str("guide.com/restaurants".into())));
+        assert!(toks.contains(&Tok::Kw(Kw::Every)));
+        assert!(toks.contains(&Tok::DoubleSlash));
+        assert!(toks.contains(&Tok::Str("Napoli".into())));
+    }
+
+    #[test]
+    fn date_is_three_numbers() {
+        assert_eq!(
+            kinds("26/01/2001"),
+            vec![
+                Tok::Number("26".into()),
+                Tok::Slash,
+                Tok::Number("01".into()),
+                Tok::Slash,
+                Tok::Number("2001".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("= == != <> < <= > >= ~"),
+            vec![
+                Tok::Eq,
+                Tok::EqEq,
+                Tok::Neq,
+                Tok::Neq,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Tilde,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes_and_quotes() {
+        assert_eq!(
+            kinds(r#""a\"b" 'c''s'"#),
+            vec![
+                Tok::Str("a\"b".into()),
+                Tok::Str("c".into()),
+                Tok::Str("s".into()),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(kinds(r#""æøå""#), vec![Tok::Str("æøå".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn numbers_and_decimals() {
+        assert_eq!(
+            kinds("15 12.5"),
+            vec![Tok::Number("15".into()), Tok::Number("12.5".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("SELECT -- this is a comment\n R"),
+            vec![Tok::Kw(Kw::Select), Tok::Ident("R".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(
+            kinds("14 DAYS 2 weeks"),
+            vec![
+                Tok::Number("14".into()),
+                Tok::Kw(Kw::Days),
+                Tok::Number("2".into()),
+                Tok::Kw(Kw::Weeks),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_reported_with_offsets() {
+        match lex("SELECT ?") {
+            Err(Error::QueryParse { offset, .. }) => assert_eq!(offset, 7),
+            other => panic!("expected error, got {other:?}"),
+        }
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("a ! b").is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! # txdb-query — the temporal XML query language
+//!
+//! §5 of the paper sketches (without fixing) a query language "based on a
+//! mix of Lorel, the Xyleme query language, and elements of XPath and
+//! XQuery"; this crate makes that dialect concrete and executable:
+//!
+//! ```text
+//! SELECT TIME(R), R/price
+//! FROM   doc("guide.com/restaurants")[EVERY]//restaurant R
+//! WHERE  R/name = "Napoli" AND CREATETIME(R) >= 11/01/2001
+//! ```
+//!
+//! * `doc("url")` — one document; `doc("*")` — the whole collection.
+//! * `[26/01/2001]` — snapshot at a time (any constant time expression,
+//!   including `NOW - 14 DAYS`); `[EVERY]` — all versions; absent —
+//!   the current version. (§5's timestamp-in-the-FROM-clause.)
+//! * Functions: `TIME`, `CREATETIME`/`CREATE TIME`, `DELETETIME`/`DELETE
+//!   TIME`, `CURRENT`, `PREVIOUS`, `NEXT`, `DIFF`, `COUNT`, `SUM`,
+//!   `SIMILARITY`.
+//! * Operators: `=` (value, shallow — §7.4), `==` (EID identity), `~`
+//!   (similarity), `CONTAINS`, the usual comparisons, `AND`/`OR`/`NOT`,
+//!   and `± n DAYS|WEEKS|HOURS|MINUTES|SECONDS` time arithmetic.
+//!
+//! Results are delivered "in a document with enclosing tags named
+//! `results` \[with each\] result … in one element with tags named
+//! `result`" (§5) — see [`result::QueryResult::to_xml`].
+//!
+//! Pipeline: [`lexer`] → [`parser`] → [`ast`] → [`plan`] (strategy choice:
+//! index-backed `TPatternScan*` when every path step names a tag, with
+//! equality-literal word pushdown; reconstruction fallback for wildcard
+//! steps) → [`exec`] (Volcano-style rows with lazy, cached reconstruction
+//! — a `COUNT(R)` never touches a document, the paper's Q2 point).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+pub mod result;
+
+pub use exec::{execute, ExecStats};
+pub use parser::parse_query;
+pub use result::{OutValue, QueryResult};

@@ -1,0 +1,569 @@
+//! Recursive-descent parser for the temporal query language.
+
+use txdb_base::{Error, Result, Timestamp};
+use txdb_xml::path::{Axis, Path, Step, Test};
+
+use crate::ast::{CmpOp, Expr, FromItem, Func, Query, TimeSpec};
+use crate::lexer::{lex, Kw, Tok, Token};
+
+/// Parses a query string.
+pub fn parse_query(input: &str) -> Result<Query> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.expect(&Tok::Eof)?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::QueryParse { offset: self.offset(), message: message.into() }
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<()> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {want:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if self.peek() == want {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect(&Tok::Kw(Kw::Select))?;
+        let distinct = self.eat(&Tok::Kw(Kw::Distinct));
+        let mut select = vec![self.expr()?];
+        while self.eat(&Tok::Comma) {
+            select.push(self.expr()?);
+        }
+        self.expect(&Tok::Kw(Kw::From))?;
+        let mut from = vec![self.source_item()?];
+        while self.eat(&Tok::Comma) {
+            from.push(self.source_item()?);
+        }
+        let where_clause = if self.eat(&Tok::Kw(Kw::Where)) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Query { distinct, select, from, where_clause })
+    }
+
+    /// `doc("url")` `[timespec]`? path var
+    fn source_item(&mut self) -> Result<FromItem> {
+        self.expect(&Tok::Kw(Kw::Doc))?;
+        self.expect(&Tok::LParen)?;
+        let url = match self.bump() {
+            Tok::Str(s) => s,
+            Tok::Star => "*".to_string(),
+            other => return Err(self.err(format!("expected document url string, found {other:?}"))),
+        };
+        self.expect(&Tok::RParen)?;
+        let time = if self.eat(&Tok::LBracket) {
+            if self.eat(&Tok::Kw(Kw::Every)) {
+                self.expect(&Tok::RBracket)?;
+                TimeSpec::Every
+            } else {
+                let e = self.expr()?;
+                self.expect(&Tok::RBracket)?;
+                TimeSpec::At(e)
+            }
+        } else {
+            TimeSpec::Current
+        };
+        let path = self.path_from_source()?;
+        let var = match self.bump() {
+            Tok::Ident(v) => v,
+            other => return Err(self.err(format!("expected variable name, found {other:?}"))),
+        };
+        Ok(FromItem { url, time, path, var })
+    }
+
+    /// A path starting with `/` or `//` right after the doc source.
+    fn path_from_source(&mut self) -> Result<Path> {
+        let mut steps = Vec::new();
+        loop {
+            let axis = if self.eat(&Tok::DoubleSlash) {
+                Axis::Descendant
+            } else if self.eat(&Tok::Slash) {
+                Axis::Child
+            } else {
+                break;
+            };
+            steps.push(self.path_step(axis)?);
+        }
+        if steps.is_empty() {
+            return Err(self.err("expected a path after the document source"));
+        }
+        Ok(Path { steps, absolute: true })
+    }
+
+    fn path_step(&mut self, axis: Axis) -> Result<Step> {
+        match self.bump() {
+            Tok::Ident(name) => {
+                if name == "text" && self.eat(&Tok::LParen) {
+                    self.expect(&Tok::RParen)?;
+                    Ok(Step { axis, test: Test::Text })
+                } else {
+                    Ok(Step { axis, test: Test::Name(name) })
+                }
+            }
+            Tok::Star => Ok(Step { axis, test: Test::AnyElement }),
+            other => Err(self.err(format!("expected path step, found {other:?}"))),
+        }
+    }
+
+    // ---- expressions --------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut e = self.and_expr()?;
+        while self.eat(&Tok::Kw(Kw::Or)) {
+            let rhs = self.and_expr()?;
+            e = Expr::Or(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut e = self.not_expr()?;
+        while self.eat(&Tok::Kw(Kw::And)) {
+            let rhs = self.not_expr()?;
+            e = Expr::And(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat(&Tok::Kw(Kw::Not)) {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let lhs = self.shift_expr()?;
+        let op = match self.peek() {
+            Tok::Eq => CmpOp::Eq,
+            Tok::EqEq => CmpOp::Identity,
+            Tok::Neq => CmpOp::Neq,
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            Tok::Tilde => CmpOp::Similar,
+            Tok::Kw(Kw::Contains) => CmpOp::Contains,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.shift_expr()?;
+        Ok(Expr::Cmp { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+    }
+
+    /// Time arithmetic: `primary (± n UNIT)*`.
+    fn shift_expr(&mut self) -> Result<Expr> {
+        let mut e = self.postfix_expr()?;
+        loop {
+            let negative = match self.peek() {
+                Tok::Plus => false,
+                Tok::Minus => true,
+                _ => break,
+            };
+            self.bump();
+            let n: u64 = match self.bump() {
+                Tok::Number(n) => n
+                    .parse()
+                    .map_err(|_| self.err("duration amount must be an integer"))?,
+                other => return Err(self.err(format!("expected duration amount, found {other:?}"))),
+            };
+            let micros = match self.bump() {
+                Tok::Kw(Kw::Days) => n * 86_400_000_000,
+                Tok::Kw(Kw::Weeks) => n * 7 * 86_400_000_000,
+                Tok::Kw(Kw::Hours) => n * 3_600_000_000,
+                Tok::Kw(Kw::Minutes) => n * 60_000_000,
+                Tok::Kw(Kw::Seconds) => n * 1_000_000,
+                other => return Err(self.err(format!("expected duration unit, found {other:?}"))),
+            };
+            e = Expr::TimeShift { base: Box::new(e), negative, micros };
+        }
+        Ok(e)
+    }
+
+    /// Primary optionally followed by a relative path (`R/price`,
+    /// `CURRENT(R)/name`, `R//x/text()`).
+    fn postfix_expr(&mut self) -> Result<Expr> {
+        let base = self.primary()?;
+        let mut steps = Vec::new();
+        loop {
+            let axis = if matches!(self.peek(), Tok::DoubleSlash) {
+                self.bump();
+                Axis::Descendant
+            } else if matches!(self.peek(), Tok::Slash)
+                && matches!(self.peek2(), Tok::Ident(_) | Tok::Star)
+            {
+                self.bump();
+                Axis::Child
+            } else {
+                break;
+            };
+            steps.push(self.path_step(axis)?);
+        }
+        if steps.is_empty() {
+            Ok(base)
+        } else {
+            Ok(Expr::PathOf {
+                base: Box::new(base),
+                path: Path { steps, absolute: false },
+            })
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            Tok::Kw(Kw::Now) => {
+                self.bump();
+                Ok(Expr::Now)
+            }
+            Tok::Star => {
+                self.bump();
+                Ok(Expr::Star)
+            }
+            Tok::Number(first) => {
+                self.bump();
+                // A date literal is NUMBER / NUMBER / NUMBER.
+                if matches!(self.peek(), Tok::Slash) && matches!(self.peek2(), Tok::Number(_)) {
+                    self.bump(); // '/'
+                    let month = match self.bump() {
+                        Tok::Number(m) => m,
+                        other => return Err(self.err(format!("expected month, found {other:?}"))),
+                    };
+                    self.expect(&Tok::Slash)
+                        .map_err(|_| self.err("expected `/` in date literal"))?;
+                    let year = match self.bump() {
+                        Tok::Number(y) => y,
+                        other => return Err(self.err(format!("expected year, found {other:?}"))),
+                    };
+                    let ts = Timestamp::parse(&format!("{first}/{month}/{year}"))?;
+                    return Ok(Expr::Date(ts));
+                }
+                let n: f64 = first
+                    .parse()
+                    .map_err(|_| self.err(format!("bad number `{first}`")))?;
+                Ok(Expr::Num(n))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                // `CREATE TIME(R)` / `DELETE TIME(R)` two-word forms.
+                let two_word = if name.eq_ignore_ascii_case("create")
+                    || name.eq_ignore_ascii_case("delete")
+                {
+                    if let Tok::Ident(second) = self.peek() {
+                        if second.eq_ignore_ascii_case("time") {
+                            let combined = format!("{name}time");
+                            self.bump();
+                            Some(combined)
+                        } else {
+                            None
+                        }
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+                let name = two_word.unwrap_or(name);
+                if matches!(self.peek(), Tok::LParen) {
+                    let func = match name.to_ascii_uppercase().as_str() {
+                        "TIME" => Func::Time,
+                        "CREATETIME" | "CREATE_TIME" => Func::CreateTime,
+                        "DELETETIME" | "DELETE_TIME" => Func::DeleteTime,
+                        "CURRENT" => Func::Current,
+                        "PREVIOUS" => Func::Previous,
+                        "NEXT" => Func::Next,
+                        "DIFF" => Func::Diff,
+                        "COUNT" => Func::Count,
+                        "SUM" => Func::Sum,
+                        "SIMILARITY" => Func::Similarity,
+                        other => {
+                            return Err(self.err(format!("unknown function `{other}`")))
+                        }
+                    };
+                    self.bump(); // '('
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), Tok::RParen) {
+                        args.push(self.expr()?);
+                        while self.eat(&Tok::Comma) {
+                            args.push(self.expr()?);
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                    let want = match func {
+                        Func::Diff | Func::Similarity => 2,
+                        _ => 1,
+                    };
+                    if args.len() != want {
+                        return Err(self.err(format!(
+                            "{func:?} takes {want} argument(s), got {}",
+                            args.len()
+                        )));
+                    }
+                    Ok(Expr::Func { name: func, args })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txdb_xml::path::Test;
+
+    #[test]
+    fn q1_snapshot_query() {
+        // Q1 from the paper (with the snapshot timestamp made concrete).
+        let q = parse_query(
+            r#"SELECT R FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#,
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 1);
+        assert!(matches!(q.select[0], Expr::Var(ref v) if v == "R"));
+        assert_eq!(q.from.len(), 1);
+        assert_eq!(q.from[0].url, "guide.com/restaurants");
+        assert_eq!(q.from[0].var, "R");
+        match &q.from[0].time {
+            TimeSpec::At(Expr::Date(ts)) => {
+                assert_eq!(*ts, Timestamp::from_date(2001, 1, 26));
+            }
+            other => panic!("wrong timespec {other:?}"),
+        }
+        assert_eq!(q.from[0].path.steps.len(), 1);
+        assert!(matches!(
+            q.from[0].path.steps[0].test,
+            Test::Name(ref n) if n == "restaurant"
+        ));
+    }
+
+    #[test]
+    fn q2_aggregate() {
+        let q = parse_query(
+            r#"SELECT COUNT(R) FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#,
+        )
+        .unwrap();
+        assert!(q.select[0].has_aggregate());
+    }
+
+    #[test]
+    fn q3_every_with_where() {
+        let q = parse_query(
+            r#"SELECT TIME(R), R/price
+               FROM doc("guide.com/restaurants")[EVERY]//restaurant R
+               WHERE R/name = "Napoli""#,
+        )
+        .unwrap();
+        assert!(matches!(q.from[0].time, TimeSpec::Every));
+        assert_eq!(q.select.len(), 2);
+        match &q.where_clause {
+            Some(Expr::Cmp { op: CmpOp::Eq, lhs, rhs }) => {
+                assert!(matches!(**lhs, Expr::PathOf { .. }));
+                assert!(matches!(**rhs, Expr::Str(ref s) if s == "Napoli"));
+            }
+            other => panic!("wrong where {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_time_both_spellings() {
+        for q in [
+            r#"SELECT R FROM doc("d")//r R WHERE CREATETIME(R) >= 11/01/2001"#,
+            r#"SELECT R FROM doc("d")//r R WHERE CREATE TIME(R) >= 11/01/2001"#,
+        ] {
+            let parsed = parse_query(q).unwrap();
+            match parsed.where_clause.unwrap() {
+                Expr::Cmp { op: CmpOp::Ge, lhs, .. } => {
+                    assert!(matches!(*lhs, Expr::Func { name: Func::CreateTime, .. }));
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn now_arithmetic() {
+        let q = parse_query(r#"SELECT R FROM doc("d")[NOW - 14 DAYS]//r R"#).unwrap();
+        match &q.from[0].time {
+            TimeSpec::At(Expr::TimeShift { base, negative, micros }) => {
+                assert!(matches!(**base, Expr::Now));
+                assert!(*negative);
+                assert_eq!(*micros, 14 * 86_400_000_000);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Date + weeks too.
+        let q = parse_query(r#"SELECT R FROM doc("d")[26/01/2001 + 2 WEEKS]//r R"#).unwrap();
+        assert!(matches!(q.from[0].time, TimeSpec::At(Expr::TimeShift { .. })));
+    }
+
+    #[test]
+    fn multi_source_join_query() {
+        // The §7.4 price-increase query shape.
+        let q = parse_query(
+            r#"SELECT R1/name
+               FROM doc("guide.com/restaurants")[10/01/2001]//restaurant R1,
+                    doc("guide.com/restaurants")//restaurant R2
+               WHERE R1/name = R2/name AND R1/price < R2/price"#,
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 2);
+        assert!(matches!(q.from[0].time, TimeSpec::At(_)));
+        assert!(matches!(q.from[1].time, TimeSpec::Current));
+        assert!(matches!(q.where_clause, Some(Expr::And(..))));
+    }
+
+    #[test]
+    fn distinct_current_path() {
+        // §6: SELECT DISTINCT CURRENT(R)/name.
+        let q = parse_query(r#"SELECT DISTINCT CURRENT(R)/name FROM doc("d")//r R"#).unwrap();
+        assert!(q.distinct);
+        match &q.select[0] {
+            Expr::PathOf { base, path } => {
+                assert!(matches!(**base, Expr::Func { name: Func::Current, .. }));
+                assert_eq!(path.steps.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn diff_and_similarity() {
+        let q = parse_query(r#"SELECT DIFF(R1, R2) FROM doc("a")//x R1, doc("b")//x R2 WHERE R1 ~ R2"#)
+            .unwrap();
+        assert!(matches!(q.select[0], Expr::Func { name: Func::Diff, .. }));
+        assert!(matches!(
+            q.where_clause,
+            Some(Expr::Cmp { op: CmpOp::Similar, .. })
+        ));
+    }
+
+    #[test]
+    fn identity_vs_value_equality() {
+        let q = parse_query(r#"SELECT R1 FROM doc("a")//x R1, doc("a")//x R2 WHERE R1 == R2"#)
+            .unwrap();
+        assert!(matches!(
+            q.where_clause,
+            Some(Expr::Cmp { op: CmpOp::Identity, .. })
+        ));
+    }
+
+    #[test]
+    fn deep_paths_and_wildcards() {
+        let q = parse_query(r#"SELECT R/a//b/text() FROM doc("d")/root/*/item R"#).unwrap();
+        match &q.select[0] {
+            Expr::PathOf { path, .. } => {
+                assert_eq!(path.steps.len(), 3);
+                assert!(matches!(path.steps[2].test, Test::Text));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(q.from[0].path.steps.len(), 3);
+        assert!(matches!(q.from[0].path.steps[1].test, Test::AnyElement));
+    }
+
+    #[test]
+    fn count_star() {
+        let q = parse_query(r#"SELECT COUNT(*) FROM doc("d")//r R"#).unwrap();
+        match &q.select[0] {
+            Expr::Func { name: Func::Count, args } => {
+                assert!(matches!(args[0], Expr::Star));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn contains_predicate() {
+        let q = parse_query(r#"SELECT R FROM doc("d")//r R WHERE R/name CONTAINS "apol""#)
+            .unwrap();
+        assert!(matches!(
+            q.where_clause,
+            Some(Expr::Cmp { op: CmpOp::Contains, .. })
+        ));
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in [
+            "",
+            "SELECT",
+            "SELECT R",
+            "SELECT R FROM",
+            r#"SELECT R FROM doc("d") R"#, // missing path
+            r#"SELECT R FROM doc(d)//r R"#,
+            r#"SELECT R FROM doc("d")//r"#, // missing var
+            r#"SELECT BOGUS(R) FROM doc("d")//r R"#,
+            r#"SELECT DIFF(R) FROM doc("d")//r R"#, // arity
+            r#"SELECT R FROM doc("d")[EVERY//r R"#,
+            r#"SELECT R FROM doc("d")//r R WHERE"#,
+            r#"SELECT R FROM doc("d")//r R WHERE R ="#,
+            r#"SELECT R FROM doc("d")//r R trailing"#,
+        ] {
+            assert!(parse_query(bad).is_err(), "should fail: {bad}");
+        }
+    }
+
+    #[test]
+    fn invalid_date_rejected() {
+        assert!(parse_query(r#"SELECT R FROM doc("d")[32/01/2001]//r R"#).is_err());
+    }
+}

@@ -1,0 +1,520 @@
+//! Query planning: from AST to executable source plans.
+//!
+//! For every `FROM` item the planner picks an access strategy:
+//!
+//! * **Index scan** — when every path step names a tag, the path compiles
+//!   to a pattern tree and runs through the §7.3.1/7.3.2 operators
+//!   (`PatternScan`/`TPatternScan`/`TPatternScanAll`). An absolute first
+//!   step anchors the pattern at document roots. Equality predicates of
+//!   the shape `Var/path = "literal"` are *pushed down* as word
+//!   constraints on the pattern (a necessary condition; the filter is
+//!   still evaluated afterwards), so the FTI prunes non-matching
+//!   documents before any reconstruction.
+//! * **Tree scan** — paths with `*` or `text()` steps fall back to
+//!   reconstructing the relevant version(s) and evaluating the path
+//!   directly (the stratum-style evaluation; rarely taken, and measured
+//!   against the index path in the experiments).
+//!
+//! Snapshot time expressions (`[26/01/2001]`, `[NOW - 14 DAYS]`) are
+//! constant-folded at plan time.
+
+use txdb_base::{DocId, Duration, Error, Interval, Result, Timestamp};
+use txdb_xml::path::{Axis, Path, Test};
+use txdb_xml::pattern::{PatternNode, PatternTree};
+use txdb_xml::similarity::tokenize;
+
+use txdb_core::Database;
+
+use crate::ast::{CmpOp, Expr, Query, TimeSpec};
+
+/// Which version(s) a source ranges over, resolved.
+#[derive(Clone, Copy, Debug)]
+pub enum ScanMode {
+    /// Current versions only.
+    Current,
+    /// The snapshot valid at a fixed time.
+    At(Timestamp),
+    /// All versions committed within the interval. `[EVERY]` starts as
+    /// `Interval::ALL`; `TIME(var) >= t` conjuncts narrow it at plan time
+    /// (the paper's §8 "algebraic rewriting techniques" — fewer versions
+    /// expanded means fewer candidate rows and fewer reconstructions).
+    Every(Interval),
+}
+
+/// Which documents a source ranges over.
+#[derive(Clone, Copy, Debug)]
+pub enum DocSel {
+    /// The whole collection (`doc("*")`).
+    All,
+    /// One document.
+    One(DocId),
+    /// The named document does not exist — the source is empty.
+    Missing,
+}
+
+/// Access strategy for one source.
+#[derive(Clone, Debug)]
+pub enum Strategy {
+    /// FTI-backed pattern scan; the variable binds to the pattern's
+    /// projected node.
+    Index(PatternTree),
+    /// Reconstruct + evaluate the path directly.
+    Tree(Path),
+}
+
+/// One planned `FROM` source.
+#[derive(Clone, Debug)]
+pub struct SourcePlan {
+    /// The bound variable.
+    pub var: String,
+    /// Documents in range.
+    pub docs: DocSel,
+    /// Version range.
+    pub mode: ScanMode,
+    /// Access path.
+    pub strategy: Strategy,
+}
+
+/// A fully planned query.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// The `NOW` anchor the query was planned with (also used when `NOW`
+    /// appears in WHERE/SELECT expressions).
+    pub now: Timestamp,
+    /// Sources, in `FROM` order.
+    pub sources: Vec<SourcePlan>,
+    /// Residual filter (always fully evaluated, even with pushdown).
+    pub filter: Option<Expr>,
+    /// Projection list.
+    pub select: Vec<Expr>,
+    /// Deduplicate output rows.
+    pub distinct: bool,
+    /// The select list aggregates the whole result into one row.
+    pub aggregate: bool,
+}
+
+/// Plans a parsed query against a database. `now` anchors `NOW`.
+pub fn plan_query(db: &Database, q: &Query, now: Timestamp) -> Result<Plan> {
+    let aggregate = q.select.iter().any(Expr::has_aggregate);
+    if aggregate && !q.select.iter().all(Expr::has_aggregate) {
+        return Err(Error::QueryInvalid(
+            "cannot mix aggregate and non-aggregate select items".into(),
+        ));
+    }
+    // Validate variable references.
+    let declared: Vec<&str> = q.from.iter().map(|f| f.var.as_str()).collect();
+    {
+        let mut used = Vec::new();
+        for e in &q.select {
+            e.variables(&mut used);
+        }
+        if let Some(w) = &q.where_clause {
+            w.variables(&mut used);
+        }
+        for v in &used {
+            if !declared.contains(&v.as_str()) {
+                return Err(Error::QueryInvalid(format!("unknown variable `{v}`")));
+            }
+        }
+    }
+    if declared.len()
+        != declared
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    {
+        return Err(Error::QueryInvalid("duplicate variable in FROM".into()));
+    }
+
+    let mut sources = Vec::with_capacity(q.from.len());
+    for item in &q.from {
+        let docs = if item.url == "*" {
+            DocSel::All
+        } else {
+            match db.store().doc_id(&item.url)? {
+                Some(d) => DocSel::One(d),
+                None => DocSel::Missing,
+            }
+        };
+        let mode = match &item.time {
+            TimeSpec::Current => ScanMode::Current,
+            TimeSpec::Every => {
+                ScanMode::Every(every_interval(&item.var, q.where_clause.as_ref(), now))
+            }
+            TimeSpec::At(e) => ScanMode::At(const_time(e, now)?),
+        };
+        let strategy = match compile_pattern(&item.path, &item.var) {
+            Some(mut pattern) => {
+                push_down_words(&mut pattern, &item.var, q.where_clause.as_ref());
+                Strategy::Index(pattern)
+            }
+            None => Strategy::Tree(item.path.clone()),
+        };
+        sources.push(SourcePlan { var: item.var.clone(), docs, mode, strategy });
+    }
+    Ok(Plan {
+        now,
+        sources,
+        filter: q.where_clause.clone(),
+        select: q.select.clone(),
+        distinct: q.distinct,
+        aggregate,
+    })
+}
+
+/// Constant-folds a time expression (`Date`, `NOW`, `±` shifts).
+pub fn const_time(e: &Expr, now: Timestamp) -> Result<Timestamp> {
+    match e {
+        Expr::Date(ts) => Ok(*ts),
+        Expr::Now => Ok(now),
+        Expr::Num(n) if *n >= 0.0 => Ok(Timestamp::from_micros(*n as u64)),
+        Expr::TimeShift { base, negative, micros } => {
+            let b = const_time(base, now)?;
+            Ok(if *negative {
+                b - txdb_base::Duration::from_micros(*micros)
+            } else {
+                b + txdb_base::Duration::from_micros(*micros)
+            })
+        }
+        other => Err(Error::QueryInvalid(format!(
+            "snapshot time must be a constant time expression, got {other:?}"
+        ))),
+    }
+}
+
+/// Compiles a FROM path into a pattern tree when all steps are tag names;
+/// the variable binds to the last step's node.
+fn compile_pattern(path: &Path, var: &str) -> Option<PatternTree> {
+    let mut names = Vec::with_capacity(path.steps.len());
+    for step in &path.steps {
+        match &step.test {
+            Test::Name(n) => names.push((step.axis, n.clone())),
+            _ => return None,
+        }
+    }
+    let mut iter = names.iter().rev();
+    let (last_axis, last_name) = iter.next().unwrap();
+    let mut cur = PatternNode::tag(last_name.clone()).project().var(var);
+    let mut cur_axis = *last_axis;
+    for (axis, name) in iter {
+        let parent = PatternNode::tag(name.clone());
+        cur = match cur_axis {
+            Axis::Child => parent.child(cur),
+            Axis::Descendant => parent.descendant(cur),
+        };
+        cur_axis = *axis;
+    }
+    if path.absolute && cur_axis == Axis::Child {
+        cur = cur.root_only();
+    }
+    Some(PatternTree::new(cur))
+}
+
+/// Derives the version interval of an `[EVERY]` source from `TIME(var)`
+/// lower-bound conjuncts. Sound direction only: an element's §4 timestamp
+/// never exceeds the commit time of the version it appears in, so
+/// `TIME(R) >= t` implies the version's commit time is `>= t`; upper
+/// bounds do NOT transfer (an old element appears unchanged in new
+/// versions). The residual filter still runs — this only prunes the
+/// expansion.
+fn every_interval(var: &str, filter: Option<&Expr>, now: Timestamp) -> Interval {
+    let mut interval = Interval::ALL;
+    let Some(filter) = filter else { return interval };
+    let mut conjuncts = Vec::new();
+    collect_conjuncts(filter, &mut conjuncts);
+    for c in conjuncts {
+        let Expr::Cmp { op, lhs, rhs } = c else { continue };
+        // TIME(var) OP const  /  const OP TIME(var)
+        let (op, time_side, const_side) = match (&**lhs, &**rhs) {
+            (Expr::Func { name: crate::ast::Func::Time, args }, other) => (*op, args, other),
+            (other, Expr::Func { name: crate::ast::Func::Time, args }) => {
+                let flipped = match *op {
+                    CmpOp::Ge => CmpOp::Le,
+                    CmpOp::Gt => CmpOp::Lt,
+                    CmpOp::Le => CmpOp::Ge,
+                    CmpOp::Lt => CmpOp::Gt,
+                    o => o,
+                };
+                (flipped, args, other)
+            }
+            _ => continue,
+        };
+        if !matches!(time_side.first(), Some(Expr::Var(v)) if v == var) {
+            continue;
+        }
+        let Ok(t) = const_time(const_side, now) else { continue };
+        match op {
+            CmpOp::Ge => interval.start = interval.start.max(t),
+            CmpOp::Gt => {
+                interval.start = interval.start.max(t + Duration::from_micros(1))
+            }
+            _ => {}
+        }
+    }
+    interval
+}
+
+/// Pushes `var/path = "literal"` conjuncts into the pattern as word
+/// constraints (necessary condition; the filter still runs).
+fn push_down_words(pattern: &mut PatternTree, var: &str, filter: Option<&Expr>) {
+    let Some(filter) = filter else { return };
+    let mut conjuncts = Vec::new();
+    collect_conjuncts(filter, &mut conjuncts);
+    for c in conjuncts {
+        let Expr::Cmp { op: CmpOp::Eq, lhs, rhs } = c else { continue };
+        let (path_expr, lit) = match (&**lhs, &**rhs) {
+            (Expr::PathOf { base, path }, Expr::Str(s)) => match &**base {
+                Expr::Var(v) if v == var => (path, s),
+                _ => continue,
+            },
+            (Expr::Str(s), Expr::PathOf { base, path }) => match &**base {
+                Expr::Var(v) if v == var => (path, s),
+                _ => continue,
+            },
+            _ => continue,
+        };
+        // Only all-name relative paths can be pushed.
+        let mut names = Vec::new();
+        for step in &path_expr.steps {
+            match &step.test {
+                Test::Name(n) => names.push((step.axis, n.clone())),
+                _ => {
+                    names.clear();
+                    break;
+                }
+            }
+        }
+        if names.is_empty() {
+            continue;
+        }
+        let words: Vec<String> = tokenize(lit).collect();
+        if words.is_empty() {
+            continue;
+        }
+        // Build the constraint chain under the var node.
+        let mut iter = names.iter().rev();
+        let (last_axis, last_name) = iter.next().unwrap();
+        let mut leaf = PatternNode::tag(last_name.clone());
+        for w in &words {
+            leaf = leaf.word(w);
+        }
+        let mut cur = leaf;
+        let mut cur_axis = *last_axis;
+        for (axis, name) in iter {
+            let parent = PatternNode::tag(name.clone());
+            cur = match cur_axis {
+                Axis::Child => parent.child(cur),
+                Axis::Descendant => parent.descendant(cur),
+            };
+            cur_axis = *axis;
+        }
+        // Attach to the var node.
+        attach_to_var(&mut pattern.root, var, cur, cur_axis);
+    }
+}
+
+fn attach_to_var(node: &mut PatternNode, var: &str, constraint: PatternNode, axis: Axis) {
+    if node.var.as_deref() == Some(var) {
+        let mut c = constraint;
+        c.edge = match axis {
+            Axis::Child => txdb_xml::pattern::PatternEdge::Child,
+            Axis::Descendant => txdb_xml::pattern::PatternEdge::Descendant,
+        };
+        node.children.push(c);
+        return;
+    }
+    for child in &mut node.children {
+        attach_to_var(child, var, constraint.clone(), axis);
+    }
+}
+
+/// Flattens a conjunction into its top-level conjuncts.
+fn collect_conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    match e {
+        Expr::And(a, b) => {
+            collect_conjuncts(a, out);
+            collect_conjuncts(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn ts(n: u64) -> Timestamp {
+        Timestamp::from_micros(n * 1000)
+    }
+
+    fn db_with_doc() -> Database {
+        let db = Database::in_memory();
+        db.put(
+            "guide.com/restaurants",
+            "<guide><restaurant><name>Napoli</name><price>15</price></restaurant></guide>",
+            ts(1),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn snapshot_time_folded() {
+        let db = db_with_doc();
+        let q = parse_query(r#"SELECT R FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#)
+            .unwrap();
+        let p = plan_query(&db, &q, ts(999)).unwrap();
+        match p.sources[0].mode {
+            ScanMode::At(t) => assert_eq!(t, Timestamp::from_date(2001, 1, 26)),
+            ref other => panic!("{other:?}"),
+        }
+        assert!(matches!(p.sources[0].docs, DocSel::One(_)));
+        assert!(matches!(p.sources[0].strategy, Strategy::Index(_)));
+    }
+
+    #[test]
+    fn now_arithmetic_folded() {
+        let db = db_with_doc();
+        let now = Timestamp::from_date(2001, 2, 1);
+        let q = parse_query(r#"SELECT R FROM doc("guide.com/restaurants")[NOW - 14 DAYS]//restaurant R"#)
+            .unwrap();
+        let p = plan_query(&db, &q, now).unwrap();
+        match p.sources[0].mode {
+            ScanMode::At(t) => assert_eq!(t, Timestamp::from_date(2001, 1, 18)),
+            ref other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_doc_planned_empty() {
+        let db = db_with_doc();
+        let q = parse_query(r#"SELECT R FROM doc("no.such.doc")//r R"#).unwrap();
+        let p = plan_query(&db, &q, ts(1)).unwrap();
+        assert!(matches!(p.sources[0].docs, DocSel::Missing));
+    }
+
+    #[test]
+    fn wildcard_path_uses_tree_scan() {
+        let db = db_with_doc();
+        let q = parse_query(r#"SELECT R FROM doc("*")/guide/*/name R"#).unwrap();
+        let p = plan_query(&db, &q, ts(1)).unwrap();
+        assert!(matches!(p.sources[0].strategy, Strategy::Tree(_)));
+        assert!(matches!(p.sources[0].docs, DocSel::All));
+    }
+
+    #[test]
+    fn multi_step_pattern_chain() {
+        let db = db_with_doc();
+        let q = parse_query(r#"SELECT R FROM doc("*")/guide//restaurant/name R"#).unwrap();
+        let p = plan_query(&db, &q, ts(1)).unwrap();
+        let Strategy::Index(pattern) = &p.sources[0].strategy else {
+            panic!("expected index strategy")
+        };
+        let nodes = pattern.nodes();
+        assert_eq!(nodes.len(), 3);
+        assert!(nodes[0].at_root, "absolute /guide anchors at root");
+        assert_eq!(nodes[0].tag.as_deref(), Some("guide"));
+        assert_eq!(nodes[2].tag.as_deref(), Some("name"));
+        assert_eq!(nodes[2].var.as_deref(), Some("R"));
+        assert!(nodes[2].project);
+    }
+
+    #[test]
+    fn equality_pushdown_adds_words() {
+        let db = db_with_doc();
+        let q = parse_query(
+            r#"SELECT R FROM doc("*")//restaurant R WHERE R/name = "Napoli" AND R/price < 20"#,
+        )
+        .unwrap();
+        let p = plan_query(&db, &q, ts(1)).unwrap();
+        let Strategy::Index(pattern) = &p.sources[0].strategy else {
+            panic!()
+        };
+        let nodes = pattern.nodes();
+        assert_eq!(nodes.len(), 2, "name constraint attached");
+        assert_eq!(nodes[1].tag.as_deref(), Some("name"));
+        assert_eq!(nodes[1].words, vec!["napoli"]);
+        // The `<` predicate is NOT pushed (not an equality with literal).
+        assert!(p.filter.is_some(), "filter retained");
+    }
+
+    #[test]
+    fn aggregate_mixing_rejected() {
+        let db = db_with_doc();
+        let q = parse_query(r#"SELECT COUNT(R), R FROM doc("*")//r R"#).unwrap();
+        assert!(plan_query(&db, &q, ts(1)).is_err());
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        let db = db_with_doc();
+        let q = parse_query(r#"SELECT S FROM doc("*")//r R"#).unwrap();
+        assert!(plan_query(&db, &q, ts(1)).is_err());
+        let q = parse_query(r#"SELECT R FROM doc("*")//r R WHERE X = 1"#).unwrap();
+        assert!(plan_query(&db, &q, ts(1)).is_err());
+    }
+
+    #[test]
+    fn duplicate_variable_rejected() {
+        let db = db_with_doc();
+        let q = parse_query(r#"SELECT R FROM doc("*")//a R, doc("*")//b R"#).unwrap();
+        assert!(plan_query(&db, &q, ts(1)).is_err());
+    }
+
+    #[test]
+    fn time_lower_bound_narrows_every_interval() {
+        let db = db_with_doc();
+        let q = parse_query(
+            r#"SELECT R FROM doc("*")[EVERY]//restaurant R
+               WHERE TIME(R) >= 26/01/2001 AND R/price < 20"#,
+        )
+        .unwrap();
+        let p = plan_query(&db, &q, ts(1)).unwrap();
+        match p.sources[0].mode {
+            ScanMode::Every(iv) => {
+                assert_eq!(iv.start, Timestamp::from_date(2001, 1, 26));
+                assert!(iv.end == Timestamp::FOREVER);
+            }
+            ref other => panic!("{other:?}"),
+        }
+        // Flipped operand order narrows too: t <= TIME(R).
+        let q = parse_query(
+            r#"SELECT R FROM doc("*")[EVERY]//restaurant R WHERE 26/01/2001 <= TIME(R)"#,
+        )
+        .unwrap();
+        let p = plan_query(&db, &q, ts(1)).unwrap();
+        assert!(matches!(
+            p.sources[0].mode,
+            ScanMode::Every(iv) if iv.start == Timestamp::from_date(2001, 1, 26)
+        ));
+        // Upper bounds must NOT narrow (unsound direction).
+        let q = parse_query(
+            r#"SELECT R FROM doc("*")[EVERY]//restaurant R WHERE TIME(R) <= 26/01/2001"#,
+        )
+        .unwrap();
+        let p = plan_query(&db, &q, ts(1)).unwrap();
+        assert!(matches!(
+            p.sources[0].mode,
+            ScanMode::Every(iv) if iv == txdb_base::Interval::ALL
+        ));
+        // A bound on a DIFFERENT variable must not narrow this source.
+        let q = parse_query(
+            r#"SELECT R FROM doc("*")[EVERY]//restaurant R, doc("*")//bar S
+               WHERE TIME(S) >= 26/01/2001"#,
+        )
+        .unwrap();
+        let p = plan_query(&db, &q, ts(1)).unwrap();
+        assert!(matches!(
+            p.sources[0].mode,
+            ScanMode::Every(iv) if iv == txdb_base::Interval::ALL
+        ));
+    }
+
+    #[test]
+    fn non_constant_snapshot_time_rejected() {
+        let db = db_with_doc();
+        let q = parse_query(r#"SELECT R FROM doc("*")[R]//r R"#).unwrap();
+        assert!(plan_query(&db, &q, ts(1)).is_err());
+    }
+}

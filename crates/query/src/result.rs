@@ -1,0 +1,121 @@
+//! Query results and their XML rendering.
+//!
+//! §5: "the results of an outer query is delivered as default in a
+//! document with enclosing tags named `results`. Each result from the
+//! SELECT expression is delivered in one element with tags named
+//! `result`."
+
+use txdb_base::Timestamp;
+use txdb_xml::serialize::escape_text;
+
+use crate::exec::ExecStats;
+
+/// One output value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OutValue {
+    /// Absent value (e.g. `PREVIOUS(R)` of the first version).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Number.
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Timestamp.
+    Time(Timestamp),
+    /// Serialized XML (element results, diff edit scripts).
+    Xml(String),
+}
+
+impl OutValue {
+    /// Renders the value into a `<result>` body.
+    fn render(&self, out: &mut String) {
+        match self {
+            OutValue::Null => {}
+            OutValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            OutValue::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            OutValue::Str(s) => escape_text(s, out),
+            OutValue::Time(t) => out.push_str(&t.to_string()),
+            OutValue::Xml(x) => out.push_str(x),
+        }
+    }
+
+    /// A plain-text rendering (for examples and test assertions).
+    pub fn as_text(&self) -> String {
+        let mut s = String::new();
+        self.render(&mut s);
+        s
+    }
+}
+
+/// A complete query result.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// Output rows, one `Vec` per row with one value per select item.
+    pub rows: Vec<Vec<OutValue>>,
+    /// Execution statistics.
+    pub stats: ExecStats,
+}
+
+impl QueryResult {
+    /// The §5 result document: `<results><result>…</result>…</results>`.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::from("<results>");
+        for row in &self.rows {
+            out.push_str("<result>");
+            for v in row {
+                v.render(&mut out);
+            }
+            out.push_str("</result>");
+        }
+        out.push_str("</results>");
+        out
+    }
+
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xml_envelope() {
+        let r = QueryResult {
+            rows: vec![
+                vec![OutValue::Time(Timestamp::from_date(2001, 1, 15)), OutValue::Xml("<price>15</price>".into())],
+                vec![OutValue::Str("a<b".into()), OutValue::Num(3.0)],
+                vec![OutValue::Null],
+            ],
+            stats: ExecStats::default(),
+        };
+        assert_eq!(
+            r.to_xml(),
+            "<results><result>2001-01-15<price>15</price></result>\
+             <result>a&lt;b3</result><result></result></results>"
+        );
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn number_rendering() {
+        assert_eq!(OutValue::Num(15.0).as_text(), "15");
+        assert_eq!(OutValue::Num(12.5).as_text(), "12.5");
+        assert_eq!(OutValue::Bool(true).as_text(), "true");
+    }
+}

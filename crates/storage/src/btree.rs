@@ -1,0 +1,655 @@
+//! B+-tree with byte-string keys and values.
+//!
+//! Used for the document catalog (name → doc id), the per-document
+//! metadata directory (doc id → metadata record) and the persistent
+//! EID-time index of §7.3.6. Keys and values are arbitrary byte strings up
+//! to 1 KiB each; all comparisons are lexicographic, so numeric keys must
+//! be encoded big-endian (the helpers in callers do).
+//!
+//! ```text
+//! leaf:     [0x20][nkeys u16][next u64]  ([klen u16][vlen u16][key][val])*
+//! internal: [0x21][nkeys u16][child0 u64]([klen u16][key][child u64])*
+//! ```
+//!
+//! Each operation parses the affected page into a small vector, mutates it
+//! and writes it back — simple, obviously correct, and fast enough behind
+//! the buffer pool. Inserts split on overflow (including root splits);
+//! deletes are lazy (no rebalancing — pages are reclaimed only when a leaf
+//! becomes completely empty and is unlinked is *not* attempted; this is
+//! the classic simple-engine trade-off and is documented behaviour).
+//! Range scans walk the leaf chain.
+
+use txdb_base::{Error, Result};
+
+use crate::buffer::BufferPool;
+use crate::pager::{PageId, PAGE_SIZE};
+
+const TYPE_LEAF: u8 = 0x20;
+const TYPE_INTERNAL: u8 = 0x21;
+
+/// Maximum key length.
+pub const MAX_KEY: usize = 1024;
+/// Maximum value length.
+pub const MAX_VAL: usize = 1024;
+
+type Entry = (Vec<u8>, Vec<u8>);
+/// Result of an insert descent: replaced old value + optional split
+/// (separator key, new right page).
+type InsertOutcome = (Option<Vec<u8>>, Option<(Vec<u8>, PageId)>);
+
+enum Node {
+    Leaf { entries: Vec<Entry>, next: PageId },
+    Internal { child0: PageId, entries: Vec<(Vec<u8>, PageId)> },
+}
+
+fn get_u16(b: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes(b[off..off + 2].try_into().unwrap())
+}
+fn get_u64(b: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(b[off..off + 8].try_into().unwrap())
+}
+
+fn parse(buf: &[u8]) -> Result<Node> {
+    match buf[0] {
+        TYPE_LEAF => {
+            let nkeys = get_u16(buf, 1) as usize;
+            let next = PageId(get_u64(buf, 3));
+            let mut entries = Vec::with_capacity(nkeys);
+            let mut off = 11;
+            for _ in 0..nkeys {
+                let klen = get_u16(buf, off) as usize;
+                let vlen = get_u16(buf, off + 2) as usize;
+                off += 4;
+                entries.push((buf[off..off + klen].to_vec(), buf[off + klen..off + klen + vlen].to_vec()));
+                off += klen + vlen;
+            }
+            Ok(Node::Leaf { entries, next })
+        }
+        TYPE_INTERNAL => {
+            let nkeys = get_u16(buf, 1) as usize;
+            let child0 = PageId(get_u64(buf, 3));
+            let mut entries = Vec::with_capacity(nkeys);
+            let mut off = 11;
+            for _ in 0..nkeys {
+                let klen = get_u16(buf, off) as usize;
+                off += 2;
+                let key = buf[off..off + klen].to_vec();
+                off += klen;
+                let child = PageId(get_u64(buf, off));
+                off += 8;
+                entries.push((key, child));
+            }
+            Ok(Node::Internal { child0, entries })
+        }
+        t => Err(Error::Corrupt(format!("bad btree page type {t:#x}"))),
+    }
+}
+
+fn serialize(node: &Node, buf: &mut [u8]) {
+    buf.fill(0);
+    match node {
+        Node::Leaf { entries, next } => {
+            buf[0] = TYPE_LEAF;
+            buf[1..3].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+            buf[3..11].copy_from_slice(&next.0.to_le_bytes());
+            let mut off = 11;
+            for (k, v) in entries {
+                buf[off..off + 2].copy_from_slice(&(k.len() as u16).to_le_bytes());
+                buf[off + 2..off + 4].copy_from_slice(&(v.len() as u16).to_le_bytes());
+                off += 4;
+                buf[off..off + k.len()].copy_from_slice(k);
+                off += k.len();
+                buf[off..off + v.len()].copy_from_slice(v);
+                off += v.len();
+            }
+        }
+        Node::Internal { child0, entries } => {
+            buf[0] = TYPE_INTERNAL;
+            buf[1..3].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+            buf[3..11].copy_from_slice(&child0.0.to_le_bytes());
+            let mut off = 11;
+            for (k, c) in entries {
+                buf[off..off + 2].copy_from_slice(&(k.len() as u16).to_le_bytes());
+                off += 2;
+                buf[off..off + k.len()].copy_from_slice(k);
+                off += k.len();
+                buf[off..off + 8].copy_from_slice(&c.0.to_le_bytes());
+                off += 8;
+            }
+        }
+    }
+}
+
+fn node_size(node: &Node) -> usize {
+    match node {
+        Node::Leaf { entries, .. } => {
+            11 + entries.iter().map(|(k, v)| 4 + k.len() + v.len()).sum::<usize>()
+        }
+        Node::Internal { entries, .. } => {
+            11 + entries.iter().map(|(k, _)| 2 + k.len() + 8).sum::<usize>()
+        }
+    }
+}
+
+/// The B+-tree. Thread-safety: callers serialize writes (the document
+/// store holds its own lock); concurrent reads are safe.
+pub struct BTree {
+    pool: std::sync::Arc<BufferPool>,
+    root_slot: usize,
+}
+
+impl BTree {
+    /// Opens the tree rooted at pager root slot `root_slot`, creating an
+    /// empty root leaf on first use.
+    pub fn open(pool: std::sync::Arc<BufferPool>, root_slot: usize) -> Result<BTree> {
+        if pool.pager().root(root_slot).is_null() {
+            let (id, frame) = pool.allocate()?;
+            serialize(&Node::Leaf { entries: Vec::new(), next: PageId::NULL }, &mut frame.write());
+            pool.mark_dirty(id);
+            pool.pager().set_root(root_slot, id);
+        }
+        Ok(BTree { pool, root_slot })
+    }
+
+    fn root(&self) -> PageId {
+        self.pool.pager().root(self.root_slot)
+    }
+
+    fn load(&self, id: PageId) -> Result<Node> {
+        let frame = self.pool.get(id)?;
+        let node = parse(&frame.read())?;
+        Ok(node)
+    }
+
+    fn store(&self, id: PageId, node: &Node) -> Result<()> {
+        debug_assert!(node_size(node) <= PAGE_SIZE, "node overflow on store");
+        let frame = self.pool.get(id)?;
+        serialize(node, &mut frame.write());
+        self.pool.mark_dirty(id);
+        Ok(())
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut cur = self.root();
+        loop {
+            match self.load(cur)? {
+                Node::Leaf { entries, .. } => {
+                    return Ok(entries
+                        .iter()
+                        .find(|(k, _)| k.as_slice() == key)
+                        .map(|(_, v)| v.clone()));
+                }
+                Node::Internal { child0, entries } => {
+                    cur = descend(child0, &entries, key);
+                }
+            }
+        }
+    }
+
+    /// Inserts or replaces. Returns the previous value if the key existed.
+    pub fn insert(&self, key: &[u8], val: &[u8]) -> Result<Option<Vec<u8>>> {
+        if key.len() > MAX_KEY || val.len() > MAX_VAL {
+            return Err(Error::Unsupported(format!(
+                "btree key/value too large ({}/{} bytes)",
+                key.len(),
+                val.len()
+            )));
+        }
+        let root = self.root();
+        let (old, split) = self.insert_rec(root, key, val)?;
+        if let Some((sep, right)) = split {
+            // Grow a new root.
+            let (new_root, frame) = self.pool.allocate()?;
+            serialize(
+                &Node::Internal { child0: root, entries: vec![(sep, right)] },
+                &mut frame.write(),
+            );
+            self.pool.mark_dirty(new_root);
+            self.pool.pager().set_root(self.root_slot, new_root);
+        }
+        Ok(old)
+    }
+
+    fn insert_rec(&self, id: PageId, key: &[u8], val: &[u8]) -> Result<InsertOutcome> {
+        match self.load(id)? {
+            Node::Leaf { mut entries, next } => {
+                let old = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => Some(std::mem::replace(&mut entries[i].1, val.to_vec())),
+                    Err(i) => {
+                        entries.insert(i, (key.to_vec(), val.to_vec()));
+                        None
+                    }
+                };
+                let node = Node::Leaf { entries, next };
+                if node_size(&node) <= PAGE_SIZE {
+                    self.store(id, &node)?;
+                    return Ok((old, None));
+                }
+                // Split by size midpoint.
+                let Node::Leaf { entries, next } = node else { unreachable!() };
+                let cut = size_split_point(entries.iter().map(|(k, v)| 4 + k.len() + v.len()));
+                let right_entries = entries[cut..].to_vec();
+                let left_entries = entries[..cut].to_vec();
+                let sep = right_entries[0].0.clone();
+                let (right_id, rframe) = self.pool.allocate()?;
+                serialize(
+                    &Node::Leaf { entries: right_entries, next },
+                    &mut rframe.write(),
+                );
+                self.pool.mark_dirty(right_id);
+                self.store(id, &Node::Leaf { entries: left_entries, next: right_id })?;
+                Ok((old, Some((sep, right_id))))
+            }
+            Node::Internal { child0, mut entries } => {
+                let (child, idx) = descend_idx(child0, &entries, key);
+                let (old, split) = self.insert_rec(child, key, val)?;
+                let Some((sep, new_page)) = split else {
+                    return Ok((old, None));
+                };
+                // Insert the new separator after idx.
+                let pos = match idx {
+                    None => 0,
+                    Some(i) => i + 1,
+                };
+                entries.insert(pos, (sep, new_page));
+                let node = Node::Internal { child0, entries };
+                if node_size(&node) <= PAGE_SIZE {
+                    self.store(id, &node)?;
+                    return Ok((old, None));
+                }
+                let Node::Internal { child0, entries } = node else { unreachable!() };
+                let cut = size_split_point(entries.iter().map(|(k, _)| 2 + k.len() + 8));
+                // entries[cut] moves up; right gets entries[cut+1..].
+                let up = entries[cut].0.clone();
+                let right_child0 = entries[cut].1;
+                let right_entries = entries[cut + 1..].to_vec();
+                let left_entries = entries[..cut].to_vec();
+                let (right_id, rframe) = self.pool.allocate()?;
+                serialize(
+                    &Node::Internal { child0: right_child0, entries: right_entries },
+                    &mut rframe.write(),
+                );
+                self.pool.mark_dirty(right_id);
+                self.store(id, &Node::Internal { child0, entries: left_entries })?;
+                Ok((old, Some((up, right_id))))
+            }
+        }
+    }
+
+    /// Deletes a key. Returns the removed value, if present. No
+    /// rebalancing: underfull pages persist (space is reused by later
+    /// inserts into the same key range).
+    pub fn delete(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut cur = self.root();
+        loop {
+            match self.load(cur)? {
+                Node::Leaf { mut entries, next } => {
+                    match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                        Ok(i) => {
+                            let (_, v) = entries.remove(i);
+                            self.store(cur, &Node::Leaf { entries, next })?;
+                            return Ok(Some(v));
+                        }
+                        Err(_) => return Ok(None),
+                    }
+                }
+                Node::Internal { child0, entries } => {
+                    cur = descend(child0, &entries, key);
+                }
+            }
+        }
+    }
+
+    /// Iterates over all `(key, value)` pairs with `start <= key < end`
+    /// (`end = None` means unbounded).
+    pub fn range(&self, start: &[u8], end: Option<&[u8]>) -> Result<RangeIter<'_>> {
+        // Descend to the leaf containing `start`.
+        let mut cur = self.root();
+        loop {
+            match self.load(cur)? {
+                Node::Leaf { entries, next } => {
+                    let idx = entries
+                        .iter()
+                        .position(|(k, _)| k.as_slice() >= start)
+                        .unwrap_or(entries.len());
+                    return Ok(RangeIter {
+                        tree: self,
+                        entries,
+                        next,
+                        idx,
+                        end: end.map(|e| e.to_vec()),
+                    });
+                }
+                Node::Internal { child0, entries } => {
+                    cur = descend(child0, &entries, start);
+                }
+            }
+        }
+    }
+
+    /// Full scan.
+    pub fn iter(&self) -> Result<RangeIter<'_>> {
+        self.range(&[], None)
+    }
+
+    /// Number of entries (walks the leaf chain; for tests and stats).
+    pub fn len(&self) -> Result<usize> {
+        let mut n = 0;
+        for e in self.iter()? {
+            e?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.iter()?.next().is_none())
+    }
+}
+
+/// Picks a split index so both halves are under half the page budget-ish.
+fn size_split_point(sizes: impl Iterator<Item = usize>) -> usize {
+    let sizes: Vec<usize> = sizes.collect();
+    let total: usize = sizes.iter().sum();
+    let mut acc = 0;
+    for (i, s) in sizes.iter().enumerate() {
+        acc += s;
+        if acc > total / 2 {
+            // Keep at least one entry on each side.
+            return i.clamp(1, sizes.len() - 1);
+        }
+    }
+    sizes.len() / 2
+}
+
+fn descend(child0: PageId, entries: &[(Vec<u8>, PageId)], key: &[u8]) -> PageId {
+    descend_idx(child0, entries, key).0
+}
+
+/// Returns the child to descend into and the index of the separator that
+/// selected it (`None` = child0).
+fn descend_idx(
+    child0: PageId,
+    entries: &[(Vec<u8>, PageId)],
+    key: &[u8],
+) -> (PageId, Option<usize>) {
+    let mut chosen = (child0, None);
+    for (i, (k, c)) in entries.iter().enumerate() {
+        if key >= k.as_slice() {
+            chosen = (*c, Some(i));
+        } else {
+            break;
+        }
+    }
+    chosen
+}
+
+/// Iterator over a key range.
+pub struct RangeIter<'t> {
+    tree: &'t BTree,
+    entries: Vec<Entry>,
+    next: PageId,
+    idx: usize,
+    end: Option<Vec<u8>>,
+}
+
+impl Iterator for RangeIter<'_> {
+    type Item = Result<Entry>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.idx < self.entries.len() {
+                let (k, v) = self.entries[self.idx].clone();
+                self.idx += 1;
+                if let Some(end) = &self.end {
+                    if k.as_slice() >= end.as_slice() {
+                        self.entries.clear();
+                        self.next = PageId::NULL;
+                        return None;
+                    }
+                }
+                return Some(Ok((k, v)));
+            }
+            if self.next.is_null() {
+                return None;
+            }
+            match self.tree.load(self.next) {
+                Ok(Node::Leaf { entries, next }) => {
+                    self.entries = entries;
+                    self.next = next;
+                    self.idx = 0;
+                }
+                Ok(_) => return Some(Err(Error::Corrupt("leaf chain hit internal page".into()))),
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::Pager;
+
+    use std::sync::Arc;
+
+    fn tree_pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(Pager::memory(), 256))
+    }
+
+    #[test]
+    fn insert_get_simple() {
+        let pool = tree_pool();
+        let t = BTree::open(pool.clone(), 1).unwrap();
+        assert_eq!(t.get(b"a").unwrap(), None);
+        assert_eq!(t.insert(b"a", b"1").unwrap(), None);
+        assert_eq!(t.insert(b"b", b"2").unwrap(), None);
+        assert_eq!(t.get(b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(t.get(b"b").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(t.insert(b"a", b"9").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(t.get(b"a").unwrap(), Some(b"9".to_vec()));
+    }
+
+    #[test]
+    fn many_inserts_with_splits_model_based() {
+        // Scrambled inserts (with collisions → overwrites) checked against
+        // a std BTreeMap model.
+        let pool = tree_pool();
+        let t = BTree::open(pool.clone(), 1).unwrap();
+        let mut model = std::collections::BTreeMap::new();
+        let n = 5000u32;
+        for i in 0..n {
+            let k = (i.wrapping_mul(2654435761)) % n;
+            let key = format!("key{k:08}").into_bytes();
+            let val = format!("val{}", i).into_bytes();
+            let old_tree = t.insert(&key, &val).unwrap();
+            let old_model = model.insert(key, val);
+            assert_eq!(old_tree, old_model, "overwrite semantics match");
+        }
+        assert!(pool.pager().page_count() > 4, "splits happened");
+        // Every model key retrievable with the model's value.
+        for (k, v) in model.iter().step_by(37) {
+            assert_eq!(t.get(k).unwrap().as_ref(), Some(v));
+        }
+        // Full scan is sorted, complete and equal to the model.
+        let scanned: Vec<(Vec<u8>, Vec<u8>)> =
+            t.iter().unwrap().map(|e| e.unwrap()).collect();
+        assert_eq!(scanned.len(), model.len());
+        assert!(scanned.windows(2).all(|w| w[0].0 < w[1].0));
+        for ((sk, sv), (mk, mv)) in scanned.iter().zip(model.iter()) {
+            assert_eq!(sk, mk);
+            assert_eq!(sv, mv);
+        }
+    }
+
+    #[test]
+    fn range_scan_bounds() {
+        let pool = tree_pool();
+        let t = BTree::open(pool.clone(), 1).unwrap();
+        for i in 0..100u32 {
+            t.insert(&i.to_be_bytes(), b"x").unwrap();
+        }
+        let got: Vec<u32> = t
+            .range(&10u32.to_be_bytes(), Some(&20u32.to_be_bytes()))
+            .unwrap()
+            .map(|e| u32::from_be_bytes(e.unwrap().0.try_into().unwrap()))
+            .collect();
+        assert_eq!(got, (10..20).collect::<Vec<u32>>());
+        // Empty range.
+        assert_eq!(
+            t.range(&50u32.to_be_bytes(), Some(&50u32.to_be_bytes()))
+                .unwrap()
+                .count(),
+            0
+        );
+        // Open-ended.
+        assert_eq!(t.range(&95u32.to_be_bytes(), None).unwrap().count(), 5);
+    }
+
+    #[test]
+    fn delete_and_len() {
+        let pool = tree_pool();
+        let t = BTree::open(pool.clone(), 1).unwrap();
+        for i in 0..500u32 {
+            t.insert(&i.to_be_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        assert_eq!(t.len().unwrap(), 500);
+        for i in (0..500u32).step_by(2) {
+            assert!(t.delete(&i.to_be_bytes()).unwrap().is_some());
+        }
+        assert_eq!(t.delete(&0u32.to_be_bytes()).unwrap(), None);
+        assert_eq!(t.len().unwrap(), 250);
+        for i in 0..500u32 {
+            let want = if i % 2 == 1 { Some(i.to_le_bytes().to_vec()) } else { None };
+            assert_eq!(t.get(&i.to_be_bytes()).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn large_values_split_correctly() {
+        let pool = tree_pool();
+        let t = BTree::open(pool.clone(), 1).unwrap();
+        for i in 0..100u32 {
+            t.insert(&i.to_be_bytes(), &vec![i as u8; 900]).unwrap();
+        }
+        for i in 0..100u32 {
+            assert_eq!(t.get(&i.to_be_bytes()).unwrap(), Some(vec![i as u8; 900]));
+        }
+    }
+
+    #[test]
+    fn oversized_rejected() {
+        let pool = tree_pool();
+        let t = BTree::open(pool.clone(), 1).unwrap();
+        assert!(t.insert(&vec![0; 2000], b"x").is_err());
+        assert!(t.insert(b"x", &vec![0; 2000]).is_err());
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let pool = tree_pool();
+        let t = BTree::open(pool.clone(), 1).unwrap();
+        assert!(t.is_empty().unwrap());
+        assert_eq!(t.iter().unwrap().count(), 0);
+        assert_eq!(t.delete(b"nothing").unwrap(), None);
+    }
+
+    #[test]
+    fn two_trees_coexist() {
+        let pool = tree_pool();
+        let a = BTree::open(pool.clone(), 1).unwrap();
+        let b = BTree::open(pool.clone(), 2).unwrap();
+        a.insert(b"k", b"from-a").unwrap();
+        b.insert(b"k", b"from-b").unwrap();
+        assert_eq!(a.get(b"k").unwrap(), Some(b"from-a".to_vec()));
+        assert_eq!(b.get(b"k").unwrap(), Some(b"from-b".to_vec()));
+    }
+
+    #[test]
+    fn reopen_same_slot_sees_data() {
+        let pool = tree_pool();
+        {
+            let t = BTree::open(pool.clone(), 1).unwrap();
+            for i in 0..200u32 {
+                t.insert(&i.to_be_bytes(), b"v").unwrap();
+            }
+        }
+        let t = BTree::open(pool.clone(), 1).unwrap();
+        assert_eq!(t.len().unwrap(), 200);
+    }
+
+    #[test]
+    fn mixed_key_lengths_ordering() {
+        let pool = tree_pool();
+        let t = BTree::open(pool.clone(), 1).unwrap();
+        t.insert(b"a", b"1").unwrap();
+        t.insert(b"aa", b"2").unwrap();
+        t.insert(b"b", b"3").unwrap();
+        t.insert(b"", b"4").unwrap();
+        let keys: Vec<Vec<u8>> = t.iter().unwrap().map(|e| e.unwrap().0).collect();
+        assert_eq!(keys, vec![b"".to_vec(), b"a".to_vec(), b"aa".to_vec(), b"b".to_vec()]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::pager::Pager;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    #[derive(Clone, Debug)]
+    enum Op {
+        Insert(u16, u8),
+        Delete(u16),
+        Get(u16),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
+            1 => any::<u16>().prop_map(|k| Op::Delete(k % 512)),
+            1 => any::<u16>().prop_map(|k| Op::Get(k % 512)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// Model-based: a random op sequence behaves like `BTreeMap`,
+        /// and the final scan matches the model exactly.
+        #[test]
+        fn behaves_like_btreemap(ops in prop::collection::vec(op_strategy(), 1..300)) {
+            let pool = Arc::new(BufferPool::new(Pager::memory(), 64));
+            let tree = BTree::open(pool, 1).unwrap();
+            let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+            for op in &ops {
+                match op {
+                    Op::Insert(k, v) => {
+                        let key = k.to_be_bytes().to_vec();
+                        // Values padded so splits actually happen.
+                        let val = vec![*v; 64];
+                        let old_t = tree.insert(&key, &val).unwrap();
+                        let old_m = model.insert(key, val);
+                        prop_assert_eq!(old_t, old_m);
+                    }
+                    Op::Delete(k) => {
+                        let key = k.to_be_bytes().to_vec();
+                        prop_assert_eq!(tree.delete(&key).unwrap(), model.remove(&key));
+                    }
+                    Op::Get(k) => {
+                        let key = k.to_be_bytes().to_vec();
+                        prop_assert_eq!(tree.get(&key).unwrap(), model.get(&key).cloned());
+                    }
+                }
+            }
+            let scanned: Vec<Entry> = tree.iter().unwrap().map(|e| e.unwrap()).collect();
+            let expected: Vec<Entry> =
+                model.into_iter().collect();
+            prop_assert_eq!(scanned, expected);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # txdb-storage — page-based storage engine and versioned document store
+//!
+//! The paper assumes a database system underneath its operators: documents
+//! live in a repository, previous versions are chains of completed deltas,
+//! "the delta documents are indexed in a delta index", versions are
+//! numbered, and reads of unclustered deltas cost disk seeks (§7.1–7.2).
+//! This crate is that database system, built from scratch:
+//!
+//! * [`pager`] — 8 KiB pages over a file or an in-memory vector, with a
+//!   persistent free list and a header page holding component roots;
+//! * [`buffer`] — an LRU buffer pool with shared `Arc` frames and
+//!   read/write statistics (the experiments report "delta reads" through
+//!   these counters, standing in for the paper's disk-seek accounting);
+//! * [`heap`] — a slotted-page record heap with overflow chains for records
+//!   larger than a page (complete document versions);
+//! * [`btree`] — a B+-tree with byte-string keys, used for the document
+//!   catalog and by `txdb-index` for the persistent EID-time index;
+//! * [`wal`] — a logical write-ahead log with CRC-protected records,
+//!   checkpointing and torn-tail-tolerant recovery;
+//! * [`repo`] — the §7.1 document organisation: one complete current
+//!   version per document, previous versions as backward completed deltas
+//!   stored as XML documents, a per-document delta index mapping version
+//!   numbers to timestamps and record locations, and an optional
+//!   every-*k*-versions snapshot policy that bounds reconstruction cost.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod btree;
+pub mod buffer;
+pub mod heap;
+pub mod pager;
+pub mod repo;
+pub mod wal;
+
+pub use buffer::{BufferPool, BufferStats};
+pub use pager::{PageId, Pager, PAGE_SIZE};
+pub use repo::{DocumentStore, StoreOptions, VersionEntry, VersionKind};

@@ -1,0 +1,403 @@
+//! Page allocation and raw page I/O.
+//!
+//! The pager owns a linear array of 8 KiB pages backed either by a file on
+//! disk or by memory (tests and benchmarks use the memory backend; the
+//! durability tests use files). Page 0 is the **header page**:
+//!
+//! ```text
+//! [magic u32][format u32][free_head u64][page_count u64][roots u64 × 16]
+//! ```
+//!
+//! * `free_head` — head of the free-page list; each free page stores the
+//!   next free page id in its first 8 bytes, so the list survives reopen.
+//! * `roots` — sixteen named slots in which components (catalog B+-tree,
+//!   record heap, indexes, repo metadata) persist their root page ids.
+//!
+//! All I/O goes through [`Pager::read_page`] / [`Pager::write_page`]; the
+//! buffer pool layers caching and statistics on top.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use parking_lot::Mutex;
+use txdb_base::{Error, Result};
+
+/// Size of every page in bytes.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Number of named root slots in the header.
+pub const NUM_ROOTS: usize = 16;
+
+const MAGIC: u32 = 0x7478_4442; // "txDB"
+const FORMAT: u32 = 1;
+
+/// Identifier of a page. Page 0 is the header; [`PageId::NULL`] (= 0) is
+/// used as "no page" in on-disk pointers, which is unambiguous because the
+/// header is never pointed at.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// The "no page" sentinel (the header page can never be a target).
+    pub const NULL: PageId = PageId(0);
+
+    /// True for the sentinel.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A page-sized byte buffer.
+pub type PageBuf = Box<[u8]>;
+
+/// Allocates a zeroed page buffer.
+pub fn new_page() -> PageBuf {
+    vec![0u8; PAGE_SIZE].into_boxed_slice()
+}
+
+enum Backend {
+    Memory(Vec<PageBuf>),
+    File { file: File, page_count: u64 },
+}
+
+struct Header {
+    free_head: u64,
+    page_count: u64,
+    roots: [u64; NUM_ROOTS],
+}
+
+/// The pager: raw page allocation, reads and writes.
+pub struct Pager {
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    backend: Backend,
+    header: Header,
+    header_dirty: bool,
+}
+
+impl Pager {
+    /// Creates a fresh in-memory pager.
+    pub fn memory() -> Pager {
+        let header = Header { free_head: 0, page_count: 1, roots: [0; NUM_ROOTS] };
+        Pager {
+            inner: Mutex::new(Inner {
+                backend: Backend::Memory(vec![new_page()]),
+                header,
+                header_dirty: true,
+            }),
+        }
+    }
+
+    /// Opens (or creates) a file-backed pager.
+    pub fn open(path: &Path) -> Result<Pager> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            // Fresh database file.
+            let header = Header { free_head: 0, page_count: 1, roots: [0; NUM_ROOTS] };
+            let mut pager = Inner {
+                backend: Backend::File { file, page_count: 1 },
+                header,
+                header_dirty: true,
+            };
+            pager.flush_header()?;
+            return Ok(Pager { inner: Mutex::new(pager) });
+        }
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(Error::Corrupt(format!(
+                "database file length {len} is not a multiple of the page size"
+            )));
+        }
+        let mut buf = new_page();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut buf)?;
+        let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        let format = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(Error::Corrupt("bad database magic".into()));
+        }
+        if format != FORMAT {
+            return Err(Error::Corrupt(format!("unsupported format version {format}")));
+        }
+        let free_head = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+        let page_count = u64::from_le_bytes(buf[16..24].try_into().unwrap());
+        if page_count > len / PAGE_SIZE as u64 {
+            return Err(Error::Corrupt("header page_count exceeds file length".into()));
+        }
+        let mut roots = [0u64; NUM_ROOTS];
+        for (i, r) in roots.iter_mut().enumerate() {
+            let off = 24 + i * 8;
+            *r = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+        }
+        Ok(Pager {
+            inner: Mutex::new(Inner {
+                backend: Backend::File { file, page_count },
+                header: Header { free_head, page_count, roots },
+                header_dirty: false,
+            }),
+        })
+    }
+
+    /// Reads a page into a fresh buffer.
+    pub fn read_page(&self, id: PageId) -> Result<PageBuf> {
+        let mut inner = self.inner.lock();
+        if id.0 >= inner.header.page_count {
+            return Err(Error::InvalidRef(format!("read of unallocated page {id}")));
+        }
+        match &mut inner.backend {
+            Backend::Memory(pages) => Ok(pages[id.0 as usize].clone()),
+            Backend::File { file, .. } => {
+                let mut buf = new_page();
+                file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+                file.read_exact(&mut buf)?;
+                Ok(buf)
+            }
+        }
+    }
+
+    /// Writes a page.
+    pub fn write_page(&self, id: PageId, data: &[u8]) -> Result<()> {
+        debug_assert_eq!(data.len(), PAGE_SIZE);
+        let mut inner = self.inner.lock();
+        if id.0 >= inner.header.page_count {
+            return Err(Error::InvalidRef(format!("write of unallocated page {id}")));
+        }
+        if id.is_null() {
+            return Err(Error::InvalidRef("direct write to header page".into()));
+        }
+        match &mut inner.backend {
+            Backend::Memory(pages) => {
+                pages[id.0 as usize].copy_from_slice(data);
+                Ok(())
+            }
+            Backend::File { file, .. } => {
+                file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+                file.write_all(data)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Allocates a page (reusing the free list when possible). The returned
+    /// page's previous contents are unspecified; callers must fully
+    /// initialize it.
+    pub fn allocate(&self) -> Result<PageId> {
+        let mut inner = self.inner.lock();
+        if inner.header.free_head != 0 {
+            let id = PageId(inner.header.free_head);
+            // The free page stores the next free head in its first 8 bytes.
+            let next = match &mut inner.backend {
+                Backend::Memory(pages) => {
+                    u64::from_le_bytes(pages[id.0 as usize][0..8].try_into().unwrap())
+                }
+                Backend::File { file, .. } => {
+                    let mut b = [0u8; 8];
+                    file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+                    file.read_exact(&mut b)?;
+                    u64::from_le_bytes(b)
+                }
+            };
+            inner.header.free_head = next;
+            inner.header_dirty = true;
+            return Ok(id);
+        }
+        let id = PageId(inner.header.page_count);
+        inner.header.page_count += 1;
+        inner.header_dirty = true;
+        match &mut inner.backend {
+            Backend::Memory(pages) => pages.push(new_page()),
+            Backend::File { file, page_count } => {
+                *page_count += 1;
+                file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+                file.write_all(&new_page())?;
+            }
+        }
+        Ok(id)
+    }
+
+    /// Returns a page to the free list.
+    pub fn free(&self, id: PageId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if id.is_null() || id.0 >= inner.header.page_count {
+            return Err(Error::InvalidRef(format!("free of invalid page {id}")));
+        }
+        let mut first8 = [0u8; 8];
+        first8.copy_from_slice(&inner.header.free_head.to_le_bytes());
+        match &mut inner.backend {
+            Backend::Memory(pages) => pages[id.0 as usize][0..8].copy_from_slice(&first8),
+            Backend::File { file, .. } => {
+                file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+                file.write_all(&first8)?;
+            }
+        }
+        inner.header.free_head = id.0;
+        inner.header_dirty = true;
+        Ok(())
+    }
+
+    /// Gets a named root slot.
+    pub fn root(&self, slot: usize) -> PageId {
+        PageId(self.inner.lock().header.roots[slot])
+    }
+
+    /// Sets a named root slot (persisted at the next [`Pager::sync`]).
+    pub fn set_root(&self, slot: usize, id: PageId) {
+        let mut inner = self.inner.lock();
+        inner.header.roots[slot] = id.0;
+        inner.header_dirty = true;
+    }
+
+    /// Total pages (including header and free pages) — the file size metric
+    /// for the space experiments.
+    pub fn page_count(&self) -> u64 {
+        self.inner.lock().header.page_count
+    }
+
+    /// Flushes the header and fsyncs the file backend.
+    pub fn sync(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.header_dirty {
+            inner.flush_header()?;
+        }
+        if let Backend::File { file, .. } = &mut inner.backend {
+            file.sync_all()?;
+        }
+        Ok(())
+    }
+}
+
+impl Inner {
+    fn flush_header(&mut self) -> Result<()> {
+        let mut buf = new_page();
+        buf[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+        buf[4..8].copy_from_slice(&FORMAT.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.header.free_head.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.header.page_count.to_le_bytes());
+        for (i, r) in self.header.roots.iter().enumerate() {
+            let off = 24 + i * 8;
+            buf[off..off + 8].copy_from_slice(&r.to_le_bytes());
+        }
+        match &mut self.backend {
+            Backend::Memory(pages) => pages[0].copy_from_slice(&buf),
+            Backend::File { file, .. } => {
+                file.seek(SeekFrom::Start(0))?;
+                file.write_all(&buf)?;
+            }
+        }
+        self.header_dirty = false;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_allocate_write_read() {
+        let p = Pager::memory();
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        assert_ne!(a, b);
+        assert!(!a.is_null());
+        let mut buf = new_page();
+        buf[0] = 0xAB;
+        buf[PAGE_SIZE - 1] = 0xCD;
+        p.write_page(a, &buf).unwrap();
+        let back = p.read_page(a).unwrap();
+        assert_eq!(back[0], 0xAB);
+        assert_eq!(back[PAGE_SIZE - 1], 0xCD);
+        // b untouched.
+        assert_eq!(p.read_page(b).unwrap()[0], 0);
+    }
+
+    #[test]
+    fn free_list_reuses_pages() {
+        let p = Pager::memory();
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        let count = p.page_count();
+        p.free(a).unwrap();
+        p.free(b).unwrap();
+        let c = p.allocate().unwrap();
+        let d = p.allocate().unwrap();
+        assert_eq!(p.page_count(), count, "no growth after reuse");
+        let mut got = [c, d];
+        got.sort();
+        let mut want = [a, b];
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn invalid_refs_rejected() {
+        let p = Pager::memory();
+        assert!(p.read_page(PageId(99)).is_err());
+        assert!(p.write_page(PageId(99), &new_page()).is_err());
+        assert!(p.write_page(PageId::NULL, &new_page()).is_err());
+        assert!(p.free(PageId::NULL).is_err());
+    }
+
+    #[test]
+    fn roots_stored() {
+        let p = Pager::memory();
+        assert!(p.root(3).is_null());
+        p.set_root(3, PageId(7));
+        assert_eq!(p.root(3), PageId(7));
+    }
+
+    #[test]
+    fn file_backend_persists() {
+        let dir = std::env::temp_dir().join(format!("txdb-pager-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.db");
+        let _ = std::fs::remove_file(&path);
+        let (a, b);
+        {
+            let p = Pager::open(&path).unwrap();
+            a = p.allocate().unwrap();
+            b = p.allocate().unwrap();
+            let mut buf = new_page();
+            buf[100] = 42;
+            p.write_page(a, &buf).unwrap();
+            p.set_root(0, a);
+            p.free(b).unwrap();
+            p.sync().unwrap();
+        }
+        {
+            let p = Pager::open(&path).unwrap();
+            assert_eq!(p.root(0), a);
+            assert_eq!(p.read_page(a).unwrap()[100], 42);
+            // Free list survived: allocation reuses b.
+            assert_eq!(p.allocate().unwrap(), b);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_garbage_file() {
+        let dir = std::env::temp_dir().join(format!("txdb-pager-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.db");
+        std::fs::write(&path, vec![0xFFu8; PAGE_SIZE]).unwrap();
+        assert!(Pager::open(&path).is_err());
+        std::fs::write(&path, b"short").unwrap();
+        assert!(Pager::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

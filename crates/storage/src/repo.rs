@@ -1,0 +1,1359 @@
+//! The versioned document repository — the paper's §7.1 storage model.
+//!
+//! "We assume that document versions are stored as a complete current
+//! version and previous versions stored in a chain of completed deltas.
+//! […] Each delta will in fact be stored as a separate XML document. […]
+//! The delta documents are indexed in a delta index. Each version is
+//! numbered, so that we do not have to store the timestamps in the text
+//! indexes etc. For each numbered delta, we store the timestamp of the
+//! actual version in the delta index."
+//!
+//! Concretely, a named document owns:
+//!
+//! * a **current version** record (binary tree codec, XIDs + timestamps),
+//! * a **version entry** per version — the *delta index*: the version's
+//!   commit timestamp, the record id of the completed delta leading *to*
+//!   that version (stored as XML text, per the paper), an optional
+//!   **snapshot** record (complete materialisation — §7.3.3's "possibility
+//!   of snapshot versions", created every `snapshot_every` versions), and a
+//!   tombstone flag (the version is a deletion; the document is invalid
+//!   from that timestamp until a later put resurrects it),
+//! * the document's XID allocation high-water mark (XIDs are never reused,
+//!   §3.2).
+//!
+//! Every mutation is WAL-logged before touching pages; recovery replays the
+//! tail deterministically (the diff is deterministic, so replay reproduces
+//! identical XIDs, deltas and records).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use txdb_base::{DocId, Error, Interval, Result, Timestamp, VersionId, Xid};
+use txdb_delta::{delta_from_xml, delta_to_xml, diff_trees, Delta};
+use txdb_xml::codec::{decode_tree, encode_tree, write_varint};
+use txdb_xml::parse::{parse_with, ParseOptions};
+use txdb_xml::tree::Tree;
+
+use crate::btree::BTree;
+use crate::buffer::{BufferPool, BufferStats};
+use crate::heap::{Heap, RecordId};
+use crate::pager::Pager;
+use crate::wal::Wal;
+
+/// Pager root-slot assignments for store components.
+pub mod roots {
+    /// Heap head page.
+    pub const HEAP: usize = 0;
+    /// Catalog B+-tree (document name → doc id).
+    pub const CATALOG: usize = 1;
+    /// Directory B+-tree (doc id → metadata record id).
+    pub const DOCS: usize = 2;
+    /// Next document id counter (stored as a raw u64 in the slot).
+    pub const NEXT_DOC: usize = 3;
+    /// Reserved for the persistent EID-time index (txdb-index).
+    pub const EID_INDEX: usize = 4;
+    /// Reserved for persisted full-text-index metadata (txdb-index).
+    pub const FTI_META: usize = 5;
+}
+
+/// Store configuration.
+#[derive(Clone, Debug)]
+pub struct StoreOptions {
+    /// Directory for `data.db` + `wal.log`; `None` = fully in-memory.
+    pub path: Option<PathBuf>,
+    /// Buffer-pool capacity in pages.
+    pub buffer_pages: usize,
+    /// Materialize a complete snapshot every `k` versions (§7.3.3);
+    /// `None` = snapshots disabled (pure delta chain).
+    pub snapshot_every: Option<u32>,
+    /// Fsync the WAL on every append.
+    pub wal_sync: bool,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions { path: None, buffer_pages: 4096, snapshot_every: None, wal_sync: false }
+    }
+}
+
+/// Why/how a version exists — drives reconstruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VersionKind {
+    /// A stored (or initial) content version.
+    Content,
+    /// A deletion: the document is invalid from this entry's timestamp
+    /// until the next entry (if any).
+    Tombstone,
+    /// A version whose payload was removed by [`DocumentStore::vacuum`]:
+    /// the entry (and its timestamp) remains so version numbering stays
+    /// dense, but the version can no longer be reconstructed or selected.
+    Purged,
+}
+
+/// One row of a document's delta index (§7.1).
+#[derive(Clone, Debug)]
+pub struct VersionEntry {
+    /// The dense version number.
+    pub version: VersionId,
+    /// Commit (transaction) timestamp of the version.
+    pub ts: Timestamp,
+    /// Content or tombstone.
+    pub kind: VersionKind,
+    /// Record holding the completed delta *into* this version (absent for
+    /// the first version and for tombstones).
+    pub delta_rid: Option<RecordId>,
+    /// Record holding a complete snapshot of this version, if materialized.
+    pub snapshot_rid: Option<RecordId>,
+}
+
+#[derive(Clone, Debug)]
+struct DocMeta {
+    name: String,
+    next_xid: Xid,
+    current_rid: Option<RecordId>,
+    entries: Vec<VersionEntry>,
+}
+
+impl DocMeta {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.entries.len() * 32);
+        write_varint(&mut out, self.name.len() as u64);
+        out.extend_from_slice(self.name.as_bytes());
+        write_varint(&mut out, self.next_xid.0);
+        match self.current_rid {
+            Some(rid) => {
+                out.push(1);
+                out.extend_from_slice(&rid.to_bytes());
+            }
+            None => out.push(0),
+        }
+        write_varint(&mut out, self.entries.len() as u64);
+        for e in &self.entries {
+            write_varint(&mut out, e.ts.micros());
+            out.push(match e.kind {
+                VersionKind::Content => 0,
+                VersionKind::Tombstone => 1,
+                VersionKind::Purged => 2,
+            });
+            match e.delta_rid {
+                Some(rid) => {
+                    out.push(1);
+                    out.extend_from_slice(&rid.to_bytes());
+                }
+                None => out.push(0),
+            }
+            match e.snapshot_rid {
+                Some(rid) => {
+                    out.push(1);
+                    out.extend_from_slice(&rid.to_bytes());
+                }
+                None => out.push(0),
+            }
+        }
+        out
+    }
+
+    fn decode(mut b: &[u8]) -> Result<DocMeta> {
+        fn varint(b: &mut &[u8]) -> Result<u64> {
+            let mut v = 0u64;
+            let mut shift = 0u32;
+            loop {
+                let (&byte, rest) = b
+                    .split_first()
+                    .ok_or_else(|| Error::Corrupt("truncated doc meta".into()))?;
+                *b = rest;
+                v |= ((byte & 0x7f) as u64) << shift;
+                if byte & 0x80 == 0 {
+                    return Ok(v);
+                }
+                shift += 7;
+                if shift >= 64 {
+                    return Err(Error::Corrupt("varint overflow in doc meta".into()));
+                }
+            }
+        }
+        fn take<'a>(b: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
+            if b.len() < n {
+                return Err(Error::Corrupt("truncated doc meta".into()));
+            }
+            let (head, rest) = b.split_at(n);
+            *b = rest;
+            Ok(head)
+        }
+        fn opt_rid(b: &mut &[u8]) -> Result<Option<RecordId>> {
+            match take(b, 1)?[0] {
+                0 => Ok(None),
+                1 => Ok(Some(RecordId::from_bytes(take(b, 10)?)?)),
+                x => Err(Error::Corrupt(format!("bad rid flag {x}"))),
+            }
+        }
+        let b = &mut b;
+        let name_len = varint(b)? as usize;
+        let name = String::from_utf8(take(b, name_len)?.to_vec())
+            .map_err(|_| Error::Corrupt("bad utf8 in doc name".into()))?;
+        let next_xid = Xid(varint(b)?);
+        let current_rid = opt_rid(b)?;
+        let n = varint(b)? as usize;
+        let mut entries = Vec::with_capacity(n);
+        for i in 0..n {
+            let ts = Timestamp::from_micros(varint(b)?);
+            let kind = match take(b, 1)?[0] {
+                0 => VersionKind::Content,
+                1 => VersionKind::Tombstone,
+                2 => VersionKind::Purged,
+                x => return Err(Error::Corrupt(format!("bad version kind {x}"))),
+            };
+            let delta_rid = opt_rid(b)?;
+            let snapshot_rid = opt_rid(b)?;
+            entries.push(VersionEntry {
+                version: VersionId(i as u32),
+                ts,
+                kind,
+                delta_rid,
+                snapshot_rid,
+            });
+        }
+        Ok(DocMeta { name, next_xid, current_rid, entries })
+    }
+
+    fn last(&self) -> Option<&VersionEntry> {
+        self.entries.last()
+    }
+
+    fn is_deleted(&self) -> bool {
+        matches!(self.last().map(|e| e.kind), Some(VersionKind::Tombstone))
+    }
+
+    /// The last content (non-tombstone) version.
+    fn last_content(&self) -> Option<&VersionEntry> {
+        self.entries.iter().rev().find(|e| e.kind == VersionKind::Content)
+    }
+}
+
+/// Outcome of a [`DocumentStore::put`].
+#[derive(Debug)]
+pub struct PutResult {
+    /// The document.
+    pub doc: DocId,
+    /// The version this put produced (or the unchanged current version).
+    pub version: VersionId,
+    /// The put's transaction timestamp.
+    pub ts: Timestamp,
+    /// True when the document did not exist before (first version).
+    pub created: bool,
+    /// False when the new content was identical to the current version and
+    /// no new version was recorded.
+    pub changed: bool,
+    /// The delta from the previous version (None for first versions,
+    /// unchanged puts and resurrections-from-tombstone replays).
+    pub delta: Option<Delta>,
+    /// The previous current tree (for index maintenance).
+    pub old_tree: Option<Tree>,
+    /// The stored new current tree, XIDs assigned.
+    pub new_tree: Tree,
+}
+
+/// Outcome of a [`DocumentStore::delete`].
+#[derive(Debug)]
+pub struct DeleteResult {
+    /// The document.
+    pub doc: DocId,
+    /// The tombstone's version number.
+    pub version: VersionId,
+    /// Deletion timestamp.
+    pub ts: Timestamp,
+    /// The tree that was current before deletion (for index maintenance).
+    pub old_tree: Tree,
+}
+
+/// What recovery did at open time.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// WAL records replayed.
+    pub replayed: usize,
+    /// WAL records that could not be applied (logically invalid — e.g.
+    /// written by a buggy client version) and were skipped. Structural
+    /// corruption still fails the open.
+    pub skipped: usize,
+    /// Torn bytes dropped from the WAL tail.
+    pub torn_bytes: u64,
+}
+
+/// Outcome of a [`DocumentStore::vacuum`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct VacuumStats {
+    /// Content versions whose payload was purged.
+    pub purged_versions: usize,
+    /// Bytes of delta/snapshot records freed.
+    pub freed_bytes: u64,
+}
+
+/// Space usage, for the storage experiments (E8).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SpaceStats {
+    /// Bytes of current-version records.
+    pub current_bytes: u64,
+    /// Bytes of delta records.
+    pub delta_bytes: u64,
+    /// Bytes of snapshot records.
+    pub snapshot_bytes: u64,
+    /// Bytes of metadata records.
+    pub meta_bytes: u64,
+    /// Total pages allocated in the pager.
+    pub pages: u64,
+}
+
+const WAL_PUT: u8 = 1;
+const WAL_DELETE: u8 = 2;
+const WAL_VACUUM: u8 = 3;
+
+/// The document store.
+pub struct DocumentStore {
+    pool: Arc<BufferPool>,
+    heap: Heap,
+    catalog: BTree,
+    docs: BTree,
+    wal: Wal,
+    opts: StoreOptions,
+    /// Single-writer / multi-reader isolation: writers relocate heap
+    /// records in place (the current-version record is updated on every
+    /// put), so readers must not observe a half-applied operation.
+    sync: RwLock<()>,
+    /// Decoded-metadata cache: document metadata (the delta index) is read
+    /// on every temporal lookup; decoding the record each time would make
+    /// `version_at` O(versions) per call. Writers invalidate.
+    meta_cache: Mutex<std::collections::HashMap<DocId, Arc<(RecordId, DocMeta)>>>,
+}
+
+impl DocumentStore {
+    /// Opens (or creates) a store, running WAL recovery when needed.
+    pub fn open(opts: StoreOptions) -> Result<(DocumentStore, RecoveryReport)> {
+        let (pager, wal) = match &opts.path {
+            None => (Pager::memory(), Wal::memory()),
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                (
+                    Pager::open(&dir.join("data.db"))?,
+                    Wal::open(&dir.join("wal.log"), opts.wal_sync)?,
+                )
+            }
+        };
+        let pool = Arc::new(BufferPool::new(pager, opts.buffer_pages));
+        let heap = Heap::open(pool.clone(), roots::HEAP)?;
+        let catalog = BTree::open(pool.clone(), roots::CATALOG)?;
+        let docs = BTree::open(pool.clone(), roots::DOCS)?;
+        let store = DocumentStore {
+            pool,
+            heap,
+            catalog,
+            docs,
+            wal,
+            opts,
+            sync: RwLock::new(()),
+            meta_cache: Mutex::new(std::collections::HashMap::new()),
+        };
+        // Recovery: replay WAL tail against the checkpointed page image.
+        let summary = store.wal.replay()?;
+        let mut report =
+            RecoveryReport { replayed: 0, skipped: 0, torn_bytes: summary.torn_bytes };
+        for rec in &summary.records {
+            match store.replay_record(rec) {
+                Ok(()) => report.replayed += 1,
+                // A logically-invalid record (rejected input that slipped
+                // into the log, or an op from a newer client) must not
+                // wedge the store forever: skip it and keep going.
+                // Structural problems still abort the open.
+                Err(Error::QueryInvalid(_))
+                | Err(Error::XmlParse { .. })
+                | Err(Error::TimeParse(_)) => report.skipped += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        if report.replayed > 0 || report.skipped > 0 {
+            store.checkpoint()?;
+        }
+        Ok((store, report))
+    }
+
+    /// Convenience: open a fresh in-memory store.
+    pub fn in_memory() -> DocumentStore {
+        DocumentStore::open(StoreOptions::default())
+            .expect("in-memory open cannot fail")
+            .0
+    }
+
+    /// Buffer-pool statistics (the I/O-cost metric in experiments).
+    pub fn buffer_stats(&self) -> &BufferStats {
+        &self.pool.stats
+    }
+
+    /// The underlying buffer pool (shared with indexes).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    fn replay_record(&self, rec: &[u8]) -> Result<()> {
+        if rec.is_empty() {
+            return Err(Error::WalCorrupt(0, "empty record".into()));
+        }
+        match rec[0] {
+            WAL_PUT => {
+                let (name, rest) = decode_str(&rec[1..])?;
+                let ts = Timestamp::from_micros(u64::from_le_bytes(
+                    rest.get(0..8)
+                        .ok_or_else(|| Error::WalCorrupt(0, "short put".into()))?
+                        .try_into()
+                        .unwrap(),
+                ));
+                let tree = decode_tree(&rest[8..])?;
+                self.apply_put(&name, tree, ts)?;
+                Ok(())
+            }
+            WAL_DELETE => {
+                let (name, rest) = decode_str(&rec[1..])?;
+                let ts = Timestamp::from_micros(u64::from_le_bytes(
+                    rest.get(0..8)
+                        .ok_or_else(|| Error::WalCorrupt(0, "short delete".into()))?
+                        .try_into()
+                        .unwrap(),
+                ));
+                self.apply_delete(&name, ts)?;
+                Ok(())
+            }
+            WAL_VACUUM => {
+                let (name, rest) = decode_str(&rec[1..])?;
+                let before = Timestamp::from_micros(u64::from_le_bytes(
+                    rest.get(0..8)
+                        .ok_or_else(|| Error::WalCorrupt(0, "short vacuum".into()))?
+                        .try_into()
+                        .unwrap(),
+                ));
+                self.apply_vacuum(&name, before)?;
+                Ok(())
+            }
+            x => Err(Error::WalCorrupt(0, format!("unknown wal op {x}"))),
+        }
+    }
+
+    /// Stores a new version of `name` from XML text (parses, then
+    /// [`DocumentStore::put_tree`]).
+    pub fn put(&self, name: &str, xml: &str, ts: Timestamp) -> Result<PutResult> {
+        let tree = txdb_xml::parse::parse_document(xml)?;
+        self.put_tree(name, tree, ts)
+    }
+
+    /// Stores a new version of `name`. Creates the document if absent,
+    /// diffs against the current version otherwise; assigns XIDs.
+    pub fn put_tree(&self, name: &str, tree: Tree, ts: Timestamp) -> Result<PutResult> {
+        let _g = self.sync.write();
+        // Validate BEFORE logging: a record that can never apply must not
+        // reach the WAL, or it would poison every future recovery.
+        self.check_monotonic(name, ts)?;
+        // WAL first. The logged tree is the raw parsed content (XIDs are
+        // assigned deterministically during apply, so replay is exact).
+        let mut rec = vec![WAL_PUT];
+        encode_str(&mut rec, name);
+        rec.extend_from_slice(&ts.micros().to_le_bytes());
+        rec.extend_from_slice(&encode_tree(&tree));
+        self.wal.append(&rec)?;
+        self.apply_put(name, tree, ts)
+    }
+
+    fn apply_put(&self, name: &str, mut tree: Tree, ts: Timestamp) -> Result<PutResult> {
+        match self.lookup_meta(name)? {
+            None => {
+                // Fresh document: assign XIDs in document order.
+                let mut next = Xid::FIRST;
+                let ids: Vec<_> = tree.iter().collect();
+                for id in ids {
+                    tree.node_mut(id).xid = next;
+                    next = next.next();
+                }
+                tree.stamp_all(ts);
+                let doc = self.alloc_doc_id();
+                let current_rid = self.heap.insert(&encode_tree(&tree))?;
+                let meta = DocMeta {
+                    name: name.to_string(),
+                    next_xid: next,
+                    current_rid: Some(current_rid),
+                    entries: vec![VersionEntry {
+                        version: VersionId::FIRST,
+                        ts,
+                        kind: VersionKind::Content,
+                        delta_rid: None,
+                        snapshot_rid: None,
+                    }],
+                };
+                let meta_rid = self.heap.insert(&meta.encode())?;
+                self.catalog.insert(name.as_bytes(), &doc.0.to_be_bytes())?;
+                self.docs.insert(&doc.0.to_be_bytes(), &meta_rid.to_bytes())?;
+                Ok(PutResult {
+                    doc,
+                    version: VersionId::FIRST,
+                    ts,
+                    created: true,
+                    changed: true,
+                    delta: None,
+                    old_tree: None,
+                    new_tree: tree,
+                })
+            }
+            Some((doc, meta_rid, mut meta)) => {
+                let last_ts = meta.last().map(|e| e.ts).unwrap_or(Timestamp::ZERO);
+                if ts <= last_ts {
+                    return Err(Error::QueryInvalid(format!(
+                        "non-monotonic put: {ts} <= last version time {last_ts}"
+                    )));
+                }
+                let old_tree = self.current_tree_of(&meta)?;
+                let from_entry = meta
+                    .last_content()
+                    .ok_or_else(|| Error::Corrupt("document has no content version".into()))?;
+                let (from_version, from_ts) = (from_entry.version, from_entry.ts);
+                let mut next_xid = meta.next_xid;
+                let result = diff_trees(&old_tree, &mut tree, &mut next_xid, from_version, from_ts, ts)?;
+                if result.delta.is_empty() && !meta.is_deleted() {
+                    // Unchanged content: no new version (re-crawl of an
+                    // identical page, §3.1).
+                    return Ok(PutResult {
+                        doc,
+                        version: from_version,
+                        ts,
+                        created: false,
+                        changed: false,
+                        delta: None,
+                        old_tree: Some(old_tree),
+                        new_tree: tree,
+                    });
+                }
+                let version = VersionId(meta.entries.len() as u32);
+                // Store the delta as an XML document (§7.1).
+                let mut delta = result.delta;
+                delta.to_version = version;
+                let delta_xml = txdb_xml::serialize::to_string(&delta_to_xml(&delta));
+                let delta_rid = self.heap.insert(delta_xml.as_bytes())?;
+                // Replace the current version.
+                let new_bytes = encode_tree(&tree);
+                let current_rid = match meta.current_rid {
+                    Some(rid) => self.heap.update(rid, &new_bytes)?,
+                    None => self.heap.insert(&new_bytes)?,
+                };
+                // Snapshot policy (§7.3.3).
+                let snapshot_rid = match self.opts.snapshot_every {
+                    Some(k) if k > 0 && version.0.is_multiple_of(k) => {
+                        Some(self.heap.insert(&new_bytes)?)
+                    }
+                    _ => None,
+                };
+                meta.current_rid = Some(current_rid);
+                meta.next_xid = next_xid;
+                meta.entries.push(VersionEntry {
+                    version,
+                    ts,
+                    kind: VersionKind::Content,
+                    delta_rid: Some(delta_rid),
+                    snapshot_rid,
+                });
+                let new_meta_rid = self.heap.update(meta_rid, &meta.encode())?;
+                self.docs.insert(&doc.0.to_be_bytes(), &new_meta_rid.to_bytes())?;
+                self.invalidate_meta(doc);
+                Ok(PutResult {
+                    doc,
+                    version,
+                    ts,
+                    created: false,
+                    changed: true,
+                    delta: Some(delta),
+                    old_tree: Some(old_tree),
+                    new_tree: tree,
+                })
+            }
+        }
+    }
+
+    /// Deletes `name` at time `ts` (records a tombstone version; history
+    /// stays queryable). Returns `None` if the document does not exist or
+    /// is already deleted.
+    pub fn delete(&self, name: &str, ts: Timestamp) -> Result<Option<DeleteResult>> {
+        let _g = self.sync.write();
+        // No-op deletes (unknown or already-deleted documents) must not
+        // reach the WAL.
+        match self.lookup_meta(name)? {
+            None => return Ok(None),
+            Some((.., meta)) if meta.is_deleted() => return Ok(None),
+            Some(_) => {}
+        }
+        self.check_monotonic(name, ts)?;
+        let mut rec = vec![WAL_DELETE];
+        encode_str(&mut rec, name);
+        rec.extend_from_slice(&ts.micros().to_le_bytes());
+        self.wal.append(&rec)?;
+        self.apply_delete(name, ts)
+    }
+
+    fn apply_delete(&self, name: &str, ts: Timestamp) -> Result<Option<DeleteResult>> {
+        let Some((doc, meta_rid, mut meta)) = self.lookup_meta(name)? else {
+            return Ok(None);
+        };
+        if meta.is_deleted() {
+            return Ok(None);
+        }
+        let last_ts = meta.last().map(|e| e.ts).unwrap_or(Timestamp::ZERO);
+        if ts <= last_ts {
+            return Err(Error::QueryInvalid(format!(
+                "non-monotonic delete: {ts} <= last version time {last_ts}"
+            )));
+        }
+        let old_tree = self.current_tree_of(&meta)?;
+        let version = VersionId(meta.entries.len() as u32);
+        meta.entries.push(VersionEntry {
+            version,
+            ts,
+            kind: VersionKind::Tombstone,
+            delta_rid: None,
+            snapshot_rid: None,
+        });
+        let new_meta_rid = self.heap.update(meta_rid, &meta.encode())?;
+        self.docs.insert(&doc.0.to_be_bytes(), &new_meta_rid.to_bytes())?;
+        self.invalidate_meta(doc);
+        Ok(Some(DeleteResult { doc, version, ts, old_tree }))
+    }
+
+    /// Purges history: every version whose validity interval ends at or
+    /// before `before` loses its stored payload (deltas and snapshots are
+    /// freed; the version entry remains, marked [`VersionKind::Purged`], so
+    /// version numbering — which the full-text index relies on — stays
+    /// dense). Versions valid at or after `before` are untouched, and the
+    /// backward reconstruction chain of every retained version remains
+    /// complete (it only uses deltas of *newer* versions). Returns `None`
+    /// if the document does not exist.
+    ///
+    /// After a vacuum, temporal queries before the horizon return nothing
+    /// and `CreTime` delta traversal bottoms out at the horizon; the
+    /// EID-time index keeps exact create times.
+    pub fn vacuum(&self, name: &str, before: Timestamp) -> Result<Option<VacuumStats>> {
+        let _g = self.sync.write();
+        if self.lookup_meta(name)?.is_none() {
+            return Ok(None);
+        }
+        let mut rec = vec![WAL_VACUUM];
+        encode_str(&mut rec, name);
+        rec.extend_from_slice(&before.micros().to_le_bytes());
+        self.wal.append(&rec)?;
+        self.apply_vacuum(name, before)
+    }
+
+    fn apply_vacuum(&self, name: &str, before: Timestamp) -> Result<Option<VacuumStats>> {
+        let Some((doc, meta_rid, mut meta)) = self.lookup_meta(name)? else {
+            return Ok(None);
+        };
+        let mut stats = VacuumStats::default();
+        let n = meta.entries.len();
+        for i in 0..n {
+            let end = meta
+                .entries
+                .get(i + 1)
+                .map(|e| e.ts)
+                .unwrap_or(Timestamp::FOREVER);
+            let e = &mut meta.entries[i];
+            // The last entry (validity open-ended) is never purged, even
+            // with `before = FOREVER`: the current state always survives.
+            if end >= before || end == Timestamp::FOREVER || e.kind == VersionKind::Purged {
+                continue;
+            }
+            if let Some(rid) = e.delta_rid.take() {
+                stats.freed_bytes += self.heap.get(rid)?.len() as u64;
+                self.heap.delete(rid)?;
+            }
+            if let Some(rid) = e.snapshot_rid.take() {
+                stats.freed_bytes += self.heap.get(rid)?.len() as u64;
+                self.heap.delete(rid)?;
+            }
+            if e.kind == VersionKind::Content {
+                stats.purged_versions += 1;
+            }
+            e.kind = VersionKind::Purged;
+        }
+        // The delta *into* the first retained content version transforms a
+        // purged version into it — it can never be applied again. Free it.
+        let mut prev_content_purged = false;
+        for i in 0..n {
+            match meta.entries[i].kind {
+                VersionKind::Purged => prev_content_purged = true,
+                VersionKind::Tombstone => {}
+                VersionKind::Content => {
+                    if prev_content_purged {
+                        if let Some(rid) = meta.entries[i].delta_rid.take() {
+                            stats.freed_bytes += self.heap.get(rid)?.len() as u64;
+                            self.heap.delete(rid)?;
+                        }
+                    }
+                    prev_content_purged = false;
+                }
+            }
+        }
+        if stats.purged_versions > 0 || stats.freed_bytes > 0 {
+            let new_meta_rid = self.heap.update(meta_rid, &meta.encode())?;
+            self.docs.insert(&doc.0.to_be_bytes(), &new_meta_rid.to_bytes())?;
+            self.invalidate_meta(doc);
+        }
+        Ok(Some(stats))
+    }
+
+    /// Pre-WAL validation: the new timestamp must exceed the last version
+    /// time of an existing document.
+    fn check_monotonic(&self, name: &str, ts: Timestamp) -> Result<()> {
+        if let Some((_, _, meta)) = self.lookup_meta(name)? {
+            if let Some(last) = meta.last() {
+                if ts <= last.ts {
+                    return Err(Error::QueryInvalid(format!(
+                        "non-monotonic write: {ts} <= last version time {}",
+                        last.ts
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn alloc_doc_id(&self) -> DocId {
+        // The NEXT_DOC root slot doubles as a monotone counter.
+        let next = self.pool.pager().root(roots::NEXT_DOC).0 + 1;
+        self.pool
+            .pager()
+            .set_root(roots::NEXT_DOC, crate::pager::PageId(next));
+        DocId(next as u32)
+    }
+
+    fn lookup_meta(&self, name: &str) -> Result<Option<(DocId, RecordId, DocMeta)>> {
+        let Some(docid_bytes) = self.catalog.get(name.as_bytes())? else {
+            return Ok(None);
+        };
+        if docid_bytes.len() != 4 {
+            return Err(Error::Corrupt("bad doc id in catalog".into()));
+        }
+        let doc = DocId(u32::from_be_bytes(docid_bytes[..4].try_into().unwrap()));
+        let (rid, meta) = self.meta_of(doc)?;
+        Ok(Some((doc, rid, meta)))
+    }
+
+    fn meta_of(&self, doc: DocId) -> Result<(RecordId, DocMeta)> {
+        let cached = self.meta_arc(doc)?;
+        Ok((cached.0, cached.1.clone()))
+    }
+
+    /// Cached decode of a document's metadata record.
+    fn meta_arc(&self, doc: DocId) -> Result<Arc<(RecordId, DocMeta)>> {
+        if let Some(hit) = self.meta_cache.lock().get(&doc) {
+            return Ok(hit.clone());
+        }
+        let rid_bytes = self
+            .docs
+            .get(&doc.0.to_be_bytes())?
+            .ok_or(Error::NoSuchDocId(doc))?;
+        let rid = RecordId::from_bytes(&rid_bytes)?;
+        let meta = DocMeta::decode(&self.heap.get(rid)?)?;
+        let arc = Arc::new((rid, meta));
+        self.meta_cache.lock().insert(doc, arc.clone());
+        Ok(arc)
+    }
+
+    fn invalidate_meta(&self, doc: DocId) {
+        self.meta_cache.lock().remove(&doc);
+    }
+
+    fn current_tree_of(&self, meta: &DocMeta) -> Result<Tree> {
+        let rid = meta
+            .current_rid
+            .ok_or_else(|| Error::Corrupt("document without current version".into()))?;
+        decode_tree(&self.heap.get(rid)?)
+    }
+
+    /// The doc id of a name, if present.
+    pub fn doc_id(&self, name: &str) -> Result<Option<DocId>> {
+        let _g = self.sync.read();
+        Ok(self.lookup_meta(name)?.map(|(d, ..)| d))
+    }
+
+    /// The name of a doc id.
+    pub fn doc_name(&self, doc: DocId) -> Result<String> {
+        let _g = self.sync.read();
+        Ok(self.meta_of(doc)?.1.name)
+    }
+
+    /// All documents (id, name), in id order.
+    pub fn list(&self) -> Result<Vec<(DocId, String)>> {
+        let _g = self.sync.read();
+        let mut out = Vec::new();
+        for entry in self.docs.iter()? {
+            let (k, _) = entry?;
+            let doc = DocId(u32::from_be_bytes(k[..4].try_into().unwrap()));
+            out.push((doc, self.meta_of(doc)?.1.name));
+        }
+        Ok(out)
+    }
+
+    /// The document's delta index: every version with timestamp, kind and
+    /// record locations (§7.1, §7.3.7).
+    pub fn versions(&self, doc: DocId) -> Result<Vec<VersionEntry>> {
+        let _g = self.sync.read();
+        Ok(self.meta_of(doc)?.1.entries)
+    }
+
+    /// True when the document's last version is a tombstone.
+    pub fn is_deleted(&self, doc: DocId) -> Result<bool> {
+        let _g = self.sync.read();
+        Ok(self.meta_of(doc)?.1.is_deleted())
+    }
+
+    /// The XID high-water mark (next to be assigned).
+    pub fn next_xid(&self, doc: DocId) -> Result<Xid> {
+        let _g = self.sync.read();
+        Ok(self.meta_of(doc)?.1.next_xid)
+    }
+
+    /// The current tree (last content version). Errors if the document is
+    /// deleted — use [`DocumentStore::version_tree`] for history.
+    pub fn current_tree(&self, doc: DocId) -> Result<Tree> {
+        let _g = self.sync.read();
+        let (_, meta) = self.meta_of(doc)?;
+        if meta.is_deleted() {
+            return Err(Error::NotValidAt(doc, Timestamp::FOREVER));
+        }
+        self.current_tree_of(&meta)
+    }
+
+    /// The version valid at time `ts`, if any (the snapshot selector used
+    /// by `TPatternScan` and friends). Tombstone intervals yield `None`.
+    pub fn version_at(&self, doc: DocId, ts: Timestamp) -> Result<Option<VersionId>> {
+        let _g = self.sync.read();
+        let (_, meta) = self.meta_of(doc)?;
+        let mut found = None;
+        for e in &meta.entries {
+            if e.ts <= ts {
+                found = Some(e);
+            } else {
+                break;
+            }
+        }
+        Ok(match found {
+            Some(e) if e.kind == VersionKind::Content => Some(e.version),
+            _ => None,
+        })
+    }
+
+    /// The validity interval of version `v`: `[ts_v, ts_of_next_entry)`,
+    /// `FOREVER`-bounded for the last entry.
+    pub fn version_interval(&self, doc: DocId, v: VersionId) -> Result<Interval> {
+        let _g = self.sync.read();
+        let (_, meta) = self.meta_of(doc)?;
+        let e = meta
+            .entries
+            .get(v.0 as usize)
+            .ok_or(Error::NoSuchVersion(doc, v))?;
+        let end = meta
+            .entries
+            .get(v.0 as usize + 1)
+            .map(|n| n.ts)
+            .unwrap_or(Timestamp::FOREVER);
+        Ok(Interval::new(e.ts, end))
+    }
+
+    /// Reconstructs version `v` (§7.3.3): finds the nearest complete
+    /// materialisation at or after `v` (snapshot or the current version)
+    /// and applies completed deltas backwards. Returns the tree and the
+    /// number of deltas applied (the cost metric of experiment E4).
+    pub fn version_tree_counted(&self, doc: DocId, v: VersionId) -> Result<(Tree, usize)> {
+        let _g = self.sync.read();
+        let (_, meta) = self.meta_of(doc)?;
+        let e = meta
+            .entries
+            .get(v.0 as usize)
+            .ok_or(Error::NoSuchVersion(doc, v))?;
+        if e.kind != VersionKind::Content {
+            return Err(Error::NoSuchVersion(doc, v));
+        }
+        // Direct hits first.
+        if let Some(rid) = e.snapshot_rid {
+            return Ok((decode_tree(&self.heap.get(rid)?)?, 0));
+        }
+        let last_content = meta
+            .last_content()
+            .ok_or_else(|| Error::Corrupt("no content version".into()))?;
+        if last_content.version == v {
+            return Ok((self.current_tree_of(&meta)?, 0));
+        }
+        // Nearest materialisation after v: the oldest snapshot with
+        // timestamp >= v ("processing start using the oldest snapshot with
+        // timestamp greater or equal to t"), else the current version.
+        let mut start = last_content.version;
+        let mut tree = None;
+        for e2 in &meta.entries[(v.0 as usize + 1)..] {
+            if let Some(rid) = e2.snapshot_rid {
+                start = e2.version;
+                tree = Some(decode_tree(&self.heap.get(rid)?)?);
+                break;
+            }
+        }
+        let mut tree = match tree {
+            Some(t) => t,
+            None => self.current_tree_of(&meta)?,
+        };
+        // Apply deltas backwards from `start` down to `v`.
+        let mut applied = 0usize;
+        for u in ((v.0 + 1)..=start.0).rev() {
+            let entry = &meta.entries[u as usize];
+            let Some(rid) = entry.delta_rid else { continue }; // tombstone
+            let delta = self.load_delta(rid)?;
+            delta.apply_backward(&mut tree)?;
+            applied += 1;
+        }
+        Ok((tree, applied))
+    }
+
+    /// Reconstructs version `v` (§7.3.3).
+    pub fn version_tree(&self, doc: DocId, v: VersionId) -> Result<Tree> {
+        Ok(self.version_tree_counted(doc, v)?.0)
+    }
+
+    /// The completed delta leading into version `v` (None for the first
+    /// version and tombstones).
+    pub fn delta(&self, doc: DocId, v: VersionId) -> Result<Option<Delta>> {
+        let _g = self.sync.read();
+        let (_, meta) = self.meta_of(doc)?;
+        let e = meta
+            .entries
+            .get(v.0 as usize)
+            .ok_or(Error::NoSuchVersion(doc, v))?;
+        match e.delta_rid {
+            Some(rid) => Ok(Some(self.load_delta(rid)?)),
+            None => Ok(None),
+        }
+    }
+
+    fn load_delta(&self, rid: RecordId) -> Result<Delta> {
+        let text = String::from_utf8(self.heap.get(rid)?)
+            .map_err(|_| Error::Corrupt("delta record is not UTF-8".into()))?;
+        // keep_whitespace: delta payloads may contain whitespace-only text
+        // nodes that the default parser would drop.
+        let tree = parse_with(
+            &text,
+            ParseOptions { keep_whitespace: true, allow_forest: true },
+        )?;
+        delta_from_xml(&tree)
+    }
+
+    /// Flushes all dirty pages, syncs, and truncates the WAL.
+    pub fn checkpoint(&self) -> Result<()> {
+        let _g = self.sync.write();
+        self.pool.flush_all()?;
+        self.wal.reset()
+    }
+
+    /// Space accounting for the storage experiments (E8).
+    pub fn space_stats(&self) -> Result<SpaceStats> {
+        let _g = self.sync.read();
+        let mut s = SpaceStats { pages: self.pool.pager().page_count(), ..Default::default() };
+        for entry in self.docs.iter()? {
+            let (_, rid_bytes) = entry?;
+            let rid = RecordId::from_bytes(&rid_bytes)?;
+            let meta_bytes = self.heap.get(rid)?;
+            s.meta_bytes += meta_bytes.len() as u64;
+            let meta = DocMeta::decode(&meta_bytes)?;
+            if let Some(rid) = meta.current_rid {
+                s.current_bytes += self.heap.get(rid)?.len() as u64;
+            }
+            for e in &meta.entries {
+                if let Some(rid) = e.delta_rid {
+                    s.delta_bytes += self.heap.get(rid)?.len() as u64;
+                }
+                if let Some(rid) = e.snapshot_rid {
+                    s.snapshot_bytes += self.heap.get(rid)?.len() as u64;
+                }
+            }
+        }
+        Ok(s)
+    }
+}
+
+fn encode_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn decode_str(b: &[u8]) -> Result<(String, &[u8])> {
+    if b.len() < 4 {
+        return Err(Error::WalCorrupt(0, "short string".into()));
+    }
+    let len = u32::from_le_bytes(b[..4].try_into().unwrap()) as usize;
+    if b.len() < 4 + len {
+        return Err(Error::WalCorrupt(0, "truncated string".into()));
+    }
+    let s = String::from_utf8(b[4..4 + len].to_vec())
+        .map_err(|_| Error::WalCorrupt(0, "bad utf8".into()))?;
+    Ok((s, &b[4 + len..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txdb_xml::serialize::to_string;
+
+    fn ts(n: u64) -> Timestamp {
+        Timestamp::from_micros(n * 1000)
+    }
+
+    #[test]
+    fn create_and_read_back() {
+        let store = DocumentStore::in_memory();
+        let r = store
+            .put("guide.com/restaurants", "<guide><r><n>Napoli</n></r></guide>", ts(1))
+            .unwrap();
+        assert!(r.created && r.changed);
+        assert_eq!(r.version, VersionId(0));
+        let t = store.current_tree(r.doc).unwrap();
+        assert_eq!(to_string(&t), "<guide><r><n>Napoli</n></r></guide>");
+        // XIDs assigned 1..
+        assert!(t.iter().all(|n| !t.node(n).xid.is_none()));
+        assert_eq!(store.doc_id("guide.com/restaurants").unwrap(), Some(r.doc));
+        assert_eq!(store.doc_name(r.doc).unwrap(), "guide.com/restaurants");
+        assert_eq!(store.list().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn update_chain_and_reconstruct() {
+        let store = DocumentStore::in_memory();
+        let r0 = store.put("d", "<g><p>1</p></g>", ts(1)).unwrap();
+        let doc = r0.doc;
+        for (i, price) in [(2u64, "2"), (3, "3"), (4, "4")] {
+            let r = store
+                .put("d", &format!("<g><p>{price}</p></g>"), ts(i))
+                .unwrap();
+            assert!(r.changed && !r.created);
+            assert!(r.delta.is_some());
+        }
+        // Version entries (delta index).
+        let vs = store.versions(doc).unwrap();
+        assert_eq!(vs.len(), 4);
+        assert!(vs[0].delta_rid.is_none());
+        assert!(vs[1..].iter().all(|e| e.delta_rid.is_some()));
+        // Reconstruct every version.
+        for (v, want) in [(0u32, "1"), (1, "2"), (2, "3"), (3, "4")] {
+            let (t, applied) = store.version_tree_counted(doc, VersionId(v)).unwrap();
+            assert_eq!(to_string(&t), format!("<g><p>{want}</p></g>"));
+            assert_eq!(applied as u32, 3 - v, "backward chain length");
+        }
+    }
+
+    #[test]
+    fn unchanged_put_records_nothing() {
+        let store = DocumentStore::in_memory();
+        let r0 = store.put("d", "<a>same</a>", ts(1)).unwrap();
+        let r1 = store.put("d", "<a>same</a>", ts(2)).unwrap();
+        assert!(!r1.changed);
+        assert_eq!(r1.version, r0.version);
+        assert_eq!(store.versions(r0.doc).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn non_monotonic_time_rejected() {
+        let store = DocumentStore::in_memory();
+        store.put("d", "<a>1</a>", ts(5)).unwrap();
+        assert!(store.put("d", "<a>2</a>", ts(5)).is_err());
+        assert!(store.put("d", "<a>2</a>", ts(4)).is_err());
+        assert!(store.delete("d", ts(3)).is_err());
+    }
+
+    #[test]
+    fn version_at_timeline() {
+        let store = DocumentStore::in_memory();
+        let doc = store.put("d", "<a>1</a>", ts(10)).unwrap().doc;
+        store.put("d", "<a>2</a>", ts(20)).unwrap();
+        store.put("d", "<a>3</a>", ts(30)).unwrap();
+        assert_eq!(store.version_at(doc, ts(5)).unwrap(), None);
+        assert_eq!(store.version_at(doc, ts(10)).unwrap(), Some(VersionId(0)));
+        assert_eq!(store.version_at(doc, ts(15)).unwrap(), Some(VersionId(0)));
+        assert_eq!(store.version_at(doc, ts(20)).unwrap(), Some(VersionId(1)));
+        assert_eq!(store.version_at(doc, ts(99)).unwrap(), Some(VersionId(2)));
+        // Intervals.
+        assert_eq!(
+            store.version_interval(doc, VersionId(0)).unwrap(),
+            Interval::new(ts(10), ts(20))
+        );
+        assert!(store.version_interval(doc, VersionId(2)).unwrap().is_current());
+    }
+
+    #[test]
+    fn delete_and_tombstone_semantics() {
+        let store = DocumentStore::in_memory();
+        let doc = store.put("d", "<a>1</a>", ts(10)).unwrap().doc;
+        store.put("d", "<a>2</a>", ts(20)).unwrap();
+        let del = store.delete("d", ts(30)).unwrap().unwrap();
+        assert_eq!(del.version, VersionId(2));
+        assert!(store.is_deleted(doc).unwrap());
+        assert!(store.current_tree(doc).is_err());
+        // History still reconstructible.
+        assert_eq!(
+            to_string(&store.version_tree(doc, VersionId(1)).unwrap()),
+            "<a>2</a>"
+        );
+        // version_at inside the tombstone interval → None.
+        assert_eq!(store.version_at(doc, ts(35)).unwrap(), None);
+        assert_eq!(store.version_at(doc, ts(25)).unwrap(), Some(VersionId(1)));
+        // Double delete is a no-op.
+        assert!(store.delete("d", ts(40)).unwrap().is_none());
+        // Deleting a non-existent doc is None.
+        assert!(store.delete("nope", ts(50)).unwrap().is_none());
+    }
+
+    #[test]
+    fn resurrection_after_delete() {
+        let store = DocumentStore::in_memory();
+        let doc = store.put("d", "<a><b>x</b></a>", ts(10)).unwrap().doc;
+        store.delete("d", ts(20)).unwrap().unwrap();
+        let r = store.put("d", "<a><b>x</b></a>", ts(30)).unwrap();
+        assert_eq!(r.doc, doc);
+        assert!(r.changed);
+        assert_eq!(r.version, VersionId(2));
+        assert!(!store.is_deleted(doc).unwrap());
+        // Reintroduced content gets FRESH xids (never reused, §3.2)?
+        // The content is identical, so the diff matches everything and
+        // XIDs are preserved — identity survives a delete+restore of
+        // identical content (the tombstone only interrupts validity).
+        assert_eq!(store.version_at(doc, ts(25)).unwrap(), None);
+        assert_eq!(store.version_at(doc, ts(30)).unwrap(), Some(VersionId(2)));
+        let t = store.current_tree(doc).unwrap();
+        assert_eq!(to_string(&t), "<a><b>x</b></a>");
+    }
+
+    #[test]
+    fn snapshots_bound_reconstruction() {
+        let store = DocumentStore::open(StoreOptions {
+            snapshot_every: Some(4),
+            ..Default::default()
+        })
+        .unwrap()
+        .0;
+        let doc = store.put("d", "<a><v>0</v></a>", ts(1)).unwrap().doc;
+        for i in 1..=20u64 {
+            store
+                .put("d", &format!("<a><v>{i}</v></a>"), ts(1 + i))
+                .unwrap();
+        }
+        // Snapshots exist at versions 4, 8, 12, 16, 20.
+        let vs = store.versions(doc).unwrap();
+        let snap_versions: Vec<u32> = vs
+            .iter()
+            .filter(|e| e.snapshot_rid.is_some())
+            .map(|e| e.version.0)
+            .collect();
+        assert_eq!(snap_versions, vec![4, 8, 12, 16, 20]);
+        // Reconstructing version 5 starts from snapshot 8: 3 deltas.
+        let (t, applied) = store.version_tree_counted(doc, VersionId(5)).unwrap();
+        assert_eq!(to_string(&t), "<a><v>5</v></a>");
+        assert_eq!(applied, 3);
+        // Direct snapshot hit: 0 deltas.
+        let (_, applied) = store.version_tree_counted(doc, VersionId(8)).unwrap();
+        assert_eq!(applied, 0);
+        // Without snapshots it would have been 15 for version 5.
+    }
+
+    #[test]
+    fn many_documents() {
+        let store = DocumentStore::in_memory();
+        for i in 0..50 {
+            store
+                .put(&format!("doc{i}"), &format!("<d><n>{i}</n></d>"), ts(i + 1))
+                .unwrap();
+        }
+        assert_eq!(store.list().unwrap().len(), 50);
+        let doc = store.doc_id("doc33").unwrap().unwrap();
+        assert_eq!(
+            to_string(&store.current_tree(doc).unwrap()),
+            "<d><n>33</n></d>"
+        );
+    }
+
+    #[test]
+    fn xids_preserved_across_versions() {
+        let store = DocumentStore::in_memory();
+        let doc = store
+            .put("d", "<g><r><n>Napoli</n><p>15</p></r></g>", ts(1))
+            .unwrap()
+            .doc;
+        let t0 = store.current_tree(doc).unwrap();
+        let r_xid = {
+            let r = t0.iter().find(|&n| t0.node(n).name() == Some("r")).unwrap();
+            t0.node(r).xid
+        };
+        store
+            .put("d", "<g><r><n>Napoli</n><p>18</p></r></g>", ts(2))
+            .unwrap();
+        let t1 = store.current_tree(doc).unwrap();
+        let r1 = t1.iter().find(|&n| t1.node(n).name() == Some("r")).unwrap();
+        assert_eq!(t1.node(r1).xid, r_xid, "persistent identity across versions");
+    }
+
+    #[test]
+    fn wal_recovery_replays_tail() {
+        let dir = std::env::temp_dir().join(format!("txdb-repo-rec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = StoreOptions { path: Some(dir.clone()), ..Default::default() };
+        {
+            let (store, rep) = DocumentStore::open(opts.clone()).unwrap();
+            assert_eq!(rep.replayed, 0);
+            store.put("d", "<a>1</a>", ts(1)).unwrap();
+            store.checkpoint().unwrap();
+            // Post-checkpoint ops land only in the WAL...
+            store.put("d", "<a>2</a>", ts(2)).unwrap();
+            store.put("e", "<b>new</b>", ts(3)).unwrap();
+            store.wal.sync().unwrap();
+            // ...and the process "crashes" here (no checkpoint, drop
+            // without flushing pages).
+        }
+        {
+            let (store, rep) = DocumentStore::open(opts.clone()).unwrap();
+            assert_eq!(rep.replayed, 2, "two ops after the checkpoint");
+            let d = store.doc_id("d").unwrap().unwrap();
+            assert_eq!(to_string(&store.current_tree(d).unwrap()), "<a>2</a>");
+            assert_eq!(store.versions(d).unwrap().len(), 2);
+            let e = store.doc_id("e").unwrap().unwrap();
+            assert_eq!(to_string(&store.current_tree(e).unwrap()), "<b>new</b>");
+            // Recovery checkpointed: reopening again replays nothing.
+        }
+        {
+            let (_, rep) = DocumentStore::open(opts).unwrap();
+            assert_eq!(rep.replayed, 0);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persistent_reopen_without_crash() {
+        let dir = std::env::temp_dir().join(format!("txdb-repo-p-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = StoreOptions { path: Some(dir.clone()), ..Default::default() };
+        {
+            let (store, _) = DocumentStore::open(opts.clone()).unwrap();
+            for i in 1..=5u64 {
+                store.put("d", &format!("<a>{i}</a>"), ts(i)).unwrap();
+            }
+            store.checkpoint().unwrap();
+        }
+        let (store, rep) = DocumentStore::open(opts).unwrap();
+        assert_eq!(rep.replayed, 0);
+        let d = store.doc_id("d").unwrap().unwrap();
+        assert_eq!(store.versions(d).unwrap().len(), 5);
+        for v in 0..5u32 {
+            assert_eq!(
+                to_string(&store.version_tree(d, VersionId(v)).unwrap()),
+                format!("<a>{}</a>", v + 1)
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn space_stats_accumulate() {
+        let store = DocumentStore::in_memory();
+        store.put("d", "<a><b>content</b></a>", ts(1)).unwrap();
+        store.put("d", "<a><b>changed</b></a>", ts(2)).unwrap();
+        let s = store.space_stats().unwrap();
+        assert!(s.current_bytes > 0);
+        assert!(s.delta_bytes > 0);
+        assert!(s.meta_bytes > 0);
+        assert_eq!(s.snapshot_bytes, 0);
+        assert!(s.pages > 0);
+    }
+
+    #[test]
+    fn timestamps_in_stored_versions() {
+        // §4: element timestamps reflect update times across versions.
+        let store = DocumentStore::in_memory();
+        let doc = store
+            .put("d", "<g><r><n>N</n><p>15</p></r></g>", ts(100))
+            .unwrap()
+            .doc;
+        store
+            .put("d", "<g><r><n>N</n><p>18</p></r></g>", ts(200))
+            .unwrap();
+        let t = store.current_tree(doc).unwrap();
+        let root = t.root().unwrap();
+        // Effective ts of the root reflects the price update.
+        assert_eq!(t.effective_ts(root), ts(200));
+        // The name element was not touched.
+        let name = t.iter().find(|&n| t.node(n).name() == Some("n")).unwrap();
+        assert_eq!(t.effective_ts(name), ts(100));
+        // Reconstructed v0 has original timestamps everywhere.
+        let t0 = store.version_tree(doc, VersionId(0)).unwrap();
+        assert_eq!(t0.effective_ts(t0.root().unwrap()), ts(100));
+    }
+
+    #[test]
+    fn vacuum_purges_history_keeps_tail() {
+        let store = DocumentStore::in_memory();
+        let doc = store.put("d", "<a><v>0</v></a>", ts(10)).unwrap().doc;
+        for i in 1..=6u64 {
+            store
+                .put("d", &format!("<a><v>{i}</v></a>"), ts(10 + i * 10))
+                .unwrap();
+        }
+        let before_space = store.space_stats().unwrap();
+        // Purge everything not valid at/after t=45 → versions 0..3 end at
+        // 20,30,40 — wait: v0 [10,20), v1 [20,30), v2 [30,40), v3 [40,50).
+        // end <= 45 purges v0..v2; v3 (ends 50) survives.
+        let stats = store
+            .vacuum("d", Timestamp::from_micros(45 * 1000))
+            .unwrap()
+            .unwrap();
+        assert_eq!(stats.purged_versions, 3);
+        assert!(stats.freed_bytes > 0);
+        let after_space = store.space_stats().unwrap();
+        assert!(after_space.delta_bytes < before_space.delta_bytes);
+        // Purged versions are unselectable and unreconstructable.
+        assert_eq!(store.version_at(doc, ts(15)).unwrap(), None);
+        assert!(store.version_tree(doc, VersionId(1)).is_err());
+        // Retained versions fully intact.
+        assert_eq!(store.version_at(doc, ts(45)).unwrap(), Some(VersionId(3)));
+        for v in 3..=6u32 {
+            assert_eq!(
+                to_string(&store.version_tree(doc, VersionId(v)).unwrap()),
+                format!("<a><v>{v}</v></a>")
+            );
+        }
+        // Idempotent: vacuuming again frees nothing more.
+        let again = store
+            .vacuum("d", Timestamp::from_micros(45 * 1000))
+            .unwrap()
+            .unwrap();
+        assert_eq!(again.purged_versions, 0);
+        assert_eq!(again.freed_bytes, 0);
+        // Unknown doc → None.
+        assert!(store.vacuum("nope", ts(99)).unwrap().is_none());
+    }
+
+    #[test]
+    fn vacuum_never_purges_current() {
+        let store = DocumentStore::in_memory();
+        let doc = store.put("d", "<a>only</a>", ts(10)).unwrap().doc;
+        let stats = store.vacuum("d", Timestamp::FOREVER).unwrap().unwrap();
+        // The current version's validity is [t, FOREVER) — end > any
+        // horizon, so it always survives.
+        assert_eq!(stats.purged_versions, 0);
+        assert_eq!(
+            to_string(&store.current_tree(doc).unwrap()),
+            "<a>only</a>"
+        );
+    }
+
+    #[test]
+    fn unknown_doc_errors() {
+        let store = DocumentStore::in_memory();
+        assert_eq!(store.doc_id("missing").unwrap(), None);
+        assert!(store.doc_name(DocId(99)).is_err());
+        assert!(store.current_tree(DocId(99)).is_err());
+        let doc = store.put("d", "<a/>", ts(1)).unwrap().doc;
+        assert!(store.version_tree(doc, VersionId(7)).is_err());
+    }
+}

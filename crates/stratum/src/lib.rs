@@ -1,0 +1,399 @@
+//! # txdb-stratum — the stratum baseline the paper argues against
+//!
+//! §1: "The easiest way to realize this is to store all versions of all
+//! documents in the database, and use a middleware layer to convert
+//! temporal query language statements into conventional statements,
+//! executed by an underlying database system (also called a *stratum*
+//! approach). Although this approach makes the introduction of temporal
+//! support easier, it can be difficult to achieve good performance:
+//! temporal query processing is in general costly, and the cost of storing
+//! the complete document versions can be too high."
+//!
+//! This crate is that system, kept deliberately honest:
+//!
+//! * every version of every document is stored **complete** (the space
+//!   cost E8 measures against the delta chain);
+//! * there are **no persistent element ids** — elements have no identity
+//!   across versions (§3.2's observation), so `CreTime`, `DelTime`,
+//!   `ElementHistory`, `PREVIOUS(R)` and identity joins are simply not
+//!   expressible; the middleware offers only what a conventional engine
+//!   can: version scans, snapshot selection and in-memory tree matching;
+//! * queries translate to scans: a snapshot query picks the version valid
+//!   at *t* per document and pattern-matches its tree; an all-versions
+//!   query scans everything (the costs E2/E3/E6 measure against the
+//!   temporal FTI).
+//!
+//! To keep the comparison conservative (i.e. biased *in favour* of the
+//! stratum), stored versions keep their parsed trees in memory — the
+//! baseline never pays parsing during queries, only scanning and matching.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use txdb_base::{Error, Interval, Result, Timestamp};
+use txdb_xml::pattern::{match_tree, PatternTree};
+use txdb_xml::tree::Tree;
+
+/// One stored (complete) version.
+#[derive(Debug)]
+pub struct StoredVersion {
+    /// Transaction time the version was stored.
+    pub ts: Timestamp,
+    /// The complete version (parsed once at store time).
+    pub tree: Tree,
+    /// Serialized size in bytes (space accounting).
+    pub bytes: usize,
+}
+
+#[derive(Debug, Default)]
+struct DocRow {
+    versions: Vec<StoredVersion>,
+    deleted_at: Vec<Timestamp>,
+}
+
+impl DocRow {
+    /// The version valid at `t`, if any.
+    fn valid_at(&self, t: Timestamp) -> Option<&StoredVersion> {
+        let v = self.versions.iter().rev().find(|v| v.ts <= t)?;
+        // Deleted between that version and t?
+        let deleted = self
+            .deleted_at
+            .iter()
+            .any(|&d| v.ts < d && d <= t);
+        if deleted {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    fn is_deleted(&self) -> bool {
+        match (self.versions.last(), self.deleted_at.last()) {
+            (Some(v), Some(&d)) => d > v.ts,
+            (None, _) => true,
+            _ => false,
+        }
+    }
+}
+
+/// A match from the stratum: the document, version timestamp and the
+/// matched element count (no identity — elements cannot be referenced
+/// across versions, so the middleware returns materialised subtrees).
+#[derive(Debug)]
+pub struct StratumMatch {
+    /// Document name.
+    pub url: String,
+    /// Timestamp of the version the match comes from.
+    pub ts: Timestamp,
+    /// The matched (projected) subtrees, serialized on demand by the
+    /// caller; kept as extracted trees.
+    pub subtrees: Vec<Tree>,
+}
+
+/// Statistics of one stratum query (the baseline's cost metrics).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StratumStats {
+    /// Versions inspected.
+    pub versions_scanned: usize,
+    /// Tree nodes visited by the pattern matcher.
+    pub nodes_visited: usize,
+}
+
+/// The stratum database: a conventional (name, version) → document store
+/// plus middleware.
+#[derive(Default)]
+pub struct StratumDb {
+    docs: BTreeMap<String, DocRow>,
+}
+
+impl StratumDb {
+    /// Fresh empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a new complete version of `name`.
+    pub fn put(&mut self, name: &str, xml: &str, ts: Timestamp) -> Result<()> {
+        let tree = txdb_xml::parse::parse_document(xml)?;
+        self.put_tree(name, tree, xml.len(), ts)
+    }
+
+    /// Stores a new complete version from a parsed tree. A version
+    /// identical to the current one is skipped (a re-crawl of an unchanged
+    /// page stores nothing, mirroring the temporal engine's empty-delta
+    /// rule).
+    pub fn put_tree(&mut self, name: &str, tree: Tree, bytes: usize, ts: Timestamp) -> Result<()> {
+        let row = self.docs.entry(name.to_string()).or_default();
+        if let Some(last) = row.versions.last() {
+            if ts <= last.ts {
+                return Err(Error::QueryInvalid(format!(
+                    "non-monotonic put at {ts}"
+                )));
+            }
+            let unchanged = !row.is_deleted()
+                && txdb_xml::serialize::to_string(&last.tree)
+                    == txdb_xml::serialize::to_string(&tree);
+            if unchanged {
+                return Ok(());
+            }
+        }
+        row.versions.push(StoredVersion { ts, tree, bytes });
+        Ok(())
+    }
+
+    /// Marks `name` deleted at `ts`.
+    pub fn delete(&mut self, name: &str, ts: Timestamp) -> Result<()> {
+        let row = self
+            .docs
+            .get_mut(name)
+            .ok_or_else(|| Error::NoSuchDocument(name.to_string()))?;
+        row.deleted_at.push(ts);
+        Ok(())
+    }
+
+    /// Snapshot pattern query: matches in the version of each document
+    /// valid at `t` (the middleware translation of `TPatternScan`).
+    pub fn pattern_at(&self, pattern: &PatternTree, t: Timestamp) -> (Vec<StratumMatch>, StratumStats) {
+        let mut out = Vec::new();
+        let mut stats = StratumStats::default();
+        for (url, row) in &self.docs {
+            let Some(v) = row.valid_at(t) else { continue };
+            stats.versions_scanned += 1;
+            stats.nodes_visited += v.tree.len();
+            let matches = match_tree(&v.tree, pattern);
+            if matches.is_empty() {
+                continue;
+            }
+            let proj = pattern.projected();
+            let mut subtrees = Vec::new();
+            for m in &matches {
+                for &i in &proj {
+                    subtrees.push(v.tree.extract_subtree(m[i]));
+                }
+            }
+            out.push(StratumMatch { url: url.clone(), ts: v.ts, subtrees });
+        }
+        (out, stats)
+    }
+
+    /// Current-version pattern query.
+    pub fn pattern_current(&self, pattern: &PatternTree) -> (Vec<StratumMatch>, StratumStats) {
+        let mut out = Vec::new();
+        let mut stats = StratumStats::default();
+        for (url, row) in &self.docs {
+            if row.is_deleted() {
+                continue;
+            }
+            let Some(v) = row.versions.last() else { continue };
+            stats.versions_scanned += 1;
+            stats.nodes_visited += v.tree.len();
+            let matches = match_tree(&v.tree, pattern);
+            if matches.is_empty() {
+                continue;
+            }
+            let proj = pattern.projected();
+            let mut subtrees = Vec::new();
+            for m in &matches {
+                for &i in &proj {
+                    subtrees.push(v.tree.extract_subtree(m[i]));
+                }
+            }
+            out.push(StratumMatch { url: url.clone(), ts: v.ts, subtrees });
+        }
+        (out, stats)
+    }
+
+    /// All-versions pattern query (the middleware translation of
+    /// `TPatternScanAll`): a full scan of every stored version.
+    pub fn pattern_all(&self, pattern: &PatternTree) -> (Vec<StratumMatch>, StratumStats) {
+        let mut out = Vec::new();
+        let mut stats = StratumStats::default();
+        for (url, row) in &self.docs {
+            for v in &row.versions {
+                stats.versions_scanned += 1;
+                stats.nodes_visited += v.tree.len();
+                let matches = match_tree(&v.tree, pattern);
+                if matches.is_empty() {
+                    continue;
+                }
+                let proj = pattern.projected();
+                let mut subtrees = Vec::new();
+                for m in &matches {
+                    for &i in &proj {
+                        subtrees.push(v.tree.extract_subtree(m[i]));
+                    }
+                }
+                out.push(StratumMatch { url: url.clone(), ts: v.ts, subtrees });
+            }
+        }
+        (out, stats)
+    }
+
+    /// Counts matches at `t` without materialising subtrees (the fairest
+    /// possible stratum answer to the paper's Q2).
+    pub fn count_at(&self, pattern: &PatternTree, t: Timestamp) -> (usize, StratumStats) {
+        let mut n = 0;
+        let mut stats = StratumStats::default();
+        for row in self.docs.values() {
+            let Some(v) = row.valid_at(t) else { continue };
+            stats.versions_scanned += 1;
+            stats.nodes_visited += v.tree.len();
+            n += match_tree(&v.tree, pattern).len();
+        }
+        (n, stats)
+    }
+
+    /// All versions of one document valid in `[t1, t2)` — the stratum's
+    /// `DocHistory` is a simple selection (no reconstruction; versions are
+    /// complete). Most recent first, mirroring the temporal engine.
+    pub fn doc_history(&self, name: &str, interval: Interval) -> Vec<&StoredVersion> {
+        let Some(row) = self.docs.get(name) else { return Vec::new() };
+        let mut out: Vec<&StoredVersion> = Vec::new();
+        for (i, v) in row.versions.iter().enumerate() {
+            let end = row
+                .versions
+                .get(i + 1)
+                .map(|n| n.ts)
+                .or_else(|| row.deleted_at.iter().find(|&&d| d > v.ts).copied())
+                .unwrap_or(Timestamp::FOREVER);
+            if Interval::new(v.ts, end).overlaps(interval) {
+                out.push(v);
+            }
+        }
+        out.reverse();
+        out
+    }
+
+    /// Total bytes of stored complete versions (the E8 space metric).
+    pub fn space_bytes(&self) -> usize {
+        self.docs
+            .values()
+            .flat_map(|r| r.versions.iter())
+            .map(|v| v.bytes)
+            .sum()
+    }
+
+    /// Number of stored versions.
+    pub fn version_count(&self) -> usize {
+        self.docs.values().map(|r| r.versions.len()).sum()
+    }
+
+    /// Number of documents.
+    pub fn doc_count(&self) -> usize {
+        self.docs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txdb_xml::pattern::PatternNode;
+    use txdb_xml::serialize::to_string;
+
+    fn jan(d: u32) -> Timestamp {
+        Timestamp::from_date(2001, 1, d)
+    }
+
+    fn figure1() -> StratumDb {
+        let mut db = StratumDb::new();
+        db.put(
+            "guide.com/restaurants",
+            "<guide><restaurant><name>Napoli</name><price>15</price></restaurant></guide>",
+            jan(1),
+        )
+        .unwrap();
+        db.put(
+            "guide.com/restaurants",
+            "<guide><restaurant><name>Napoli</name><price>15</price></restaurant>\
+             <restaurant><name>Akropolis</name><price>13</price></restaurant></guide>",
+            jan(15),
+        )
+        .unwrap();
+        db.put(
+            "guide.com/restaurants",
+            "<guide><restaurant><name>Napoli</name><price>18</price></restaurant></guide>",
+            jan(31),
+        )
+        .unwrap();
+        db
+    }
+
+    fn restaurants() -> PatternTree {
+        PatternTree::new(PatternNode::tag("restaurant").project())
+    }
+
+    #[test]
+    fn q1_snapshot() {
+        let db = figure1();
+        let (m, stats) = db.pattern_at(&restaurants(), jan(26));
+        assert_eq!(m.len(), 1, "one document matched");
+        assert_eq!(m[0].subtrees.len(), 2, "two restaurants at 26/01");
+        assert_eq!(stats.versions_scanned, 1);
+    }
+
+    #[test]
+    fn q2_count() {
+        let db = figure1();
+        assert_eq!(db.count_at(&restaurants(), jan(26)).0, 2);
+        assert_eq!(db.count_at(&restaurants(), jan(2)).0, 1);
+        assert_eq!(db.count_at(&restaurants(), Timestamp::from_date(2000, 1, 1)).0, 0);
+    }
+
+    #[test]
+    fn q3_all_versions() {
+        let db = figure1();
+        let napoli = PatternTree::new(
+            PatternNode::tag("restaurant")
+                .project()
+                .child(PatternNode::tag("name").word("napoli")),
+        );
+        let (m, stats) = db.pattern_all(&napoli);
+        assert_eq!(m.len(), 3, "Napoli in all three versions");
+        assert_eq!(stats.versions_scanned, 3, "full scan");
+    }
+
+    #[test]
+    fn current_skips_deleted() {
+        let mut db = figure1();
+        assert_eq!(db.pattern_current(&restaurants()).0.len(), 1);
+        db.delete("guide.com/restaurants", Timestamp::from_date(2001, 2, 9)).unwrap();
+        assert!(db.pattern_current(&restaurants()).0.is_empty());
+        // Snapshot before deletion still works.
+        assert_eq!(db.pattern_at(&restaurants(), jan(26)).0.len(), 1);
+        // After deletion: nothing.
+        assert!(db
+            .pattern_at(&restaurants(), Timestamp::from_date(2001, 2, 10))
+            .0
+            .is_empty());
+    }
+
+    #[test]
+    fn history_selection() {
+        let db = figure1();
+        let h = db.doc_history(
+            "guide.com/restaurants",
+            Interval::new(jan(10), jan(20)),
+        );
+        assert_eq!(h.len(), 2, "v0 (valid into the interval) and v1");
+        assert!(h[0].ts > h[1].ts, "most recent first");
+        assert!(to_string(&h[0].tree).contains("Akropolis"));
+    }
+
+    #[test]
+    fn space_grows_with_complete_versions() {
+        let db = figure1();
+        assert_eq!(db.version_count(), 3);
+        assert_eq!(db.doc_count(), 1);
+        // Complete copies: space ≥ 3 × the smallest version.
+        assert!(db.space_bytes() > 3 * 70);
+    }
+
+    #[test]
+    fn monotonicity_enforced() {
+        let mut db = figure1();
+        assert!(db.put("guide.com/restaurants", "<g/>", jan(5)).is_err());
+        assert!(db.delete("never-stored", jan(5)).is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! Simulated web-warehouse crawl feed (§3.1, second case).
+//!
+//! "XML warehouse or other non-synchronized storage of copies of XML
+//! documents. […] we in general do not know the time of creation of an XML
+//! document, only the time when the document was retrieved from the Web
+//! ('crawled'). The documents in the warehouse are not retrieved at the
+//! same point in time […] There might have been updates between the
+//! versions we have retrieved, i.e., we do not necessarily have all the
+//! versions of a particular document."
+//!
+//! The simulator maintains a set of pages, each evolving by its own
+//! (seeded) update process; a crawler visits pages at a configurable
+//! cadence with jitter. The produced [`CrawlEvent`] stream has exactly the
+//! §3.1 properties: observation times ≠ change times, *missed* versions
+//! (page changed twice between visits), unchanged fetches, and deletions
+//! observed only at the next visit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use txdb_base::{Duration, Timestamp};
+
+use crate::tdocgen::{DocGen, DocGenConfig};
+
+/// One crawler observation.
+#[derive(Debug)]
+pub struct CrawlEvent {
+    /// Page URL.
+    pub url: String,
+    /// Crawl (transaction) time — all the warehouse ever knows.
+    pub crawled_at: Timestamp,
+    /// The observation.
+    pub kind: CrawlKind,
+}
+
+/// What the crawler saw.
+#[derive(Debug)]
+pub enum CrawlKind {
+    /// The page content at crawl time.
+    Content(String),
+    /// The page is gone (HTTP 404/410).
+    Gone,
+}
+
+/// Crawl simulation parameters.
+#[derive(Clone, Debug)]
+pub struct CrawlConfig {
+    /// Number of pages.
+    pub pages: usize,
+    /// Mean time between *page* changes.
+    pub page_change_every: Duration,
+    /// Mean time between crawler visits per page.
+    pub crawl_every: Duration,
+    /// Probability a page dies at any given change point.
+    pub death_prob: f64,
+    /// Simulation horizon.
+    pub horizon: Duration,
+    /// Shape of each page's content.
+    pub doc: DocGenConfig,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig {
+            pages: 10,
+            page_change_every: Duration::from_hours(6),
+            crawl_every: Duration::from_days(1),
+            death_prob: 0.01,
+            horizon: Duration::from_days(30),
+            doc: DocGenConfig { items: 10, ..Default::default() },
+        }
+    }
+}
+
+/// Runs the simulation, returning the crawl-event stream ordered by crawl
+/// time (and per-URL monotone). Also returns, per page, how many *true*
+/// versions existed — comparing against the number of observed versions
+/// quantifies the §3.1 "missed versions" effect.
+pub fn simulate(cfg: &CrawlConfig, start: Timestamp, seed: u64) -> (Vec<CrawlEvent>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let end = start + cfg.horizon;
+    let mut events: Vec<CrawlEvent> = Vec::new();
+    let mut true_versions = Vec::with_capacity(cfg.pages);
+
+    for p in 0..cfg.pages {
+        let url = format!("site{p}.example.org/page");
+        let mut gen = DocGen::new(cfg.doc.clone(), seed ^ (p as u64) << 17);
+        // Build the page's true change timeline.
+        let mut timeline: Vec<(Timestamp, Option<String>)> = vec![(start, Some(gen.xml()))];
+        let mut t = start;
+        let mut alive = true;
+        let mut versions = 1usize;
+        while alive {
+            t = t + jitter(cfg.page_change_every, &mut rng);
+            if t >= end {
+                break;
+            }
+            if rng.gen_bool(cfg.death_prob) {
+                timeline.push((t, None));
+                alive = false;
+            } else {
+                timeline.push((t, Some(gen.step())));
+                versions += 1;
+            }
+        }
+        true_versions.push(versions);
+
+        // Crawl the timeline.
+        let mut visit = start + jitter(cfg.crawl_every, &mut rng);
+        let mut last_seen: Option<String> = None;
+        let mut reported_gone = false;
+        while visit < end {
+            // The page state at visit time: the last timeline entry ≤ visit.
+            let state = timeline
+                .iter()
+                .rev()
+                .find(|(ts, _)| *ts <= visit)
+                .map(|(_, s)| s.clone())
+                .unwrap_or(None);
+            match state {
+                Some(content) => {
+                    if last_seen.as_deref() != Some(content.as_str()) {
+                        events.push(CrawlEvent {
+                            url: url.clone(),
+                            crawled_at: visit,
+                            kind: CrawlKind::Content(content.clone()),
+                        });
+                        last_seen = Some(content);
+                    }
+                    reported_gone = false;
+                }
+                None => {
+                    if !reported_gone && last_seen.is_some() {
+                        events.push(CrawlEvent {
+                            url: url.clone(),
+                            crawled_at: visit,
+                            kind: CrawlKind::Gone,
+                        });
+                        reported_gone = true;
+                        last_seen = None;
+                    }
+                }
+            }
+            visit = visit + jitter(cfg.crawl_every, &mut rng);
+        }
+    }
+    events.sort_by_key(|e| (e.crawled_at, e.url.clone()));
+    (events, true_versions)
+}
+
+/// Uniform jitter in `[d/2, 3d/2)` — visits and changes never align.
+fn jitter(d: Duration, rng: &mut StdRng) -> Duration {
+    let base = d.micros();
+    Duration::from_micros(rng.gen_range(base / 2..base + base / 2).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start() -> Timestamp {
+        Timestamp::from_date(2001, 1, 1)
+    }
+
+    #[test]
+    fn produces_ordered_observations() {
+        let (events, truth) = simulate(&CrawlConfig::default(), start(), 42);
+        assert!(!events.is_empty());
+        assert_eq!(truth.len(), 10);
+        // Ordered by time.
+        assert!(events.windows(2).all(|w| w[0].crawled_at <= w[1].crawled_at));
+        // All content parses.
+        for e in &events {
+            if let CrawlKind::Content(xml) = &e.kind {
+                txdb_xml::parse::parse_document(xml).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn misses_versions_when_crawling_slowly() {
+        // Pages change every 6h, crawler comes daily → must miss versions.
+        let cfg = CrawlConfig::default();
+        let (events, truth) = simulate(&cfg, start(), 7);
+        let observed_per_page = |p: usize| {
+            let url = format!("site{p}.example.org/page");
+            events
+                .iter()
+                .filter(|e| e.url == url && matches!(e.kind, CrawlKind::Content(_)))
+                .count()
+        };
+        let total_observed: usize = (0..cfg.pages).map(observed_per_page).sum();
+        let total_true: usize = truth.iter().sum();
+        assert!(
+            total_observed < total_true,
+            "crawler observed {total_observed} of {total_true} true versions"
+        );
+        assert!(total_observed > 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = CrawlConfig { pages: 3, ..Default::default() };
+        let (a, _) = simulate(&cfg, start(), 9);
+        let (b, _) = simulate(&cfg, start(), 9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.url, y.url);
+            assert_eq!(x.crawled_at, y.crawled_at);
+        }
+    }
+
+    #[test]
+    fn deaths_reported_once() {
+        let cfg = CrawlConfig {
+            pages: 20,
+            death_prob: 0.3,
+            horizon: Duration::from_days(60),
+            ..Default::default()
+        };
+        let (events, _) = simulate(&cfg, start(), 3);
+        let gones = events
+            .iter()
+            .filter(|e| matches!(e.kind, CrawlKind::Gone))
+            .count();
+        assert!(gones > 0, "with 30% death prob some pages die");
+        // Each URL reports Gone at most once (no resurrection in the sim).
+        let mut per_url = std::collections::HashMap::new();
+        for e in &events {
+            if matches!(e.kind, CrawlKind::Gone) {
+                *per_url.entry(&e.url).or_insert(0) += 1;
+            }
+        }
+        assert!(per_url.values().all(|&c| c == 1));
+    }
+}

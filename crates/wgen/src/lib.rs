@@ -1,0 +1,30 @@
+//! # txdb-wgen — workload and document generators
+//!
+//! The paper evaluates nothing quantitatively, so this crate provides the
+//! synthetic workloads the derived experiment suite runs on (see
+//! DESIGN.md §4-§5 for the substitution rationale):
+//!
+//! * [`restaurant`] — the restaurant guide of Figure 1 (exact), plus a
+//!   parameterised generator of larger guides with price updates,
+//!   openings and closings;
+//! * [`tdocgen`] — a TDocGen-style generic temporal document generator:
+//!   documents of configurable shape and vocabulary evolved by a
+//!   parameterised update stream (update/insert/delete/move mix);
+//! * [`crawler`] — a simulated web-warehouse feed (§3.1's second case):
+//!   pages change on their own schedules, a crawler observes them at its
+//!   own cadence, misses intermediate versions, and sees deletions late —
+//!   the generator produces the *crawl event stream*;
+//! * [`zipf`] — the Zipf sampler behind the vocabularies.
+//!
+//! All generators are deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crawler;
+pub mod restaurant;
+pub mod tdocgen;
+pub mod zipf;
+
+pub use restaurant::{figure1_versions, RestaurantGuide};
+pub use tdocgen::{DocGen, DocGenConfig};

@@ -1,0 +1,179 @@
+//! The restaurant guide workload (Figure 1 and scaled variants).
+//!
+//! [`figure1_versions`] reproduces the paper's Figure 1 exactly: "the
+//! restaurant list at guide.com as retrieved on January 1st, January 15th,
+//! and January 31st" — Napoli 15; Napoli 15 + Akropolis 13; Napoli 18.
+//!
+//! [`RestaurantGuide`] scales the same scenario: a guide with `n`
+//! restaurants receiving a stream of price updates, openings and closings,
+//! deterministic per seed. Used by E2/E3/E6.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use txdb_base::Timestamp;
+
+/// The paper's Figure 1: `(timestamp, xml)` for the three retrievals.
+pub fn figure1_versions() -> Vec<(Timestamp, String)> {
+    vec![
+        (
+            Timestamp::from_date(2001, 1, 1),
+            "<guide><restaurant><name>Napoli</name><price>15</price></restaurant></guide>"
+                .to_string(),
+        ),
+        (
+            Timestamp::from_date(2001, 1, 15),
+            "<guide><restaurant><name>Napoli</name><price>15</price></restaurant>\
+             <restaurant><name>Akropolis</name><price>13</price></restaurant></guide>"
+                .to_string(),
+        ),
+        (
+            Timestamp::from_date(2001, 1, 31),
+            "<guide><restaurant><name>Napoli</name><price>18</price></restaurant></guide>"
+                .to_string(),
+        ),
+    ]
+}
+
+/// The canonical document name of the guide.
+pub const GUIDE_URL: &str = "guide.com/restaurants";
+
+#[derive(Clone, Debug)]
+struct Restaurant {
+    name: String,
+    price: u32,
+    category: &'static str,
+    open: bool,
+}
+
+const CATEGORIES: [&str; 6] = ["italian", "greek", "french", "sushi", "burger", "vegan"];
+const NAME_A: [&str; 10] = [
+    "Golden", "Blue", "Old", "Royal", "Little", "Grand", "Silver", "Happy", "Corner", "Garden",
+];
+const NAME_B: [&str; 10] = [
+    "Napoli", "Akropolis", "Bistro", "Dragon", "Tavern", "Kitchen", "Palace", "House", "Cafe",
+    "Grill",
+];
+
+/// A scalable restaurant-guide update stream.
+pub struct RestaurantGuide {
+    rng: StdRng,
+    restaurants: Vec<Restaurant>,
+    /// Probability that a step updates a price (vs opening/closing).
+    pub price_update_prob: f64,
+}
+
+impl RestaurantGuide {
+    /// A guide with `n` restaurants, deterministic for `seed`.
+    pub fn new(n: usize, seed: u64) -> RestaurantGuide {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let restaurants = (0..n)
+            .map(|i| Restaurant {
+                name: format!(
+                    "{} {} {}",
+                    NAME_A[i % NAME_A.len()],
+                    NAME_B[(i / NAME_A.len()) % NAME_B.len()],
+                    i
+                ),
+                price: rng.gen_range(8..40),
+                category: CATEGORIES[i % CATEGORIES.len()],
+                open: true,
+            })
+            .collect();
+        RestaurantGuide { rng, restaurants, price_update_prob: 0.8 }
+    }
+
+    /// The current guide as XML.
+    pub fn xml(&self) -> String {
+        let mut out = String::from("<guide>");
+        for r in self.restaurants.iter().filter(|r| r.open) {
+            out.push_str(&format!(
+                "<restaurant category=\"{}\"><name>{}</name><price>{}</price></restaurant>",
+                r.category, r.name, r.price
+            ));
+        }
+        out.push_str("</guide>");
+        out
+    }
+
+    /// Applies `changes` random changes (price updates, closings,
+    /// re-openings) and returns the new XML.
+    pub fn step(&mut self, changes: usize) -> String {
+        for _ in 0..changes {
+            let i = self.rng.gen_range(0..self.restaurants.len());
+            if self.rng.gen_bool(self.price_update_prob) {
+                let delta = self.rng.gen_range(1..5);
+                let r = &mut self.restaurants[i];
+                if self.rng.gen_bool(0.6) {
+                    r.price += delta;
+                } else {
+                    r.price = r.price.saturating_sub(delta).max(5);
+                }
+            } else {
+                let r = &mut self.restaurants[i];
+                r.open = !r.open;
+            }
+        }
+        self.xml()
+    }
+
+    /// Number of currently open restaurants.
+    pub fn open_count(&self) -> usize {
+        self.restaurants.iter().filter(|r| r.open).count()
+    }
+
+    /// The name of restaurant `i` (for targeted queries).
+    pub fn name_of(&self, i: usize) -> &str {
+        &self.restaurants[i].name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_shape() {
+        let vs = figure1_versions();
+        assert_eq!(vs.len(), 3);
+        assert!(vs[0].1.contains("Napoli") && !vs[0].1.contains("Akropolis"));
+        assert!(vs[1].1.contains("Akropolis"));
+        assert!(vs[2].1.contains("<price>18</price>"));
+        assert!(vs.windows(2).all(|w| w[0].0 < w[1].0));
+        // Valid XML.
+        for (_, xml) in &vs {
+            txdb_xml::parse::parse_document(xml).unwrap();
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut a = RestaurantGuide::new(20, 7);
+        let mut b = RestaurantGuide::new(20, 7);
+        assert_eq!(a.xml(), b.xml());
+        for _ in 0..5 {
+            assert_eq!(a.step(3), b.step(3));
+        }
+        let mut c = RestaurantGuide::new(20, 8);
+        assert_ne!(a.xml(), c.step(0), "different seed differs");
+    }
+
+    #[test]
+    fn steps_change_content_and_stay_valid() {
+        let mut g = RestaurantGuide::new(50, 1);
+        let before = g.xml();
+        let after = g.step(10);
+        assert_ne!(before, after);
+        txdb_xml::parse::parse_document(&after).unwrap();
+        assert!(g.open_count() <= 50);
+        assert!(!g.name_of(0).is_empty());
+    }
+
+    #[test]
+    fn names_unique() {
+        let g = RestaurantGuide::new(100, 3);
+        let mut names: Vec<&str> = (0..100).map(|i| g.name_of(i)).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 100);
+    }
+}

@@ -1,0 +1,101 @@
+//! Zipf-distributed sampling for synthetic vocabularies.
+//!
+//! Word frequencies in text follow a Zipf law; the TDocGen-style generator
+//! draws its vocabulary through this sampler so that full-text-index
+//! posting lists have realistic skew (a few very long lists, a long tail
+//! of short ones).
+
+use rand::Rng;
+
+/// A Zipf(α) sampler over ranks `0..n` (rank 0 most frequent).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler. `alpha` around 1.0 is classic Zipf; `alpha = 0`
+    /// degenerates to uniform.
+    pub fn new(n: usize, alpha: f64) -> Zipf {
+        assert!(n > 0, "zipf needs a non-empty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Never empty (construction asserts `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range_and_skewed() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            let k = z.sample(&mut rng);
+            assert!(k < 100);
+            counts[k] += 1;
+        }
+        // Rank 0 much more frequent than rank 50.
+        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        // Everything reachable-ish: at least half the ranks were hit.
+        assert!(counts.iter().filter(|&&c| c > 0).count() > 50);
+    }
+
+    #[test]
+    fn uniform_when_alpha_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*max < *min * 2, "roughly uniform: {counts:?}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let z = Zipf::new(50, 1.2);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

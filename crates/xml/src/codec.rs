@@ -1,0 +1,302 @@
+//! Compact binary codec for trees.
+//!
+//! Complete document versions and snapshots are stored in this format (the
+//! paper fixes the storage model, not the byte format of complete versions;
+//! deltas, by contrast, are stored as XML text per §7.1 — see
+//! `txdb-delta::xmlenc`). The codec is lossless for everything a version
+//! carries: structure, names, attributes, text, XIDs and direct timestamps
+//! — including text-node identity, which annotated XML text cannot express
+//! directly.
+//!
+//! Layout (all integers varint-encoded except the magic):
+//!
+//! ```text
+//! magic "TXT1"  | root_count | node*
+//! node := 0x01 xid ts name_len name attr_count (klen k vlen v)* child_count node*
+//!       | 0x02 xid ts text_len text
+//! ```
+
+use txdb_base::{Error, Result, Timestamp, Xid};
+
+use crate::tree::{NodeId, NodeKind, Tree};
+
+const MAGIC: &[u8; 4] = b"TXT1";
+const TAG_ELEMENT: u8 = 0x01;
+const TAG_TEXT: u8 = 0x02;
+
+/// Encodes a whole forest to bytes.
+pub fn encode_tree(tree: &Tree) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + tree.len() * 24);
+    out.extend_from_slice(MAGIC);
+    write_varint(&mut out, tree.roots().len() as u64);
+    for &r in tree.roots() {
+        encode_node(tree, r, &mut out);
+    }
+    out
+}
+
+fn encode_node(tree: &Tree, id: NodeId, out: &mut Vec<u8>) {
+    let node = tree.node(id);
+    match &node.kind {
+        NodeKind::Element { name, attrs } => {
+            out.push(TAG_ELEMENT);
+            write_varint(out, node.xid.0);
+            write_varint(out, node.ts.micros());
+            write_bytes(out, name.as_bytes());
+            write_varint(out, attrs.len() as u64);
+            for (k, v) in attrs {
+                write_bytes(out, k.as_bytes());
+                write_bytes(out, v.as_bytes());
+            }
+            write_varint(out, node.children().len() as u64);
+            for &c in node.children() {
+                encode_node(tree, c, out);
+            }
+        }
+        NodeKind::Text { value } => {
+            out.push(TAG_TEXT);
+            write_varint(out, node.xid.0);
+            write_varint(out, node.ts.micros());
+            write_bytes(out, value.as_bytes());
+        }
+    }
+}
+
+/// Decodes a forest from bytes produced by [`encode_tree`].
+pub fn decode_tree(bytes: &[u8]) -> Result<Tree> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(Error::Corrupt("bad tree magic".into()));
+    }
+    let roots = r.varint()? as usize;
+    if roots > bytes.len() {
+        return Err(Error::Corrupt("root count exceeds input".into()));
+    }
+    let mut tree = Tree::new();
+    for _ in 0..roots {
+        let id = decode_node(&mut r, &mut tree, 0)?;
+        tree.push_root(id);
+    }
+    if r.pos != bytes.len() {
+        return Err(Error::Corrupt("trailing bytes after tree".into()));
+    }
+    Ok(tree)
+}
+
+const MAX_DEPTH: usize = 4096;
+
+fn decode_node(r: &mut Reader<'_>, tree: &mut Tree, depth: usize) -> Result<NodeId> {
+    if depth > MAX_DEPTH {
+        return Err(Error::Corrupt("tree nesting too deep".into()));
+    }
+    let tag = r.byte()?;
+    let xid = Xid(r.varint()?);
+    let ts = Timestamp::from_micros(r.varint()?);
+    match tag {
+        TAG_ELEMENT => {
+            let name = r.string()?;
+            let id = tree.new_element(name);
+            let nattrs = r.varint()? as usize;
+            if nattrs > r.remaining() {
+                return Err(Error::Corrupt("attr count exceeds input".into()));
+            }
+            for _ in 0..nattrs {
+                let k = r.string()?;
+                let v = r.string()?;
+                tree.set_attr(id, k, v);
+            }
+            let nchildren = r.varint()? as usize;
+            if nchildren > r.remaining() {
+                return Err(Error::Corrupt("child count exceeds input".into()));
+            }
+            for _ in 0..nchildren {
+                let c = decode_node(r, tree, depth + 1)?;
+                tree.append_child(id, c);
+            }
+            tree.node_mut(id).xid = xid;
+            tree.node_mut(id).ts = ts;
+            Ok(id)
+        }
+        TAG_TEXT => {
+            let value = r.string()?;
+            let id = tree.new_text(value);
+            tree.node_mut(id).xid = xid;
+            tree.node_mut(id).ts = ts;
+            Ok(id)
+        }
+        other => Err(Error::Corrupt(format!("bad node tag {other:#x}"))),
+    }
+}
+
+/// LEB128 unsigned varint.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn write_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    write_varint(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn byte(&mut self) -> Result<u8> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| Error::Corrupt("unexpected end of tree bytes".into()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::Corrupt("unexpected end of tree bytes".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn varint(&mut self) -> Result<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte()?;
+            if shift >= 64 {
+                return Err(Error::Corrupt("varint overflow".into()));
+            }
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let len = self.varint()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| Error::Corrupt("invalid UTF-8 in tree bytes".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_document;
+
+    fn with_ids(src: &str) -> Tree {
+        let mut t = parse_document(src).unwrap();
+        let ids: Vec<NodeId> = t.iter().collect();
+        for (i, id) in ids.iter().enumerate() {
+            t.node_mut(*id).xid = Xid(i as u64 + 1);
+            t.node_mut(*id).ts = Timestamp::from_micros(1000 + i as u64);
+        }
+        t
+    }
+
+    fn identical(a: &Tree, b: &Tree) -> bool {
+        fn nid(ta: &Tree, na: NodeId, tb: &Tree, nb: NodeId) -> bool {
+            let (x, y) = (ta.node(na), tb.node(nb));
+            x.xid == y.xid
+                && x.ts == y.ts
+                && x.kind == y.kind
+                && x.children().len() == y.children().len()
+                && x.children().iter().zip(y.children()).all(|(&p, &q)| nid(ta, p, tb, q))
+        }
+        a.roots().len() == b.roots().len()
+            && a.roots().iter().zip(b.roots()).all(|(&p, &q)| nid(a, p, b, q))
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let t = with_ids(r#"<g><r c="i"><n>Napoli</n><p>15</p></r></g>"#);
+        let bytes = encode_tree(&t);
+        let back = decode_tree(&bytes).unwrap();
+        assert!(identical(&t, &back));
+    }
+
+    #[test]
+    fn roundtrip_forest_and_unicode() {
+        let t = with_ids("<a>æøå ❤</a><b x=\"ü\"/>");
+        let back = decode_tree(&encode_tree(&t)).unwrap();
+        assert!(identical(&t, &back));
+    }
+
+    #[test]
+    fn roundtrip_whitespace_text() {
+        // Whitespace-only text survives (unlike XML text roundtrip).
+        let mut t = Tree::new();
+        let e = t.new_element("a");
+        let txt = t.new_text("   ");
+        t.append_child(e, txt);
+        t.push_root(e);
+        let back = decode_tree(&encode_tree(&t)).unwrap();
+        assert!(identical(&t, &back));
+    }
+
+    #[test]
+    fn empty_forest() {
+        let t = Tree::new();
+        let back = decode_tree(&encode_tree(&t)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let t = with_ids("<a><b>x</b></a>");
+        let bytes = encode_tree(&t);
+        assert!(decode_tree(&[]).is_err());
+        assert!(decode_tree(b"XXXX").is_err());
+        assert!(decode_tree(&bytes[..bytes.len() - 1]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(decode_tree(&extra).is_err());
+        let mut bad_tag = bytes.clone();
+        *bad_tag.last_mut().unwrap() = 0xff;
+        assert!(decode_tree(&bad_tag).is_err());
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut r = Reader { buf: &buf, pos: 0 };
+            assert_eq!(r.varint().unwrap(), v);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn large_tree_roundtrip() {
+        let mut src = String::from("<root>");
+        for i in 0..500 {
+            src.push_str(&format!("<item id=\"{i}\"><v>value {i}</v></item>"));
+        }
+        src.push_str("</root>");
+        let t = with_ids(&src);
+        let back = decode_tree(&encode_tree(&t)).unwrap();
+        assert!(identical(&t, &back));
+        assert_eq!(back.len(), t.len());
+    }
+}

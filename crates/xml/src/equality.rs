@@ -1,0 +1,168 @@
+//! Value equality between nodes and subtrees (§7.4).
+//!
+//! The paper distinguishes the XML query algebra's two equality operators:
+//! `=` compares *contents* and `==` compares *identity* (EIDs). Identity
+//! comparison is a plain [`txdb_base::Eid`] comparison and needs no code
+//! here; this module implements the two content-equality flavours the paper
+//! discusses:
+//!
+//! * [`shallow_eq`] — the nodes themselves are equal: same kind, name,
+//!   attribute set, and — for the common `<name>Napoli</name>` shape — the
+//!   same immediate text content. The paper recommends shallow equality
+//!   (combined with similarity) as the practical choice.
+//! * [`deep_eq`] — "the two subtrees match completely, both in elements and
+//!   values"; recursive, order-sensitive.
+//!
+//! XIDs and timestamps never participate in value equality: two versions of
+//! the same element compare equal iff their contents do.
+
+use crate::tree::{NodeId, NodeKind, Tree};
+
+/// Shallow content equality between two nodes (possibly from different
+/// trees): same kind; for elements, same name, same attributes (order
+/// insensitive) and same concatenation of *immediate* text children; for
+/// text nodes, same value.
+pub fn shallow_eq(ta: &Tree, a: NodeId, tb: &Tree, b: NodeId) -> bool {
+    match (&ta.node(a).kind, &tb.node(b).kind) {
+        (NodeKind::Text { value: va }, NodeKind::Text { value: vb }) => va == vb,
+        (
+            NodeKind::Element { name: na, attrs: aa },
+            NodeKind::Element { name: nb, attrs: ab },
+        ) => {
+            if na != nb || aa.len() != ab.len() {
+                return false;
+            }
+            // Attribute order is irrelevant to value equality.
+            for (k, v) in aa {
+                if ab.iter().find(|(k2, _)| k2 == k).map(|(_, v2)| v2) != Some(v) {
+                    return false;
+                }
+            }
+            immediate_text(ta, a) == immediate_text(tb, b)
+        }
+        _ => false,
+    }
+}
+
+/// Deep content equality: shallow equality at every level plus identical
+/// child sequences (document order matters, as in the XML data model).
+pub fn deep_eq(ta: &Tree, a: NodeId, tb: &Tree, b: NodeId) -> bool {
+    match (&ta.node(a).kind, &tb.node(b).kind) {
+        (NodeKind::Text { value: va }, NodeKind::Text { value: vb }) => va == vb,
+        (
+            NodeKind::Element { name: na, attrs: aa },
+            NodeKind::Element { name: nb, attrs: ab },
+        ) => {
+            if na != nb || aa.len() != ab.len() {
+                return false;
+            }
+            for (k, v) in aa {
+                if ab.iter().find(|(k2, _)| k2 == k).map(|(_, v2)| v2) != Some(v) {
+                    return false;
+                }
+            }
+            let ca = ta.node(a).children();
+            let cb = tb.node(b).children();
+            ca.len() == cb.len()
+                && ca.iter().zip(cb).all(|(&x, &y)| deep_eq(ta, x, tb, y))
+        }
+        _ => false,
+    }
+}
+
+/// The concatenated *immediate* text children of an element (not the full
+/// subtree text). This is what `R/name = "Napoli"` compares against when
+/// `name` has a single text child.
+pub fn immediate_text(tree: &Tree, id: NodeId) -> String {
+    let mut out = String::new();
+    for &c in tree.node(id).children() {
+        if let Some(t) = tree.node(c).text() {
+            out.push_str(t);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_document;
+
+    fn first_child(t: &Tree) -> NodeId {
+        t.node(t.root().unwrap()).children()[0]
+    }
+
+    #[test]
+    fn shallow_same_name_text() {
+        let a = parse_document("<r><name>Napoli</name></r>").unwrap();
+        let b = parse_document("<r><name>Napoli</name></r>").unwrap();
+        assert!(shallow_eq(&a, first_child(&a), &b, first_child(&b)));
+    }
+
+    #[test]
+    fn shallow_ignores_subelement_differences() {
+        // Shallow equality on <r> looks only at name/attrs/immediate text.
+        let a = parse_document("<g><r><name>N</name></r></g>").unwrap();
+        let b = parse_document("<g><r><name>M</name></r></g>").unwrap();
+        assert!(shallow_eq(&a, first_child(&a), &b, first_child(&b)));
+        assert!(!deep_eq(&a, first_child(&a), &b, first_child(&b)));
+    }
+
+    #[test]
+    fn shallow_sees_immediate_text() {
+        let a = parse_document("<g><r>abc</r></g>").unwrap();
+        let b = parse_document("<g><r>abd</r></g>").unwrap();
+        assert!(!shallow_eq(&a, first_child(&a), &b, first_child(&b)));
+    }
+
+    #[test]
+    fn attr_order_irrelevant_value_relevant() {
+        let a = parse_document(r#"<x a="1" b="2"/>"#).unwrap();
+        let b = parse_document(r#"<x b="2" a="1"/>"#).unwrap();
+        let c = parse_document(r#"<x a="1" b="3"/>"#).unwrap();
+        let d = parse_document(r#"<x a="1"/>"#).unwrap();
+        let (ra, rb, rc, rd) =
+            (a.root().unwrap(), b.root().unwrap(), c.root().unwrap(), d.root().unwrap());
+        assert!(shallow_eq(&a, ra, &b, rb));
+        assert!(deep_eq(&a, ra, &b, rb));
+        assert!(!shallow_eq(&a, ra, &c, rc));
+        assert!(!shallow_eq(&a, ra, &d, rd));
+    }
+
+    #[test]
+    fn deep_is_order_sensitive() {
+        let a = parse_document("<x><p/><q/></x>").unwrap();
+        let b = parse_document("<x><q/><p/></x>").unwrap();
+        assert!(!deep_eq(&a, a.root().unwrap(), &b, b.root().unwrap()));
+    }
+
+    #[test]
+    fn deep_eq_full_subtree() {
+        let src = r#"<restaurant category="i"><name>Napoli</name><price>15</price></restaurant>"#;
+        let a = parse_document(src).unwrap();
+        let b = parse_document(src).unwrap();
+        assert!(deep_eq(&a, a.root().unwrap(), &b, b.root().unwrap()));
+    }
+
+    #[test]
+    fn kind_mismatch_never_equal() {
+        let a = parse_document("<x>t</x>").unwrap();
+        let root = a.root().unwrap();
+        let text = a.node(root).children()[0];
+        assert!(!shallow_eq(&a, root, &a, text));
+        assert!(!deep_eq(&a, root, &a, text));
+    }
+
+    #[test]
+    fn equality_ignores_identity() {
+        use txdb_base::{Timestamp, Xid};
+        let a = parse_document("<x>t</x>").unwrap();
+        let mut b = parse_document("<x>t</x>").unwrap();
+        let ids: Vec<_> = b.iter().collect();
+        for id in ids {
+            b.node_mut(id).xid = Xid(42);
+            b.node_mut(id).ts = Timestamp::from_secs(9);
+        }
+        assert!(deep_eq(&a, a.root().unwrap(), &b, b.root().unwrap()));
+    }
+}

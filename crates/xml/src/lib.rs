@@ -1,0 +1,45 @@
+//! # txdb-xml — XML substrate for the temporal XML database
+//!
+//! The paper assumes an XML store in the style of Xyleme: documents are
+//! forests of element trees (§4), every element carries a persistent XID and
+//! a timestamp, and queries are expressed over *pattern trees* matched
+//! against the forest. This crate provides that substrate, implemented from
+//! scratch:
+//!
+//! * [`tree`] — an arena-based mutable tree/forest with per-node XIDs and
+//!   timestamps, the in-memory representation of one document version;
+//! * [`parse`] — a non-validating XML parser producing [`tree::Tree`]s;
+//! * [`serialize`] — serialization back to XML text (compact and pretty);
+//! * [`path`] — a small XPath-like path language (`/a/b`, `//c`, `text()`)
+//!   used for value extraction in queries and by the stratum baseline;
+//! * [`pattern`] — pattern trees (the input of `PatternScan`) plus a direct
+//!   tree matcher used by the stratum baseline and as a testing oracle for
+//!   the index-based matcher;
+//! * [`hash`] — stable 64-bit subtree hashing used by the diff;
+//! * [`codec`] — a compact binary codec used to store complete versions;
+//! * [`equality`] — the paper's `=` value equality (shallow and deep, §7.4);
+//! * [`similarity`] — the paper's `~` similarity operator (§7.4, in the
+//!   style of Theobald & Weikum).
+//!
+//! Namespaces are not interpreted: a qualified name like `ns:price` is
+//! treated as an opaque tag name, which matches the paper's data model
+//! (names are just words that also appear in the full-text index).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod equality;
+pub mod hash;
+pub mod parse;
+pub mod path;
+pub mod pattern;
+pub mod serialize;
+pub mod similarity;
+pub mod tree;
+
+pub use parse::parse_document;
+pub use path::Path;
+pub use pattern::PatternTree;
+pub use serialize::{to_string, to_string_pretty};
+pub use tree::{Node, NodeId, NodeKind, Tree};

@@ -1,0 +1,545 @@
+//! A non-validating XML parser producing [`Tree`]s.
+//!
+//! Supports the XML subset a document warehouse actually sees: elements,
+//! attributes (single- or double-quoted), character data, the five
+//! predefined entities plus decimal/hex character references, CDATA
+//! sections, comments, processing instructions and an optional XML
+//! declaration and DOCTYPE (both skipped). Namespace prefixes are kept as
+//! part of the name.
+//!
+//! Whitespace-only text between elements is dropped by default (the data
+//! model of the paper has no use for indentation text nodes); use
+//! [`ParseOptions::keep_whitespace`] to retain it.
+
+use txdb_base::{Error, Result};
+
+use crate::tree::{NodeId, Tree};
+
+/// Parser configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ParseOptions {
+    /// Keep whitespace-only text nodes (default: false).
+    pub keep_whitespace: bool,
+    /// Allow multiple root elements, i.e. parse a forest (default: true —
+    /// the paper's data model is a forest of trees, and delta documents use
+    /// multiple roots).
+    pub allow_forest: bool,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions { keep_whitespace: false, allow_forest: true }
+    }
+}
+
+/// Parses an XML document (or forest) with default options.
+pub fn parse_document(input: &str) -> Result<Tree> {
+    Parser::new(input, ParseOptions::default()).parse()
+}
+
+/// Parses with explicit options.
+pub fn parse_with(input: &str, opts: ParseOptions) -> Result<Tree> {
+    Parser::new(input, opts).parse()
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    opts: ParseOptions,
+    tree: Tree,
+    stack: Vec<NodeId>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str, opts: ParseOptions) -> Self {
+        Parser {
+            input: input.as_bytes(),
+            pos: 0,
+            opts,
+            tree: Tree::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::XmlParse { offset: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn expect(&mut self, s: &str) -> Result<()> {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips until (and including) the terminator `end`.
+    fn skip_until(&mut self, end: &str) -> Result<()> {
+        match find_sub(&self.input[self.pos..], end.as_bytes()) {
+            Some(i) => {
+                self.pos += i + end.len();
+                Ok(())
+            }
+            None => Err(self.err(format!("unterminated construct, expected `{end}`"))),
+        }
+    }
+
+    fn parse(mut self) -> Result<Tree> {
+        loop {
+            self.parse_misc()?;
+            if self.peek().is_none() {
+                break;
+            }
+            if !self.starts_with("<") {
+                return Err(self.err("text content outside of any element"));
+            }
+            if !self.tree.roots().is_empty() && !self.opts.allow_forest {
+                return Err(self.err("multiple root elements"));
+            }
+            self.parse_element()?;
+        }
+        if self.tree.roots().is_empty() {
+            return Err(self.err("no root element"));
+        }
+        debug_assert!(self.tree.check_consistency().is_ok());
+        Ok(self.tree)
+    }
+
+    /// Skips whitespace, comments, PIs, the XML declaration and DOCTYPE.
+    fn parse_misc(&mut self) -> Result<()> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.pos += 4;
+                self.skip_until("-->")?;
+            } else if self.starts_with("<?") {
+                self.pos += 2;
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                self.skip_doctype()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_doctype(&mut self) -> Result<()> {
+        // <!DOCTYPE ... possibly with an [internal subset] ... >
+        let start = self.pos;
+        self.pos += "<!DOCTYPE".len();
+        let mut depth = 0i32;
+        while let Some(b) = self.bump() {
+            match b {
+                b'[' => depth += 1,
+                b']' => depth -= 1,
+                b'>' if depth <= 0 => return Ok(()),
+                _ => {}
+            }
+        }
+        self.pos = start;
+        Err(self.err("unterminated DOCTYPE"))
+    }
+
+    fn parse_element(&mut self) -> Result<()> {
+        self.expect("<")?;
+        let name = self.parse_name()?;
+        let elem = self.tree.new_element(name);
+        match self.stack.last() {
+            Some(&p) => self.tree.append_child(p, elem),
+            None => self.tree.push_root(elem),
+        }
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.expect("/>")
+                        .map_err(|_| self.err("expected `/>`"))?;
+                    return Ok(()); // empty element
+                }
+                Some(_) => {
+                    let (k, v) = self.parse_attribute()?;
+                    if self.tree.node(elem).attr(&k).is_some() {
+                        return Err(self.err(format!("duplicate attribute `{k}`")));
+                    }
+                    self.tree.set_attr(elem, k, v);
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+        // Content.
+        self.stack.push(elem);
+        self.parse_content()?;
+        self.stack.pop();
+        // End tag.
+        self.expect("</")?;
+        let end_name = self.parse_name()?;
+        if Some(end_name.as_str()) != self.tree.node(elem).name() {
+            return Err(self.err(format!(
+                "mismatched end tag `</{end_name}>` for `<{}>`",
+                self.tree.node(elem).name().unwrap_or("?")
+            )));
+        }
+        self.skip_ws();
+        self.expect(">")?;
+        Ok(())
+    }
+
+    fn parse_content(&mut self) -> Result<()> {
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unexpected end of input in element content")),
+                Some(b'<') => {
+                    if self.starts_with("</") {
+                        self.flush_text(&mut text);
+                        return Ok(());
+                    } else if self.starts_with("<!--") {
+                        self.pos += 4;
+                        self.skip_until("-->")?;
+                    } else if self.starts_with("<![CDATA[") {
+                        self.pos += 9;
+                        let rest = &self.input[self.pos..];
+                        let end = find_sub(rest, b"]]>")
+                            .ok_or_else(|| self.err("unterminated CDATA"))?;
+                        text.push_str(
+                            std::str::from_utf8(&rest[..end])
+                                .map_err(|_| self.err("invalid UTF-8 in CDATA"))?,
+                        );
+                        self.pos += end + 3;
+                    } else if self.starts_with("<?") {
+                        self.pos += 2;
+                        self.skip_until("?>")?;
+                    } else {
+                        self.flush_text(&mut text);
+                        self.parse_element()?;
+                    }
+                }
+                Some(b'&') => {
+                    self.parse_entity(&mut text)?;
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'<' || b == b'&' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    text.push_str(
+                        std::str::from_utf8(&self.input[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8 in text"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn flush_text(&mut self, text: &mut String) {
+        if text.is_empty() {
+            return;
+        }
+        let keep = self.opts.keep_whitespace || !text.chars().all(char::is_whitespace);
+        if keep {
+            let id = self.tree.new_text(std::mem::take(text));
+            let p = *self.stack.last().expect("text inside element");
+            self.tree.append_child(p, id);
+        } else {
+            text.clear();
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric()
+                || matches!(b, b'_' | b'-' | b'.' | b':')
+                || b >= 0x80;
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        let first = self.input[start];
+        if first.is_ascii_digit() || first == b'-' || first == b'.' {
+            return Err(self.err("name cannot start with a digit, `-` or `.`"));
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in name"))?
+            .to_string())
+    }
+
+    fn parse_attribute(&mut self) -> Result<(String, String)> {
+        let key = self.parse_name()?;
+        self.skip_ws();
+        self.expect("=")?;
+        self.skip_ws();
+        let quote = match self.bump() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("attribute value must be quoted")),
+        };
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated attribute value")),
+                Some(b) if b == quote => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'&') => self.parse_entity(&mut value)?,
+                Some(b'<') => return Err(self.err("`<` in attribute value")),
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == quote || b == b'&' || b == b'<' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    value.push_str(
+                        std::str::from_utf8(&self.input[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8 in attribute"))?,
+                    );
+                }
+            }
+        }
+        Ok((key, value))
+    }
+
+    fn parse_entity(&mut self, out: &mut String) -> Result<()> {
+        debug_assert_eq!(self.peek(), Some(b'&'));
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b';' {
+                break;
+            }
+            if self.pos - start > 10 {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.peek() != Some(b';') {
+            return Err(self.err("unterminated entity reference"));
+        }
+        let name = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in entity"))?;
+        self.pos += 1; // consume ';'
+        match name {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                let cp = u32::from_str_radix(&name[2..], 16)
+                    .map_err(|_| self.err(format!("bad character reference &{name};")))?;
+                out.push(
+                    char::from_u32(cp)
+                        .ok_or_else(|| self.err(format!("invalid code point &{name};")))?,
+                );
+            }
+            _ if name.starts_with('#') => {
+                let cp: u32 = name[1..]
+                    .parse()
+                    .map_err(|_| self.err(format!("bad character reference &{name};")))?;
+                out.push(
+                    char::from_u32(cp)
+                        .ok_or_else(|| self.err(format!("invalid code point &{name};")))?,
+                );
+            }
+            _ => return Err(self.err(format!("unknown entity &{name};"))),
+        }
+        Ok(())
+    }
+}
+
+/// Finds `needle` in `haystack`, returning the byte offset.
+fn find_sub(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    haystack
+        .windows(needle.len())
+        .position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_document() {
+        let t = parse_document(
+            r#"<guide><restaurant category="italian"><name>Napoli</name><price>15</price></restaurant></guide>"#,
+        )
+        .unwrap();
+        let root = t.root().unwrap();
+        assert_eq!(t.node(root).name(), Some("guide"));
+        let rest = t.node(root).children()[0];
+        assert_eq!(t.node(rest).attr("category"), Some("italian"));
+        assert_eq!(t.text_content(root), "Napoli15");
+    }
+
+    #[test]
+    fn drops_indentation_whitespace_by_default() {
+        let t = parse_document("<a>\n  <b>x</b>\n  <c>y</c>\n</a>").unwrap();
+        let root = t.root().unwrap();
+        assert_eq!(t.node(root).children().len(), 2);
+    }
+
+    #[test]
+    fn keeps_whitespace_on_request() {
+        let t = parse_with(
+            "<a> <b>x</b> </a>",
+            ParseOptions { keep_whitespace: true, allow_forest: true },
+        )
+        .unwrap();
+        let root = t.root().unwrap();
+        assert_eq!(t.node(root).children().len(), 3);
+    }
+
+    #[test]
+    fn mixed_content_preserved() {
+        let t = parse_document("<p>hello <b>world</b>!</p>").unwrap();
+        let root = t.root().unwrap();
+        let kids = t.node(root).children();
+        assert_eq!(kids.len(), 3);
+        assert_eq!(t.node(kids[0]).text(), Some("hello "));
+        assert_eq!(t.node(kids[1]).name(), Some("b"));
+        assert_eq!(t.node(kids[2]).text(), Some("!"));
+    }
+
+    #[test]
+    fn empty_element_syntax() {
+        let t = parse_document(r#"<a><b x="1"/><c/></a>"#).unwrap();
+        let root = t.root().unwrap();
+        assert_eq!(t.node(root).children().len(), 2);
+        let b = t.node(root).children()[0];
+        assert_eq!(t.node(b).attr("x"), Some("1"));
+    }
+
+    #[test]
+    fn entities_decoded_in_text_and_attrs() {
+        let t =
+            parse_document(r#"<a t="&lt;&amp;&quot;&apos;&gt;">&#65;&#x42;c &amp; d</a>"#).unwrap();
+        let root = t.root().unwrap();
+        assert_eq!(t.node(root).attr("t"), Some(r#"<&"'>"#));
+        assert_eq!(t.text_content(root), "ABc & d");
+    }
+
+    #[test]
+    fn cdata_is_literal() {
+        let t = parse_document("<a><![CDATA[<not> &parsed;]]></a>").unwrap();
+        assert_eq!(t.text_content(t.root().unwrap()), "<not> &parsed;");
+    }
+
+    #[test]
+    fn comments_pis_doctype_skipped() {
+        let t = parse_document(
+            "<?xml version=\"1.0\"?>\n<!DOCTYPE guide [ <!ELEMENT a ANY> ]>\n<!-- c -->\n<a><!-- inner --><?pi data?>x</a>",
+        )
+        .unwrap();
+        assert_eq!(t.text_content(t.root().unwrap()), "x");
+    }
+
+    #[test]
+    fn forest_parsing() {
+        let t = parse_document("<a/><b/>").unwrap();
+        assert_eq!(t.roots().len(), 2);
+        let err = parse_with(
+            "<a/><b/>",
+            ParseOptions { keep_whitespace: false, allow_forest: false },
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let t = parse_document(r#"<a x='y "z"'/>"#).unwrap();
+        assert_eq!(t.node(t.root().unwrap()).attr("x"), Some(r#"y "z""#));
+    }
+
+    #[test]
+    fn namespace_prefix_kept_verbatim() {
+        let t = parse_document(r#"<ns:a xmlns:ns="http://x">v</ns:a>"#).unwrap();
+        assert_eq!(t.node(t.root().unwrap()).name(), Some("ns:a"));
+    }
+
+    #[test]
+    fn error_mismatched_tags() {
+        let e = parse_document("<a><b></a></b>").unwrap_err();
+        assert!(e.to_string().contains("mismatched end tag"), "{e}");
+    }
+
+    #[test]
+    fn error_cases() {
+        for bad in [
+            "",
+            "   ",
+            "<a>",
+            "<a><b></b>",
+            "<a x=1></a>",
+            "<a x=\"1></a>",
+            "text<a/>",
+            "<a>&bogus;</a>",
+            "<a>&#xZZ;</a>",
+            "<1a></1a>",
+            "<a x=\"1\" x=\"2\"/>",
+            "<!-- unterminated",
+            "<a><![CDATA[x</a>",
+        ] {
+            assert!(parse_document(bad).is_err(), "should fail: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn offsets_reported() {
+        match parse_document("<a><b></c></a>") {
+            Err(Error::XmlParse { offset, .. }) => assert!(offset > 0),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deeply_nested_ok() {
+        let mut s = String::new();
+        for _ in 0..200 {
+            s.push_str("<d>");
+        }
+        s.push('x');
+        for _ in 0..200 {
+            s.push_str("</d>");
+        }
+        let t = parse_document(&s).unwrap();
+        assert_eq!(t.len(), 201);
+    }
+}

@@ -1,0 +1,337 @@
+//! A small XPath-like path language.
+//!
+//! The paper's queries navigate with `/` (child) and `//` (descendant-or-
+//! self, §5: "many queries can be expected to contain the `//` operator").
+//! This module implements exactly that fragment, which is all the query
+//! language and the stratum baseline need:
+//!
+//! ```text
+//! path    := '/'? step ( '/' step | '//' step )*  |  '//' step ( ... )*
+//! step    := name | '*' | 'text()'
+//! ```
+//!
+//! Evaluation returns nodes in document order without duplicates. An
+//! absolute path starts from the forest roots (the leading step must match a
+//! root); a relative path starts from the children of the context node.
+
+use txdb_base::{Error, Result};
+
+use crate::tree::{NodeId, Tree};
+
+/// Axis connecting a step to the previous one.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Axis {
+    /// `/` — children of the current node set.
+    Child,
+    /// `//` — descendants (any depth) of the current node set.
+    Descendant,
+}
+
+/// Node test of a step.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Test {
+    /// Match elements with this tag name.
+    Name(String),
+    /// `*` — match any element.
+    AnyElement,
+    /// `text()` — match text nodes.
+    Text,
+}
+
+/// One step of a path.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Step {
+    /// How this step relates to the previous node set.
+    pub axis: Axis,
+    /// What the step selects.
+    pub test: Test,
+}
+
+/// A parsed path expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Path {
+    /// The steps, in order.
+    pub steps: Vec<Step>,
+    /// True when written with a leading `/` or `//` (absolute).
+    pub absolute: bool,
+}
+
+impl Path {
+    /// Parses a path expression.
+    pub fn parse(input: &str) -> Result<Path> {
+        let s = input.trim();
+        let err = |m: &str| Error::QueryParse { offset: 0, message: format!("{m} in path `{input}`") };
+        if s.is_empty() {
+            return Err(err("empty path"));
+        }
+        let mut rest = s;
+        let absolute = rest.starts_with('/');
+        let mut steps = Vec::new();
+        let mut axis = if rest.starts_with("//") {
+            rest = &rest[2..];
+            Axis::Descendant
+        } else if absolute {
+            rest = &rest[1..];
+            Axis::Child
+        } else {
+            Axis::Child
+        };
+        loop {
+            let end = rest.find('/').unwrap_or(rest.len());
+            let (tok, tail) = rest.split_at(end);
+            let tok = tok.trim();
+            if tok.is_empty() {
+                return Err(err("empty step"));
+            }
+            let test = match tok {
+                "*" => Test::AnyElement,
+                "text()" => Test::Text,
+                name => {
+                    if !name
+                        .chars()
+                        .all(|c| c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':'))
+                    {
+                        return Err(err("invalid step name"));
+                    }
+                    Test::Name(name.to_string())
+                }
+            };
+            steps.push(Step { axis, test });
+            if tail.is_empty() {
+                break;
+            }
+            if let Some(t) = tail.strip_prefix("//") {
+                axis = Axis::Descendant;
+                rest = t;
+            } else if let Some(t) = tail.strip_prefix('/') {
+                axis = Axis::Child;
+                rest = t;
+            } else {
+                unreachable!();
+            }
+            if rest.is_empty() {
+                return Err(err("trailing slash"));
+            }
+        }
+        Ok(Path { steps, absolute })
+    }
+
+    /// Evaluates the path from the forest roots (absolute semantics: the
+    /// first `Child` step matches the roots themselves).
+    pub fn eval_roots(&self, tree: &Tree) -> Vec<NodeId> {
+        let mut current: Vec<NodeId> = Vec::new();
+        for (i, step) in self.steps.iter().enumerate() {
+            let mut next = Vec::new();
+            if i == 0 {
+                match step.axis {
+                    Axis::Child => {
+                        for &r in tree.roots() {
+                            if test_matches(tree, r, &step.test) {
+                                next.push(r);
+                            }
+                        }
+                    }
+                    Axis::Descendant => {
+                        for n in tree.iter() {
+                            if test_matches(tree, n, &step.test) {
+                                next.push(n);
+                            }
+                        }
+                    }
+                }
+            } else {
+                apply_step(tree, &current, step, &mut next);
+            }
+            current = next;
+            if current.is_empty() {
+                break;
+            }
+        }
+        current
+    }
+
+    /// Evaluates the path relative to `ctx` (the first step selects among
+    /// `ctx`'s children or descendants).
+    pub fn eval_from(&self, tree: &Tree, ctx: NodeId) -> Vec<NodeId> {
+        let mut current = vec![ctx];
+        for step in &self.steps {
+            let mut next = Vec::new();
+            apply_step(tree, &current, step, &mut next);
+            current = next;
+            if current.is_empty() {
+                break;
+            }
+        }
+        current
+    }
+
+    /// Convenience: evaluates relative to `ctx` and returns the concatenated
+    /// text content of the first match, if any.
+    pub fn first_text(&self, tree: &Tree, ctx: NodeId) -> Option<String> {
+        self.eval_from(tree, ctx)
+            .first()
+            .map(|&n| match tree.node(n).text() {
+                Some(t) => t.to_string(),
+                None => tree.text_content(n),
+            })
+    }
+
+    /// The final step's name, if it is a name test (used by planners to
+    /// know which word to look up in the full-text index).
+    pub fn last_name(&self) -> Option<&str> {
+        match self.steps.last().map(|s| &s.test) {
+            Some(Test::Name(n)) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Path {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            let sep = match (i, step.axis, self.absolute) {
+                (0, Axis::Child, false) => "",
+                (0, Axis::Child, true) => "/",
+                (_, Axis::Child, _) => "/",
+                (_, Axis::Descendant, _) => "//",
+            };
+            f.write_str(sep)?;
+            match &step.test {
+                Test::Name(n) => f.write_str(n)?,
+                Test::AnyElement => f.write_str("*")?,
+                Test::Text => f.write_str("text()")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+fn test_matches(tree: &Tree, n: NodeId, test: &Test) -> bool {
+    let node = tree.node(n);
+    match test {
+        Test::Name(name) => node.name() == Some(name.as_str()),
+        Test::AnyElement => node.is_element(),
+        Test::Text => node.text().is_some(),
+    }
+}
+
+fn apply_step(tree: &Tree, current: &[NodeId], step: &Step, out: &mut Vec<NodeId>) {
+    match step.axis {
+        Axis::Child => {
+            for &n in current {
+                for &c in tree.node(n).children() {
+                    if test_matches(tree, c, &step.test) {
+                        out.push(c);
+                    }
+                }
+            }
+        }
+        Axis::Descendant => {
+            // Document-order, duplicate-free: walk each context subtree but
+            // skip nodes already covered by an earlier context ancestor.
+            let mut seen = std::collections::HashSet::new();
+            for &n in current {
+                for d in tree.descendants(n) {
+                    if d == n {
+                        continue;
+                    }
+                    if test_matches(tree, d, &step.test) && seen.insert(d) {
+                        out.push(d);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_document;
+
+    fn doc() -> Tree {
+        parse_document(
+            "<guide>\
+               <restaurant><name>Napoli</name><price>15</price></restaurant>\
+               <restaurant><name>Akropolis</name><price>13</price></restaurant>\
+               <bar><name>Corner</name></bar>\
+             </guide>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for p in ["/guide/restaurant", "//restaurant/name", "a//b/c", "//x", "*/text()"] {
+            let parsed = Path::parse(p).unwrap();
+            assert_eq!(parsed.to_string(), p);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_paths() {
+        for bad in ["", "/", "a/", "a//", "a b/c", "a/<b"] {
+            assert!(Path::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn absolute_child_path() {
+        let t = doc();
+        let p = Path::parse("/guide/restaurant/name").unwrap();
+        let hits = p.eval_roots(&t);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(t.text_content(hits[0]), "Napoli");
+        assert_eq!(t.text_content(hits[1]), "Akropolis");
+    }
+
+    #[test]
+    fn descendant_path() {
+        let t = doc();
+        assert_eq!(Path::parse("//name").unwrap().eval_roots(&t).len(), 3);
+        assert_eq!(Path::parse("//restaurant//text()").unwrap().eval_roots(&t).len(), 4);
+    }
+
+    #[test]
+    fn wildcard_step() {
+        let t = doc();
+        assert_eq!(Path::parse("/guide/*").unwrap().eval_roots(&t).len(), 3);
+        assert_eq!(Path::parse("/guide/*/name").unwrap().eval_roots(&t).len(), 3);
+    }
+
+    #[test]
+    fn relative_evaluation() {
+        let t = doc();
+        let rest = Path::parse("/guide/restaurant").unwrap().eval_roots(&t)[0];
+        let p = Path::parse("price").unwrap();
+        assert_eq!(p.first_text(&t, rest), Some("15".to_string()));
+        let p2 = Path::parse("price/text()").unwrap();
+        assert_eq!(p2.first_text(&t, rest), Some("15".to_string()));
+    }
+
+    #[test]
+    fn root_mismatch_yields_empty() {
+        let t = doc();
+        assert!(Path::parse("/nosuch/name").unwrap().eval_roots(&t).is_empty());
+    }
+
+    #[test]
+    fn descendant_no_duplicates() {
+        let t = parse_document("<a><b><b><c/></b></b></a>").unwrap();
+        // `//b//c`: c is a descendant of both b's, but must appear once.
+        let hits = Path::parse("//b//c").unwrap().eval_roots(&t);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn leading_descendant_matches_root_too() {
+        let t = parse_document("<a><a/></a>").unwrap();
+        assert_eq!(Path::parse("//a").unwrap().eval_roots(&t).len(), 2);
+    }
+
+    #[test]
+    fn last_name() {
+        assert_eq!(Path::parse("//restaurant/name").unwrap().last_name(), Some("name"));
+        assert_eq!(Path::parse("//restaurant/*").unwrap().last_name(), None);
+    }
+}

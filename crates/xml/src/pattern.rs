@@ -1,0 +1,459 @@
+//! Pattern trees — the input of `PatternScan` and its temporal variants.
+//!
+//! Following Aguilera et al. (the paper's [1, 2]), a *pattern tree* is a
+//! tree whose nodes carry predicates on elements and whose edges carry
+//! structural relationships — `isParentOf` or `isAscendantOf` — plus
+//! projection information. A pattern node matches an *element*; its
+//! predicates are
+//!
+//! * an optional tag name (element names are words in the full-text index
+//!   too, §7.2: "this index indexes all words in the documents, including
+//!   element names"), and
+//! * a set of *content words* that must occur in the element's own text or
+//!   attribute values.
+//!
+//! A match of the whole pattern binds every pattern node to an element such
+//! that all predicates hold and every edge's relationship holds.
+//!
+//! This module defines the pattern type plus [`match_tree`], a direct
+//! in-memory matcher. The index-based matcher (the paper's §7.3.1
+//! algorithm: per-word FTI lookups joined on document/relationship) lives in
+//! `txdb-core::ops::pattern`; `match_tree` is its testing oracle and the
+//! engine of the stratum baseline.
+
+use crate::similarity::tokenize;
+use crate::tree::{NodeId, Tree};
+
+/// Relationship between a pattern node and its parent pattern node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PatternEdge {
+    /// `isParentOf` — the parent binding is the element's parent.
+    Child,
+    /// `isAscendantOf` — the parent binding is a proper ancestor.
+    Descendant,
+}
+
+/// One node of a pattern tree.
+#[derive(Clone, Debug)]
+pub struct PatternNode {
+    /// Required tag name; `None` matches any element.
+    pub tag: Option<String>,
+    /// Words that must occur in the element's own text/attribute content.
+    pub words: Vec<String>,
+    /// Relationship to the parent pattern node (ignored on the root).
+    pub edge: PatternEdge,
+    /// Child pattern nodes.
+    pub children: Vec<PatternNode>,
+    /// Whether this node's binding is part of the scan output.
+    pub project: bool,
+    /// Optional variable name, used by the query layer.
+    pub var: Option<String>,
+    /// Require the bound element to be a document root (used when an
+    /// absolute path like `/guide/...` anchors the pattern).
+    pub at_root: bool,
+}
+
+impl PatternNode {
+    /// A pattern node matching elements with the given tag.
+    pub fn tag(name: impl Into<String>) -> Self {
+        PatternNode {
+            tag: Some(name.into()),
+            words: Vec::new(),
+            edge: PatternEdge::Child,
+            children: Vec::new(),
+            project: false,
+            var: None,
+            at_root: false,
+        }
+    }
+
+    /// A pattern node matching any element.
+    pub fn any() -> Self {
+        PatternNode {
+            tag: None,
+            words: Vec::new(),
+            edge: PatternEdge::Child,
+            children: Vec::new(),
+            project: false,
+            var: None,
+            at_root: false,
+        }
+    }
+
+    /// Requires the bound element to be a document root.
+    pub fn root_only(mut self) -> Self {
+        self.at_root = true;
+        self
+    }
+
+    /// Adds a required content word.
+    pub fn word(mut self, w: impl AsRef<str>) -> Self {
+        self.words.push(w.as_ref().to_lowercase());
+        self
+    }
+
+    /// Marks the node as projected.
+    pub fn project(mut self) -> Self {
+        self.project = true;
+        self
+    }
+
+    /// Names the binding.
+    pub fn var(mut self, name: impl Into<String>) -> Self {
+        self.var = Some(name.into());
+        self
+    }
+
+    /// Appends a child related by `isParentOf`.
+    pub fn child(mut self, mut c: PatternNode) -> Self {
+        c.edge = PatternEdge::Child;
+        self.children.push(c);
+        self
+    }
+
+    /// Appends a child related by `isAscendantOf`.
+    pub fn descendant(mut self, mut c: PatternNode) -> Self {
+        c.edge = PatternEdge::Descendant;
+        self.children.push(c);
+        self
+    }
+
+    /// True when the element `n` of `tree` satisfies this node's local
+    /// predicates (tag and words), ignoring edges.
+    pub fn matches_node(&self, tree: &Tree, n: NodeId) -> bool {
+        let node = tree.node(n);
+        let Some(name) = node.name() else { return false };
+        if let Some(tag) = &self.tag {
+            if tag != name {
+                return false;
+            }
+        }
+        if self.words.is_empty() {
+            return true;
+        }
+        // Collect the element's own words: immediate text + attributes.
+        let mut own: Vec<String> = Vec::new();
+        if let crate::tree::NodeKind::Element { attrs, .. } = &node.kind {
+            for (k, v) in attrs {
+                own.extend(tokenize(k));
+                own.extend(tokenize(v));
+            }
+        }
+        for &c in node.children() {
+            if let Some(t) = tree.node(c).text() {
+                own.extend(tokenize(t));
+            }
+        }
+        self.words.iter().all(|w| own.iter().any(|o| o == w))
+    }
+}
+
+/// A whole pattern: a single-rooted tree of [`PatternNode`]s.
+///
+/// Pattern nodes are addressed by their *pre-order index* in match results;
+/// [`PatternTree::nodes`] yields them in that order.
+#[derive(Clone, Debug)]
+pub struct PatternTree {
+    /// The root pattern node. The root's `edge` is ignored; the root may
+    /// bind to any element of the forest (not only to roots), matching the
+    /// `//restaurant` idiom of the paper's examples.
+    pub root: PatternNode,
+}
+
+impl PatternTree {
+    /// Wraps a root node.
+    pub fn new(root: PatternNode) -> Self {
+        PatternTree { root }
+    }
+
+    /// All pattern nodes in pre-order.
+    pub fn nodes(&self) -> Vec<&PatternNode> {
+        let mut out = Vec::new();
+        fn walk<'a>(n: &'a PatternNode, out: &mut Vec<&'a PatternNode>) {
+            out.push(n);
+            for c in &n.children {
+                walk(c, out);
+            }
+        }
+        walk(&self.root, &mut out);
+        out
+    }
+
+    /// Number of pattern nodes.
+    pub fn len(&self) -> usize {
+        self.nodes().len()
+    }
+
+    /// True if the pattern has no nodes (never: a root always exists).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Pre-order indices of projected nodes (if none are marked, the root
+    /// is projected by convention).
+    pub fn projected(&self) -> Vec<usize> {
+        let nodes = self.nodes();
+        let proj: Vec<usize> = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.project)
+            .map(|(i, _)| i)
+            .collect();
+        if proj.is_empty() {
+            vec![0]
+        } else {
+            proj
+        }
+    }
+
+    /// Every distinct word the pattern needs from the full-text index:
+    /// tag names and content words, in pre-order, deduplicated.
+    pub fn lookup_words(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for n in self.nodes() {
+            if let Some(t) = &n.tag {
+                let w = t.to_lowercase();
+                if !out.contains(&w) {
+                    out.push(w);
+                }
+            }
+            for w in &n.words {
+                if !out.contains(w) {
+                    out.push(w.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One match: element bindings indexed by pattern-node pre-order index.
+pub type Bindings = Vec<NodeId>;
+
+/// Matches a pattern against an in-memory tree, returning every complete
+/// binding in document order of the root binding. This is the direct
+/// (index-free) matcher used by the stratum baseline and as the oracle for
+/// the FTI-based `PatternScan`.
+pub fn match_tree(tree: &Tree, pattern: &PatternTree) -> Vec<Bindings> {
+    let n_nodes = pattern.len();
+    let mut results = Vec::new();
+    for cand in tree.iter() {
+        if !tree.node(cand).is_element() {
+            continue;
+        }
+        if !pattern.root.matches_node(tree, cand) {
+            continue;
+        }
+        if pattern.root.at_root && tree.node(cand).parent().is_some() {
+            continue;
+        }
+        let mut binding = vec![cand; 1];
+        binding.reserve(n_nodes);
+        match_children(tree, &pattern.root, cand, &mut binding, &mut results);
+    }
+    results
+}
+
+fn match_children(
+    tree: &Tree,
+    pnode: &PatternNode,
+    bound: NodeId,
+    binding: &mut Vec<NodeId>,
+    results: &mut Vec<Bindings>,
+) {
+    match_children_rec(tree, pnode, bound, 0, binding, results);
+}
+
+fn match_children_rec(
+    tree: &Tree,
+    pnode: &PatternNode,
+    bound: NodeId,
+    child_idx: usize,
+    binding: &mut Vec<NodeId>,
+    results: &mut Vec<Bindings>,
+) {
+    if child_idx == pnode.children.len() {
+        results.push(binding.clone());
+        return;
+    }
+    let pc = &pnode.children[child_idx];
+    let candidates: Vec<NodeId> = match pc.edge {
+        PatternEdge::Child => tree
+            .node(bound)
+            .children()
+            .iter()
+            .copied()
+            .filter(|&c| pc.matches_node(tree, c))
+            .collect(),
+        PatternEdge::Descendant => tree
+            .descendants(bound)
+            .filter(|&d| d != bound && pc.matches_node(tree, d))
+            .collect(),
+    };
+    for cand in candidates {
+        let mark = binding.len();
+        binding.push(cand);
+        // Recurse into pc's own children first, then continue with our
+        // remaining children for every completion of pc's subtree. To keep
+        // this composable we capture completions of pc's subtree.
+        let mut sub = Vec::new();
+        match_children(tree, pc, cand, binding, &mut sub);
+        binding.truncate(mark);
+        for completed in sub {
+            let mut b = completed;
+            let keep = b.len();
+            std::mem::swap(binding, &mut b);
+            match_children_rec(tree, pnode, bound, child_idx + 1, binding, results);
+            std::mem::swap(binding, &mut b);
+            debug_assert_eq!(b.len(), keep);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_document;
+
+    fn guide() -> Tree {
+        parse_document(
+            r#"<guide>
+                 <restaurant category="italian"><name>Napoli</name><price>15</price></restaurant>
+                 <restaurant><name>Akropolis</name><price>13</price></restaurant>
+                 <bar><name>Napoli Bar</name></bar>
+               </guide>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_node_tag_pattern() {
+        let t = guide();
+        let p = PatternTree::new(PatternNode::tag("restaurant").project());
+        let m = match_tree(&t, &p);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn word_constraint_on_same_node() {
+        let t = guide();
+        // Elements named `name` containing the word "napoli".
+        let p = PatternTree::new(PatternNode::tag("name").word("Napoli"));
+        let m = match_tree(&t, &p);
+        assert_eq!(m.len(), 2, "restaurant Napoli and Napoli Bar");
+    }
+
+    #[test]
+    fn parent_edge() {
+        let t = guide();
+        // restaurant isParentOf name(napoli)
+        let p = PatternTree::new(
+            PatternNode::tag("restaurant")
+                .project()
+                .child(PatternNode::tag("name").word("napoli")),
+        );
+        let m = match_tree(&t, &p);
+        assert_eq!(m.len(), 1);
+        let rest = m[0][0];
+        assert_eq!(t.node(rest).attr("category"), Some("italian"));
+    }
+
+    #[test]
+    fn ancestor_edge() {
+        let t = guide();
+        // guide isAscendantOf name — matches all three names.
+        let p = PatternTree::new(
+            PatternNode::tag("guide").descendant(PatternNode::tag("name").project()),
+        );
+        let m = match_tree(&t, &p);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn multi_child_conjunction() {
+        let t = guide();
+        // restaurant with BOTH a name and a price child.
+        let p = PatternTree::new(
+            PatternNode::tag("restaurant")
+                .child(PatternNode::tag("name"))
+                .child(PatternNode::tag("price")),
+        );
+        assert_eq!(match_tree(&t, &p).len(), 2);
+        // bar has no price → pattern with any element + price matches only restaurants.
+        let p2 = PatternTree::new(PatternNode::any().child(PatternNode::tag("price")));
+        assert_eq!(match_tree(&t, &p2).len(), 2);
+    }
+
+    #[test]
+    fn attribute_words_match() {
+        let t = guide();
+        let p = PatternTree::new(PatternNode::tag("restaurant").word("italian"));
+        assert_eq!(match_tree(&t, &p).len(), 1);
+    }
+
+    #[test]
+    fn cartesian_combinations() {
+        let t = parse_document("<a><b>x</b><b>y</b><c>1</c><c>2</c></a>").unwrap();
+        let p = PatternTree::new(
+            PatternNode::tag("a")
+                .child(PatternNode::tag("b").project())
+                .child(PatternNode::tag("c").project()),
+        );
+        let m = match_tree(&t, &p);
+        assert_eq!(m.len(), 4, "2 b's × 2 c's");
+        // Bindings have 3 entries: a, b, c in pre-order.
+        assert!(m.iter().all(|b| b.len() == 3));
+    }
+
+    #[test]
+    fn projection_defaults_to_root() {
+        let p = PatternTree::new(PatternNode::tag("x").child(PatternNode::tag("y")));
+        assert_eq!(p.projected(), vec![0]);
+        let p2 = PatternTree::new(
+            PatternNode::tag("x").child(PatternNode::tag("y").project()),
+        );
+        assert_eq!(p2.projected(), vec![1]);
+    }
+
+    #[test]
+    fn lookup_words_collects_tags_and_words() {
+        let p = PatternTree::new(
+            PatternNode::tag("restaurant")
+                .child(PatternNode::tag("name").word("napoli"))
+                .child(PatternNode::tag("price")),
+        );
+        assert_eq!(
+            p.lookup_words(),
+            vec!["restaurant", "name", "napoli", "price"]
+        );
+    }
+
+    #[test]
+    fn nested_grandchild_pattern() {
+        let t = guide();
+        // guide -> restaurant -> name(akropolis), all parent edges.
+        let p = PatternTree::new(
+            PatternNode::tag("guide").child(
+                PatternNode::tag("restaurant")
+                    .project()
+                    .child(PatternNode::tag("name").word("akropolis")),
+            ),
+        );
+        let m = match_tree(&t, &p);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn no_match_is_empty() {
+        let t = guide();
+        let p = PatternTree::new(PatternNode::tag("hotel"));
+        assert!(match_tree(&t, &p).is_empty());
+    }
+
+    #[test]
+    fn text_nodes_never_match() {
+        let t = parse_document("<a>x</a>").unwrap();
+        let p = PatternTree::new(PatternNode::any());
+        assert_eq!(match_tree(&t, &p).len(), 1);
+    }
+}

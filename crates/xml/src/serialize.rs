@@ -1,0 +1,218 @@
+//! Serialization of [`Tree`]s back to XML text.
+//!
+//! Two modes: compact (no inter-element whitespace — the inverse of the
+//! default parser configuration, so `parse ∘ serialize = id`) and pretty
+//! (two-space indentation for human consumption in examples and the
+//! experiment harness). An optional *annotated* mode emits the system
+//! attributes `txdb:xid` and `txdb:ts`, which is how reconstructed versions
+//! can be returned to clients without losing identity information.
+
+use std::fmt::Write as _;
+
+use crate::tree::{NodeId, NodeKind, Tree};
+
+/// Serialization configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SerializeOptions {
+    /// Indent with two spaces per level and newlines between elements.
+    pub pretty: bool,
+    /// Emit `txdb:xid` / `txdb:ts` system attributes on every element.
+    pub annotate: bool,
+}
+
+/// Serializes the whole forest compactly.
+pub fn to_string(tree: &Tree) -> String {
+    serialize_with(tree, SerializeOptions::default())
+}
+
+/// Serializes the whole forest with indentation.
+pub fn to_string_pretty(tree: &Tree) -> String {
+    serialize_with(tree, SerializeOptions { pretty: true, annotate: false })
+}
+
+/// Serializes the whole forest with explicit options.
+pub fn serialize_with(tree: &Tree, opts: SerializeOptions) -> String {
+    let mut out = String::with_capacity(tree.len() * 16);
+    for &root in tree.roots() {
+        write_node(tree, root, opts, 0, &mut out);
+    }
+    out
+}
+
+/// Serializes a single subtree compactly.
+pub fn subtree_to_string(tree: &Tree, id: NodeId) -> String {
+    let mut out = String::new();
+    write_node(tree, id, SerializeOptions::default(), 0, &mut out);
+    out
+}
+
+fn write_node(tree: &Tree, id: NodeId, opts: SerializeOptions, depth: usize, out: &mut String) {
+    let node = tree.node(id);
+    match &node.kind {
+        NodeKind::Text { value } => {
+            if opts.pretty {
+                indent(out, depth);
+            }
+            escape_text(value, out);
+            if opts.pretty {
+                out.push('\n');
+            }
+        }
+        NodeKind::Element { name, attrs } => {
+            if opts.pretty {
+                indent(out, depth);
+            }
+            out.push('<');
+            out.push_str(name);
+            for (k, v) in attrs {
+                out.push(' ');
+                out.push_str(k);
+                out.push_str("=\"");
+                escape_attr(v, out);
+                out.push('"');
+            }
+            if opts.annotate {
+                let _ = write!(out, " txdb:xid=\"{}\"", node.xid.0);
+                let _ = write!(out, " txdb:ts=\"{}\"", node.ts.micros());
+            }
+            if node.children().is_empty() {
+                out.push_str("/>");
+                if opts.pretty {
+                    out.push('\n');
+                }
+                return;
+            }
+            out.push('>');
+            // A single text child is kept inline even in pretty mode.
+            let inline_text = opts.pretty
+                && node.children().len() == 1
+                && tree.node(node.children()[0]).text().is_some();
+            if opts.pretty && !inline_text {
+                out.push('\n');
+            }
+            if inline_text {
+                escape_text(tree.node(node.children()[0]).text().unwrap(), out);
+            } else {
+                for &c in node.children() {
+                    write_node(tree, c, opts, depth + 1, out);
+                }
+                if opts.pretty {
+                    indent(out, depth);
+                }
+            }
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+            if opts.pretty {
+                out.push('\n');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Escapes character data: `&`, `<`, `>` (the latter for `]]>` safety).
+pub fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Escapes an attribute value for a double-quoted attribute.
+pub fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_document;
+    use crate::tree::TreeBuilder;
+
+    #[test]
+    fn roundtrip_compact() {
+        let src = r#"<guide><restaurant category="italian"><name>Napoli</name><price>15</price></restaurant><restaurant><name>Akropolis</name></restaurant></guide>"#;
+        let t = parse_document(src).unwrap();
+        assert_eq!(to_string(&t), src);
+    }
+
+    #[test]
+    fn escaping_roundtrip() {
+        let mut out = String::new();
+        escape_text("a<b&c>d", &mut out);
+        assert_eq!(out, "a&lt;b&amp;c&gt;d");
+        let t = TreeBuilder::new()
+            .open("a")
+            .attr("k", "x\"y<z&\n")
+            .text("1<2 & 3>4")
+            .close()
+            .build();
+        let s = to_string(&t);
+        let back = parse_document(&s).unwrap();
+        assert_eq!(back.node(back.root().unwrap()).attr("k"), Some("x\"y<z&\n"));
+        assert_eq!(back.text_content(back.root().unwrap()), "1<2 & 3>4");
+    }
+
+    #[test]
+    fn empty_elements_selfclose() {
+        let t = parse_document("<a><b/></a>").unwrap();
+        assert_eq!(to_string(&t), "<a><b/></a>");
+    }
+
+    #[test]
+    fn pretty_printing_shape() {
+        let t = parse_document("<a><b>x</b><c><d/></c></a>").unwrap();
+        let p = to_string_pretty(&t);
+        assert_eq!(p, "<a>\n  <b>x</b>\n  <c>\n    <d/>\n  </c>\n</a>\n");
+        // Pretty output reparses to the same structure.
+        let back = parse_document(&p).unwrap();
+        assert_eq!(to_string(&back), to_string(&t));
+    }
+
+    #[test]
+    fn annotated_output_carries_ids() {
+        use txdb_base::{Timestamp, Xid};
+        let mut t = parse_document("<a><b/></a>").unwrap();
+        let ids: Vec<_> = t.iter().collect();
+        for (i, id) in ids.iter().enumerate() {
+            t.node_mut(*id).xid = Xid(i as u64 + 1);
+            t.node_mut(*id).ts = Timestamp::from_micros(42);
+        }
+        let s = serialize_with(&t, SerializeOptions { pretty: false, annotate: true });
+        assert!(s.contains("txdb:xid=\"1\""));
+        assert!(s.contains("txdb:ts=\"42\""));
+    }
+
+    #[test]
+    fn forest_serialization() {
+        let t = parse_document("<a/><b>x</b>").unwrap();
+        assert_eq!(to_string(&t), "<a/><b>x</b>");
+    }
+
+    #[test]
+    fn subtree_serialization() {
+        let t = parse_document("<a><b><c>x</c></b></a>").unwrap();
+        let root = t.root().unwrap();
+        let b = t.node(root).children()[0];
+        assert_eq!(subtree_to_string(&t, b), "<b><c>x</c></b>");
+    }
+}

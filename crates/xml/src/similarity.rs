@@ -1,0 +1,160 @@
+//! The similarity operator `~` (§7.4).
+//!
+//! The paper observes that neither deep value equality (too strict for web
+//! data) nor EID identity (broken by delete-and-reintroduce) solves the
+//! "same restaurant?" problem, and points to Theobald & Weikum's relevance-
+//! based approach: *introduce a similarity operator ≈*, concluding that "a
+//! combination of shallow equality and a similarity operator \[is\] the most
+//! interesting solution".
+//!
+//! We implement similarity as the Dice coefficient over the multiset of
+//! word tokens of two subtrees (element names, attribute values and text
+//! all contribute, mirroring what the full-text index sees), which behaves
+//! well for the short, record-like elements of the paper's examples:
+//! reordered children, small edits and added sub-elements degrade the score
+//! gradually instead of flipping it to zero.
+
+use std::collections::HashMap;
+
+use crate::tree::{NodeId, NodeKind, Tree};
+
+/// Default threshold for the boolean `~` operator in the query language.
+pub const DEFAULT_THRESHOLD: f64 = 0.6;
+
+/// Splits a string into lower-cased word tokens (alphanumeric runs).
+/// This is the same tokenization the full-text index uses.
+pub fn tokenize(s: &str) -> impl Iterator<Item = String> + '_ {
+    s.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_lowercase())
+}
+
+/// The token multiset of a subtree: element names, attribute keys/values and
+/// text content.
+pub fn token_bag(tree: &Tree, id: NodeId) -> HashMap<String, u32> {
+    let mut bag: HashMap<String, u32> = HashMap::new();
+    for n in tree.descendants(id) {
+        match &tree.node(n).kind {
+            NodeKind::Element { name, attrs } => {
+                for t in tokenize(name) {
+                    *bag.entry(t).or_default() += 1;
+                }
+                for (k, v) in attrs {
+                    for t in tokenize(k).chain(tokenize(v)) {
+                        *bag.entry(t).or_default() += 1;
+                    }
+                }
+            }
+            NodeKind::Text { value } => {
+                for t in tokenize(value) {
+                    *bag.entry(t).or_default() += 1;
+                }
+            }
+        }
+    }
+    bag
+}
+
+/// Dice coefficient between two token multisets: `2·|A∩B| / (|A|+|B|)`,
+/// in `[0, 1]`. Two empty bags are fully similar.
+pub fn dice(a: &HashMap<String, u32>, b: &HashMap<String, u32>) -> f64 {
+    let size_a: u32 = a.values().sum();
+    let size_b: u32 = b.values().sum();
+    if size_a == 0 && size_b == 0 {
+        return 1.0;
+    }
+    let mut inter = 0u32;
+    for (t, &ca) in a {
+        if let Some(&cb) = b.get(t) {
+            inter += ca.min(cb);
+        }
+    }
+    2.0 * inter as f64 / (size_a + size_b) as f64
+}
+
+/// Similarity score between two subtrees, in `[0, 1]`.
+pub fn similarity(ta: &Tree, a: NodeId, tb: &Tree, b: NodeId) -> f64 {
+    dice(&token_bag(ta, a), &token_bag(tb, b))
+}
+
+/// The boolean `~` operator: similarity above `threshold`.
+pub fn similar(ta: &Tree, a: NodeId, tb: &Tree, b: NodeId, threshold: f64) -> bool {
+    similarity(ta, a, tb, b) >= threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_document;
+
+    fn sim(a: &str, b: &str) -> f64 {
+        let ta = parse_document(a).unwrap();
+        let tb = parse_document(b).unwrap();
+        similarity(&ta, ta.root().unwrap(), &tb, tb.root().unwrap())
+    }
+
+    #[test]
+    fn identical_is_one() {
+        let s = sim(
+            "<r><name>Napoli</name><price>15</price></r>",
+            "<r><name>Napoli</name><price>15</price></r>",
+        );
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reordered_children_still_one() {
+        let s = sim(
+            "<r><name>Napoli</name><price>15</price></r>",
+            "<r><price>15</price><name>Napoli</name></r>",
+        );
+        assert!((s - 1.0).abs() < 1e-9, "bag model ignores order, got {s}");
+    }
+
+    #[test]
+    fn small_edit_degrades_gracefully() {
+        let s = sim(
+            "<r><name>Napoli</name><price>15</price><addr>Main Street 1</addr></r>",
+            "<r><name>Napoli</name><price>18</price><addr>Main Street 1</addr></r>",
+        );
+        assert!(s > 0.7 && s < 1.0, "price change should stay similar: {s}");
+    }
+
+    #[test]
+    fn unrelated_elements_low() {
+        let s = sim(
+            "<r><name>Napoli</name><price>15</price><addr>Main Street 1</addr></r>",
+            "<r><name>Akropolis</name><price>13</price><addr>Harbour Road 99</addr></r>",
+        );
+        assert!(s < DEFAULT_THRESHOLD, "different restaurants: {s}");
+    }
+
+    #[test]
+    fn reintroduced_entry_high_similarity() {
+        // §7.4: an entry accidentally deleted and reintroduced gets a new
+        // EID; similarity must still recognise it.
+        let v1 = "<restaurant><name>Napoli</name><price>15</price></restaurant>";
+        let v3 = "<restaurant><name>Napoli</name><price>15</price></restaurant>";
+        assert!(sim(v1, v3) >= DEFAULT_THRESHOLD);
+    }
+
+    #[test]
+    fn tokenize_splits_and_lowercases() {
+        let toks: Vec<String> = tokenize("Main Street-1, Trondheim").collect();
+        assert_eq!(toks, ["main", "street", "1", "trondheim"]);
+    }
+
+    #[test]
+    fn dice_empty_bags() {
+        assert_eq!(dice(&HashMap::new(), &HashMap::new()), 1.0);
+        let mut a = HashMap::new();
+        a.insert("x".to_string(), 1);
+        assert_eq!(dice(&a, &HashMap::new()), 0.0);
+    }
+
+    #[test]
+    fn multiset_counts_matter() {
+        let s1 = sim("<a>x x x</a>", "<a>x</a>");
+        assert!(s1 < 1.0, "repetition differs: {s1}");
+    }
+}

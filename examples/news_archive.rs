@@ -1,0 +1,142 @@
+//! A news archive: corrections, retractions and change tracking.
+//!
+//! The paper's §3.1 mentions news notices as the document-time example;
+//! this archive stores a wire feed whose stories get corrected and
+//! eventually retracted, and shows the operators journalists' tools need:
+//! "what did we say at time t", "how did this story change", and "find the
+//! version that first mentioned X".
+//!
+//! ```sh
+//! cargo run --example news_archive
+//! ```
+
+use temporal_xml::core::ops::lifetime::LifetimeStrategy;
+use temporal_xml::{execute_at, Database, Eid, Interval, Timestamp};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = Database::in_memory();
+    let t = |h: u32, m: u32| Timestamp::from_datetime(2001, 9, 10, h, m, 0);
+
+    // A developing story, as filed over one day.
+    println!("== filing story wire/4711 over the day ==");
+    db.put(
+        "wire/4711",
+        r#"<story id="4711">
+             <headline>Harbour bridge closed after incident</headline>
+             <body>The harbour bridge was closed on Monday morning. Police gave no details.</body>
+             <byline>NTB</byline>
+           </story>"#,
+        t(8, 12),
+    )?;
+    db.put(
+        "wire/4711",
+        r#"<story id="4711">
+             <headline>Harbour bridge closed after collision</headline>
+             <body>The harbour bridge was closed on Monday morning after a ship collided
+                   with a pillar. No injuries were reported.</body>
+             <byline>NTB</byline>
+           </story>"#,
+        t(9, 40),
+    )?;
+    db.put(
+        "wire/4711",
+        r#"<story id="4711">
+             <headline>Harbour bridge reopens after collision</headline>
+             <body>The harbour bridge reopened Monday afternoon. The collision caused only
+                   minor damage. No injuries were reported.</body>
+             <byline>NTB</byline>
+             <correction>An earlier version said the bridge remained closed.</correction>
+           </story>"#,
+        t(14, 5),
+    )?;
+    // A second story that gets retracted.
+    db.put(
+        "wire/4712",
+        r#"<story id="4712">
+             <headline>Mayor to resign, sources say</headline>
+             <body>Unconfirmed reports suggest the mayor will resign.</body>
+           </story>"#,
+        t(10, 30),
+    )?;
+    db.delete("wire/4712", t(11, 45))?; // retracted
+
+    let now = t(23, 0);
+    println!("  3 versions of wire/4711 filed; wire/4712 filed and retracted");
+
+    // What did the archive show at 10:00?
+    println!("\n== front page as of 10:00 ==");
+    let r = execute_at(
+        &db,
+        &format!(
+            r#"SELECT R FROM doc("*")[{}]//headline R"#,
+            t(10, 0).micros()
+        ),
+        now,
+    )?;
+    println!("{}", r.to_xml());
+
+    // ...and at 12:00, after the retraction.
+    println!("\n== front page as of 12:00 (mayor story retracted) ==");
+    let r = execute_at(
+        &db,
+        &format!(
+            r#"SELECT R FROM doc("*")[{}]//headline R"#,
+            t(12, 0).micros()
+        ),
+        now,
+    )?;
+    println!("{}", r.to_xml());
+
+    // When did the word "collision" first appear? All versions containing
+    // it, oldest first, with their element create times.
+    println!("\n== versions of the headline mentioning `collision` ==");
+    let r = execute_at(
+        &db,
+        r#"SELECT TIME(R), R
+           FROM doc("wire/4711")[EVERY]//headline R
+           WHERE R CONTAINS "collision""#,
+        now,
+    )?;
+    println!("{}", r.to_xml());
+
+    // The full correction trail of story 4711 as edit scripts.
+    println!("\n== correction trail of wire/4711 ==");
+    let doc = db.store().doc_id("wire/4711")?.unwrap();
+    let cur = db.store().current_tree(doc)?;
+    let root_eid = Eid::new(doc, cur.node(cur.root().unwrap()).xid);
+    let history = db.element_history(root_eid, Interval::ALL)?;
+    println!("  {} element versions", history.len());
+    for pair in history.windows(2) {
+        let (newer, older) = (&pair[0], &pair[1]);
+        let script = db.diff(older.teid, newer.teid)?;
+        let ops = script
+            .root()
+            .map(|r| script.node(r).children().len())
+            .unwrap_or(0);
+        println!(
+            "  {} -> {}: {ops} edit operations",
+            older.teid.ts, newer.teid.ts
+        );
+    }
+
+    // Lifetime of the retracted story's root element.
+    println!("\n== lifetime of the retracted story ==");
+    let doc2 = db.store().doc_id("wire/4712")?.unwrap();
+    let t0 = db.reconstruct_doc_at(doc2, t(10, 30))?;
+    let eid = Eid::new(doc2, t0.node(t0.root().unwrap()).xid);
+    let teid = eid.at(t(10, 30));
+    let created = db.cre_time(teid, LifetimeStrategy::Traverse)?;
+    let deleted = db.del_time(teid, LifetimeStrategy::Traverse)?;
+    println!("  story 4712: on the wire {created} — retracted {deleted}");
+
+    // The correction element was added late: its create time.
+    println!("\n== when was the <correction> added? ==");
+    let r = execute_at(
+        &db,
+        r#"SELECT CREATETIME(R) FROM doc("wire/4711")//correction R"#,
+        now,
+    )?;
+    println!("{}", r.to_xml());
+
+    Ok(())
+}

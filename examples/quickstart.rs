@@ -1,0 +1,118 @@
+//! Quickstart: store versions, run temporal queries, use the operators.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use temporal_xml::core::ops::lifetime::LifetimeStrategy;
+use temporal_xml::{execute_at, Database, Eid, Interval, Timestamp};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = Database::in_memory();
+    let day = |d: u32| Timestamp::from_date(2024, 3, d);
+
+    // 1. Store three versions of a document (the database diffs them and
+    //    stores completed deltas; element identity persists).
+    println!("== storing three versions of inventory.xml ==");
+    db.put(
+        "inventory.xml",
+        r#"<inventory>
+             <product sku="A1"><name>Espresso machine</name><stock>12</stock></product>
+             <product sku="B2"><name>Grinder</name><stock>30</stock></product>
+           </inventory>"#,
+        day(1),
+    )?;
+    db.put(
+        "inventory.xml",
+        r#"<inventory>
+             <product sku="A1"><name>Espresso machine</name><stock>7</stock></product>
+             <product sku="B2"><name>Grinder</name><stock>30</stock></product>
+             <product sku="C3"><name>Kettle</name><stock>50</stock></product>
+           </inventory>"#,
+        day(10),
+    )?;
+    db.put(
+        "inventory.xml",
+        r#"<inventory>
+             <product sku="A1"><name>Espresso machine</name><stock>0</stock></product>
+             <product sku="C3"><name>Kettle</name><stock>44</stock></product>
+           </inventory>"#,
+        day(20),
+    )?;
+
+    // 2. Snapshot query: what did the inventory look like on day 15?
+    println!("\n== snapshot on 2024-03-15 ==");
+    let r = execute_at(
+        &db,
+        r#"SELECT R/name, R/stock FROM doc("inventory.xml")[15/03/2024]//product R"#,
+        day(25),
+    )?;
+    println!("{}", r.to_xml());
+
+    // 3. History query: the stock history of product A1.
+    println!("\n== stock history of the espresso machine ==");
+    let r = execute_at(
+        &db,
+        r#"SELECT TIME(R), R/stock
+           FROM doc("inventory.xml")[EVERY]//product R
+           WHERE R/name CONTAINS "espresso""#,
+        day(25),
+    )?;
+    println!("{}", r.to_xml());
+
+    // 4. Aggregates never reconstruct documents (the paper's Q2 point).
+    println!("\n== product count over time (no reconstruction) ==");
+    for d in [1, 10, 20] {
+        let r = execute_at(
+            &db,
+            &format!(r#"SELECT COUNT(R) FROM doc("inventory.xml")[{d:02}/03/2024]//product R"#),
+            day(25),
+        )?;
+        println!(
+            "  day {d:2}: {} products   (reconstructions: {})",
+            r.rows[0][0].as_text(),
+            r.stats.reconstructions
+        );
+    }
+
+    // 5. Direct operator use: element identity and lifetimes.
+    println!("\n== operator-level access ==");
+    let doc = db.store().doc_id("inventory.xml")?.expect("doc exists");
+    let current = db.store().current_tree(doc)?;
+    let grinder_gone = {
+        // The Grinder was removed in v2 — find its EID in an old version.
+        let v1 = db.reconstruct_doc_at(doc, day(12))?;
+        let node = v1
+            .iter()
+            .find(|&n| v1.text_content(n).contains("Grinder") && v1.node(n).name() == Some("product"))
+            .expect("grinder in v1");
+        Eid::new(doc, v1.node(node).xid)
+    };
+    let created = db.cre_time(grinder_gone.at(day(12)), LifetimeStrategy::Index)?;
+    let deleted = db.del_time(grinder_gone.at(day(12)), LifetimeStrategy::Index)?;
+    println!("  grinder {grinder_gone}: created {created}, deleted {deleted}");
+
+    // Element history of product A1 (by persistent identity).
+    let a1 = current
+        .iter()
+        .find(|&n| current.node(n).attr("sku") == Some("A1"))
+        .expect("A1 in current");
+    let a1_eid = Eid::new(doc, current.node(a1).xid);
+    println!("  element history of {a1_eid}:");
+    for ev in db.element_history(a1_eid, Interval::ALL)? {
+        println!(
+            "    v{} @ {}: {}",
+            ev.version.0,
+            ev.teid.ts,
+            temporal_xml::xml::to_string(&ev.subtree)
+        );
+    }
+
+    // 6. Diff two versions of the document root as an XML edit script.
+    println!("\n== edit script between day 1 and day 20 ==");
+    let root_eid = Eid::new(doc, current.node(current.root().unwrap()).xid);
+    let script = db.diff(root_eid.at(day(1)), root_eid.at(day(20)))?;
+    println!("{}", temporal_xml::xml::to_string_pretty(&script));
+
+    Ok(())
+}

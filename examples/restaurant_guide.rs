@@ -1,0 +1,118 @@
+//! The paper's running example, end to end: Figure 1's restaurant guide
+//! and every example query from §5, §6.2 and §7.4.
+//!
+//! ```sh
+//! cargo run --example restaurant_guide
+//! ```
+
+use temporal_xml::wgen::restaurant::{figure1_versions, GUIDE_URL};
+use temporal_xml::{execute_at, Database, Timestamp};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = Database::in_memory();
+
+    // Figure 1: the restaurant list at guide.com as retrieved on
+    // January 1st, January 15th and January 31st 2001.
+    println!("== loading Figure 1 ==");
+    for (ts, xml) in figure1_versions() {
+        db.put(GUIDE_URL, &xml, ts)?;
+        println!("  stored version @ {ts}");
+    }
+    let now = Timestamp::from_date(2001, 2, 20);
+    let run = |q: &str| -> Result<String, temporal_xml::base::Error> {
+        Ok(execute_at(&db, q, now)?.to_xml())
+    };
+
+    // §5 intro query: all restaurants with price less than $10 — none in
+    // the guide, so the result is empty.
+    println!("\n== §5: restaurants with price < 10 (current) ==");
+    println!(
+        "{}",
+        run(r#"SELECT R FROM doc("guide.com/restaurants")//restaurant R WHERE R/price < 10"#)?
+    );
+
+    // Q1: list all restaurants in the list as of 26/01/2001.
+    println!("\n== Q1: snapshot at 26/01/2001 ==");
+    println!(
+        "{}",
+        run(r#"SELECT R FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#)?
+    );
+
+    // Q2: the number of restaurants at 26/01/2001. The paper writes
+    // SELECT SUM(R); counting elements is COUNT(R) in this dialect. Note
+    // the zero reconstructions — the paper's point that delta-only storage
+    // costs nothing here.
+    println!("\n== Q2: count at 26/01/2001 ==");
+    let r = execute_at(
+        &db,
+        r#"SELECT COUNT(R) FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#,
+        now,
+    )?;
+    println!(
+        "{}   (documents reconstructed: {})",
+        r.to_xml(),
+        r.stats.reconstructions
+    );
+
+    // Q3: the price history of the restaurant Napoli.
+    println!("\n== Q3: price history of Napoli ([EVERY]) ==");
+    println!(
+        "{}",
+        run(r#"SELECT TIME(R), R/price
+                FROM doc("guide.com/restaurants")[EVERY]//restaurant R
+                WHERE R/name = "Napoli""#)?
+    );
+
+    // §6 snippets: create-time predicate and PREVIOUS/CURRENT.
+    println!("\n== §6: restaurants created on/after 11/01/2001 ==");
+    println!(
+        "{}",
+        run(r#"SELECT R/name FROM doc("guide.com/restaurants")[EVERY]//restaurant R
+               WHERE CREATE TIME(R) >= 11/01/2001"#)?
+    );
+
+    println!("\n== §6: previous version of each current restaurant ==");
+    println!(
+        "{}",
+        run(r#"SELECT PREVIOUS(R) FROM doc("guide.com/restaurants")//restaurant R"#)?
+    );
+
+    println!("\n== §6: DISTINCT CURRENT(R)/name over the history ==");
+    println!(
+        "{}",
+        run(r#"SELECT DISTINCT CURRENT(R)/name
+               FROM doc("guide.com/restaurants")[EVERY]//restaurant R"#)?
+    );
+
+    // §7.4: restaurants that have increased their prices since 10/01/2001.
+    println!("\n== §7.4: price increases since 10/01/2001 ==");
+    println!(
+        "{}",
+        run(r#"SELECT R1/name
+               FROM doc("guide.com/restaurants")[10/01/2001]//restaurant R1,
+                    doc("guide.com/restaurants")//restaurant R2
+               WHERE R1/name = R2/name AND R1/price < R2/price"#)?
+    );
+
+    // The same join done by identity (==) instead of name equality — the
+    // §7.4 discussion of what EIDs buy.
+    println!("\n== §7.4 variant: the same join by persistent identity ==");
+    println!(
+        "{}",
+        run(r#"SELECT R1/name, DIFF(R1, R2)
+               FROM doc("guide.com/restaurants")[10/01/2001]//restaurant R1,
+                    doc("guide.com/restaurants")//restaurant R2
+               WHERE R1 == R2 AND R1/price < R2/price"#)?
+    );
+
+    // §5 relative time: the snapshot two weeks before `now` (06/02/2001 —
+    // after the last update, so the current list).
+    println!("\n== §5: NOW - 14 DAYS ==");
+    println!(
+        "{}",
+        run(r#"SELECT R/name, R/price
+               FROM doc("guide.com/restaurants")[NOW - 14 DAYS]//restaurant R"#)?
+    );
+
+    Ok(())
+}

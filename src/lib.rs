@@ -1,0 +1,51 @@
+//! # temporal-xml — a temporal XML database
+//!
+//! A from-scratch Rust implementation of the system described in Kjetil
+//! Nørvåg, *"Algorithms for Temporal Query Operators in XML Databases"*
+//! (EDBT 2002 workshop): a transaction-time temporal XML database with
+//! persistent element identity (XIDs/EIDs/TEIDs), completed-delta version
+//! storage, a temporal full-text index, the full set of temporal query
+//! operators (`TPatternScan`, `TPatternScanAll`, `DocHistory`,
+//! `ElementHistory`, `CreTime`, `DelTime`, `PreviousTS`/`NextTS`/
+//! `CurrentTS`, `Reconstruct`, `Diff`) and a concrete temporal query
+//! language.
+//!
+//! This umbrella crate re-exports the workspace and hosts the runnable
+//! examples (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use temporal_xml::{Database, execute_at, Timestamp};
+//!
+//! let db = Database::in_memory();
+//! let jan = |d| Timestamp::from_date(2001, 1, d);
+//! db.put("guide.com/restaurants",
+//!        "<guide><restaurant><name>Napoli</name><price>15</price></restaurant></guide>",
+//!        jan(1)).unwrap();
+//! db.put("guide.com/restaurants",
+//!        "<guide><restaurant><name>Napoli</name><price>18</price></restaurant></guide>",
+//!        jan(31)).unwrap();
+//!
+//! // Q3-style price history:
+//! let r = execute_at(&db,
+//!     r#"SELECT TIME(R), R/price
+//!        FROM doc("guide.com/restaurants")[EVERY]//restaurant R
+//!        WHERE R/name = "Napoli""#,
+//!     jan(31)).unwrap();
+//! assert_eq!(r.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use txdb_base::{self as base, DocId, Duration, Eid, Interval, Teid, Timestamp, VersionId, Xid};
+pub use txdb_core::{self as core, Database, DbOptions};
+pub use txdb_delta as delta;
+pub use txdb_index as index;
+pub use txdb_query::{self as query, execute, parse_query, QueryResult};
+pub use txdb_query::exec::execute_at;
+pub use txdb_storage::{self as storage, StoreOptions};
+pub use txdb_stratum as stratum;
+pub use txdb_wgen as wgen;
+pub use txdb_xml as xml;

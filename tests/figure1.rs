@@ -1,0 +1,202 @@
+//! End-to-end reproduction of the paper's running example: Figure 1's
+//! restaurant guide and every query the paper states (Q1–Q3, the §5/§6
+//! snippets, the §7.4 price-increase join) — experiment F1.
+
+use temporal_xml::core::ops::lifetime::LifetimeStrategy;
+use temporal_xml::wgen::restaurant::{figure1_versions, GUIDE_URL};
+use temporal_xml::{execute_at, Database, Eid, Interval, Timestamp, VersionId};
+
+fn jan(d: u32) -> Timestamp {
+    Timestamp::from_date(2001, 1, d)
+}
+
+fn db() -> Database {
+    let db = Database::in_memory();
+    for (ts, xml) in figure1_versions() {
+        db.put(GUIDE_URL, &xml, ts).unwrap();
+    }
+    db
+}
+
+fn run(db: &Database, q: &str) -> temporal_xml::QueryResult {
+    execute_at(db, q, Timestamp::from_date(2001, 2, 20)).unwrap()
+}
+
+#[test]
+fn figure1_versions_reconstruct_exactly() {
+    let db = db();
+    let doc = db.store().doc_id(GUIDE_URL).unwrap().unwrap();
+    let expect = [
+        "<guide><restaurant><name>Napoli</name><price>15</price></restaurant></guide>",
+        "<guide><restaurant><name>Napoli</name><price>15</price></restaurant>\
+         <restaurant><name>Akropolis</name><price>13</price></restaurant></guide>",
+        "<guide><restaurant><name>Napoli</name><price>18</price></restaurant></guide>",
+    ];
+    for (v, want) in expect.iter().enumerate() {
+        let t = db.store().version_tree(doc, VersionId(v as u32)).unwrap();
+        assert_eq!(&temporal_xml::xml::to_string(&t), want, "version {v}");
+    }
+}
+
+#[test]
+fn q1_snapshot_26_01() {
+    let db = db();
+    let r = run(
+        &db,
+        r#"SELECT R FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#,
+    );
+    assert_eq!(
+        r.to_xml(),
+        "<results>\
+         <result><restaurant><name>Napoli</name><price>15</price></restaurant></result>\
+         <result><restaurant><name>Akropolis</name><price>13</price></restaurant></result>\
+         </results>"
+    );
+}
+
+#[test]
+fn q2_count_without_reconstruction() {
+    let db = db();
+    let r = run(
+        &db,
+        r#"SELECT COUNT(R) FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#,
+    );
+    assert_eq!(r.rows[0][0].as_text(), "2");
+    assert_eq!(
+        r.stats.reconstructions, 0,
+        "the paper's Q2 claim: no reconstruction for aggregates"
+    );
+}
+
+#[test]
+fn q3_napoli_price_history() {
+    let db = db();
+    let r = run(
+        &db,
+        r#"SELECT TIME(R), R/price
+           FROM doc("guide.com/restaurants")[EVERY]//restaurant R
+           WHERE R/name = "Napoli""#,
+    );
+    // One row per document version in which the Napoli binding matches.
+    assert_eq!(r.len(), 3);
+    let xml = r.to_xml();
+    assert!(xml.contains("<price>15</price>"));
+    assert!(xml.contains("<price>18</price>"));
+    assert!(xml.contains("2001-01-31"));
+    // Akropolis never matches the WHERE clause.
+    assert!(!xml.contains("13"));
+}
+
+#[test]
+fn akropolis_lifetime() {
+    // Akropolis existed only in [15/01, 31/01).
+    let db = db();
+    let doc = db.store().doc_id(GUIDE_URL).unwrap().unwrap();
+    let v1 = db.store().version_tree(doc, VersionId(1)).unwrap();
+    let akro = v1
+        .iter()
+        .find(|&n| {
+            v1.node(n).name() == Some("restaurant") && v1.text_content(n).contains("Akropolis")
+        })
+        .unwrap();
+    let eid = Eid::new(doc, v1.node(akro).xid);
+    for strat in [LifetimeStrategy::Traverse, LifetimeStrategy::Index] {
+        assert_eq!(db.cre_time(eid.at(jan(20)), strat).unwrap(), jan(15), "{strat:?}");
+        assert_eq!(db.del_time(eid.at(jan(20)), strat).unwrap(), jan(31), "{strat:?}");
+    }
+    // Its element history has exactly one version.
+    let h = db.element_history(eid, Interval::ALL).unwrap();
+    assert_eq!(h.len(), 1);
+    assert_eq!(
+        temporal_xml::xml::to_string(&h[0].subtree),
+        "<restaurant><name>Akropolis</name><price>13</price></restaurant>"
+    );
+}
+
+#[test]
+fn napoli_identity_persists_across_all_versions() {
+    let db = db();
+    let doc = db.store().doc_id(GUIDE_URL).unwrap().unwrap();
+    let xid_at = |v: u32| {
+        let t = db.store().version_tree(doc, VersionId(v)).unwrap();
+        let n = t
+            .iter()
+            .find(|&n| {
+                t.node(n).name() == Some("restaurant") && t.text_content(n).contains("Napoli")
+            })
+            .unwrap();
+        t.node(n).xid
+    };
+    assert_eq!(xid_at(0), xid_at(1));
+    assert_eq!(xid_at(1), xid_at(2), "price change preserves identity");
+}
+
+#[test]
+fn doc_history_is_backwards() {
+    let db = db();
+    let doc = db.store().doc_id(GUIDE_URL).unwrap().unwrap();
+    let h = db.doc_history(doc, Interval::ALL).unwrap();
+    assert_eq!(h.len(), 3);
+    assert_eq!(h[0].ts, jan(31), "most recent first (§7.3.4)");
+    assert_eq!(h[2].ts, jan(1));
+}
+
+#[test]
+fn previous_next_current_ts_chain() {
+    let db = db();
+    let doc = db.store().doc_id(GUIDE_URL).unwrap().unwrap();
+    let cur = db.store().current_tree(doc).unwrap();
+    let eid = Eid::new(doc, cur.node(cur.root().unwrap()).xid);
+    assert_eq!(db.current_ts(eid).unwrap(), Some(jan(31)));
+    assert_eq!(db.previous_ts(eid.at(jan(31))).unwrap(), Some(jan(15)));
+    assert_eq!(db.next_ts(eid.at(jan(1))).unwrap(), Some(jan(15)));
+    assert_eq!(db.previous_ts(eid.at(jan(1))).unwrap(), None);
+    assert_eq!(db.next_ts(eid.at(jan(31))).unwrap(), None);
+}
+
+#[test]
+fn section_7_4_price_increase_join() {
+    let db = db();
+    let r = run(
+        &db,
+        r#"SELECT R1/name
+           FROM doc("guide.com/restaurants")[10/01/2001]//restaurant R1,
+                doc("guide.com/restaurants")//restaurant R2
+           WHERE R1/name = R2/name AND R1/price < R2/price"#,
+    );
+    assert_eq!(
+        r.to_xml(),
+        "<results><result><name>Napoli</name></result></results>"
+    );
+}
+
+#[test]
+fn diff_operator_produces_queryable_xml() {
+    let db = db();
+    let doc = db.store().doc_id(GUIDE_URL).unwrap().unwrap();
+    let cur = db.store().current_tree(doc).unwrap();
+    let eid = Eid::new(doc, cur.node(cur.root().unwrap()).xid);
+    let script = db.diff(eid.at(jan(1)), eid.at(jan(31))).unwrap();
+    let text = temporal_xml::xml::to_string(&script);
+    // Closure (§6): the script is an XML document that parses and decodes.
+    let reparsed = temporal_xml::xml::parse_document(&text).unwrap();
+    let delta = temporal_xml::delta::delta_from_xml(&reparsed).unwrap();
+    assert!(!delta.is_empty());
+}
+
+#[test]
+fn snapshot_before_and_after_history() {
+    let db = db();
+    // Before the first version: nothing.
+    let r = run(
+        &db,
+        r#"SELECT COUNT(R) FROM doc("guide.com/restaurants")[25/12/2000]//restaurant R"#,
+    );
+    assert_eq!(r.rows[0][0].as_text(), "0");
+    // Long after the last version: the current list.
+    let r = run(
+        &db,
+        r#"SELECT R/price FROM doc("guide.com/restaurants")[01/06/2001]//restaurant R"#,
+    );
+    assert_eq!(r.to_xml(), "<results><result><price>18</price></result></results>");
+}

@@ -1,0 +1,304 @@
+//! Property-based tests over the core invariants (proptest).
+//!
+//! * parse ∘ serialize = id on arbitrary trees;
+//! * the binary codec round-trips trees exactly (including identity);
+//! * diff-then-apply-forward reproduces the target; apply-backward
+//!   restores the source; the XML delta encoding round-trips;
+//! * the temporal FTI agrees with a scan of every reconstructed snapshot;
+//! * interval algebra laws.
+
+use proptest::prelude::*;
+use temporal_xml::delta::{delta_from_xml, delta_to_xml, diff_trees};
+use temporal_xml::delta::diff::forest_identical;
+use temporal_xml::index::fti::OccKind;
+use temporal_xml::index::maint::element_signature;
+use temporal_xml::xml::codec::{decode_tree, encode_tree};
+use temporal_xml::xml::parse::parse_document;
+use temporal_xml::xml::serialize::to_string;
+use temporal_xml::xml::tree::{NodeId, Tree};
+use temporal_xml::{Database, Interval, Timestamp, VersionId, Xid};
+
+// ---------------------------------------------------------------- trees
+
+/// Strategy: a small element name.
+fn name_strategy() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["a", "b", "item", "name", "price", "x1"])
+        .prop_map(str::to_string)
+}
+
+/// Strategy: short text without XML-hostile whitespace-only content.
+fn text_strategy() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["red", "blue", "15", "18 kr", "hello world", "zz"])
+        .prop_map(str::to_string)
+}
+
+/// A recursive tree description that we turn into a real `Tree`.
+#[derive(Clone, Debug)]
+enum Spec {
+    Text(String),
+    Elem { name: String, attrs: Vec<(String, String)>, children: Vec<Spec> },
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    let leaf = prop_oneof![
+        text_strategy().prop_map(Spec::Text),
+        (name_strategy(), prop::collection::vec((Just("k".to_string()), text_strategy()), 0..2))
+            .prop_map(|(name, attrs)| Spec::Elem { name, attrs, children: vec![] }),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            name_strategy(),
+            prop::collection::vec((Just("k".to_string()), text_strategy()), 0..2),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| Spec::Elem { name, attrs, children })
+    })
+}
+
+fn build(spec: &Spec, tree: &mut Tree, parent: Option<NodeId>) {
+    match spec {
+        Spec::Text(t) => {
+            // Text nodes only under elements; also avoid adjacent text
+            // nodes (serialization would merge them).
+            if let Some(p) = parent {
+                let last_is_text = tree
+                    .node(p)
+                    .children()
+                    .last()
+                    .map(|&c| tree.node(c).text().is_some())
+                    .unwrap_or(false);
+                if !last_is_text {
+                    let id = tree.new_text(t.clone());
+                    tree.append_child(p, id);
+                }
+            }
+        }
+        Spec::Elem { name, attrs, children } => {
+            let id = tree.new_element(name.clone());
+            for (k, v) in attrs {
+                tree.set_attr(id, k.clone(), v.clone());
+            }
+            match parent {
+                Some(p) => tree.append_child(p, id),
+                None => tree.push_root(id),
+            }
+            for c in children {
+                build(c, tree, Some(id));
+            }
+        }
+    }
+}
+
+/// Builds a single-rooted tree from a spec (wrapping in `<root>`), with
+/// XIDs assigned in document order.
+fn tree_from(spec: &Spec) -> Tree {
+    let mut t = Tree::new();
+    let root = t.new_element("root");
+    t.push_root(root);
+    build(spec, &mut t, Some(root));
+    let ids: Vec<NodeId> = t.iter().collect();
+    for (i, id) in ids.iter().enumerate() {
+        t.node_mut(*id).xid = Xid(i as u64 + 1);
+        t.node_mut(*id).ts = Timestamp::from_secs(1);
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn serialize_parse_roundtrip(spec in spec_strategy()) {
+        let t = tree_from(&spec);
+        let text = to_string(&t);
+        let back = parse_document(&text).unwrap();
+        prop_assert_eq!(to_string(&back), text);
+    }
+
+    #[test]
+    fn codec_roundtrip_identical(spec in spec_strategy()) {
+        let t = tree_from(&spec);
+        let back = decode_tree(&encode_tree(&t)).unwrap();
+        prop_assert!(forest_identical(&t, &back));
+    }
+
+    #[test]
+    fn diff_apply_roundtrip(old_spec in spec_strategy(), new_spec in spec_strategy()) {
+        let old = tree_from(&old_spec);
+        let mut new = tree_from(&new_spec);
+        // New tree arrives without identity, like a fresh crawl.
+        let ids: Vec<NodeId> = new.iter().collect();
+        for id in ids {
+            new.node_mut(id).xid = Xid::NONE;
+            new.node_mut(id).ts = Timestamp::ZERO;
+        }
+        let mut next = Xid(10_000);
+        let res = diff_trees(
+            &old,
+            &mut new,
+            &mut next,
+            VersionId(0),
+            Timestamp::from_secs(1),
+            Timestamp::from_secs(2),
+        )
+        .unwrap();
+        // Forward replay reproduces the new tree exactly.
+        let mut fwd = old.clone();
+        res.delta.apply_forward(&mut fwd).unwrap();
+        prop_assert!(forest_identical(&fwd, &new));
+        // Backward replay restores the old tree exactly.
+        res.delta.apply_backward(&mut fwd).unwrap();
+        prop_assert!(forest_identical(&fwd, &old));
+    }
+
+    #[test]
+    fn delta_xml_roundtrip(old_spec in spec_strategy(), new_spec in spec_strategy()) {
+        let old = tree_from(&old_spec);
+        let mut new = tree_from(&new_spec);
+        let ids: Vec<NodeId> = new.iter().collect();
+        for id in ids {
+            new.node_mut(id).xid = Xid::NONE;
+        }
+        let mut next = Xid(10_000);
+        let res = diff_trees(
+            &old, &mut new, &mut next,
+            VersionId(0), Timestamp::from_secs(1), Timestamp::from_secs(2),
+        ).unwrap();
+        // Encode to XML text and back; the decoded delta must still apply.
+        let text = to_string(&delta_to_xml(&res.delta));
+        let reparsed = temporal_xml::xml::parse::parse_with(
+            &text,
+            temporal_xml::xml::parse::ParseOptions { keep_whitespace: true, allow_forest: true },
+        ).unwrap();
+        let decoded = delta_from_xml(&reparsed).unwrap();
+        let mut fwd = old.clone();
+        decoded.apply_forward(&mut fwd).unwrap();
+        prop_assert!(forest_identical(&fwd, &new));
+    }
+
+    #[test]
+    fn interval_laws(a in 0u64..100, b in 0u64..100, c in 0u64..100, d in 0u64..100) {
+        let i1 = Interval::new(Timestamp::from_secs(a.min(b)), Timestamp::from_secs(a.max(b)));
+        let i2 = Interval::new(Timestamp::from_secs(c.min(d)), Timestamp::from_secs(c.max(d)));
+        // Overlap is symmetric.
+        prop_assert_eq!(i1.overlaps(i2), i2.overlaps(i1));
+        // Intersection is contained in both.
+        let inter = i1.intersect(i2);
+        if !inter.is_empty() {
+            prop_assert!(i1.covers(inter));
+            prop_assert!(i2.covers(inter));
+            prop_assert!(i1.overlaps(i2));
+        } else {
+            prop_assert!(!i1.overlaps(i2));
+        }
+    }
+}
+
+// --------------------------------------------- FTI snapshot consistency
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// After an arbitrary sequence of versions, `FTI_lookup_T(w, t)` must
+    /// equal a direct scan of the reconstructed snapshot at `t`, for every
+    /// version boundary and probe word.
+    #[test]
+    fn fti_matches_reconstructed_snapshots(specs in prop::collection::vec(spec_strategy(), 2..5)) {
+        let db = Database::in_memory();
+        let mut times = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let t = tree_from(spec);
+            let ts = Timestamp::from_secs(10 + i as u64 * 10);
+            // Strip identity: the db assigns its own.
+            let mut fresh = parse_document(&to_string(&t)).unwrap();
+            let ids: Vec<NodeId> = fresh.iter().collect();
+            for id in ids {
+                fresh.node_mut(id).xid = Xid::NONE;
+            }
+            let r = db.put_tree("doc", fresh, ts).unwrap();
+            if r.changed {
+                times.push(ts);
+            }
+        }
+        let doc = db.store().doc_id("doc").unwrap().unwrap();
+        let words = ["red", "blue", "15", "hello", "zz"];
+        for &probe in &times {
+            let v = db.store().version_at(doc, probe).unwrap().unwrap();
+            let snapshot = db.store().version_tree(doc, v).unwrap();
+            for w in words {
+                let expected = snapshot
+                    .iter()
+                    .filter(|&n| snapshot.node(n).is_element())
+                    .filter(|&n| {
+                        element_signature(&snapshot, n)
+                            .iter()
+                            .any(|(tok, k)| tok == w && *k == OccKind::Word)
+                    })
+                    .count();
+                let got = db
+                    .indexes()
+                    .fti()
+                    .lookup_t(w, OccKind::Word, |d| db.store().version_at(d, probe).unwrap())
+                    .len();
+                prop_assert_eq!(got, expected, "word {} at {}", w, probe);
+            }
+        }
+    }
+}
+
+// ------------------------------------------- planner strategy equivalence
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The index-backed scan and the reconstruct-and-walk fallback must
+    /// bind exactly the same rows, over random version sequences and at
+    /// random probe times. `//tag` compiles to an index pattern;
+    /// `/*//tag` starts with a wildcard step and falls back to the tree
+    /// scan — under a single root the two paths are semantically equal
+    /// (no generated tag is ever the root element).
+    #[test]
+    fn index_and_tree_strategies_equivalent(
+        specs in prop::collection::vec(spec_strategy(), 2..5),
+        probe_sel in 0usize..4,
+    ) {
+        use temporal_xml::execute_at;
+        let db = Database::in_memory();
+        let mut times = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let t = tree_from(spec);
+            let ts = Timestamp::from_secs(10 + i as u64 * 10);
+            let mut fresh = parse_document(&to_string(&t)).unwrap();
+            let ids: Vec<NodeId> = fresh.iter().collect();
+            for id in ids {
+                fresh.node_mut(id).xid = Xid::NONE;
+            }
+            let r = db.put_tree("doc", fresh, ts).unwrap();
+            if r.changed {
+                times.push(ts);
+            }
+        }
+        prop_assume!(!times.is_empty());
+        let probe = times[probe_sel % times.len()];
+        let now = Timestamp::from_secs(1000);
+        for tag in ["item", "name", "price", "a", "b"] {
+            for spec in [format!("[{}]", probe.micros()), "[EVERY]".to_string(), String::new()] {
+                let via_index =
+                    format!(r#"SELECT R FROM doc("doc"){spec}//{tag} R"#);
+                let via_scan =
+                    format!(r#"SELECT R FROM doc("doc"){spec}/*//{tag} R"#);
+                let a = execute_at(&db, &via_index, now).unwrap();
+                let b = execute_at(&db, &via_scan, now).unwrap();
+                // Row order is unspecified (no ORDER BY in the dialect):
+                // compare as multisets.
+                let norm = |r: &temporal_xml::QueryResult| {
+                    let mut rows: Vec<String> =
+                        r.rows.iter().map(|row| format!("{row:?}")).collect();
+                    rows.sort();
+                    rows
+                };
+                prop_assert_eq!(norm(&a), norm(&b), "tag {} spec {:?}", tag, spec);
+            }
+        }
+    }
+}

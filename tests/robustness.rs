@@ -1,0 +1,109 @@
+//! Robustness: no panics on hostile input, and safe concurrent use.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use temporal_xml::xml::pattern::{PatternNode, PatternTree};
+use temporal_xml::{execute_at, Database, Timestamp};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The XML parser never panics, whatever the input; it either returns
+    /// a tree or a structured error.
+    #[test]
+    fn xml_parser_never_panics(input in ".{0,200}") {
+        let _ = temporal_xml::xml::parse_document(&input);
+    }
+
+    /// Same for input biased toward XML-ish shapes.
+    #[test]
+    fn xml_parser_never_panics_xmlish(input in "[<>/a-z \"=&;!\\[\\]-]{0,120}") {
+        let _ = temporal_xml::xml::parse_document(&input);
+    }
+
+    /// The query parser never panics.
+    #[test]
+    fn query_parser_never_panics(input in ".{0,200}") {
+        let _ = temporal_xml::parse_query(&input);
+    }
+
+    /// Query-ish input: keywords, paths, brackets.
+    #[test]
+    fn query_parser_never_panics_queryish(
+        input in "(SELECT|FROM|WHERE|doc|EVERY|NOW|R|//|/|\\[|\\]|\\(|\\)|\"x\"|=|~|==|,| |[0-9]){0,60}"
+    ) {
+        let _ = temporal_xml::parse_query(&input);
+    }
+
+    /// The full pipeline on arbitrary well-formed-ish queries against a
+    /// populated database: errors allowed, panics not.
+    #[test]
+    fn execute_never_panics(tail in "[a-z/\\*\\[\\]0-9 =\"<>]{0,40}") {
+        let db = Database::in_memory();
+        db.put("d", "<a><b>x</b></a>", Timestamp::from_secs(1)).unwrap();
+        let q = format!(r#"SELECT R FROM doc("d")//b R WHERE {tail}"#);
+        let _ = execute_at(&db, &q, Timestamp::from_secs(2));
+    }
+
+    /// Binary codec decode never panics on corrupted bytes.
+    #[test]
+    fn codec_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = temporal_xml::xml::codec::decode_tree(&bytes);
+    }
+}
+
+#[test]
+fn concurrent_readers_during_writes() {
+    let db = Arc::new(Database::in_memory());
+    let ts = |n: u64| Timestamp::from_secs(1_000 + n);
+    db.put("shared", "<g><item><v>0</v></item></g>", ts(0)).unwrap();
+
+    let pattern = PatternTree::new(PatternNode::tag("item").project());
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    // Readers: snapshot scans, history scans, reconstruction, queries.
+    let mut readers = Vec::new();
+    for r in 0..4 {
+        let db = db.clone();
+        let stop = stop.clone();
+        let pattern = pattern.clone();
+        readers.push(std::thread::spawn(move || {
+            let mut iters = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let _ = db.pattern_scan(None, &pattern).unwrap();
+                let _ = db.tpattern_scan(None, &pattern, ts(r * 7)).unwrap();
+                let _ = db.tpattern_scan_all(None, &pattern).unwrap();
+                let doc = db.store().doc_id("shared").unwrap().unwrap();
+                let _ = db.store().current_tree(doc).unwrap();
+                let _ = execute_at(
+                    &db,
+                    r#"SELECT COUNT(R) FROM doc("shared")[EVERY]//item R"#,
+                    ts(1_000),
+                )
+                .unwrap();
+                iters += 1;
+            }
+            iters
+        }));
+    }
+
+    // Writer: 40 versions while readers hammer.
+    for i in 1..=40u64 {
+        let items: String = (0..=(i % 5))
+            .map(|k| format!("<item><v>{i}.{k}</v></item>"))
+            .collect();
+        db.put("shared", &format!("<g>{items}</g>"), ts(i)).unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let mut total = 0;
+    for r in readers {
+        total += r.join().expect("reader panicked");
+    }
+    assert!(total > 0, "readers made progress");
+
+    // Post-condition: consistent final state.
+    let doc = db.store().doc_id("shared").unwrap().unwrap();
+    assert_eq!(db.store().versions(doc).unwrap().len(), 41);
+    let m = db.pattern_scan(None, &pattern).unwrap();
+    assert_eq!(m.len(), 1, "40 % 5 == 0 → one item in the last version");
+}
