@@ -50,6 +50,19 @@ pub enum Error {
     DeltaMismatch(String),
     /// The storage file is corrupt or from an incompatible version.
     Corrupt(String),
+    /// A page failed its checksum: the stored CRC32 does not match the
+    /// page contents (bit rot, torn write, or external modification).
+    Corruption {
+        /// The page number that failed verification.
+        page: u64,
+        /// The CRC32 stored in the page trailer.
+        expected: u32,
+        /// The CRC32 computed over the page contents.
+        actual: u32,
+    },
+    /// The store is open in read-only (salvage) mode; mutations are
+    /// rejected. Carries the reason the store degraded.
+    ReadOnly(String),
     /// A record or page reference is invalid.
     InvalidRef(String),
     /// The write-ahead log is corrupt past a given offset (truncated tail
@@ -80,6 +93,11 @@ impl fmt::Display for Error {
             Error::NoSuchElement(e) => write!(f, "no such element: {e}"),
             Error::DeltaMismatch(s) => write!(f, "delta does not match tree: {s}"),
             Error::Corrupt(s) => write!(f, "storage corrupt: {s}"),
+            Error::Corruption { page, expected, actual } => write!(
+                f,
+                "page {page} checksum mismatch: stored {expected:#010x}, computed {actual:#010x}"
+            ),
+            Error::ReadOnly(s) => write!(f, "store is read-only (salvage mode): {s}"),
             Error::InvalidRef(s) => write!(f, "invalid reference: {s}"),
             Error::WalCorrupt(off, s) => write!(f, "WAL corrupt at offset {off}: {s}"),
             Error::Unsupported(s) => write!(f, "unsupported operation: {s}"),
@@ -121,6 +139,8 @@ mod tests {
             Error::NoSuchElement(Eid::new(DocId(7), crate::ids::Xid(9))),
             Error::DeltaMismatch("path".into()),
             Error::Corrupt("magic".into()),
+            Error::Corruption { page: 4, expected: 0xDEAD_BEEF, actual: 0 },
+            Error::ReadOnly("wal corrupt".into()),
             Error::InvalidRef("page 9".into()),
             Error::WalCorrupt(128, "crc".into()),
             Error::Unsupported("valid time".into()),

@@ -47,7 +47,14 @@ impl Database {
         let (store, report) = DocumentStore::open(opts.store)?;
         let indexes = IndexSet::open(store.pool().clone(), opts.index)?;
         let db = Database { store, indexes };
-        db.rebuild_indexes()?;
+        if db.store.is_read_only() {
+            // Salvage mode: index whatever chains still replay. A chain
+            // that hits corruption stays unindexed — the salvage reason
+            // is already in the report, and store reads still work.
+            let _ = db.rebuild_indexes();
+        } else {
+            db.rebuild_indexes()?;
+        }
         Ok((db, report))
     }
 

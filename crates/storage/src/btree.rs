@@ -43,10 +43,10 @@ enum Node {
 }
 
 fn get_u16(b: &[u8], off: usize) -> u16 {
-    u16::from_le_bytes(b[off..off + 2].try_into().unwrap())
+    u16::from_le_bytes(b[off..off + 2].try_into().expect("fixed-width slice"))
 }
 fn get_u64(b: &[u8], off: usize) -> u64 {
-    u64::from_le_bytes(b[off..off + 8].try_into().unwrap())
+    u64::from_le_bytes(b[off..off + 8].try_into().expect("fixed-width slice"))
 }
 
 fn parse(buf: &[u8]) -> Result<Node> {
@@ -494,7 +494,7 @@ mod tests {
         let got: Vec<u32> = t
             .range(&10u32.to_be_bytes(), Some(&20u32.to_be_bytes()))
             .unwrap()
-            .map(|e| u32::from_be_bytes(e.unwrap().0.try_into().unwrap()))
+            .map(|e| u32::from_be_bytes(e.unwrap().0.try_into().expect("fixed-width slice")))
             .collect();
         assert_eq!(got, (10..20).collect::<Vec<u32>>());
         // Empty range.

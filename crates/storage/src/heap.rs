@@ -68,8 +68,8 @@ impl RecordId {
             return Err(Error::Corrupt("record id too short".into()));
         }
         Ok(RecordId {
-            page: PageId(u64::from_le_bytes(b[0..8].try_into().unwrap())),
-            slot: u16::from_le_bytes(b[8..10].try_into().unwrap()),
+            page: PageId(u64::from_le_bytes(b[0..8].try_into().expect("fixed-width slice"))),
+            slot: u16::from_le_bytes(b[8..10].try_into().expect("fixed-width slice")),
         })
     }
 }
@@ -81,13 +81,13 @@ impl std::fmt::Display for RecordId {
 }
 
 fn get_u16(b: &[u8], off: usize) -> u16 {
-    u16::from_le_bytes(b[off..off + 2].try_into().unwrap())
+    u16::from_le_bytes(b[off..off + 2].try_into().expect("fixed-width slice"))
 }
 fn put_u16(b: &mut [u8], off: usize, v: u16) {
     b[off..off + 2].copy_from_slice(&v.to_le_bytes());
 }
 fn get_u64(b: &[u8], off: usize) -> u64 {
-    u64::from_le_bytes(b[off..off + 8].try_into().unwrap())
+    u64::from_le_bytes(b[off..off + 8].try_into().expect("fixed-width slice"))
 }
 fn put_u64(b: &mut [u8], off: usize, v: u64) {
     b[off..off + 8].copy_from_slice(&v.to_le_bytes());

@@ -15,6 +15,10 @@
 //!   larger than a page (complete document versions);
 //! * [`btree`] — a B+-tree with byte-string keys, used for the document
 //!   catalog and by `txdb-index` for the persistent EID-time index;
+//! * [`vfs`] — the virtual file system every byte of file I/O goes
+//!   through: a real-disk implementation and a deterministic
+//!   fault-injecting one (torn writes, fsync-gate, transient EIO,
+//!   disk-full) for the crash-point recovery harness;
 //! * [`wal`] — a logical write-ahead log with CRC-protected records,
 //!   checkpointing and torn-tail-tolerant recovery;
 //! * [`repo`] — the §7.1 document organisation: one complete current
@@ -25,14 +29,20 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The storage engine must surface every failure as a structured error —
+// an `unwrap` here turns a detectable fault into a panic. Tests may still
+// unwrap freely.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod btree;
 pub mod buffer;
 pub mod heap;
 pub mod pager;
 pub mod repo;
+pub mod vfs;
 pub mod wal;
 
 pub use buffer::{BufferPool, BufferStats};
-pub use pager::{PageId, Pager, PAGE_SIZE};
-pub use repo::{DocumentStore, StoreOptions, VersionEntry, VersionKind};
+pub use pager::{PageId, Pager, PAGE_SIZE, PHYS_PAGE_SIZE};
+pub use repo::{DocumentStore, FsckReport, StoreOptions, VersionEntry, VersionKind};
+pub use vfs::{FaultyVfs, RealVfs, Vfs, VfsFile};

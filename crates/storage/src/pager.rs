@@ -1,8 +1,21 @@
 //! Page allocation and raw page I/O.
 //!
-//! The pager owns a linear array of 8 KiB pages backed either by a file on
-//! disk or by memory (tests and benchmarks use the memory backend; the
-//! durability tests use files). Page 0 is the **header page**:
+//! The pager owns a linear array of pages backed either by a file (via a
+//! [`Vfs`]) or by memory (tests and benchmarks use the memory backend;
+//! the durability tests use files — real or fault-injecting). Every
+//! on-disk page is a [`PHYS_PAGE_SIZE`] (8 KiB) unit whose last
+//! [`PAGE_TRAILER`] bytes hold a CRC32 of the logical payload:
+//!
+//! ```text
+//! [payload: PAGE_SIZE bytes][crc32 u32][reserved u32]
+//! ```
+//!
+//! The checksum is written on every physical write and verified on every
+//! physical read; a mismatch surfaces as [`Error::Corruption`] with the
+//! page number and both CRC values. The memory backend stores logical
+//! pages directly (no I/O boundary to protect).
+//!
+//! Page 0 is the **header page**:
 //!
 //! ```text
 //! [magic u32][format u32][free_head u64][page_count u64][roots u64 × 16]
@@ -14,23 +27,35 @@
 //!   record heap, indexes, repo metadata) persist their root page ids.
 //!
 //! All I/O goes through [`Pager::read_page`] / [`Pager::write_page`]; the
-//! buffer pool layers caching and statistics on top.
+//! buffer pool layers caching and statistics on top. File reads and
+//! writes are wrapped in [`with_retry`], so a transient EIO from the
+//! device is absorbed by a bounded retry; fsync failures are **not**
+//! retried (a failed fsync means the data may not be durable, and the
+//! caller must see that).
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use parking_lot::Mutex;
 use txdb_base::{Error, Result};
 
-/// Size of every page in bytes.
-pub const PAGE_SIZE: usize = 8192;
+use crate::vfs::{with_retry, RealVfs, Vfs, VfsFile};
+use crate::wal::crc32;
+
+/// Logical size of every page in bytes (the payload available to the
+/// heap, B+-tree and header layers).
+pub const PAGE_SIZE: usize = PHYS_PAGE_SIZE - PAGE_TRAILER;
+
+/// Physical (on-disk) size of every page in bytes.
+pub const PHYS_PAGE_SIZE: usize = 8192;
+
+/// Bytes of per-page trailer: `[crc32 u32][reserved u32]`.
+pub const PAGE_TRAILER: usize = 8;
 
 /// Number of named root slots in the header.
 pub const NUM_ROOTS: usize = 16;
 
 const MAGIC: u32 = 0x7478_4442; // "txDB"
-const FORMAT: u32 = 1;
+const FORMAT: u32 = 2; // 1 = no page checksums, 2 = CRC32 page trailer
 
 /// Identifier of a page. Page 0 is the header; [`PageId::NULL`] (= 0) is
 /// used as "no page" in on-disk pointers, which is unambiguous because the
@@ -55,17 +80,40 @@ impl std::fmt::Display for PageId {
     }
 }
 
-/// A page-sized byte buffer.
+/// A (logical) page-sized byte buffer.
 pub type PageBuf = Box<[u8]>;
 
-/// Allocates a zeroed page buffer.
+/// Allocates a zeroed logical page buffer.
 pub fn new_page() -> PageBuf {
     vec![0u8; PAGE_SIZE].into_boxed_slice()
 }
 
+/// Reads one physical page from `file`, verifies the CRC trailer, and
+/// returns the logical payload.
+fn read_phys(file: &mut dyn VfsFile, id: PageId) -> Result<PageBuf> {
+    let mut phys = [0u8; PHYS_PAGE_SIZE];
+    with_retry(|| file.read_at(id.0 * PHYS_PAGE_SIZE as u64, &mut phys))?;
+    let expected = u32::from_le_bytes(phys[PAGE_SIZE..PAGE_SIZE + 4].try_into().expect("fixed-width slice"));
+    let actual = crc32(&phys[..PAGE_SIZE]);
+    if expected != actual {
+        return Err(Error::Corruption { page: id.0, expected, actual });
+    }
+    Ok(phys[..PAGE_SIZE].to_vec().into_boxed_slice())
+}
+
+/// Writes one logical page to `file` with a freshly computed CRC trailer.
+fn write_phys(file: &mut dyn VfsFile, id: PageId, data: &[u8]) -> Result<()> {
+    debug_assert_eq!(data.len(), PAGE_SIZE);
+    let mut phys = [0u8; PHYS_PAGE_SIZE];
+    phys[..PAGE_SIZE].copy_from_slice(data);
+    phys[PAGE_SIZE..PAGE_SIZE + 4].copy_from_slice(&crc32(data).to_le_bytes());
+    with_retry(|| file.write_at(id.0 * PHYS_PAGE_SIZE as u64, &phys))?;
+    Ok(())
+}
+
 enum Backend {
     Memory(Vec<PageBuf>),
-    File { file: File, page_count: u64 },
+    File { file: Box<dyn VfsFile>, page_count: u64 },
 }
 
 struct Header {
@@ -98,15 +146,15 @@ impl Pager {
         }
     }
 
-    /// Opens (or creates) a file-backed pager.
+    /// Opens (or creates) a file-backed pager on the real file system.
     pub fn open(path: &Path) -> Result<Pager> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
-        let len = file.metadata()?.len();
+        Pager::open_with(&RealVfs, path)
+    }
+
+    /// Opens (or creates) a file-backed pager through the given [`Vfs`].
+    pub fn open_with(vfs: &dyn Vfs, path: &Path) -> Result<Pager> {
+        let mut file = vfs.open(path)?;
+        let len = file.len()?;
         if len == 0 {
             // Fresh database file.
             let header = Header { free_head: 0, page_count: 1, roots: [0; NUM_ROOTS] };
@@ -118,31 +166,29 @@ impl Pager {
             pager.flush_header()?;
             return Ok(Pager { inner: Mutex::new(pager) });
         }
-        if len % PAGE_SIZE as u64 != 0 {
+        if len % PHYS_PAGE_SIZE as u64 != 0 {
             return Err(Error::Corrupt(format!(
                 "database file length {len} is not a multiple of the page size"
             )));
         }
-        let mut buf = new_page();
-        file.seek(SeekFrom::Start(0))?;
-        file.read_exact(&mut buf)?;
-        let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
-        let format = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        let buf = read_phys(file.as_mut(), PageId(0))?;
+        let magic = u32::from_le_bytes(buf[0..4].try_into().expect("fixed-width slice"));
+        let format = u32::from_le_bytes(buf[4..8].try_into().expect("fixed-width slice"));
         if magic != MAGIC {
             return Err(Error::Corrupt("bad database magic".into()));
         }
         if format != FORMAT {
             return Err(Error::Corrupt(format!("unsupported format version {format}")));
         }
-        let free_head = u64::from_le_bytes(buf[8..16].try_into().unwrap());
-        let page_count = u64::from_le_bytes(buf[16..24].try_into().unwrap());
-        if page_count > len / PAGE_SIZE as u64 {
+        let free_head = u64::from_le_bytes(buf[8..16].try_into().expect("fixed-width slice"));
+        let page_count = u64::from_le_bytes(buf[16..24].try_into().expect("fixed-width slice"));
+        if page_count > len / PHYS_PAGE_SIZE as u64 {
             return Err(Error::Corrupt("header page_count exceeds file length".into()));
         }
         let mut roots = [0u64; NUM_ROOTS];
         for (i, r) in roots.iter_mut().enumerate() {
             let off = 24 + i * 8;
-            *r = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+            *r = u64::from_le_bytes(buf[off..off + 8].try_into().expect("fixed-width slice"));
         }
         Ok(Pager {
             inner: Mutex::new(Inner {
@@ -153,7 +199,8 @@ impl Pager {
         })
     }
 
-    /// Reads a page into a fresh buffer.
+    /// Reads a page into a fresh buffer, verifying its checksum on the
+    /// file backend.
     pub fn read_page(&self, id: PageId) -> Result<PageBuf> {
         let mut inner = self.inner.lock();
         if id.0 >= inner.header.page_count {
@@ -161,16 +208,11 @@ impl Pager {
         }
         match &mut inner.backend {
             Backend::Memory(pages) => Ok(pages[id.0 as usize].clone()),
-            Backend::File { file, .. } => {
-                let mut buf = new_page();
-                file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
-                file.read_exact(&mut buf)?;
-                Ok(buf)
-            }
+            Backend::File { file, .. } => read_phys(file.as_mut(), id),
         }
     }
 
-    /// Writes a page.
+    /// Writes a page (checksummed on the file backend).
     pub fn write_page(&self, id: PageId, data: &[u8]) -> Result<()> {
         debug_assert_eq!(data.len(), PAGE_SIZE);
         let mut inner = self.inner.lock();
@@ -185,11 +227,7 @@ impl Pager {
                 pages[id.0 as usize].copy_from_slice(data);
                 Ok(())
             }
-            Backend::File { file, .. } => {
-                file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
-                file.write_all(data)?;
-                Ok(())
-            }
+            Backend::File { file, .. } => write_phys(file.as_mut(), id, data),
         }
     }
 
@@ -203,13 +241,11 @@ impl Pager {
             // The free page stores the next free head in its first 8 bytes.
             let next = match &mut inner.backend {
                 Backend::Memory(pages) => {
-                    u64::from_le_bytes(pages[id.0 as usize][0..8].try_into().unwrap())
+                    u64::from_le_bytes(pages[id.0 as usize][0..8].try_into().expect("fixed-width slice"))
                 }
                 Backend::File { file, .. } => {
-                    let mut b = [0u8; 8];
-                    file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
-                    file.read_exact(&mut b)?;
-                    u64::from_le_bytes(b)
+                    let buf = read_phys(file.as_mut(), id)?;
+                    u64::from_le_bytes(buf[0..8].try_into().expect("fixed-width slice"))
                 }
             };
             inner.header.free_head = next;
@@ -223,27 +259,25 @@ impl Pager {
             Backend::Memory(pages) => pages.push(new_page()),
             Backend::File { file, page_count } => {
                 *page_count += 1;
-                file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
-                file.write_all(&new_page())?;
+                write_phys(file.as_mut(), id, &new_page())?;
             }
         }
         Ok(id)
     }
 
-    /// Returns a page to the free list.
+    /// Returns a page to the free list. The page is rewritten in full
+    /// (zeroed, with the next-free pointer in its first 8 bytes), which
+    /// both keeps its checksum valid and scrubs the freed contents.
     pub fn free(&self, id: PageId) -> Result<()> {
         let mut inner = self.inner.lock();
         if id.is_null() || id.0 >= inner.header.page_count {
             return Err(Error::InvalidRef(format!("free of invalid page {id}")));
         }
-        let mut first8 = [0u8; 8];
-        first8.copy_from_slice(&inner.header.free_head.to_le_bytes());
+        let mut page = new_page();
+        page[0..8].copy_from_slice(&inner.header.free_head.to_le_bytes());
         match &mut inner.backend {
-            Backend::Memory(pages) => pages[id.0 as usize][0..8].copy_from_slice(&first8),
-            Backend::File { file, .. } => {
-                file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
-                file.write_all(&first8)?;
-            }
+            Backend::Memory(pages) => pages[id.0 as usize].copy_from_slice(&page),
+            Backend::File { file, .. } => write_phys(file.as_mut(), id, &page)?,
         }
         inner.header.free_head = id.0;
         inner.header_dirty = true;
@@ -268,16 +302,36 @@ impl Pager {
         self.inner.lock().header.page_count
     }
 
-    /// Flushes the header and fsyncs the file backend.
+    /// Flushes the header and fsyncs the file backend. An fsync failure is
+    /// not retried: the data may not be durable and callers must see it.
     pub fn sync(&self) -> Result<()> {
         let mut inner = self.inner.lock();
         if inner.header_dirty {
             inner.flush_header()?;
         }
         if let Backend::File { file, .. } = &mut inner.backend {
-            file.sync_all()?;
+            file.sync()?;
         }
         Ok(())
+    }
+
+    /// Verifies the checksum of every allocated page (file backend);
+    /// returns the page ids that failed. The memory backend trivially
+    /// passes. Used by `fsck`.
+    pub fn verify_checksums(&self) -> Result<Vec<u64>> {
+        let mut inner = self.inner.lock();
+        let count = inner.header.page_count;
+        let mut bad = Vec::new();
+        if let Backend::File { file, .. } = &mut inner.backend {
+            for p in 0..count {
+                match read_phys(file.as_mut(), PageId(p)) {
+                    Ok(_) => {}
+                    Err(Error::Corruption { page, .. }) => bad.push(page),
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(bad)
     }
 }
 
@@ -294,10 +348,7 @@ impl Inner {
         }
         match &mut self.backend {
             Backend::Memory(pages) => pages[0].copy_from_slice(&buf),
-            Backend::File { file, .. } => {
-                file.seek(SeekFrom::Start(0))?;
-                file.write_all(&buf)?;
-            }
+            Backend::File { file, .. } => write_phys(file.as_mut(), PageId(0), &buf)?,
         }
         self.header_dirty = false;
         Ok(())
@@ -307,6 +358,18 @@ impl Inner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn tmpfile(tag: &str) -> std::path::PathBuf {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "txdb-pager-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("test.db")
+    }
 
     #[test]
     fn memory_allocate_write_read() {
@@ -363,10 +426,7 @@ mod tests {
 
     #[test]
     fn file_backend_persists() {
-        let dir = std::env::temp_dir().join(format!("txdb-pager-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("test.db");
-        let _ = std::fs::remove_file(&path);
+        let path = tmpfile("persist");
         let (a, b);
         {
             let p = Pager::open(&path).unwrap();
@@ -391,13 +451,70 @@ mod tests {
 
     #[test]
     fn open_rejects_garbage_file() {
-        let dir = std::env::temp_dir().join(format!("txdb-pager-bad-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("bad.db");
-        std::fs::write(&path, vec![0xFFu8; PAGE_SIZE]).unwrap();
+        let path = tmpfile("bad");
+        std::fs::write(&path, vec![0xFFu8; PHYS_PAGE_SIZE]).unwrap();
         assert!(Pager::open(&path).is_err());
         std::fs::write(&path, b"short").unwrap();
         assert!(Pager::open(&path).is_err());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_detected_as_corruption() {
+        let path = tmpfile("flip");
+        let a;
+        {
+            let p = Pager::open(&path).unwrap();
+            a = p.allocate().unwrap();
+            let mut buf = new_page();
+            buf[17] = 0x5A;
+            p.write_page(a, &buf).unwrap();
+            p.sync().unwrap();
+        }
+        // Flip one payload byte of page `a` on disk.
+        {
+            let mut data = std::fs::read(&path).unwrap();
+            let off = a.0 as usize * PHYS_PAGE_SIZE + 1234;
+            data[off] ^= 0x01;
+            std::fs::write(&path, data).unwrap();
+        }
+        let p = Pager::open(&path).unwrap();
+        match p.read_page(a) {
+            Err(Error::Corruption { page, expected, actual }) => {
+                assert_eq!(page, a.0);
+                assert_ne!(expected, actual);
+            }
+            other => panic!("expected Corruption, got {other:?}"),
+        }
+        assert_eq!(p.verify_checksums().unwrap(), vec![a.0]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn verify_checksums_clean_on_fresh_store() {
+        let path = tmpfile("verify");
+        let p = Pager::open(&path).unwrap();
+        for _ in 0..5 {
+            let id = p.allocate().unwrap();
+            p.write_page(id, &new_page()).unwrap();
+        }
+        p.sync().unwrap();
+        assert!(p.verify_checksums().unwrap().is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn faulty_vfs_transient_eio_absorbed() {
+        let vfs = crate::vfs::FaultyVfs::new(42);
+        vfs.fail_io_every(5);
+        let path = std::path::PathBuf::from("/db/data.db");
+        let p = Pager::open_with(&vfs, &path).unwrap();
+        for i in 0..20u8 {
+            let id = p.allocate().unwrap();
+            let mut buf = new_page();
+            buf[0] = i;
+            p.write_page(id, &buf).unwrap();
+            assert_eq!(p.read_page(id).unwrap()[0], i);
+        }
     }
 }

@@ -1,0 +1,651 @@
+//! Virtual file system: the storage engine's only route to disk.
+//!
+//! The pager and WAL perform all file I/O through the [`Vfs`] /
+//! [`VfsFile`] traits. Two implementations exist:
+//!
+//! * [`RealVfs`] — the real file system (`std::fs`), used by default;
+//! * [`FaultyVfs`] — a deterministic fault-injecting, fully in-memory
+//!   implementation used by the crash-point recovery harness.
+//!
+//! # Fault model
+//!
+//! `FaultyVfs` models a disk with a volatile write cache behind an fsync
+//! barrier, which is the model the engine's durability contract is
+//! written against:
+//!
+//! * every write lands in the *shadow* image (the OS page cache): reads
+//!   through any handle observe it immediately;
+//! * `sync` promotes the shadow image to the *durable* image — only
+//!   durable bytes are guaranteed to survive a crash;
+//! * a **crash** replays the pending (unsynced) writes of each file
+//!   against its durable image, but only a prefix of them, and the last
+//!   surviving write may itself be **torn** (a partial image, cut at a
+//!   4 KiB boundary for large writes). Everything after the cut is lost.
+//!
+//! On top of the crash model, the seeded schedule can inject transient
+//! EIO (the next retry succeeds — the pager and WAL wrap their I/O in
+//! [`with_retry`]), scheduled fsync failures (the fsync-gate: data that
+//! failed to sync stays volatile and may be dropped by a later crash),
+//! and disk-full (`ENOSPC`) once a byte budget is exhausted.
+//!
+//! All decisions derive from a caller-provided seed, so a failing crash
+//! point reproduces exactly.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// One open file, as seen by the pager or WAL. Implementations are
+/// stored behind the storage engine's own locks, hence `&mut self`.
+pub trait VfsFile: Send {
+    /// Reads exactly `buf.len()` bytes at `offset`.
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()>;
+
+    /// Writes all of `data` at `offset`, extending the file if needed.
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()>;
+
+    /// Writes all of `data` at the current end of the file.
+    fn append(&mut self, data: &[u8]) -> io::Result<()>;
+
+    /// Current length in bytes.
+    fn len(&mut self) -> io::Result<u64>;
+
+    /// True when the file is empty.
+    fn is_empty(&mut self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Truncates (or zero-extends) to `len` bytes.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+
+    /// Durability barrier: all prior writes survive a crash iff this
+    /// returns `Ok`.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// A file-system namespace that can open files.
+pub trait Vfs: Send + Sync {
+    /// Opens (creating if absent) the file at `path` for read/write.
+    fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+}
+
+/// True for errors worth a bounded retry (transient device hiccups).
+pub fn is_transient(e: &io::Error) -> bool {
+    e.raw_os_error() == Some(5 /* EIO */) || e.kind() == io::ErrorKind::Interrupted
+}
+
+/// Runs `op`, retrying up to twice on transient errors with a short
+/// exponential backoff. Non-transient errors and the final transient
+/// error propagate unchanged.
+pub fn with_retry<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    let mut delay = Duration::from_micros(50);
+    for attempt in 0.. {
+        match op() {
+            Err(e) if is_transient(&e) && attempt < 2 => {
+                std::thread::sleep(delay);
+                delay *= 10;
+            }
+            other => return other,
+        }
+    }
+    unreachable!("loop returns within 3 attempts")
+}
+
+// ------------------------------------------------------------- real VFS
+
+/// The production VFS: plain `std::fs` files.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RealVfs;
+
+impl Vfs for RealVfs {
+    fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+}
+
+struct RealFile(File);
+
+impl VfsFile for RealFile {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        self.0.seek(SeekFrom::Start(offset))?;
+        self.0.read_exact(buf)
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
+        self.0.seek(SeekFrom::Start(offset))?;
+        self.0.write_all(data)
+    }
+
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        self.0.seek(SeekFrom::End(0))?;
+        self.0.write_all(data)
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        Ok(self.0.metadata()?.len())
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.0.set_len(len)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+}
+
+// ----------------------------------------------------------- faulty VFS
+
+/// Write granularity at which a torn write may be cut: a file-system
+/// sector/page, deliberately smaller than the engine's 8 KiB pages so a
+/// torn page write leaves a half-old/half-new image.
+const TORN_UNIT: usize = 4096;
+
+#[derive(Clone, Debug)]
+enum PendingOp {
+    Write { offset: u64, data: Vec<u8> },
+    SetLen(u64),
+}
+
+#[derive(Default)]
+struct FileState {
+    /// Survives crashes (everything up to the last successful sync).
+    durable: Vec<u8>,
+    /// What reads observe (durable + all unsynced writes).
+    shadow: Vec<u8>,
+    /// Unsynced operations, in order, for crash replay.
+    pending: Vec<PendingOp>,
+}
+
+struct FaultState {
+    rng: u64,
+    ops: u64,
+    /// Crash once `ops` reaches this value.
+    crash_at: Option<u64>,
+    /// Every k-th op fails with a transient EIO.
+    eio_every: Option<u64>,
+    /// Remaining bytes before writes fail with ENOSPC.
+    disk_budget: Option<u64>,
+    /// Upcoming sync calls to fail (fsync-gate).
+    fail_syncs: u32,
+    /// Bumped on every crash; stale handles return errors.
+    generation: u64,
+    crash_count: u64,
+    files: HashMap<PathBuf, FileState>,
+}
+
+impl FaultState {
+    fn next_rand(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Applies the crash model: per file, replay a prefix of the pending
+    /// ops over the durable image; the cut point and tearing of the last
+    /// surviving write are seeded decisions. Invalidates all handles.
+    fn crash(&mut self) {
+        let mut paths: Vec<PathBuf> = self.files.keys().cloned().collect();
+        paths.sort(); // deterministic order regardless of hash state
+        for path in paths {
+            let n_pending = self.files[&path].pending.len();
+            let decisions: Vec<u64> = (0..n_pending).map(|_| self.next_rand()).collect();
+            let file = self.files.get_mut(&path).expect("file exists");
+            let mut image = file.durable.clone();
+            for (op, roll) in file.pending.iter().zip(decisions) {
+                match roll % 4 {
+                    // Lost: this op and everything after it never hit
+                    // the platter.
+                    0 => break,
+                    // Torn: a prefix of this write survives, nothing
+                    // after it does.
+                    1 => {
+                        if let PendingOp::Write { offset, data } = op {
+                            let cut = if data.len() > TORN_UNIT {
+                                // Cut at a sector boundary strictly
+                                // inside the write.
+                                let units = data.len().div_ceil(TORN_UNIT);
+                                (1 + (roll >> 2) as usize % (units - 1)) * TORN_UNIT
+                            } else if data.is_empty() {
+                                0
+                            } else {
+                                (roll >> 2) as usize % data.len()
+                            };
+                            apply_write(&mut image, *offset, &data[..cut.min(data.len())]);
+                        }
+                        break;
+                    }
+                    // Survived intact.
+                    _ => apply_pending(&mut image, op),
+                }
+            }
+            file.durable = image;
+            file.shadow = file.durable.clone();
+            file.pending.clear();
+        }
+        self.generation += 1;
+        self.crash_count += 1;
+        // A crash disarms the schedule: the harness reopens against the
+        // post-crash image without further faults unless it re-arms.
+        self.crash_at = None;
+        self.eio_every = None;
+        self.disk_budget = None;
+        self.fail_syncs = 0;
+    }
+}
+
+fn apply_write(image: &mut Vec<u8>, offset: u64, data: &[u8]) {
+    let end = offset as usize + data.len();
+    if image.len() < end {
+        image.resize(end, 0);
+    }
+    image[offset as usize..end].copy_from_slice(data);
+}
+
+fn apply_pending(image: &mut Vec<u8>, op: &PendingOp) {
+    match op {
+        PendingOp::Write { offset, data } => apply_write(image, *offset, data),
+        PendingOp::SetLen(len) => image.resize(*len as usize, 0),
+    }
+}
+
+/// Deterministic fault-injecting in-memory VFS (see module docs).
+/// Clones share state: keep one clone outside the store to trigger
+/// crashes and inspect the schedule while the store uses another.
+#[derive(Clone)]
+pub struct FaultyVfs {
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl std::fmt::Debug for FaultyVfs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.state.lock();
+        f.debug_struct("FaultyVfs")
+            .field("ops", &s.ops)
+            .field("crash_at", &s.crash_at)
+            .field("crash_count", &s.crash_count)
+            .finish()
+    }
+}
+
+impl FaultyVfs {
+    /// A fresh faulty VFS with an empty namespace and no armed faults.
+    pub fn new(seed: u64) -> FaultyVfs {
+        FaultyVfs {
+            state: Arc::new(Mutex::new(FaultState {
+                rng: seed ^ 0xD1B5_4A32_D192_ED03,
+                ops: 0,
+                crash_at: None,
+                eio_every: None,
+                disk_budget: None,
+                fail_syncs: 0,
+                generation: 0,
+                crash_count: 0,
+                files: HashMap::new(),
+            })),
+        }
+    }
+
+    /// Arms a crash `n` ops from now: the op that hits the limit (and
+    /// every later one) fails, and the crash model is applied to all
+    /// unsynced data at that moment.
+    pub fn crash_after_ops(&self, n: u64) {
+        let mut s = self.state.lock();
+        s.crash_at = Some(s.ops + n);
+    }
+
+    /// Makes every `k`-th VFS op fail once with a transient EIO.
+    pub fn fail_io_every(&self, k: u64) {
+        self.state.lock().eio_every = Some(k.max(2));
+    }
+
+    /// Fails the next `n` sync calls (data stays volatile).
+    pub fn fail_next_syncs(&self, n: u32) {
+        self.state.lock().fail_syncs = n;
+    }
+
+    /// Limits further writes to `bytes` before ENOSPC.
+    pub fn set_disk_budget(&self, bytes: u64) {
+        self.state.lock().disk_budget = Some(bytes);
+    }
+
+    /// Disarms every scheduled fault (does not undo a crash).
+    pub fn clear_faults(&self) {
+        let mut s = self.state.lock();
+        s.crash_at = None;
+        s.eio_every = None;
+        s.disk_budget = None;
+        s.fail_syncs = 0;
+    }
+
+    /// Crashes immediately (applies the crash model to unsynced data and
+    /// invalidates all open handles).
+    pub fn crash_now(&self) {
+        self.state.lock().crash();
+    }
+
+    /// Total VFS ops performed so far.
+    pub fn ops(&self) -> u64 {
+        self.state.lock().ops
+    }
+
+    /// Crashes triggered so far.
+    pub fn crash_count(&self) -> u64 {
+        self.state.lock().crash_count
+    }
+
+    /// Flips one bit of the *durable* image of `path` at byte `offset`
+    /// (out-of-band corruption, for checksum tests).
+    pub fn corrupt_byte(&self, path: &Path, offset: u64, xor: u8) {
+        let mut s = self.state.lock();
+        if let Some(f) = s.files.get_mut(path) {
+            if let Some(b) = f.durable.get_mut(offset as usize) {
+                *b ^= xor;
+            }
+            if let Some(b) = f.shadow.get_mut(offset as usize) {
+                *b ^= xor;
+            }
+        }
+    }
+
+    /// Size of the durable image of `path` (0 if never written).
+    pub fn durable_len(&self, path: &Path) -> u64 {
+        self.state
+            .lock()
+            .files
+            .get(path)
+            .map_or(0, |f| f.durable.len() as u64)
+    }
+}
+
+impl Vfs for FaultyVfs {
+    fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut s = self.state.lock();
+        let generation = s.generation;
+        s.files.entry(path.to_path_buf()).or_default();
+        Ok(Box::new(FaultyFile {
+            state: self.state.clone(),
+            path: path.to_path_buf(),
+            generation,
+        }))
+    }
+}
+
+struct FaultyFile {
+    state: Arc<Mutex<FaultState>>,
+    path: PathBuf,
+    generation: u64,
+}
+
+enum OpKind {
+    Read,
+    Write { bytes: u64 },
+    Sync,
+}
+
+impl FaultyFile {
+    /// The common fault prologue: handle-validity, op accounting, the
+    /// crash schedule, transient EIO, disk budget, fsync-gate.
+    fn begin_op(s: &mut FaultState, generation: u64, kind: &OpKind) -> io::Result<()> {
+        if generation != s.generation {
+            return Err(io::Error::other("simulated crash: stale file handle"));
+        }
+        s.ops += 1;
+        if let Some(limit) = s.crash_at {
+            if s.ops >= limit {
+                s.crash();
+                return Err(io::Error::other("simulated crash"));
+            }
+        }
+        if let Some(k) = s.eio_every {
+            if s.ops.is_multiple_of(k) {
+                return Err(io::Error::from_raw_os_error(5 /* EIO */));
+            }
+        }
+        match kind {
+            OpKind::Write { bytes } => {
+                if let Some(budget) = s.disk_budget.as_mut() {
+                    if *budget < *bytes {
+                        return Err(io::Error::from_raw_os_error(28 /* ENOSPC */));
+                    }
+                    *budget -= bytes;
+                }
+            }
+            OpKind::Sync => {
+                if s.fail_syncs > 0 {
+                    s.fail_syncs -= 1;
+                    return Err(io::Error::from_raw_os_error(5 /* EIO */));
+                }
+            }
+            OpKind::Read => {}
+        }
+        Ok(())
+    }
+}
+
+impl VfsFile for FaultyFile {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let mut s = self.state.lock();
+        Self::begin_op(&mut s, self.generation, &OpKind::Read)?;
+        let f = s.files.get(&self.path).expect("opened file exists");
+        let end = offset as usize + buf.len();
+        if end > f.shadow.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("read past end: {} > {}", end, f.shadow.len()),
+            ));
+        }
+        buf.copy_from_slice(&f.shadow[offset as usize..end]);
+        Ok(())
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
+        let mut s = self.state.lock();
+        Self::begin_op(&mut s, self.generation, &OpKind::Write { bytes: data.len() as u64 })?;
+        let f = s.files.get_mut(&self.path).expect("opened file exists");
+        apply_write(&mut f.shadow, offset, data);
+        f.pending.push(PendingOp::Write { offset, data: data.to_vec() });
+        Ok(())
+    }
+
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        let mut s = self.state.lock();
+        Self::begin_op(&mut s, self.generation, &OpKind::Write { bytes: data.len() as u64 })?;
+        let f = s.files.get_mut(&self.path).expect("opened file exists");
+        let offset = f.shadow.len() as u64;
+        apply_write(&mut f.shadow, offset, data);
+        f.pending.push(PendingOp::Write { offset, data: data.to_vec() });
+        Ok(())
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        let mut s = self.state.lock();
+        Self::begin_op(&mut s, self.generation, &OpKind::Read)?;
+        Ok(s.files.get(&self.path).expect("opened file exists").shadow.len() as u64)
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        let mut s = self.state.lock();
+        Self::begin_op(&mut s, self.generation, &OpKind::Write { bytes: 0 })?;
+        let f = s.files.get_mut(&self.path).expect("opened file exists");
+        f.shadow.resize(len as usize, 0);
+        f.pending.push(PendingOp::SetLen(len));
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let mut s = self.state.lock();
+        Self::begin_op(&mut s, self.generation, &OpKind::Sync)?;
+        let f = s.files.get_mut(&self.path).expect("opened file exists");
+        f.durable = f.shadow.clone();
+        f.pending.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn shadow_reads_and_sync_promote() {
+        let vfs = FaultyVfs::new(1);
+        let mut f = vfs.open(&p("/a")).unwrap();
+        f.append(b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        f.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        assert_eq!(vfs.durable_len(&p("/a")), 0, "unsynced data is volatile");
+        f.sync().unwrap();
+        assert_eq!(vfs.durable_len(&p("/a")), 5);
+    }
+
+    #[test]
+    fn crash_preserves_synced_loses_some_unsynced() {
+        for seed in 0..32u64 {
+            let vfs = FaultyVfs::new(seed);
+            let mut f = vfs.open(&p("/a")).unwrap();
+            f.append(b"durable!").unwrap();
+            f.sync().unwrap();
+            f.append(b"volatile").unwrap();
+            vfs.crash_now();
+            assert!(f.append(b"x").is_err(), "stale handle fails");
+            let mut f2 = vfs.open(&p("/a")).unwrap();
+            let n = f2.len().unwrap();
+            assert!(n >= 8, "synced prefix survives (seed {seed}, len {n})");
+            let mut buf = vec![0u8; 8];
+            f2.read_at(0, &mut buf).unwrap();
+            assert_eq!(&buf, b"durable!");
+        }
+    }
+
+    #[test]
+    fn torn_large_write_cut_at_sector() {
+        // With enough seeds, some crash leaves a strict 4 KiB-multiple
+        // prefix of an unsynced 12 KiB write.
+        let mut saw_torn = false;
+        for seed in 0..64u64 {
+            let vfs = FaultyVfs::new(seed);
+            let mut f = vfs.open(&p("/a")).unwrap();
+            f.write_at(0, &vec![0xABu8; 3 * TORN_UNIT]).unwrap();
+            vfs.crash_now();
+            let n = vfs.durable_len(&p("/a"));
+            assert!(n == 0 || n == TORN_UNIT as u64 || n == 2 * TORN_UNIT as u64 || n == 3 * TORN_UNIT as u64);
+            if n == TORN_UNIT as u64 || n == 2 * TORN_UNIT as u64 {
+                saw_torn = true;
+            }
+        }
+        assert!(saw_torn, "torn writes occur across seeds");
+    }
+
+    #[test]
+    fn eio_is_transient_and_retry_recovers() {
+        let vfs = FaultyVfs::new(7);
+        vfs.fail_io_every(3);
+        let mut f = vfs.open(&p("/a")).unwrap();
+        let mut failures = 0;
+        for i in 0..30u8 {
+            match with_retry(|| f.append(&[i])) {
+                Ok(()) => {}
+                Err(e) => {
+                    failures += 1;
+                    assert!(is_transient(&e) || e.kind() == io::ErrorKind::Other, "{e}");
+                }
+            }
+        }
+        assert_eq!(failures, 0, "bounded retry absorbs scheduled EIO");
+        // `len` is itself a faultable op: disarm before the final check.
+        vfs.clear_faults();
+        assert_eq!(f.len().unwrap(), 30);
+    }
+
+    #[test]
+    fn disk_budget_enospc() {
+        let vfs = FaultyVfs::new(3);
+        vfs.set_disk_budget(10);
+        let mut f = vfs.open(&p("/a")).unwrap();
+        f.append(b"12345").unwrap();
+        f.append(b"1234").unwrap();
+        let e = f.append(b"56").unwrap_err();
+        assert_eq!(e.raw_os_error(), Some(28));
+        // Reads still work on a full disk.
+        assert_eq!(f.len().unwrap(), 9);
+    }
+
+    #[test]
+    fn failed_sync_keeps_data_volatile() {
+        let vfs = FaultyVfs::new(9);
+        let mut f = vfs.open(&p("/a")).unwrap();
+        f.append(b"abc").unwrap();
+        vfs.fail_next_syncs(1);
+        assert!(f.sync().is_err());
+        assert_eq!(vfs.durable_len(&p("/a")), 0, "failed fsync promoted nothing");
+        // Reads still see the data (page cache semantics).
+        let mut b = [0u8; 3];
+        f.read_at(0, &mut b).unwrap();
+        assert_eq!(&b, b"abc");
+        // Second sync succeeds and promotes.
+        f.sync().unwrap();
+        assert_eq!(vfs.durable_len(&p("/a")), 3);
+    }
+
+    #[test]
+    fn crash_after_ops_fires_and_disarms() {
+        let vfs = FaultyVfs::new(11);
+        let mut f = vfs.open(&p("/a")).unwrap();
+        f.append(b"x").unwrap();
+        f.sync().unwrap();
+        vfs.crash_after_ops(3);
+        let mut failed = false;
+        for _ in 0..10 {
+            if f.append(b"y").is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "crash point reached");
+        assert_eq!(vfs.crash_count(), 1);
+        // Post-crash reopen works with faults disarmed.
+        let mut f2 = vfs.open(&p("/a")).unwrap();
+        for _ in 0..10 {
+            f2.append(b"z").unwrap();
+        }
+    }
+
+    #[test]
+    fn real_vfs_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("txdb-vfs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("real.bin");
+        let _ = std::fs::remove_file(&path);
+        let vfs = RealVfs;
+        let mut f = vfs.open(&path).unwrap();
+        f.write_at(0, b"0123456789").unwrap();
+        f.append(b"ab").unwrap();
+        assert_eq!(f.len().unwrap(), 12);
+        let mut buf = [0u8; 4];
+        f.read_at(8, &mut buf).unwrap();
+        assert_eq!(&buf, b"89ab");
+        f.set_len(10).unwrap();
+        assert_eq!(f.len().unwrap(), 10);
+        f.sync().unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -11,7 +11,12 @@ fn ts(n: u64) -> Timestamp {
 }
 
 fn tmpdir(tag: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!("txdb-it-{tag}-{}", std::process::id()));
+    // Keyed on pid *and* a per-process counter: pid alone collides when
+    // two tests in the same process pick the same tag (or the same test
+    // makes two dirs).
+    static SEQ: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+    let n = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("txdb-it-{tag}-{}-{n}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }

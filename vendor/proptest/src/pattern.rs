@@ -1,0 +1,264 @@
+//! Generator for the regex subset used as `&str` strategies.
+//!
+//! Supports the forms this workspace's tests use:
+//!
+//! * literal characters and `\x` escapes;
+//! * `.` — any printable ASCII character (plus space);
+//! * `[...]` character classes with ranges (`a-z`), escapes (`\[`),
+//!   and a literal `-` when first or last;
+//! * `(alt1|alt2|...)` alternation over sequences;
+//! * `{m,n}`, `{m,}`, `{n}`, `*`, `+`, `?` repetition of the preceding atom.
+//!
+//! Unsupported syntax is a parse error so misuse fails loudly rather
+//! than silently generating the wrong distribution. `{m,}` caps the
+//! open upper bound at `m + 32`.
+
+use crate::TestRng;
+
+/// A parsed pattern: a sequence of repeated atoms.
+#[derive(Clone, Debug)]
+pub struct Pattern {
+    seq: Vec<Rep>,
+}
+
+#[derive(Clone, Debug)]
+struct Rep {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+#[derive(Clone, Debug)]
+enum Atom {
+    Literal(char),
+    /// Any printable ASCII (0x20..=0x7E).
+    Any,
+    /// Flat list of candidate characters (ranges pre-expanded).
+    Class(Vec<char>),
+    /// Alternation of sub-sequences.
+    Group(Vec<Pattern>),
+}
+
+impl Pattern {
+    /// Parses `src`, or explains why it is outside the supported subset.
+    pub fn parse(src: &str) -> Result<Pattern, String> {
+        let mut chars: Vec<char> = src.chars().collect();
+        chars.reverse(); // pop() from the front
+        let pat = parse_seq(&mut chars, /*in_group:*/ false)?;
+        if let Some(c) = chars.pop() {
+            return Err(format!("unexpected {c:?}"));
+        }
+        Ok(pat)
+    }
+
+    /// Generates one matching string.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        self.gen_into(rng, &mut out);
+        out
+    }
+
+    fn gen_into(&self, rng: &mut TestRng, out: &mut String) {
+        for rep in &self.seq {
+            let n = rng.range(rep.min, rep.max + 1);
+            for _ in 0..n {
+                match &rep.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Any => out.push((0x20 + rng.below(0x5F) as u8) as char),
+                    Atom::Class(cs) => out.push(cs[rng.range(0, cs.len())]),
+                    Atom::Group(alts) => alts[rng.range(0, alts.len())].gen_into(rng, out),
+                }
+            }
+        }
+    }
+}
+
+fn parse_seq(chars: &mut Vec<char>, in_group: bool) -> Result<Pattern, String> {
+    let mut seq = Vec::new();
+    while let Some(&c) = chars.last() {
+        if in_group && (c == '|' || c == ')') {
+            break;
+        }
+        chars.pop();
+        let atom = match c {
+            '.' => Atom::Any,
+            '[' => Atom::Class(parse_class(chars)?),
+            '(' => Atom::Group(parse_group(chars)?),
+            '\\' => Atom::Literal(chars.pop().ok_or("trailing backslash")?),
+            ')' | '|' | '{' | '}' | '*' | '+' | '?' => {
+                return Err(format!("unexpected metacharacter {c:?}"))
+            }
+            other => Atom::Literal(other),
+        };
+        let (min, max) = parse_rep(chars)?;
+        seq.push(Rep { atom, min, max });
+    }
+    Ok(Pattern { seq })
+}
+
+fn parse_group(chars: &mut Vec<char>) -> Result<Vec<Pattern>, String> {
+    let mut alts = Vec::new();
+    loop {
+        alts.push(parse_seq(chars, true)?);
+        match chars.pop() {
+            Some('|') => continue,
+            Some(')') => return Ok(alts),
+            _ => return Err("unterminated group".into()),
+        }
+    }
+}
+
+fn parse_class(chars: &mut Vec<char>) -> Result<Vec<char>, String> {
+    let mut members = Vec::new();
+    loop {
+        let c = chars.pop().ok_or("unterminated character class")?;
+        match c {
+            ']' => break,
+            '\\' => members.push(chars.pop().ok_or("trailing backslash in class")?),
+            _ => {
+                // Range only if '-' is followed by a non-']' character.
+                if chars.last() == Some(&'-') && chars.len() >= 2 && chars[chars.len() - 2] != ']'
+                {
+                    chars.pop(); // the '-'
+                    let hi = chars.pop().unwrap();
+                    let hi = if hi == '\\' {
+                        chars.pop().ok_or("trailing backslash in class")?
+                    } else {
+                        hi
+                    };
+                    if (c as u32) > (hi as u32) {
+                        return Err(format!("inverted range {c:?}-{hi:?}"));
+                    }
+                    for u in (c as u32)..=(hi as u32) {
+                        members.push(char::from_u32(u).ok_or("bad range")?);
+                    }
+                } else {
+                    members.push(c);
+                }
+            }
+        }
+    }
+    if members.is_empty() {
+        return Err("empty character class".into());
+    }
+    Ok(members)
+}
+
+fn parse_rep(chars: &mut Vec<char>) -> Result<(usize, usize), String> {
+    match chars.last() {
+        Some('{') => {
+            chars.pop();
+            let min = parse_int(chars)?;
+            match chars.pop() {
+                Some('}') => Ok((min, min)),
+                Some(',') => {
+                    let max = if chars.last() == Some(&'}') {
+                        min + 32 // open upper bound, capped
+                    } else {
+                        parse_int(chars)?
+                    };
+                    if chars.pop() != Some('}') {
+                        return Err("unterminated repetition".into());
+                    }
+                    if max < min {
+                        return Err(format!("inverted repetition {{{min},{max}}}"));
+                    }
+                    Ok((min, max))
+                }
+                _ => Err("unterminated repetition".into()),
+            }
+        }
+        Some('*') => {
+            chars.pop();
+            Ok((0, 16))
+        }
+        Some('+') => {
+            chars.pop();
+            Ok((1, 16))
+        }
+        Some('?') => {
+            chars.pop();
+            Ok((0, 1))
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+fn parse_int(chars: &mut Vec<char>) -> Result<usize, String> {
+    let mut n: Option<usize> = None;
+    while let Some(&c) = chars.last() {
+        if let Some(d) = c.to_digit(10) {
+            chars.pop();
+            n = Some(n.unwrap_or(0) * 10 + d as usize);
+        } else {
+            break;
+        }
+    }
+    n.ok_or_else(|| "expected integer in repetition".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(pat: &str, seed: u64) -> String {
+        Pattern::parse(pat).unwrap().generate(&mut TestRng::new(seed))
+    }
+
+    #[test]
+    fn literals_and_rep() {
+        assert_eq!(sample("abc", 0), "abc");
+        let s = sample("a{3}", 1);
+        assert_eq!(s, "aaa");
+        for seed in 0..50 {
+            let s = sample("x{2,5}", seed);
+            assert!((2..=5).contains(&s.len()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn classes_with_ranges_and_escapes() {
+        for seed in 0..200 {
+            let s = sample("[<>/a-z \"=&;!\\[\\]-]{0,120}", seed);
+            assert!(s.len() <= 120);
+            for c in s.chars() {
+                assert!(
+                    "<>/ \"=&;![]-".contains(c) || c.is_ascii_lowercase(),
+                    "unexpected {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_is_printable() {
+        for seed in 0..100 {
+            for c in sample(".{0,200}", seed).chars() {
+                assert!(('\x20'..='\x7E').contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn alternation_group() {
+        let pat = "(SELECT|FROM|WHERE|doc|//|\\[|\"x\"|=|~|==|,| |[0-9]){0,60}";
+        for seed in 0..100 {
+            let s = sample(pat, seed);
+            assert!(s.len() <= 60 * 6);
+        }
+        // A single mandatory pick lands in the alternative set.
+        let one = Pattern::parse("(ab|cd)").unwrap();
+        for seed in 0..20 {
+            let s = one.generate(&mut TestRng::new(seed));
+            assert!(s == "ab" || s == "cd", "{s:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported() {
+        assert!(Pattern::parse("a{2,1}").is_err());
+        assert!(Pattern::parse("(unclosed").is_err());
+        assert!(Pattern::parse("[unclosed").is_err());
+        assert!(Pattern::parse("}stray").is_err());
+    }
+}
