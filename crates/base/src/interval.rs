@@ -24,10 +24,7 @@ pub struct Interval {
 
 impl Interval {
     /// The full transaction-time line `[ZERO, FOREVER)`.
-    pub const ALL: Interval = Interval {
-        start: Timestamp::ZERO,
-        end: Timestamp::FOREVER,
-    };
+    pub const ALL: Interval = Interval { start: Timestamp::ZERO, end: Timestamp::FOREVER };
 
     /// Creates `[start, end)`.
     #[inline]
@@ -62,10 +59,7 @@ impl Interval {
     /// The intersection (possibly empty).
     #[inline]
     pub fn intersect(self, other: Interval) -> Interval {
-        Interval {
-            start: self.start.max(other.start),
-            end: self.end.min(other.end),
-        }
+        Interval { start: self.start.max(other.start), end: self.end.min(other.end) }
     }
 
     /// True when `self` fully covers `other` (any interval covers an empty one).

@@ -79,15 +79,7 @@ impl Timestamp {
         let (y, mo, d) = civil_from_days(days);
         let secs = rem / MICROS_PER_SEC;
         let us = (rem % MICROS_PER_SEC) as u32;
-        (
-            y,
-            mo,
-            d,
-            (secs / 3600) as u32,
-            ((secs / 60) % 60) as u32,
-            (secs % 60) as u32,
-            us,
-        )
+        (y, mo, d, (secs / 3600) as u32, ((secs / 60) % 60) as u32, (secs % 60) as u32, us)
     }
 
     /// Parses a time literal in any of the formats accepted by the query
@@ -346,10 +338,7 @@ mod tests {
 
     #[test]
     fn parse_iso_date_and_datetime() {
-        assert_eq!(
-            Timestamp::parse("2001-01-26").unwrap(),
-            Timestamp::from_date(2001, 1, 26)
-        );
+        assert_eq!(Timestamp::parse("2001-01-26").unwrap(), Timestamp::from_date(2001, 1, 26));
         assert_eq!(
             Timestamp::parse("2001-01-26T13:45:10").unwrap(),
             Timestamp::from_datetime(2001, 1, 26, 13, 45, 10)
@@ -367,8 +356,16 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for bad in ["", "32/01/2001", "29/02/2001", "0/01/2001", "2001-13-01", "abc",
-                    "2001-01-26T25:00:00", "1/2/3/4"] {
+        for bad in [
+            "",
+            "32/01/2001",
+            "29/02/2001",
+            "0/01/2001",
+            "2001-13-01",
+            "abc",
+            "2001-01-26T25:00:00",
+            "1/2/3/4",
+        ] {
             assert!(Timestamp::parse(bad).is_err(), "{bad} should fail");
         }
     }

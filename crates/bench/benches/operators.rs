@@ -12,9 +12,7 @@ use txdb_xml::pattern::{PatternNode, PatternTree};
 
 fn napoli_pattern() -> PatternTree {
     PatternTree::new(
-        PatternNode::tag("restaurant")
-            .project()
-            .child(PatternNode::tag("name").word("napoli")),
+        PatternNode::tag("restaurant").project().child(PatternNode::tag("name").word("napoli")),
     )
 }
 
@@ -29,21 +27,15 @@ fn bench_pattern_scans(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("tpattern_scan", versions), &versions, |b, _| {
             b.iter(|| twin.temporal.tpattern_scan(None, &p, mid).unwrap())
         });
-        g.bench_with_input(
-            BenchmarkId::new("tpattern_scan_all", versions),
-            &versions,
-            |b, _| b.iter(|| twin.temporal.tpattern_scan_all(None, &p).unwrap()),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("stratum_scan_at", versions),
-            &versions,
-            |b, _| b.iter(|| twin.stratum.pattern_at(&p, mid)),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("stratum_scan_all", versions),
-            &versions,
-            |b, _| b.iter(|| twin.stratum.pattern_all(&p)),
-        );
+        g.bench_with_input(BenchmarkId::new("tpattern_scan_all", versions), &versions, |b, _| {
+            b.iter(|| twin.temporal.tpattern_scan_all(None, &p).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("stratum_scan_at", versions), &versions, |b, _| {
+            b.iter(|| twin.stratum.pattern_at(&p, mid))
+        });
+        g.bench_with_input(BenchmarkId::new("stratum_scan_all", versions), &versions, |b, _| {
+            b.iter(|| twin.stratum.pattern_all(&p))
+        });
     }
     g.finish();
 }
@@ -65,12 +57,7 @@ fn bench_reconstruct(c: &mut Criterion) {
         let nvers = twin.temporal.store().versions(doc).unwrap().len() as u32;
         for target in [nvers - 1, nvers / 2, 1] {
             g.bench_function(BenchmarkId::new(label, format!("v{target}")), |b| {
-                b.iter(|| {
-                    twin.temporal
-                        .store()
-                        .version_tree(doc, VersionId(target))
-                        .unwrap()
-                })
+                b.iter(|| twin.temporal.store().version_tree(doc, VersionId(target)).unwrap())
             });
         }
     }
@@ -84,10 +71,7 @@ fn bench_cretime(c: &mut Criterion) {
     let doc = db.store().list().unwrap()[0].0;
     let cur = db.store().current_tree(doc).unwrap();
     let eid = {
-        let n = cur
-            .iter()
-            .find(|&n| cur.node(n).name() == Some("restaurant"))
-            .unwrap();
+        let n = cur.iter().find(|&n| cur.node(n).name() == Some("restaurant")).unwrap();
         Eid::new(doc, cur.node(n).xid)
     };
     let teid = eid.at(*twin.times.last().unwrap());
@@ -95,9 +79,7 @@ fn bench_cretime(c: &mut Criterion) {
     g.bench_function("traverse", |b| {
         b.iter(|| db.cre_time(teid, LifetimeStrategy::Traverse).unwrap())
     });
-    g.bench_function("index", |b| {
-        b.iter(|| db.cre_time(teid, LifetimeStrategy::Index).unwrap())
-    });
+    g.bench_function("index", |b| b.iter(|| db.cre_time(teid, LifetimeStrategy::Index).unwrap()));
     g.finish();
 }
 
@@ -110,9 +92,7 @@ fn bench_version_ts(c: &mut Criterion) {
     let eid = Eid::new(doc, cur.node(cur.root().unwrap()).xid);
     let mid = twin.times[32];
     let mut g = c.benchmark_group("version_ts");
-    g.bench_function("previous_ts", |b| {
-        b.iter(|| db.previous_ts(eid.at(mid)).unwrap())
-    });
+    g.bench_function("previous_ts", |b| b.iter(|| db.previous_ts(eid.at(mid)).unwrap()));
     g.bench_function("next_ts", |b| b.iter(|| db.next_ts(eid.at(mid)).unwrap()));
     g.bench_function("current_ts", |b| b.iter(|| db.current_ts(eid).unwrap()));
     g.finish();
@@ -125,21 +105,14 @@ fn bench_history(c: &mut Criterion) {
     let doc = db.store().list().unwrap()[0].0;
     let cur = db.store().current_tree(doc).unwrap();
     let eid = {
-        let n = cur
-            .iter()
-            .find(|&n| cur.node(n).name() == Some("restaurant"))
-            .unwrap();
+        let n = cur.iter().find(|&n| cur.node(n).name() == Some("restaurant")).unwrap();
         Eid::new(doc, cur.node(n).xid)
     };
     let last16 = Interval::new(step_ts(49), txdb_base::Timestamp::FOREVER);
     let mut g = c.benchmark_group("history");
     g.sample_size(20);
-    g.bench_function("doc_history_16", |b| {
-        b.iter(|| db.doc_history(doc, last16).unwrap())
-    });
-    g.bench_function("element_history_16", |b| {
-        b.iter(|| db.element_history(eid, last16).unwrap())
-    });
+    g.bench_function("doc_history_16", |b| b.iter(|| db.doc_history(doc, last16).unwrap()));
+    g.bench_function("element_history_16", |b| b.iter(|| db.element_history(eid, last16).unwrap()));
     g.finish();
 }
 

@@ -7,16 +7,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use txdb_bench::{build_guides, GuideParams};
-use txdb_query::exec::execute_at;
 use txdb_query::parse_query;
+use txdb_query::QueryExt;
 
 fn bench_queries(c: &mut Criterion) {
-    let twin = build_guides(GuideParams {
-        docs: 10,
-        restaurants: 25,
-        versions: 16,
-        ..Default::default()
-    });
+    let twin =
+        build_guides(GuideParams { docs: 10, restaurants: 25, versions: 16, ..Default::default() });
     let db = &twin.temporal;
     let mid = twin.times[twin.times.len() / 2];
     let now = *twin.times.last().unwrap();
@@ -32,13 +28,11 @@ fn bench_queries(c: &mut Criterion) {
     let mut g = c.benchmark_group("query");
     g.sample_size(20);
     g.bench_function("parse_only", |b| b.iter(|| parse_query(q3).unwrap()));
-    g.bench_function("q1_snapshot", |b| {
-        b.iter(|| execute_at(db, &q1, now).unwrap())
-    });
+    g.bench_function("q1_snapshot", |b| b.iter(|| db.query(&q1).at(now).run().unwrap()));
     g.bench_function("q2_count_no_reconstruct", |b| {
-        b.iter(|| execute_at(db, &q2, now).unwrap())
+        b.iter(|| db.query(&q2).at(now).run().unwrap())
     });
-    g.bench_function("q3_history", |b| b.iter(|| execute_at(db, q3, now).unwrap()));
+    g.bench_function("q3_history", |b| b.iter(|| db.query(q3).at(now).run().unwrap()));
     g.finish();
 }
 
@@ -54,10 +48,8 @@ fn bench_ingest(c: &mut Criterion) {
     for items in [20usize, 100] {
         // Pre-generate a version stream so generation cost stays out of
         // the measurement.
-        let mut gen = DocGen::new(
-            DocGenConfig { items, changes_per_version: 3, ..Default::default() },
-            31,
-        );
+        let mut gen =
+            DocGen::new(DocGenConfig { items, changes_per_version: 3, ..Default::default() }, 31);
         let mut versions = vec![gen.xml()];
         for _ in 0..64 {
             versions.push(gen.step());

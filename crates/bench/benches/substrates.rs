@@ -110,11 +110,7 @@ fn bench_btree(c: &mut Criterion) {
         })
     });
     g.bench_function("range_100", |b| {
-        b.iter(|| {
-            tree.range(&5000u32.to_be_bytes(), Some(&5100u32.to_be_bytes()))
-                .unwrap()
-                .count()
-        })
+        b.iter(|| tree.range(&5000u32.to_be_bytes(), Some(&5100u32.to_be_bytes())).unwrap().count())
     });
     g.finish();
 }

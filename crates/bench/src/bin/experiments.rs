@@ -18,8 +18,7 @@ use txdb_core::{Database, DbOptions};
 use txdb_index::deltaindex::ChangeOp;
 use txdb_index::fti::OccKind;
 use txdb_index::maint::FtiMode;
-use txdb_query::exec::execute_at;
-use txdb_storage::repo::StoreOptions;
+use txdb_query::QueryExt;
 use txdb_wgen::restaurant::{figure1_versions, GUIDE_URL};
 use txdb_wgen::tdocgen::{DocGen, DocGenConfig};
 use txdb_xml::pattern::{PatternNode, PatternTree};
@@ -86,12 +85,11 @@ fn f1() {
         db.put(GUIDE_URL, &xml, ts).unwrap();
     }
     let now = Timestamp::from_date(2001, 2, 20);
-    let q1 = execute_at(
-        &db,
-        r#"SELECT R FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#,
-        now,
-    )
-    .unwrap();
+    let q1 = db
+        .query(r#"SELECT R FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#)
+        .at(now)
+        .run()
+        .unwrap();
     check(
         "Q1 snapshot 26/01 returns Napoli(15) and Akropolis(13)",
         q1.to_xml()
@@ -100,38 +98,39 @@ fn f1() {
                 <result><restaurant><name>Akropolis</name><price>13</price></restaurant></result>\
                 </results>",
     );
-    let q2 = execute_at(
-        &db,
-        r#"SELECT COUNT(R) FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#,
-        now,
-    )
-    .unwrap();
+    let q2 = db
+        .query(r#"SELECT COUNT(R) FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#)
+        .at(now)
+        .run()
+        .unwrap();
     check("Q2 count = 2", q2.rows[0][0].as_text() == "2");
     check(
         "Q2 performed zero reconstructions (the paper's delta-storage claim)",
         q2.stats.reconstructions == 0,
     );
-    let q3 = execute_at(
-        &db,
-        r#"SELECT TIME(R), R/price FROM doc("guide.com/restaurants")[EVERY]//restaurant R
-           WHERE R/name = "Napoli""#,
-        now,
-    )
-    .unwrap();
+    let q3 = db
+        .query(
+            r#"SELECT TIME(R), R/price FROM doc("guide.com/restaurants")[EVERY]//restaurant R
+               WHERE R/name = "Napoli""#,
+        )
+        .at(now)
+        .run()
+        .unwrap();
     check("Q3 price history has 3 rows (one per version)", q3.len() == 3);
     check(
         "Q3 shows 15 and 18",
         q3.to_xml().contains("<price>15</price>") && q3.to_xml().contains("<price>18</price>"),
     );
-    let q74 = execute_at(
-        &db,
-        r#"SELECT R1/name
-           FROM doc("guide.com/restaurants")[10/01/2001]//restaurant R1,
-                doc("guide.com/restaurants")//restaurant R2
-           WHERE R1/name = R2/name AND R1/price < R2/price"#,
-        now,
-    )
-    .unwrap();
+    let q74 = db
+        .query(
+            r#"SELECT R1/name
+               FROM doc("guide.com/restaurants")[10/01/2001]//restaurant R1,
+                    doc("guide.com/restaurants")//restaurant R2
+               WHERE R1/name = R2/name AND R1/price < R2/price"#,
+        )
+        .at(now)
+        .run()
+        .unwrap();
     check(
         "§7.4 price-increase join returns exactly Napoli",
         q74.to_xml() == "<results><result><name>Napoli</name></result></results>",
@@ -167,13 +166,7 @@ fn e2() {
         let t_str_now = time_us(20, || {
             std::hint::black_box(twin.stratum.pattern_current(&pattern));
         });
-        row(&[
-            versions.to_string(),
-            fmt1(t_fti),
-            fmt1(t_str),
-            fmt1(t_fti_now),
-            fmt1(t_str_now),
-        ]);
+        row(&[versions.to_string(), fmt1(t_fti), fmt1(t_str), fmt1(t_fti_now), fmt1(t_str_now)]);
     }
     println!("  (fti-now uses the open-posting lists: flat in history length)");
 }
@@ -186,22 +179,15 @@ fn e3() {
         &["versions", "count µs", "reconstr.", "recon µs", "deltas read"],
     );
     for versions in [8usize, 32, 128] {
-        let twin = build_guides(GuideParams {
-            docs: 5,
-            versions,
-            ..Default::default()
-        });
+        let twin = build_guides(GuideParams { docs: 5, versions, ..Default::default() });
         let oldest = twin.times[0];
         let now = *twin.times.last().unwrap();
-        let q = format!(
-            r#"SELECT COUNT(R) FROM doc("*")[{}]//restaurant R"#,
-            oldest.micros()
-        );
+        let q = format!(r#"SELECT COUNT(R) FROM doc("*")[{}]//restaurant R"#, oldest.micros());
         // Index-path COUNT.
-        let res = execute_at(&twin.temporal, &q, now).unwrap();
+        let res = twin.temporal.query(&q).at(now).run().unwrap();
         assert_eq!(res.stats.reconstructions, 0);
         let t_count = time_us(10, || {
-            std::hint::black_box(execute_at(&twin.temporal, &q, now).unwrap());
+            std::hint::black_box(twin.temporal.query(&q).at(now).run().unwrap());
         });
         // Reconstruct-then-count (what a system without the temporal FTI
         // must do): rebuild each doc's oldest version and match.
@@ -210,11 +196,8 @@ fn e3() {
         let t_recon = time_us(3, || {
             deltas_total = 0;
             for (d, _) in &docs {
-                let (tree, k) = twin
-                    .temporal
-                    .store()
-                    .version_tree_counted(*d, VersionId(0))
-                    .unwrap();
+                let (tree, k) =
+                    twin.temporal.store().version_tree_counted(*d, VersionId(0)).unwrap();
                 deltas_total += k;
                 std::hint::black_box(txdb_xml::pattern::match_tree(
                     &tree,
@@ -240,12 +223,11 @@ fn e4() {
         &["snapshot k", "v=255", "v=190", "v=125", "v=61", "v=0"],
     );
     for snap in [None, Some(64u32), Some(16), Some(4)] {
-        let db = Database::open(DbOptions {
-            store: StoreOptions { snapshot_every: snap, ..Default::default() },
-            ..Default::default()
-        })
-        .unwrap()
-        .0;
+        let mut opts = DbOptions::new();
+        if let Some(k) = snap {
+            opts = opts.snapshot_every(k);
+        }
+        let db = opts.open().unwrap();
         let mut gen = DocGen::new(
             DocGenConfig { items: 40, changes_per_version: 4, ..Default::default() },
             3,
@@ -309,17 +291,13 @@ fn e5() {
         .collect();
     items.sort();
     let idx = db.indexes().eid_index().unwrap();
-    for (label, pick) in [
-        ("oldest", 0usize),
-        ("median", items.len() / 2),
-        ("newest", items.len() - 1),
-    ] {
+    for (label, pick) in
+        [("oldest", 0usize), ("median", items.len() / 2), ("newest", items.len() - 1)]
+    {
         let (xid, _) = items[pick];
         let eid = Eid::new(doc, xid);
         let teid = eid.at(now);
-        let (t_create, deltas) = db
-            .cre_time_counted(teid, LifetimeStrategy::Traverse)
-            .unwrap();
+        let (t_create, deltas) = db.cre_time_counted(teid, LifetimeStrategy::Traverse).unwrap();
         let _ = idx.lifetime(eid).unwrap();
         let us_trav = time_us(5, || {
             std::hint::black_box(db.cre_time(teid, LifetimeStrategy::Traverse).unwrap());
@@ -327,13 +305,8 @@ fn e5() {
         let us_idx = time_us(50, || {
             std::hint::black_box(db.cre_time(teid, LifetimeStrategy::Index).unwrap());
         });
-        let age_versions = db
-            .store()
-            .versions(doc)
-            .unwrap()
-            .iter()
-            .filter(|e| e.ts >= t_create)
-            .count();
+        let age_versions =
+            db.store().versions(doc).unwrap().iter().filter(|e| e.ts >= t_create).count();
         row(&[
             format!("{label} ({age_versions}v)"),
             fmt1(us_trav),
@@ -351,9 +324,7 @@ fn e6() {
         &["versions", "fti µs", "stratum µs", "speedup", "rows"],
     );
     let pattern = PatternTree::new(
-        PatternNode::tag("restaurant")
-            .project()
-            .child(PatternNode::tag("name").word("napoli")),
+        PatternNode::tag("restaurant").project().child(PatternNode::tag("name").word("napoli")),
     );
     for versions in [4usize, 16, 64, 256] {
         let twin = build_guides(GuideParams { versions, ..Default::default() });
@@ -387,14 +358,11 @@ fn e7() {
         cfg: DocGenConfig { items: 40, changes_per_version: 5, ..Default::default() },
         ..Default::default()
     };
-    let snap_pattern = PatternTree::new(
-        PatternNode::tag("text").word(DocGen::word_at_rank(3)).project(),
-    );
-    for (label, mode) in [
-        ("versions", FtiMode::Versions),
-        ("deltas", FtiMode::Deltas),
-        ("both", FtiMode::Both),
-    ] {
+    let snap_pattern =
+        PatternTree::new(PatternNode::tag("text").word(DocGen::word_at_rank(3)).project());
+    for (label, mode) in
+        [("versions", FtiMode::Versions), ("deltas", FtiMode::Deltas), ("both", FtiMode::Both)]
+    {
         let build_start = std::time::Instant::now();
         let twin = build_tdocs(&params, mode);
         let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
@@ -418,20 +386,14 @@ fn e7() {
         let change_us = if matches!(mode, FtiMode::Deltas | FtiMode::Both) {
             fmt1(time_us(20, || {
                 std::hint::black_box(
-                    twin.temporal
-                        .indexes()
-                        .delta_index()
-                        .find(&word, Some(ChangeOp::Update)),
+                    twin.temporal.indexes().delta_index().find(&word, Some(ChangeOp::Update)),
                 );
             }))
         } else {
             fmt1(time_us(20, || {
                 let fti = twin.temporal.indexes().fti();
-                let hits: usize = fti
-                    .lookup_h(&word, OccKind::Word)
-                    .iter()
-                    .filter(|p| !p.is_open())
-                    .count();
+                let hits: usize =
+                    fti.lookup_h(&word, OccKind::Word).iter().filter(|p| !p.is_open()).count();
                 std::hint::black_box(hits);
             }))
         };
@@ -509,13 +471,7 @@ fn e9() {
         let t_elem = time_us(3, || {
             std::hint::black_box(db.element_history(item_eid, iv).unwrap());
         });
-        row(&[
-            format!("last {len}"),
-            n.to_string(),
-            fmt1(t_doc),
-            deltas.to_string(),
-            fmt1(t_elem),
-        ]);
+        row(&[format!("last {len}"), n.to_string(), fmt1(t_doc), deltas.to_string(), fmt1(t_elem)]);
     }
 }
 
@@ -570,12 +526,8 @@ fn e10() {
 /// E12 — end-to-end query latency for the three paper query shapes.
 fn e12() {
     println!("\n== E12: end-to-end query latency (language pipeline) ==");
-    let twin = build_guides(GuideParams {
-        docs: 10,
-        restaurants: 25,
-        versions: 32,
-        ..Default::default()
-    });
+    let twin =
+        build_guides(GuideParams { docs: 10, restaurants: 25, versions: 32, ..Default::default() });
     let db = &twin.temporal;
     let mid = twin.times[twin.times.len() / 2];
     let now = *twin.times.last().unwrap();
@@ -602,14 +554,11 @@ fn e12() {
             ),
         ),
     ];
-    header(
-        "10 docs × 25 restaurants × 32 versions",
-        &["query", "µs", "rows", "reconstr."],
-    );
+    header("10 docs × 25 restaurants × 32 versions", &["query", "µs", "rows", "reconstr."]);
     for (label, q) in &queries {
-        let res = execute_at(db, q, now).unwrap();
+        let res = db.query(q).at(now).run().unwrap();
         let us = time_us(10, || {
-            std::hint::black_box(execute_at(db, q, now).unwrap());
+            std::hint::black_box(db.query(q).at(now).run().unwrap());
         });
         row(&[
             label.to_string(),
@@ -645,14 +594,14 @@ fn e13() {
                WHERE R/name = "Golden Napoli 0" AND NOT TIME(R) < {}"#,
             horizon.micros()
         );
-        let rows = execute_at(db, &pushed, now).unwrap();
-        let check = execute_at(db, &filtered, now).unwrap();
+        let rows = db.query(&pushed).at(now).run().unwrap();
+        let check = db.query(&filtered).at(now).run().unwrap();
         assert_eq!(rows.to_xml(), check.to_xml(), "rewriting must not change results");
         let t_pushed = time_us(5, || {
-            std::hint::black_box(execute_at(db, &pushed, now).unwrap());
+            std::hint::black_box(db.query(&pushed).at(now).run().unwrap());
         });
         let t_filtered = time_us(5, || {
-            std::hint::black_box(execute_at(db, &filtered, now).unwrap());
+            std::hint::black_box(db.query(&filtered).at(now).run().unwrap());
         });
         row(&[
             versions.to_string(),

@@ -1,0 +1,113 @@
+//! Cold-vs-warm reconstruction benchmark for the materialized-version
+//! cache.
+//!
+//! Builds two identical TDocGen databases — one with the cache disabled,
+//! one with a generous budget — reconstructs the same spread of historical
+//! versions from both, and writes the timings to `BENCH_reconstruct.json`
+//! in the current directory. The warm store answers repeat reconstructions
+//! from cached materialisations (zero deltas applied); the cold store
+//! walks the full §7.3.3 delta chains every time.
+//!
+//! ```sh
+//! cargo run --release -p txdb-bench --bin reconstruct_bench
+//! ```
+
+use std::time::Instant;
+
+use txdb_base::{DocId, VersionId};
+use txdb_bench::step_ts;
+use txdb_core::{Database, DbOptions};
+use txdb_wgen::tdocgen::{DocGen, DocGenConfig};
+
+const DOCS: usize = 6;
+const VERSIONS: u64 = 64;
+const ROUNDS: usize = 20;
+
+/// Builds the TDocGen workload into a database with the given cache budget.
+fn build(cache_bytes: usize) -> Database {
+    let db = DbOptions::new().cache_bytes(cache_bytes).open().expect("open");
+    for d in 0..DOCS {
+        let mut gen = DocGen::new(
+            DocGenConfig { items: 30, changes_per_version: 4, ..Default::default() },
+            42 + d as u64,
+        );
+        let url = format!("bench{d}.example.org/doc");
+        db.put(&url, &gen.xml(), step_ts(0)).expect("put");
+        for i in 1..=VERSIONS {
+            db.put(&url, &gen.step(), step_ts(i)).expect("put");
+        }
+    }
+    db
+}
+
+/// The versions every measurement touches: old, mid and recent cuts of
+/// every document's history (old versions sit at the end of long backward
+/// delta chains — the §7.3.3 worst case).
+fn targets(db: &Database) -> Vec<(DocId, VersionId)> {
+    let mut out = Vec::new();
+    for (doc, _) in db.store().list().expect("list") {
+        let n = db.store().versions(doc).expect("versions").len() as u32;
+        for frac in [0u32, 1, 2, 3] {
+            out.push((doc, VersionId((n - 1) * frac / 4)));
+        }
+    }
+    out
+}
+
+/// Reconstructs every target `ROUNDS` times; returns (total µs, deltas).
+fn measure(db: &Database, targets: &[(DocId, VersionId)]) -> (f64, usize) {
+    let mut deltas = 0usize;
+    let start = Instant::now();
+    for _ in 0..ROUNDS {
+        for &(doc, v) in targets {
+            let (tree, k) = db.store().version_tree_counted(doc, v).expect("reconstruct");
+            deltas += k;
+            std::hint::black_box(tree);
+        }
+    }
+    (start.elapsed().as_secs_f64() * 1e6, deltas)
+}
+
+fn main() {
+    println!("== reconstruct_bench: cold (no cache) vs warm (cached) ==");
+    let cold_db = build(0);
+    let warm_db = build(64 << 20);
+    let cold_targets = targets(&cold_db);
+    let warm_targets = targets(&warm_db);
+    let reconstructions = cold_targets.len() * ROUNDS;
+
+    let (cold_us, cold_deltas) = measure(&cold_db, &cold_targets);
+
+    // Warm pass: prefetch in parallel (populates the cache), then measure
+    // repeat reconstructions — the steady state of a query session.
+    warm_db.prefetch_versions(&warm_targets);
+    let (warm_us, warm_deltas) = measure(&warm_db, &warm_targets);
+
+    let speedup = cold_us / warm_us.max(0.001);
+    let (hits, misses, inserts, evictions, invalidations) =
+        warm_db.store().vcache_stats().snapshot();
+    let resident = warm_db.store().vcache().resident_bytes();
+
+    println!(
+        "  cold: {:.0} µs total ({} reconstructions, {} deltas applied)",
+        cold_us, reconstructions, cold_deltas
+    );
+    println!(
+        "  warm: {:.0} µs total ({} reconstructions, {} deltas applied)",
+        warm_us, reconstructions, warm_deltas
+    );
+    println!("  speedup: {speedup:.1}x  (cache: {hits} hits, {misses} misses, {resident} resident bytes)");
+    if speedup < 2.0 {
+        println!("  WARNING: warm speedup below the 2x target");
+    }
+
+    let json = format!(
+        "{{\n  \"workload\": {{\n    \"generator\": \"tdocgen\",\n    \"docs\": {DOCS},\n    \"versions_per_doc\": {},\n    \"targets_per_doc\": 4,\n    \"rounds\": {ROUNDS},\n    \"reconstructions\": {reconstructions}\n  }},\n  \"cold\": {{\n    \"cache_bytes\": 0,\n    \"total_us\": {cold_us:.1},\n    \"per_reconstruction_us\": {:.2},\n    \"deltas_applied\": {cold_deltas}\n  }},\n  \"warm\": {{\n    \"cache_bytes\": {},\n    \"total_us\": {warm_us:.1},\n    \"per_reconstruction_us\": {:.2},\n    \"deltas_applied\": {warm_deltas},\n    \"cache_hits\": {hits},\n    \"cache_misses\": {misses},\n    \"cache_inserts\": {inserts},\n    \"cache_evictions\": {evictions},\n    \"cache_invalidations\": {invalidations},\n    \"resident_bytes\": {resident}\n  }},\n  \"speedup\": {speedup:.2}\n}}\n",
+        VERSIONS + 1,
+        cold_us / reconstructions as f64,
+        64u64 << 20,
+        warm_us / reconstructions as f64,
+    );
+    std::fs::write("BENCH_reconstruct.json", &json).expect("write BENCH_reconstruct.json");
+    println!("  wrote BENCH_reconstruct.json");
+}

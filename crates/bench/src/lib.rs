@@ -11,7 +11,6 @@ use std::time::Instant;
 use txdb_base::Timestamp;
 use txdb_core::{Database, DbOptions};
 use txdb_index::maint::{FtiMode, IndexConfig};
-use txdb_storage::repo::StoreOptions;
 use txdb_stratum::StratumDb;
 use txdb_wgen::restaurant::RestaurantGuide;
 use txdb_wgen::tdocgen::{DocGen, DocGenConfig};
@@ -72,19 +71,22 @@ pub fn build_guides(p: GuideParams) -> TwinDb {
     build_guides_with_mode(p, FtiMode::Versions)
 }
 
+/// The [`DbOptions`] every twin builder opens the temporal side with.
+fn twin_options(snapshot_every: Option<u32>, mode: FtiMode) -> DbOptions {
+    let mut opts = DbOptions::new().index_config(IndexConfig { fti_mode: mode, eid_index: true });
+    if let Some(k) = snapshot_every {
+        opts = opts.snapshot_every(k);
+    }
+    opts
+}
+
 /// Builds the twin databases with an explicit FTI mode (E7 ablation).
 #[allow(clippy::explicit_counter_loop)]
 pub fn build_guides_with_mode(p: GuideParams, mode: FtiMode) -> TwinDb {
-    let temporal = Database::open(DbOptions {
-        store: StoreOptions { snapshot_every: p.snapshot_every, ..Default::default() },
-        index: IndexConfig { fti_mode: mode, eid_index: true },
-    })
-    .expect("open")
-    .0;
+    let temporal = twin_options(p.snapshot_every, mode).open().expect("open");
     let mut stratum = StratumDb::new();
-    let mut gens: Vec<RestaurantGuide> = (0..p.docs)
-        .map(|i| RestaurantGuide::new(p.restaurants, p.seed + i as u64))
-        .collect();
+    let mut gens: Vec<RestaurantGuide> =
+        (0..p.docs).map(|i| RestaurantGuide::new(p.restaurants, p.seed + i as u64)).collect();
     let mut times = Vec::new();
     let mut step = 0u64;
     for round in 0..=p.versions {
@@ -131,16 +133,10 @@ impl Default for TdocParams {
 /// Builds the twin databases over the TDocGen workload.
 #[allow(clippy::explicit_counter_loop)]
 pub fn build_tdocs(p: &TdocParams, mode: FtiMode) -> TwinDb {
-    let temporal = Database::open(DbOptions {
-        store: StoreOptions { snapshot_every: p.snapshot_every, ..Default::default() },
-        index: IndexConfig { fti_mode: mode, eid_index: true },
-    })
-    .expect("open")
-    .0;
+    let temporal = twin_options(p.snapshot_every, mode).open().expect("open");
     let mut stratum = StratumDb::new();
-    let mut gens: Vec<DocGen> = (0..p.docs)
-        .map(|i| DocGen::new(p.cfg.clone(), p.seed + i as u64))
-        .collect();
+    let mut gens: Vec<DocGen> =
+        (0..p.docs).map(|i| DocGen::new(p.cfg.clone(), p.seed + i as u64)).collect();
     let mut times = Vec::new();
     let mut step = 0u64;
     for round in 0..=p.versions {
@@ -185,10 +181,7 @@ pub fn row(cols: &[String]) {
 pub fn header(title: &str, cols: &[&str]) {
     println!("\n{title}");
     row(&cols.iter().map(|c| c.to_string()).collect::<Vec<_>>());
-    println!(
-        "  {}",
-        "-".repeat(18 + 14 * (cols.len().saturating_sub(1)))
-    );
+    println!("  {}", "-".repeat(18 + 14 * (cols.len().saturating_sub(1))));
 }
 
 /// Formats a float with 1 decimal.
@@ -218,10 +211,8 @@ mod tests {
         assert_eq!(twin.stratum.doc_count(), 2);
         // Same number of stored versions on both sides (unchanged puts are
         // skipped identically).
-        let t_versions: usize = t_docs
-            .iter()
-            .map(|(d, _)| twin.temporal.store().versions(*d).unwrap().len())
-            .sum();
+        let t_versions: usize =
+            t_docs.iter().map(|(d, _)| twin.temporal.store().versions(*d).unwrap().len()).sum();
         assert_eq!(t_versions, twin.stratum.version_count());
         assert_eq!(twin.times.len(), 5);
     }

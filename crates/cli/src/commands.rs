@@ -8,8 +8,8 @@ use std::path::PathBuf;
 
 use txdb_base::{Error, Interval, Result, Timestamp, VersionId};
 use txdb_core::{Database, DbOptions};
-use txdb_query::exec::execute_at;
-use txdb_storage::repo::{StoreOptions, VersionKind};
+use txdb_query::QueryExt;
+use txdb_storage::repo::VersionKind;
 
 /// Parsed global options + subcommand tail.
 struct Cli {
@@ -47,17 +47,17 @@ fn parse_cli(args: &[String]) -> Result<Cli> {
         match args[i].as_str() {
             "--db" => {
                 i += 1;
-                db_dir = Some(PathBuf::from(args.get(i).ok_or_else(|| {
-                    Error::QueryInvalid("--db needs a directory".into())
-                })?));
+                db_dir = Some(PathBuf::from(
+                    args.get(i)
+                        .ok_or_else(|| Error::QueryInvalid("--db needs a directory".into()))?,
+                ));
             }
             "--snapshot-every" => {
                 i += 1;
-                snapshot_every = Some(
-                    args.get(i)
-                        .and_then(|v| v.parse().ok())
-                        .ok_or_else(|| Error::QueryInvalid("--snapshot-every needs a number".into()))?,
-                );
+                snapshot_every =
+                    Some(args.get(i).and_then(|v| v.parse().ok()).ok_or_else(|| {
+                        Error::QueryInvalid("--snapshot-every needs a number".into())
+                    })?);
             }
             "--help" | "-h" => {
                 return Err(Error::QueryInvalid(usage()));
@@ -112,19 +112,27 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<()> {
     if cli.command.is_empty() {
         return Err(Error::QueryInvalid(usage()));
     }
-    let (db, report) = Database::open(DbOptions {
-        store: StoreOptions {
-            path: cli.db_dir.clone(),
-            snapshot_every: cli.snapshot_every,
-            ..Default::default()
-        },
-        ..Default::default()
-    })?;
+    let mut opts = DbOptions::new();
+    if let Some(dir) = &cli.db_dir {
+        opts = opts.path(dir.clone());
+    }
+    if let Some(k) = cli.snapshot_every {
+        opts = opts.snapshot_every(k);
+    }
+    let db = opts.open()?;
+    let report = db.recovery_report();
     if report.replayed > 0 {
         writeln!(out, "(recovered {} operations from the WAL)", report.replayed)?;
     }
     if let Some(reason) = &report.salvage {
         writeln!(out, "WARNING: opened read-only (salvage mode): {reason}")?;
+        if report.unindexed_chains > 0 {
+            writeln!(
+                out,
+                "WARNING: {} document chain(s) could not be indexed",
+                report.unindexed_chains
+            )?;
+        }
     }
     let mut tail: Vec<String> = cli.command[1..].to_vec();
     match cli.command[0].as_str() {
@@ -165,10 +173,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<()> {
         }
         "log" => {
             let [name] = one(&tail, "log <name>")?;
-            let doc = db
-                .store()
-                .doc_id(name)?
-                .ok_or_else(|| Error::NoSuchDocument(name.to_string()))?;
+            let doc =
+                db.store().doc_id(name)?.ok_or_else(|| Error::NoSuchDocument(name.to_string()))?;
             for e in db.store().versions(doc)? {
                 let kind = match e.kind {
                     VersionKind::Content => {
@@ -191,10 +197,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<()> {
             let version = take_flag(&mut tail, "--version");
             let pretty = take_switch(&mut tail, "--pretty");
             let [name] = one(&tail, "cat <name>")?;
-            let doc = db
-                .store()
-                .doc_id(name)?
-                .ok_or_else(|| Error::NoSuchDocument(name.to_string()))?;
+            let doc =
+                db.store().doc_id(name)?.ok_or_else(|| Error::NoSuchDocument(name.to_string()))?;
             let tree = match (at, version) {
                 (_, Some(v)) => {
                     let v: u32 = v
@@ -214,10 +218,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<()> {
         }
         "diff" => {
             let [name, t1, t2] = three(&tail, "diff <name> <t1> <t2>")?;
-            let doc = db
-                .store()
-                .doc_id(name)?
-                .ok_or_else(|| Error::NoSuchDocument(name.to_string()))?;
+            let doc =
+                db.store().doc_id(name)?.ok_or_else(|| Error::NoSuchDocument(name.to_string()))?;
             let (t1, t2) = (Timestamp::parse(t1)?, Timestamp::parse(t2)?);
             let old = db.reconstruct_doc_at(doc, t1)?;
             let new = db.reconstruct_doc_at(doc, t2)?;
@@ -234,10 +236,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<()> {
                 .transpose()?
                 .unwrap_or(Timestamp::FOREVER);
             let [name] = one(&tail, "history <name> [--from T] [--to T]")?;
-            let doc = db
-                .store()
-                .doc_id(name)?
-                .ok_or_else(|| Error::NoSuchDocument(name.to_string()))?;
+            let doc =
+                db.store().doc_id(name)?.ok_or_else(|| Error::NoSuchDocument(name.to_string()))?;
             let history = db.doc_history(doc, Interval::new(from, to))?;
             if history.is_empty() {
                 writeln!(out, "{name}: no versions valid in [{from}, {to})")?;
@@ -283,10 +283,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<()> {
             if repair {
                 if r.torn_bytes > 0 {
                     let removed = db.store().repair_wal_tail()?;
-                    writeln!(
-                        out,
-                        "repaired: {removed} torn byte(s) truncated from the WAL tail"
-                    )?;
+                    writeln!(out, "repaired: {removed} torn byte(s) truncated from the WAL tail")?;
                 } else {
                     writeln!(out, "repaired: nothing to do (no torn tail)")?;
                 }
@@ -313,15 +310,19 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<()> {
             if let Some(eidx) = db.indexes().eid_index() {
                 writeln!(out, "eid index:        {} elements", eidx.len()?)?;
             }
+            let (hits, misses, _, evictions, invalidations) = db.store().vcache_stats().snapshot();
+            writeln!(out, "vcache entries:   {}", db.store().vcache().len())?;
+            writeln!(out, "vcache resident:  {} bytes", db.store().vcache().resident_bytes())?;
+            writeln!(out, "vcache hits:      {hits}")?;
+            writeln!(out, "vcache misses:    {misses}")?;
+            writeln!(out, "vcache evicted:   {evictions}")?;
+            writeln!(out, "vcache dropped:   {invalidations}")?;
         }
         "shell" => {
             shell(&db, out)?;
         }
         other => {
-            return Err(Error::QueryInvalid(format!(
-                "unknown command `{other}`\n{}",
-                usage()
-            )));
+            return Err(Error::QueryInvalid(format!("unknown command `{other}`\n{}", usage())));
         }
     }
     Ok(())
@@ -329,27 +330,26 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<()> {
 
 fn run_query(db: &Database, q: &str, out: &mut dyn Write) -> Result<()> {
     let start = std::time::Instant::now();
-    let r = execute_at(db, q, now())?;
+    let r = db.query(q).at(now()).run()?;
     let elapsed = start.elapsed();
     writeln!(out, "{}", r.to_xml())?;
     writeln!(
         out,
-        "-- {} row{} in {:.1} ms ({} reconstruction{})",
+        "-- {} row{} in {:.1} ms ({} reconstruction{}, {} cache hit{})",
         r.len(),
         if r.len() == 1 { "" } else { "s" },
         elapsed.as_secs_f64() * 1e3,
         r.stats.reconstructions,
         if r.stats.reconstructions == 1 { "" } else { "s" },
+        r.stats.cache_hits,
+        if r.stats.cache_hits == 1 { "" } else { "s" },
     )?;
     Ok(())
 }
 
 /// The interactive shell: queries, plus dot-commands for inspection.
 fn shell(db: &Database, out: &mut dyn Write) -> Result<()> {
-    writeln!(
-        out,
-        "txdb shell — enter a temporal query, or .help for commands"
-    )?;
+    writeln!(out, "txdb shell — enter a temporal query, or .help for commands")?;
     let stdin = std::io::stdin();
     let mut line = String::new();
     loop {
@@ -394,20 +394,16 @@ pub fn shell_line(db: &Database, input: &str, out: &mut dyn Write) -> Result<boo
         }
         _ if input.starts_with(".log ") => {
             let name = input[5..].trim();
-            let doc = db
-                .store()
-                .doc_id(name)?
-                .ok_or_else(|| Error::NoSuchDocument(name.to_string()))?;
+            let doc =
+                db.store().doc_id(name)?.ok_or_else(|| Error::NoSuchDocument(name.to_string()))?;
             for e in db.store().versions(doc)? {
                 writeln!(out, "v{:<4} {}", e.version.0, e.ts)?;
             }
         }
         _ if input.starts_with(".history ") => {
             let name = input[9..].trim();
-            let doc = db
-                .store()
-                .doc_id(name)?
-                .ok_or_else(|| Error::NoSuchDocument(name.to_string()))?;
+            let doc =
+                db.store().doc_id(name)?.ok_or_else(|| Error::NoSuchDocument(name.to_string()))?;
             for dv in db.doc_history(doc, Interval::ALL)? {
                 writeln!(
                     out,
@@ -475,12 +471,18 @@ mod tests {
         std::fs::write(&f2, "<g><r><n>Napoli</n><p>18</p></r></g>").unwrap();
         let db_s = db.to_str().unwrap();
 
-        let out = run_cmd(&["--db", db_s, "put", "guide", f1.to_str().unwrap(), "--at", "01/01/2001"]).unwrap();
+        let out =
+            run_cmd(&["--db", db_s, "put", "guide", f1.to_str().unwrap(), "--at", "01/01/2001"])
+                .unwrap();
         assert!(out.contains("stored version 0"), "{out}");
-        let out = run_cmd(&["--db", db_s, "put", "guide", f2.to_str().unwrap(), "--at", "31/01/2001"]).unwrap();
+        let out =
+            run_cmd(&["--db", db_s, "put", "guide", f2.to_str().unwrap(), "--at", "31/01/2001"])
+                .unwrap();
         assert!(out.contains("stored version 1"), "{out}");
         // Unchanged put.
-        let out = run_cmd(&["--db", db_s, "put", "guide", f2.to_str().unwrap(), "--at", "01/02/2001"]).unwrap();
+        let out =
+            run_cmd(&["--db", db_s, "put", "guide", f2.to_str().unwrap(), "--at", "01/02/2001"])
+                .unwrap();
         assert!(out.contains("unchanged"), "{out}");
 
         let out = run_cmd(&["--db", db_s, "ls"]).unwrap();
@@ -504,13 +506,9 @@ mod tests {
         assert!(out.contains("<new>18</new>"), "{out}");
 
         // query end-to-end.
-        let out = run_cmd(&[
-            "--db",
-            db_s,
-            "query",
-            r#"SELECT R/p FROM doc("guide")[15/01/2001]//r R"#,
-        ])
-        .unwrap();
+        let out =
+            run_cmd(&["--db", db_s, "query", r#"SELECT R/p FROM doc("guide")[15/01/2001]//r R"#])
+                .unwrap();
         assert!(out.contains("<p>15</p>"), "{out}");
         assert!(out.contains("1 row"), "{out}");
 
@@ -518,13 +516,13 @@ mod tests {
         let out = run_cmd(&["--db", db_s, "stats"]).unwrap();
         assert!(out.contains("documents:        1"), "{out}");
         assert!(out.contains("fti postings"), "{out}");
+        assert!(out.contains("vcache hits"), "{out}");
 
         // history range.
         let out = run_cmd(&["--db", db_s, "history", "guide", "--from", "10/01/2001"]).unwrap();
         assert!(out.contains("v1 @ 2001-01-31"), "{out}");
         assert!(out.contains("v0 @ 2001-01-01"), "{out}");
-        let out =
-            run_cmd(&["--db", db_s, "history", "guide", "--to", "01/01/1999"]).unwrap();
+        let out = run_cmd(&["--db", db_s, "history", "guide", "--to", "01/01/1999"]).unwrap();
         assert!(out.contains("no versions valid"), "{out}");
 
         // delete.
@@ -547,12 +545,7 @@ mod tests {
         assert!(!shell_line(&db, ".history d", &mut out).unwrap());
         assert!(!shell_line(&db, ".help", &mut out).unwrap());
         assert!(!shell_line(&db, ".bogus", &mut out).unwrap());
-        assert!(!shell_line(
-            &db,
-            r#"SELECT R FROM doc("d")[EVERY]//b R"#,
-            &mut out
-        )
-        .unwrap());
+        assert!(!shell_line(&db, r#"SELECT R FROM doc("d")[EVERY]//b R"#, &mut out).unwrap());
         assert!(shell_line(&db, ".quit", &mut out).unwrap());
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("d  (2 versions)"), "{text}");
@@ -570,16 +563,12 @@ mod tests {
         let f = dir.join("v.xml");
         std::fs::write(&f, "<a>x</a>").unwrap();
         let db_s = db.to_str().unwrap();
-        run_cmd(&["--db", db_s, "put", "doc", f.to_str().unwrap(), "--at", "01/01/2001"])
-            .unwrap();
+        run_cmd(&["--db", db_s, "put", "doc", f.to_str().unwrap(), "--at", "01/01/2001"]).unwrap();
         let out = run_cmd(&["--db", db_s, "fsck"]).unwrap();
         assert!(out.contains("status:           clean"), "{out}");
         assert!(out.contains("documents:        1"), "{out}");
         // Simulate a crash mid-append: garbage at the WAL tail.
-        let mut w = std::fs::OpenOptions::new()
-            .append(true)
-            .open(db.join("wal.log"))
-            .unwrap();
+        let mut w = std::fs::OpenOptions::new().append(true).open(db.join("wal.log")).unwrap();
         w.write_all(&[0xDE, 0xAD, 0xBE]).unwrap();
         drop(w);
         // A torn tail is expected crash residue, not corruption.

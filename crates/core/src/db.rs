@@ -17,13 +17,79 @@ use txdb_storage::repo::{
 };
 use txdb_xml::tree::Tree;
 
-/// Database configuration.
+/// Database configuration, built fluently and consumed by
+/// [`DbOptions::open`]:
+///
+/// ```
+/// use txdb_core::DbOptions;
+/// let db = DbOptions::new().snapshot_every(4).cache_bytes(1 << 20).open().unwrap();
+/// db.put("d", "<a>hi</a>", txdb_base::Timestamp::from_secs(1)).unwrap();
+/// ```
+///
+/// The `store`/`index` fields stay public for callers that need the full
+/// [`StoreOptions`] surface (e.g. a fault-injecting VFS).
 #[derive(Clone, Debug, Default)]
 pub struct DbOptions {
-    /// Storage options (path, buffer size, snapshot policy, WAL).
+    /// Storage options (path, buffer size, snapshot policy, WAL, cache).
     pub store: StoreOptions,
     /// Index options (§7.2 alternative, EID index).
     pub index: IndexConfig,
+}
+
+impl DbOptions {
+    /// Defaults: in-memory, no snapshots, 8 MiB version cache.
+    pub fn new() -> DbOptions {
+        DbOptions::default()
+    }
+
+    /// Options for a persistent store rooted at `path`.
+    pub fn at(path: impl Into<std::path::PathBuf>) -> DbOptions {
+        DbOptions::new().path(path)
+    }
+
+    /// Sets (or replaces) the on-disk directory of an existing builder —
+    /// for callers that decide between memory and disk at runtime;
+    /// [`DbOptions::at`] is the usual entry point.
+    pub fn path(mut self, path: impl Into<std::path::PathBuf>) -> DbOptions {
+        self.store.path = Some(path.into());
+        self
+    }
+
+    /// Materialize a complete snapshot every `k` versions (§7.3.3).
+    pub fn snapshot_every(mut self, k: u32) -> DbOptions {
+        self.store.snapshot_every = Some(k);
+        self
+    }
+
+    /// Byte budget of the materialized-version cache; `0` disables it.
+    pub fn cache_bytes(mut self, n: usize) -> DbOptions {
+        self.store.cache_bytes = n;
+        self
+    }
+
+    /// Buffer-pool capacity in pages.
+    pub fn buffer_pages(mut self, n: usize) -> DbOptions {
+        self.store.buffer_pages = n;
+        self
+    }
+
+    /// Fsync the WAL on every append.
+    pub fn wal_sync(mut self, on: bool) -> DbOptions {
+        self.store.wal_sync = on;
+        self
+    }
+
+    /// Index configuration (§7.2 alternative, EID index).
+    pub fn index_config(mut self, cfg: IndexConfig) -> DbOptions {
+        self.index = cfg;
+        self
+    }
+
+    /// Opens the database. Recovery details (WAL replay counts, salvage
+    /// state) are available afterwards via [`Database::recovery_report`].
+    pub fn open(self) -> Result<Database> {
+        Database::open(self)
+    }
 }
 
 /// The temporal XML database.
@@ -38,39 +104,46 @@ pub struct DbOptions {
 pub struct Database {
     store: DocumentStore,
     indexes: IndexSet,
+    recovery: RecoveryReport,
 }
 
 impl Database {
     /// Opens (or creates) a database; rebuilds in-memory indexes from the
-    /// stored version chains when the store already has content.
-    pub fn open(opts: DbOptions) -> Result<(Database, RecoveryReport)> {
-        let (store, report) = DocumentStore::open(opts.store)?;
+    /// stored version chains when the store already has content. What
+    /// recovery did (WAL replay counts, salvage state, chains that could
+    /// not be re-indexed) is kept on the handle — see
+    /// [`Database::recovery_report`].
+    pub fn open(opts: DbOptions) -> Result<Database> {
+        let (store, mut report) = DocumentStore::open(opts.store)?;
         let indexes = IndexSet::open(store.pool().clone(), opts.index)?;
-        let db = Database { store, indexes };
+        let mut db = Database { store, indexes, recovery: RecoveryReport::default() };
         if db.store.is_read_only() {
             // Salvage mode: index whatever chains still replay. A chain
-            // that hits corruption stays unindexed — the salvage reason
-            // is already in the report, and store reads still work.
-            let _ = db.rebuild_indexes();
+            // that hits corruption stays unindexed (store reads still
+            // work); the count is recorded so the caller can tell how
+            // much of the database is unqueryable through the indexes.
+            report.unindexed_chains = db.rebuild_indexes_salvage();
         } else {
             db.rebuild_indexes()?;
         }
-        Ok((db, report))
+        db.recovery = report;
+        Ok(db)
+    }
+
+    /// What recovery did when this handle was opened.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
     }
 
     /// Fresh in-memory database with default options.
     pub fn in_memory() -> Database {
-        Database::open(DbOptions::default()).expect("in-memory open").0
+        DbOptions::new().open().expect("in-memory open")
     }
 
     /// In-memory database with a snapshot policy (§7.3.3).
+    #[deprecated(since = "0.2.0", note = "use DbOptions::new().snapshot_every(k).open()")]
     pub fn in_memory_with_snapshots(every: u32) -> Database {
-        Database::open(DbOptions {
-            store: StoreOptions { snapshot_every: Some(every), ..Default::default() },
-            ..Default::default()
-        })
-        .expect("in-memory open")
-        .0
+        DbOptions::new().snapshot_every(every).open().expect("in-memory open")
     }
 
     /// The underlying document store.
@@ -99,8 +172,14 @@ impl Database {
             .unwrap_or(false);
         let r = self.store.put_tree(name, tree, ts)?;
         if r.changed {
-            self.indexes
-                .on_put(r.doc, r.version, r.ts, &r.new_tree, r.delta.as_ref(), resurrected)?;
+            self.indexes.on_put(
+                r.doc,
+                r.version,
+                r.ts,
+                &r.new_tree,
+                r.delta.as_ref(),
+                resurrected,
+            )?;
         }
         Ok(r)
     }
@@ -135,48 +214,62 @@ impl Database {
     /// version chain (used at open; also handy in tests).
     pub fn rebuild_indexes(&self) -> Result<()> {
         for (doc, _) in self.store.list()? {
-            let entries = self.store.versions(doc)?;
-            let mut prev_tombstone = false;
-            // The first content version after a vacuumed (purged) prefix
-            // must be indexed from scratch: its delta describes a change
-            // against a version that was never indexed.
-            let mut need_full = true;
-            for e in &entries {
-                match e.kind {
-                    // Purged versions have no payload to index; history
-                    // lookups at their times already return nothing.
-                    VersionKind::Purged => {
-                        need_full = true;
-                    }
-                    VersionKind::Tombstone => {
-                        // The tree current before the tombstone:
-                        let prev = entries[..e.version.0 as usize]
-                            .iter()
-                            .rev()
-                            .find(|p| p.kind == VersionKind::Content)
-                            .expect("tombstone follows content");
-                        let old_tree = self.store.version_tree(doc, prev.version)?;
-                        self.indexes.on_delete(doc, e.version, e.ts, &old_tree)?;
-                        prev_tombstone = true;
-                    }
-                    VersionKind::Content => {
-                        let tree = self.store.version_tree(doc, e.version)?;
-                        let delta = if need_full {
-                            None
-                        } else {
-                            self.store.delta(doc, e.version)?
-                        };
-                        self.indexes.on_put(
-                            doc,
-                            e.version,
-                            e.ts,
-                            &tree,
-                            delta.as_ref(),
-                            prev_tombstone,
-                        )?;
-                        prev_tombstone = false;
-                        need_full = false;
-                    }
+            self.rebuild_doc_indexes(doc)?;
+        }
+        Ok(())
+    }
+
+    /// Salvage-mode index rebuild: replays whatever chains still replay
+    /// and counts the ones that hit corruption instead of failing the
+    /// open. Returns the number of skipped (unindexed) chains.
+    fn rebuild_indexes_salvage(&self) -> usize {
+        let Ok(docs) = self.store.list() else {
+            // The catalog itself is unreadable: nothing indexed, and the
+            // salvage reason in the report already says why.
+            return 0;
+        };
+        docs.iter().filter(|(doc, _)| self.rebuild_doc_indexes(*doc).is_err()).count()
+    }
+
+    /// Replays one document's version chain into the in-memory indexes.
+    fn rebuild_doc_indexes(&self, doc: DocId) -> Result<()> {
+        let entries = self.store.versions(doc)?;
+        let mut prev_tombstone = false;
+        // The first content version after a vacuumed (purged) prefix
+        // must be indexed from scratch: its delta describes a change
+        // against a version that was never indexed.
+        let mut need_full = true;
+        for e in &entries {
+            match e.kind {
+                // Purged versions have no payload to index; history
+                // lookups at their times already return nothing.
+                VersionKind::Purged => {
+                    need_full = true;
+                }
+                VersionKind::Tombstone => {
+                    // The tree current before the tombstone:
+                    let prev = entries[..e.version.0 as usize]
+                        .iter()
+                        .rev()
+                        .find(|p| p.kind == VersionKind::Content)
+                        .expect("tombstone follows content");
+                    let old_tree = self.store.version_tree(doc, prev.version)?;
+                    self.indexes.on_delete(doc, e.version, e.ts, &old_tree)?;
+                    prev_tombstone = true;
+                }
+                VersionKind::Content => {
+                    let tree = self.store.version_tree(doc, e.version)?;
+                    let delta = if need_full { None } else { self.store.delta(doc, e.version)? };
+                    self.indexes.on_put(
+                        doc,
+                        e.version,
+                        e.ts,
+                        &tree,
+                        delta.as_ref(),
+                        prev_tombstone,
+                    )?;
+                    prev_tombstone = false;
+                    need_full = false;
                 }
             }
         }
@@ -221,19 +314,17 @@ mod tests {
     fn reopen_rebuilds_fti() {
         let dir = std::env::temp_dir().join(format!("txdb-db-reopen-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let opts = DbOptions {
-            store: StoreOptions { path: Some(dir.clone()), ..Default::default() },
-            ..Default::default()
-        };
+        let opts = DbOptions::at(&dir);
         {
-            let (db, _) = Database::open(opts.clone()).unwrap();
+            let db = opts.clone().open().unwrap();
             db.put("g", "<a><b>alpha</b></a>", ts(1)).unwrap();
             db.put("g", "<a><b>beta</b></a>", ts(2)).unwrap();
             db.put("h", "<x>gamma</x>", ts(3)).unwrap();
             db.delete("h", ts(4)).unwrap();
             db.checkpoint().unwrap();
         }
-        let (db, _) = Database::open(opts).unwrap();
+        let db = opts.open().unwrap();
+        assert_eq!(db.recovery_report().unindexed_chains, 0);
         let fti = db.indexes().fti();
         assert_eq!(fti.lookup("beta", OccKind::Word).len(), 1);
         assert_eq!(fti.lookup("alpha", OccKind::Word).len(), 0);

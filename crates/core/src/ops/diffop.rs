@@ -28,7 +28,13 @@ impl Database {
 
     /// `Diff` between two already-reconstructed trees (used by the query
     /// executor when operands are computed expressions).
-    pub fn diff_trees_xml(&self, old: &Tree, new: Tree, t1: Timestamp, t2: Timestamp) -> Result<Tree> {
+    pub fn diff_trees_xml(
+        &self,
+        old: &Tree,
+        new: Tree,
+        t1: Timestamp,
+        t2: Timestamp,
+    ) -> Result<Tree> {
         diff_subtrees(old, new, t1, t2)
     }
 }
@@ -60,12 +66,8 @@ mod tests {
     #[test]
     fn diff_two_versions_of_same_element() {
         let db = Database::in_memory();
-        let doc = db
-            .put("d", "<r><name>Napoli</name><price>15</price></r>", ts(10))
-            .unwrap()
-            .doc;
-        db.put("d", "<r><name>Napoli</name><price>18</price></r>", ts(20))
-            .unwrap();
+        let doc = db.put("d", "<r><name>Napoli</name><price>15</price></r>", ts(10)).unwrap().doc;
+        db.put("d", "<r><name>Napoli</name><price>18</price></r>", ts(20)).unwrap();
         let cur = db.store().current_tree(doc).unwrap();
         let eid = Eid::new(doc, cur.node(cur.root().unwrap()).xid);
         let script = db.diff(eid.at(ts(10)), eid.at(ts(20))).unwrap();

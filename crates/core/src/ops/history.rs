@@ -53,30 +53,26 @@ impl Database {
     /// `Reconstruct` with the number of deltas applied (cost metric E4).
     pub fn reconstruct_counted(&self, teid: Teid) -> Result<(Tree, usize)> {
         let doc = teid.doc();
-        let v = self
-            .store()
-            .version_at(doc, teid.ts)?
-            .ok_or(Error::NotValidAt(doc, teid.ts))?;
+        let v = self.store().version_at(doc, teid.ts)?.ok_or(Error::NotValidAt(doc, teid.ts))?;
         let (tree, applied) = self.store().version_tree_counted(doc, v)?;
-        let node = tree
-            .find_xid(teid.xid())
-            .ok_or(Error::NoSuchElement(teid.eid))?;
+        let node = tree.find_xid(teid.xid()).ok_or(Error::NoSuchElement(teid.eid))?;
         Ok((tree.extract_subtree(node), applied))
     }
 
     /// Reconstructs the *whole document* version valid at `ts`.
     pub fn reconstruct_doc_at(&self, doc: txdb_base::DocId, ts: Timestamp) -> Result<Tree> {
-        let v = self
-            .store()
-            .version_at(doc, ts)?
-            .ok_or(Error::NotValidAt(doc, ts))?;
+        let v = self.store().version_at(doc, ts)?.ok_or(Error::NotValidAt(doc, ts))?;
         self.store().version_tree(doc, v)
     }
 
     /// `DocHistory(document, t1, t2)` — all versions valid in `[t1, t2)`,
     /// most recent first (§7.3.4). A version is "valid in the interval"
     /// when its validity interval overlaps it.
-    pub fn doc_history(&self, doc: txdb_base::DocId, interval: Interval) -> Result<Vec<DocVersion>> {
+    pub fn doc_history(
+        &self,
+        doc: txdb_base::DocId,
+        interval: Interval,
+    ) -> Result<Vec<DocVersion>> {
         Ok(self.doc_history_counted(doc, interval)?.0)
     }
 
@@ -93,10 +89,8 @@ impl Database {
             if e.kind != VersionKind::Content {
                 continue;
             }
-            let end = entries
-                .get(e.version.0 as usize + 1)
-                .map(|n| n.ts)
-                .unwrap_or(Timestamp::FOREVER);
+            let end =
+                entries.get(e.version.0 as usize + 1).map(|n| n.ts).unwrap_or(Timestamp::FOREVER);
             if Interval::new(e.ts, end).overlaps(interval) {
                 in_range.push((e.version, e.ts));
             }
@@ -106,11 +100,23 @@ impl Database {
         };
         // Reconstruct the newest once, then walk backwards one delta per
         // earlier version ("reconstructed the versions between t1 and t2
-        // in the same way, using snapshots when possible").
+        // in the same way, using snapshots when possible"). The
+        // materialized-version cache makes the walk cheaper still: each
+        // target version is looked up before its deltas are read, so a
+        // warm walk costs zero deltas, and every version materialized
+        // here is offered back to the cache for later point queries.
         let (mut tree, mut deltas_read) = self.store().version_tree_counted(doc, newest)?;
         let mut out = Vec::with_capacity(in_range.len());
         let mut cursor = newest;
         for &(v, ts) in in_range.iter().rev() {
+            // Seed from the cache when the target version is resident —
+            // cheaper than reading the `cursor - v` deltas in between.
+            if cursor > v {
+                if let Some(cached) = self.store().cached_version(doc, v) {
+                    tree = cached;
+                    cursor = v;
+                }
+            }
             // Move the working tree from `cursor` down to `v`.
             while cursor > v {
                 let entry = &entries[cursor.0 as usize];
@@ -124,9 +130,40 @@ impl Database {
                 }
                 cursor = VersionId(cursor.0 - 1);
             }
+            self.store().cache_version(doc, v, &tree);
             out.push(DocVersion { version: v, ts, tree: tree.clone() });
         }
         Ok((out, deltas_read))
+    }
+
+    /// `DocHistory` over many documents at once, one document per worker
+    /// of the scan pool (the store is multi-reader; no document's walk
+    /// depends on another's). Results come back in input order.
+    pub fn doc_histories(
+        &self,
+        docs: &[txdb_base::DocId],
+        interval: Interval,
+    ) -> Result<Vec<(txdb_base::DocId, Vec<DocVersion>)>> {
+        super::parallel::parallel_map(docs, |&doc| {
+            self.doc_history(doc, interval).map(|h| (doc, h))
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Warms the materialized-version cache for a batch of
+    /// `(doc, version)` reconstruction targets on the scan worker pool.
+    /// Query execution calls this before a multi-document tree scan so
+    /// the per-row reconstructions that follow hit the cache. A no-op
+    /// when the cache is disabled (there would be nowhere to keep the
+    /// result). Unknown versions are skipped, not errors.
+    pub fn prefetch_versions(&self, targets: &[(txdb_base::DocId, VersionId)]) {
+        if self.store().vcache().is_disabled() || targets.is_empty() {
+            return;
+        }
+        super::parallel::parallel_map(targets, |&(doc, v)| {
+            let _ = self.store().version_tree_counted(doc, v);
+        });
     }
 
     /// `ElementHistory(EID, t1, t2)` — all versions of the element valid in
@@ -246,7 +283,11 @@ mod tests {
 
     #[test]
     fn doc_history_incremental_cost() {
-        let (db, doc) = versioned_db();
+        // Cache disabled: this test pins the *cold* §7.3.4 cost model.
+        let db = crate::db::DbOptions::new().cache_bytes(0).open().unwrap();
+        let doc = db.put("d", "<a><p>1</p></a>", ts(10)).unwrap().doc;
+        db.put("d", "<a><p>2</p></a>", ts(20)).unwrap();
+        db.put("d", "<a><p>3</p></a>", ts(30)).unwrap();
         // Full history from the current version: v2 costs 0, then one
         // delta per earlier version ⇒ 2 total.
         let (_, deltas) = db.doc_history_counted(doc, Interval::ALL).unwrap();
@@ -254,6 +295,28 @@ mod tests {
         // Only the oldest version: reconstruct backwards through 2 deltas.
         let (_, deltas) = db.doc_history_counted(doc, iv(10, 11)).unwrap();
         assert_eq!(deltas, 2);
+    }
+
+    #[test]
+    fn warm_history_walk_costs_no_deltas() {
+        let (db, doc) = versioned_db();
+        let (cold, deltas) = db.doc_history_counted(doc, Interval::ALL).unwrap();
+        assert_eq!(deltas, 2);
+        // Every version materialized by the walk is now cached: the same
+        // walk again reads nothing.
+        let (warm, deltas) = db.doc_history_counted(doc, Interval::ALL).unwrap();
+        assert_eq!(deltas, 0, "warm walk seeds every version from the cache");
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.version, w.version);
+            assert_eq!(to_string(&c.tree), to_string(&w.tree));
+        }
+        // A point reconstruction of an old version is free too.
+        let (_, applied) = db.store().version_tree_counted(doc, VersionId(0)).unwrap();
+        assert_eq!(applied, 0);
+        // ...and a write invalidates: the next walk pays again.
+        db.put("d", "<a><p>4</p></a>", ts(40)).unwrap();
+        let (_, deltas) = db.doc_history_counted(doc, iv(10, 11)).unwrap();
+        assert!(deltas > 0, "cache invalidated by put");
     }
 
     #[test]
@@ -274,10 +337,7 @@ mod tests {
     fn element_history_coalesces_unchanged() {
         let db = Database::in_memory();
         // name never changes; price changes twice.
-        let doc = db
-            .put("d", "<g><n>Napoli</n><p>15</p></g>", ts(10))
-            .unwrap()
-            .doc;
+        let doc = db.put("d", "<g><n>Napoli</n><p>15</p></g>", ts(10)).unwrap().doc;
         db.put("d", "<g><n>Napoli</n><p>18</p></g>", ts(20)).unwrap();
         db.put("d", "<g><n>Napoli</n><p>21</p></g>", ts(30)).unwrap();
         let cur = db.store().current_tree(doc).unwrap();
@@ -321,7 +381,7 @@ mod tests {
 
     #[test]
     fn snapshots_reduce_history_cost() {
-        let db = Database::in_memory_with_snapshots(4);
+        let db = crate::db::DbOptions::new().snapshot_every(4).open().unwrap();
         for i in 0..16u64 {
             db.put("d", &format!("<a><v>{i}</v></a>"), ts(10 + i)).unwrap();
         }

@@ -50,9 +50,7 @@ impl Database {
                     .indexes()
                     .eid_index()
                     .ok_or_else(|| Error::Unsupported("EID-time index disabled".into()))?;
-                let lt = idx
-                    .lifetime(teid.eid)?
-                    .ok_or(Error::NoSuchElement(teid.eid))?;
+                let lt = idx.lifetime(teid.eid)?.ok_or(Error::NoSuchElement(teid.eid))?;
                 Ok((lt.created, 0))
             }
             LifetimeStrategy::Traverse => {
@@ -117,9 +115,7 @@ impl Database {
                     .indexes()
                     .eid_index()
                     .ok_or_else(|| Error::Unsupported("EID-time index disabled".into()))?;
-                let lt = idx
-                    .lifetime(teid.eid)?
-                    .ok_or(Error::NoSuchElement(teid.eid))?;
+                let lt = idx.lifetime(teid.eid)?.ok_or(Error::NoSuchElement(teid.eid))?;
                 Ok((lt.deleted, 0))
             }
             LifetimeStrategy::Traverse => {
@@ -164,9 +160,7 @@ impl Database {
 /// Does the delta introduce `xid` (as an inserted subtree member)?
 fn delta_inserts(delta: &txdb_delta::Delta, xid: txdb_base::Xid) -> bool {
     delta.ops.iter().any(|op| match op {
-        EditOp::InsertSubtree { subtree, .. } => {
-            subtree.iter().any(|n| subtree.node(n).xid == xid)
-        }
+        EditOp::InsertSubtree { subtree, .. } => subtree.iter().any(|n| subtree.node(n).xid == xid),
         _ => false,
     })
 }
@@ -174,9 +168,7 @@ fn delta_inserts(delta: &txdb_delta::Delta, xid: txdb_base::Xid) -> bool {
 /// Does the delta remove `xid` (as a deleted subtree member)?
 fn delta_deletes(delta: &txdb_delta::Delta, xid: txdb_base::Xid) -> bool {
     delta.ops.iter().any(|op| match op {
-        EditOp::DeleteSubtree { subtree, .. } => {
-            subtree.iter().any(|n| subtree.node(n).xid == xid)
-        }
+        EditOp::DeleteSubtree { subtree, .. } => subtree.iter().any(|n| subtree.node(n).xid == xid),
         _ => false,
     })
 }
@@ -200,12 +192,7 @@ mod tests {
         let t1 = db.store().version_tree(doc, VersionId(1)).unwrap();
         let a = t1.iter().find(|&n| t1.node(n).name() == Some("a")).unwrap();
         let b = t1.iter().find(|&n| t1.node(n).name() == Some("b")).unwrap();
-        (
-            db,
-            doc,
-            Eid::new(doc, t1.node(a).xid),
-            Eid::new(doc, t1.node(b).xid),
-        )
+        (db, doc, Eid::new(doc, t1.node(a).xid), Eid::new(doc, t1.node(b).xid))
     }
 
     #[test]
@@ -222,11 +209,7 @@ mod tests {
         let (db, _, a, b) = lifecycle_db();
         for strat in [LifetimeStrategy::Traverse, LifetimeStrategy::Index] {
             assert_eq!(db.del_time(a.at(ts(15)), strat).unwrap(), ts(30), "{strat:?}");
-            assert_eq!(
-                db.del_time(b.at(ts(25)), strat).unwrap(),
-                Timestamp::FOREVER,
-                "{strat:?}"
-            );
+            assert_eq!(db.del_time(b.at(ts(25)), strat).unwrap(), Timestamp::FOREVER, "{strat:?}");
         }
     }
 
@@ -242,14 +225,11 @@ mod tests {
         let cur = db.store().current_tree(doc).unwrap();
         let old = cur.iter().find(|&n| cur.node(n).name() == Some("old")).unwrap();
         let eid = Eid::new(doc, cur.node(old).xid);
-        let (t_trav, deltas) = db
-            .cre_time_counted(eid.at(ts(20)), LifetimeStrategy::Traverse)
-            .unwrap();
+        let (t_trav, deltas) =
+            db.cre_time_counted(eid.at(ts(20)), LifetimeStrategy::Traverse).unwrap();
         assert_eq!(t_trav, ts(1));
         assert!(deltas >= 19, "walked the whole chain: {deltas}");
-        let (t_idx, zero) = db
-            .cre_time_counted(eid.at(ts(20)), LifetimeStrategy::Index)
-            .unwrap();
+        let (t_idx, zero) = db.cre_time_counted(eid.at(ts(20)), LifetimeStrategy::Index).unwrap();
         assert_eq!(t_idx, ts(1));
         assert_eq!(zero, 0);
     }
@@ -273,18 +253,14 @@ mod tests {
         let bogus = Eid::new(doc, Xid(999));
         assert!(db.cre_time(bogus.at(ts(15)), LifetimeStrategy::Index).is_err());
         // Traversal with a timestamp where the doc doesn't exist:
-        assert!(db
-            .cre_time(bogus.at(ts(1)), LifetimeStrategy::Traverse)
-            .is_err());
+        assert!(db.cre_time(bogus.at(ts(1)), LifetimeStrategy::Traverse).is_err());
     }
 
     #[test]
     fn traverse_from_creation_version_is_cheap() {
         // Probing at the element's own creation version reads few deltas.
         let (db, _, _, b) = lifecycle_db();
-        let (t, deltas) = db
-            .cre_time_counted(b.at(ts(20)), LifetimeStrategy::Traverse)
-            .unwrap();
+        let (t, deltas) = db.cre_time_counted(b.at(ts(20)), LifetimeStrategy::Traverse).unwrap();
         assert_eq!(t, ts(20));
         assert_eq!(deltas, 1, "the delta into v1 introduces b");
     }

@@ -4,5 +4,6 @@
 pub mod diffop;
 pub mod history;
 pub mod lifetime;
+pub mod parallel;
 pub mod pattern;
 pub mod versions;

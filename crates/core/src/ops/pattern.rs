@@ -54,11 +54,7 @@ impl Match {
 
     /// TEIDs of only the projected pattern nodes.
     pub fn projected_teids(&self, pattern: &PatternTree) -> Vec<txdb_base::Teid> {
-        pattern
-            .projected()
-            .into_iter()
-            .map(|i| self.nodes[i].at(self.ts))
-            .collect()
+        pattern.projected().into_iter().map(|i| self.nodes[i].at(self.ts)).collect()
     }
 }
 
@@ -82,6 +78,16 @@ struct Cand<'a> {
     path: &'a [Xid],
     from: u32,
     to: u32,
+}
+
+/// One document's share of the step-2 join, self-contained so it can run
+/// on a pool worker: candidate slices per pattern node, the decoded delta
+/// index, and (snapshot mode) the resolved target version.
+struct DocJob<'c, 'p> {
+    doc: DocId,
+    per_node: Vec<&'c [Cand<'p>]>,
+    entries: Vec<txdb_storage::repo::VersionEntry>,
+    resolved: Option<VersionId>,
 }
 
 /// Flattened pattern: pre-order nodes with parent links.
@@ -122,6 +128,7 @@ impl<'p> FlatPattern<'p> {
 }
 
 /// Which lookup mode a scan runs in.
+#[derive(Clone, Copy)]
 enum Mode {
     Current,
     At(Timestamp),
@@ -211,18 +218,6 @@ impl Database {
                 .entry(doc)
                 .or_insert_with(|| db.store().version_at(doc, t).unwrap_or(None))
         };
-        let mut entries_cache: HashMap<DocId, std::rc::Rc<Vec<txdb_storage::repo::VersionEntry>>> =
-            HashMap::new();
-        let mut entries_of = |db: &Database,
-                              doc: DocId|
-         -> Result<std::rc::Rc<Vec<txdb_storage::repo::VersionEntry>>> {
-            if let Some(e) = entries_cache.get(&doc) {
-                return Ok(e.clone());
-            }
-            let e = std::rc::Rc::new(db.store().versions(doc)?);
-            entries_cache.insert(doc, e.clone());
-            Ok(e)
-        };
 
         // Step 1: per-node candidates = same-element intersection of the
         // node's token posting lists. Nodes are processed most-selective
@@ -239,11 +234,7 @@ impl Database {
         }
         let mut order: Vec<usize> = (0..flat.nodes.len()).collect();
         order.sort_by_key(|&i| {
-            flat.tokens(i)
-                .iter()
-                .map(|(t, _)| fti.list_len(t))
-                .min()
-                .unwrap_or(usize::MAX)
+            flat.tokens(i).iter().map(|(t, _)| fti.list_len(t)).min().unwrap_or(usize::MAX)
         });
         let mut allowed: Option<std::collections::HashSet<DocId>> =
             docs.map(|d| std::collections::HashSet::from([d]));
@@ -289,9 +280,12 @@ impl Database {
                                 // Paths agree within an overlapping range
                                 // (both postings describe the same element
                                 // in the same versions).
-                                next.entry((p.doc, p.xid))
-                                    .or_default()
-                                    .push(Cand { xid: c.xid, path: c.path, from, to });
+                                next.entry((p.doc, p.xid)).or_default().push(Cand {
+                                    xid: c.xid,
+                                    path: c.path,
+                                    from,
+                                    to,
+                                });
                             }
                         }
                     }
@@ -321,11 +315,23 @@ impl Database {
             docs_iter
         };
 
-        let mut out = Vec::new();
+        // Per-document join inputs are materialized up front (delta-index
+        // rows, snapshot resolution) so the join itself shares nothing
+        // mutable — each document then joins on a pool worker.
+        let mut jobs: Vec<DocJob<'_, '_>> = Vec::with_capacity(doc_set.len());
         for doc in doc_set {
             let per_node: Vec<&[Cand<'_>]> = cands.iter().map(|m| m[&doc].as_slice()).collect();
+            let resolved = match &mode {
+                Mode::At(t) => resolve(self, doc, *t),
+                _ => None,
+            };
+            jobs.push(DocJob { doc, per_node, entries: self.store().versions(doc)?, resolved });
+        }
+        let per_doc = super::parallel::parallel_map(&jobs, |job| -> Result<Vec<Match>> {
+            let mut local = Vec::new();
             let mut binding: Vec<&Cand<'_>> = Vec::with_capacity(flat.nodes.len());
-            join_rec(&flat, &per_node, doc, &mut binding, &mut |b| {
+            let doc = job.doc;
+            join_rec(&flat, &job.per_node, doc, &mut binding, &mut |b| {
                 // Joint validity range of the whole binding.
                 let from = b.iter().map(|c| c.from).max().unwrap_or(0);
                 let to = b.iter().map(|c| c.to).min().unwrap_or(OPEN);
@@ -337,21 +343,18 @@ impl Database {
                     Mode::Current => {
                         // The binding is valid now; report the current
                         // content version.
-                        let entries = entries_of(self, doc)?;
-                        if let Some(e) = entries
-                            .iter()
-                            .rev()
-                            .find(|e| e.kind == VersionKind::Content)
+                        if let Some(e) =
+                            job.entries.iter().rev().find(|e| e.kind == VersionKind::Content)
                         {
-                            out.push(Match { doc, version: e.version, ts: e.ts, nodes });
+                            local.push(Match { doc, version: e.version, ts: e.ts, nodes });
                         }
                         Ok(())
                     }
-                    Mode::At(t) => {
-                        let Some(v) = resolve(self, doc, *t) else { return Ok(()) };
+                    Mode::At(_) => {
+                        let Some(v) = job.resolved else { return Ok(()) };
                         debug_assert!(from <= v.0 && v.0 < to);
-                        let e = &entries_of(self, doc)?[v.0 as usize];
-                        out.push(Match { doc, version: v, ts: e.ts, nodes });
+                        let e = &job.entries[v.0 as usize];
+                        local.push(Match { doc, version: v, ts: e.ts, nodes });
                         Ok(())
                     }
                     Mode::All(interval) => {
@@ -359,8 +362,7 @@ impl Database {
                         // temporal join's "valid at same time" — keeping
                         // only versions committed inside the requested
                         // interval (§8 rewriting).
-                        let entries = entries_of(self, doc)?;
-                        for e in entries.iter() {
+                        for e in job.entries.iter() {
                             if e.kind != VersionKind::Content {
                                 continue;
                             }
@@ -368,7 +370,7 @@ impl Database {
                                 continue;
                             }
                             if e.version.0 >= from && e.version.0 < to {
-                                out.push(Match {
+                                local.push(Match {
                                     doc,
                                     version: e.version,
                                     ts: e.ts,
@@ -380,12 +382,15 @@ impl Database {
                     }
                 }
             })?;
-        }
-        // Deterministic output order: doc, version, then bound xids.
-        out.sort_by(|a, b| {
-            (a.doc, a.version, &a.nodes)
-                .cmp(&(b.doc, b.version, &b.nodes))
+            Ok(local)
         });
+        let mut out = Vec::new();
+        for r in per_doc {
+            out.extend(r?);
+        }
+        // Deterministic output order: doc, version, then bound xids —
+        // independent of how documents were distributed over workers.
+        out.sort_by(|a, b| (a.doc, a.version, &a.nodes).cmp(&(b.doc, b.version, &b.nodes)));
         stats.matches = out.len();
         Ok((out, stats))
     }
@@ -414,8 +419,7 @@ fn join_rec<'c, 'p>(
                     cand.path.len() >= 2 && cand.path[cand.path.len() - 2] == parent.xid
                 }
                 PatternEdge::Descendant => {
-                    cand.path.len() > 1
-                        && cand.path[..cand.path.len() - 1].contains(&parent.xid)
+                    cand.path.len() > 1 && cand.path[..cand.path.len() - 1].contains(&parent.xid)
                 }
             };
             if !ok {
@@ -479,9 +483,7 @@ mod tests {
     fn q1_snapshot_restaurants_at_26_01() {
         // Q1: list all restaurants as of 26/01 → snapshot with 2 restaurants.
         let db = figure1();
-        let m = db
-            .tpattern_scan(None, &restaurant_pattern(), ts(126))
-            .unwrap();
+        let m = db.tpattern_scan(None, &restaurant_pattern(), ts(126)).unwrap();
         assert_eq!(m.len(), 2);
         assert!(m.iter().all(|x| x.version == VersionId(1)));
         assert!(m.iter().all(|x| x.ts == ts(115)), "TEID ts = version commit time");
@@ -507,9 +509,7 @@ mod tests {
         // Q3: EVERY + name=Napoli → all versions of the Napoli restaurant.
         let db = figure1();
         let pattern = PatternTree::new(
-            PatternNode::tag("restaurant")
-                .project()
-                .child(PatternNode::tag("name").word("napoli")),
+            PatternNode::tag("restaurant").project().child(PatternNode::tag("name").word("napoli")),
         );
         let m = db.tpattern_scan_all(None, &pattern).unwrap();
         // Napoli exists in versions 0, 1, 2.
@@ -530,29 +530,19 @@ mod tests {
     #[test]
     fn structural_join_parent_vs_ancestor() {
         let db = Database::in_memory();
-        db.put(
-            "d",
-            "<a><b><c>deep</c></b><c>shallow</c></a>",
-            ts(1),
-        )
-        .unwrap();
+        db.put("d", "<a><b><c>deep</c></b><c>shallow</c></a>", ts(1)).unwrap();
         // a isParentOf c → only the shallow c.
-        let p = PatternTree::new(
-            PatternNode::tag("a").child(PatternNode::tag("c").project()),
-        );
+        let p = PatternTree::new(PatternNode::tag("a").child(PatternNode::tag("c").project()));
         assert_eq!(db.pattern_scan(None, &p).unwrap().len(), 1);
         // a isAscendantOf c → both.
-        let p = PatternTree::new(
-            PatternNode::tag("a").descendant(PatternNode::tag("c").project()),
-        );
+        let p = PatternTree::new(PatternNode::tag("a").descendant(PatternNode::tag("c").project()));
         assert_eq!(db.pattern_scan(None, &p).unwrap().len(), 2);
     }
 
     #[test]
     fn word_and_tag_conjunction_same_element() {
         let db = Database::in_memory();
-        db.put("d", "<g><name>Napoli</name><city>Napoli</city></g>", ts(1))
-            .unwrap();
+        db.put("d", "<g><name>Napoli</name><city>Napoli</city></g>", ts(1)).unwrap();
         let p = PatternTree::new(PatternNode::tag("name").word("napoli"));
         assert_eq!(db.pattern_scan(None, &p).unwrap().len(), 1);
         let p = PatternTree::new(PatternNode::tag("city").word("napoli"));
@@ -575,15 +565,9 @@ mod tests {
         db.delete("guide.com/restaurants", ts(140)).unwrap();
         assert!(db.pattern_scan(None, &restaurant_pattern()).unwrap().is_empty());
         // Snapshot before deletion still works.
-        assert_eq!(
-            db.tpattern_scan(None, &restaurant_pattern(), ts(126)).unwrap().len(),
-            2
-        );
+        assert_eq!(db.tpattern_scan(None, &restaurant_pattern(), ts(126)).unwrap().len(), 2);
         // And inside the tombstone gap, nothing.
-        assert!(db
-            .tpattern_scan(None, &restaurant_pattern(), ts(150))
-            .unwrap()
-            .is_empty());
+        assert!(db.tpattern_scan(None, &restaurant_pattern(), ts(150)).unwrap().is_empty());
     }
 
     #[test]
@@ -627,18 +611,45 @@ mod tests {
     fn unconstrained_node_rejected() {
         let db = figure1();
         let p = PatternTree::new(PatternNode::any());
-        assert!(matches!(
-            db.pattern_scan(None, &p),
-            Err(Error::Unsupported(_))
-        ));
+        assert!(matches!(db.pattern_scan(None, &p), Err(Error::Unsupported(_))));
+    }
+
+    #[test]
+    fn parallel_multi_doc_scan_is_deterministic() {
+        // Enough documents (and versions) that the per-document join
+        // actually fans out over the worker pool.
+        let db = Database::in_memory();
+        for i in 0..40u64 {
+            let name = format!("doc{i}");
+            db.put(&name, &format!("<g><r><n>shared</n><p>{i}</p></r></g>"), ts(i + 1)).unwrap();
+            db.put(&name, &format!("<g><r><n>shared</n><p>{}</p></r></g>", i + 100), ts(i + 100))
+                .unwrap();
+        }
+        let p = PatternTree::new(
+            PatternNode::tag("r").project().child(PatternNode::tag("n").word("shared")),
+        );
+        let all = db.tpattern_scan_all(None, &p).unwrap();
+        assert_eq!(all.len(), 80, "two versions of every document match");
+        let again = db.tpattern_scan_all(None, &p).unwrap();
+        let key = |m: &Match| (m.doc, m.version, m.nodes.clone());
+        assert_eq!(
+            all.iter().map(key).collect::<Vec<_>>(),
+            again.iter().map(key).collect::<Vec<_>>(),
+            "worker scheduling must not leak into output order"
+        );
+        let mut sorted = all.iter().map(key).collect::<Vec<_>>();
+        sorted.sort();
+        assert_eq!(all.iter().map(key).collect::<Vec<_>>(), sorted);
+        // The snapshot mode agrees with a per-document scan.
+        let at = db.tpattern_scan(None, &p, ts(50)).unwrap();
+        assert_eq!(at.len(), 40);
     }
 
     #[test]
     fn match_teids_projection() {
         let db = figure1();
         let pattern = PatternTree::new(
-            PatternNode::tag("restaurant")
-                .child(PatternNode::tag("name").word("napoli").project()),
+            PatternNode::tag("restaurant").child(PatternNode::tag("name").word("napoli").project()),
         );
         let m = db.tpattern_scan(None, &pattern, ts(126)).unwrap();
         assert_eq!(m.len(), 1);

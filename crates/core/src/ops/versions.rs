@@ -23,10 +23,7 @@ impl Database {
     /// of the element's document.
     pub fn previous_ts(&self, teid: Teid) -> Result<Option<Timestamp>> {
         let doc = teid.doc();
-        let v = self
-            .store()
-            .version_at(doc, teid.ts)?
-            .ok_or(Error::NotValidAt(doc, teid.ts))?;
+        let v = self.store().version_at(doc, teid.ts)?.ok_or(Error::NotValidAt(doc, teid.ts))?;
         let entries = self.store().versions(doc)?;
         Ok(entries[..v.0 as usize]
             .iter()
@@ -38,10 +35,7 @@ impl Database {
     /// `NextTS(TEID)` — the timestamp of the next (content) version.
     pub fn next_ts(&self, teid: Teid) -> Result<Option<Timestamp>> {
         let doc = teid.doc();
-        let v = self
-            .store()
-            .version_at(doc, teid.ts)?
-            .ok_or(Error::NotValidAt(doc, teid.ts))?;
+        let v = self.store().version_at(doc, teid.ts)?.ok_or(Error::NotValidAt(doc, teid.ts))?;
         let entries = self.store().versions(doc)?;
         Ok(entries[(v.0 as usize + 1)..]
             .iter()

@@ -116,13 +116,7 @@ pub fn diff_trees(
 
     let nodes_deleted = old.len() + inserted - new.len();
     Ok(DiffResult {
-        delta: Delta {
-            from_version,
-            to_version: from_version.next(),
-            from_ts,
-            to_ts,
-            ops,
-        },
+        delta: Delta { from_version, to_version: from_version.next(), from_ts, to_ts, ops },
         nodes_matched: matching.new_to_old.len(),
         nodes_inserted: inserted,
         nodes_deleted,
@@ -144,10 +138,7 @@ pub fn forest_identical(a: &Tree, b: &Tree) -> bool {
                 .all(|(&ca, &cb)| node_identical(ta, ca, tb, cb))
     }
     a.roots().len() == b.roots().len()
-        && a.roots()
-            .iter()
-            .zip(b.roots())
-            .all(|(&ra, &rb)| node_identical(a, ra, b, rb))
+        && a.roots().iter().zip(b.roots()).all(|(&ra, &rb)| node_identical(a, ra, b, rb))
 }
 
 struct Matching {
@@ -181,10 +172,7 @@ fn compute_matching(old: &Tree, new: &Tree) -> Matching {
         }
         let Some(cands) = by_hash.get(&h_new.hash(n)) else { continue };
         // Prefer a candidate whose parent is matched to n's parent.
-        let n_parent_old = new
-            .node(n)
-            .parent()
-            .and_then(|p| m.new_to_old.get(&p).copied());
+        let n_parent_old = new.node(n).parent().and_then(|p| m.new_to_old.get(&p).copied());
         let mut chosen = None;
         for &o in cands {
             if m.old_to_new.contains_key(&o) || !deep_eq(old, o, new, n) {
@@ -209,8 +197,7 @@ fn compute_matching(old: &Tree, new: &Tree) -> Matching {
     }
 
     // Phase 2: upward propagation.
-    let pairs: Vec<(NodeId, NodeId)> =
-        m.old_to_new.iter().map(|(&o, &n)| (o, n)).collect();
+    let pairs: Vec<(NodeId, NodeId)> = m.old_to_new.iter().map(|(&o, &n)| (o, n)).collect();
     for (mut o, mut n) in pairs {
         #[allow(clippy::while_let_loop)]
         loop {
@@ -236,8 +223,7 @@ fn compute_matching(old: &Tree, new: &Tree) -> Matching {
     // Phase 3: recursive child alignment from matched pairs and the
     // forest root level.
     let mut queue: Vec<(Option<NodeId>, Option<NodeId>)> = vec![(None, None)];
-    let pairs: Vec<(NodeId, NodeId)> =
-        m.old_to_new.iter().map(|(&o, &n)| (o, n)).collect();
+    let pairs: Vec<(NodeId, NodeId)> = m.old_to_new.iter().map(|(&o, &n)| (o, n)).collect();
     queue.extend(pairs.into_iter().map(|(o, n)| (Some(o), Some(n))));
     let mut qi = 0;
     while qi < queue.len() {
@@ -251,16 +237,10 @@ fn compute_matching(old: &Tree, new: &Tree) -> Matching {
             Some(n) => new.node(n).children().to_vec(),
             None => new.roots().to_vec(),
         };
-        let old_un: Vec<NodeId> = old_children
-            .iter()
-            .copied()
-            .filter(|c| !m.old_to_new.contains_key(c))
-            .collect();
-        let new_un: Vec<NodeId> = new_children
-            .iter()
-            .copied()
-            .filter(|c| !m.new_to_old.contains_key(c))
-            .collect();
+        let old_un: Vec<NodeId> =
+            old_children.iter().copied().filter(|c| !m.old_to_new.contains_key(c)).collect();
+        let new_un: Vec<NodeId> =
+            new_children.iter().copied().filter(|c| !m.new_to_old.contains_key(c)).collect();
         if old_un.is_empty() || new_un.is_empty() {
             continue;
         }
@@ -419,11 +399,7 @@ impl ScriptGen<'_, '_> {
                 let cx = self.new.node(c).xid;
                 let w = self.applier.lookup(cx)?;
                 let wt = self.applier.tree();
-                let cur_parent = wt
-                    .node(w)
-                    .parent()
-                    .map(|p| wt.node(p).xid)
-                    .unwrap_or(Xid::NONE);
+                let cur_parent = wt.node(w).parent().map(|p| wt.node(p).xid).unwrap_or(Xid::NONE);
                 let cur_pos = wt.position(w);
                 if cur_parent != parent_xid || cur_pos != i {
                     let old_ts = wt.node(w).ts;
@@ -488,10 +464,7 @@ impl ScriptGen<'_, '_> {
                     })?;
                 }
             }
-            (
-                NodeKind::Element { attrs: oa, .. },
-                NodeKind::Element { attrs: na, .. },
-            ) => {
+            (NodeKind::Element { attrs: oa, .. }, NodeKind::Element { attrs: na, .. }) => {
                 // Removed or changed attributes.
                 let mut ops: Vec<EditOp> = Vec::new();
                 for (k, ov) in oa {
@@ -553,11 +526,7 @@ impl ScriptGen<'_, '_> {
             while let Some(id) = stack.pop() {
                 let x = wt.node(id).xid;
                 if !new_xids.contains(&x) {
-                    let parent = wt
-                        .node(id)
-                        .parent()
-                        .map(|p| wt.node(p).xid)
-                        .unwrap_or(Xid::NONE);
+                    let parent = wt.node(id).parent().map(|p| wt.node(p).xid).unwrap_or(Xid::NONE);
                     victim = Some((x, parent, wt.position(id)));
                     break;
                 }
@@ -645,10 +614,7 @@ mod tests {
         // All nodes keep identity.
         assert_eq!(res.nodes_inserted, 0);
         // price element keeps its xid but its text child got new ts.
-        let price_text = new
-            .iter()
-            .find(|&n| new.node(n).text() == Some("18"))
-            .unwrap();
+        let price_text = new.iter().find(|&n| new.node(n).text() == Some("18")).unwrap();
         assert_eq!(new.node(price_text).ts, Timestamp::from_micros(200));
         assert_eq!(new.node(price_text).xid, Xid(5));
     }
@@ -670,10 +636,7 @@ mod tests {
 
     #[test]
     fn delete_subtree() {
-        let (res, ..) = check(
-            "<g><r><n>A</n></r><r><n>B</n></r></g>",
-            "<g><r><n>A</n></r></g>",
-        );
+        let (res, ..) = check("<g><r><n>A</n></r><r><n>B</n></r></g>", "<g><r><n>A</n></r></g>");
         assert_eq!(res.delta.ops.len(), 1);
         assert!(matches!(res.delta.ops[0], EditOp::DeleteSubtree { .. }));
         assert_eq!(res.nodes_deleted, 3);
@@ -681,17 +644,11 @@ mod tests {
 
     #[test]
     fn attribute_changes() {
-        let (res, ..) = check(
-            r#"<r category="italian" stars="2"/>"#,
-            r#"<r category="greek" rating="5"/>"#,
-        );
+        let (res, ..) =
+            check(r#"<r category="italian" stars="2"/>"#, r#"<r category="greek" rating="5"/>"#);
         // change category, remove stars, add rating
         assert_eq!(res.delta.ops.len(), 3);
-        assert!(res
-            .delta
-            .ops
-            .iter()
-            .all(|o| matches!(o, EditOp::SetAttr { .. })));
+        assert!(res.delta.ops.iter().all(|o| matches!(o, EditOp::SetAttr { .. })));
     }
 
     #[test]
@@ -715,17 +672,9 @@ mod tests {
 
     #[test]
     fn reorder_children() {
-        let (res, ..) = check(
-            "<l><i>1</i><i>2</i><i>3</i></l>",
-            "<l><i>3</i><i>1</i><i>2</i></l>",
-        );
+        let (res, ..) = check("<l><i>1</i><i>2</i><i>3</i></l>", "<l><i>3</i><i>1</i><i>2</i></l>");
         // One move suffices (3 to front); LCS keeps 1,2 in place.
-        let moves = res
-            .delta
-            .ops
-            .iter()
-            .filter(|o| matches!(o, EditOp::Move { .. }))
-            .count();
+        let moves = res.delta.ops.iter().filter(|o| matches!(o, EditOp::Move { .. })).count();
         assert_eq!(moves, 1, "ops: {:?}", res.delta.ops);
         assert_eq!(res.nodes_inserted, 0);
     }
@@ -741,10 +690,8 @@ mod tests {
     fn insert_wrapper_around_matched_content() {
         // New element wraps existing (matched) children: single-node insert
         // + moves.
-        let (res, _, new) = check(
-            "<g><a>1</a><b>2</b></g>",
-            "<g><wrap><a>1</a><b>2</b></wrap></g>",
-        );
+        let (res, _, new) =
+            check("<g><a>1</a><b>2</b></g>", "<g><wrap><a>1</a><b>2</b></wrap></g>");
         assert_eq!(res.nodes_inserted, 1, "only <wrap> is new: {:?}", res.delta.ops);
         let a = new.iter().find(|&n| new.node(n).name() == Some("a")).unwrap();
         assert_eq!(new.node(a).xid, Xid(2), "a keeps identity");

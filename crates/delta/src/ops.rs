@@ -144,13 +144,7 @@ impl Delta {
     /// An empty delta between two versions (no changes — used when a
     /// document is re-stored unchanged).
     pub fn empty(from: VersionId, from_ts: Timestamp, to_ts: Timestamp) -> Self {
-        Delta {
-            from_version: from,
-            to_version: from.next(),
-            from_ts,
-            to_ts,
-            ops: Vec::new(),
-        }
+        Delta { from_version: from, to_version: from.next(), from_ts, to_ts, ops: Vec::new() }
     }
 
     /// True when the delta changes nothing.
@@ -282,21 +276,19 @@ impl<'a> Applier<'a> {
         stamp_parent: Option<Timestamp>,
         restore_parent_ts: Option<Timestamp>,
     ) -> Result<()> {
-        let victim = if parent.is_none() {
-            *self
-                .tree
-                .roots()
-                .get(pos)
-                .ok_or_else(|| Error::DeltaMismatch(format!("no root at {pos}")))?
-        } else {
-            let p = self.lookup(parent)?;
-            *self
-                .tree
-                .node(p)
-                .children()
-                .get(pos)
-                .ok_or_else(|| Error::DeltaMismatch(format!("no child at {pos} under {parent}")))?
-        };
+        let victim =
+            if parent.is_none() {
+                *self
+                    .tree
+                    .roots()
+                    .get(pos)
+                    .ok_or_else(|| Error::DeltaMismatch(format!("no root at {pos}")))?
+            } else {
+                let p = self.lookup(parent)?;
+                *self.tree.node(p).children().get(pos).ok_or_else(|| {
+                    Error::DeltaMismatch(format!("no child at {pos} under {parent}"))
+                })?
+            };
         if self.tree.node(victim).xid != expected_root_xid {
             return Err(Error::DeltaMismatch(format!(
                 "delete expected {expected_root_xid} at {parent}/{pos}, found {}",
@@ -304,11 +296,8 @@ impl<'a> Applier<'a> {
             )));
         }
         // Deregister subtree xids before the arena recycles them.
-        let goners: Vec<Xid> = self
-            .tree
-            .descendants(victim)
-            .map(|n| self.tree.node(n).xid)
-            .collect();
+        let goners: Vec<Xid> =
+            self.tree.descendants(victim).map(|n| self.tree.node(n).xid).collect();
         for x in goners {
             if !x.is_none() {
                 self.map.remove(&x);
@@ -465,12 +454,8 @@ impl<'a> Applier<'a> {
     ) -> Result<()> {
         let n = self.lookup(xid)?;
         // Verify source location.
-        let actual_parent = self
-            .tree
-            .node(n)
-            .parent()
-            .map(|p| self.tree.node(p).xid)
-            .unwrap_or(Xid::NONE);
+        let actual_parent =
+            self.tree.node(n).parent().map(|p| self.tree.node(p).xid).unwrap_or(Xid::NONE);
         if actual_parent != from_parent || self.tree.position(n) != from_pos {
             return Err(Error::DeltaMismatch(format!(
                 "move of {xid}: expected at {from_parent}/{from_pos}, found at {actual_parent}/{}",

@@ -163,10 +163,8 @@ pub fn delta_from_xml(tree: &Tree) -> Result<Delta> {
     let to_ts = Timestamp::from_micros(attr_num(tree, root, "t2")?);
     let mut ops = Vec::new();
     for &op_el in tree.node(root).children() {
-        let name = tree
-            .node(op_el)
-            .name()
-            .ok_or_else(|| Error::Corrupt("text in delta body".into()))?;
+        let name =
+            tree.node(op_el).name().ok_or_else(|| Error::Corrupt("text in delta body".into()))?;
         let op = match name {
             "insert" => EditOp::InsertSubtree {
                 parent: Xid(attr_num(tree, op_el, "parent")?),
@@ -277,9 +275,12 @@ fn extract_payload(tree: &Tree, op_el: NodeId) -> Result<Tree> {
     let roots: Vec<NodeId> = out.roots().to_vec();
     for r in roots {
         if out.node(r).name() == Some("txdb:text") {
-            let inner = out.node(r).children().first().copied().ok_or_else(|| {
-                Error::Corrupt("empty txdb:text wrapper".into())
-            })?;
+            let inner = out
+                .node(r)
+                .children()
+                .first()
+                .copied()
+                .ok_or_else(|| Error::Corrupt("empty txdb:text wrapper".into()))?;
             let pos = out.position(r);
             out.detach(inner);
             out.remove_subtree(r);

@@ -109,19 +109,13 @@ impl DeltaContentIndex {
         for op in &delta.ops {
             match op {
                 EditOp::InsertSubtree { subtree, .. } => {
-                    let xid = subtree
-                        .root()
-                        .map(|r| subtree.node(r).xid)
-                        .unwrap_or(Xid::NONE);
+                    let xid = subtree.root().map(|r| subtree.node(r).xid).unwrap_or(Xid::NONE);
                     let entry = ChangeEntry { doc, version, op: ChangeOp::Insert, xid };
                     self.add(ChangeOp::Insert.keyword(), entry.clone());
                     self.add_subtree_tokens(subtree, entry);
                 }
                 EditOp::DeleteSubtree { subtree, .. } => {
-                    let xid = subtree
-                        .root()
-                        .map(|r| subtree.node(r).xid)
-                        .unwrap_or(Xid::NONE);
+                    let xid = subtree.root().map(|r| subtree.node(r).xid).unwrap_or(Xid::NONE);
                     let entry = ChangeEntry { doc, version, op: ChangeOp::Delete, xid };
                     self.add(ChangeOp::Delete.keyword(), entry.clone());
                     self.add_subtree_tokens(subtree, entry);
@@ -160,11 +154,7 @@ impl DeltaContentIndex {
     pub fn find(&self, token: &str, op: Option<ChangeOp>) -> Vec<&ChangeEntry> {
         self.lists
             .get(&token.to_lowercase())
-            .map(|l| {
-                l.iter()
-                    .filter(|e| op.is_none_or(|o| e.op == o))
-                    .collect()
-            })
+            .map(|l| l.iter().filter(|e| op.is_none_or(|o| e.op == o)).collect())
             .unwrap_or_default()
     }
 
@@ -174,18 +164,11 @@ impl DeltaContentIndex {
     pub fn find_all(&self, tokens: &[&str], op: Option<ChangeOp>) -> Vec<(DocId, VersionId)> {
         let mut sets: Vec<std::collections::HashSet<(DocId, VersionId)>> = Vec::new();
         for t in tokens {
-            sets.push(
-                self.find(t, op)
-                    .into_iter()
-                    .map(|e| (e.doc, e.version))
-                    .collect(),
-            );
+            sets.push(self.find(t, op).into_iter().map(|e| (e.doc, e.version)).collect());
         }
         let Some(first) = sets.first().cloned() else { return Vec::new() };
-        let mut out: Vec<(DocId, VersionId)> = first
-            .into_iter()
-            .filter(|k| sets[1..].iter().all(|s| s.contains(k)))
-            .collect();
+        let mut out: Vec<(DocId, VersionId)> =
+            first.into_iter().filter(|k| sets[1..].iter().all(|s| s.contains(k))).collect();
         out.sort();
         out
     }

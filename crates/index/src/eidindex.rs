@@ -51,9 +51,7 @@ impl EidTimeIndex {
     /// Opens the index on the shared buffer pool, rooted at the reserved
     /// [`txdb_storage::repo::roots::EID_INDEX`] slot.
     pub fn open(pool: Arc<BufferPool>) -> Result<EidTimeIndex> {
-        Ok(EidTimeIndex {
-            tree: BTree::open(pool, txdb_storage::repo::roots::EID_INDEX)?,
-        })
+        Ok(EidTimeIndex { tree: BTree::open(pool, txdb_storage::repo::roots::EID_INDEX)? })
     }
 
     /// Records the creation of an element.
@@ -114,9 +112,7 @@ impl EidTimeIndex {
             out.push((
                 xid,
                 ElementLifetime {
-                    created: Timestamp::from_micros(u64::from_le_bytes(
-                        v[..8].try_into().unwrap(),
-                    )),
+                    created: Timestamp::from_micros(u64::from_le_bytes(v[..8].try_into().unwrap())),
                     deleted: Timestamp::from_micros(u64::from_le_bytes(
                         v[8..16].try_into().unwrap(),
                     )),
@@ -202,10 +198,7 @@ mod tests {
             }
         }
         assert_eq!(idx.len().unwrap(), 1000);
-        let lt = idx
-            .lifetime(Eid::new(DocId(13), Xid(37)))
-            .unwrap()
-            .unwrap();
+        let lt = idx.lifetime(Eid::new(DocId(13), Xid(37))).unwrap().unwrap();
         assert_eq!(lt.created, ts(37));
     }
 }

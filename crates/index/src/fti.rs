@@ -152,10 +152,7 @@ impl FullTextIndex {
         list.total += 1;
         let per_doc = list.by_doc.entry(doc).or_default();
         let idx = per_doc.postings.len();
-        debug_assert!(per_doc
-            .postings
-            .last()
-            .is_none_or(|p| p.from_version <= version.0));
+        debug_assert!(per_doc.postings.last().is_none_or(|p| p.from_version <= version.0));
         per_doc.postings.push(Posting {
             doc,
             xid,
@@ -165,10 +162,7 @@ impl FullTextIndex {
             to_version: OPEN,
         });
         per_doc.open.push(idx as u32);
-        self.open
-            .entry((doc, xid))
-            .or_default()
-            .push((token.to_string(), kind, idx));
+        self.open.entry((doc, xid)).or_default().push((token.to_string(), kind, idx));
     }
 
     /// Closes the open posting for `(doc, xid, token, kind)` at `version`
@@ -183,10 +177,7 @@ impl FullTextIndex {
         version: VersionId,
     ) -> bool {
         let Some(entries) = self.open.get_mut(&(doc, xid)) else { return false };
-        let Some(pos) = entries
-            .iter()
-            .position(|(t, k, _)| t == token && *k == kind)
-        else {
+        let Some(pos) = entries.iter().position(|(t, k, _)| t == token && *k == kind) else {
             return false;
         };
         let (t, _, idx) = entries.swap_remove(pos);
@@ -210,12 +201,8 @@ impl FullTextIndex {
     /// Closes *every* open posting of a document at `version` (document
     /// deletion).
     pub fn close_document(&mut self, doc: DocId, version: VersionId) {
-        let keys: Vec<(DocId, Xid)> = self
-            .open
-            .keys()
-            .filter(|(d, _)| *d == doc)
-            .copied()
-            .collect();
+        let keys: Vec<(DocId, Xid)> =
+            self.open.keys().filter(|(d, _)| *d == doc).copied().collect();
         for key in keys {
             if let Some(entries) = self.open.remove(&key) {
                 for (t, _, idx) in entries {
@@ -476,15 +463,13 @@ mod tests {
         fti.close_posting("w", d(1), x(1), OccKind::Word, v(5));
         fti.open_posting("w", d(2), x(1), OccKind::Word, &[x(1)], v(3));
         // At a time where doc1 is at v4 and doc2 at v2:
-        let got = fti.lookup_t("w", OccKind::Word, |doc| {
-            Some(if doc == d(1) { v(4) } else { v(2) })
-        });
+        let got =
+            fti.lookup_t("w", OccKind::Word, |doc| Some(if doc == d(1) { v(4) } else { v(2) }));
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].doc, d(1));
         // Doc without a version at t is excluded.
-        let got = fti.lookup_t("w", OccKind::Word, |doc| {
-            if doc == d(2) { Some(v(4)) } else { None }
-        });
+        let got =
+            fti.lookup_t("w", OccKind::Word, |doc| if doc == d(2) { Some(v(4)) } else { None });
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].doc, d(2));
     }
@@ -498,10 +483,7 @@ mod tests {
         toks.sort();
         assert_eq!(
             toks,
-            vec![
-                ("name".to_string(), OccKind::Name),
-                ("napoli".to_string(), OccKind::Word)
-            ]
+            vec![("name".to_string(), OccKind::Name), ("napoli".to_string(), OccKind::Word)]
         );
         assert_eq!(fti.open_path(d(1), x(3)).unwrap().as_ref(), &[x(1), x(3)]);
         assert!(fti.open_path(d(1), x(9)).is_none());

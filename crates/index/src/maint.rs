@@ -72,11 +72,7 @@ pub struct IndexSet {
 impl IndexSet {
     /// Opens the index set; the EID index persists on the shared pool.
     pub fn open(pool: Arc<BufferPool>, config: IndexConfig) -> Result<IndexSet> {
-        let eid = if config.eid_index {
-            Some(EidTimeIndex::open(pool)?)
-        } else {
-            None
-        };
+        let eid = if config.eid_index { Some(EidTimeIndex::open(pool)?) } else { None };
         Ok(IndexSet {
             config,
             fti: RwLock::new(FullTextIndex::new()),
@@ -239,11 +235,8 @@ impl IndexSet {
                 Some(n) if new_tree.node(n).is_element() => {
                     let desired_path = new_tree.xid_path(n);
                     let desired: Vec<(String, OccKind)> = element_signature(new_tree, n);
-                    let current = if self.fti_enabled() {
-                        fti.open_tokens(doc, xid)
-                    } else {
-                        Vec::new()
-                    };
+                    let current =
+                        if self.fti_enabled() { fti.open_tokens(doc, xid) } else { Vec::new() };
                     let existed = self
                         .eid
                         .as_ref()
@@ -292,10 +285,7 @@ impl IndexSet {
                     }
                     if let Some(eid_idx) = &self.eid {
                         let eid = Eid::new(doc, xid);
-                        if eid_idx
-                            .lifetime(eid)?
-                            .is_some_and(|lt| lt.is_alive())
-                        {
+                        if eid_idx.lifetime(eid)?.is_some_and(|lt| lt.is_alive()) {
                             eid_idx.on_delete(eid, ts)?;
                         }
                     }
@@ -498,11 +488,7 @@ mod tests {
     fn insert_and_delete_subtrees() {
         let f = Fixture::new(FtiMode::Versions);
         f.put("d", "<g><r><n>Napoli</n></r></g>", ts(1));
-        f.put(
-            "d",
-            "<g><r><n>Napoli</n></r><r><n>Akropolis</n></r></g>",
-            ts(2),
-        );
+        f.put("d", "<g><r><n>Napoli</n></r><r><n>Akropolis</n></r></g>", ts(2));
         assert_eq!(f.idx.fti().lookup("akropolis", OccKind::Word).len(), 1);
         assert_eq!(f.idx.fti().lookup("restaurant", OccKind::Name).len(), 0);
         assert_eq!(f.idx.fti().lookup("r", OccKind::Name).len(), 2);
@@ -607,17 +593,9 @@ mod tests {
     fn unchanged_elements_untouched() {
         // Posting count grows only by the changed element's tokens.
         let f = Fixture::new(FtiMode::Versions);
-        f.put(
-            "d",
-            "<g><r><n>Napoli</n><p>15</p></r><r><n>Akropolis</n><p>13</p></r></g>",
-            ts(1),
-        );
+        f.put("d", "<g><r><n>Napoli</n><p>15</p></r><r><n>Akropolis</n><p>13</p></r></g>", ts(1));
         let before = f.idx.fti().posting_count();
-        f.put(
-            "d",
-            "<g><r><n>Napoli</n><p>18</p></r><r><n>Akropolis</n><p>13</p></r></g>",
-            ts(2),
-        );
+        f.put("d", "<g><r><n>Napoli</n><p>18</p></r><r><n>Akropolis</n><p>13</p></r></g>", ts(2));
         let after = f.idx.fti().posting_count();
         // price 15→18: one closed (15) + one opened (18) ⇒ +1 posting.
         assert_eq!(after, before + 1, "only the price element re-indexed");
@@ -642,10 +620,7 @@ mod tests {
         f.put("d", "<g><n>Napoli</n></g>", ts(1));
         f.put("d", "<g></g>", ts(2));
         assert_eq!(f.idx.fti().lookup_h("napoli", OccKind::Word).len(), 1);
-        assert_eq!(
-            f.idx.delta_index().find("napoli", Some(ChangeOp::Delete)).len(),
-            1
-        );
+        assert_eq!(f.idx.delta_index().find("napoli", Some(ChangeOp::Delete)).len(), 1);
     }
 
     #[test]
@@ -667,9 +642,8 @@ mod tests {
             for d in 0..3u64 {
                 let w1 = words[((round + d) % 4) as usize];
                 let w2 = words[((round * 3 + d) % 4) as usize];
-                let xml = format!(
-                    "<doc><item><v>{w1}</v></item><item><v>{w2} {w1}</v></item></doc>"
-                );
+                let xml =
+                    format!("<doc><item><v>{w1}</v></item><item><v>{w2} {w1}</v></item></doc>");
                 f.put(&format!("doc{d}"), &xml, ts(t));
                 t += 1;
             }

@@ -164,10 +164,9 @@ impl Expr {
     /// The variables referenced by the expression.
     pub fn variables(&self, out: &mut Vec<String>) {
         match self {
-            Expr::Var(v)
-                if !out.contains(v) => {
-                    out.push(v.clone());
-                }
+            Expr::Var(v) if !out.contains(v) => {
+                out.push(v.clone());
+            }
             Expr::PathOf { base, .. } => base.variables(out),
             Expr::Func { args, .. } => {
                 for a in args {

@@ -23,8 +23,7 @@ use txdb_xml::similarity;
 use txdb_xml::tree::{NodeId, Tree};
 
 use crate::ast::{CmpOp, Expr, Func};
-use crate::parser::parse_query;
-use crate::plan::{plan_query, DocSel, Plan, ScanMode, SourcePlan, Strategy};
+use crate::plan::{DocSel, Plan, ScanMode, SourcePlan, Strategy};
 use crate::result::{OutValue, QueryResult};
 
 /// Execution statistics.
@@ -38,29 +37,34 @@ pub struct ExecStats {
     pub rows_scanned: usize,
     /// Rows in the final result.
     pub rows_output: usize,
+    /// Materialized-version cache hits during execution.
+    pub cache_hits: usize,
+    /// Materialized-version cache misses during execution.
+    pub cache_misses: usize,
 }
 
 /// Parses, plans and executes a query; `NOW` is the wall clock.
+#[deprecated(since = "0.2.0", note = "use `db.query(text).run()` via `QueryExt`")]
 pub fn execute(db: &Database, text: &str) -> Result<QueryResult> {
-    let now = Timestamp::from_micros(
-        std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_micros() as u64)
-            .unwrap_or(0),
-    );
-    execute_at(db, text, now)
+    crate::request::QueryExt::query(db, text).run()
 }
 
 /// Parses, plans and executes a query with an explicit `NOW` anchor
 /// (deterministic tests and the experiment harness use this).
+#[deprecated(since = "0.2.0", note = "use `db.query(text).at(now).run()` via `QueryExt`")]
 pub fn execute_at(db: &Database, text: &str, now: Timestamp) -> Result<QueryResult> {
-    let q = parse_query(text)?;
-    let plan = plan_query(db, &q, now)?;
-    run_plan(db, &plan)
+    crate::request::QueryExt::query(db, text).at(now).run()
 }
 
 /// Executes an already-built plan.
+#[deprecated(since = "0.2.0", note = "use `db.query(text).at(now).run()` via `QueryExt`")]
 pub fn run_plan(db: &Database, plan: &Plan) -> Result<QueryResult> {
+    run_plan_inner(db, plan)
+}
+
+/// Executes an already-built plan (the engine behind [`crate::QueryExt`]).
+pub(crate) fn run_plan_inner(db: &Database, plan: &Plan) -> Result<QueryResult> {
+    let (h0, m0, _, _, _) = db.store().vcache_stats().snapshot();
     let ctx = Ctx {
         db,
         now: plan.now,
@@ -126,6 +130,9 @@ pub fn run_plan(db: &Database, plan: &Plan) -> Result<QueryResult> {
     }
     let mut stats = *ctx.stats.borrow();
     stats.rows_output = out_rows.len();
+    let (h1, m1, _, _, _) = db.store().vcache_stats().snapshot();
+    stats.cache_hits = h1.saturating_sub(h0) as usize;
+    stats.cache_misses = m1.saturating_sub(m0) as usize;
     Ok(QueryResult { rows: out_rows, stats })
 }
 
@@ -192,22 +199,16 @@ impl Ctx<'_> {
     /// version floor from the §8 interval rewriting bounds the walk).
     fn preload_history(&self, doc: DocId, from: VersionId) -> Result<()> {
         let entries = self.db.store().versions(doc)?;
-        let floor = entries
-            .get(from.0 as usize)
-            .map(|e| e.ts)
-            .unwrap_or(txdb_base::Timestamp::ZERO);
-        let history = self
-            .db
-            .doc_history(doc, txdb_base::Interval::from_onwards(floor))?;
+        let floor =
+            entries.get(from.0 as usize).map(|e| e.ts).unwrap_or(txdb_base::Timestamp::ZERO);
+        let history = self.db.doc_history(doc, txdb_base::Interval::from_onwards(floor))?;
         let mut s = self.stats.borrow_mut();
         for dv in history {
             s.reconstructions += 1;
             let key = (doc, dv.version);
             if !self.cache.borrow().contains_key(&key) {
-                let cached = Rc::new(CachedDoc {
-                    xids: Rc::new(dv.tree.xid_map()),
-                    tree: Rc::new(dv.tree),
-                });
+                let cached =
+                    Rc::new(CachedDoc { xids: Rc::new(dv.tree.xid_map()), tree: Rc::new(dv.tree) });
                 self.cache.borrow_mut().insert(key, cached);
             }
         }
@@ -276,35 +277,50 @@ fn scan_source(ctx: &Ctx<'_>, s: &SourcePlan) -> Result<Vec<Bound>> {
                 Some(d) => vec![d],
                 None => all_docs.iter().map(|(d, _)| *d).collect(),
             };
-            let mut out = Vec::new();
+            // Resolve every (doc, version) the scan will touch up front,
+            // then warm the materialized-version cache in parallel so the
+            // per-binding loads below are cache hits instead of serial
+            // delta-chain walks.
+            let mut targets: Vec<(DocId, VersionId, Timestamp)> = Vec::new();
             for doc in docs {
                 let entries = ctx.db.store().versions(doc)?;
-                let versions: Vec<(VersionId, Timestamp)> = match s.mode {
-                    ScanMode::Current => match entries.last() {
-                        Some(e) if e.kind == VersionKind::Content => vec![(e.version, e.ts)],
-                        _ => Vec::new(),
-                    },
-                    ScanMode::At(t) => match ctx.db.store().version_at(doc, t)? {
-                        Some(v) => vec![(v, entries[v.0 as usize].ts)],
-                        None => Vec::new(),
-                    },
-                    ScanMode::Every(iv) => entries
-                        .iter()
-                        .filter(|e| e.kind == VersionKind::Content && iv.contains(e.ts))
-                        .map(|e| (e.version, e.ts))
-                        .collect(),
-                };
-                for (v, ts) in versions {
-                    let cached = ctx.tree(doc, v)?;
-                    for n in path.eval_roots(&cached.tree) {
-                        let xid = cached.tree.node(n).xid;
-                        out.push(Bound {
-                            var: s.var.clone(),
-                            teid: txdb_base::Eid::new(doc, xid).at(ts),
-                            doc,
-                            version: v,
-                        });
+                match s.mode {
+                    ScanMode::Current => {
+                        if let Some(e) = entries.last() {
+                            if e.kind == VersionKind::Content {
+                                targets.push((doc, e.version, e.ts));
+                            }
+                        }
                     }
+                    ScanMode::At(t) => {
+                        if let Some(v) = ctx.db.store().version_at(doc, t)? {
+                            targets.push((doc, v, entries[v.0 as usize].ts));
+                        }
+                    }
+                    ScanMode::Every(iv) => targets.extend(
+                        entries
+                            .iter()
+                            .filter(|e| e.kind == VersionKind::Content && iv.contains(e.ts))
+                            .map(|e| (doc, e.version, e.ts)),
+                    ),
+                }
+            }
+            if targets.len() > 1 {
+                let pairs: Vec<(DocId, VersionId)> =
+                    targets.iter().map(|&(d, v, _)| (d, v)).collect();
+                ctx.db.prefetch_versions(&pairs);
+            }
+            let mut out = Vec::new();
+            for (doc, v, ts) in targets {
+                let cached = ctx.tree(doc, v)?;
+                for n in path.eval_roots(&cached.tree) {
+                    let xid = cached.tree.node(n).xid;
+                    out.push(Bound {
+                        var: s.var.clone(),
+                        teid: txdb_base::Eid::new(doc, xid).at(ts),
+                        doc,
+                        version: v,
+                    });
                 }
             }
             Ok(out)
@@ -328,16 +344,9 @@ fn eval(ctx: &Ctx<'_>, e: &Expr, row: &[Bound]) -> Result<Value> {
         Expr::Var(v) => {
             let b = find_bound(row, v)?;
             let cached = ctx.tree(b.doc, b.version)?;
-            let node = cached
-                .xids
-                .get(&b.teid.xid())
-                .copied()
-                .ok_or(Error::NoSuchElement(b.teid.eid))?;
-            Ok(Value::Nodes(vec![NodeV {
-                teid: Some(b.teid),
-                tree: cached.tree.clone(),
-                node,
-            }]))
+            let node =
+                cached.xids.get(&b.teid.xid()).copied().ok_or(Error::NoSuchElement(b.teid.eid))?;
+            Ok(Value::Nodes(vec![NodeV { teid: Some(b.teid), tree: cached.tree.clone(), node }]))
         }
         Expr::PathOf { base, path } => {
             let base_v = eval(ctx, base, row)?;
@@ -347,45 +356,43 @@ fn eval(ctx: &Ctx<'_>, e: &Expr, row: &[Bound]) -> Result<Value> {
             let mut out = Vec::new();
             for nv in nodes {
                 for hit in path.eval_from(&nv.tree, nv.node) {
-                    let teid = nv.teid.map(|t| {
-                        txdb_base::Eid::new(t.doc(), nv.tree.node(hit).xid).at(t.ts)
-                    });
+                    let teid = nv
+                        .teid
+                        .map(|t| txdb_base::Eid::new(t.doc(), nv.tree.node(hit).xid).at(t.ts));
                     out.push(NodeV { teid, tree: nv.tree.clone(), node: hit });
                 }
             }
             Ok(Value::Nodes(out))
         }
-        Expr::TimeShift { base, negative, micros } => {
-            match eval(ctx, base, row)? {
-                Value::Time(t) => Ok(Value::Time(if *negative {
-                    t - txdb_base::Duration::from_micros(*micros)
-                } else {
-                    t + txdb_base::Duration::from_micros(*micros)
-                })),
-                _ => Ok(Value::Null),
-            }
-        }
+        Expr::TimeShift { base, negative, micros } => match eval(ctx, base, row)? {
+            Value::Time(t) => Ok(Value::Time(if *negative {
+                t - txdb_base::Duration::from_micros(*micros)
+            } else {
+                t + txdb_base::Duration::from_micros(*micros)
+            })),
+            _ => Ok(Value::Null),
+        },
         Expr::Func { name, args } => eval_func(ctx, *name, args, row),
         Expr::Cmp { op, lhs, rhs } => {
             let a = eval(ctx, lhs, row)?;
             let b = eval(ctx, rhs, row)?;
             Ok(Value::Bool(compare(*op, &a, &b)))
         }
-        Expr::And(a, b) => Ok(Value::Bool(
-            truthy(&eval(ctx, a, row)?) && truthy(&eval(ctx, b, row)?),
-        )),
-        Expr::Or(a, b) => Ok(Value::Bool(
-            truthy(&eval(ctx, a, row)?) || truthy(&eval(ctx, b, row)?),
-        )),
+        Expr::And(a, b) => {
+            Ok(Value::Bool(truthy(&eval(ctx, a, row)?) && truthy(&eval(ctx, b, row)?)))
+        }
+        Expr::Or(a, b) => {
+            Ok(Value::Bool(truthy(&eval(ctx, a, row)?) || truthy(&eval(ctx, b, row)?)))
+        }
         Expr::Not(inner) => Ok(Value::Bool(!truthy(&eval(ctx, inner, row)?))),
     }
 }
 
 fn eval_func(ctx: &Ctx<'_>, name: Func, args: &[Expr], row: &[Bound]) -> Result<Value> {
     match name {
-        Func::Count | Func::Sum => Err(Error::QueryInvalid(
-            "aggregate used outside the select list".into(),
-        )),
+        Func::Count | Func::Sum => {
+            Err(Error::QueryInvalid("aggregate used outside the select list".into()))
+        }
         Func::Time => {
             // TIME(R): the element's §4 timestamp (time of update of the
             // element or one of its children) in the bound version.
@@ -447,9 +454,7 @@ fn eval_func(ctx: &Ctx<'_>, name: Func, args: &[Expr], row: &[Bound]) -> Result<
             let t2 = nb.teid.map(|t| t.ts).unwrap_or(Timestamp::ZERO);
             let script = ctx.db.diff_trees_xml(&old, new, t1, t2)?;
             let tree = Rc::new(script);
-            let root = tree
-                .root()
-                .ok_or_else(|| Error::Corrupt("diff produced no root".into()))?;
+            let root = tree.root().ok_or_else(|| Error::Corrupt("diff produced no root".into()))?;
             Ok(Value::Nodes(vec![NodeV { teid: None, tree, node: root }]))
         }
         Func::Similarity => {
@@ -458,9 +463,7 @@ fn eval_func(ctx: &Ctx<'_>, name: Func, args: &[Expr], row: &[Bound]) -> Result<
             let (Some(na), Some(nb)) = (first_node(&a), first_node(&b)) else {
                 return Ok(Value::Null);
             };
-            Ok(Value::Num(similarity::similarity(
-                &na.tree, na.node, &nb.tree, nb.node,
-            )))
+            Ok(Value::Num(similarity::similarity(&na.tree, na.node, &nb.tree, nb.node)))
         }
     }
 }
@@ -501,9 +504,9 @@ fn eval_aggregate(ctx: &Ctx<'_>, e: &Expr, rows: &[Vec<Bound>]) -> Result<OutVal
             }
             Ok(OutValue::Num(sum))
         }
-        other => Err(Error::QueryInvalid(format!(
-            "select item is not a supported aggregate: {other:?}"
-        ))),
+        other => {
+            Err(Error::QueryInvalid(format!("select item is not a supported aggregate: {other:?}")))
+        }
     }
 }
 
@@ -541,9 +544,9 @@ fn compare(op: CmpOp, a: &Value, b: &Value) -> bool {
         (other, Value::Nodes(ns)) if !matches!(other, Value::Nodes(_)) => {
             ns.iter().any(|n| compare_scalar_node(op, n, other, true))
         }
-        (Value::Nodes(xs), Value::Nodes(ys)) => xs
-            .iter()
-            .any(|x| ys.iter().any(|y| compare_nodes(op, x, y))),
+        (Value::Nodes(xs), Value::Nodes(ys)) => {
+            xs.iter().any(|x| ys.iter().any(|y| compare_nodes(op, x, y)))
+        }
         _ => compare_scalars(op, a, b),
     }
 }
@@ -559,22 +562,12 @@ fn compare_nodes(op: CmpOp, x: &NodeV, y: &NodeV) -> bool {
             _ => false,
         },
         // `~` similarity with the default threshold.
-        CmpOp::Similar => similarity::similar(
-            &x.tree,
-            x.node,
-            &y.tree,
-            y.node,
-            similarity::DEFAULT_THRESHOLD,
-        ),
-        CmpOp::Contains => node_text(x)
-            .to_lowercase()
-            .contains(&node_text(y).to_lowercase()),
+        CmpOp::Similar => {
+            similarity::similar(&x.tree, x.node, &y.tree, y.node, similarity::DEFAULT_THRESHOLD)
+        }
+        CmpOp::Contains => node_text(x).to_lowercase().contains(&node_text(y).to_lowercase()),
         // Ordering: compare text (numerically when both numeric).
-        _ => compare_scalars(
-            op,
-            &Value::Str(node_text(x)),
-            &Value::Str(node_text(y)),
-        ),
+        _ => compare_scalars(op, &Value::Str(node_text(x)), &Value::Str(node_text(y))),
     }
 }
 
@@ -597,12 +590,8 @@ fn compare_scalars(op: CmpOp, a: &Value, b: &Value) -> bool {
         // (the harness and tests write snapshot times this way).
         (Value::Time(x), Value::Num(y)) => (x.micros() as f64).partial_cmp(y),
         (Value::Num(x), Value::Time(y)) => x.partial_cmp(&(y.micros() as f64)),
-        (Value::Time(x), Value::Str(y)) => {
-            Timestamp::parse(y).ok().map(|t| x.cmp(&t))
-        }
-        (Value::Str(x), Value::Time(y)) => {
-            Timestamp::parse(x).ok().map(|t| t.cmp(y))
-        }
+        (Value::Time(x), Value::Str(y)) => Timestamp::parse(y).ok().map(|t| x.cmp(&t)),
+        (Value::Str(x), Value::Time(y)) => Timestamp::parse(x).ok().map(|t| t.cmp(y)),
         (Value::Str(x), Value::Str(y)) => {
             // Numeric comparison when both parse as numbers.
             match (x.trim().parse::<f64>(), y.trim().parse::<f64>()) {
@@ -610,8 +599,12 @@ fn compare_scalars(op: CmpOp, a: &Value, b: &Value) -> bool {
                 _ => Some(x.cmp(y)),
             }
         }
-        (Value::Str(x), Value::Num(y)) => x.trim().parse::<f64>().ok().and_then(|v| v.partial_cmp(y)),
-        (Value::Num(x), Value::Str(y)) => y.trim().parse::<f64>().ok().and_then(|v| x.partial_cmp(&v)),
+        (Value::Str(x), Value::Num(y)) => {
+            x.trim().parse::<f64>().ok().and_then(|v| v.partial_cmp(y))
+        }
+        (Value::Num(x), Value::Str(y)) => {
+            y.trim().parse::<f64>().ok().and_then(|v| x.partial_cmp(&v))
+        }
         (Value::Bool(x), Value::Bool(y)) => Some(x.cmp(y)),
         (Value::Null, _) | (_, Value::Null) => None,
         _ => None,
@@ -677,6 +670,7 @@ fn to_out(_ctx: &Ctx<'_>, v: Value) -> OutValue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::QueryExt;
 
     /// Midnight on a January/February 2001 day — the paper's timeline.
     fn jan(d: u32) -> Timestamp {
@@ -712,16 +706,13 @@ mod tests {
     }
 
     fn run(db: &Database, q: &str) -> QueryResult {
-        execute_at(db, q, feb(20)).unwrap()
+        db.query(q).at(feb(20)).run().unwrap()
     }
 
     #[test]
     fn q1_snapshot_listing() {
         let db = figure1();
-        let r = run(
-            &db,
-            r#"SELECT R FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#,
-        );
+        let r = run(&db, r#"SELECT R FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#);
         assert_eq!(r.len(), 2);
         let xml = r.to_xml();
         assert!(xml.contains("<name>Napoli</name>"), "{xml}");
@@ -797,10 +788,8 @@ mod tests {
     fn previous_and_current_functions() {
         let db = figure1();
         // The previous version of each current restaurant element.
-        let r = run(
-            &db,
-            r#"SELECT PREVIOUS(R)/price FROM doc("guide.com/restaurants")//restaurant R"#,
-        );
+        let r =
+            run(&db, r#"SELECT PREVIOUS(R)/price FROM doc("guide.com/restaurants")//restaurant R"#);
         assert_eq!(r.to_xml(), "<results><result><price>15</price></result></results>");
         // CURRENT of a historical binding.
         let r = run(
@@ -891,10 +880,8 @@ mod tests {
             r#"SELECT SUM(R/price) FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#,
         );
         assert_eq!(r.rows, vec![vec![OutValue::Num(28.0)]]);
-        let r = run(
-            &db,
-            r#"SELECT COUNT(*) FROM doc("guide.com/restaurants")[EVERY]//restaurant R"#,
-        );
+        let r =
+            run(&db, r#"SELECT COUNT(*) FROM doc("guide.com/restaurants")[EVERY]//restaurant R"#);
         assert_eq!(r.rows, vec![vec![OutValue::Num(4.0)]], "3 Napoli versions + 1 Akropolis");
     }
 
@@ -931,21 +918,23 @@ mod tests {
         let db = figure1();
         // Napoli changed on 31/01; with NOW = 09/02, "within the last two
         // weeks" includes it; "within the last week" does not.
-        let r = execute_at(
-            &db,
-            r#"SELECT R/name FROM doc("*")[EVERY]//restaurant R
-               WHERE TIME(R) >= NOW - 2 WEEKS"#,
-            feb(9),
-        )
-        .unwrap();
+        let r = db
+            .query(
+                r#"SELECT R/name FROM doc("*")[EVERY]//restaurant R
+                   WHERE TIME(R) >= NOW - 2 WEEKS"#,
+            )
+            .at(feb(9))
+            .run()
+            .unwrap();
         assert_eq!(r.to_xml(), "<results><result><name>Napoli</name></result></results>");
-        let r = execute_at(
-            &db,
-            r#"SELECT R/name FROM doc("*")[EVERY]//restaurant R
-               WHERE TIME(R) >= NOW - 1 WEEKS"#,
-            feb(9),
-        )
-        .unwrap();
+        let r = db
+            .query(
+                r#"SELECT R/name FROM doc("*")[EVERY]//restaurant R
+                   WHERE TIME(R) >= NOW - 1 WEEKS"#,
+            )
+            .at(feb(9))
+            .run()
+            .unwrap();
         assert!(r.is_empty(), "{}", r.to_xml());
     }
 
@@ -985,7 +974,8 @@ mod tests {
     fn tree_scan_fallback_agrees_with_index() {
         let db = figure1();
         let a = run(&db, r#"SELECT R/name FROM doc("*")[26/01/2001]//restaurant R"#);
-        let b = run(&db, r#"SELECT R/name FROM doc("*")[26/01/2001]/guide/*  R WHERE R/name != """#);
+        let b =
+            run(&db, r#"SELECT R/name FROM doc("*")[26/01/2001]/guide/*  R WHERE R/name != """#);
         // The wildcard scan binds to the same restaurant elements.
         assert_eq!(a.len(), b.len());
         // And the tree-scan path did reconstruct.
@@ -993,16 +983,32 @@ mod tests {
     }
 
     #[test]
+    fn tree_scan_warm_cache_reported_in_stats() {
+        // The tree-scan fallback prefetches every (doc, version) it will
+        // touch into the materialized-version cache; a repeat of the same
+        // query is then answered from cache — zero deltas — and the hits
+        // show up in ExecStats.
+        let db = figure1();
+        let q = r#"SELECT R/name FROM doc("*")[EVERY]/guide/* R WHERE R/name != """#;
+        let cold = run(&db, q);
+        let warm = run(&db, q);
+        assert_eq!(cold.to_xml(), warm.to_xml());
+        assert!(warm.stats.cache_hits > 0, "{:?}", warm.stats);
+        assert_eq!(warm.stats.deltas_applied, 0, "{:?}", warm.stats);
+    }
+
+    #[test]
     fn now_in_snapshot_spec() {
         // §5's relative-time idiom: NOW - 14 DAYS from 09/02/2001 is
         // 26/01/2001, inside the two-restaurant snapshot.
         let db = figure1();
-        let r = execute_at(
-            &db,
-            r#"SELECT R/price FROM doc("guide.com/restaurants")[NOW - 14 DAYS]//restaurant R"#,
-            feb(9),
-        )
-        .unwrap();
+        let r = db
+            .query(
+                r#"SELECT R/price FROM doc("guide.com/restaurants")[NOW - 14 DAYS]//restaurant R"#,
+            )
+            .at(feb(9))
+            .run()
+            .unwrap();
         assert_eq!(r.len(), 2, "{}", r.to_xml());
     }
 }

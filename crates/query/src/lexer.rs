@@ -116,10 +116,8 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
     let b = input.as_bytes();
     let mut out = Vec::new();
     let mut i = 0usize;
-    let err = |offset: usize, message: &str| Error::QueryParse {
-        offset,
-        message: message.to_string(),
-    };
+    let err =
+        |offset: usize, message: &str| Error::QueryParse { offset, message: message.to_string() };
     while i < b.len() {
         let c = b[i];
         let start = i;
@@ -260,24 +258,17 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                     }
                     i += 1;
                 }
-                out.push(Token {
-                    offset: start,
-                    kind: Tok::Number(input[start..i].to_string()),
-                });
+                out.push(Token { offset: start, kind: Tok::Number(input[start..i].to_string()) });
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
-                while i < b.len()
-                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
                 {
                     i += 1;
                 }
                 let word = &input[start..i];
                 match keyword(word) {
                     Some(kw) => out.push(Token { offset: start, kind: Tok::Kw(kw) }),
-                    None => out.push(Token {
-                        offset: start,
-                        kind: Tok::Ident(word.to_string()),
-                    }),
+                    None => out.push(Token { offset: start, kind: Tok::Ident(word.to_string()) }),
                 }
             }
             _ => {
@@ -364,12 +355,7 @@ mod tests {
     fn strings_with_escapes_and_quotes() {
         assert_eq!(
             kinds(r#""a\"b" 'c''s'"#),
-            vec![
-                Tok::Str("a\"b".into()),
-                Tok::Str("c".into()),
-                Tok::Str("s".into()),
-                Tok::Eof
-            ]
+            vec![Tok::Str("a\"b".into()), Tok::Str("c".into()), Tok::Str("s".into()), Tok::Eof]
         );
         assert_eq!(kinds(r#""æøå""#), vec![Tok::Str("æøå".into()), Tok::Eof]);
     }

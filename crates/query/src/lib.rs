@@ -30,6 +30,11 @@
 //! equality-literal word pushdown; reconstruction fallback for wildcard
 //! steps) → [`exec`] (Volcano-style rows with lazy, cached reconstruction
 //! — a `COUNT(R)` never touches a document, the paper's Q2 point).
+//!
+//! The public entry point is the [`request::QueryExt`] extension trait:
+//! `db.query(text).at(ts).run()?` parses, plans and executes in one fluent
+//! chain and returns a [`QueryResult`] carrying [`ExecStats`] (including
+//! materialized-version cache hits/misses).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,8 +44,12 @@ pub mod exec;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
+pub mod request;
 pub mod result;
 
-pub use exec::{execute, ExecStats};
+#[allow(deprecated)]
+pub use exec::execute;
+pub use exec::ExecStats;
 pub use parser::parse_query;
+pub use request::{QueryExt, QueryRequest};
 pub use result::{OutValue, QueryResult};

@@ -75,11 +75,7 @@ impl Parser {
         while self.eat(&Tok::Comma) {
             from.push(self.source_item()?);
         }
-        let where_clause = if self.eat(&Tok::Kw(Kw::Where)) {
-            Some(self.expr()?)
-        } else {
-            None
-        };
+        let where_clause = if self.eat(&Tok::Kw(Kw::Where)) { Some(self.expr()?) } else { None };
         Ok(Query { distinct, select, from, where_clause })
     }
 
@@ -209,9 +205,9 @@ impl Parser {
             };
             self.bump();
             let n: u64 = match self.bump() {
-                Tok::Number(n) => n
-                    .parse()
-                    .map_err(|_| self.err("duration amount must be an integer"))?,
+                Tok::Number(n) => {
+                    n.parse().map_err(|_| self.err("duration amount must be an integer"))?
+                }
                 other => return Err(self.err(format!("expected duration amount, found {other:?}"))),
             };
             let micros = match self.bump() {
@@ -249,10 +245,7 @@ impl Parser {
         if steps.is_empty() {
             Ok(base)
         } else {
-            Ok(Expr::PathOf {
-                base: Box::new(base),
-                path: Path { steps, absolute: false },
-            })
+            Ok(Expr::PathOf { base: Box::new(base), path: Path { steps, absolute: false } })
         }
     }
 
@@ -294,31 +287,29 @@ impl Parser {
                     let ts = Timestamp::parse(&format!("{first}/{month}/{year}"))?;
                     return Ok(Expr::Date(ts));
                 }
-                let n: f64 = first
-                    .parse()
-                    .map_err(|_| self.err(format!("bad number `{first}`")))?;
+                let n: f64 =
+                    first.parse().map_err(|_| self.err(format!("bad number `{first}`")))?;
                 Ok(Expr::Num(n))
             }
             Tok::Ident(name) => {
                 self.bump();
                 // `CREATE TIME(R)` / `DELETE TIME(R)` two-word forms.
-                let two_word = if name.eq_ignore_ascii_case("create")
-                    || name.eq_ignore_ascii_case("delete")
-                {
-                    if let Tok::Ident(second) = self.peek() {
-                        if second.eq_ignore_ascii_case("time") {
-                            let combined = format!("{name}time");
-                            self.bump();
-                            Some(combined)
+                let two_word =
+                    if name.eq_ignore_ascii_case("create") || name.eq_ignore_ascii_case("delete") {
+                        if let Tok::Ident(second) = self.peek() {
+                            if second.eq_ignore_ascii_case("time") {
+                                let combined = format!("{name}time");
+                                self.bump();
+                                Some(combined)
+                            } else {
+                                None
+                            }
                         } else {
                             None
                         }
                     } else {
                         None
-                    }
-                } else {
-                    None
-                };
+                    };
                 let name = two_word.unwrap_or(name);
                 if matches!(self.peek(), Tok::LParen) {
                     let func = match name.to_ascii_uppercase().as_str() {
@@ -332,9 +323,7 @@ impl Parser {
                         "COUNT" => Func::Count,
                         "SUM" => Func::Sum,
                         "SIMILARITY" => Func::Similarity,
-                        other => {
-                            return Err(self.err(format!("unknown function `{other}`")))
-                        }
+                        other => return Err(self.err(format!("unknown function `{other}`"))),
                     };
                     self.bump(); // '('
                     let mut args = Vec::new();
@@ -373,10 +362,9 @@ mod tests {
     #[test]
     fn q1_snapshot_query() {
         // Q1 from the paper (with the snapshot timestamp made concrete).
-        let q = parse_query(
-            r#"SELECT R FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#,
-        )
-        .unwrap();
+        let q =
+            parse_query(r#"SELECT R FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#)
+                .unwrap();
         assert_eq!(q.select.len(), 1);
         assert!(matches!(q.select[0], Expr::Var(ref v) if v == "R"));
         assert_eq!(q.from.len(), 1);
@@ -487,23 +475,18 @@ mod tests {
 
     #[test]
     fn diff_and_similarity() {
-        let q = parse_query(r#"SELECT DIFF(R1, R2) FROM doc("a")//x R1, doc("b")//x R2 WHERE R1 ~ R2"#)
-            .unwrap();
+        let q =
+            parse_query(r#"SELECT DIFF(R1, R2) FROM doc("a")//x R1, doc("b")//x R2 WHERE R1 ~ R2"#)
+                .unwrap();
         assert!(matches!(q.select[0], Expr::Func { name: Func::Diff, .. }));
-        assert!(matches!(
-            q.where_clause,
-            Some(Expr::Cmp { op: CmpOp::Similar, .. })
-        ));
+        assert!(matches!(q.where_clause, Some(Expr::Cmp { op: CmpOp::Similar, .. })));
     }
 
     #[test]
     fn identity_vs_value_equality() {
-        let q = parse_query(r#"SELECT R1 FROM doc("a")//x R1, doc("a")//x R2 WHERE R1 == R2"#)
-            .unwrap();
-        assert!(matches!(
-            q.where_clause,
-            Some(Expr::Cmp { op: CmpOp::Identity, .. })
-        ));
+        let q =
+            parse_query(r#"SELECT R1 FROM doc("a")//x R1, doc("a")//x R2 WHERE R1 == R2"#).unwrap();
+        assert!(matches!(q.where_clause, Some(Expr::Cmp { op: CmpOp::Identity, .. })));
     }
 
     #[test]
@@ -533,12 +516,8 @@ mod tests {
 
     #[test]
     fn contains_predicate() {
-        let q = parse_query(r#"SELECT R FROM doc("d")//r R WHERE R/name CONTAINS "apol""#)
-            .unwrap();
-        assert!(matches!(
-            q.where_clause,
-            Some(Expr::Cmp { op: CmpOp::Contains, .. })
-        ));
+        let q = parse_query(r#"SELECT R FROM doc("d")//r R WHERE R/name CONTAINS "apol""#).unwrap();
+        assert!(matches!(q.where_clause, Some(Expr::Cmp { op: CmpOp::Contains, .. })));
     }
 
     #[test]

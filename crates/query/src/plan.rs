@@ -117,12 +117,7 @@ pub fn plan_query(db: &Database, q: &Query, now: Timestamp) -> Result<Plan> {
             }
         }
     }
-    if declared.len()
-        != declared
-            .iter()
-            .collect::<std::collections::HashSet<_>>()
-            .len()
-    {
+    if declared.len() != declared.iter().collect::<std::collections::HashSet<_>>().len() {
         return Err(Error::QueryInvalid("duplicate variable in FROM".into()));
     }
 
@@ -245,9 +240,7 @@ fn every_interval(var: &str, filter: Option<&Expr>, now: Timestamp) -> Interval 
         let Ok(t) = const_time(const_side, now) else { continue };
         match op {
             CmpOp::Ge => interval.start = interval.start.max(t),
-            CmpOp::Gt => {
-                interval.start = interval.start.max(t + Duration::from_micros(1))
-            }
+            CmpOp::Gt => interval.start = interval.start.max(t + Duration::from_micros(1)),
             _ => {}
         }
     }
@@ -362,8 +355,9 @@ mod tests {
     #[test]
     fn snapshot_time_folded() {
         let db = db_with_doc();
-        let q = parse_query(r#"SELECT R FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#)
-            .unwrap();
+        let q =
+            parse_query(r#"SELECT R FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#)
+                .unwrap();
         let p = plan_query(&db, &q, ts(999)).unwrap();
         match p.sources[0].mode {
             ScanMode::At(t) => assert_eq!(t, Timestamp::from_date(2001, 1, 26)),
@@ -377,8 +371,10 @@ mod tests {
     fn now_arithmetic_folded() {
         let db = db_with_doc();
         let now = Timestamp::from_date(2001, 2, 1);
-        let q = parse_query(r#"SELECT R FROM doc("guide.com/restaurants")[NOW - 14 DAYS]//restaurant R"#)
-            .unwrap();
+        let q = parse_query(
+            r#"SELECT R FROM doc("guide.com/restaurants")[NOW - 14 DAYS]//restaurant R"#,
+        )
+        .unwrap();
         let p = plan_query(&db, &q, now).unwrap();
         match p.sources[0].mode {
             ScanMode::At(t) => assert_eq!(t, Timestamp::from_date(2001, 1, 18)),
@@ -428,9 +424,7 @@ mod tests {
         )
         .unwrap();
         let p = plan_query(&db, &q, ts(1)).unwrap();
-        let Strategy::Index(pattern) = &p.sources[0].strategy else {
-            panic!()
-        };
+        let Strategy::Index(pattern) = &p.sources[0].strategy else { panic!() };
         let nodes = pattern.nodes();
         assert_eq!(nodes.len(), 2, "name constraint attached");
         assert_eq!(nodes[1].tag.as_deref(), Some("name"));

@@ -1,0 +1,79 @@
+//! The fluent query API: `db.query(text).at(ts).run()?`.
+//!
+//! [`QueryExt::query`] starts a [`QueryRequest`]; `.at(ts)` anchors `NOW`
+//! for deterministic replay (tests, the experiment harness); `.run()`
+//! parses, plans and executes, returning a [`QueryResult`] whose
+//! [`crate::ExecStats`] also report materialized-version cache traffic.
+//! The free functions `execute`/`execute_at`/`run_plan` are deprecated
+//! shims over this builder.
+
+use txdb_base::{Result, Timestamp};
+use txdb_core::Database;
+
+use crate::parser::parse_query;
+use crate::plan::plan_query;
+use crate::result::QueryResult;
+
+/// A query waiting to be run: text plus an optional `NOW` anchor.
+///
+/// ```
+/// use txdb_core::Database;
+/// use txdb_query::QueryExt;
+///
+/// let db = Database::in_memory();
+/// db.put("a", "<r><p>15</p></r>", txdb_base::Timestamp::from_secs(10)).unwrap();
+/// let r = db
+///     .query(r#"SELECT R/p FROM doc("a")//r R"#)
+///     .at(txdb_base::Timestamp::from_secs(20))
+///     .run()
+///     .unwrap();
+/// assert_eq!(r.len(), 1);
+/// ```
+#[must_use = "a QueryRequest does nothing until .run() is called"]
+pub struct QueryRequest<'db> {
+    db: &'db Database,
+    text: String,
+    now: Option<Timestamp>,
+}
+
+impl<'db> QueryRequest<'db> {
+    /// Anchors `NOW` (and the default snapshot time) at `now` instead of
+    /// the wall clock. Queries become deterministic and replayable.
+    pub fn at(mut self, now: Timestamp) -> QueryRequest<'db> {
+        self.now = Some(now);
+        self
+    }
+
+    /// Parses, plans and executes the query.
+    pub fn run(self) -> Result<QueryResult> {
+        let now = self.now.unwrap_or_else(wall_clock);
+        let q = parse_query(&self.text)?;
+        let plan = plan_query(self.db, &q, now)?;
+        crate::exec::run_plan_inner(self.db, &plan)
+    }
+}
+
+/// The current wall-clock time as a [`Timestamp`] (the default `NOW`).
+pub(crate) fn wall_clock() -> Timestamp {
+    Timestamp::from_micros(
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0),
+    )
+}
+
+/// Entry point for queries on a [`Database`]: `db.query(text)`.
+///
+/// An extension trait because `txdb-core` cannot depend on this crate;
+/// import it (or the umbrella crate's re-export) to get the method.
+pub trait QueryExt {
+    /// Starts a [`QueryRequest`] for `text`.
+    fn query(&self, text: impl AsRef<str>) -> QueryRequest<'_>;
+}
+
+impl QueryExt for Database {
+    fn query(&self, text: impl AsRef<str>) -> QueryRequest<'_> {
+        QueryRequest { db: self, text: text.as_ref().to_string(), now: None }
+    }
+}

@@ -97,7 +97,10 @@ mod tests {
     fn xml_envelope() {
         let r = QueryResult {
             rows: vec![
-                vec![OutValue::Time(Timestamp::from_date(2001, 1, 15)), OutValue::Xml("<price>15</price>".into())],
+                vec![
+                    OutValue::Time(Timestamp::from_date(2001, 1, 15)),
+                    OutValue::Xml("<price>15</price>".into()),
+                ],
                 vec![OutValue::Str("a<b".into()), OutValue::Num(3.0)],
                 vec![OutValue::Null],
             ],

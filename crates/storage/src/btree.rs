@@ -60,7 +60,10 @@ fn parse(buf: &[u8]) -> Result<Node> {
                 let klen = get_u16(buf, off) as usize;
                 let vlen = get_u16(buf, off + 2) as usize;
                 off += 4;
-                entries.push((buf[off..off + klen].to_vec(), buf[off + klen..off + klen + vlen].to_vec()));
+                entries.push((
+                    buf[off..off + klen].to_vec(),
+                    buf[off + klen..off + klen + vlen].to_vec(),
+                ));
                 off += klen + vlen;
             }
             Ok(Node::Leaf { entries, next })
@@ -233,10 +236,7 @@ impl BTree {
                 let left_entries = entries[..cut].to_vec();
                 let sep = right_entries[0].0.clone();
                 let (right_id, rframe) = self.pool.allocate()?;
-                serialize(
-                    &Node::Leaf { entries: right_entries, next },
-                    &mut rframe.write(),
-                );
+                serialize(&Node::Leaf { entries: right_entries, next }, &mut rframe.write());
                 self.pool.mark_dirty(right_id);
                 self.store(id, &Node::Leaf { entries: left_entries, next: right_id })?;
                 Ok((old, Some((sep, right_id))))
@@ -474,8 +474,7 @@ mod tests {
             assert_eq!(t.get(k).unwrap().as_ref(), Some(v));
         }
         // Full scan is sorted, complete and equal to the model.
-        let scanned: Vec<(Vec<u8>, Vec<u8>)> =
-            t.iter().unwrap().map(|e| e.unwrap()).collect();
+        let scanned: Vec<(Vec<u8>, Vec<u8>)> = t.iter().unwrap().map(|e| e.unwrap()).collect();
         assert_eq!(scanned.len(), model.len());
         assert!(scanned.windows(2).all(|w| w[0].0 < w[1].0));
         for ((sk, sv), (mk, mv)) in scanned.iter().zip(model.iter()) {
@@ -498,12 +497,7 @@ mod tests {
             .collect();
         assert_eq!(got, (10..20).collect::<Vec<u32>>());
         // Empty range.
-        assert_eq!(
-            t.range(&50u32.to_be_bytes(), Some(&50u32.to_be_bytes()))
-                .unwrap()
-                .count(),
-            0
-        );
+        assert_eq!(t.range(&50u32.to_be_bytes(), Some(&50u32.to_be_bytes())).unwrap().count(), 0);
         // Open-ended.
         assert_eq!(t.range(&95u32.to_be_bytes(), None).unwrap().count(), 5);
     }

@@ -112,7 +112,8 @@ impl BufferPool {
         let buf = self.pager.read_page(id)?;
         let frame: Frame = Arc::new(RwLock::new(buf));
         self.evict_if_needed(&mut frames)?;
-        frames.insert(id, FrameMeta { frame: frame.clone(), dirty: false, last_used: self.touch() });
+        frames
+            .insert(id, FrameMeta { frame: frame.clone(), dirty: false, last_used: self.touch() });
         Ok(frame)
     }
 
@@ -256,7 +257,7 @@ mod tests {
         let (id, _f) = p.allocate().unwrap();
         p.free_page(id).unwrap();
         assert!(p.get(id).is_ok() || p.get(id).is_err()); // freed page readable (still allocated in pager) — but not cached
-        // Reallocation reuses it.
+                                                          // Reallocation reuses it.
         let again = p.pager().allocate().unwrap();
         assert_eq!(again, id);
     }
@@ -277,7 +278,7 @@ mod tests {
         let (b, _) = p.allocate().unwrap();
         p.flush_all().unwrap(); // make clean
         let _ = p.get(a).unwrap(); // refresh a
-        // Insert two more to force eviction of b (oldest clean).
+                                   // Insert two more to force eviction of b (oldest clean).
         let (_c, _) = p.allocate().unwrap();
         let (_d, _) = p.allocate().unwrap();
         p.flush_all().unwrap();

@@ -439,7 +439,8 @@ mod tests {
         let heap = Heap::open(pool.clone(), 0).unwrap();
         let mut rids = Vec::new();
         for i in 0..2000u32 {
-            let data = format!("record number {i} with some padding {}", "x".repeat(i as usize % 50));
+            let data =
+                format!("record number {i} with some padding {}", "x".repeat(i as usize % 50));
             rids.push((heap.insert(data.as_bytes()).unwrap(), data));
         }
         for (rid, data) in &rids {

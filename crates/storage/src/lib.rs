@@ -39,10 +39,12 @@ pub mod buffer;
 pub mod heap;
 pub mod pager;
 pub mod repo;
+pub mod vcache;
 pub mod vfs;
 pub mod wal;
 
 pub use buffer::{BufferPool, BufferStats};
 pub use pager::{PageId, Pager, PAGE_SIZE, PHYS_PAGE_SIZE};
 pub use repo::{DocumentStore, FsckReport, StoreOptions, VersionEntry, VersionKind};
+pub use vcache::{VersionCache, VersionCacheStats};
 pub use vfs::{FaultyVfs, RealVfs, Vfs, VfsFile};

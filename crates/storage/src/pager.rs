@@ -93,7 +93,8 @@ pub fn new_page() -> PageBuf {
 fn read_phys(file: &mut dyn VfsFile, id: PageId) -> Result<PageBuf> {
     let mut phys = [0u8; PHYS_PAGE_SIZE];
     with_retry(|| file.read_at(id.0 * PHYS_PAGE_SIZE as u64, &mut phys))?;
-    let expected = u32::from_le_bytes(phys[PAGE_SIZE..PAGE_SIZE + 4].try_into().expect("fixed-width slice"));
+    let expected =
+        u32::from_le_bytes(phys[PAGE_SIZE..PAGE_SIZE + 4].try_into().expect("fixed-width slice"));
     let actual = crc32(&phys[..PAGE_SIZE]);
     if expected != actual {
         return Err(Error::Corruption { page: id.0, expected, actual });
@@ -240,9 +241,9 @@ impl Pager {
             let id = PageId(inner.header.free_head);
             // The free page stores the next free head in its first 8 bytes.
             let next = match &mut inner.backend {
-                Backend::Memory(pages) => {
-                    u64::from_le_bytes(pages[id.0 as usize][0..8].try_into().expect("fixed-width slice"))
-                }
+                Backend::Memory(pages) => u64::from_le_bytes(
+                    pages[id.0 as usize][0..8].try_into().expect("fixed-width slice"),
+                ),
                 Backend::File { file, .. } => {
                     let buf = read_phys(file.as_mut(), id)?;
                     u64::from_le_bytes(buf[0..8].try_into().expect("fixed-width slice"))

@@ -70,6 +70,12 @@ pub struct StoreOptions {
     pub snapshot_every: Option<u32>,
     /// Fsync the WAL on every append.
     pub wal_sync: bool,
+    /// Byte budget of the materialized-version cache (reconstructed trees
+    /// keyed by `(doc, version)`); `0` disables it. The cache turns the
+    /// repeated backward-delta reconstructions of `DocHistory` /
+    /// `TPatternScanAll` into lookups without changing any result — only
+    /// the delta-application counts reported by `*_counted` methods drop.
+    pub cache_bytes: usize,
     /// File-system implementation for the file backend; `None` = the
     /// real file system. The fault-injection harness passes a
     /// [`crate::vfs::FaultyVfs`] here.
@@ -83,6 +89,7 @@ impl std::fmt::Debug for StoreOptions {
             .field("buffer_pages", &self.buffer_pages)
             .field("snapshot_every", &self.snapshot_every)
             .field("wal_sync", &self.wal_sync)
+            .field("cache_bytes", &self.cache_bytes)
             .field("vfs", &self.vfs.as_ref().map(|_| "custom"))
             .finish()
     }
@@ -95,6 +102,7 @@ impl Default for StoreOptions {
             buffer_pages: 4096,
             snapshot_every: None,
             wal_sync: false,
+            cache_bytes: 8 << 20,
             vfs: None,
         }
     }
@@ -182,9 +190,8 @@ impl DocMeta {
             let mut v = 0u64;
             let mut shift = 0u32;
             loop {
-                let (&byte, rest) = b
-                    .split_first()
-                    .ok_or_else(|| Error::Corrupt("truncated doc meta".into()))?;
+                let (&byte, rest) =
+                    b.split_first().ok_or_else(|| Error::Corrupt("truncated doc meta".into()))?;
                 *b = rest;
                 v |= ((byte & 0x7f) as u64) << shift;
                 if byte & 0x80 == 0 {
@@ -306,6 +313,11 @@ pub struct RecoveryReport {
     /// readable, mutations return [`Error::ReadOnly`], and the WAL is
     /// preserved for diagnosis (`fsck` / `repair_wal_tail`).
     pub salvage: Option<String>,
+    /// Document chains that failed to replay into the in-memory indexes
+    /// during a salvage-mode open (filled in by the database layer).
+    /// Those documents stay readable through the store but are invisible
+    /// to index-backed queries until repaired.
+    pub unindexed_chains: usize,
 }
 
 /// Outcome of a [`DocumentStore::vacuum`].
@@ -380,11 +392,7 @@ impl std::fmt::Display for FsckReport {
         for e in &self.errors {
             writeln!(f, "error: {e}")?;
         }
-        write!(
-            f,
-            "status:           {}",
-            if self.is_clean() { "clean" } else { "CORRUPT" }
-        )
+        write!(f, "status:           {}", if self.is_clean() { "clean" } else { "CORRUPT" })
     }
 }
 
@@ -408,6 +416,10 @@ pub struct DocumentStore {
     /// on every temporal lookup; decoding the record each time would make
     /// `version_at` O(versions) per call. Writers invalidate.
     meta_cache: Mutex<std::collections::HashMap<DocId, Arc<(RecordId, DocMeta)>>>,
+    /// Materialized-version cache (§7.3.3 reconstruction results), byte-
+    /// budgeted by [`StoreOptions::cache_bytes`]. Writers invalidate per
+    /// document; `fsck` bypasses it so the check exercises real chains.
+    vcache: crate::vcache::VersionCache,
     /// Set when the store degraded to read-only salvage mode at open;
     /// never cleared for the lifetime of the handle. The string is the
     /// reason, surfaced through [`Error::ReadOnly`].
@@ -432,6 +444,7 @@ impl DocumentStore {
         let heap = Heap::open(pool.clone(), roots::HEAP)?;
         let catalog = BTree::open(pool.clone(), roots::CATALOG)?;
         let docs = BTree::open(pool.clone(), roots::DOCS)?;
+        let vcache = crate::vcache::VersionCache::new(opts.cache_bytes);
         let store = DocumentStore {
             pool,
             heap,
@@ -441,6 +454,7 @@ impl DocumentStore {
             opts,
             sync: RwLock::new(()),
             meta_cache: Mutex::new(std::collections::HashMap::new()),
+            vcache,
             read_only: Mutex::new(None),
         };
         // Recovery: replay WAL tail against the checkpointed page image.
@@ -490,9 +504,7 @@ impl DocumentStore {
 
     /// Convenience: open a fresh in-memory store.
     pub fn in_memory() -> DocumentStore {
-        DocumentStore::open(StoreOptions::default())
-            .expect("in-memory open cannot fail")
-            .0
+        DocumentStore::open(StoreOptions::default()).expect("in-memory open cannot fail").0
     }
 
     /// Buffer-pool statistics (the I/O-cost metric in experiments).
@@ -532,7 +544,8 @@ impl DocumentStore {
                 let ts = Timestamp::from_micros(u64::from_le_bytes(
                     rest.get(0..8)
                         .ok_or_else(|| Error::WalCorrupt(0, "short put".into()))?
-                        .try_into().expect("fixed-width slice"),
+                        .try_into()
+                        .expect("fixed-width slice"),
                 ));
                 let tree = decode_tree(&rest[8..])?;
                 self.apply_put(&name, tree, ts)?;
@@ -543,7 +556,8 @@ impl DocumentStore {
                 let ts = Timestamp::from_micros(u64::from_le_bytes(
                     rest.get(0..8)
                         .ok_or_else(|| Error::WalCorrupt(0, "short delete".into()))?
-                        .try_into().expect("fixed-width slice"),
+                        .try_into()
+                        .expect("fixed-width slice"),
                 ));
                 self.apply_delete(&name, ts)?;
                 Ok(())
@@ -553,7 +567,8 @@ impl DocumentStore {
                 let before = Timestamp::from_micros(u64::from_le_bytes(
                     rest.get(0..8)
                         .ok_or_else(|| Error::WalCorrupt(0, "short vacuum".into()))?
-                        .try_into().expect("fixed-width slice"),
+                        .try_into()
+                        .expect("fixed-width slice"),
                 ));
                 self.apply_vacuum(&name, before)?;
                 Ok(())
@@ -639,7 +654,8 @@ impl DocumentStore {
                     .ok_or_else(|| Error::Corrupt("document has no content version".into()))?;
                 let (from_version, from_ts) = (from_entry.version, from_entry.ts);
                 let mut next_xid = meta.next_xid;
-                let result = diff_trees(&old_tree, &mut tree, &mut next_xid, from_version, from_ts, ts)?;
+                let result =
+                    diff_trees(&old_tree, &mut tree, &mut next_xid, from_version, from_ts, ts)?;
                 if result.delta.is_empty() && !meta.is_deleted() {
                     // Unchanged content: no new version (re-crawl of an
                     // identical page, §3.1).
@@ -685,6 +701,7 @@ impl DocumentStore {
                 let new_meta_rid = self.heap.update(meta_rid, &meta.encode())?;
                 self.docs.insert(&doc.0.to_be_bytes(), &new_meta_rid.to_bytes())?;
                 self.invalidate_meta(doc);
+                self.vcache.invalidate_doc(doc);
                 Ok(PutResult {
                     doc,
                     version,
@@ -745,6 +762,7 @@ impl DocumentStore {
         let new_meta_rid = self.heap.update(meta_rid, &meta.encode())?;
         self.docs.insert(&doc.0.to_be_bytes(), &new_meta_rid.to_bytes())?;
         self.invalidate_meta(doc);
+        self.vcache.invalidate_doc(doc);
         Ok(Some(DeleteResult { doc, version, ts, old_tree }))
     }
 
@@ -780,11 +798,7 @@ impl DocumentStore {
         let mut stats = VacuumStats::default();
         let n = meta.entries.len();
         for i in 0..n {
-            let end = meta
-                .entries
-                .get(i + 1)
-                .map(|e| e.ts)
-                .unwrap_or(Timestamp::FOREVER);
+            let end = meta.entries.get(i + 1).map(|e| e.ts).unwrap_or(Timestamp::FOREVER);
             let e = &mut meta.entries[i];
             // The last entry (validity open-ended) is never purged, even
             // with `before = FOREVER`: the current state always survives.
@@ -826,6 +840,7 @@ impl DocumentStore {
             let new_meta_rid = self.heap.update(meta_rid, &meta.encode())?;
             self.docs.insert(&doc.0.to_be_bytes(), &new_meta_rid.to_bytes())?;
             self.invalidate_meta(doc);
+            self.vcache.invalidate_doc(doc);
         }
         Ok(Some(stats))
     }
@@ -849,9 +864,7 @@ impl DocumentStore {
     fn alloc_doc_id(&self) -> DocId {
         // The NEXT_DOC root slot doubles as a monotone counter.
         let next = self.pool.pager().root(roots::NEXT_DOC).0 + 1;
-        self.pool
-            .pager()
-            .set_root(roots::NEXT_DOC, crate::pager::PageId(next));
+        self.pool.pager().set_root(roots::NEXT_DOC, crate::pager::PageId(next));
         DocId(next as u32)
     }
 
@@ -862,7 +875,8 @@ impl DocumentStore {
         if docid_bytes.len() != 4 {
             return Err(Error::Corrupt("bad doc id in catalog".into()));
         }
-        let doc = DocId(u32::from_be_bytes(docid_bytes[..4].try_into().expect("fixed-width slice")));
+        let doc =
+            DocId(u32::from_be_bytes(docid_bytes[..4].try_into().expect("fixed-width slice")));
         let (rid, meta) = self.meta_of(doc)?;
         Ok(Some((doc, rid, meta)))
     }
@@ -877,10 +891,7 @@ impl DocumentStore {
         if let Some(hit) = self.meta_cache.lock().get(&doc) {
             return Ok(hit.clone());
         }
-        let rid_bytes = self
-            .docs
-            .get(&doc.0.to_be_bytes())?
-            .ok_or(Error::NoSuchDocId(doc))?;
+        let rid_bytes = self.docs.get(&doc.0.to_be_bytes())?.ok_or(Error::NoSuchDocId(doc))?;
         let rid = RecordId::from_bytes(&rid_bytes)?;
         let meta = DocMeta::decode(&self.heap.get(rid)?)?;
         let arc = Arc::new((rid, meta));
@@ -977,54 +988,68 @@ impl DocumentStore {
     pub fn version_interval(&self, doc: DocId, v: VersionId) -> Result<Interval> {
         let _g = self.sync.read();
         let (_, meta) = self.meta_of(doc)?;
-        let e = meta
-            .entries
-            .get(v.0 as usize)
-            .ok_or(Error::NoSuchVersion(doc, v))?;
-        let end = meta
-            .entries
-            .get(v.0 as usize + 1)
-            .map(|n| n.ts)
-            .unwrap_or(Timestamp::FOREVER);
+        let e = meta.entries.get(v.0 as usize).ok_or(Error::NoSuchVersion(doc, v))?;
+        let end = meta.entries.get(v.0 as usize + 1).map(|n| n.ts).unwrap_or(Timestamp::FOREVER);
         Ok(Interval::new(e.ts, end))
     }
 
     /// Reconstructs version `v` (§7.3.3): finds the nearest complete
-    /// materialisation at or after `v` (snapshot or the current version)
-    /// and applies completed deltas backwards. Returns the tree and the
-    /// number of deltas applied (the cost metric of experiment E4).
+    /// materialisation at or after `v` — a cached version, a snapshot, or
+    /// the current version, whichever is closest — and applies completed
+    /// deltas backwards. Returns the tree and the number of deltas applied
+    /// (the cost metric of experiment E4; a cache hit costs 0).
     pub fn version_tree_counted(&self, doc: DocId, v: VersionId) -> Result<(Tree, usize)> {
         let _g = self.sync.read();
         let (_, meta) = self.meta_of(doc)?;
-        self.reconstruct_counted(&meta, doc, v)
+        self.reconstruct_counted(&meta, doc, v, true)
     }
 
     /// Lock-free reconstruction core, shared with [`DocumentStore::fsck`]
-    /// (which holds the lock for its whole sweep).
-    fn reconstruct_counted(&self, meta: &DocMeta, doc: DocId, v: VersionId) -> Result<(Tree, usize)> {
-        let e = meta
-            .entries
-            .get(v.0 as usize)
-            .ok_or(Error::NoSuchVersion(doc, v))?;
+    /// (which holds the lock for its whole sweep and passes
+    /// `use_cache = false` so the check exercises the real delta chains).
+    fn reconstruct_counted(
+        &self,
+        meta: &DocMeta,
+        doc: DocId,
+        v: VersionId,
+        use_cache: bool,
+    ) -> Result<(Tree, usize)> {
+        let e = meta.entries.get(v.0 as usize).ok_or(Error::NoSuchVersion(doc, v))?;
         if e.kind != VersionKind::Content {
             return Err(Error::NoSuchVersion(doc, v));
         }
-        // Direct hits first.
+        // Direct hits first: the cache, then a materialized snapshot, then
+        // the current version.
+        if use_cache {
+            if let Some(t) = self.vcache.get(doc, v) {
+                return Ok(((*t).clone(), 0));
+            }
+        }
         if let Some(rid) = e.snapshot_rid {
             return Ok((decode_tree(&self.heap.get(rid)?)?, 0));
         }
-        let last_content = meta
-            .last_content()
-            .ok_or_else(|| Error::Corrupt("no content version".into()))?;
+        let last_content =
+            meta.last_content().ok_or_else(|| Error::Corrupt("no content version".into()))?;
         if last_content.version == v {
             return Ok((self.current_tree_of(meta)?, 0));
         }
-        // Nearest materialisation after v: the oldest snapshot with
-        // timestamp >= v ("processing start using the oldest snapshot with
-        // timestamp greater or equal to t"), else the current version.
+        // Nearest materialisation after v: walking forward from v, the
+        // first cached version or snapshot ("processing start using the
+        // oldest snapshot with timestamp greater or equal to t"), else the
+        // current version. Only versions *after* v can seed, because
+        // completed deltas apply backwards.
         let mut start = last_content.version;
         let mut tree = None;
         for e2 in &meta.entries[(v.0 as usize + 1)..] {
+            if use_cache {
+                if let Some(t) = self.vcache.peek(doc, e2.version) {
+                    // `get` refreshes the seed's LRU slot and counts the hit.
+                    let t = self.vcache.get(doc, e2.version).unwrap_or(t);
+                    start = e2.version;
+                    tree = Some((*t).clone());
+                    break;
+                }
+            }
             if let Some(rid) = e2.snapshot_rid {
                 start = e2.version;
                 tree = Some(decode_tree(&self.heap.get(rid)?)?);
@@ -1044,7 +1069,37 @@ impl DocumentStore {
             delta.apply_backward(&mut tree)?;
             applied += 1;
         }
+        if use_cache && applied > 0 {
+            self.vcache.insert(doc, v, Arc::new(tree.clone()));
+        }
         Ok((tree, applied))
+    }
+
+    /// The materialized-version cache's counters (hits, misses, inserts,
+    /// evictions, invalidations), mirroring [`DocumentStore::buffer_stats`].
+    pub fn vcache_stats(&self) -> &crate::vcache::VersionCacheStats {
+        &self.vcache.stats
+    }
+
+    /// The materialized-version cache itself (residency inspection).
+    pub fn vcache(&self) -> &crate::vcache::VersionCache {
+        &self.vcache
+    }
+
+    /// The cached tree of `(doc, v)`, if resident (counts a hit/miss).
+    /// Used by the incremental history walk in `txdb-core` to seed from
+    /// the nearest cached version instead of re-reconstructing.
+    pub fn cached_version(&self, doc: DocId, v: VersionId) -> Option<Tree> {
+        self.vcache.get(doc, v).map(|t| (*t).clone())
+    }
+
+    /// Offers a reconstructed tree to the cache (no-op when disabled).
+    /// The incremental history walk materializes every intermediate
+    /// version anyway; caching them makes later point queries free.
+    pub fn cache_version(&self, doc: DocId, v: VersionId, tree: &Tree) {
+        if !self.vcache.is_disabled() {
+            self.vcache.insert(doc, v, Arc::new(tree.clone()));
+        }
     }
 
     /// Reconstructs version `v` (§7.3.3).
@@ -1057,10 +1112,7 @@ impl DocumentStore {
     pub fn delta(&self, doc: DocId, v: VersionId) -> Result<Option<Delta>> {
         let _g = self.sync.read();
         let (_, meta) = self.meta_of(doc)?;
-        let e = meta
-            .entries
-            .get(v.0 as usize)
-            .ok_or(Error::NoSuchVersion(doc, v))?;
+        let e = meta.entries.get(v.0 as usize).ok_or(Error::NoSuchVersion(doc, v))?;
         match e.delta_rid {
             Some(rid) => Ok(Some(self.load_delta(rid)?)),
             None => Ok(None),
@@ -1072,10 +1124,7 @@ impl DocumentStore {
             .map_err(|_| Error::Corrupt("delta record is not UTF-8".into()))?;
         // keep_whitespace: delta payloads may contain whitespace-only text
         // nodes that the default parser would drop.
-        let tree = parse_with(
-            &text,
-            ParseOptions { keep_whitespace: true, allow_forest: true },
-        )?;
+        let tree = parse_with(&text, ParseOptions { keep_whitespace: true, allow_forest: true })?;
         delta_from_xml(&tree)
     }
 
@@ -1165,7 +1214,10 @@ impl DocumentStore {
             };
             if let Some(rid) = meta.current_rid {
                 if let Err(e) = self.heap.get(rid).and_then(|b| decode_tree(&b)) {
-                    r.errors.push(format!("doc {doc} ({}): current version unreadable: {e}", meta.name));
+                    r.errors.push(format!(
+                        "doc {doc} ({}): current version unreadable: {e}",
+                        meta.name
+                    ));
                 }
             }
             for e in &meta.entries {
@@ -1183,7 +1235,7 @@ impl DocumentStore {
                 if e.kind != VersionKind::Content {
                     continue;
                 }
-                match self.reconstruct_counted(&meta, doc, e.version) {
+                match self.reconstruct_counted(&meta, doc, e.version, false) {
                     Ok(_) => r.reconstructed += 1,
                     Err(err) => r.errors.push(format!(
                         "doc {doc} ({}) v{}: reconstruction failed: {err}",
@@ -1255,9 +1307,7 @@ mod tests {
         let r0 = store.put("d", "<g><p>1</p></g>", ts(1)).unwrap();
         let doc = r0.doc;
         for (i, price) in [(2u64, "2"), (3, "3"), (4, "4")] {
-            let r = store
-                .put("d", &format!("<g><p>{price}</p></g>"), ts(i))
-                .unwrap();
+            let r = store.put("d", &format!("<g><p>{price}</p></g>"), ts(i)).unwrap();
             assert!(r.changed && !r.created);
             assert!(r.delta.is_some());
         }
@@ -1322,10 +1372,7 @@ mod tests {
         assert!(store.is_deleted(doc).unwrap());
         assert!(store.current_tree(doc).is_err());
         // History still reconstructible.
-        assert_eq!(
-            to_string(&store.version_tree(doc, VersionId(1)).unwrap()),
-            "<a>2</a>"
-        );
+        assert_eq!(to_string(&store.version_tree(doc, VersionId(1)).unwrap()), "<a>2</a>");
         // version_at inside the tombstone interval → None.
         assert_eq!(store.version_at(doc, ts(35)).unwrap(), None);
         assert_eq!(store.version_at(doc, ts(25)).unwrap(), Some(VersionId(1)));
@@ -1333,6 +1380,39 @@ mod tests {
         assert!(store.delete("d", ts(40)).unwrap().is_none());
         // Deleting a non-existent doc is None.
         assert!(store.delete("nope", ts(50)).unwrap().is_none());
+    }
+
+    #[test]
+    fn vacuum_invalidates_cached_versions() {
+        let store = DocumentStore::in_memory();
+        let doc = store.put("d", "<a>1</a>", ts(10)).unwrap().doc;
+        for (i, p) in [(20u64, "2"), (30, "3"), (40, "4"), (50, "5")] {
+            store.put("d", &format!("<a>{p}</a>"), ts(i)).unwrap();
+        }
+        // Warm the cache with every version (the current version costs no
+        // deltas and is not auto-cached, so offer it explicitly).
+        for v in 0..5u32 {
+            let t = store.version_tree(doc, VersionId(v)).unwrap();
+            store.cache_version(doc, VersionId(v), &t);
+            assert!(store.cached_version(doc, VersionId(v)).is_some());
+        }
+        // Purge history before ts(45): v0..v2 go, v3 and the current v4 stay.
+        let stats = store.vacuum("d", ts(45)).unwrap().unwrap();
+        assert_eq!(stats.purged_versions, 3);
+        // Every cached materialisation of the document is dropped — a
+        // purged version must never be served from a stale cache entry.
+        for v in 0..5u32 {
+            assert!(
+                store.cached_version(doc, VersionId(v)).is_none(),
+                "v{v} survived vacuum in the cache"
+            );
+        }
+        assert!(store.version_tree(doc, VersionId(0)).is_err());
+        // Surviving versions reconstruct (and re-cache) correctly.
+        let (t, applied) = store.version_tree_counted(doc, VersionId(3)).unwrap();
+        assert_eq!(to_string(&t), "<a>4</a>");
+        assert_eq!(applied, 1);
+        assert!(store.cached_version(doc, VersionId(3)).is_some());
     }
 
     #[test]
@@ -1357,25 +1437,18 @@ mod tests {
 
     #[test]
     fn snapshots_bound_reconstruction() {
-        let store = DocumentStore::open(StoreOptions {
-            snapshot_every: Some(4),
-            ..Default::default()
-        })
-        .unwrap()
-        .0;
+        let store =
+            DocumentStore::open(StoreOptions { snapshot_every: Some(4), ..Default::default() })
+                .unwrap()
+                .0;
         let doc = store.put("d", "<a><v>0</v></a>", ts(1)).unwrap().doc;
         for i in 1..=20u64 {
-            store
-                .put("d", &format!("<a><v>{i}</v></a>"), ts(1 + i))
-                .unwrap();
+            store.put("d", &format!("<a><v>{i}</v></a>"), ts(1 + i)).unwrap();
         }
         // Snapshots exist at versions 4, 8, 12, 16, 20.
         let vs = store.versions(doc).unwrap();
-        let snap_versions: Vec<u32> = vs
-            .iter()
-            .filter(|e| e.snapshot_rid.is_some())
-            .map(|e| e.version.0)
-            .collect();
+        let snap_versions: Vec<u32> =
+            vs.iter().filter(|e| e.snapshot_rid.is_some()).map(|e| e.version.0).collect();
         assert_eq!(snap_versions, vec![4, 8, 12, 16, 20]);
         // Reconstructing version 5 starts from snapshot 8: 3 deltas.
         let (t, applied) = store.version_tree_counted(doc, VersionId(5)).unwrap();
@@ -1391,33 +1464,23 @@ mod tests {
     fn many_documents() {
         let store = DocumentStore::in_memory();
         for i in 0..50 {
-            store
-                .put(&format!("doc{i}"), &format!("<d><n>{i}</n></d>"), ts(i + 1))
-                .unwrap();
+            store.put(&format!("doc{i}"), &format!("<d><n>{i}</n></d>"), ts(i + 1)).unwrap();
         }
         assert_eq!(store.list().unwrap().len(), 50);
         let doc = store.doc_id("doc33").unwrap().unwrap();
-        assert_eq!(
-            to_string(&store.current_tree(doc).unwrap()),
-            "<d><n>33</n></d>"
-        );
+        assert_eq!(to_string(&store.current_tree(doc).unwrap()), "<d><n>33</n></d>");
     }
 
     #[test]
     fn xids_preserved_across_versions() {
         let store = DocumentStore::in_memory();
-        let doc = store
-            .put("d", "<g><r><n>Napoli</n><p>15</p></r></g>", ts(1))
-            .unwrap()
-            .doc;
+        let doc = store.put("d", "<g><r><n>Napoli</n><p>15</p></r></g>", ts(1)).unwrap().doc;
         let t0 = store.current_tree(doc).unwrap();
         let r_xid = {
             let r = t0.iter().find(|&n| t0.node(n).name() == Some("r")).unwrap();
             t0.node(r).xid
         };
-        store
-            .put("d", "<g><r><n>Napoli</n><p>18</p></r></g>", ts(2))
-            .unwrap();
+        store.put("d", "<g><r><n>Napoli</n><p>18</p></r></g>", ts(2)).unwrap();
         let t1 = store.current_tree(doc).unwrap();
         let r1 = t1.iter().find(|&n| t1.node(n).name() == Some("r")).unwrap();
         assert_eq!(t1.node(r1).xid, r_xid, "persistent identity across versions");
@@ -1499,13 +1562,8 @@ mod tests {
     fn timestamps_in_stored_versions() {
         // §4: element timestamps reflect update times across versions.
         let store = DocumentStore::in_memory();
-        let doc = store
-            .put("d", "<g><r><n>N</n><p>15</p></r></g>", ts(100))
-            .unwrap()
-            .doc;
-        store
-            .put("d", "<g><r><n>N</n><p>18</p></r></g>", ts(200))
-            .unwrap();
+        let doc = store.put("d", "<g><r><n>N</n><p>15</p></r></g>", ts(100)).unwrap().doc;
+        store.put("d", "<g><r><n>N</n><p>18</p></r></g>", ts(200)).unwrap();
         let t = store.current_tree(doc).unwrap();
         let root = t.root().unwrap();
         // Effective ts of the root reflects the price update.
@@ -1523,18 +1581,13 @@ mod tests {
         let store = DocumentStore::in_memory();
         let doc = store.put("d", "<a><v>0</v></a>", ts(10)).unwrap().doc;
         for i in 1..=6u64 {
-            store
-                .put("d", &format!("<a><v>{i}</v></a>"), ts(10 + i * 10))
-                .unwrap();
+            store.put("d", &format!("<a><v>{i}</v></a>"), ts(10 + i * 10)).unwrap();
         }
         let before_space = store.space_stats().unwrap();
         // Purge everything not valid at/after t=45 → versions 0..3 end at
         // 20,30,40 — wait: v0 [10,20), v1 [20,30), v2 [30,40), v3 [40,50).
         // end <= 45 purges v0..v2; v3 (ends 50) survives.
-        let stats = store
-            .vacuum("d", Timestamp::from_micros(45 * 1000))
-            .unwrap()
-            .unwrap();
+        let stats = store.vacuum("d", Timestamp::from_micros(45 * 1000)).unwrap().unwrap();
         assert_eq!(stats.purged_versions, 3);
         assert!(stats.freed_bytes > 0);
         let after_space = store.space_stats().unwrap();
@@ -1551,10 +1604,7 @@ mod tests {
             );
         }
         // Idempotent: vacuuming again frees nothing more.
-        let again = store
-            .vacuum("d", Timestamp::from_micros(45 * 1000))
-            .unwrap()
-            .unwrap();
+        let again = store.vacuum("d", Timestamp::from_micros(45 * 1000)).unwrap().unwrap();
         assert_eq!(again.purged_versions, 0);
         assert_eq!(again.freed_bytes, 0);
         // Unknown doc → None.
@@ -1569,19 +1619,13 @@ mod tests {
         // The current version's validity is [t, FOREVER) — end > any
         // horizon, so it always survives.
         assert_eq!(stats.purged_versions, 0);
-        assert_eq!(
-            to_string(&store.current_tree(doc).unwrap()),
-            "<a>only</a>"
-        );
+        assert_eq!(to_string(&store.current_tree(doc).unwrap()), "<a>only</a>");
     }
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
         static SEQ: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
         let n = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!(
-            "txdb-repo-{tag}-{}-{n}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("txdb-repo-{tag}-{}-{n}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -1626,10 +1670,7 @@ mod tests {
         let d = store.doc_id("d").unwrap().unwrap();
         assert_eq!(to_string(&store.current_tree(d).unwrap()), "<a>2</a>");
         // ...mutations are rejected with a structured error...
-        assert!(matches!(
-            store.put("d", "<a>3</a>", ts(3)),
-            Err(Error::ReadOnly(_))
-        ));
+        assert!(matches!(store.put("d", "<a>3</a>", ts(3)), Err(Error::ReadOnly(_))));
         assert!(matches!(store.delete("d", ts(3)), Err(Error::ReadOnly(_))));
         assert!(matches!(store.checkpoint(), Err(Error::ReadOnly(_))));
         // ...and the WAL is preserved for diagnosis (no checkpoint ran).
@@ -1653,7 +1694,7 @@ mod tests {
         // checksum error, never a panic.
         let db = dir.join("data.db");
         let mut bytes = std::fs::read(&db).unwrap();
-        let phys = crate::pager::PHYS_PAGE_SIZE as usize;
+        let phys = crate::pager::PHYS_PAGE_SIZE;
         for page in 1..bytes.len() / phys {
             bytes[page * phys + 100] ^= 0x40;
         }
@@ -1685,7 +1726,7 @@ mod tests {
         // intact — but fsck's full sweep must find the bad page.
         let db = dir.join("data.db");
         let mut bytes = std::fs::read(&db).unwrap();
-        let phys = crate::pager::PHYS_PAGE_SIZE as usize;
+        let phys = crate::pager::PHYS_PAGE_SIZE;
         let victim = bytes.len() / phys - 1;
         assert!(victim >= 1);
         bytes[victim * phys + 7] ^= 0x01;

@@ -104,12 +104,8 @@ pub struct RealVfs;
 
 impl Vfs for RealVfs {
     fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
         Ok(Box::new(RealFile(file)))
     }
 }
@@ -363,11 +359,7 @@ impl FaultyVfs {
 
     /// Size of the durable image of `path` (0 if never written).
     pub fn durable_len(&self, path: &Path) -> u64 {
-        self.state
-            .lock()
-            .files
-            .get(path)
-            .map_or(0, |f| f.durable.len() as u64)
+        self.state.lock().files.get(path).map_or(0, |f| f.durable.len() as u64)
     }
 }
 
@@ -376,11 +368,7 @@ impl Vfs for FaultyVfs {
         let mut s = self.state.lock();
         let generation = s.generation;
         s.files.entry(path.to_path_buf()).or_default();
-        Ok(Box::new(FaultyFile {
-            state: self.state.clone(),
-            path: path.to_path_buf(),
-            generation,
-        }))
+        Ok(Box::new(FaultyFile { state: self.state.clone(), path: path.to_path_buf(), generation }))
     }
 }
 
@@ -547,7 +535,12 @@ mod tests {
             f.write_at(0, &vec![0xABu8; 3 * TORN_UNIT]).unwrap();
             vfs.crash_now();
             let n = vfs.durable_len(&p("/a"));
-            assert!(n == 0 || n == TORN_UNIT as u64 || n == 2 * TORN_UNIT as u64 || n == 3 * TORN_UNIT as u64);
+            assert!(
+                n == 0
+                    || n == TORN_UNIT as u64
+                    || n == 2 * TORN_UNIT as u64
+                    || n == 3 * TORN_UNIT as u64
+            );
             if n == TORN_UNIT as u64 || n == 2 * TORN_UNIT as u64 {
                 saw_torn = true;
             }

@@ -181,7 +181,8 @@ fn scan(data: &[u8]) -> (Vec<&[u8]>, usize) {
     let mut records = Vec::new();
     let mut pos = 0usize;
     while pos + 8 <= data.len() {
-        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("fixed-width slice")) as usize;
+        let len =
+            u32::from_le_bytes(data[pos..pos + 4].try_into().expect("fixed-width slice")) as usize;
         let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("fixed-width slice"));
         if pos + 8 + len > data.len() {
             break; // torn tail

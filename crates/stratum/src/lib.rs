@@ -58,10 +58,7 @@ impl DocRow {
     fn valid_at(&self, t: Timestamp) -> Option<&StoredVersion> {
         let v = self.versions.iter().rev().find(|v| v.ts <= t)?;
         // Deleted between that version and t?
-        let deleted = self
-            .deleted_at
-            .iter()
-            .any(|&d| v.ts < d && d <= t);
+        let deleted = self.deleted_at.iter().any(|&d| v.ts < d && d <= t);
         if deleted {
             None
         } else {
@@ -128,9 +125,7 @@ impl StratumDb {
         let row = self.docs.entry(name.to_string()).or_default();
         if let Some(last) = row.versions.last() {
             if ts <= last.ts {
-                return Err(Error::QueryInvalid(format!(
-                    "non-monotonic put at {ts}"
-                )));
+                return Err(Error::QueryInvalid(format!("non-monotonic put at {ts}")));
             }
             let unchanged = !row.is_deleted()
                 && txdb_xml::serialize::to_string(&last.tree)
@@ -145,17 +140,18 @@ impl StratumDb {
 
     /// Marks `name` deleted at `ts`.
     pub fn delete(&mut self, name: &str, ts: Timestamp) -> Result<()> {
-        let row = self
-            .docs
-            .get_mut(name)
-            .ok_or_else(|| Error::NoSuchDocument(name.to_string()))?;
+        let row = self.docs.get_mut(name).ok_or_else(|| Error::NoSuchDocument(name.to_string()))?;
         row.deleted_at.push(ts);
         Ok(())
     }
 
     /// Snapshot pattern query: matches in the version of each document
     /// valid at `t` (the middleware translation of `TPatternScan`).
-    pub fn pattern_at(&self, pattern: &PatternTree, t: Timestamp) -> (Vec<StratumMatch>, StratumStats) {
+    pub fn pattern_at(
+        &self,
+        pattern: &PatternTree,
+        t: Timestamp,
+    ) -> (Vec<StratumMatch>, StratumStats) {
         let mut out = Vec::new();
         let mut stats = StratumStats::default();
         for (url, row) in &self.docs {
@@ -268,11 +264,7 @@ impl StratumDb {
 
     /// Total bytes of stored complete versions (the E8 space metric).
     pub fn space_bytes(&self) -> usize {
-        self.docs
-            .values()
-            .flat_map(|r| r.versions.iter())
-            .map(|v| v.bytes)
-            .sum()
+        self.docs.values().flat_map(|r| r.versions.iter()).map(|v| v.bytes).sum()
     }
 
     /// Number of stored versions.
@@ -345,9 +337,7 @@ mod tests {
     fn q3_all_versions() {
         let db = figure1();
         let napoli = PatternTree::new(
-            PatternNode::tag("restaurant")
-                .project()
-                .child(PatternNode::tag("name").word("napoli")),
+            PatternNode::tag("restaurant").project().child(PatternNode::tag("name").word("napoli")),
         );
         let (m, stats) = db.pattern_all(&napoli);
         assert_eq!(m.len(), 3, "Napoli in all three versions");
@@ -363,19 +353,13 @@ mod tests {
         // Snapshot before deletion still works.
         assert_eq!(db.pattern_at(&restaurants(), jan(26)).0.len(), 1);
         // After deletion: nothing.
-        assert!(db
-            .pattern_at(&restaurants(), Timestamp::from_date(2001, 2, 10))
-            .0
-            .is_empty());
+        assert!(db.pattern_at(&restaurants(), Timestamp::from_date(2001, 2, 10)).0.is_empty());
     }
 
     #[test]
     fn history_selection() {
         let db = figure1();
-        let h = db.doc_history(
-            "guide.com/restaurants",
-            Interval::new(jan(10), jan(20)),
-        );
+        let h = db.doc_history("guide.com/restaurants", Interval::new(jan(10), jan(20)));
         assert_eq!(h.len(), 2, "v0 (valid into the interval) and v1");
         assert!(h[0].ts > h[1].ts, "most recent first");
         assert!(to_string(&h[0].tree).contains("Akropolis"));

@@ -218,10 +218,7 @@ mod tests {
             ..Default::default()
         };
         let (events, _) = simulate(&cfg, start(), 3);
-        let gones = events
-            .iter()
-            .filter(|e| matches!(e.kind, CrawlKind::Gone))
-            .count();
+        let gones = events.iter().filter(|e| matches!(e.kind, CrawlKind::Gone)).count();
         assert!(gones > 0, "with 30% death prob some pages die");
         // Each URL reports Gone at most once (no resurrection in the sim).
         let mut per_url = std::collections::HashMap::new();

@@ -46,11 +46,18 @@ struct Restaurant {
 }
 
 const CATEGORIES: [&str; 6] = ["italian", "greek", "french", "sushi", "burger", "vegan"];
-const NAME_A: [&str; 10] = [
-    "Golden", "Blue", "Old", "Royal", "Little", "Grand", "Silver", "Happy", "Corner", "Garden",
-];
+const NAME_A: [&str; 10] =
+    ["Golden", "Blue", "Old", "Royal", "Little", "Grand", "Silver", "Happy", "Corner", "Garden"];
 const NAME_B: [&str; 10] = [
-    "Napoli", "Akropolis", "Bistro", "Dragon", "Tavern", "Kitchen", "Palace", "House", "Cafe",
+    "Napoli",
+    "Akropolis",
+    "Bistro",
+    "Dragon",
+    "Tavern",
+    "Kitchen",
+    "Palace",
+    "House",
+    "Cafe",
     "Grill",
 ];
 

@@ -88,11 +88,7 @@ impl DocGen {
     pub fn xml(&self) -> String {
         let mut out = String::from("<doc>");
         for it in &self.items {
-            out.push_str(&format!(
-                "<item id=\"i{}\"><kind>{}</kind><text>",
-                it.id,
-                KINDS[it.kind]
-            ));
+            out.push_str(&format!("<item id=\"i{}\"><kind>{}</kind><text>", it.id, KINDS[it.kind]));
             for (i, w) in it.words.iter().enumerate() {
                 if i > 0 {
                     out.push(' ');
@@ -207,10 +203,7 @@ mod tests {
 
     #[test]
     fn vocabulary_skew_visible() {
-        let g = DocGen::new(
-            DocGenConfig { items: 200, ..Default::default() },
-            3,
-        );
+        let g = DocGen::new(DocGenConfig { items: 200, ..Default::default() }, 3);
         let xml = g.xml();
         let common = xml.matches(&DocGen::word_at_rank(0)).count();
         let rare = xml.matches(&DocGen::word_at_rank(400)).count();

@@ -25,10 +25,7 @@ use crate::tree::{NodeId, NodeKind, Tree};
 pub fn shallow_eq(ta: &Tree, a: NodeId, tb: &Tree, b: NodeId) -> bool {
     match (&ta.node(a).kind, &tb.node(b).kind) {
         (NodeKind::Text { value: va }, NodeKind::Text { value: vb }) => va == vb,
-        (
-            NodeKind::Element { name: na, attrs: aa },
-            NodeKind::Element { name: nb, attrs: ab },
-        ) => {
+        (NodeKind::Element { name: na, attrs: aa }, NodeKind::Element { name: nb, attrs: ab }) => {
             if na != nb || aa.len() != ab.len() {
                 return false;
             }
@@ -49,10 +46,7 @@ pub fn shallow_eq(ta: &Tree, a: NodeId, tb: &Tree, b: NodeId) -> bool {
 pub fn deep_eq(ta: &Tree, a: NodeId, tb: &Tree, b: NodeId) -> bool {
     match (&ta.node(a).kind, &tb.node(b).kind) {
         (NodeKind::Text { value: va }, NodeKind::Text { value: vb }) => va == vb,
-        (
-            NodeKind::Element { name: na, attrs: aa },
-            NodeKind::Element { name: nb, attrs: ab },
-        ) => {
+        (NodeKind::Element { name: na, attrs: aa }, NodeKind::Element { name: nb, attrs: ab }) => {
             if na != nb || aa.len() != ab.len() {
                 return false;
             }
@@ -63,8 +57,7 @@ pub fn deep_eq(ta: &Tree, a: NodeId, tb: &Tree, b: NodeId) -> bool {
             }
             let ca = ta.node(a).children();
             let cb = tb.node(b).children();
-            ca.len() == cb.len()
-                && ca.iter().zip(cb).all(|(&x, &y)| deep_eq(ta, x, tb, y))
+            ca.len() == cb.len() && ca.iter().zip(cb).all(|(&x, &y)| deep_eq(ta, x, tb, y))
         }
         _ => false,
     }

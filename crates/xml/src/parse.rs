@@ -52,13 +52,7 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str, opts: ParseOptions) -> Self {
-        Parser {
-            input: input.as_bytes(),
-            pos: 0,
-            opts,
-            tree: Tree::new(),
-            stack: Vec::new(),
-        }
+        Parser { input: input.as_bytes(), pos: 0, opts, tree: Tree::new(), stack: Vec::new() }
     }
 
     fn err(&self, message: impl Into<String>) -> Error {
@@ -178,8 +172,7 @@ impl<'a> Parser<'a> {
                     break;
                 }
                 Some(b'/') => {
-                    self.expect("/>")
-                        .map_err(|_| self.err("expected `/>`"))?;
+                    self.expect("/>").map_err(|_| self.err("expected `/>`"))?;
                     return Ok(()); // empty element
                 }
                 Some(_) => {
@@ -225,8 +218,8 @@ impl<'a> Parser<'a> {
                     } else if self.starts_with("<![CDATA[") {
                         self.pos += 9;
                         let rest = &self.input[self.pos..];
-                        let end = find_sub(rest, b"]]>")
-                            .ok_or_else(|| self.err("unterminated CDATA"))?;
+                        let end =
+                            find_sub(rest, b"]]>").ok_or_else(|| self.err("unterminated CDATA"))?;
                         text.push_str(
                             std::str::from_utf8(&rest[..end])
                                 .map_err(|_| self.err("invalid UTF-8 in CDATA"))?,
@@ -277,9 +270,8 @@ impl<'a> Parser<'a> {
     fn parse_name(&mut self) -> Result<String> {
         let start = self.pos;
         while let Some(b) = self.peek() {
-            let ok = b.is_ascii_alphanumeric()
-                || matches!(b, b'_' | b'-' | b'.' | b':')
-                || b >= 0x80;
+            let ok =
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
             if !ok {
                 break;
             }
@@ -387,9 +379,7 @@ fn find_sub(haystack: &[u8], needle: &[u8]) -> Option<usize> {
     if needle.is_empty() || haystack.len() < needle.len() {
         return None;
     }
-    haystack
-        .windows(needle.len())
-        .position(|w| w == needle)
+    haystack.windows(needle.len()).position(|w| w == needle)
 }
 
 #[cfg(test)]
@@ -475,10 +465,8 @@ mod tests {
     fn forest_parsing() {
         let t = parse_document("<a/><b/>").unwrap();
         assert_eq!(t.roots().len(), 2);
-        let err = parse_with(
-            "<a/><b/>",
-            ParseOptions { keep_whitespace: false, allow_forest: false },
-        );
+        let err =
+            parse_with("<a/><b/>", ParseOptions { keep_whitespace: false, allow_forest: false });
         assert!(err.is_err());
     }
 

@@ -60,7 +60,8 @@ impl Path {
     /// Parses a path expression.
     pub fn parse(input: &str) -> Result<Path> {
         let s = input.trim();
-        let err = |m: &str| Error::QueryParse { offset: 0, message: format!("{m} in path `{input}`") };
+        let err =
+            |m: &str| Error::QueryParse { offset: 0, message: format!("{m} in path `{input}`") };
         if s.is_empty() {
             return Err(err("empty path"));
         }
@@ -168,12 +169,10 @@ impl Path {
     /// Convenience: evaluates relative to `ctx` and returns the concatenated
     /// text content of the first match, if any.
     pub fn first_text(&self, tree: &Tree, ctx: NodeId) -> Option<String> {
-        self.eval_from(tree, ctx)
-            .first()
-            .map(|&n| match tree.node(n).text() {
-                Some(t) => t.to_string(),
-                None => tree.text_content(n),
-            })
+        self.eval_from(tree, ctx).first().map(|&n| match tree.node(n).text() {
+            Some(t) => t.to_string(),
+            None => tree.text_content(n),
+        })
     }
 
     /// The final step's name, if it is a name test (used by planners to

@@ -193,12 +193,8 @@ impl PatternTree {
     /// is projected by convention).
     pub fn projected(&self) -> Vec<usize> {
         let nodes = self.nodes();
-        let proj: Vec<usize> = nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.project)
-            .map(|(i, _)| i)
-            .collect();
+        let proj: Vec<usize> =
+            nodes.iter().enumerate().filter(|(_, n)| n.project).map(|(i, _)| i).collect();
         if proj.is_empty() {
             vec![0]
         } else {
@@ -285,10 +281,9 @@ fn match_children_rec(
             .copied()
             .filter(|&c| pc.matches_node(tree, c))
             .collect(),
-        PatternEdge::Descendant => tree
-            .descendants(bound)
-            .filter(|&d| d != bound && pc.matches_node(tree, d))
-            .collect(),
+        PatternEdge::Descendant => {
+            tree.descendants(bound).filter(|&d| d != bound && pc.matches_node(tree, d)).collect()
+        }
     };
     for cand in candidates {
         let mark = binding.len();
@@ -348,9 +343,7 @@ mod tests {
         let t = guide();
         // restaurant isParentOf name(napoli)
         let p = PatternTree::new(
-            PatternNode::tag("restaurant")
-                .project()
-                .child(PatternNode::tag("name").word("napoli")),
+            PatternNode::tag("restaurant").project().child(PatternNode::tag("name").word("napoli")),
         );
         let m = match_tree(&t, &p);
         assert_eq!(m.len(), 1);
@@ -409,9 +402,7 @@ mod tests {
     fn projection_defaults_to_root() {
         let p = PatternTree::new(PatternNode::tag("x").child(PatternNode::tag("y")));
         assert_eq!(p.projected(), vec![0]);
-        let p2 = PatternTree::new(
-            PatternNode::tag("x").child(PatternNode::tag("y").project()),
-        );
+        let p2 = PatternTree::new(PatternNode::tag("x").child(PatternNode::tag("y").project()));
         assert_eq!(p2.projected(), vec![1]);
     }
 
@@ -422,10 +413,7 @@ mod tests {
                 .child(PatternNode::tag("name").word("napoli"))
                 .child(PatternNode::tag("price")),
         );
-        assert_eq!(
-            p.lookup_words(),
-            vec!["restaurant", "name", "napoli", "price"]
-        );
+        assert_eq!(p.lookup_words(), vec!["restaurant", "name", "napoli", "price"]);
     }
 
     #[test]

@@ -160,12 +160,8 @@ mod tests {
         let mut out = String::new();
         escape_text("a<b&c>d", &mut out);
         assert_eq!(out, "a&lt;b&amp;c&gt;d");
-        let t = TreeBuilder::new()
-            .open("a")
-            .attr("k", "x\"y<z&\n")
-            .text("1<2 & 3>4")
-            .close()
-            .build();
+        let t =
+            TreeBuilder::new().open("a").attr("k", "x\"y<z&\n").text("1<2 & 3>4").close().build();
         let s = to_string(&t);
         let back = parse_document(&s).unwrap();
         assert_eq!(back.node(back.root().unwrap()).attr("k"), Some("x\"y<z&\n"));

@@ -24,9 +24,7 @@ pub const DEFAULT_THRESHOLD: f64 = 0.6;
 /// Splits a string into lower-cased word tokens (alphanumeric runs).
 /// This is the same tokenization the full-text index uses.
 pub fn tokenize(s: &str) -> impl Iterator<Item = String> + '_ {
-    s.split(|c: char| !c.is_alphanumeric())
-        .filter(|w| !w.is_empty())
-        .map(|w| w.to_lowercase())
+    s.split(|c: char| !c.is_alphanumeric()).filter(|w| !w.is_empty()).map(|w| w.to_lowercase())
 }
 
 /// The token multiset of a subtree: element names, attribute keys/values and

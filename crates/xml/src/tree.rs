@@ -112,10 +112,9 @@ impl Node {
     /// Looks up an attribute value on an element node.
     pub fn attr(&self, key: &str) -> Option<&str> {
         match &self.kind {
-            NodeKind::Element { attrs, .. } => attrs
-                .iter()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v.as_str()),
+            NodeKind::Element { attrs, .. } => {
+                attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+            }
             NodeKind::Text { .. } => None,
         }
     }
@@ -283,11 +282,9 @@ impl Tree {
     /// The position of `id` among its siblings (or among the roots).
     pub fn position(&self, id: NodeId) -> usize {
         match self.nodes[id.idx()].parent {
-            Some(p) => self.nodes[p.idx()]
-                .children
-                .iter()
-                .position(|&c| c == id)
-                .expect("child in parent"),
+            Some(p) => {
+                self.nodes[p.idx()].children.iter().position(|&c| c == id).expect("child in parent")
+            }
             None => self.roots.iter().position(|&r| r == id).expect("root in forest"),
         }
     }
@@ -324,10 +321,9 @@ impl Tree {
     /// Removes an attribute; returns the old value if present.
     pub fn remove_attr(&mut self, id: NodeId, key: &str) -> Option<String> {
         match &mut self.nodes[id.idx()].kind {
-            NodeKind::Element { attrs, .. } => attrs
-                .iter()
-                .position(|(k, _)| k == key)
-                .map(|i| attrs.remove(i).1),
+            NodeKind::Element { attrs, .. } => {
+                attrs.iter().position(|(k, _)| k == key).map(|i| attrs.remove(i).1)
+            }
             NodeKind::Text { .. } => None,
         }
     }
@@ -363,10 +359,7 @@ impl Tree {
     /// parent directly (see `txdb-delta`), so the subtree maximum is exactly
     /// the recursive rule without storing propagated values.
     pub fn effective_ts(&self, id: NodeId) -> Timestamp {
-        self.descendants(id)
-            .map(|n| self.node(n).ts)
-            .max()
-            .unwrap_or(Timestamp::ZERO)
+        self.descendants(id).map(|n| self.node(n).ts).max().unwrap_or(Timestamp::ZERO)
     }
 
     /// Iterates over all live nodes in document order (pre-order over each
@@ -635,27 +628,18 @@ mod tests {
                     .unwrap_or_else(|| format!("#{}", t.node(n).text().unwrap()))
             })
             .collect();
-        assert_eq!(
-            names,
-            ["guide", "restaurant", "name", "#Napoli", "price", "#15"]
-        );
+        assert_eq!(names, ["guide", "restaurant", "name", "#Napoli", "price", "#15"]);
     }
 
     #[test]
     fn ancestors_and_root_of() {
         let t = sample();
         let price_text = t.iter().last().unwrap();
-        let anc: Vec<Option<String>> = t
-            .ancestors(price_text)
-            .map(|a| t.node(a).name().map(str::to_string))
-            .collect();
+        let anc: Vec<Option<String>> =
+            t.ancestors(price_text).map(|a| t.node(a).name().map(str::to_string)).collect();
         assert_eq!(
             anc,
-            [
-                Some("price".to_string()),
-                Some("restaurant".to_string()),
-                Some("guide".to_string())
-            ]
+            [Some("price".to_string()), Some("restaurant".to_string()), Some("guide".to_string())]
         );
         assert_eq!(t.root_of(price_text), t.root().unwrap());
     }

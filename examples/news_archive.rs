@@ -11,7 +11,7 @@
 //! ```
 
 use temporal_xml::core::ops::lifetime::LifetimeStrategy;
-use temporal_xml::{execute_at, Database, Eid, Interval, Timestamp};
+use temporal_xml::{Database, Eid, Interval, QueryExt, Timestamp};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let db = Database::in_memory();
@@ -65,38 +65,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // What did the archive show at 10:00?
     println!("\n== front page as of 10:00 ==");
-    let r = execute_at(
-        &db,
-        &format!(
-            r#"SELECT R FROM doc("*")[{}]//headline R"#,
-            t(10, 0).micros()
-        ),
-        now,
-    )?;
+    let r = db
+        .query(format!(r#"SELECT R FROM doc("*")[{}]//headline R"#, t(10, 0).micros()))
+        .at(now)
+        .run()?;
     println!("{}", r.to_xml());
 
     // ...and at 12:00, after the retraction.
     println!("\n== front page as of 12:00 (mayor story retracted) ==");
-    let r = execute_at(
-        &db,
-        &format!(
-            r#"SELECT R FROM doc("*")[{}]//headline R"#,
-            t(12, 0).micros()
-        ),
-        now,
-    )?;
+    let r = db
+        .query(format!(r#"SELECT R FROM doc("*")[{}]//headline R"#, t(12, 0).micros()))
+        .at(now)
+        .run()?;
     println!("{}", r.to_xml());
 
     // When did the word "collision" first appear? All versions containing
     // it, oldest first, with their element create times.
     println!("\n== versions of the headline mentioning `collision` ==");
-    let r = execute_at(
-        &db,
-        r#"SELECT TIME(R), R
-           FROM doc("wire/4711")[EVERY]//headline R
-           WHERE R CONTAINS "collision""#,
-        now,
-    )?;
+    let r = db
+        .query(
+            r#"SELECT TIME(R), R
+               FROM doc("wire/4711")[EVERY]//headline R
+               WHERE R CONTAINS "collision""#,
+        )
+        .at(now)
+        .run()?;
     println!("{}", r.to_xml());
 
     // The full correction trail of story 4711 as edit scripts.
@@ -109,14 +102,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for pair in history.windows(2) {
         let (newer, older) = (&pair[0], &pair[1]);
         let script = db.diff(older.teid, newer.teid)?;
-        let ops = script
-            .root()
-            .map(|r| script.node(r).children().len())
-            .unwrap_or(0);
-        println!(
-            "  {} -> {}: {ops} edit operations",
-            older.teid.ts, newer.teid.ts
-        );
+        let ops = script.root().map(|r| script.node(r).children().len()).unwrap_or(0);
+        println!("  {} -> {}: {ops} edit operations", older.teid.ts, newer.teid.ts);
     }
 
     // Lifetime of the retracted story's root element.
@@ -131,11 +118,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The correction element was added late: its create time.
     println!("\n== when was the <correction> added? ==");
-    let r = execute_at(
-        &db,
-        r#"SELECT CREATETIME(R) FROM doc("wire/4711")//correction R"#,
-        now,
-    )?;
+    let r =
+        db.query(r#"SELECT CREATETIME(R) FROM doc("wire/4711")//correction R"#).at(now).run()?;
     println!("{}", r.to_xml());
 
     Ok(())

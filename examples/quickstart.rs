@@ -3,9 +3,15 @@
 //! ```sh
 //! cargo run --example quickstart
 //! ```
+//!
+//! The two entry points shown here are the `DbOptions` builder (open an
+//! in-memory or on-disk database — `DbOptions::at(dir).snapshot_every(8)
+//! .cache_bytes(32 << 20).open()?`) and the query builder
+//! (`db.query(text).at(ts).run()?`), whose result carries execution
+//! statistics including materialized-version cache hits.
 
 use temporal_xml::core::ops::lifetime::LifetimeStrategy;
-use temporal_xml::{execute_at, Database, Eid, Interval, Timestamp};
+use temporal_xml::{Database, Eid, Interval, QueryExt, Timestamp};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let db = Database::in_memory();
@@ -41,33 +47,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // 2. Snapshot query: what did the inventory look like on day 15?
+    //    `.at(ts)` anchors NOW so the run is deterministic.
     println!("\n== snapshot on 2024-03-15 ==");
-    let r = execute_at(
-        &db,
-        r#"SELECT R/name, R/stock FROM doc("inventory.xml")[15/03/2024]//product R"#,
-        day(25),
-    )?;
+    let r = db
+        .query(r#"SELECT R/name, R/stock FROM doc("inventory.xml")[15/03/2024]//product R"#)
+        .at(day(25))
+        .run()?;
     println!("{}", r.to_xml());
 
     // 3. History query: the stock history of product A1.
     println!("\n== stock history of the espresso machine ==");
-    let r = execute_at(
-        &db,
-        r#"SELECT TIME(R), R/stock
-           FROM doc("inventory.xml")[EVERY]//product R
-           WHERE R/name CONTAINS "espresso""#,
-        day(25),
-    )?;
+    let r = db
+        .query(
+            r#"SELECT TIME(R), R/stock
+               FROM doc("inventory.xml")[EVERY]//product R
+               WHERE R/name CONTAINS "espresso""#,
+        )
+        .at(day(25))
+        .run()?;
     println!("{}", r.to_xml());
 
     // 4. Aggregates never reconstruct documents (the paper's Q2 point).
     println!("\n== product count over time (no reconstruction) ==");
     for d in [1, 10, 20] {
-        let r = execute_at(
-            &db,
-            &format!(r#"SELECT COUNT(R) FROM doc("inventory.xml")[{d:02}/03/2024]//product R"#),
-            day(25),
-        )?;
+        let r = db
+            .query(format!(
+                r#"SELECT COUNT(R) FROM doc("inventory.xml")[{d:02}/03/2024]//product R"#
+            ))
+            .at(day(25))
+            .run()?;
         println!(
             "  day {d:2}: {} products   (reconstructions: {})",
             r.rows[0][0].as_text(),
@@ -84,7 +92,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let v1 = db.reconstruct_doc_at(doc, day(12))?;
         let node = v1
             .iter()
-            .find(|&n| v1.text_content(n).contains("Grinder") && v1.node(n).name() == Some("product"))
+            .find(|&n| {
+                v1.text_content(n).contains("Grinder") && v1.node(n).name() == Some("product")
+            })
             .expect("grinder in v1");
         Eid::new(doc, v1.node(node).xid)
     };
@@ -93,10 +103,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  grinder {grinder_gone}: created {created}, deleted {deleted}");
 
     // Element history of product A1 (by persistent identity).
-    let a1 = current
-        .iter()
-        .find(|&n| current.node(n).attr("sku") == Some("A1"))
-        .expect("A1 in current");
+    let a1 =
+        current.iter().find(|&n| current.node(n).attr("sku") == Some("A1")).expect("A1 in current");
     let a1_eid = Eid::new(doc, current.node(a1).xid);
     println!("  element history of {a1_eid}:");
     for ev in db.element_history(a1_eid, Interval::ALL)? {

@@ -6,7 +6,7 @@
 //! ```
 
 use temporal_xml::wgen::restaurant::{figure1_versions, GUIDE_URL};
-use temporal_xml::{execute_at, Database, Timestamp};
+use temporal_xml::{Database, QueryExt, Timestamp};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let db = Database::in_memory();
@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let now = Timestamp::from_date(2001, 2, 20);
     let run = |q: &str| -> Result<String, temporal_xml::base::Error> {
-        Ok(execute_at(&db, q, now)?.to_xml())
+        Ok(db.query(q).at(now).run()?.to_xml())
     };
 
     // §5 intro query: all restaurants with price less than $10 — none in
@@ -33,26 +33,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Q1: list all restaurants in the list as of 26/01/2001.
     println!("\n== Q1: snapshot at 26/01/2001 ==");
-    println!(
-        "{}",
-        run(r#"SELECT R FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#)?
-    );
+    println!("{}", run(r#"SELECT R FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#)?);
 
     // Q2: the number of restaurants at 26/01/2001. The paper writes
     // SELECT SUM(R); counting elements is COUNT(R) in this dialect. Note
     // the zero reconstructions — the paper's point that delta-only storage
     // costs nothing here.
     println!("\n== Q2: count at 26/01/2001 ==");
-    let r = execute_at(
-        &db,
-        r#"SELECT COUNT(R) FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#,
-        now,
-    )?;
-    println!(
-        "{}   (documents reconstructed: {})",
-        r.to_xml(),
-        r.stats.reconstructions
-    );
+    let r = db
+        .query(r#"SELECT COUNT(R) FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#)
+        .at(now)
+        .run()?;
+    println!("{}   (documents reconstructed: {})", r.to_xml(), r.stats.reconstructions);
 
     // Q3: the price history of the restaurant Napoli.
     println!("\n== Q3: price history of Napoli ([EVERY]) ==");
@@ -72,10 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\n== §6: previous version of each current restaurant ==");
-    println!(
-        "{}",
-        run(r#"SELECT PREVIOUS(R) FROM doc("guide.com/restaurants")//restaurant R"#)?
-    );
+    println!("{}", run(r#"SELECT PREVIOUS(R) FROM doc("guide.com/restaurants")//restaurant R"#)?);
 
     println!("\n== §6: DISTINCT CURRENT(R)/name over the history ==");
     println!(

@@ -11,20 +11,18 @@
 //! ```
 
 use temporal_xml::core::DbOptions;
-use temporal_xml::index::maint::{FtiMode, IndexConfig};
 use temporal_xml::index::deltaindex::ChangeOp;
+use temporal_xml::index::maint::{FtiMode, IndexConfig};
 use temporal_xml::wgen::crawler::{simulate, CrawlConfig, CrawlKind};
 use temporal_xml::wgen::tdocgen::DocGen;
-use temporal_xml::{execute_at, Database, Duration, Interval, Timestamp};
+use temporal_xml::{Duration, Interval, QueryExt, Timestamp};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Index both version contents and delta operations (§7.2's third
     // alternative) so change queries are index-served too.
-    let db = Database::open(DbOptions {
-        index: IndexConfig { fti_mode: FtiMode::Both, eid_index: true },
-        ..Default::default()
-    })?
-    .0;
+    let db = DbOptions::new()
+        .index_config(IndexConfig { fti_mode: FtiMode::Both, eid_index: true })
+        .open()?;
 
     // Crawl 8 sites for ~3 weeks.
     let start = Timestamp::from_date(2001, 3, 1);
@@ -66,11 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Snapshot of the whole collection one week in.
     let now = start + Duration::from_days(30);
     let probe = start + Duration::from_days(7);
-    let r = execute_at(
-        &db,
-        &format!(r#"SELECT COUNT(R) FROM doc("*")[{}]//item R"#, probe.micros()),
-        now,
-    )?;
+    let r = db
+        .query(format!(r#"SELECT COUNT(R) FROM doc("*")[{}]//item R"#, probe.micros()))
+        .at(now)
+        .run()?;
     println!(
         "\n== warehouse-wide snapshot, day 7 ==\n  items visible: {}  (reconstructions: {})",
         r.rows[0][0].as_text(),
@@ -79,11 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Track one popular word across the whole history.
     let word = DocGen::word_at_rank(0);
-    let r = execute_at(
-        &db,
-        &format!(r#"SELECT COUNT(R) FROM doc("*")[EVERY]//text R WHERE R CONTAINS "{word}""#),
-        now,
-    )?;
+    let r = db
+        .query(format!(r#"SELECT COUNT(R) FROM doc("*")[EVERY]//text R WHERE R CONTAINS "{word}""#))
+        .at(now)
+        .run()?;
     println!(
         "\n== occurrences of the most common word `{word}` over all versions ==\n  rows: {}",
         r.rows[0][0].as_text()
@@ -112,12 +108,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== busiest page: {name} with {} versions ==", versions.len());
     let history = db.doc_history(busiest, Interval::ALL)?;
     for dv in history.iter().take(3) {
-        println!(
-            "  v{} @ {}: {} nodes",
-            dv.version.0,
-            dv.ts,
-            dv.tree.len()
-        );
+        println!("  v{} @ {}: {} nodes", dv.version.0, dv.ts, dv.tree.len());
     }
 
     // Index footprints (the E7 trade-off, §7.2).

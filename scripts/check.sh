@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, lints, and the full offline test suite.
+# Run from anywhere; operates on the workspace that contains this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test (offline) =="
+cargo test --workspace -q --offline
+
+echo "== OK =="

@@ -16,7 +16,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use temporal_xml::{Database, execute_at, Timestamp};
+//! use temporal_xml::{Database, QueryExt, Timestamp};
 //!
 //! let db = Database::in_memory();
 //! let jan = |d| Timestamp::from_date(2001, 1, d);
@@ -28,23 +28,40 @@
 //!        jan(31)).unwrap();
 //!
 //! // Q3-style price history:
-//! let r = execute_at(&db,
+//! let r = db.query(
 //!     r#"SELECT TIME(R), R/price
 //!        FROM doc("guide.com/restaurants")[EVERY]//restaurant R
-//!        WHERE R/name = "Napoli""#,
-//!     jan(31)).unwrap();
+//!        WHERE R/name = "Napoli""#)
+//!     .at(jan(31))
+//!     .run().unwrap();
 //! assert_eq!(r.len(), 2);
+//! ```
+//!
+//! On-disk databases open through the [`DbOptions`] builder:
+//!
+//! ```no_run
+//! use temporal_xml::{Database, DbOptions};
+//!
+//! let db = DbOptions::at("/var/lib/txdb")
+//!     .snapshot_every(16)
+//!     .cache_bytes(32 << 20)
+//!     .open()
+//!     .unwrap();
+//! println!("recovered: {:?}", db.recovery_report());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use txdb_base::{self as base, DocId, Duration, Eid, Interval, Teid, Timestamp, VersionId, Xid};
+pub use txdb_base::{
+    self as base, DocId, Duration, Eid, Interval, Teid, Timestamp, VersionId, Xid,
+};
 pub use txdb_core::{self as core, Database, DbOptions};
 pub use txdb_delta as delta;
 pub use txdb_index as index;
-pub use txdb_query::{self as query, execute, parse_query, QueryResult};
-pub use txdb_query::exec::execute_at;
+#[allow(deprecated)]
+pub use txdb_query::exec::{execute, execute_at};
+pub use txdb_query::{self as query, parse_query, ExecStats, QueryExt, QueryRequest, QueryResult};
 pub use txdb_storage::{self as storage, StoreOptions};
 pub use txdb_stratum as stratum;
 pub use txdb_wgen as wgen;

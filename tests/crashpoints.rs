@@ -93,23 +93,19 @@ type Model = BTreeMap<&'static str, Vec<ModelVersion>>;
 /// operation that committed. Returns the committed model.
 fn run_attempt(opts: &DbOptions) -> Model {
     let mut model = Model::new();
-    let Ok((db, _)) = Database::open(opts.clone()) else {
+    let Ok(db) = Database::open(opts.clone()) else {
         return model;
     };
     for op in script() {
         match op {
             Op::Put(name, xml, t) => match db.put(name, &xml, ts(t)) {
-                Ok(_) => model
-                    .entry(name)
-                    .or_default()
-                    .push(ModelVersion { ts: t, content: Some(xml) }),
+                Ok(_) => {
+                    model.entry(name).or_default().push(ModelVersion { ts: t, content: Some(xml) })
+                }
                 Err(_) => break,
             },
             Op::Delete(name, t) => match db.delete(name, ts(t)) {
-                Ok(_) => model
-                    .entry(name)
-                    .or_default()
-                    .push(ModelVersion { ts: t, content: None }),
+                Ok(_) => model.entry(name).or_default().push(ModelVersion { ts: t, content: None }),
                 Err(_) => break,
             },
             Op::Checkpoint => {
@@ -211,8 +207,8 @@ fn crash_point_sweep_recovers_or_salvages() {
     let total_ops = baseline_vfs.ops();
     assert!(total_ops > 40, "workload too small to sweep ({total_ops} ops)");
     {
-        let (db, report) = Database::open(db_opts(&baseline_vfs, &dir)).unwrap();
-        assert!(report.salvage.is_none());
+        let db = Database::open(db_opts(&baseline_vfs, &dir)).unwrap();
+        assert!(db.recovery_report().salvage.is_none());
         verify_committed(&db, &baseline);
     }
 
@@ -229,8 +225,8 @@ fn crash_point_sweep_recovers_or_salvages() {
         let model = run_attempt(&opts);
         assert_eq!(vfs.crash_count(), 1, "crash point {n} did not fire");
         match Database::open(opts) {
-            Ok((db, report)) => {
-                if report.salvage.is_some() {
+            Ok(db) => {
+                if db.recovery_report().salvage.is_some() {
                     salvaged += 1;
                     assert!(db.store().is_read_only());
                     // Writes must fail — with ReadOnly when the lookup
@@ -281,7 +277,7 @@ fn crash_mid_checkpoint_never_loses_synced_wal() {
         let opts = db_opts(&vfs, &dir);
         // Commit the pre-checkpoint prefix fault-free, then crash inside
         // the checkpoint's page flush (`crash_after_ops` is relative).
-        let (db, _) = Database::open(opts.clone()).unwrap();
+        let db = Database::open(opts.clone()).unwrap();
         db.put("alpha", "<a><w>one</w></a>", ts(1)).unwrap();
         db.put("alpha", "<a><w>two</w></a>", ts(2)).unwrap();
         db.put("beta", "<b><w>three</w></b>", ts(3)).unwrap();
@@ -293,8 +289,8 @@ fn crash_mid_checkpoint_never_loses_synced_wal() {
             continue;
         }
         match Database::open(opts) {
-            Ok((db, report)) => {
-                if report.salvage.is_none() && db.store().fsck().is_clean() {
+            Ok(db) => {
+                if db.recovery_report().salvage.is_none() && db.store().fsck().is_clean() {
                     // All three puts were WAL-synced before the
                     // checkpoint: they must all be present.
                     let a = db.store().doc_id("alpha").unwrap().expect("alpha");

@@ -35,11 +35,7 @@ fn stratum_count_at(s: &StratumDb, pattern: &PatternTree, t: Timestamp) -> usize
 }
 
 fn stratum_count_all(s: &StratumDb, pattern: &PatternTree) -> usize {
-    s.pattern_all(pattern)
-        .0
-        .iter()
-        .map(|m| m.subtrees.len())
-        .sum()
+    s.pattern_all(pattern).0.iter().map(|m| m.subtrees.len()).sum()
 }
 
 #[test]
@@ -63,13 +59,9 @@ fn restaurant_guide_agreement() {
     let patterns: Vec<PatternTree> = vec![
         PatternTree::new(PatternNode::tag("restaurant").project()),
         PatternTree::new(
-            PatternNode::tag("restaurant")
-                .project()
-                .child(PatternNode::tag("name").word("napoli")),
+            PatternNode::tag("restaurant").project().child(PatternNode::tag("name").word("napoli")),
         ),
-        PatternTree::new(
-            PatternNode::tag("guide").descendant(PatternNode::tag("price").project()),
-        ),
+        PatternTree::new(PatternNode::tag("guide").descendant(PatternNode::tag("price").project())),
         PatternTree::new(PatternNode::tag("restaurant").word("italian").project()),
     ];
 
@@ -129,9 +121,7 @@ fn tdocgen_agreement_with_churn() {
                 .project()
                 .child(PatternNode::tag("text").word(DocGen::word_at_rank(10))),
         ),
-        PatternTree::new(
-            PatternNode::tag("doc").child(PatternNode::tag("item").project()),
-        ),
+        PatternTree::new(PatternNode::tag("doc").child(PatternNode::tag("item").project())),
         PatternTree::new(PatternNode::tag("kind").word("review").project()),
     ];
 
@@ -173,9 +163,7 @@ fn deletions_and_resurrections_agree() {
             let n = rng.gen_range(1..5);
             let xml = format!(
                 "<page>{}</page>",
-                (0..n)
-                    .map(|k| format!("<entry><v>r{round}k{k}</v></entry>"))
-                    .collect::<String>()
+                (0..n).map(|k| format!("<entry><v>r{round}k{k}</v></entry>")).collect::<String>()
             );
             db.put(&url, &xml, ts(step)).unwrap();
             strat.put(&url, &xml, ts(step)).unwrap();
@@ -185,11 +173,7 @@ fn deletions_and_resurrections_agree() {
 
     for probe in 0..=26u64 {
         let t = ts(probe) + temporal_xml::Duration::from_secs(10);
-        assert_eq!(
-            temporal_count_at(&db, &p, t),
-            stratum_count_at(&strat, &p, t),
-            "probe {probe}"
-        );
+        assert_eq!(temporal_count_at(&db, &p, t), stratum_count_at(&strat, &p, t), "probe {probe}");
     }
 }
 

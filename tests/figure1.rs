@@ -4,7 +4,7 @@
 
 use temporal_xml::core::ops::lifetime::LifetimeStrategy;
 use temporal_xml::wgen::restaurant::{figure1_versions, GUIDE_URL};
-use temporal_xml::{execute_at, Database, Eid, Interval, Timestamp, VersionId};
+use temporal_xml::{Database, Eid, Interval, QueryExt, Timestamp, VersionId};
 
 fn jan(d: u32) -> Timestamp {
     Timestamp::from_date(2001, 1, d)
@@ -19,7 +19,7 @@ fn db() -> Database {
 }
 
 fn run(db: &Database, q: &str) -> temporal_xml::QueryResult {
-    execute_at(db, q, Timestamp::from_date(2001, 2, 20)).unwrap()
+    db.query(q).at(Timestamp::from_date(2001, 2, 20)).run().unwrap()
 }
 
 #[test]
@@ -41,10 +41,7 @@ fn figure1_versions_reconstruct_exactly() {
 #[test]
 fn q1_snapshot_26_01() {
     let db = db();
-    let r = run(
-        &db,
-        r#"SELECT R FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#,
-    );
+    let r = run(&db, r#"SELECT R FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#);
     assert_eq!(
         r.to_xml(),
         "<results>\
@@ -57,10 +54,8 @@ fn q1_snapshot_26_01() {
 #[test]
 fn q2_count_without_reconstruction() {
     let db = db();
-    let r = run(
-        &db,
-        r#"SELECT COUNT(R) FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#,
-    );
+    let r =
+        run(&db, r#"SELECT COUNT(R) FROM doc("guide.com/restaurants")[26/01/2001]//restaurant R"#);
     assert_eq!(r.rows[0][0].as_text(), "2");
     assert_eq!(
         r.stats.reconstructions, 0,
@@ -164,10 +159,7 @@ fn section_7_4_price_increase_join() {
                 doc("guide.com/restaurants")//restaurant R2
            WHERE R1/name = R2/name AND R1/price < R2/price"#,
     );
-    assert_eq!(
-        r.to_xml(),
-        "<results><result><name>Napoli</name></result></results>"
-    );
+    assert_eq!(r.to_xml(), "<results><result><name>Napoli</name></result></results>");
 }
 
 #[test]
@@ -188,15 +180,11 @@ fn diff_operator_produces_queryable_xml() {
 fn snapshot_before_and_after_history() {
     let db = db();
     // Before the first version: nothing.
-    let r = run(
-        &db,
-        r#"SELECT COUNT(R) FROM doc("guide.com/restaurants")[25/12/2000]//restaurant R"#,
-    );
+    let r =
+        run(&db, r#"SELECT COUNT(R) FROM doc("guide.com/restaurants")[25/12/2000]//restaurant R"#);
     assert_eq!(r.rows[0][0].as_text(), "0");
     // Long after the last version: the current list.
-    let r = run(
-        &db,
-        r#"SELECT R/price FROM doc("guide.com/restaurants")[01/06/2001]//restaurant R"#,
-    );
+    let r =
+        run(&db, r#"SELECT R/price FROM doc("guide.com/restaurants")[01/06/2001]//restaurant R"#);
     assert_eq!(r.to_xml(), "<results><result><price>18</price></result></results>");
 }

@@ -8,8 +8,8 @@
 //! * interval algebra laws.
 
 use proptest::prelude::*;
-use temporal_xml::delta::{delta_from_xml, delta_to_xml, diff_trees};
 use temporal_xml::delta::diff::forest_identical;
+use temporal_xml::delta::{delta_from_xml, delta_to_xml, diff_trees};
 use temporal_xml::index::fti::OccKind;
 use temporal_xml::index::maint::element_signature;
 use temporal_xml::xml::codec::{decode_tree, encode_tree};
@@ -22,8 +22,7 @@ use temporal_xml::{Database, Interval, Timestamp, VersionId, Xid};
 
 /// Strategy: a small element name.
 fn name_strategy() -> impl Strategy<Value = String> {
-    prop::sample::select(vec!["a", "b", "item", "name", "price", "x1"])
-        .prop_map(str::to_string)
+    prop::sample::select(vec!["a", "b", "item", "name", "price", "x1"]).prop_map(str::to_string)
 }
 
 /// Strategy: short text without XML-hostile whitespace-only content.
@@ -262,7 +261,7 @@ proptest! {
         specs in prop::collection::vec(spec_strategy(), 2..5),
         probe_sel in 0usize..4,
     ) {
-        use temporal_xml::execute_at;
+        use temporal_xml::QueryExt;
         let db = Database::in_memory();
         let mut times = Vec::new();
         for (i, spec) in specs.iter().enumerate() {
@@ -287,8 +286,8 @@ proptest! {
                     format!(r#"SELECT R FROM doc("doc"){spec}//{tag} R"#);
                 let via_scan =
                     format!(r#"SELECT R FROM doc("doc"){spec}/*//{tag} R"#);
-                let a = execute_at(&db, &via_index, now).unwrap();
-                let b = execute_at(&db, &via_scan, now).unwrap();
+                let a = db.query(&via_index).at(now).run().unwrap();
+                let b = db.query(&via_scan).at(now).run().unwrap();
                 // Row order is unspecified (no ORDER BY in the dialect):
                 // compare as multisets.
                 let norm = |r: &temporal_xml::QueryResult| {
@@ -298,6 +297,124 @@ proptest! {
                     rows
                 };
                 prop_assert_eq!(norm(&a), norm(&b), "tag {} spec {:?}", tag, spec);
+            }
+        }
+    }
+}
+
+// ----------------------------------------------- cache transparency
+
+/// One step of a random store workload over a small set of documents.
+#[derive(Clone, Debug)]
+enum DbOp {
+    Put(usize, Spec),
+    Delete(usize),
+    Vacuum(usize, u8),
+    Read(usize, u8),
+}
+
+fn db_op_strategy() -> impl Strategy<Value = DbOp> {
+    prop_oneof![
+        5 => (0usize..2, spec_strategy()).prop_map(|(d, s)| DbOp::Put(d, s)),
+        1 => (0usize..2).prop_map(DbOp::Delete),
+        1 => (0usize..2, 0u8..4).prop_map(|(d, f)| DbOp::Vacuum(d, f)),
+        3 => (0usize..2, 0u8..4).prop_map(|(d, f)| DbOp::Read(d, f)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// The materialized-version cache must be invisible: the same random
+    /// interleaving of puts, deletes, vacuums and reads against a cached
+    /// and an uncached database yields byte-identical serializations for
+    /// every readable version — both mid-run (where reads double as cache
+    /// warmers on one side only) and in a final sweep over all history.
+    #[test]
+    fn cache_on_and_off_are_byte_identical(ops in prop::collection::vec(db_op_strategy(), 1..24)) {
+        use temporal_xml::storage::repo::VersionKind;
+        use temporal_xml::DbOptions;
+
+        let cached = DbOptions::new().cache_bytes(8 << 20).open().unwrap();
+        let plain = DbOptions::new().cache_bytes(0).open().unwrap();
+        prop_assert!(plain.store().vcache().is_disabled());
+
+        let name = |d: usize| format!("doc{d}");
+        for (step, op) in ops.iter().enumerate() {
+            let now = Timestamp::from_secs(10 + step as u64);
+            match op {
+                DbOp::Put(d, spec) => {
+                    let xml = to_string(&tree_from(spec));
+                    let a = cached.put(&name(*d), &xml, now).unwrap();
+                    let b = plain.put(&name(*d), &xml, now).unwrap();
+                    prop_assert_eq!(a.version, b.version);
+                    prop_assert_eq!(a.changed, b.changed);
+                }
+                DbOp::Delete(d) => {
+                    let a = cached.delete(&name(*d), now).unwrap();
+                    let b = plain.delete(&name(*d), now).unwrap();
+                    prop_assert_eq!(a.is_some(), b.is_some());
+                }
+                DbOp::Vacuum(d, f) => {
+                    let horizon =
+                        Timestamp::from_secs(10 + step as u64 * u64::from(*f) / 4);
+                    let a = cached.vacuum(&name(*d), horizon).unwrap();
+                    let b = plain.vacuum(&name(*d), horizon).unwrap();
+                    prop_assert_eq!(a.is_some(), b.is_some());
+                }
+                DbOp::Read(d, f) => {
+                    let Some(doc_a) = cached.store().doc_id(&name(*d)).unwrap() else {
+                        continue;
+                    };
+                    let doc_b = plain.store().doc_id(&name(*d)).unwrap().unwrap();
+                    let readable: Vec<VersionId> = cached
+                        .store()
+                        .versions(doc_a)
+                        .unwrap()
+                        .iter()
+                        .filter(|e| e.kind == VersionKind::Content)
+                        .map(|e| e.version)
+                        .collect();
+                    if readable.is_empty() {
+                        continue;
+                    }
+                    let v = readable[usize::from(*f) * readable.len() / 4 % readable.len()];
+                    // Read twice on the cached side: the second read takes
+                    // the hit path and must still agree byte-for-byte.
+                    let want = to_string(&plain.store().version_tree(doc_b, v).unwrap());
+                    let got1 = to_string(&cached.store().version_tree(doc_a, v).unwrap());
+                    let got2 = to_string(&cached.store().version_tree(doc_a, v).unwrap());
+                    prop_assert_eq!(&got1, &want, "first read of v{} differs", v.0);
+                    prop_assert_eq!(&got2, &want, "cached re-read of v{} differs", v.0);
+                }
+            }
+        }
+
+        // Final sweep: identical catalogs, identical version chains,
+        // byte-identical trees for everything still readable.
+        let docs_a = cached.store().list().unwrap();
+        let docs_b = plain.store().list().unwrap();
+        prop_assert_eq!(docs_a.len(), docs_b.len());
+        for d in 0..2usize {
+            let (Some(doc_a), Some(doc_b)) = (
+                cached.store().doc_id(&name(d)).unwrap(),
+                plain.store().doc_id(&name(d)).unwrap(),
+            ) else {
+                continue;
+            };
+            let vs_a = cached.store().versions(doc_a).unwrap();
+            let vs_b = plain.store().versions(doc_b).unwrap();
+            prop_assert_eq!(vs_a.len(), vs_b.len());
+            for (ea, eb) in vs_a.iter().zip(&vs_b) {
+                prop_assert_eq!(ea.version, eb.version);
+                prop_assert_eq!(ea.ts, eb.ts);
+                prop_assert_eq!(ea.kind, eb.kind);
+                if ea.kind != VersionKind::Content {
+                    continue;
+                }
+                let ta = to_string(&cached.store().version_tree(doc_a, ea.version).unwrap());
+                let tb = to_string(&plain.store().version_tree(doc_b, eb.version).unwrap());
+                prop_assert_eq!(ta, tb, "doc{} v{} differs", d, ea.version.0);
             }
         }
     }

@@ -2,7 +2,7 @@
 //! example queries, plus planner-strategy equivalence — the index-backed
 //! path and the reconstruct-and-scan fallback must return identical rows.
 
-use temporal_xml::{execute_at, Database, Timestamp};
+use temporal_xml::{Database, QueryExt, Timestamp};
 
 fn ts(n: u64) -> Timestamp {
     Timestamp::from_secs(1_000_000 + n * 3600)
@@ -40,7 +40,7 @@ fn library() -> Database {
 }
 
 fn run(db: &Database, q: &str) -> temporal_xml::QueryResult {
-    execute_at(db, q, ts(100)).unwrap()
+    db.query(q).at(ts(100)).run().unwrap()
 }
 
 #[test]
@@ -53,10 +53,8 @@ fn index_and_tree_scan_strategies_agree() {
     assert_eq!(a.to_xml(), b.to_xml());
     assert_eq!(a.len(), 3);
     // And with a snapshot.
-    let a = run(
-        &db,
-        &format!(r#"SELECT R/title FROM doc("lib/catalog")[{}]//book R"#, ts(2).micros()),
-    );
+    let a =
+        run(&db, &format!(r#"SELECT R/title FROM doc("lib/catalog")[{}]//book R"#, ts(2).micros()));
     let b = run(
         &db,
         &format!(r#"SELECT R/title FROM doc("lib/catalog")[{}]/catalog/* R"#, ts(2).micros()),
@@ -88,10 +86,7 @@ fn boolean_connectives() {
         r#"SELECT R/title FROM doc("lib/catalog")//book R
            WHERE R/price > 10 AND NOT R/title = "Dune""#,
     );
-    assert_eq!(
-        r.to_xml(),
-        "<results><result><title>Neuromancer</title></result></results>"
-    );
+    assert_eq!(r.to_xml(), "<results><result><title>Neuromancer</title></result></results>");
     let r = run(
         &db,
         r#"SELECT R/title FROM doc("lib/catalog")//book R
@@ -103,10 +98,7 @@ fn boolean_connectives() {
 #[test]
 fn value_predicates_on_subelements() {
     let db = library();
-    let r = run(
-        &db,
-        r#"SELECT R/price FROM doc("lib/catalog")//book R WHERE R/author = "Gibson""#,
-    );
+    let r = run(&db, r#"SELECT R/price FROM doc("lib/catalog")//book R WHERE R/author = "Gibson""#);
     assert_eq!(r.to_xml(), "<results><result><price>11</price></result></results>");
 }
 
@@ -126,25 +118,16 @@ fn document_time_queries_via_content() {
         ts(1),
     )
     .unwrap();
-    let r = run(
-        &db,
-        r#"SELECT R/h FROM doc("news")//story R WHERE R/published >= 10/09/2001"#,
-    );
+    let r = run(&db, r#"SELECT R/h FROM doc("news")//story R WHERE R/published >= 10/09/2001"#);
     assert_eq!(r.to_xml(), "<results><result><h>Later story</h></result></results>");
-    let r = run(
-        &db,
-        r#"SELECT COUNT(R) FROM doc("news")//story R WHERE R/published < 10/09/2001"#,
-    );
+    let r = run(&db, r#"SELECT COUNT(R) FROM doc("news")//story R WHERE R/published < 10/09/2001"#);
     assert_eq!(r.rows[0][0].as_text(), "1");
 }
 
 #[test]
 fn distinct_deduplicates() {
     let db = library();
-    let r = run(
-        &db,
-        r#"SELECT DISTINCT R/author FROM doc("lib/catalog")[EVERY]//book R"#,
-    );
+    let r = run(&db, r#"SELECT DISTINCT R/author FROM doc("lib/catalog")[EVERY]//book R"#);
     assert_eq!(r.len(), 3, "Herbert, Hamsun, Gibson — once each: {}", r.to_xml());
 }
 
@@ -159,10 +142,7 @@ fn sum_and_count_aggregates() {
 #[test]
 fn text_step_in_select_path() {
     let db = library();
-    let r = run(
-        &db,
-        r#"SELECT R/title/text() FROM doc("lib/catalog")//book R WHERE R/price < 10"#,
-    );
+    let r = run(&db, r#"SELECT R/title/text() FROM doc("lib/catalog")//book R WHERE R/price < 10"#);
     assert_eq!(r.to_xml(), "<results><result>Sult</result></results>");
 }
 
@@ -235,12 +215,7 @@ fn three_way_join() {
 #[test]
 fn deep_descendant_paths() {
     let db = Database::in_memory();
-    db.put(
-        "d",
-        "<a><b><c><d>deep</d></c></b><c><d>shallow</d></c></a>",
-        ts(1),
-    )
-    .unwrap();
+    db.put("d", "<a><b><c><d>deep</d></c></b><c><d>shallow</d></c></a>", ts(1)).unwrap();
     let r = run(&db, r#"SELECT R FROM doc("d")/a/b//d R"#);
     assert_eq!(r.to_xml(), "<results><result><d>deep</d></result></results>");
     let r = run(&db, r#"SELECT R FROM doc("d")//c/d R"#);
@@ -257,7 +232,7 @@ fn error_paths_surface_cleanly() {
         r#"SELECT COUNT(R), R/title FROM doc("lib/catalog")//book R"#,
     ];
     for q in cases {
-        assert!(execute_at(&db, q, ts(100)).is_err(), "{q}");
+        assert!(db.query(q).at(ts(100)).run().is_err(), "{q}");
     }
 }
 
@@ -267,10 +242,7 @@ fn create_and_delete_time_in_where_and_select() {
     db.delete("lib/journal", ts(50)).unwrap();
     let r = run(
         &db,
-        &format!(
-            r#"SELECT DELETETIME(R) FROM doc("lib/journal")[{}]//article R"#,
-            ts(6).micros()
-        ),
+        &format!(r#"SELECT DELETETIME(R) FROM doc("lib/journal")[{}]//article R"#, ts(6).micros()),
     );
     assert_eq!(r.rows[0][0].as_text(), ts(50).to_string());
     // Books created in v1 only.
@@ -282,8 +254,5 @@ fn create_and_delete_time_in_where_and_select() {
             ts(10).micros()
         ),
     );
-    assert_eq!(
-        r.to_xml(),
-        "<results><result><title>Neuromancer</title></result></results>"
-    );
+    assert_eq!(r.to_xml(), "<results><result><title>Neuromancer</title></result></results>");
 }

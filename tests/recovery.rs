@@ -4,7 +4,7 @@
 use temporal_xml::core::DbOptions;
 use temporal_xml::index::fti::OccKind;
 use temporal_xml::xml::pattern::{PatternNode, PatternTree};
-use temporal_xml::{Database, StoreOptions, Timestamp, VersionId};
+use temporal_xml::{Timestamp, VersionId};
 
 fn ts(n: u64) -> Timestamp {
     Timestamp::from_secs(1_000_000 + n)
@@ -22,24 +22,22 @@ fn tmpdir(tag: &str) -> std::path::PathBuf {
 }
 
 fn opts(dir: &std::path::Path) -> DbOptions {
-    DbOptions {
-        store: StoreOptions { path: Some(dir.to_path_buf()), ..Default::default() },
-        ..Default::default()
-    }
+    DbOptions::at(dir)
 }
 
 #[test]
 fn clean_reopen_preserves_everything() {
     let dir = tmpdir("clean");
     {
-        let (db, _) = Database::open(opts(&dir)).unwrap();
+        let db = opts(&dir).open().unwrap();
         db.put("a", "<x><w>alpha</w></x>", ts(1)).unwrap();
         db.put("a", "<x><w>beta</w></x>", ts(2)).unwrap();
         db.put("b", "<y><w>gamma</w></y>", ts(3)).unwrap();
         db.delete("b", ts(4)).unwrap();
         db.checkpoint().unwrap();
     }
-    let (db, report) = Database::open(opts(&dir)).unwrap();
+    let db = opts(&dir).open().unwrap();
+    let report = db.recovery_report();
     assert_eq!(report.replayed, 0, "clean shutdown needs no replay");
     // Store state.
     let a = db.store().doc_id("a").unwrap().unwrap();
@@ -67,7 +65,7 @@ fn clean_reopen_preserves_everything() {
 fn crash_after_checkpoint_replays_wal_tail() {
     let dir = tmpdir("crash");
     {
-        let (db, _) = Database::open(opts(&dir)).unwrap();
+        let db = opts(&dir).open().unwrap();
         db.put("doc", "<d><v>1</v></d>", ts(1)).unwrap();
         db.checkpoint().unwrap();
         // These land only in the WAL; the process "crashes" before any
@@ -76,9 +74,10 @@ fn crash_after_checkpoint_replays_wal_tail() {
         db.put("doc", "<d><v>3</v></d>", ts(3)).unwrap();
         db.put("other", "<o>hello</o>", ts(4)).unwrap();
         db.store().buffer_stats(); // keep db alive to here
-        // Drop without checkpoint = crash.
+                                   // Drop without checkpoint = crash.
     }
-    let (db, report) = Database::open(opts(&dir)).unwrap();
+    let db = opts(&dir).open().unwrap();
+    let report = db.recovery_report();
     assert_eq!(report.replayed, 3);
     let doc = db.store().doc_id("doc").unwrap().unwrap();
     assert_eq!(db.store().versions(doc).unwrap().len(), 3);
@@ -99,14 +98,14 @@ fn crash_after_checkpoint_replays_wal_tail() {
 fn repeated_crash_recover_cycles_converge() {
     let dir = tmpdir("cycles");
     for round in 0..4u64 {
-        let (db, _) = Database::open(opts(&dir)).unwrap();
+        let db = opts(&dir).open().unwrap();
         db.put("d", &format!("<a><n>{round}</n></a>"), ts(10 + round)).unwrap();
         if round % 2 == 0 {
             db.checkpoint().unwrap();
         }
         // else: crash with the put only in the WAL.
     }
-    let (db, _) = Database::open(opts(&dir)).unwrap();
+    let db = opts(&dir).open().unwrap();
     let d = db.store().doc_id("d").unwrap().unwrap();
     assert_eq!(db.store().versions(d).unwrap().len(), 4);
     assert_eq!(
@@ -119,22 +118,15 @@ fn repeated_crash_recover_cycles_converge() {
 #[test]
 fn snapshots_survive_reopen() {
     let dir = tmpdir("snap");
-    let o = DbOptions {
-        store: StoreOptions {
-            path: Some(dir.clone()),
-            snapshot_every: Some(3),
-            ..Default::default()
-        },
-        ..Default::default()
-    };
+    let o = DbOptions::at(dir.clone()).snapshot_every(3);
     {
-        let (db, _) = Database::open(o.clone()).unwrap();
+        let db = o.clone().open().unwrap();
         for i in 0..10u64 {
             db.put("d", &format!("<a><v>{i}</v></a>"), ts(i)).unwrap();
         }
         db.checkpoint().unwrap();
     }
-    let (db, _) = Database::open(o).unwrap();
+    let db = o.open().unwrap();
     let d = db.store().doc_id("d").unwrap().unwrap();
     // Snapshot at v3 bounds reconstruction of v1 to ≤ 2 deltas.
     let (tree, applied) = db.store().version_tree_counted(d, VersionId(1)).unwrap();
@@ -148,7 +140,7 @@ fn vacuum_is_wal_logged_and_survives_crash() {
     let dir = tmpdir("vacuum");
     let o = opts(&dir);
     {
-        let (db, _) = Database::open(o.clone()).unwrap();
+        let db = o.clone().open().unwrap();
         for i in 1..=6u64 {
             db.put("d", &format!("<a><v>{i}</v></a>"), ts(i * 10)).unwrap();
         }
@@ -157,7 +149,8 @@ fn vacuum_is_wal_logged_and_survives_crash() {
         let stats = db.vacuum("d", ts(45)).unwrap().unwrap();
         assert!(stats.purged_versions > 0);
     }
-    let (db, report) = Database::open(o).unwrap();
+    let db = o.open().unwrap();
+    let report = db.recovery_report();
     assert_eq!(report.replayed, 1, "the vacuum op replays");
     let d = db.store().doc_id("d").unwrap().unwrap();
     // Purged prefix unreconstructable; retained tail intact.
@@ -184,14 +177,15 @@ fn rejected_writes_never_poison_the_wal() {
     let dir = tmpdir("poison");
     let o = opts(&dir);
     {
-        let (db, _) = Database::open(o.clone()).unwrap();
+        let db = o.clone().open().unwrap();
         db.put("d", "<a>1</a>", ts(100)).unwrap();
         // Rejected: in the past.
         assert!(db.put("d", "<a>2</a>", ts(50)).is_err());
         assert!(db.delete("d", ts(50)).is_err());
         // Crash without checkpoint.
     }
-    let (db, report) = Database::open(o.clone()).unwrap();
+    let db = o.clone().open().unwrap();
+    let report = db.recovery_report();
     assert_eq!(report.skipped, 0, "rejected ops were never logged");
     let d = db.store().doc_id("d").unwrap().unwrap();
     assert_eq!(db.store().versions(d).unwrap().len(), 1);
@@ -209,7 +203,7 @@ fn recovery_skips_logically_invalid_records() {
     std::fs::create_dir_all(&dir).unwrap();
     let o = opts(&dir);
     {
-        let (db, _) = Database::open(o.clone()).unwrap();
+        let db = o.clone().open().unwrap();
         db.put("d", "<a>1</a>", ts(100)).unwrap();
         db.checkpoint().unwrap();
     }
@@ -226,13 +220,11 @@ fn recovery_skips_logically_invalid_records() {
         let wal = temporal_xml::storage::wal::Wal::open(&dir.join("wal.log"), false).unwrap();
         wal.append(&payload).unwrap();
     }
-    let (db, report) = Database::open(o).unwrap();
+    let db = o.open().unwrap();
+    let report = db.recovery_report();
     assert_eq!(report.skipped, 1, "poisoned record skipped, not fatal");
     let d = db.store().doc_id("d").unwrap().unwrap();
     assert_eq!(db.store().versions(d).unwrap().len(), 1);
-    assert_eq!(
-        temporal_xml::xml::to_string(&db.store().current_tree(d).unwrap()),
-        "<a>1</a>"
-    );
+    assert_eq!(temporal_xml::xml::to_string(&db.store().current_tree(d).unwrap()), "<a>1</a>");
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use std::sync::Arc;
 use temporal_xml::xml::pattern::{PatternNode, PatternTree};
-use temporal_xml::{execute_at, Database, Timestamp};
+use temporal_xml::{Database, QueryExt, Timestamp};
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
@@ -42,7 +42,7 @@ proptest! {
         let db = Database::in_memory();
         db.put("d", "<a><b>x</b></a>", Timestamp::from_secs(1)).unwrap();
         let q = format!(r#"SELECT R FROM doc("d")//b R WHERE {tail}"#);
-        let _ = execute_at(&db, &q, Timestamp::from_secs(2));
+        let _ = db.query(&q).at(Timestamp::from_secs(2)).run();
     }
 
     /// Binary codec decode never panics on corrupted bytes.
@@ -75,12 +75,11 @@ fn concurrent_readers_during_writes() {
                 let _ = db.tpattern_scan_all(None, &pattern).unwrap();
                 let doc = db.store().doc_id("shared").unwrap().unwrap();
                 let _ = db.store().current_tree(doc).unwrap();
-                let _ = execute_at(
-                    &db,
-                    r#"SELECT COUNT(R) FROM doc("shared")[EVERY]//item R"#,
-                    ts(1_000),
-                )
-                .unwrap();
+                let _ = db
+                    .query(r#"SELECT COUNT(R) FROM doc("shared")[EVERY]//item R"#)
+                    .at(ts(1_000))
+                    .run()
+                    .unwrap();
                 iters += 1;
             }
             iters
@@ -89,9 +88,7 @@ fn concurrent_readers_during_writes() {
 
     // Writer: 40 versions while readers hammer.
     for i in 1..=40u64 {
-        let items: String = (0..=(i % 5))
-            .map(|k| format!("<item><v>{i}.{k}</v></item>"))
-            .collect();
+        let items: String = (0..=(i % 5)).map(|k| format!("<item><v>{i}.{k}</v></item>")).collect();
         db.put("shared", &format!("<g>{items}</g>"), ts(i)).unwrap();
     }
     stop.store(true, std::sync::atomic::Ordering::Relaxed);

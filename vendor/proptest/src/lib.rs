@@ -318,12 +318,12 @@ macro_rules! impl_tuple_strategy {
     };
 }
 
-impl_tuple_strategy!(S0/0);
-impl_tuple_strategy!(S0/0, S1/1);
-impl_tuple_strategy!(S0/0, S1/1, S2/2);
-impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3);
-impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3, S4/4);
-impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3, S4/4, S5/5);
+impl_tuple_strategy!(S0 / 0);
+impl_tuple_strategy!(S0 / 0, S1 / 1);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
 
 /// The `prop::` namespace mirroring upstream's module layout.
 pub mod prop {
@@ -409,9 +409,8 @@ pub mod prop {
 /// The glob-import prelude, mirroring upstream.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
-        proptest, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
-        TestCaseResult,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
     };
 }
 
@@ -591,7 +590,7 @@ mod tests {
         }
 
         #[test]
-        fn oneof_and_tuples(x in prop_oneof![2 => (0u32..5), 1 => (10u32..15)]) {
+        fn oneof_and_tuples(x in prop_oneof![2 => 0u32..5, 1 => 10u32..15]) {
             prop_assert!(x < 5 || (10..15).contains(&x), "x = {}", x);
         }
 
@@ -611,6 +610,7 @@ mod tests {
     #[test]
     fn recursive_terminates() {
         #[derive(Clone, Debug)]
+        #[allow(dead_code)]
         enum T {
             Leaf(u8),
             Node(Vec<T>),
@@ -621,9 +621,9 @@ mod tests {
                 T::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
             }
         }
-        let strat = any::<u8>().prop_map(T::Leaf).prop_recursive(3, 24, 4, |inner| {
-            prop::collection::vec(inner, 0..4).prop_map(T::Node)
-        });
+        let strat = any::<u8>()
+            .prop_map(T::Leaf)
+            .prop_recursive(3, 24, 4, |inner| prop::collection::vec(inner, 0..4).prop_map(T::Node));
         let mut rng = crate::TestRng::new(5);
         for _ in 0..200 {
             let t = strat.generate(&mut rng);

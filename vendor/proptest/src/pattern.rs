@@ -117,8 +117,7 @@ fn parse_class(chars: &mut Vec<char>) -> Result<Vec<char>, String> {
             '\\' => members.push(chars.pop().ok_or("trailing backslash in class")?),
             _ => {
                 // Range only if '-' is followed by a non-']' character.
-                if chars.last() == Some(&'-') && chars.len() >= 2 && chars[chars.len() - 2] != ']'
-                {
+                if chars.last() == Some(&'-') && chars.len() >= 2 && chars[chars.len() - 2] != ']' {
                     chars.pop(); // the '-'
                     let hi = chars.pop().unwrap();
                     let hi = if hi == '\\' {
@@ -222,10 +221,7 @@ mod tests {
             let s = sample("[<>/a-z \"=&;!\\[\\]-]{0,120}", seed);
             assert!(s.len() <= 120);
             for c in s.chars() {
-                assert!(
-                    "<>/ \"=&;![]-".contains(c) || c.is_ascii_lowercase(),
-                    "unexpected {c:?}"
-                );
+                assert!("<>/ \"=&;![]-".contains(c) || c.is_ascii_lowercase(), "unexpected {c:?}");
             }
         }
     }
