@@ -1,0 +1,98 @@
+//! Checkpointed-vs-replay open benchmark for the persistent index
+//! checkpoints.
+//!
+//! Builds one persistent TDocGen database, closes it cleanly (which
+//! writes the index checkpoint), then times `Database::open` two ways:
+//! **warm** loads the serialized indexes and replays nothing; **cold**
+//! opens with checkpoints disabled and replays every version of every
+//! document — the O(history) behaviour all opens had before the
+//! checkpoint existed. Timings go to `BENCH_open.json` in the current
+//! directory.
+//!
+//! ```sh
+//! cargo run --release -p txdb-bench --bin open_bench
+//! ```
+
+use std::time::Instant;
+
+use txdb_bench::step_ts;
+use txdb_core::DbOptions;
+use txdb_storage::IndexCheckpointState;
+use txdb_wgen::tdocgen::{DocGen, DocGenConfig};
+
+const DOCS: usize = 6;
+const VERSIONS: u64 = 64;
+const SEED: u64 = 42;
+const ROUNDS: usize = 5;
+
+/// Builds the TDocGen workload into a fresh persistent database at `dir`
+/// and closes it cleanly, leaving a checkpoint behind.
+fn build(dir: &std::path::Path) {
+    let _ = std::fs::remove_dir_all(dir);
+    let db = DbOptions::at(dir).open().expect("open");
+    for d in 0..DOCS {
+        let mut gen = DocGen::new(
+            DocGenConfig { items: 30, changes_per_version: 4, ..Default::default() },
+            SEED + d as u64,
+        );
+        let url = format!("bench{d}.example.org/doc");
+        db.put(&url, &gen.xml(), step_ts(0)).expect("put");
+        for i in 1..=VERSIONS {
+            db.put(&url, &gen.step(), step_ts(i)).expect("put");
+        }
+    }
+    db.close().expect("close");
+}
+
+/// Opens the database `ROUNDS` times, asserting the expected recovery
+/// path each time; returns (total µs, postings seen at the last open).
+fn measure(dir: &std::path::Path, checkpoints: bool, want: IndexCheckpointState) -> (f64, usize) {
+    let mut postings = 0;
+    let start = Instant::now();
+    for _ in 0..ROUNDS {
+        let db = DbOptions::at(dir).index_checkpoints(checkpoints).open().expect("open");
+        let r = &db.recovery_report().index_checkpoint;
+        assert_eq!(r.state, want, "unexpected recovery path (note: {:?})", r.note);
+        postings = db.indexes().fti().posting_count();
+        std::hint::black_box(&db);
+        // Drop without close(): the measured open must not be followed by
+        // a checkpoint rewrite that would perturb the next round.
+    }
+    (start.elapsed().as_secs_f64() * 1e6, postings)
+}
+
+fn main() {
+    println!("== open_bench: checkpointed open vs full-history replay ==");
+    let dir = std::env::temp_dir().join(format!("txdb-open-bench-{}", std::process::id()));
+    build(&dir);
+
+    // Cold first so the OS page cache is equally warm for both passes
+    // (the cold pass touches every delta page; the warm pass only the
+    // checkpoint chain).
+    let (cold_us, cold_postings) = measure(&dir, false, IndexCheckpointState::Absent);
+    let (warm_us, warm_postings) = measure(&dir, true, IndexCheckpointState::Loaded);
+    assert_eq!(cold_postings, warm_postings, "checkpoint-loaded index diverges from full replay");
+
+    let versions = DOCS * (VERSIONS as usize + 1);
+    let speedup = cold_us / warm_us.max(0.001);
+    println!("  cold: {:.0} µs total ({ROUNDS} opens, {versions} versions replayed each)", cold_us);
+    println!("  warm: {:.0} µs total ({ROUNDS} opens, 0 versions replayed)", warm_us);
+    println!("  speedup: {speedup:.1}x  ({cold_postings} postings either way)");
+    if speedup < 5.0 {
+        println!("  WARNING: checkpointed open below the 5x target");
+    }
+
+    let generated_at = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let json = format!(
+        "{{\n  \"generated_at\": {generated_at},\n  \"seed\": {SEED},\n  \"workload\": {{\n    \"generator\": \"tdocgen\",\n    \"docs\": {DOCS},\n    \"versions_per_doc\": {},\n    \"rounds\": {ROUNDS}\n  }},\n  \"cold\": {{\n    \"checkpoints\": false,\n    \"total_us\": {cold_us:.1},\n    \"per_open_us\": {:.1},\n    \"versions_replayed_per_open\": {versions}\n  }},\n  \"warm\": {{\n    \"checkpoints\": true,\n    \"total_us\": {warm_us:.1},\n    \"per_open_us\": {:.1},\n    \"versions_replayed_per_open\": 0\n  }},\n  \"postings\": {cold_postings},\n  \"speedup\": {speedup:.2}\n}}\n",
+        VERSIONS + 1,
+        cold_us / ROUNDS as f64,
+        warm_us / ROUNDS as f64,
+    );
+    std::fs::write("BENCH_open.json", &json).expect("write BENCH_open.json");
+    println!("  wrote BENCH_open.json");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -22,6 +22,7 @@ use txdb_wgen::tdocgen::{DocGen, DocGenConfig};
 const DOCS: usize = 6;
 const VERSIONS: u64 = 64;
 const ROUNDS: usize = 20;
+const SEED: u64 = 42;
 
 /// Builds the TDocGen workload into a database with the given cache budget.
 fn build(cache_bytes: usize) -> Database {
@@ -29,7 +30,7 @@ fn build(cache_bytes: usize) -> Database {
     for d in 0..DOCS {
         let mut gen = DocGen::new(
             DocGenConfig { items: 30, changes_per_version: 4, ..Default::default() },
-            42 + d as u64,
+            SEED + d as u64,
         );
         let url = format!("bench{d}.example.org/doc");
         db.put(&url, &gen.xml(), step_ts(0)).expect("put");
@@ -101,8 +102,12 @@ fn main() {
         println!("  WARNING: warm speedup below the 2x target");
     }
 
+    let generated_at = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
     let json = format!(
-        "{{\n  \"workload\": {{\n    \"generator\": \"tdocgen\",\n    \"docs\": {DOCS},\n    \"versions_per_doc\": {},\n    \"targets_per_doc\": 4,\n    \"rounds\": {ROUNDS},\n    \"reconstructions\": {reconstructions}\n  }},\n  \"cold\": {{\n    \"cache_bytes\": 0,\n    \"total_us\": {cold_us:.1},\n    \"per_reconstruction_us\": {:.2},\n    \"deltas_applied\": {cold_deltas}\n  }},\n  \"warm\": {{\n    \"cache_bytes\": {},\n    \"total_us\": {warm_us:.1},\n    \"per_reconstruction_us\": {:.2},\n    \"deltas_applied\": {warm_deltas},\n    \"cache_hits\": {hits},\n    \"cache_misses\": {misses},\n    \"cache_inserts\": {inserts},\n    \"cache_evictions\": {evictions},\n    \"cache_invalidations\": {invalidations},\n    \"resident_bytes\": {resident}\n  }},\n  \"speedup\": {speedup:.2}\n}}\n",
+        "{{\n  \"generated_at\": {generated_at},\n  \"seed\": {SEED},\n  \"workload\": {{\n    \"generator\": \"tdocgen\",\n    \"docs\": {DOCS},\n    \"versions_per_doc\": {},\n    \"targets_per_doc\": 4,\n    \"rounds\": {ROUNDS},\n    \"reconstructions\": {reconstructions}\n  }},\n  \"cold\": {{\n    \"cache_bytes\": 0,\n    \"total_us\": {cold_us:.1},\n    \"per_reconstruction_us\": {:.2},\n    \"deltas_applied\": {cold_deltas}\n  }},\n  \"warm\": {{\n    \"cache_bytes\": {},\n    \"total_us\": {warm_us:.1},\n    \"per_reconstruction_us\": {:.2},\n    \"deltas_applied\": {warm_deltas},\n    \"cache_hits\": {hits},\n    \"cache_misses\": {misses},\n    \"cache_inserts\": {inserts},\n    \"cache_evictions\": {evictions},\n    \"cache_invalidations\": {invalidations},\n    \"resident_bytes\": {resident}\n  }},\n  \"speedup\": {speedup:.2}\n}}\n",
         VERSIONS + 1,
         cold_us / reconstructions as f64,
         64u64 << 20,

@@ -73,7 +73,8 @@ pub fn build_guides(p: GuideParams) -> TwinDb {
 
 /// The [`DbOptions`] every twin builder opens the temporal side with.
 fn twin_options(snapshot_every: Option<u32>, mode: FtiMode) -> DbOptions {
-    let mut opts = DbOptions::new().index_config(IndexConfig { fti_mode: mode, eid_index: true });
+    let mut opts =
+        DbOptions::new().index_config(IndexConfig { fti_mode: mode, ..IndexConfig::default() });
     if let Some(k) = snapshot_every {
         opts = opts.snapshot_every(k);
     }

@@ -307,6 +307,15 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<()> {
             writeln!(out, "metadata bytes:   {}", s.meta_bytes)?;
             writeln!(out, "fti postings:     {}", fti.posting_count())?;
             writeln!(out, "fti tokens:       {}", fti.token_count())?;
+            match db.store().index_checkpoint_info() {
+                Ok(Some(i)) => writeln!(
+                    out,
+                    "index checkpoint: generation {}, {} bytes in {} page(s)",
+                    i.generation, i.bytes, i.pages
+                )?,
+                Ok(None) => writeln!(out, "index checkpoint: none")?,
+                Err(e) => writeln!(out, "index checkpoint: unreadable ({e})")?,
+            }
             if let Some(eidx) = db.indexes().eid_index() {
                 writeln!(out, "eid index:        {} elements", eidx.len()?)?;
             }
@@ -516,6 +525,7 @@ mod tests {
         let out = run_cmd(&["--db", db_s, "stats"]).unwrap();
         assert!(out.contains("documents:        1"), "{out}");
         assert!(out.contains("fti postings"), "{out}");
+        assert!(out.contains("index checkpoint: generation"), "{out}");
         assert!(out.contains("vcache hits"), "{out}");
 
         // history range.
@@ -567,6 +577,7 @@ mod tests {
         let out = run_cmd(&["--db", db_s, "fsck"]).unwrap();
         assert!(out.contains("status:           clean"), "{out}");
         assert!(out.contains("documents:        1"), "{out}");
+        assert!(out.contains("index checkpoint: ok (generation"), "{out}");
         // Simulate a crash mid-append: garbage at the WAL tail.
         let mut w = std::fs::OpenOptions::new().append(true).open(db.join("wal.log")).unwrap();
         w.write_all(&[0xDE, 0xAD, 0xBE]).unwrap();

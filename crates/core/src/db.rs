@@ -5,15 +5,23 @@
 //! repository (§7.1) and drive index maintenance (§7.2) in one step; all
 //! §6 operators are methods implemented in the [`crate::ops`] modules.
 //!
-//! On reopening a persistent store, the in-memory temporal FTI is rebuilt
-//! by replaying each document's stored delta chain (the persistent EID
-//! index is rebuilt too — replay is deterministic, so values are
-//! identical).
+//! On reopening a persistent store, the in-memory indexes are loaded from
+//! the last **index checkpoint** (written by [`Database::checkpoint`] /
+//! [`Database::close`]) and only versions above each document's
+//! checkpointed high-water mark are replayed — O(index) + O(tail) instead
+//! of O(history). When the checkpoint is missing, stale for a document
+//! (vacuum rewrote covered history), or fails its CRC, recovery falls
+//! back to replaying the affected chains in full; the outcome is recorded
+//! in [`RecoveryReport::index_checkpoint`], never surfaced as an error.
 
-use txdb_base::{DocId, Result, Timestamp, VersionId};
+use std::collections::HashMap;
+
+use txdb_base::{DocId, Error, Result, Timestamp, VersionId};
 use txdb_index::maint::{IndexConfig, IndexSet};
+use txdb_index::persist::{self, DocCover};
 use txdb_storage::repo::{
-    DeleteResult, DocumentStore, PutResult, RecoveryReport, StoreOptions, VersionKind,
+    DeleteResult, DocumentStore, IndexCheckpointReport, IndexCheckpointState, PutResult,
+    RecoveryReport, StoreOptions, VersionEntry, VersionKind,
 };
 use txdb_xml::tree::Tree;
 
@@ -85,6 +93,15 @@ impl DbOptions {
         self
     }
 
+    /// Enables or disables persistent index checkpoints (on by default).
+    /// Disabled, [`Database::checkpoint`] writes no index blob and every
+    /// open replays full history — the cold path the open benchmark
+    /// measures against.
+    pub fn index_checkpoints(mut self, on: bool) -> DbOptions {
+        self.index.checkpoints = on;
+        self
+    }
+
     /// Opens the database. Recovery details (WAL replay counts, salvage
     /// state) are available afterwards via [`Database::recovery_report`].
     pub fn open(self) -> Result<Database> {
@@ -122,12 +139,79 @@ impl Database {
             // that hits corruption stays unindexed (store reads still
             // work); the count is recorded so the caller can tell how
             // much of the database is unqueryable through the indexes.
+            // The index checkpoint is ignored — the WAL is evidence and a
+            // full replay is the most conservative reconstruction.
             report.unindexed_chains = db.rebuild_indexes_salvage();
         } else {
-            db.rebuild_indexes()?;
+            report.index_checkpoint = db.load_or_rebuild_indexes()?;
         }
         db.recovery = report;
         Ok(db)
+    }
+
+    /// Loads the persisted index checkpoint and replays only history above
+    /// each document's high-water mark; falls back to full replay —
+    /// globally when the checkpoint is absent/unreadable, per document
+    /// when a cover is stale (vacuum rewrote covered history). Every
+    /// fallback is recorded, none is an error: a bad checkpoint costs
+    /// open time, never data.
+    fn load_or_rebuild_indexes(&self) -> Result<IndexCheckpointReport> {
+        let mut r = IndexCheckpointReport::default();
+        if !self.indexes.config.checkpoints {
+            r.docs_replayed = self.store.list()?.len();
+            self.rebuild_indexes()?;
+            return Ok(r);
+        }
+        let ckpt = match self.store.read_index_checkpoint() {
+            Ok(Some(blob)) => match persist::decode(&blob) {
+                Ok(ckpt) => Some(ckpt),
+                Err(e) => {
+                    r.note = Some(format!("checkpoint undecodable: {e}"));
+                    None
+                }
+            },
+            Ok(None) => None,
+            Err(e) => {
+                r.note = Some(format!("checkpoint unreadable: {e}"));
+                None
+            }
+        };
+        let Some(ckpt) = ckpt else {
+            r.state = if r.note.is_some() {
+                IndexCheckpointState::Fallback
+            } else {
+                IndexCheckpointState::Absent
+            };
+            r.docs_replayed = self.store.list()?.len();
+            self.rebuild_indexes()?;
+            return Ok(r);
+        };
+        let covers: HashMap<DocId, DocCover> = ckpt.covers.iter().map(|c| (c.doc, *c)).collect();
+        self.indexes.install(ckpt.fti, ckpt.delta);
+        r.state = IndexCheckpointState::Loaded;
+        for (doc, _) in self.store.list()? {
+            let entries = self.store.versions(doc)?;
+            match covers.get(&doc) {
+                Some(c) if cover_fresh(c, &entries) => {
+                    r.versions_replayed += self.replay_chain(doc, &entries, c.covered as usize)?;
+                    r.docs_loaded += 1;
+                }
+                cover => {
+                    // Stale cover (vacuum rewrote covered history, or the
+                    // entry list shrank) or a document the checkpoint has
+                    // never seen: rebuild just this document.
+                    if cover.is_some() {
+                        self.indexes.drop_document(doc);
+                        r.note.get_or_insert_with(|| {
+                            format!("stale cover for doc {doc}: full replay")
+                        });
+                    }
+                    self.replay_chain(doc, &entries, 0)?;
+                    r.docs_replayed += 1;
+                }
+            }
+        }
+        Ok(r)
     }
 
     /// What recovery did when this handle was opened.
@@ -193,9 +277,48 @@ impl Database {
         Ok(r)
     }
 
-    /// Flushes pages and truncates the WAL.
+    /// Checkpoints the database: flushes pages and truncates the WAL,
+    /// and (unless [`IndexConfig::checkpoints`] is off) persists the
+    /// in-memory indexes so the next open replays only what comes after.
+    ///
+    /// Ordering matters for crash safety: the store state (including the
+    /// persistent EID index pages) is flushed *before* the index blob is
+    /// written and flushed. A crash between the two leaves an older blob
+    /// whose covers trail the flushed store — safe, because catch-up
+    /// replay is idempotent — whereas a blob *newer* than the flushed
+    /// EID pages would leave covered versions silently unindexed.
     pub fn checkpoint(&self) -> Result<()> {
-        self.store.checkpoint()
+        self.store.checkpoint()?;
+        if self.indexes.config.checkpoints {
+            let covers = self.collect_covers()?;
+            let blob = self.indexes.encode_checkpoint(&covers);
+            self.store.write_index_checkpoint(&blob)?;
+            self.store.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Clean close: checkpoint (indexes included) and consume the handle,
+    /// guaranteeing the next open is O(index). A salvage-mode handle
+    /// closes without writing anything.
+    pub fn close(self) -> Result<()> {
+        if self.store.is_read_only() {
+            return Ok(());
+        }
+        self.checkpoint()
+    }
+
+    /// The per-document coverage stamps for an index checkpoint taken
+    /// now: every version entry of every document, with the purged count
+    /// that lets a later open detect vacuums below the high-water mark.
+    fn collect_covers(&self) -> Result<Vec<DocCover>> {
+        let mut covers = Vec::new();
+        for (doc, _) in self.store.list()? {
+            let entries = self.store.versions(doc)?;
+            let purged = entries.iter().filter(|e| e.kind == VersionKind::Purged).count() as u32;
+            covers.push(DocCover { doc, covered: entries.len() as u32, purged });
+        }
+        Ok(covers)
     }
 
     /// Purges the history of `name` before the given horizon (see
@@ -234,12 +357,33 @@ impl Database {
     /// Replays one document's version chain into the in-memory indexes.
     fn rebuild_doc_indexes(&self, doc: DocId) -> Result<()> {
         let entries = self.store.versions(doc)?;
+        self.replay_chain(doc, &entries, 0).map(|_| ())
+    }
+
+    /// Replays `entries[skip..]` of one document into the in-memory
+    /// indexes, returning how many entries were replayed. `skip > 0` is
+    /// the checkpoint catch-up path: the skipped prefix is already
+    /// reflected in the loaded indexes, so only its *kinds* are scanned to
+    /// recover the replay state (was the document deleted? does the next
+    /// content version need full indexing?) — no trees are materialized
+    /// for covered history.
+    fn replay_chain(&self, doc: DocId, entries: &[VersionEntry], skip: usize) -> Result<usize> {
         let mut prev_tombstone = false;
         // The first content version after a vacuumed (purged) prefix
         // must be indexed from scratch: its delta describes a change
         // against a version that was never indexed.
         let mut need_full = true;
-        for e in &entries {
+        for e in &entries[..skip] {
+            match e.kind {
+                VersionKind::Purged => need_full = true,
+                VersionKind::Tombstone => prev_tombstone = true,
+                VersionKind::Content => {
+                    prev_tombstone = false;
+                    need_full = false;
+                }
+            }
+        }
+        for e in &entries[skip..] {
             match e.kind {
                 // Purged versions have no payload to index; history
                 // lookups at their times already return nothing.
@@ -248,13 +392,23 @@ impl Database {
                 }
                 VersionKind::Tombstone => {
                     // The tree current before the tombstone:
-                    let prev = entries[..e.version.0 as usize]
-                        .iter()
-                        .rev()
-                        .find(|p| p.kind == VersionKind::Content)
-                        .expect("tombstone follows content");
-                    let old_tree = self.store.version_tree(doc, prev.version)?;
-                    self.indexes.on_delete(doc, e.version, e.ts, &old_tree)?;
+                    let prefix = &entries[..e.version.0 as usize];
+                    match prefix.iter().rev().find(|p| p.kind == VersionKind::Content) {
+                        Some(prev) => {
+                            let old_tree = self.store.version_tree(doc, prev.version)?;
+                            self.indexes.on_delete(doc, e.version, e.ts, &old_tree)?;
+                        }
+                        // A vacuum can purge every content version below
+                        // a trailing tombstone: nothing is indexed, so
+                        // there is nothing to close.
+                        None if prefix.iter().any(|p| p.kind == VersionKind::Purged) => {}
+                        None => {
+                            return Err(Error::Corrupt(format!(
+                                "doc {doc}: tombstone at v{} without preceding content",
+                                e.version.0
+                            )));
+                        }
+                    }
                     prev_tombstone = true;
                 }
                 VersionKind::Content => {
@@ -273,13 +427,24 @@ impl Database {
                 }
             }
         }
-        Ok(())
+        Ok(entries.len() - skip)
     }
 
     /// The version of `doc` valid at `ts` (delta-index lookup).
     pub fn version_at(&self, doc: DocId, ts: Timestamp) -> Result<Option<VersionId>> {
         self.store.version_at(doc, ts)
     }
+}
+
+/// Does a checkpoint cover still describe this version chain? The chain
+/// may only have *grown* past the high-water mark; covered history must
+/// be untouched, which a vacuum (the one operation that rewrites covered
+/// entries) always betrays by raising the purged count.
+fn cover_fresh(c: &DocCover, entries: &[VersionEntry]) -> bool {
+    let n = c.covered as usize;
+    n <= entries.len()
+        && entries[..n].iter().filter(|e| e.kind == VersionKind::Purged).count()
+            == c.purged as usize
 }
 
 #[cfg(test)]
@@ -308,6 +473,215 @@ mod tests {
         db.delete("g", ts(2)).unwrap();
         assert_eq!(db.indexes().fti().lookup("word", OccKind::Word).len(), 0);
         assert_eq!(db.indexes().fti().lookup_h("word", OccKind::Word).len(), 1);
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("txdb-db-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn close_then_open_loads_checkpoint_without_replay() {
+        let dir = tmp_dir("ckpt-load");
+        let opts = DbOptions::at(&dir);
+        {
+            let db = opts.clone().open().unwrap();
+            for i in 0..8u64 {
+                db.put("g", &format!("<a><b>alpha{i}</b></a>"), ts(i + 1)).unwrap();
+            }
+            db.put("h", "<x>gamma</x>", ts(20)).unwrap();
+            db.delete("h", ts(21)).unwrap();
+            db.close().unwrap();
+        }
+        let db = opts.open().unwrap();
+        let r = &db.recovery_report().index_checkpoint;
+        assert_eq!(r.state, IndexCheckpointState::Loaded, "note: {:?}", r.note);
+        assert_eq!(r.docs_loaded, 2);
+        assert_eq!(r.docs_replayed, 0);
+        assert_eq!(r.versions_replayed, 0);
+        let fti = db.indexes().fti();
+        assert_eq!(fti.lookup("alpha7", OccKind::Word).len(), 1);
+        assert_eq!(fti.lookup_h("alpha0", OccKind::Word).len(), 1);
+        assert_eq!(fti.lookup("gamma", OccKind::Word).len(), 0);
+        assert_eq!(fti.lookup_h("gamma", OccKind::Word).len(), 1);
+        drop(fti);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_replays_only_past_the_high_water_mark() {
+        let dir = tmp_dir("ckpt-tail");
+        let opts = DbOptions::at(&dir);
+        {
+            let db = opts.clone().open().unwrap();
+            db.put("g", "<a>one</a>", ts(1)).unwrap();
+            db.put("g", "<a>two</a>", ts(2)).unwrap();
+            db.checkpoint().unwrap();
+            // Tail written after the checkpoint: must be caught up at open.
+            db.put("g", "<a>three</a>", ts(3)).unwrap();
+            db.put("k", "<n>new</n>", ts(4)).unwrap();
+            // No close(): the WAL carries the tail across the reopen.
+        }
+        let db = opts.open().unwrap();
+        let r = &db.recovery_report().index_checkpoint;
+        assert_eq!(r.state, IndexCheckpointState::Loaded, "note: {:?}", r.note);
+        assert_eq!(r.docs_loaded, 1);
+        assert_eq!(r.versions_replayed, 1, "only v2 of g is past the mark");
+        assert_eq!(r.docs_replayed, 1, "doc k is not covered at all");
+        let fti = db.indexes().fti();
+        assert_eq!(fti.lookup("three", OccKind::Word).len(), 1);
+        assert_eq!(fti.lookup("two", OccKind::Word).len(), 0);
+        assert_eq!(fti.lookup_h("one", OccKind::Word).len(), 1);
+        assert_eq!(fti.lookup("new", OccKind::Word).len(), 1);
+        drop(fti);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_falls_back_to_full_replay() {
+        use txdb_storage::{Pager, PHYS_PAGE_SIZE};
+        let dir = tmp_dir("ckpt-crc");
+        let opts = DbOptions::at(&dir);
+        {
+            let db = opts.clone().open().unwrap();
+            db.put("g", "<a>alpha</a>", ts(1)).unwrap();
+            db.put("g", "<a>beta</a>", ts(2)).unwrap();
+            db.close().unwrap();
+        }
+        // Flip one byte inside the checkpoint root page. The pager's
+        // physical page CRC (and the checkpoint's own header checks)
+        // must reject it and the open must degrade, not fail.
+        let root = {
+            let pager = Pager::open(&dir.join("data.db")).unwrap();
+            pager.root(txdb_storage::repo::roots::FTI_META)
+        };
+        assert!(!root.is_null(), "close() should have written a checkpoint");
+        {
+            use std::io::{Read, Seek, SeekFrom, Write};
+            let mut f = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(dir.join("data.db"))
+                .unwrap();
+            let off = root.0 * PHYS_PAGE_SIZE as u64 + 20;
+            f.seek(SeekFrom::Start(off)).unwrap();
+            let mut b = [0u8; 1];
+            f.read_exact(&mut b).unwrap();
+            f.seek(SeekFrom::Start(off)).unwrap();
+            f.write_all(&[b[0] ^ 0xff]).unwrap();
+        }
+        let db = opts.open().unwrap();
+        let r = &db.recovery_report().index_checkpoint;
+        assert_eq!(r.state, IndexCheckpointState::Fallback);
+        assert!(r.note.is_some(), "fallback must say why");
+        assert_eq!(r.docs_replayed, 1);
+        assert_eq!(db.indexes().fti().lookup("beta", OccKind::Word).len(), 1);
+        assert_eq!(db.indexes().fti().lookup_h("alpha", OccKind::Word).len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoints_disabled_always_full_replays() {
+        let dir = tmp_dir("ckpt-off");
+        let opts = DbOptions::at(&dir).index_checkpoints(false);
+        {
+            let db = opts.clone().open().unwrap();
+            db.put("g", "<a>alpha</a>", ts(1)).unwrap();
+            db.close().unwrap();
+        }
+        let db = opts.open().unwrap();
+        let r = &db.recovery_report().index_checkpoint;
+        assert_eq!(r.state, IndexCheckpointState::Absent);
+        assert_eq!(r.docs_replayed, 1);
+        assert_eq!(db.indexes().fti().lookup("alpha", OccKind::Word).len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn vacuum_below_tombstone_reopens_without_panicking() {
+        // A vacuum purges every content version below a trailing
+        // tombstone, leaving a [Purged.., Tombstone] chain. Replaying it
+        // used to panic ("tombstone follows content"); it must now skip
+        // the tombstone quietly.
+        let dir = tmp_dir("ckpt-vac");
+        let opts = DbOptions::at(&dir);
+        {
+            let db = opts.clone().open().unwrap();
+            db.put("g", "<a>alpha</a>", ts(1)).unwrap();
+            db.delete("g", ts(2)).unwrap();
+            db.put("live", "<a>live</a>", ts(3)).unwrap();
+            let stats = db.vacuum("g", ts(10)).unwrap().unwrap();
+            assert!(stats.purged_versions > 0, "vacuum should purge the content version");
+            // No checkpoint after the vacuum: the reopen replays in full.
+            db.store().checkpoint().unwrap();
+        }
+        let db = opts.clone().open().unwrap();
+        assert_eq!(db.indexes().fti().lookup("live", OccKind::Word).len(), 1);
+        assert_eq!(db.indexes().fti().lookup("alpha", OccKind::Word).len(), 0);
+        // And the checkpoint path over the same chain also survives.
+        db.close().unwrap();
+        let db = opts.clone().open().unwrap();
+        let r = &db.recovery_report().index_checkpoint;
+        assert_eq!(r.state, IndexCheckpointState::Loaded, "note: {:?}", r.note);
+        // Resurrecting the fully-vacuumed document stores a fresh base
+        // version (nothing left to diff against) and must survive a
+        // reopen on both the replay and the checkpoint path.
+        let res = db.put("g", "<a>reborn</a>", ts(20)).unwrap();
+        assert!(res.changed);
+        assert!(res.delta.is_none(), "rebirth has no delta");
+        assert_eq!(db.indexes().fti().lookup("reborn", OccKind::Word).len(), 1);
+        db.close().unwrap();
+        let db = opts.open().unwrap();
+        assert!(db.recovery_report().salvage.is_none());
+        assert_eq!(db.indexes().fti().lookup("reborn", OccKind::Word).len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn vacuum_invalidates_covered_history() {
+        // Checkpoint first, vacuum after: the cover's purged count no
+        // longer matches, so just that document must be fully replayed.
+        let dir = tmp_dir("ckpt-stale");
+        let opts = DbOptions::at(&dir);
+        {
+            let db = opts.clone().open().unwrap();
+            db.put("g", "<a>one</a>", ts(1)).unwrap();
+            db.put("g", "<a>two</a>", ts(2)).unwrap();
+            db.put("h", "<b>other</b>", ts(3)).unwrap();
+            db.checkpoint().unwrap();
+            let stats = db.vacuum("g", ts(3)).unwrap().unwrap();
+            assert!(stats.purged_versions > 0);
+            db.store().checkpoint().unwrap();
+        }
+        let db = opts.open().unwrap();
+        let r = &db.recovery_report().index_checkpoint;
+        assert_eq!(r.state, IndexCheckpointState::Loaded);
+        assert_eq!(r.docs_loaded, 1, "h still matches its cover");
+        assert_eq!(r.docs_replayed, 1, "g was vacuumed and must rebuild");
+        assert!(r.note.as_deref().unwrap_or("").contains("stale cover"));
+        assert_eq!(db.indexes().fti().lookup("two", OccKind::Word).len(), 1);
+        assert_eq!(db.indexes().fti().lookup("other", OccKind::Word).len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tombstone_without_preceding_content_is_corrupt_not_a_panic() {
+        let db = Database::in_memory();
+        db.put("g", "<a>x</a>", ts(1)).unwrap();
+        let doc = db.store().doc_id("g").unwrap().unwrap();
+        // Hand-corrupted chain: a tombstone with no content (and no
+        // purge marks) before it.
+        let entries = vec![VersionEntry {
+            version: VersionId(0),
+            ts: ts(1),
+            kind: VersionKind::Tombstone,
+            delta_rid: None,
+            snapshot_rid: None,
+        }];
+        let err = db.replay_chain(doc, &entries, 0).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "got {err:?}");
+        assert!(err.to_string().contains("without preceding content"), "got {err}");
     }
 
     #[test]

@@ -16,10 +16,12 @@
 
 use std::collections::HashMap;
 
-use txdb_base::{DocId, VersionId, Xid};
+use txdb_base::{DocId, Error, Result, VersionId, Xid};
 use txdb_delta::{Delta, EditOp};
 use txdb_xml::similarity::tokenize;
 use txdb_xml::tree::{NodeKind, Tree};
+
+use crate::persist::{read_u8, read_varint, write_varint};
 
 /// Kind of change an entry describes.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -173,6 +175,79 @@ impl DeltaContentIndex {
         out
     }
 
+    /// Removes every entry of a document (stale-checkpoint repair path).
+    pub fn drop_document(&mut self, doc: DocId) {
+        let entries = &mut self.entries;
+        self.lists.retain(|_, l| {
+            let before = l.len();
+            l.retain(|e| e.doc != doc);
+            *entries -= before - l.len();
+            !l.is_empty()
+        });
+    }
+
+    /// Serializes the index: sorted token dictionary, entries as varints.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut tokens: Vec<(&String, &Vec<ChangeEntry>)> = self.lists.iter().collect();
+        tokens.sort_by_key(|(t, _)| t.as_str());
+        write_varint(out, tokens.len() as u64);
+        for (token, list) in tokens {
+            write_varint(out, token.len() as u64);
+            out.extend_from_slice(token.as_bytes());
+            write_varint(out, list.len() as u64);
+            for e in list {
+                write_varint(out, e.doc.0 as u64);
+                write_varint(out, e.version.0 as u64);
+                out.push(match e.op {
+                    ChangeOp::Insert => 0,
+                    ChangeOp::Delete => 1,
+                    ChangeOp::Update => 2,
+                    ChangeOp::Move => 3,
+                });
+                write_varint(out, e.xid.0);
+            }
+        }
+    }
+
+    /// Deserializes an index written by
+    /// [`DeltaContentIndex::encode_into`]. Consumes its portion of
+    /// `input`.
+    pub fn decode_from(input: &mut &[u8]) -> Result<DeltaContentIndex> {
+        let mut idx = DeltaContentIndex::new();
+        let n_tokens = read_varint(input)? as usize;
+        for _ in 0..n_tokens {
+            let len = read_varint(input)? as usize;
+            if input.len() < len {
+                return Err(Error::Corrupt("delta index checkpoint: truncated token".into()));
+            }
+            let (head, rest) = input.split_at(len);
+            *input = rest;
+            let token = String::from_utf8(head.to_vec())
+                .map_err(|_| Error::Corrupt("delta index checkpoint: token not UTF-8".into()))?;
+            let n_entries = read_varint(input)? as usize;
+            let list = idx.lists.entry(token).or_default();
+            for _ in 0..n_entries {
+                let doc = DocId(u32::try_from(read_varint(input)?).map_err(|_| {
+                    Error::Corrupt("delta index checkpoint: doc id overflow".into())
+                })?);
+                let version = VersionId(u32::try_from(read_varint(input)?).map_err(|_| {
+                    Error::Corrupt("delta index checkpoint: version overflow".into())
+                })?);
+                let op = match read_u8(input)? {
+                    0 => ChangeOp::Insert,
+                    1 => ChangeOp::Delete,
+                    2 => ChangeOp::Update,
+                    3 => ChangeOp::Move,
+                    x => return Err(Error::Corrupt(format!("delta index checkpoint: bad op {x}"))),
+                };
+                let xid = Xid(read_varint(input)?);
+                list.push(ChangeEntry { doc, version, op, xid });
+                idx.entries += 1;
+            }
+        }
+        Ok(idx)
+    }
+
     /// Total entries (index-size metric for E7).
     pub fn entry_count(&self) -> usize {
         self.entries
@@ -294,6 +369,43 @@ mod tests {
         assert_eq!(idx.find("italian", Some(ChangeOp::Update)).len(), 1);
         assert_eq!(idx.find("greek", None).len(), 1);
         assert_eq!(idx.find("category", None).len(), 1);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut idx = DeltaContentIndex::new();
+        let d = delta(vec![EditOp::UpdateText {
+            xid: Xid(5),
+            old: "fifteen".into(),
+            new: "eighteen".into(),
+            old_ts: Timestamp::ZERO,
+        }]);
+        idx.index_delta(DocId(1), &d);
+        let mut blob = Vec::new();
+        idx.encode_into(&mut blob);
+        let mut cursor = blob.as_slice();
+        let back = DeltaContentIndex::decode_from(&mut cursor).unwrap();
+        assert!(cursor.is_empty());
+        assert_eq!(back.entry_count(), idx.entry_count());
+        assert_eq!(back.find("fifteen", Some(ChangeOp::Update)).len(), 1);
+        assert_eq!(back.find("update", None).len(), 1);
+    }
+
+    #[test]
+    fn drop_document_prunes_entries_and_counts() {
+        let mut idx = DeltaContentIndex::new();
+        let d = delta(vec![EditOp::UpdateText {
+            xid: Xid(5),
+            old: "a".into(),
+            new: "b".into(),
+            old_ts: Timestamp::ZERO,
+        }]);
+        idx.index_delta(DocId(1), &d);
+        idx.index_delta(DocId(2), &d);
+        let before = idx.entry_count();
+        idx.drop_document(DocId(1));
+        assert_eq!(idx.entry_count(), before / 2);
+        assert!(idx.find("a", None).iter().all(|e| e.doc == DocId(2)));
     }
 
     #[test]

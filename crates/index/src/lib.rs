@@ -32,6 +32,8 @@ pub mod deltaindex;
 pub mod eidindex;
 pub mod fti;
 pub mod maint;
+pub mod persist;
 
 pub use fti::{FullTextIndex, OccKind, Posting};
 pub use maint::{FtiMode, IndexConfig, IndexSet};
+pub use persist::{DocCover, IndexCheckpoint};

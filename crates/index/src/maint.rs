@@ -52,11 +52,17 @@ pub struct IndexConfig {
     pub fti_mode: FtiMode,
     /// Maintain the §7.3.6 EID-time index.
     pub eid_index: bool,
+    /// Persist the in-memory indexes at checkpoint time and load them at
+    /// open, replaying only history above the checkpointed high-water
+    /// marks (O(index) open instead of O(history)). Disabling forces a
+    /// full replay at every open — the cold path the `open_bench`
+    /// experiment measures.
+    pub checkpoints: bool,
 }
 
 impl Default for IndexConfig {
     fn default() -> Self {
-        IndexConfig { fti_mode: FtiMode::Versions, eid_index: true }
+        IndexConfig { fti_mode: FtiMode::Versions, eid_index: true, checkpoints: true }
     }
 }
 
@@ -94,6 +100,27 @@ impl IndexSet {
     /// The EID-time index, when enabled.
     pub fn eid_index(&self) -> Option<&EidTimeIndex> {
         self.eid.as_ref()
+    }
+
+    /// Replaces the in-memory indexes wholesale with checkpoint-loaded
+    /// ones. The EID-time index is untouched — it persists on the shared
+    /// buffer pool and never needs reloading.
+    pub fn install(&self, fti: FullTextIndex, delta_index: DeltaContentIndex) {
+        *self.fti.write() = fti;
+        *self.delta_index.write() = delta_index;
+    }
+
+    /// Drops one document from the in-memory indexes (its checkpointed
+    /// image was stale); the caller rebuilds it by full replay.
+    pub fn drop_document(&self, doc: DocId) {
+        self.fti.write().drop_document(doc);
+        self.delta_index.write().drop_document(doc);
+    }
+
+    /// Serializes the in-memory indexes with their per-document covers
+    /// into a checkpoint blob.
+    pub fn encode_checkpoint(&self, covers: &[crate::persist::DocCover]) -> Vec<u8> {
+        crate::persist::encode(covers, &self.fti.read(), &self.delta_index.read())
     }
 
     fn fti_enabled(&self) -> bool {
@@ -248,7 +275,7 @@ impl IndexSet {
                     if self.fti_enabled() {
                         let path_changed = fti
                             .open_path(doc, xid)
-                            .map(|p| p.as_ref() != desired_path.as_slice())
+                            .map(|p| p != desired_path.as_slice())
                             .unwrap_or(false);
                         if path_changed {
                             for (tok, kind) in &current {
@@ -393,7 +420,7 @@ mod tests {
             let store = DocumentStore::open(StoreOptions::default()).unwrap().0;
             let idx = IndexSet::open(
                 store.pool().clone(),
-                IndexConfig { fti_mode: mode, eid_index: true },
+                IndexConfig { fti_mode: mode, ..IndexConfig::default() },
             )
             .unwrap();
             Fixture { store, idx }

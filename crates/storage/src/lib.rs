@@ -21,6 +21,9 @@
 //!   disk-full) for the crash-point recovery harness;
 //! * [`wal`] — a logical write-ahead log with CRC-protected records,
 //!   checkpointing and torn-tail-tolerant recovery;
+//! * [`ckpt`] — durable storage for serialized index checkpoints (a
+//!   CRC-guarded page chain), which turns index rebuild at open from
+//!   O(history) into O(index) + a tail replay;
 //! * [`repo`] — the §7.1 document organisation: one complete current
 //!   version per document, previous versions as backward completed deltas
 //!   stored as XML documents, a per-document delta index mapping version
@@ -36,6 +39,7 @@
 
 pub mod btree;
 pub mod buffer;
+pub mod ckpt;
 pub mod heap;
 pub mod pager;
 pub mod repo;
@@ -44,7 +48,11 @@ pub mod vfs;
 pub mod wal;
 
 pub use buffer::{BufferPool, BufferStats};
+pub use ckpt::{CheckpointInfo, CheckpointStore};
 pub use pager::{PageId, Pager, PAGE_SIZE, PHYS_PAGE_SIZE};
-pub use repo::{DocumentStore, FsckReport, StoreOptions, VersionEntry, VersionKind};
+pub use repo::{
+    DocumentStore, FsckReport, IndexCheckpointReport, IndexCheckpointState, StoreOptions,
+    VersionEntry, VersionKind,
+};
 pub use vcache::{VersionCache, VersionCacheStats};
 pub use vfs::{FaultyVfs, RealVfs, Vfs, VfsFile};

@@ -37,6 +37,7 @@ use txdb_xml::tree::Tree;
 
 use crate::btree::BTree;
 use crate::buffer::{BufferPool, BufferStats};
+use crate::ckpt::{CheckpointInfo, CheckpointStore};
 use crate::heap::{Heap, RecordId};
 use crate::pager::Pager;
 use crate::vfs::{RealVfs, Vfs};
@@ -318,6 +319,40 @@ pub struct RecoveryReport {
     /// Those documents stay readable through the store but are invisible
     /// to index-backed queries until repaired.
     pub unindexed_chains: usize,
+    /// How the persisted index checkpoint participated in this open
+    /// (filled in by the database layer).
+    pub index_checkpoint: IndexCheckpointReport,
+}
+
+/// Whether the open path could use the persisted index checkpoint.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum IndexCheckpointState {
+    /// No checkpoint had ever been written (or checkpoints are disabled).
+    #[default]
+    Absent,
+    /// The checkpoint loaded; only history above each document's
+    /// high-water mark was replayed.
+    Loaded,
+    /// A checkpoint existed but was unusable (CRC failure, format
+    /// mismatch, …); the indexes were rebuilt by full replay instead.
+    Fallback,
+}
+
+/// Index-checkpoint details inside a [`RecoveryReport`].
+#[derive(Debug, Default, Clone)]
+pub struct IndexCheckpointReport {
+    /// Outcome of the checkpoint load attempt.
+    pub state: IndexCheckpointState,
+    /// Documents whose indexes were restored from the checkpoint
+    /// (possibly with a tail replay on top).
+    pub docs_loaded: usize,
+    /// Documents rebuilt by full replay (new since the checkpoint, stale
+    /// in it, or every document when the load fell back).
+    pub docs_replayed: usize,
+    /// Versions replayed above the per-document high-water marks.
+    pub versions_replayed: usize,
+    /// Why the load fell back (or was partial), when it did.
+    pub note: Option<String>,
 }
 
 /// Outcome of a [`DocumentStore::vacuum`].
@@ -364,6 +399,11 @@ pub struct FsckReport {
     /// Torn bytes at the WAL tail (removable with
     /// [`DocumentStore::repair_wal_tail`]).
     pub torn_bytes: u64,
+    /// State of the persisted index checkpoint: "absent", "ok (…)" or
+    /// "unreadable (…)". An unreadable checkpoint does **not** make the
+    /// store unclean — the open path falls back to a full index rebuild,
+    /// so no data is at risk, only open time.
+    pub index_checkpoint: String,
     /// Human-readable description of every problem found.
     pub errors: Vec<String>,
 }
@@ -389,6 +429,7 @@ impl std::fmt::Display for FsckReport {
         writeln!(f, "reconstructed:    {}", self.reconstructed)?;
         writeln!(f, "wal records:      {}", self.wal_records)?;
         writeln!(f, "wal torn bytes:   {}", self.torn_bytes)?;
+        writeln!(f, "index checkpoint: {}", self.index_checkpoint)?;
         for e in &self.errors {
             writeln!(f, "error: {e}")?;
         }
@@ -407,6 +448,8 @@ pub struct DocumentStore {
     catalog: BTree,
     docs: BTree,
     wal: Wal,
+    /// Serialized-index checkpoint blob, rooted at [`roots::FTI_META`].
+    ckpt: CheckpointStore,
     opts: StoreOptions,
     /// Single-writer / multi-reader isolation: writers relocate heap
     /// records in place (the current-version record is updated on every
@@ -445,12 +488,14 @@ impl DocumentStore {
         let catalog = BTree::open(pool.clone(), roots::CATALOG)?;
         let docs = BTree::open(pool.clone(), roots::DOCS)?;
         let vcache = crate::vcache::VersionCache::new(opts.cache_bytes);
+        let ckpt = CheckpointStore::new(pool.clone(), roots::FTI_META);
         let store = DocumentStore {
             pool,
             heap,
             catalog,
             docs,
             wal,
+            ckpt,
             opts,
             sync: RwLock::new(()),
             meta_cache: Mutex::new(std::collections::HashMap::new()),
@@ -647,6 +692,49 @@ impl DocumentStore {
                     return Err(Error::QueryInvalid(format!(
                         "non-monotonic put: {ts} <= last version time {last_ts}"
                     )));
+                }
+                if meta.last_content().is_none() {
+                    // Resurrection after a full vacuum: every content
+                    // version below the tombstone was purged, so there is
+                    // nothing to diff against — store the new version
+                    // complete, like a fresh base (XIDs keep drawing from
+                    // the document's counter; they are never reused).
+                    let mut next = meta.next_xid;
+                    let ids: Vec<_> = tree.iter().collect();
+                    for id in ids {
+                        tree.node_mut(id).xid = next;
+                        next = next.next();
+                    }
+                    tree.stamp_all(ts);
+                    let new_bytes = encode_tree(&tree);
+                    let current_rid = match meta.current_rid {
+                        Some(rid) => self.heap.update(rid, &new_bytes)?,
+                        None => self.heap.insert(&new_bytes)?,
+                    };
+                    let version = VersionId(meta.entries.len() as u32);
+                    meta.current_rid = Some(current_rid);
+                    meta.next_xid = next;
+                    meta.entries.push(VersionEntry {
+                        version,
+                        ts,
+                        kind: VersionKind::Content,
+                        delta_rid: None,
+                        snapshot_rid: None,
+                    });
+                    let new_meta_rid = self.heap.update(meta_rid, &meta.encode())?;
+                    self.docs.insert(&doc.0.to_be_bytes(), &new_meta_rid.to_bytes())?;
+                    self.invalidate_meta(doc);
+                    self.vcache.invalidate_doc(doc);
+                    return Ok(PutResult {
+                        doc,
+                        version,
+                        ts,
+                        created: false,
+                        changed: true,
+                        delta: None,
+                        old_tree: None,
+                        new_tree: tree,
+                    });
                 }
                 let old_tree = self.current_tree_of(&meta)?;
                 let from_entry = meta
@@ -1136,6 +1224,39 @@ impl DocumentStore {
         self.wal.reset()
     }
 
+    /// Persists a serialized index checkpoint blob (see
+    /// [`crate::ckpt::CheckpointStore`]) and returns its generation. The
+    /// pages land on disk with the next [`DocumentStore::checkpoint`];
+    /// callers write the blob first, then checkpoint, so blob and page
+    /// image are flushed together.
+    pub fn write_index_checkpoint(&self, blob: &[u8]) -> Result<u64> {
+        let _g = self.sync.write();
+        self.ensure_writable()?;
+        self.ckpt.write(blob)
+    }
+
+    /// Reads the persisted index checkpoint blob. `Ok(None)` = never
+    /// written; an error means the checkpoint is unusable (callers fall
+    /// back to a full index rebuild).
+    pub fn read_index_checkpoint(&self) -> Result<Option<Vec<u8>>> {
+        let _g = self.sync.read();
+        self.ckpt.read()
+    }
+
+    /// Drops the persisted index checkpoint, if any.
+    pub fn clear_index_checkpoint(&self) -> Result<()> {
+        let _g = self.sync.write();
+        self.ensure_writable()?;
+        self.ckpt.clear()
+    }
+
+    /// Generation/size summary of the persisted index checkpoint
+    /// (`Ok(None)` when absent).
+    pub fn index_checkpoint_info(&self) -> Result<Option<CheckpointInfo>> {
+        let _g = self.sync.read();
+        self.ckpt.info()
+    }
+
     /// Space accounting for the storage experiments (E8).
     pub fn space_stats(&self) -> Result<SpaceStats> {
         let _g = self.sync.read();
@@ -1181,6 +1302,22 @@ impl DocumentStore {
             }
             Err(e) => r.errors.push(format!("WAL unreadable: {e}")),
         }
+        // The index checkpoint is advisory: report its state, but an
+        // unreadable one is not corruption of *data* — open degrades to a
+        // full rebuild — so it never flips the store to CORRUPT.
+        r.index_checkpoint = match self.ckpt.read() {
+            Ok(None) => "absent".into(),
+            Ok(Some(blob)) => match self.ckpt.info() {
+                Ok(Some(info)) => format!(
+                    "ok (generation {}, {} bytes in {} page(s))",
+                    info.generation,
+                    blob.len(),
+                    info.pages
+                ),
+                _ => format!("ok ({} bytes)", blob.len()),
+            },
+            Err(e) => format!("unreadable ({e}); open falls back to full index rebuild"),
+        };
         let iter = match self.docs.iter() {
             Ok(i) => i,
             Err(e) => {

@@ -1,16 +1,32 @@
 #!/usr/bin/env bash
 # Tier-1 gate: formatting, lints, and the full offline test suite.
 # Run from anywhere; operates on the workspace that contains this script.
+# Each phase reports its wall-clock time; the summary repeats them all.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo fmt --check =="
-cargo fmt --all -- --check
+PHASES=()
+TIMES=()
 
-echo "== cargo clippy (warnings are errors) =="
-cargo clippy --workspace --all-targets --offline -- -D warnings
+run_phase() {
+    local name="$1"
+    shift
+    echo "== $name =="
+    local start end
+    start=$(date +%s)
+    "$@"
+    end=$(date +%s)
+    PHASES+=("$name")
+    TIMES+=("$((end - start))")
+    echo "-- $name: $((end - start))s"
+}
 
-echo "== cargo test (offline) =="
-cargo test --workspace -q --offline
+run_phase "cargo fmt --check" cargo fmt --all -- --check
+run_phase "cargo clippy (warnings are errors)" \
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+run_phase "cargo test (offline)" cargo test --workspace -q --offline
 
 echo "== OK =="
+for i in "${!PHASES[@]}"; do
+    printf '  %-38s %ss\n' "${PHASES[$i]}" "${TIMES[$i]}"
+done

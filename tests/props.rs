@@ -419,3 +419,125 @@ proptest! {
         }
     }
 }
+
+// ------------------------------------- index checkpoint equivalence
+
+/// One step of a random workload that ends in a checkpointed close.
+#[derive(Clone, Debug)]
+enum CkptOp {
+    Put(usize, Spec),
+    Delete(usize),
+    Vacuum(usize, u8),
+    Checkpoint,
+}
+
+fn ckpt_op_strategy() -> impl Strategy<Value = CkptOp> {
+    prop_oneof![
+        6 => (0usize..3, spec_strategy()).prop_map(|(d, s)| CkptOp::Put(d, s)),
+        2 => (0usize..3).prop_map(CkptOp::Delete),
+        1 => (0usize..3, 0u8..4).prop_map(|(d, f)| CkptOp::Vacuum(d, f)),
+        1 => Just(CkptOp::Checkpoint),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// Loading a persisted index checkpoint must be invisible: after an
+    /// arbitrary interleaving of puts, deletes, vacuums and mid-run
+    /// checkpoints, a reopen that loads the checkpoint (plus tail replay)
+    /// and a reopen that replays the full history answer `lookup`,
+    /// `lookup_t` and `lookup_h` identically for every probe word at
+    /// every write timestamp.
+    #[test]
+    fn checkpoint_load_equals_full_replay(ops in prop::collection::vec(ckpt_op_strategy(), 1..20)) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use temporal_xml::DbOptions;
+
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "txdb-props-ckpt-{}-{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let name = |d: usize| format!("doc{d}");
+        let mut times = Vec::new();
+        {
+            let db = DbOptions::at(&dir).open().unwrap();
+            for (step, op) in ops.iter().enumerate() {
+                let now = Timestamp::from_secs(10 + step as u64);
+                match op {
+                    CkptOp::Put(d, spec) => {
+                        let xml = to_string(&tree_from(spec));
+                        if db.put(&name(*d), &xml, now).unwrap().changed {
+                            times.push(now);
+                        }
+                    }
+                    CkptOp::Delete(d) => {
+                        if db.delete(&name(*d), now).unwrap().is_some() {
+                            times.push(now);
+                        }
+                    }
+                    CkptOp::Vacuum(d, f) => {
+                        let horizon =
+                            Timestamp::from_secs(10 + step as u64 * u64::from(*f) / 4);
+                        let _ = db.vacuum(&name(*d), horizon).unwrap();
+                    }
+                    CkptOp::Checkpoint => db.checkpoint().unwrap(),
+                }
+            }
+            db.close().unwrap();
+        }
+
+        // Gather every answer from the checkpoint-loaded handle first,
+        // then from a full-replay handle (sequentially — the store is
+        // single-writer), and compare.
+        let words = ["red", "blue", "15", "hello", "zz", "item", "name"];
+        let answers = |checkpoints: bool| {
+            let db = DbOptions::at(&dir).index_checkpoints(checkpoints).open().unwrap();
+            let report = db.recovery_report().index_checkpoint.clone();
+            let fti = db.indexes().fti();
+            let mut out: Vec<(String, Vec<String>)> = Vec::new();
+            let norm = |mut v: Vec<String>| {
+                v.sort();
+                v
+            };
+            for w in words {
+                for kind in [OccKind::Word, OccKind::Name] {
+                    let cur = fti.lookup(w, kind).iter().map(|p| format!("{p:?}")).collect();
+                    out.push((format!("lookup {w} {kind:?}"), norm(cur)));
+                    let hist = fti.lookup_h(w, kind).iter().map(|p| format!("{p:?}")).collect();
+                    out.push((format!("lookup_h {w} {kind:?}"), norm(hist)));
+                    for &t in &times {
+                        let at = fti
+                            .lookup_t(w, kind, |d| db.store().version_at(d, t).unwrap())
+                            .iter()
+                            .map(|p| format!("{p:?}"))
+                            .collect();
+                        out.push((format!("lookup_t {w} {kind:?} @{}", t.micros()), norm(at)));
+                    }
+                }
+            }
+            (report, out)
+        };
+        let (loaded_report, loaded) = answers(true);
+        let (replayed_report, replayed) = answers(false);
+        prop_assert_eq!(
+            loaded_report.state,
+            temporal_xml::storage::IndexCheckpointState::Loaded,
+            "close() must leave a loadable checkpoint (note: {:?})",
+            loaded_report.note
+        );
+        prop_assert_eq!(
+            replayed_report.state,
+            temporal_xml::storage::IndexCheckpointState::Absent
+        );
+        for ((la, lv), (ra, rv)) in loaded.iter().zip(&replayed) {
+            prop_assert_eq!(la, ra);
+            prop_assert_eq!(lv, rv, "checkpoint-loaded and replayed answers differ for {}", la);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
