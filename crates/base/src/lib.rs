@@ -13,6 +13,12 @@
 //! * [`Teid`] — *temporal element identifier*: an [`Eid`] plus a timestamp,
 //!   uniquely identifying one *version* of an element (§3.2).
 //! * [`Error`] / [`Result`] — the error type used across the workspace.
+//! * [`obs`] — the observability substrate: a lock-free metrics registry
+//!   (counters, gauges, log-bucketed latency histograms) and lightweight
+//!   span tracing with a pluggable JSON-lines sink. Every layer registers
+//!   its counters here so `txdb metrics`, `txdb stats`, query
+//!   `ExecStats` and the bench binaries all report from one source of
+//!   truth.
 //!
 //! Nothing here depends on XML or storage; higher crates build on these
 //! types without cyclic dependencies.
@@ -23,6 +29,7 @@
 pub mod error;
 pub mod ids;
 pub mod interval;
+pub mod obs;
 pub mod time;
 
 pub use error::{Error, Result};

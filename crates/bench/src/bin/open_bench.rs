@@ -86,11 +86,20 @@ fn main() {
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
+    // One extra untimed checkpointed open, instrumented: its registry
+    // snapshot reports the engine-level counters of an open (buffer I/O,
+    // checkpoint.load_us, index.open_us …) without perturbing the timings.
+    let engine = {
+        let db = DbOptions::at(&dir).index_checkpoints(true).open().expect("open");
+        db.store().update_derived_metrics();
+        db.metrics().snapshot().to_json()
+    };
     let json = format!(
-        "{{\n  \"generated_at\": {generated_at},\n  \"seed\": {SEED},\n  \"workload\": {{\n    \"generator\": \"tdocgen\",\n    \"docs\": {DOCS},\n    \"versions_per_doc\": {},\n    \"rounds\": {ROUNDS}\n  }},\n  \"cold\": {{\n    \"checkpoints\": false,\n    \"total_us\": {cold_us:.1},\n    \"per_open_us\": {:.1},\n    \"versions_replayed_per_open\": {versions}\n  }},\n  \"warm\": {{\n    \"checkpoints\": true,\n    \"total_us\": {warm_us:.1},\n    \"per_open_us\": {:.1},\n    \"versions_replayed_per_open\": 0\n  }},\n  \"postings\": {cold_postings},\n  \"speedup\": {speedup:.2}\n}}\n",
+        "{{\n  \"generated_at\": {generated_at},\n  \"seed\": {SEED},\n  \"workload\": {{\n    \"generator\": \"tdocgen\",\n    \"docs\": {DOCS},\n    \"versions_per_doc\": {},\n    \"rounds\": {ROUNDS}\n  }},\n  \"cold\": {{\n    \"checkpoints\": false,\n    \"total_us\": {cold_us:.1},\n    \"per_open_us\": {:.1},\n    \"versions_replayed_per_open\": {versions}\n  }},\n  \"warm\": {{\n    \"checkpoints\": true,\n    \"total_us\": {warm_us:.1},\n    \"per_open_us\": {:.1},\n    \"versions_replayed_per_open\": 0\n  }},\n  \"postings\": {cold_postings},\n  \"speedup\": {speedup:.2},\n  \"engine_metrics\": {}\n}}\n",
         VERSIONS + 1,
         cold_us / ROUNDS as f64,
         warm_us / ROUNDS as f64,
+        engine.trim_end(),
     );
     std::fs::write("BENCH_open.json", &json).expect("write BENCH_open.json");
     println!("  wrote BENCH_open.json");

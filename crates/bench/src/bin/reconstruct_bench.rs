@@ -106,12 +106,17 @@ fn main() {
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
+    // Engine-level counters from the warm store's metrics registry
+    // (reconstruct.deltas_applied, vcache traffic, buffer hit ratio …).
+    warm_db.store().update_derived_metrics();
+    let engine = warm_db.metrics().snapshot().to_json();
     let json = format!(
-        "{{\n  \"generated_at\": {generated_at},\n  \"seed\": {SEED},\n  \"workload\": {{\n    \"generator\": \"tdocgen\",\n    \"docs\": {DOCS},\n    \"versions_per_doc\": {},\n    \"targets_per_doc\": 4,\n    \"rounds\": {ROUNDS},\n    \"reconstructions\": {reconstructions}\n  }},\n  \"cold\": {{\n    \"cache_bytes\": 0,\n    \"total_us\": {cold_us:.1},\n    \"per_reconstruction_us\": {:.2},\n    \"deltas_applied\": {cold_deltas}\n  }},\n  \"warm\": {{\n    \"cache_bytes\": {},\n    \"total_us\": {warm_us:.1},\n    \"per_reconstruction_us\": {:.2},\n    \"deltas_applied\": {warm_deltas},\n    \"cache_hits\": {hits},\n    \"cache_misses\": {misses},\n    \"cache_inserts\": {inserts},\n    \"cache_evictions\": {evictions},\n    \"cache_invalidations\": {invalidations},\n    \"resident_bytes\": {resident}\n  }},\n  \"speedup\": {speedup:.2}\n}}\n",
+        "{{\n  \"generated_at\": {generated_at},\n  \"seed\": {SEED},\n  \"workload\": {{\n    \"generator\": \"tdocgen\",\n    \"docs\": {DOCS},\n    \"versions_per_doc\": {},\n    \"targets_per_doc\": 4,\n    \"rounds\": {ROUNDS},\n    \"reconstructions\": {reconstructions}\n  }},\n  \"cold\": {{\n    \"cache_bytes\": 0,\n    \"total_us\": {cold_us:.1},\n    \"per_reconstruction_us\": {:.2},\n    \"deltas_applied\": {cold_deltas}\n  }},\n  \"warm\": {{\n    \"cache_bytes\": {},\n    \"total_us\": {warm_us:.1},\n    \"per_reconstruction_us\": {:.2},\n    \"deltas_applied\": {warm_deltas},\n    \"cache_hits\": {hits},\n    \"cache_misses\": {misses},\n    \"cache_inserts\": {inserts},\n    \"cache_evictions\": {evictions},\n    \"cache_invalidations\": {invalidations},\n    \"resident_bytes\": {resident}\n  }},\n  \"speedup\": {speedup:.2},\n  \"engine_metrics\": {}\n}}\n",
         VERSIONS + 1,
         cold_us / reconstructions as f64,
         64u64 << 20,
         warm_us / reconstructions as f64,
+        engine.trim_end(),
     );
     std::fs::write("BENCH_reconstruct.json", &json).expect("write BENCH_reconstruct.json");
     println!("  wrote BENCH_reconstruct.json");

@@ -28,12 +28,15 @@ fn usage() -> String {
        cat <name> [--at TIME|--version N] [--pretty]\n\
        diff <name> <t1> <t2>                edit script between snapshots\n\
        history <name> [--from T] [--to T]   reconstruct versions in a range\n\
-       query <QUERY>                        run a temporal query\n\
+       query [--explain] <QUERY>            run a temporal query; --explain\n\
+                                            (or an EXPLAIN ANALYZE prefix)\n\
+                                            prints the timed plan tree\n\
        vacuum <name> --before TIME          purge history before a horizon\n\
        fsck [--repair-tail]                 verify checksums, records and\n\
                                             version chains; optionally\n\
                                             truncate a torn WAL tail\n\
        stats                                space and index statistics\n\
+       metrics [--json]                     engine metrics registry dump\n\
        shell                                interactive query shell"
         .to_string()
 }
@@ -253,8 +256,9 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<()> {
             }
         }
         "query" => {
-            let [q] = one(&tail, "query <QUERY>")?;
-            run_query(&db, q, out)?;
+            let explain = take_switch(&mut tail, "--explain");
+            let [q] = one(&tail, "query [--explain] <QUERY>")?;
+            run_query_explain(&db, q, explain, out)?;
         }
         "vacuum" => {
             let before = parse_time_arg(take_flag(&mut tail, "--before"))?;
@@ -326,6 +330,30 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<()> {
             writeln!(out, "vcache misses:    {misses}")?;
             writeln!(out, "vcache evicted:   {evictions}")?;
             writeln!(out, "vcache dropped:   {invalidations}")?;
+            // Recovery observability: how this (and, within the registry's
+            // lifetime, any) open replayed history.
+            let m = db.metrics().snapshot();
+            writeln!(
+                out,
+                "recovery:         {} full-replay fallback(s), {} stale-cover replay(s), \
+                 {} salvage open(s)",
+                m.counter("recovery.index_fallback").unwrap_or(0),
+                m.counter("recovery.stale_cover_replays").unwrap_or(0),
+                m.counter("recovery.salvage_opens").unwrap_or(0),
+            )?;
+        }
+        "metrics" => {
+            let json = take_switch(&mut tail, "--json");
+            if !tail.is_empty() {
+                return Err(Error::QueryInvalid("usage: txdb metrics [--json]".into()));
+            }
+            db.store().update_derived_metrics();
+            let snap = db.metrics().snapshot();
+            if json {
+                writeln!(out, "{}", snap.to_json())?;
+            } else {
+                write!(out, "{}", snap.to_text())?;
+            }
         }
         "shell" => {
             shell(&db, out)?;
@@ -338,9 +366,37 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<()> {
 }
 
 fn run_query(db: &Database, q: &str, out: &mut dyn Write) -> Result<()> {
+    run_query_explain(db, q, false, out)
+}
+
+/// Strips a leading `EXPLAIN ANALYZE` (any case) from a query, so the
+/// prefix works both as a CLI argument and at the shell prompt.
+fn strip_explain_prefix(q: &str) -> Option<&str> {
+    fn strip_word<'a>(s: &'a str, w: &str) -> Option<&'a str> {
+        let (head, rest) = s.as_bytes().split_at_checked(w.len())?;
+        if !head.eq_ignore_ascii_case(w.as_bytes()) || !rest.first()?.is_ascii_whitespace() {
+            return None;
+        }
+        Some(s[w.len()..].trim_start())
+    }
+    strip_word(strip_word(q.trim_start(), "EXPLAIN")?, "ANALYZE")
+}
+
+fn run_query_explain(db: &Database, q: &str, explain: bool, out: &mut dyn Write) -> Result<()> {
+    let (q, explain) = match strip_explain_prefix(q) {
+        Some(rest) => (rest, true),
+        None => (q, explain),
+    };
     let start = std::time::Instant::now();
-    let r = db.query(q).at(now()).run()?;
+    let mut req = db.query(q).at(now());
+    if explain {
+        req = req.explain();
+    }
+    let r = req.run()?;
     let elapsed = start.elapsed();
+    if let Some(tree) = &r.explain {
+        write!(out, "{}", tree.render())?;
+    }
     writeln!(out, "{}", r.to_xml())?;
     writeln!(
         out,
@@ -564,6 +620,69 @@ mod tests {
         assert!(text.contains("<b>y</b>"), "{text}");
         assert!(text.contains("2 rows"), "{text}");
         assert!(text.contains("unknown dot-command"), "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_prefix_and_flag() {
+        let dir = tmpdir("explain");
+        let db = dir.join("db");
+        let f = dir.join("v.xml");
+        std::fs::write(&f, "<g><r><n>Napoli</n><p>15</p></r></g>").unwrap();
+        let db_s = db.to_str().unwrap();
+        run_cmd(&["--db", db_s, "put", "guide", f.to_str().unwrap(), "--at", "01/01/2001"])
+            .unwrap();
+
+        let q = r#"SELECT R/p FROM doc("guide")//r R WHERE R/n = "Napoli""#;
+        // --explain flag.
+        let out = run_cmd(&["--db", db_s, "query", "--explain", q]).unwrap();
+        assert!(out.contains("project"), "{out}");
+        assert!(out.contains("index scan R: PatternScan"), "{out}");
+        assert!(out.contains("rows="), "{out}");
+        assert!(out.contains("<p>15</p>"), "{out}");
+        // EXPLAIN ANALYZE prefix, case-insensitive.
+        let prefixed = format!("explain analyze {q}");
+        let out2 = run_cmd(&["--db", db_s, "query", &prefixed]).unwrap();
+        assert!(out2.contains("index scan R: PatternScan"), "{out2}");
+        // Plain query prints no plan tree.
+        let out3 = run_cmd(&["--db", db_s, "query", q]).unwrap();
+        assert!(!out3.contains("index scan"), "{out3}");
+
+        assert_eq!(strip_explain_prefix("EXPLAIN ANALYZE SELECT x"), Some("SELECT x"));
+        assert_eq!(strip_explain_prefix("  Explain  Analyze  SELECT"), Some("SELECT"));
+        assert_eq!(strip_explain_prefix("EXPLAINANALYZE SELECT"), None);
+        assert_eq!(strip_explain_prefix("SELECT EXPLAIN ANALYZE"), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn metrics_command_text_and_json() {
+        let dir = tmpdir("metrics");
+        let db = dir.join("db");
+        let f = dir.join("v.xml");
+        std::fs::write(&f, "<g><r><n>Napoli</n><p>15</p></r></g>").unwrap();
+        let db_s = db.to_str().unwrap();
+        run_cmd(&["--db", db_s, "put", "guide", f.to_str().unwrap(), "--at", "01/01/2001"])
+            .unwrap();
+
+        let out = run_cmd(&["--db", db_s, "metrics"]).unwrap();
+        assert!(out.contains("buffer.gets"), "{out}");
+        assert!(out.contains("wal.appends"), "{out}");
+        assert!(out.contains("buffer.hit_ratio_bp"), "{out}");
+
+        let json = run_cmd(&["--db", db_s, "metrics", "--json"]).unwrap();
+        assert!(json.trim_start().starts_with('{'), "{json}");
+        assert!(json.contains("\"counters\""), "{json}");
+        assert!(json.contains("\"histograms\""), "{json}");
+        assert!(json.contains("\"wal.appends\""), "{json}");
+        // Balanced braces — a cheap well-formedness check; check.sh runs a
+        // real JSON parse over this output.
+        let opens = json.matches('{').count();
+        assert_eq!(opens, json.matches('}').count(), "{json}");
+
+        // stats surfaces the recovery fallback counters.
+        let out = run_cmd(&["--db", db_s, "stats"]).unwrap();
+        assert!(out.contains("full-replay fallback(s)"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

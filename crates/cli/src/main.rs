@@ -7,8 +7,10 @@
 //! txdb --db DIR log <name>                          version history (delta index)
 //! txdb --db DIR cat <name> [--at TIME | --version N] [--pretty]
 //! txdb --db DIR diff <name> <t1> <t2>               edit script between snapshots
-//! txdb --db DIR query "SELECT …"                    run a temporal query
+//! txdb --db DIR query [--explain] "SELECT …"        run a temporal query
+//! txdb --db DIR query "EXPLAIN ANALYZE SELECT …"    …with the timed plan tree
 //! txdb --db DIR stats                               space and index statistics
+//! txdb --db DIR metrics [--json]                    engine metrics registry dump
 //! txdb --db DIR shell                               interactive query shell
 //! ```
 //!

@@ -102,6 +102,22 @@ impl DbOptions {
         self
     }
 
+    /// Appends trace events (spans, recovery fallbacks) as JSON lines to
+    /// `path`. Metrics are collected either way; the sink only adds the
+    /// event log.
+    pub fn event_log(mut self, path: impl Into<std::path::PathBuf>) -> DbOptions {
+        self.store.event_log = Some(path.into());
+        self
+    }
+
+    /// Shares a metrics registry with the database (e.g. one registry
+    /// across several stores); by default each database creates its own,
+    /// reachable via [`Database::metrics`].
+    pub fn metrics(mut self, reg: std::sync::Arc<txdb_base::obs::Registry>) -> DbOptions {
+        self.store.metrics = Some(reg);
+        self
+    }
+
     /// Opens the database. Recovery details (WAL replay counts, salvage
     /// state) are available afterwards via [`Database::recovery_report`].
     pub fn open(self) -> Result<Database> {
@@ -132,7 +148,8 @@ impl Database {
     /// [`Database::recovery_report`].
     pub fn open(opts: DbOptions) -> Result<Database> {
         let (store, mut report) = DocumentStore::open(opts.store)?;
-        let indexes = IndexSet::open(store.pool().clone(), opts.index)?;
+        let indexes =
+            IndexSet::open_with_metrics(store.pool().clone(), opts.index, store.metrics())?;
         let mut db = Database { store, indexes, recovery: RecoveryReport::default() };
         if db.store.is_read_only() {
             // Salvage mode: index whatever chains still replay. A chain
@@ -156,12 +173,15 @@ impl Database {
     /// fallback is recorded, none is an error: a bad checkpoint costs
     /// open time, never data.
     fn load_or_rebuild_indexes(&self) -> Result<IndexCheckpointReport> {
+        let reg = self.store.metrics();
+        let _span = reg.span("index.open_us");
         let mut r = IndexCheckpointReport::default();
         if !self.indexes.config.checkpoints {
             r.docs_replayed = self.store.list()?.len();
             self.rebuild_indexes()?;
             return Ok(r);
         }
+        let load_started = std::time::Instant::now();
         let ckpt = match self.store.read_index_checkpoint() {
             Ok(Some(blob)) => match persist::decode(&blob) {
                 Ok(ckpt) => Some(ckpt),
@@ -176,12 +196,26 @@ impl Database {
                 None
             }
         };
+        reg.histogram("checkpoint.load_us").record(load_started.elapsed().as_micros() as u64);
         let Some(ckpt) = ckpt else {
             r.state = if r.note.is_some() {
                 IndexCheckpointState::Fallback
             } else {
                 IndexCheckpointState::Absent
             };
+            if r.state == IndexCheckpointState::Fallback {
+                // The runtime-visible trail of the ROADMAP's "CRC/staleness
+                // fallback only visible via fsck" gap: count it and emit an
+                // event so operators see full replays without a debugger.
+                reg.counter("recovery.index_fallback").inc();
+                reg.emit(
+                    "recovery.index_fallback",
+                    &[(
+                        "note",
+                        txdb_base::obs::EventValue::Str(r.note.as_deref().unwrap_or("unknown")),
+                    )],
+                );
+            }
             r.docs_replayed = self.store.list()?.len();
             self.rebuild_indexes()?;
             return Ok(r);
@@ -202,6 +236,11 @@ impl Database {
                     // never seen: rebuild just this document.
                     if cover.is_some() {
                         self.indexes.drop_document(doc);
+                        reg.counter("recovery.stale_cover_replays").inc();
+                        reg.emit(
+                            "recovery.stale_cover_replay",
+                            &[("doc", txdb_base::obs::EventValue::U64(doc.0 as u64))],
+                        );
                         r.note.get_or_insert_with(|| {
                             format!("stale cover for doc {doc}: full replay")
                         });
@@ -238,6 +277,12 @@ impl Database {
     /// The index set.
     pub fn indexes(&self) -> &IndexSet {
         &self.indexes
+    }
+
+    /// The metrics registry shared by every layer of this database
+    /// (storage, indexes, query executor).
+    pub fn metrics(&self) -> &std::sync::Arc<txdb_base::obs::Registry> {
+        self.store.metrics()
     }
 
     /// Stores a new version of `name` (XML text) at transaction time `ts`.
@@ -290,6 +335,7 @@ impl Database {
     pub fn checkpoint(&self) -> Result<()> {
         self.store.checkpoint()?;
         if self.indexes.config.checkpoints {
+            let _span = self.store.metrics().span("checkpoint.index_write_us");
             let covers = self.collect_covers()?;
             let blob = self.indexes.encode_checkpoint(&covers);
             self.store.write_index_checkpoint(&blob)?;
@@ -576,6 +622,9 @@ mod tests {
         assert_eq!(r.state, IndexCheckpointState::Fallback);
         assert!(r.note.is_some(), "fallback must say why");
         assert_eq!(r.docs_replayed, 1);
+        // The fallback is observable at runtime, not only in the report.
+        let snap = db.metrics().snapshot();
+        assert_eq!(snap.counter("recovery.index_fallback"), Some(1), "{}", snap.to_text());
         assert_eq!(db.indexes().fti().lookup("beta", OccKind::Word).len(), 1);
         assert_eq!(db.indexes().fti().lookup_h("alpha", OccKind::Word).len(), 1);
         std::fs::remove_dir_all(&dir).unwrap();

@@ -145,6 +145,15 @@ impl Database {
         Ok(self.scan(docs, pattern, Mode::Current)?.0)
     }
 
+    /// `PatternScan` with cost counters.
+    pub fn pattern_scan_counted(
+        &self,
+        docs: Option<DocId>,
+        pattern: &PatternTree,
+    ) -> Result<(Vec<Match>, ScanStats)> {
+        self.scan(docs, pattern, Mode::Current)
+    }
+
     /// `TPatternScan(Δ, pattern, t)` — matches in the snapshot valid at
     /// `t` (§7.3.1). Output rows carry the TEID timestamp of the matched
     /// version.
@@ -199,6 +208,16 @@ impl Database {
         pattern: &PatternTree,
     ) -> Result<(Vec<Match>, ScanStats)> {
         self.scan(docs, pattern, Mode::All(txdb_base::Interval::ALL))
+    }
+
+    /// [`Database::tpattern_scan_all_between`] with cost counters.
+    pub fn tpattern_scan_all_between_counted(
+        &self,
+        docs: Option<DocId>,
+        pattern: &PatternTree,
+        interval: txdb_base::Interval,
+    ) -> Result<(Vec<Match>, ScanStats)> {
+        self.scan(docs, pattern, Mode::All(interval))
     }
 
     fn scan(

@@ -34,9 +34,36 @@
 
 use std::collections::{HashMap, HashSet};
 
+use txdb_base::obs::{Counter, Registry};
 use txdb_base::{DocId, Error, Result, VersionId, Xid};
 
 use crate::persist::{read_u8, read_varint, write_varint};
+
+/// Lookup counters, one per mode — the paper's §6 cost metrics
+/// `FTI_lookup`, `FTI_lookup_T` and `FTI_lookup_H`. Registered under
+/// `fti.*` when the index is opened with a metrics registry; handles are
+/// carried across checkpoint [`install`](crate::maint::IndexSet::install)s
+/// so the counts survive index replacement.
+#[derive(Clone, Debug, Default)]
+pub struct FtiMetrics {
+    /// `FTI_lookup` calls (current-version lookups).
+    pub lookups: Counter,
+    /// `FTI_lookup_T` calls (time-point lookups).
+    pub lookups_t: Counter,
+    /// `FTI_lookup_H` calls (whole-history lookups).
+    pub lookups_h: Counter,
+}
+
+impl FtiMetrics {
+    /// Metrics registered in `reg` under `fti.*`.
+    pub fn registered(reg: &Registry) -> FtiMetrics {
+        FtiMetrics {
+            lookups: reg.counter("fti.lookup"),
+            lookups_t: reg.counter("fti.lookup_t"),
+            lookups_h: reg.counter("fti.lookup_h"),
+        }
+    }
+}
 
 /// What kind of occurrence a posting records.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -135,12 +162,25 @@ pub struct FullTextIndex {
     lists: HashMap<String, TokenList>,
     /// Open postings per (doc, element).
     open: HashMap<(DocId, Xid), Vec<OpenRef>>,
+    /// Per-mode lookup counters (shared with the registry when attached).
+    metrics: FtiMetrics,
 }
 
 impl FullTextIndex {
     /// Fresh empty index.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Replaces the metric handles (used to share counters with a store's
+    /// registry, and to carry them across checkpoint installs).
+    pub fn set_metrics(&mut self, metrics: FtiMetrics) {
+        self.metrics = metrics;
+    }
+
+    /// The index's metric handles.
+    pub fn metrics(&self) -> &FtiMetrics {
+        &self.metrics
     }
 
     /// Opens a posting at `version` for `(doc, xid)` with the given token.
@@ -278,6 +318,7 @@ impl FullTextIndex {
         kind: OccKind,
         docs: Option<&HashSet<DocId>>,
     ) -> Vec<&'a Posting> {
+        self.metrics.lookups.inc();
         // Only the open lists are touched: cost is O(open postings),
         // independent of history length.
         let mut out = Vec::new();
@@ -313,6 +354,7 @@ impl FullTextIndex {
         docs: Option<&HashSet<DocId>>,
         mut version_at: impl FnMut(DocId) -> Option<VersionId>,
     ) -> Vec<&'a Posting> {
+        self.metrics.lookups_t.inc();
         let mut out = Vec::new();
         for g in self.doc_groups(token, docs) {
             let Some(first) = g.postings.first() else { continue };
@@ -341,6 +383,7 @@ impl FullTextIndex {
         kind: OccKind,
         docs: Option<&HashSet<DocId>>,
     ) -> Vec<&'a Posting> {
+        self.metrics.lookups_h.inc();
         let mut out = Vec::new();
         for g in self.doc_groups(token, docs) {
             out.extend(g.postings.iter().filter(|p| p.kind == kind));

@@ -87,6 +87,18 @@ impl IndexSet {
         })
     }
 
+    /// Like [`IndexSet::open`] but with the FTI's per-mode lookup
+    /// counters registered in `reg` under `fti.*`.
+    pub fn open_with_metrics(
+        pool: Arc<BufferPool>,
+        config: IndexConfig,
+        reg: &txdb_base::obs::Registry,
+    ) -> Result<IndexSet> {
+        let set = IndexSet::open(pool, config)?;
+        set.fti.write().set_metrics(crate::fti::FtiMetrics::registered(reg));
+        Ok(set)
+    }
+
     /// Read access to the temporal FTI.
     pub fn fti(&self) -> parking_lot::RwLockReadGuard<'_, FullTextIndex> {
         self.fti.read()
@@ -104,9 +116,13 @@ impl IndexSet {
 
     /// Replaces the in-memory indexes wholesale with checkpoint-loaded
     /// ones. The EID-time index is untouched — it persists on the shared
-    /// buffer pool and never needs reloading.
-    pub fn install(&self, fti: FullTextIndex, delta_index: DeltaContentIndex) {
-        *self.fti.write() = fti;
+    /// buffer pool and never needs reloading. Metric handles carry over
+    /// from the replaced index so registry-shared counters keep counting.
+    pub fn install(&self, mut fti: FullTextIndex, delta_index: DeltaContentIndex) {
+        let mut cur = self.fti.write();
+        fti.set_metrics(cur.metrics().clone());
+        *cur = fti;
+        drop(cur);
         *self.delta_index.write() = delta_index;
     }
 

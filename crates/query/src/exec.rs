@@ -13,10 +13,12 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::time::Instant;
 
 use txdb_base::{DocId, Error, Result, Teid, Timestamp, VersionId, Xid};
 use txdb_core::ops::lifetime::LifetimeStrategy;
 use txdb_core::Database;
+use txdb_core::ScanStats;
 use txdb_storage::repo::VersionKind;
 use txdb_xml::equality::shallow_eq;
 use txdb_xml::similarity;
@@ -43,6 +45,104 @@ pub struct ExecStats {
     pub cache_misses: usize,
 }
 
+/// One annotated node of an executed plan tree (`EXPLAIN ANALYZE`).
+///
+/// Produced by [`crate::QueryRequest::explain`]. Each node reports the
+/// wall-clock time spent in its stage, the rows it produced, and the
+/// paper's §6 cost metrics attributed to that stage (reconstructions,
+/// deltas applied, materialized-version cache traffic, FTI lookups and
+/// postings for index scans). Stage counters partition the work: summing
+/// a counter over the whole tree reproduces the top-level [`ExecStats`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExplainNode {
+    /// Human-readable stage label, e.g. `index scan R: TPatternScan @ t`.
+    pub label: String,
+    /// Wall-clock time spent in this stage, microseconds.
+    pub elapsed_us: u64,
+    /// Rows this stage produced.
+    pub rows: usize,
+    /// Named cost counters attributed to this stage.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Input stages (leaves are source scans).
+    pub children: Vec<ExplainNode>,
+}
+
+impl ExplainNode {
+    /// Renders the tree as indented text, one node per line:
+    ///
+    /// ```text
+    /// project (time=12us rows=3)
+    ///   filter (time=840us rows=3 reconstructions=3 ...)
+    ///     nested-loop join (1 source) (time=1us rows=3)
+    ///       index scan R: TPatternScanAll [...] (time=95us rows=3 fti_lookups=2 ...)
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(0, &mut out);
+        out
+    }
+
+    fn render_into(&self, depth: usize, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(
+            out,
+            "{:indent$}{} (time={}us rows={}",
+            "",
+            self.label,
+            self.elapsed_us,
+            self.rows,
+            indent = depth * 2
+        );
+        for (name, v) in &self.counters {
+            if *v != 0 {
+                let _ = write!(out, " {name}={v}");
+            }
+        }
+        out.push_str(")\n");
+        for c in &self.children {
+            c.render_into(depth + 1, out);
+        }
+    }
+
+    /// Sums a named counter over this node and all descendants.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        let own: u64 = self.counters.iter().filter(|(n, _)| *n == name).map(|(_, v)| *v).sum();
+        own + self.children.iter().map(|c| c.counter_total(name)).sum::<u64>()
+    }
+}
+
+/// Captures the executor counters at a stage boundary so the stage's
+/// contribution can be reported as a delta.
+struct Probe {
+    start: Instant,
+    stats0: ExecStats,
+    vc0: (u64, u64),
+}
+
+impl Probe {
+    fn start(ctx: &Ctx<'_>) -> Probe {
+        let (h, m, _, _, _) = ctx.db.store().vcache_stats().snapshot();
+        Probe { start: Instant::now(), stats0: *ctx.stats.borrow(), vc0: (h, m) }
+    }
+
+    fn finish(self, ctx: &Ctx<'_>, label: String, rows: usize) -> ExplainNode {
+        let s1 = *ctx.stats.borrow();
+        let (h1, m1, _, _, _) = ctx.db.store().vcache_stats().snapshot();
+        ExplainNode {
+            label,
+            elapsed_us: self.start.elapsed().as_micros() as u64,
+            rows,
+            counters: vec![
+                ("reconstructions", (s1.reconstructions - self.stats0.reconstructions) as u64),
+                ("deltas_applied", (s1.deltas_applied - self.stats0.deltas_applied) as u64),
+                ("cache_hits", h1.saturating_sub(self.vc0.0)),
+                ("cache_misses", m1.saturating_sub(self.vc0.1)),
+            ],
+            children: Vec::new(),
+        }
+    }
+}
+
 /// Parses, plans and executes a query; `NOW` is the wall clock.
 #[deprecated(since = "0.2.0", note = "use `db.query(text).run()` via `QueryExt`")]
 pub fn execute(db: &Database, text: &str) -> Result<QueryResult> {
@@ -59,11 +159,15 @@ pub fn execute_at(db: &Database, text: &str, now: Timestamp) -> Result<QueryResu
 /// Executes an already-built plan.
 #[deprecated(since = "0.2.0", note = "use `db.query(text).at(now).run()` via `QueryExt`")]
 pub fn run_plan(db: &Database, plan: &Plan) -> Result<QueryResult> {
-    run_plan_inner(db, plan)
+    run_plan_inner(db, plan, false)
 }
 
 /// Executes an already-built plan (the engine behind [`crate::QueryExt`]).
-pub(crate) fn run_plan_inner(db: &Database, plan: &Plan) -> Result<QueryResult> {
+/// With `explain`, each stage is probed and the result carries an
+/// annotated [`ExplainNode`] tree.
+pub(crate) fn run_plan_inner(db: &Database, plan: &Plan, explain: bool) -> Result<QueryResult> {
+    let reg = db.metrics().clone();
+    let _span = reg.span("query.run_us");
     let (h0, m0, _, _, _) = db.store().vcache_stats().snapshot();
     let ctx = Ctx {
         db,
@@ -73,11 +177,21 @@ pub(crate) fn run_plan_inner(db: &Database, plan: &Plan) -> Result<QueryResult> 
         stats: RefCell::new(ExecStats::default()),
     };
     // Materialise bindings per source.
+    let mut scan_nodes: Vec<ExplainNode> = Vec::new();
     let mut source_rows: Vec<Vec<Bound>> = Vec::with_capacity(plan.sources.len());
     for s in &plan.sources {
-        source_rows.push(scan_source(&ctx, s)?);
+        let probe = explain.then(|| Probe::start(&ctx));
+        let (bounds, scan_stats, label) = scan_source(&ctx, s)?;
+        if let Some(p) = probe {
+            let mut node = p.finish(&ctx, label, bounds.len());
+            node.counters.push(("fti_lookups", scan_stats.fti_lookups as u64));
+            node.counters.push(("postings", scan_stats.postings as u64));
+            scan_nodes.push(node);
+        }
+        source_rows.push(bounds);
     }
     // Nested-loop join over the cartesian product.
+    let probe = explain.then(|| Probe::start(&ctx));
     let mut rows: Vec<Vec<Bound>> = vec![Vec::new()];
     for src in &source_rows {
         let mut next = Vec::with_capacity(rows.len() * src.len().max(1));
@@ -94,8 +208,19 @@ pub(crate) fn run_plan_inner(db: &Database, plan: &Plan) -> Result<QueryResult> 
         rows.clear();
     }
     ctx.stats.borrow_mut().rows_scanned = rows.len();
+    // The explain tree is built bottom-up: scans feed the join, the join
+    // feeds the filter (when present), which feeds the projection root.
+    let mut tree: Option<ExplainNode> = None;
+    if let Some(p) = probe {
+        let n = plan.sources.len();
+        let label = format!("nested-loop join ({n} source{})", if n == 1 { "" } else { "s" });
+        let mut node = p.finish(&ctx, label, rows.len());
+        node.children = std::mem::take(&mut scan_nodes);
+        tree = Some(node);
+    }
 
     // Filter.
+    let probe = explain.then(|| Probe::start(&ctx));
     let mut kept: Vec<Vec<Bound>> = Vec::new();
     for row in rows {
         let pass = match &plan.filter {
@@ -106,8 +231,16 @@ pub(crate) fn run_plan_inner(db: &Database, plan: &Plan) -> Result<QueryResult> 
             kept.push(row);
         }
     }
+    if let Some(p) = probe {
+        if plan.filter.is_some() {
+            let mut node = p.finish(&ctx, "filter".to_string(), kept.len());
+            node.children.extend(tree.take());
+            tree = Some(node);
+        }
+    }
 
     // Project.
+    let probe = explain.then(|| Probe::start(&ctx));
     let mut out_rows: Vec<Vec<OutValue>> = Vec::new();
     if plan.aggregate {
         let mut agg_row = Vec::with_capacity(plan.select.len());
@@ -128,12 +261,30 @@ pub(crate) fn run_plan_inner(db: &Database, plan: &Plan) -> Result<QueryResult> 
         let mut seen = std::collections::HashSet::new();
         out_rows.retain(|r| seen.insert(format!("{r:?}")));
     }
+    if let Some(p) = probe {
+        let stage = if plan.aggregate {
+            "aggregate"
+        } else if plan.distinct {
+            "project distinct"
+        } else {
+            "project"
+        };
+        let n = plan.select.len();
+        let label = format!("{stage} ({n} item{})", if n == 1 { "" } else { "s" });
+        let mut node = p.finish(&ctx, label, out_rows.len());
+        node.children.extend(tree.take());
+        tree = Some(node);
+    }
     let mut stats = *ctx.stats.borrow();
     stats.rows_output = out_rows.len();
     let (h1, m1, _, _, _) = db.store().vcache_stats().snapshot();
     stats.cache_hits = h1.saturating_sub(h0) as usize;
     stats.cache_misses = m1.saturating_sub(m0) as usize;
-    Ok(QueryResult { rows: out_rows, stats })
+    // Fold the run into the engine-wide registry.
+    reg.counter("query.runs").inc();
+    reg.counter("query.rows_scanned").add(stats.rows_scanned as u64);
+    reg.counter("query.rows_output").add(stats.rows_output as u64);
+    Ok(QueryResult { rows: out_rows, stats, explain: tree })
 }
 
 /// One bound variable in a row.
@@ -235,21 +386,45 @@ struct NodeV {
     node: NodeId,
 }
 
-fn scan_source(ctx: &Ctx<'_>, s: &SourcePlan) -> Result<Vec<Bound>> {
+/// Renders the snapshot mode of a scan for explain labels.
+fn mode_label(mode: &ScanMode) -> String {
+    match mode {
+        ScanMode::Current => String::new(),
+        ScanMode::At(t) => format!(" @ {t}"),
+        ScanMode::Every(iv) => format!(" {iv}"),
+    }
+}
+
+/// Materialises the bindings of one source, returning the rows, the §6
+/// scan cost counters (zero for tree scans) and an explain label naming
+/// the chosen access path (index operator vs. tree reconstruction).
+fn scan_source(ctx: &Ctx<'_>, s: &SourcePlan) -> Result<(Vec<Bound>, ScanStats, String)> {
     let docs_filter = match s.docs {
-        DocSel::Missing => return Ok(Vec::new()),
+        DocSel::Missing => {
+            return Ok((
+                Vec::new(),
+                ScanStats::default(),
+                format!("scan {}: no such document", s.var),
+            ))
+        }
         DocSel::One(d) => Some(d),
         DocSel::All => None,
     };
     match &s.strategy {
         Strategy::Index(pattern) => {
-            let matches = match s.mode {
-                ScanMode::Current => ctx.db.pattern_scan(docs_filter, pattern)?,
-                ScanMode::At(t) => ctx.db.tpattern_scan(docs_filter, pattern, t)?,
+            let (matches, scan_stats) = match s.mode {
+                ScanMode::Current => ctx.db.pattern_scan_counted(docs_filter, pattern)?,
+                ScanMode::At(t) => ctx.db.tpattern_scan_counted(docs_filter, pattern, t)?,
                 ScanMode::Every(iv) => {
-                    ctx.db.tpattern_scan_all_between(docs_filter, pattern, iv)?
+                    ctx.db.tpattern_scan_all_between_counted(docs_filter, pattern, iv)?
                 }
             };
+            let op = match s.mode {
+                ScanMode::Current => "PatternScan",
+                ScanMode::At(_) => "TPatternScan",
+                ScanMode::Every(_) => "TPatternScanAll",
+            };
+            let label = format!("index scan {}: {op}{}", s.var, mode_label(&s.mode));
             // The variable binds to the pattern node carrying it.
             let var_idx = pattern
                 .nodes()
@@ -269,7 +444,7 @@ fn scan_source(ctx: &Ctx<'_>, s: &SourcePlan) -> Result<Vec<Bound>> {
                     });
                 }
             }
-            Ok(out)
+            Ok((out, scan_stats, label))
         }
         Strategy::Tree(path) => {
             let all_docs = ctx.db.store().list()?;
@@ -323,7 +498,8 @@ fn scan_source(ctx: &Ctx<'_>, s: &SourcePlan) -> Result<Vec<Bound>> {
                     });
                 }
             }
-            Ok(out)
+            let label = format!("tree scan {}: reconstruct{}", s.var, mode_label(&s.mode));
+            Ok((out, ScanStats::default(), label))
         }
     }
 }
@@ -995,6 +1171,68 @@ mod tests {
         assert_eq!(cold.to_xml(), warm.to_xml());
         assert!(warm.stats.cache_hits > 0, "{:?}", warm.stats);
         assert_eq!(warm.stats.deltas_applied, 0, "{:?}", warm.stats);
+    }
+
+    #[test]
+    fn explain_tree_sums_to_exec_stats() {
+        // EXPLAIN ANALYZE on a representative pattern + history query:
+        // the per-node counters must partition the top-level ExecStats,
+        // every node must carry a timing, and the tree must name the
+        // index-vs-scan choice.
+        let db = figure1();
+        let r = db
+            .query(
+                r#"SELECT TIME(R), R/price
+                   FROM doc("guide.com/restaurants")[EVERY]//restaurant R
+                   WHERE R/name = "Napoli""#,
+            )
+            .at(feb(20))
+            .explain()
+            .run()
+            .unwrap();
+        assert_eq!(r.len(), 3);
+        let tree = r.explain.as_ref().expect("explain() populates the plan tree");
+        // Per-stage counters sum to the run totals.
+        assert_eq!(tree.counter_total("reconstructions"), r.stats.reconstructions as u64);
+        assert_eq!(tree.counter_total("deltas_applied"), r.stats.deltas_applied as u64);
+        assert_eq!(tree.counter_total("cache_hits"), r.stats.cache_hits as u64);
+        assert_eq!(tree.counter_total("cache_misses"), r.stats.cache_misses as u64);
+        // Root is the projection and reports the output rows.
+        assert!(tree.label.starts_with("project"), "{}", tree.label);
+        assert_eq!(tree.rows, r.stats.rows_output);
+        // project → filter → join → index scan.
+        let filter = &tree.children[0];
+        assert_eq!(filter.label, "filter");
+        let join = &filter.children[0];
+        assert!(join.label.starts_with("nested-loop join"), "{}", join.label);
+        assert_eq!(join.rows, r.stats.rows_scanned);
+        let scan = &join.children[0];
+        assert!(scan.label.starts_with("index scan R: TPatternScanAll"), "{}", scan.label);
+        assert!(scan.counter_total("fti_lookups") > 0, "{scan:?}");
+        // The rendering shows one line per node with timings.
+        let text = tree.render();
+        assert_eq!(text.lines().count(), 4, "{text}");
+        assert!(text.lines().all(|l| l.contains("us rows=")), "{text}");
+        // Without .explain() the tree is absent.
+        let plain = run(&db, r#"SELECT COUNT(*) FROM doc("*")//restaurant R"#);
+        assert!(plain.explain.is_none());
+    }
+
+    #[test]
+    fn explain_tree_scan_labels_reconstruction() {
+        let db = figure1();
+        let r = db
+            .query(r#"SELECT R/name FROM doc("*")[26/01/2001]/guide/* R"#)
+            .at(feb(20))
+            .explain()
+            .run()
+            .unwrap();
+        let tree = r.explain.unwrap();
+        // No filter stage: project → join → tree scan.
+        let scan = &tree.children[0].children[0];
+        assert!(scan.label.starts_with("tree scan R: reconstruct @ "), "{}", scan.label);
+        assert!(scan.counter_total("reconstructions") > 0, "{scan:?}");
+        assert_eq!(tree.counter_total("reconstructions"), r.stats.reconstructions as u64);
     }
 
     #[test]

@@ -34,7 +34,10 @@
 //! The public entry point is the [`request::QueryExt`] extension trait:
 //! `db.query(text).at(ts).run()?` parses, plans and executes in one fluent
 //! chain and returns a [`QueryResult`] carrying [`ExecStats`] (including
-//! materialized-version cache hits/misses).
+//! materialized-version cache hits/misses). Adding `.explain()` runs the
+//! query as `EXPLAIN ANALYZE`: the result also carries an [`ExplainNode`]
+//! tree annotating every plan node with wall-clock time, rows, the
+//! index-vs-scan choice and the §6 cost counters for that stage.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,7 +52,7 @@ pub mod result;
 
 #[allow(deprecated)]
 pub use exec::execute;
-pub use exec::ExecStats;
+pub use exec::{ExecStats, ExplainNode};
 pub use parser::parse_query;
 pub use request::{QueryExt, QueryRequest};
 pub use result::{OutValue, QueryResult};

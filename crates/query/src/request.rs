@@ -34,6 +34,7 @@ pub struct QueryRequest<'db> {
     db: &'db Database,
     text: String,
     now: Option<Timestamp>,
+    explain: bool,
 }
 
 impl<'db> QueryRequest<'db> {
@@ -44,12 +45,21 @@ impl<'db> QueryRequest<'db> {
         self
     }
 
+    /// Requests `EXPLAIN ANALYZE`: the query still runs to completion,
+    /// and the result's [`crate::ExplainNode`] tree annotates every plan
+    /// node with wall-clock time, rows, the index-vs-scan choice, and the
+    /// §6 cost counters attributed to that stage.
+    pub fn explain(mut self) -> QueryRequest<'db> {
+        self.explain = true;
+        self
+    }
+
     /// Parses, plans and executes the query.
     pub fn run(self) -> Result<QueryResult> {
         let now = self.now.unwrap_or_else(wall_clock);
         let q = parse_query(&self.text)?;
         let plan = plan_query(self.db, &q, now)?;
-        crate::exec::run_plan_inner(self.db, &plan)
+        crate::exec::run_plan_inner(self.db, &plan, self.explain)
     }
 }
 
@@ -74,6 +84,6 @@ pub trait QueryExt {
 
 impl QueryExt for Database {
     fn query(&self, text: impl AsRef<str>) -> QueryRequest<'_> {
-        QueryRequest { db: self, text: text.as_ref().to_string(), now: None }
+        QueryRequest { db: self, text: text.as_ref().to_string(), now: None, explain: false }
     }
 }

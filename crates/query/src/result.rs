@@ -8,7 +8,7 @@
 use txdb_base::Timestamp;
 use txdb_xml::serialize::escape_text;
 
-use crate::exec::ExecStats;
+use crate::exec::{ExecStats, ExplainNode};
 
 /// One output value.
 #[derive(Clone, Debug, PartialEq)]
@@ -61,6 +61,9 @@ pub struct QueryResult {
     pub rows: Vec<Vec<OutValue>>,
     /// Execution statistics.
     pub stats: ExecStats,
+    /// The annotated plan tree, when the query ran with
+    /// [`crate::QueryRequest::explain`] (`EXPLAIN ANALYZE`).
+    pub explain: Option<ExplainNode>,
 }
 
 impl QueryResult {
@@ -105,6 +108,7 @@ mod tests {
                 vec![OutValue::Null],
             ],
             stats: ExecStats::default(),
+            explain: None,
         };
         assert_eq!(
             r.to_xml(),

@@ -18,44 +18,62 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
+use txdb_base::obs::{Counter, Registry};
 use txdb_base::Result;
 
 use crate::pager::{PageBuf, PageId, Pager};
 
 /// Counters exposed by the pool. All values are cumulative.
+///
+/// Each field is an [`obs::Counter`](txdb_base::obs::Counter) handle: a
+/// pool built with [`BufferPool::with_metrics`] shares these atomics
+/// with the store's [`Registry`] (names `buffer.*`), so `txdb metrics`
+/// and the experiment harness read the very same values — there is no
+/// second set of counters to keep in sync.
 #[derive(Debug, Default)]
 pub struct BufferStats {
     /// Logical page requests.
-    pub gets: AtomicU64,
+    pub gets: Counter,
     /// Requests satisfied from the cache.
-    pub hits: AtomicU64,
+    pub hits: Counter,
     /// Pages read from the pager (cache misses).
-    pub physical_reads: AtomicU64,
+    pub physical_reads: Counter,
     /// Pages written back to the pager.
-    pub physical_writes: AtomicU64,
+    pub physical_writes: Counter,
     /// Clean frames evicted.
-    pub evictions: AtomicU64,
+    pub evictions: Counter,
 }
 
 impl BufferStats {
+    /// Stats whose counters are registered in `reg` under `buffer.*`.
+    pub fn registered(reg: &Registry) -> BufferStats {
+        BufferStats {
+            gets: reg.counter("buffer.gets"),
+            hits: reg.counter("buffer.hits"),
+            physical_reads: reg.counter("buffer.physical_reads"),
+            physical_writes: reg.counter("buffer.physical_writes"),
+            evictions: reg.counter("buffer.evictions"),
+        }
+    }
+
     /// Snapshot of (gets, hits, physical_reads, physical_writes, evictions).
     pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
         (
-            self.gets.load(Ordering::Relaxed),
-            self.hits.load(Ordering::Relaxed),
-            self.physical_reads.load(Ordering::Relaxed),
-            self.physical_writes.load(Ordering::Relaxed),
-            self.evictions.load(Ordering::Relaxed),
+            self.gets.get(),
+            self.hits.get(),
+            self.physical_reads.get(),
+            self.physical_writes.get(),
+            self.evictions.get(),
         )
     }
 
     /// Resets all counters (used between experiment phases).
     pub fn reset(&self) {
-        self.gets.store(0, Ordering::Relaxed);
-        self.hits.store(0, Ordering::Relaxed);
-        self.physical_reads.store(0, Ordering::Relaxed);
-        self.physical_writes.store(0, Ordering::Relaxed);
-        self.evictions.store(0, Ordering::Relaxed);
+        self.gets.reset();
+        self.hits.reset();
+        self.physical_reads.reset();
+        self.physical_writes.reset();
+        self.evictions.reset();
     }
 }
 
@@ -79,14 +97,25 @@ pub struct BufferPool {
 }
 
 impl BufferPool {
-    /// Wraps a pager with a cache of `capacity` pages.
+    /// Wraps a pager with a cache of `capacity` pages and standalone
+    /// (unregistered) counters.
     pub fn new(pager: Pager, capacity: usize) -> BufferPool {
+        BufferPool::with_stats(pager, capacity, BufferStats::default())
+    }
+
+    /// Like [`BufferPool::new`] but with counters registered in `reg`
+    /// under `buffer.*`.
+    pub fn with_metrics(pager: Pager, capacity: usize, reg: &Registry) -> BufferPool {
+        BufferPool::with_stats(pager, capacity, BufferStats::registered(reg))
+    }
+
+    fn with_stats(pager: Pager, capacity: usize, stats: BufferStats) -> BufferPool {
         BufferPool {
             pager,
             capacity: capacity.max(1),
             frames: Mutex::new(HashMap::new()),
             tick: AtomicU64::new(0),
-            stats: BufferStats::default(),
+            stats,
         }
     }
 
@@ -101,14 +130,14 @@ impl BufferPool {
 
     /// Fetches a page frame, reading it from the pager on a miss.
     pub fn get(&self, id: PageId) -> Result<Frame> {
-        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        self.stats.gets.inc();
         let mut frames = self.frames.lock();
         if let Some(meta) = frames.get_mut(&id) {
             meta.last_used = self.touch();
-            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            self.stats.hits.inc();
             return Ok(meta.frame.clone());
         }
-        self.stats.physical_reads.fetch_add(1, Ordering::Relaxed);
+        self.stats.physical_reads.inc();
         let buf = self.pager.read_page(id)?;
         let frame: Frame = Arc::new(RwLock::new(buf));
         self.evict_if_needed(&mut frames)?;
@@ -149,7 +178,7 @@ impl BufferPool {
         let mut frames = self.frames.lock();
         for (id, meta) in frames.iter_mut() {
             if meta.dirty {
-                self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
+                self.stats.physical_writes.inc();
                 self.pager.write_page(*id, &meta.frame.read())?;
                 meta.dirty = false;
             }
@@ -176,7 +205,7 @@ impl BufferPool {
             match victim {
                 Some(id) => {
                     frames.remove(&id);
-                    self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.stats.evictions.inc();
                 }
                 None => break,
             }

@@ -56,3 +56,4 @@ pub use repo::{
 };
 pub use vcache::{VersionCache, VersionCacheStats};
 pub use vfs::{FaultyVfs, RealVfs, Vfs, VfsFile};
+pub use wal::{Wal, WalMetrics};

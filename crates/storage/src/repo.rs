@@ -29,6 +29,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
+use txdb_base::obs::{Counter, EventValue, JsonLinesSink, Registry};
 use txdb_base::{DocId, Error, Interval, Result, Timestamp, VersionId, Xid};
 use txdb_delta::{delta_from_xml, delta_to_xml, diff_trees, Delta};
 use txdb_xml::codec::{decode_tree, encode_tree, write_varint};
@@ -41,7 +42,7 @@ use crate::ckpt::{CheckpointInfo, CheckpointStore};
 use crate::heap::{Heap, RecordId};
 use crate::pager::Pager;
 use crate::vfs::{RealVfs, Vfs};
-use crate::wal::Wal;
+use crate::wal::{Wal, WalMetrics};
 
 /// Pager root-slot assignments for store components.
 pub mod roots {
@@ -81,6 +82,14 @@ pub struct StoreOptions {
     /// real file system. The fault-injection harness passes a
     /// [`crate::vfs::FaultyVfs`] here.
     pub vfs: Option<Arc<dyn Vfs>>,
+    /// Metrics registry shared with the caller; `None` = the store
+    /// creates a private one (reachable via [`DocumentStore::metrics`]).
+    /// Buffer-pool, WAL, version-cache, reconstruction and recovery
+    /// counters all register here.
+    pub metrics: Option<Arc<Registry>>,
+    /// Append trace events (spans, recovery fallbacks) as JSON lines to
+    /// this file; `None` = tracing disabled (metrics still collected).
+    pub event_log: Option<PathBuf>,
 }
 
 impl std::fmt::Debug for StoreOptions {
@@ -92,6 +101,8 @@ impl std::fmt::Debug for StoreOptions {
             .field("wal_sync", &self.wal_sync)
             .field("cache_bytes", &self.cache_bytes)
             .field("vfs", &self.vfs.as_ref().map(|_| "custom"))
+            .field("metrics", &self.metrics.as_ref().map(|_| "shared"))
+            .field("event_log", &self.event_log)
             .finish()
     }
 }
@@ -105,6 +116,8 @@ impl Default for StoreOptions {
             wal_sync: false,
             cache_bytes: 8 << 20,
             vfs: None,
+            metrics: None,
+            event_log: None,
         }
     }
 }
@@ -467,12 +480,45 @@ pub struct DocumentStore {
     /// never cleared for the lifetime of the handle. The string is the
     /// reason, surfaced through [`Error::ReadOnly`].
     read_only: Mutex<Option<String>>,
+    /// The metrics registry every component of this store reports into
+    /// (buffer pool, WAL, vcache, reconstruction, recovery) — shared
+    /// with the caller when [`StoreOptions::metrics`] was set.
+    metrics: Arc<Registry>,
+    /// Cached hot-path counter handles (one registry lookup at open).
+    obs: StoreObs,
+}
+
+/// Hot-path counter handles cached at open so steady-state instrumentation
+/// is a relaxed atomic increment, never a registry lookup.
+struct StoreObs {
+    /// Reconstructions performed (`reconstruct.calls`).
+    reconstructs: Counter,
+    /// Deltas applied across all reconstructions
+    /// (`reconstruct.deltas_applied`) — the paper's E4 cost metric.
+    reconstruct_deltas: Counter,
+    /// Reconstructions seeded from a snapshot record
+    /// (`reconstruct.snapshot_seeds`).
+    snapshot_seeds: Counter,
+}
+
+impl StoreObs {
+    fn registered(reg: &Registry) -> StoreObs {
+        StoreObs {
+            reconstructs: reg.counter("reconstruct.calls"),
+            reconstruct_deltas: reg.counter("reconstruct.deltas_applied"),
+            snapshot_seeds: reg.counter("reconstruct.snapshot_seeds"),
+        }
+    }
 }
 
 impl DocumentStore {
     /// Opens (or creates) a store, running WAL recovery when needed.
     pub fn open(opts: StoreOptions) -> Result<(DocumentStore, RecoveryReport)> {
-        let (pager, wal) = match &opts.path {
+        let metrics = opts.metrics.clone().unwrap_or_else(|| Arc::new(Registry::new()));
+        if let Some(path) = &opts.event_log {
+            metrics.set_sink(Arc::new(JsonLinesSink::create(path)?));
+        }
+        let (pager, mut wal) = match &opts.path {
             None => (Pager::memory(), Wal::memory()),
             Some(dir) => {
                 std::fs::create_dir_all(dir)?;
@@ -483,12 +529,14 @@ impl DocumentStore {
                 )
             }
         };
-        let pool = Arc::new(BufferPool::new(pager, opts.buffer_pages));
+        wal.set_metrics(WalMetrics::registered(&metrics));
+        let pool = Arc::new(BufferPool::with_metrics(pager, opts.buffer_pages, &metrics));
         let heap = Heap::open(pool.clone(), roots::HEAP)?;
         let catalog = BTree::open(pool.clone(), roots::CATALOG)?;
         let docs = BTree::open(pool.clone(), roots::DOCS)?;
-        let vcache = crate::vcache::VersionCache::new(opts.cache_bytes);
+        let vcache = crate::vcache::VersionCache::with_metrics(opts.cache_bytes, &metrics);
         let ckpt = CheckpointStore::new(pool.clone(), roots::FTI_META);
+        let obs = StoreObs::registered(&metrics);
         let store = DocumentStore {
             pool,
             heap,
@@ -501,6 +549,8 @@ impl DocumentStore {
             meta_cache: Mutex::new(std::collections::HashMap::new()),
             vcache,
             read_only: Mutex::new(None),
+            metrics,
+            obs,
         };
         // Recovery: replay WAL tail against the checkpointed page image.
         let mut report = RecoveryReport::default();
@@ -537,8 +587,13 @@ impl DocumentStore {
                 report.salvage = Some(format!("WAL unreadable: {e}"));
             }
         }
+        store.metrics.counter("recovery.wal_records_replayed").add(report.replayed as u64);
+        store.metrics.counter("recovery.wal_records_skipped").add(report.skipped as u64);
+        store.metrics.counter("recovery.wal_torn_bytes").add(report.torn_bytes);
         if let Some(reason) = &report.salvage {
             *store.read_only.lock() = Some(reason.clone());
+            store.metrics.counter("recovery.salvage_opens").inc();
+            store.metrics.emit("recovery.salvage", &[("reason", EventValue::Str(reason))]);
         } else if report.replayed > 0 || report.skipped > 0 {
             // No checkpoint in salvage mode: the WAL is evidence and the
             // remedy (`fsck --repair-tail`) must still find it intact.
@@ -555,6 +610,31 @@ impl DocumentStore {
     /// Buffer-pool statistics (the I/O-cost metric in experiments).
     pub fn buffer_stats(&self) -> &BufferStats {
         &self.pool.stats
+    }
+
+    /// The store's metrics registry — every component (buffer pool, WAL,
+    /// vcache, reconstruction, recovery) reports here, and `txdb
+    /// metrics` / the bench binaries render it.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.metrics
+    }
+
+    /// Refreshes the derived gauges (cache hit ratios in basis points,
+    /// residency, WAL size) from the live counters. Called just before a
+    /// snapshot is rendered; the hot paths never pay for division.
+    pub fn update_derived_metrics(&self) {
+        let (gets, hits, ..) = self.pool.stats.snapshot();
+        let bp = (hits * 10_000).checked_div(gets).unwrap_or(0);
+        self.metrics.gauge("buffer.hit_ratio_bp").set(bp);
+        self.metrics.gauge("buffer.cached_pages").set(self.pool.cached() as u64);
+        let (vhits, vmisses, ..) = self.vcache.stats.snapshot();
+        let vbp = (vhits * 10_000).checked_div(vhits + vmisses).unwrap_or(0);
+        self.metrics.gauge("vcache.hit_ratio_bp").set(vbp);
+        self.metrics.gauge("vcache.entries").set(self.vcache.len() as u64);
+        self.metrics.gauge("vcache.resident_bytes").set(self.vcache.resident_bytes() as u64);
+        if let Ok(size) = self.wal.size() {
+            self.metrics.gauge("wal.size_bytes").set(size);
+        }
     }
 
     /// The underlying buffer pool (shared with indexes).
@@ -1106,6 +1186,7 @@ impl DocumentStore {
         if e.kind != VersionKind::Content {
             return Err(Error::NoSuchVersion(doc, v));
         }
+        self.obs.reconstructs.inc();
         // Direct hits first: the cache, then a materialized snapshot, then
         // the current version.
         if use_cache {
@@ -1114,6 +1195,7 @@ impl DocumentStore {
             }
         }
         if let Some(rid) = e.snapshot_rid {
+            self.obs.snapshot_seeds.inc();
             return Ok((decode_tree(&self.heap.get(rid)?)?, 0));
         }
         let last_content =
@@ -1141,6 +1223,7 @@ impl DocumentStore {
             if let Some(rid) = e2.snapshot_rid {
                 start = e2.version;
                 tree = Some(decode_tree(&self.heap.get(rid)?)?);
+                self.obs.snapshot_seeds.inc();
                 break;
             }
         }
@@ -1160,6 +1243,7 @@ impl DocumentStore {
         if use_cache && applied > 0 {
             self.vcache.insert(doc, v, Arc::new(tree.clone()));
         }
+        self.obs.reconstruct_deltas.add(applied as u64);
         Ok((tree, applied))
     }
 
@@ -1218,6 +1302,7 @@ impl DocumentStore {
 
     /// Flushes all dirty pages, syncs, and truncates the WAL.
     pub fn checkpoint(&self) -> Result<()> {
+        let _span = self.metrics.span("checkpoint.write_us");
         let _g = self.sync.write();
         self.ensure_writable()?;
         self.pool.flush_all()?;

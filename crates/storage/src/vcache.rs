@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use txdb_base::obs::{Counter, Registry};
 use txdb_base::{DocId, VersionId};
 use txdb_xml::tree::Tree;
 
@@ -37,40 +38,54 @@ const SHARDS: usize = 8;
 const NODE_OVERHEAD: usize = 96;
 
 /// Counters exposed by the cache, mirroring [`crate::buffer::BufferStats`].
-/// All values are cumulative.
+/// All values are cumulative. A cache built with
+/// [`VersionCache::with_metrics`] registers these counters under
+/// `vcache.*` in the store's [`Registry`] so query `ExecStats`, `txdb
+/// stats` and `txdb metrics` all read the same atomics.
 #[derive(Debug, Default)]
 pub struct VersionCacheStats {
     /// Lookups that found their version.
-    pub hits: AtomicU64,
+    pub hits: Counter,
     /// Lookups that did not.
-    pub misses: AtomicU64,
+    pub misses: Counter,
     /// Trees inserted.
-    pub inserts: AtomicU64,
+    pub inserts: Counter,
     /// Entries evicted to stay inside the byte budget.
-    pub evictions: AtomicU64,
+    pub evictions: Counter,
     /// Entries dropped by document invalidation (put/delete/vacuum).
-    pub invalidations: AtomicU64,
+    pub invalidations: Counter,
 }
 
 impl VersionCacheStats {
+    /// Stats whose counters are registered in `reg` under `vcache.*`.
+    pub fn registered(reg: &Registry) -> VersionCacheStats {
+        VersionCacheStats {
+            hits: reg.counter("vcache.hits"),
+            misses: reg.counter("vcache.misses"),
+            inserts: reg.counter("vcache.inserts"),
+            evictions: reg.counter("vcache.evictions"),
+            invalidations: reg.counter("vcache.invalidations"),
+        }
+    }
+
     /// Snapshot of (hits, misses, inserts, evictions, invalidations).
     pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
         (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-            self.inserts.load(Ordering::Relaxed),
-            self.evictions.load(Ordering::Relaxed),
-            self.invalidations.load(Ordering::Relaxed),
+            self.hits.get(),
+            self.misses.get(),
+            self.inserts.get(),
+            self.evictions.get(),
+            self.invalidations.get(),
         )
     }
 
     /// Resets all counters (used between experiment phases).
     pub fn reset(&self) {
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.inserts.store(0, Ordering::Relaxed);
-        self.evictions.store(0, Ordering::Relaxed);
-        self.invalidations.store(0, Ordering::Relaxed);
+        self.hits.reset();
+        self.misses.reset();
+        self.inserts.reset();
+        self.evictions.reset();
+        self.invalidations.reset();
     }
 }
 
@@ -116,13 +131,24 @@ pub fn tree_bytes(tree: &Tree) -> usize {
 
 impl VersionCache {
     /// A cache with a total byte budget; `0` disables caching entirely
-    /// (every lookup misses, inserts are dropped).
+    /// (every lookup misses, inserts are dropped). Counters are
+    /// standalone (unregistered).
     pub fn new(budget_bytes: usize) -> VersionCache {
+        VersionCache::with_stats(budget_bytes, VersionCacheStats::default())
+    }
+
+    /// Like [`VersionCache::new`] but with counters registered in `reg`
+    /// under `vcache.*`.
+    pub fn with_metrics(budget_bytes: usize, reg: &Registry) -> VersionCache {
+        VersionCache::with_stats(budget_bytes, VersionCacheStats::registered(reg))
+    }
+
+    fn with_stats(budget_bytes: usize, stats: VersionCacheStats) -> VersionCache {
         VersionCache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             shard_budget: budget_bytes / SHARDS,
             tick: AtomicU64::new(0),
-            stats: VersionCacheStats::default(),
+            stats,
         }
     }
 
@@ -142,18 +168,18 @@ impl VersionCache {
     /// The cached tree of `(doc, v)`, if present. Counts a hit or miss.
     pub fn get(&self, doc: DocId, v: VersionId) -> Option<Arc<Tree>> {
         if self.is_disabled() {
-            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            self.stats.misses.inc();
             return None;
         }
         let mut shard = self.shard(doc, v).lock();
         match shard.map.get_mut(&(doc, v)) {
             Some(e) => {
                 e.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
-                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                self.stats.hits.inc();
                 Some(e.tree.clone())
             }
             None => {
-                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                self.stats.misses.inc();
                 None
             }
         }
@@ -187,7 +213,7 @@ impl VersionCache {
             shard.bytes -= old.bytes;
         }
         shard.bytes += bytes;
-        self.stats.inserts.fetch_add(1, Ordering::Relaxed);
+        self.stats.inserts.inc();
         while shard.bytes > self.shard_budget {
             let victim = shard.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| *k);
             match victim {
@@ -195,7 +221,7 @@ impl VersionCache {
                     if let Some(e) = shard.map.remove(&k) {
                         shard.bytes -= e.bytes;
                     }
-                    self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.stats.evictions.inc();
                 }
                 None => break,
             }
@@ -219,7 +245,7 @@ impl VersionCache {
                 }
             }
         }
-        self.stats.invalidations.fetch_add(dropped, Ordering::Relaxed);
+        self.stats.invalidations.add(dropped);
     }
 
     /// Drops everything.
@@ -229,7 +255,7 @@ impl VersionCache {
             let dropped = shard.map.len() as u64;
             shard.map.clear();
             shard.bytes = 0;
-            self.stats.invalidations.fetch_add(dropped, Ordering::Relaxed);
+            self.stats.invalidations.add(dropped);
         }
     }
 

@@ -12,8 +12,10 @@
 //! *resets* the log after flushing all pages.
 
 use std::path::Path;
+use std::time::Instant;
 
 use parking_lot::Mutex;
+use txdb_base::obs::{Counter, Histogram, Registry};
 use txdb_base::Result;
 
 use crate::vfs::{with_retry, RealVfs, Vfs, VfsFile};
@@ -44,10 +46,39 @@ enum Backend {
     File(Box<dyn VfsFile>),
 }
 
+/// Cached metric handles for the log's hot path. Default handles are
+/// standalone; [`WalMetrics::registered`] shares them with a store's
+/// registry under `wal.*`. Kept outside the backend mutex so recording
+/// stays plain atomic increments.
+#[derive(Clone, Debug, Default)]
+pub struct WalMetrics {
+    /// Records appended.
+    pub appends: Counter,
+    /// Framed bytes appended (header + payload).
+    pub appended_bytes: Counter,
+    /// Fsyncs issued (append-time and explicit).
+    pub fsyncs: Counter,
+    /// Fsync latency in microseconds.
+    pub fsync_us: Histogram,
+}
+
+impl WalMetrics {
+    /// Metrics registered in `reg` under `wal.*`.
+    pub fn registered(reg: &Registry) -> WalMetrics {
+        WalMetrics {
+            appends: reg.counter("wal.appends"),
+            appended_bytes: reg.counter("wal.appended_bytes"),
+            fsyncs: reg.counter("wal.fsyncs"),
+            fsync_us: reg.histogram("wal.fsync_us"),
+        }
+    }
+}
+
 /// The write-ahead log.
 pub struct Wal {
     inner: Mutex<Backend>,
     sync_on_append: bool,
+    metrics: WalMetrics,
 }
 
 /// What recovery found in the log.
@@ -62,7 +93,11 @@ pub struct ReplaySummary {
 impl Wal {
     /// In-memory log (tests, benchmarks).
     pub fn memory() -> Wal {
-        Wal { inner: Mutex::new(Backend::Memory(Vec::new())), sync_on_append: false }
+        Wal {
+            inner: Mutex::new(Backend::Memory(Vec::new())),
+            sync_on_append: false,
+            metrics: WalMetrics::default(),
+        }
     }
 
     /// File-backed log on the real file system. `sync_on_append` forces
@@ -75,7 +110,22 @@ impl Wal {
     /// File-backed log through the given [`Vfs`].
     pub fn open_with(vfs: &dyn Vfs, path: &Path, sync_on_append: bool) -> Result<Wal> {
         let file = vfs.open(path)?;
-        Ok(Wal { inner: Mutex::new(Backend::File(file)), sync_on_append })
+        Ok(Wal {
+            inner: Mutex::new(Backend::File(file)),
+            sync_on_append,
+            metrics: WalMetrics::default(),
+        })
+    }
+
+    /// Replaces the metric handles (called once at store open, before the
+    /// log is shared, to fold the counters into the store's registry).
+    pub fn set_metrics(&mut self, metrics: WalMetrics) {
+        self.metrics = metrics;
+    }
+
+    /// The log's metric handles.
+    pub fn metrics(&self) -> &WalMetrics {
+        &self.metrics
     }
 
     /// Appends one record. A transient device error (EIO) is absorbed by
@@ -92,10 +142,15 @@ impl Wal {
             Backend::File(f) => {
                 with_retry(|| f.append(&framed))?;
                 if self.sync_on_append {
+                    let start = Instant::now();
                     f.sync()?;
+                    self.metrics.fsyncs.inc();
+                    self.metrics.fsync_us.record(start.elapsed().as_micros() as u64);
                 }
             }
         }
+        self.metrics.appends.inc();
+        self.metrics.appended_bytes.add(framed.len() as u64);
         Ok(())
     }
 
@@ -169,7 +224,10 @@ impl Wal {
     pub fn sync(&self) -> Result<()> {
         let mut inner = self.inner.lock();
         if let Backend::File(f) = &mut *inner {
+            let start = Instant::now();
             f.sync()?;
+            self.metrics.fsyncs.inc();
+            self.metrics.fsync_us.record(start.elapsed().as_micros() as u64);
         }
         Ok(())
     }

@@ -26,6 +26,32 @@ run_phase "cargo clippy (warnings are errors)" \
     cargo clippy --workspace --all-targets --offline -- -D warnings
 run_phase "cargo test (offline)" cargo test --workspace -q --offline
 
+# Observability: the obs unit tests plus the cross-crate instrumentation
+# test, then a smoke check that `txdb metrics --json` emits parseable JSON.
+obs_tests() {
+    cargo test -q --offline -p txdb-base obs::
+    cargo test -q --offline -p temporal-xml --test observability
+}
+run_phase "observability tests" obs_tests
+
+metrics_smoke() {
+    local dir out
+    dir=$(mktemp -d)
+    echo '<g><r><n>Napoli</n><p>15</p></r></g>' > "$dir/v.xml"
+    cargo run -q --offline -p txdb-cli -- \
+        --db "$dir/db" put guide "$dir/v.xml" --at 01/01/2001 > /dev/null
+    out="$dir/metrics.json"
+    cargo run -q --offline -p txdb-cli -- --db "$dir/db" metrics --json > "$out"
+    if command -v python3 > /dev/null 2>&1; then
+        python3 -c "import json,sys; d=json.load(open(sys.argv[1])); \
+assert 'counters' in d and 'histograms' in d, d.keys()" "$out"
+    else
+        grep -q '"counters"' "$out" && grep -q '"histograms"' "$out"
+    fi
+    rm -rf "$dir"
+}
+run_phase "txdb metrics --json smoke" metrics_smoke
+
 echo "== OK =="
 for i in "${!PHASES[@]}"; do
     printf '  %-38s %ss\n' "${PHASES[$i]}" "${TIMES[$i]}"

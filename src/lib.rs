@@ -61,7 +61,9 @@ pub use txdb_delta as delta;
 pub use txdb_index as index;
 #[allow(deprecated)]
 pub use txdb_query::exec::{execute, execute_at};
-pub use txdb_query::{self as query, parse_query, ExecStats, QueryExt, QueryRequest, QueryResult};
+pub use txdb_query::{
+    self as query, parse_query, ExecStats, ExplainNode, QueryExt, QueryRequest, QueryResult,
+};
 pub use txdb_storage::{self as storage, StoreOptions};
 pub use txdb_stratum as stratum;
 pub use txdb_wgen as wgen;

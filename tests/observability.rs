@@ -1,0 +1,140 @@
+//! End-to-end observability: a real persistent workload must populate the
+//! unified metrics registry — WAL fsync latency, buffer-pool hit ratio,
+//! reconstruction delta counts, per-mode FTI lookups — and the optional
+//! JSON-lines event log must receive well-formed events.
+
+use std::sync::Arc;
+
+use temporal_xml::base::obs::Registry;
+use temporal_xml::{DbOptions, Interval, QueryExt, Timestamp};
+
+fn jan(d: u32) -> Timestamp {
+    Timestamp::from_date(2001, 1, d)
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("txdb-obs-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn workload_populates_registry_and_event_log() {
+    let dir = tmpdir("workload");
+    let events = dir.join("events.jsonl");
+    let reg = Arc::new(Registry::new());
+    {
+        let db = DbOptions::at(dir.join("db"))
+            .snapshot_every(4)
+            .wal_sync(true)
+            .event_log(&events)
+            .metrics(reg.clone())
+            .open()
+            .unwrap();
+        // A version chain long enough to cross a snapshot boundary and
+        // force delta applications on reconstruction.
+        for v in 0..10u32 {
+            let xml = format!(
+                "<guide><restaurant><name>Napoli</name><price>{}</price></restaurant></guide>",
+                10 + v
+            );
+            db.put("guide.com/restaurants", &xml, jan(1 + v)).unwrap();
+        }
+        // Historical reconstructions (deltas applied), a snapshot query
+        // (TPatternScan → fti.lookup_t) and a history query
+        // (TPatternScanAll → fti.lookup_h).
+        let doc = db.store().doc_id("guide.com/restaurants").unwrap().unwrap();
+        for v in 0..10u32 {
+            db.store().version_tree(doc, temporal_xml::VersionId(v)).unwrap();
+        }
+        let r = db
+            .query(r#"SELECT COUNT(R) FROM doc("*")[05/01/2001]//restaurant R"#)
+            .at(jan(20))
+            .run()
+            .unwrap();
+        assert_eq!(r.len(), 1);
+        let r = db
+            .query(r#"SELECT TIME(R) FROM doc("*")[EVERY]//restaurant R"#)
+            .at(jan(20))
+            .run()
+            .unwrap();
+        assert_eq!(r.len(), 10);
+        let _ = db.doc_history(doc, Interval::ALL).unwrap();
+        db.store().update_derived_metrics();
+        db.close().unwrap();
+    }
+
+    let snap = reg.snapshot();
+    // WAL: every synced append recorded an fsync latency sample.
+    let fsync = snap.histogram("wal.fsync_us").expect("wal.fsync_us histogram");
+    assert!(fsync.count > 0, "fsync histogram empty: {fsync:?}");
+    assert!(fsync.max >= fsync.p50, "{fsync:?}");
+    assert!(snap.counter("wal.appends").unwrap_or(0) > 0);
+    // Buffer pool: traffic happened and the derived hit ratio is sane.
+    assert!(snap.counter("buffer.gets").unwrap_or(0) > 0);
+    let ratio = snap.gauge("buffer.hit_ratio_bp").expect("buffer.hit_ratio_bp gauge");
+    assert!(ratio <= 10_000, "hit ratio {ratio} out of range");
+    // Reconstruction: the historical reads applied completed deltas.
+    assert!(snap.counter("reconstruct.calls").unwrap_or(0) > 0);
+    assert!(
+        snap.counter("reconstruct.deltas_applied").unwrap_or(0) > 0,
+        "no deltas applied: {}",
+        snap.to_text()
+    );
+    assert!(snap.counter("reconstruct.snapshot_seeds").unwrap_or(0) > 0);
+    // FTI: the snapshot query used lookup_t, the history query lookup_h.
+    assert!(snap.counter("fti.lookup_t").unwrap_or(0) > 0, "{}", snap.to_text());
+    assert!(snap.counter("fti.lookup_h").unwrap_or(0) > 0, "{}", snap.to_text());
+    // Query layer folded its totals in.
+    assert!(snap.counter("query.runs").unwrap_or(0) >= 2);
+    assert!(snap.histogram("query.run_us").map(|h| h.count).unwrap_or(0) >= 2);
+    // Checkpoint spans were recorded (put() checkpoints via close()).
+    assert!(snap.histogram("checkpoint.write_us").map(|h| h.count).unwrap_or(0) > 0);
+
+    // The event log exists and every line is a well-formed JSON object
+    // with an "event" key.
+    let log = std::fs::read_to_string(&events).unwrap();
+    for line in log.lines() {
+        assert!(line.starts_with("{\"event\":\""), "bad event line: {line}");
+        assert!(line.ends_with('}'), "bad event line: {line}");
+        assert_eq!(line.matches('{').count(), line.matches('}').count(), "{line}");
+    }
+
+    // Re-open with the same registry: checkpoint.load_us is recorded and
+    // the open does NOT fall back to a full replay.
+    {
+        let db = DbOptions::at(dir.join("db")).metrics(reg.clone()).open().unwrap();
+        let snap = reg.snapshot();
+        assert!(snap.histogram("checkpoint.load_us").map(|h| h.count).unwrap_or(0) > 0);
+        assert_eq!(snap.counter("recovery.index_fallback").unwrap_or(0), 0, "clean open fell back");
+        drop(db);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn explain_analyze_end_to_end() {
+    let dir = tmpdir("explain");
+    let db = DbOptions::at(dir.join("db")).snapshot_every(4).open().unwrap();
+    for v in 0..6u32 {
+        let xml = format!("<g><r><n>Napoli</n><p>{}</p></r></g>", 10 + v);
+        db.put("guide", &xml, jan(1 + v)).unwrap();
+    }
+    let r = db
+        .query(r#"SELECT TIME(R), R/p FROM doc("guide")[EVERY]//r R WHERE R/n = "Napoli""#)
+        .at(jan(20))
+        .explain()
+        .run()
+        .unwrap();
+    assert_eq!(r.len(), 6);
+    let tree = r.explain.expect("explain tree");
+    // Every node carries a timing and rows; counters partition the totals.
+    assert_eq!(tree.counter_total("reconstructions"), r.stats.reconstructions as u64);
+    assert_eq!(tree.counter_total("deltas_applied"), r.stats.deltas_applied as u64);
+    let rendered = tree.render();
+    assert!(rendered.contains("TPatternScanAll"), "{rendered}");
+    assert!(rendered.lines().all(|l| l.contains("time=")), "{rendered}");
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
