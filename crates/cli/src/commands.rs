@@ -285,11 +285,18 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<()> {
             let r = db.store().fsck();
             writeln!(out, "{r}")?;
             if repair {
+                let mut repaired = false;
                 if r.torn_bytes > 0 {
                     let removed = db.store().repair_wal_tail()?;
                     writeln!(out, "repaired: {removed} torn byte(s) truncated from the WAL tail")?;
-                } else {
-                    writeln!(out, "repaired: nothing to do (no torn tail)")?;
+                    repaired = true;
+                }
+                if db.store().retire_journal()? {
+                    writeln!(out, "repaired: checkpoint journal retired")?;
+                    repaired = true;
+                }
+                if !repaired {
+                    writeln!(out, "repaired: nothing to do (no torn tail, no journal residue)")?;
                 }
             }
             if !r.is_clean() {
@@ -709,6 +716,17 @@ mod tests {
         assert!(out.contains("truncated from the WAL tail"), "{out}");
         let out = run_cmd(&["--db", db_s, "fsck", "--repair-tail"]).unwrap();
         assert!(out.contains("nothing to do"), "{out}");
+        assert!(out.contains("journal:          absent"), "{out}");
+        // A half-written (never sealed) checkpoint journal is crash
+        // residue: reported as stale, never replayed, retired on repair.
+        std::fs::write(db.join("journal.db"), [0xDE, 0xAD, 0xBE, 0xEF]).unwrap();
+        let out = run_cmd(&["--db", db_s, "fsck"]).unwrap();
+        assert!(out.contains("journal:          stale"), "{out}");
+        assert!(out.contains("status:           clean"), "{out}");
+        let out = run_cmd(&["--db", db_s, "fsck", "--repair-tail"]).unwrap();
+        assert!(out.contains("checkpoint journal retired"), "{out}");
+        let out = run_cmd(&["--db", db_s, "fsck"]).unwrap();
+        assert!(out.contains("journal:          absent"), "{out}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -368,15 +368,26 @@ impl Database {
     }
 
     /// Purges the history of `name` before the given horizon (see
-    /// [`DocumentStore::vacuum`]). The in-memory FTI keeps its historical
-    /// postings until the next reopen; queries at purged times already
-    /// return nothing because the purged versions are unselectable.
+    /// [`DocumentStore::vacuum`]). The in-memory FTI shrinks in place:
+    /// closed postings whose range ended before the first surviving
+    /// version are dropped immediately, so a long-lived handle reclaims
+    /// the memory without a reopen (queries at purged times already
+    /// return nothing because the purged versions are unselectable).
     pub fn vacuum(
         &self,
         name: &str,
         before: Timestamp,
     ) -> Result<Option<txdb_storage::repo::VacuumStats>> {
-        self.store.vacuum(name, before)
+        let Some(stats) = self.store.vacuum(name, before)? else { return Ok(None) };
+        if stats.purged_versions > 0 {
+            if let Some(doc) = self.store.doc_id(name)? {
+                let entries = self.store.versions(doc)?;
+                if let Some(first_live) = entries.iter().find(|e| e.kind != VersionKind::Purged) {
+                    self.indexes.on_vacuum(doc, first_live.version);
+                }
+            }
+        }
+        Ok(Some(stats))
     }
 
     /// Rebuilds the in-memory indexes by replaying every document's
@@ -712,6 +723,31 @@ mod tests {
         assert_eq!(db.indexes().fti().lookup("two", OccKind::Word).len(), 1);
         assert_eq!(db.indexes().fti().lookup("other", OccKind::Word).len(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn vacuum_shrinks_fti_on_live_handle() {
+        let db = Database::in_memory();
+        db.put("g", "<a>one</a>", ts(1)).unwrap();
+        db.put("g", "<a>two</a>", ts(2)).unwrap();
+        db.put("g", "<a>three</a>", ts(3)).unwrap();
+        let before = db.indexes().fti().posting_count();
+        assert_eq!(db.indexes().fti().lookup_h("one", OccKind::Word).len(), 1);
+        let stats = db.vacuum("g", ts(4)).unwrap().unwrap();
+        assert_eq!(stats.purged_versions, 2, "versions of 'one' and 'two' purged");
+        // The purged occurrences leave the live handle immediately — no
+        // reopen needed for the memory to come back.
+        let after = db.indexes().fti().posting_count();
+        assert!(after < before, "posting lists must shrink in place ({before} -> {after})");
+        assert_eq!(db.indexes().fti().lookup_h("one", OccKind::Word).len(), 0);
+        assert_eq!(db.indexes().fti().lookup_h("two", OccKind::Word).len(), 0);
+        // The surviving current version stays findable, and the remapped
+        // open structures still support maintenance.
+        assert_eq!(db.indexes().fti().lookup("three", OccKind::Word).len(), 1);
+        db.put("g", "<a>four</a>", ts(5)).unwrap();
+        assert_eq!(db.indexes().fti().lookup("three", OccKind::Word).len(), 0);
+        assert_eq!(db.indexes().fti().lookup("four", OccKind::Word).len(), 1);
+        assert_eq!(db.indexes().fti().lookup_h("three", OccKind::Word).len(), 1);
     }
 
     #[test]

@@ -153,7 +153,9 @@ struct TokenList {
 }
 
 /// An open posting's address: token, occurrence kind, index into the
-/// per-doc posting vector (append-only, so indices are stable).
+/// per-doc posting vector. Maintenance only appends, so indices stay
+/// stable between mutations; the one operation that compacts a posting
+/// vector ([`FullTextIndex::purge_below`]) remaps these references.
 type OpenRef = (String, OccKind, usize);
 
 /// The temporal full-text index.
@@ -399,6 +401,55 @@ impl FullTextIndex {
     /// Number of distinct tokens.
     pub fn token_count(&self) -> usize {
         self.lists.len()
+    }
+
+    /// Shrinks a document's posting lists after a vacuum: every *closed*
+    /// posting whose range ended at or before `horizon` (the first version
+    /// that survived the purge) is dropped in place. Such postings are
+    /// unreachable — current lookups only walk open postings, and snapshot
+    /// lookups can no longer resolve a purged version, so any resolvable
+    /// `v >= horizon` fails `v < to_version`. Whole-history lookups lose
+    /// the purged occurrences, which is exactly what vacuuming history
+    /// means. Returns the number of postings removed.
+    ///
+    /// Surviving postings are compacted, so the per-doc indices held by
+    /// `open` lists and the open-posting map are remapped; open postings
+    /// themselves are never removed (their range has no upper bound).
+    pub fn purge_below(&mut self, doc: DocId, horizon: u32) -> usize {
+        let mut removed = 0usize;
+        let open_map = &mut self.open;
+        self.lists.retain(|token, list| {
+            let Some(g) = list.by_doc.get_mut(&doc) else { return true };
+            let before = g.postings.len();
+            g.postings.retain(|p| p.to_version == OPEN || p.to_version > horizon);
+            let dropped = before - g.postings.len();
+            if dropped == 0 {
+                return true;
+            }
+            removed += dropped;
+            list.total -= dropped;
+            // Compaction renumbered the survivors: rebuild the open list
+            // and patch the open-map references for this token.
+            g.open.clear();
+            for (idx, p) in g.postings.iter().enumerate() {
+                if !p.is_open() {
+                    continue;
+                }
+                g.open.push(idx as u32);
+                if let Some(entries) = open_map.get_mut(&(doc, p.xid)) {
+                    for e in entries.iter_mut() {
+                        if e.0 == *token && e.1 == p.kind {
+                            e.2 = idx;
+                        }
+                    }
+                }
+            }
+            if g.postings.is_empty() {
+                list.by_doc.remove(&doc);
+            }
+            !list.by_doc.is_empty()
+        });
+        removed
     }
 
     /// Removes every trace of a document (postings, open lists, open-map
@@ -738,6 +789,43 @@ mod tests {
         assert_eq!(fti.list_len("only1"), 0, "token emptied by the drop vanishes");
         assert!(fti.open_tokens(d(1), x(2)).is_empty());
         assert_eq!(fti.posting_count(), 1);
+    }
+
+    #[test]
+    fn purge_below_drops_only_unreachable_history() {
+        let mut fti = FullTextIndex::new();
+        // doc 1: "w" lived in [0, 2), then again in [2, 5), then [5, OPEN);
+        // "gone" lived in [0, 3) only; "straddle" in [1, 8).
+        fti.open_posting("w", d(1), x(1), OccKind::Word, &[x(1)], v(0));
+        fti.close_posting("w", d(1), x(1), OccKind::Word, v(2));
+        fti.open_posting("w", d(1), x(1), OccKind::Word, &[x(1)], v(2));
+        fti.close_posting("w", d(1), x(1), OccKind::Word, v(5));
+        fti.open_posting("w", d(1), x(1), OccKind::Word, &[x(1)], v(5));
+        fti.open_posting("gone", d(1), x(2), OccKind::Word, &[x(1), x(2)], v(0));
+        fti.close_posting("gone", d(1), x(2), OccKind::Word, v(3));
+        fti.open_posting("straddle", d(1), x(3), OccKind::Word, &[x(1), x(3)], v(1));
+        fti.close_posting("straddle", d(1), x(3), OccKind::Word, v(8));
+        // doc 2 shares token "w" and must be untouched.
+        fti.open_posting("w", d(2), x(1), OccKind::Word, &[x(1)], v(0));
+        fti.close_posting("w", d(2), x(1), OccKind::Word, v(1));
+
+        let before = fti.posting_count();
+        // Versions below 5 were purged; version 5 is the first survivor.
+        let removed = fti.purge_below(d(1), 5);
+        assert_eq!(removed, 3, "w[0,2), w[2,5), gone[0,3)");
+        assert_eq!(fti.posting_count(), before - 3);
+        // Open posting survives and the remapped open structures still work.
+        assert_eq!(fti.lookup("w", OccKind::Word).len(), 1);
+        assert!(fti.close_posting("w", d(1), x(1), OccKind::Word, v(9)));
+        assert_eq!(fti.lookup("w", OccKind::Word).len(), 0);
+        // Ranges straddling the horizon survive; fully-purged tokens vanish.
+        assert_eq!(fti.lookup_h("straddle", OccKind::Word).len(), 1);
+        assert_eq!(fti.list_len("gone"), 0);
+        assert_eq!(fti.lookup_t("straddle", OccKind::Word, |_| Some(v(6))).len(), 1);
+        // Other documents' histories untouched.
+        assert_eq!(fti.lookup_h("w", OccKind::Word).iter().filter(|p| p.doc == d(2)).count(), 1);
+        // Idempotent.
+        assert_eq!(fti.purge_below(d(1), 5), 0);
     }
 
     #[test]

@@ -338,6 +338,20 @@ impl IndexSet {
         Ok(())
     }
 
+    /// Shrinks the in-memory FTI after a vacuum purged `doc`'s history
+    /// below `horizon` (the first version that survived). Closed postings
+    /// that ended at or before the horizon are unreachable by any lookup
+    /// and are dropped in place — a long-lived handle sees its posting
+    /// lists shrink without a reopen. The delta-content index is left
+    /// alone: it records *changes*, which the vacuum does not rewrite.
+    /// Returns the number of postings removed.
+    pub fn on_vacuum(&self, doc: DocId, horizon: VersionId) -> usize {
+        if !self.fti_enabled() {
+            return 0;
+        }
+        self.fti.write().purge_below(doc, horizon.0)
+    }
+
     /// Maintains all indexes after a document deletion (tombstone at
     /// `version`, time `ts`).
     pub fn on_delete(

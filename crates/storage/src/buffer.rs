@@ -148,8 +148,21 @@ impl BufferPool {
 
     /// Allocates a fresh page and returns its zeroed frame, already cached
     /// and marked dirty.
+    ///
+    /// The free-list pop reads the next-free pointer *through the pool*:
+    /// a page freed via [`BufferPool::free_page`] exists only as an
+    /// unflushed dirty frame until the next checkpoint, so the pointer
+    /// must not be read from disk.
     pub fn allocate(&self) -> Result<(PageId, Frame)> {
-        let id = self.pager.allocate()?;
+        let head = self.pager.free_head();
+        let id = if head != 0 {
+            let head_frame = self.get(PageId(head))?;
+            let next =
+                u64::from_le_bytes(head_frame.read()[0..8].try_into().expect("fixed-width slice"));
+            self.pager.pop_free(next)
+        } else {
+            self.pager.allocate()?
+        };
         let frame: Frame = Arc::new(RwLock::new(crate::pager::new_page()));
         let mut frames = self.frames.lock();
         self.evict_if_needed(&mut frames)?;
@@ -165,11 +178,44 @@ impl BufferPool {
         }
     }
 
-    /// Frees a page: drops it from the cache and returns it to the pager's
-    /// free list.
+    /// Frees a page: pushes it onto the pager's free list and installs
+    /// the free-list image as a *dirty frame* instead of writing it to
+    /// the file immediately. The image reaches disk with the next
+    /// checkpoint flush, under double-write journal protection — an
+    /// unjournaled in-place overwrite of a live page would reopen the
+    /// torn-page hole the journal exists to close.
     pub fn free_page(&self, id: PageId) -> Result<()> {
-        self.frames.lock().remove(&id);
-        self.pager.free(id)
+        let image = self.pager.free_deferred(id)?;
+        let mut frames = self.frames.lock();
+        match frames.get_mut(&id) {
+            Some(meta) => {
+                *meta.frame.write() = image;
+                meta.dirty = true;
+                meta.last_used = self.touch();
+            }
+            None => {
+                let last_used = self.touch();
+                frames.insert(
+                    id,
+                    FrameMeta { frame: Arc::new(RwLock::new(image)), dirty: true, last_used },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshot of every dirty frame (page id + a copy of its current
+    /// image) in ascending page order — the batch the checkpoint journal
+    /// seals before [`BufferPool::flush_all`] overwrites home locations.
+    pub fn dirty_pages(&self) -> Vec<(PageId, PageBuf)> {
+        let frames = self.frames.lock();
+        let mut out: Vec<(PageId, PageBuf)> = frames
+            .iter()
+            .filter(|(_, m)| m.dirty)
+            .map(|(id, m)| (*id, m.frame.read().clone()))
+            .collect();
+        out.sort_by_key(|(id, _)| id.0);
+        out
     }
 
     /// Writes every dirty frame back and syncs the pager — the checkpoint
@@ -281,14 +327,43 @@ mod tests {
     }
 
     #[test]
-    fn free_page_drops_from_cache() {
+    fn free_page_defers_and_reallocates_through_pool() {
+        let p = pool(8);
+        let (a, _) = p.allocate().unwrap();
+        let (b, _) = p.allocate().unwrap();
+        p.free_page(a).unwrap();
+        p.free_page(b).unwrap();
+        // The free-list images are dirty frames, not file writes: the
+        // pool pops them correctly before any flush.
+        let (c, _) = p.allocate().unwrap();
+        let (d, _) = p.allocate().unwrap();
+        let mut got = [c, d];
+        got.sort();
+        let mut want = [a, b];
+        want.sort();
+        assert_eq!(got, want, "free list reused through the pool");
+        // And the cycle survives a flush in the middle.
+        p.free_page(c).unwrap();
+        p.flush_all().unwrap();
+        let (e, _) = p.allocate().unwrap();
+        assert_eq!(e, c);
+    }
+
+    #[test]
+    fn dirty_pages_snapshot_matches_flush_set() {
         let p = pool(4);
-        let (id, _f) = p.allocate().unwrap();
-        p.free_page(id).unwrap();
-        assert!(p.get(id).is_ok() || p.get(id).is_err()); // freed page readable (still allocated in pager) — but not cached
-                                                          // Reallocation reuses it.
-        let again = p.pager().allocate().unwrap();
-        assert_eq!(again, id);
+        let (a, fa) = p.allocate().unwrap();
+        fa.write()[0] = 1;
+        p.mark_dirty(a);
+        p.flush_all().unwrap();
+        assert!(p.dirty_pages().is_empty(), "flush cleans every frame");
+        let back = p.get(a).unwrap();
+        back.write()[1] = 2;
+        p.mark_dirty(a);
+        let dirty = p.dirty_pages();
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(dirty[0].0, a);
+        assert_eq!(dirty[0].1[1], 2, "snapshot carries the live image");
     }
 
     #[test]

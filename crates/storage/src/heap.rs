@@ -337,6 +337,99 @@ fn total_free(buf: &[u8]) -> usize {
     PAGE_SIZE - dir_end - used
 }
 
+/// Best-effort sweep of every readable page for live heap records,
+/// independent of any catalog or page-chain structure. Used by the deep
+/// salvage path ([`crate::repo::DocumentStore::salvage_rebuild_catalog`])
+/// when the pages that *organise* the heap — btrees, chain links — are
+/// the ones corruption destroyed.
+///
+/// Pages are classified by their type byte and validated structurally
+/// before anything is extracted: free pages (which start with a raw
+/// next-free pointer) and damaged pages can wear any first byte, so a
+/// page is only trusted as far as its own invariants hold. CRC-bad pages
+/// are skipped. Overflow chains are reassembled from their heads — the
+/// overflow pages no other overflow page points at — and a chain is
+/// abandoned (not truncated) when a link is missing or malformed.
+pub fn salvage_scan(pool: &BufferPool) -> Vec<(RecordId, Vec<u8>)> {
+    let count = pool.pager().page_count();
+    let mut slotted: Vec<PageId> = Vec::new();
+    // overflow page → (next, chunk)
+    let mut overflow: std::collections::HashMap<u64, (u64, Vec<u8>)> =
+        std::collections::HashMap::new();
+    for p in 1..count {
+        let id = PageId(p);
+        let Ok(frame) = pool.get(id) else {
+            continue; // CRC mismatch or unreadable: nothing to trust here.
+        };
+        let buf = frame.read();
+        match buf[0] {
+            TYPE_SLOTTED => {
+                let nslots = get_u16(&buf, HDR_NSLOTS) as usize;
+                let free_end = get_u16(&buf, HDR_FREE_END) as usize;
+                let dir_end = HDR_SIZE + nslots * SLOT_SIZE;
+                if dir_end <= free_end && free_end <= PAGE_SIZE {
+                    slotted.push(id);
+                }
+            }
+            TYPE_OVERFLOW => {
+                let next = get_u64(&buf, OVF_NEXT);
+                let len = get_u16(&buf, OVF_LEN) as usize;
+                if len <= OVF_CAP && next < count {
+                    overflow.insert(p, (next, buf[OVF_HDR..OVF_HDR + len].to_vec()));
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    for &page in &slotted {
+        let Ok(frame) = pool.get(page) else { continue };
+        let buf = frame.read();
+        let nslots = get_u16(&buf, HDR_NSLOTS) as usize;
+        let dir_end = HDR_SIZE + nslots * SLOT_SIZE;
+        for s in 0..nslots {
+            let off = get_u16(&buf, HDR_SIZE + s * SLOT_SIZE) as usize;
+            let len = get_u16(&buf, HDR_SIZE + s * SLOT_SIZE + 2) as usize;
+            if off == DEAD as usize || off < dir_end || off + len > PAGE_SIZE {
+                continue;
+            }
+            out.push((RecordId { page, slot: s as u16 }, buf[off..off + len].to_vec()));
+        }
+    }
+    let referenced: std::collections::HashSet<u64> =
+        overflow.values().map(|(next, _)| *next).filter(|&n| n != 0).collect();
+    for (&head, _) in overflow.iter() {
+        if referenced.contains(&head) {
+            continue;
+        }
+        let mut data = Vec::new();
+        let mut cur = head;
+        let mut intact = true;
+        let mut hops = 0u64;
+        while cur != 0 {
+            match overflow.get(&cur) {
+                Some((next, chunk)) => {
+                    data.extend_from_slice(chunk);
+                    cur = *next;
+                }
+                None => {
+                    intact = false;
+                    break;
+                }
+            }
+            hops += 1;
+            if hops > count {
+                intact = false; // cycle through damaged links
+                break;
+            }
+        }
+        if intact {
+            out.push((RecordId { page: PageId(head), slot: SLOT_BLOB }, data));
+        }
+    }
+    out
+}
+
 /// Rewrites the data region dropping dead-slot holes; slot numbers are
 /// preserved (record ids remain valid).
 fn compact(buf: &mut [u8]) {
@@ -501,6 +594,25 @@ mod tests {
         // And inserts still work.
         let c = heap.insert(b"more").unwrap();
         assert_eq!(heap.get(c).unwrap(), b"more");
+    }
+
+    #[test]
+    fn salvage_scan_finds_live_records_only() {
+        let pool = heap_pool();
+        let heap = Heap::open(pool.clone(), 0).unwrap();
+        let keep = heap.insert(b"keep me").unwrap();
+        let gone = heap.insert(b"delete me").unwrap();
+        let blob_data: Vec<u8> = (0..30_000u32).map(|i| (i % 241) as u8).collect();
+        let blob = heap.insert(&blob_data).unwrap();
+        let dead_blob = heap.insert(&vec![3u8; 20_000]).unwrap();
+        heap.delete(gone).unwrap();
+        heap.delete(dead_blob).unwrap();
+        let found = salvage_scan(&pool);
+        let get = |rid: RecordId| found.iter().find(|(r, _)| *r == rid).map(|(_, d)| d.clone());
+        assert_eq!(get(keep).unwrap(), b"keep me");
+        assert_eq!(get(blob).unwrap(), blob_data);
+        assert_eq!(get(gone), None, "dead slot not salvaged");
+        assert_eq!(get(dead_blob), None, "freed chain not salvaged");
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   disk-full) for the crash-point recovery harness;
 //! * [`wal`] — a logical write-ahead log with CRC-protected records,
 //!   checkpointing and torn-tail-tolerant recovery;
+//! * [`journal`] — the double-write checkpoint journal: page flushes are
+//!   staged in a sealed, CRC-guarded batch before any home location is
+//!   overwritten, so a torn page at a checkpoint crash point is always
+//!   recoverable (old image or journaled new image);
 //! * [`ckpt`] — durable storage for serialized index checkpoints (a
 //!   CRC-guarded page chain), which turns index rebuild at open from
 //!   O(history) into O(index) + a tail replay;
@@ -41,6 +45,7 @@ pub mod btree;
 pub mod buffer;
 pub mod ckpt;
 pub mod heap;
+pub mod journal;
 pub mod pager;
 pub mod repo;
 pub mod vcache;
@@ -49,6 +54,7 @@ pub mod wal;
 
 pub use buffer::{BufferPool, BufferStats};
 pub use ckpt::{CheckpointInfo, CheckpointStore};
+pub use journal::JournalState;
 pub use pager::{PageId, Pager, PAGE_SIZE, PHYS_PAGE_SIZE};
 pub use repo::{
     DocumentStore, FsckReport, IndexCheckpointReport, IndexCheckpointState, StoreOptions,

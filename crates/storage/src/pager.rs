@@ -155,7 +155,16 @@ impl Pager {
     /// Opens (or creates) a file-backed pager through the given [`Vfs`].
     pub fn open_with(vfs: &dyn Vfs, path: &Path) -> Result<Pager> {
         let mut file = vfs.open(path)?;
-        let len = file.len()?;
+        let mut len = file.len()?;
+        if len % PHYS_PAGE_SIZE as u64 != 0 {
+            // A torn tail-extend write — an allocation that never reached
+            // a checkpoint — leaves a partial trailing page. Nothing in it
+            // is committed (committed pages are covered by the durable
+            // header's page_count, flushed under journal protection), so
+            // trim it rather than refuse to open.
+            len -= len % PHYS_PAGE_SIZE as u64;
+            with_retry(|| file.set_len(len))?;
+        }
         if len == 0 {
             // Fresh database file.
             let header = Header { free_head: 0, page_count: 1, roots: [0; NUM_ROOTS] };
@@ -166,11 +175,6 @@ impl Pager {
             };
             pager.flush_header()?;
             return Ok(Pager { inner: Mutex::new(pager) });
-        }
-        if len % PHYS_PAGE_SIZE as u64 != 0 {
-            return Err(Error::Corrupt(format!(
-                "database file length {len} is not a multiple of the page size"
-            )));
         }
         let buf = read_phys(file.as_mut(), PageId(0))?;
         let magic = u32::from_le_bytes(buf[0..4].try_into().expect("fixed-width slice"));
@@ -285,6 +289,40 @@ impl Pager {
         Ok(())
     }
 
+    /// Head of the free-page list (`0` when empty). The buffer pool uses
+    /// this with [`Pager::pop_free`] so the next-free pointer is read
+    /// *through the pool* — where an unflushed free image may still live.
+    pub(crate) fn free_head(&self) -> u64 {
+        self.inner.lock().header.free_head
+    }
+
+    /// Pops the current free-list head, advancing the head to `next`
+    /// (which the caller read from the page through the buffer pool).
+    pub(crate) fn pop_free(&self, next: u64) -> PageId {
+        let mut inner = self.inner.lock();
+        let id = PageId(inner.header.free_head);
+        inner.header.free_head = next;
+        inner.header_dirty = true;
+        id
+    }
+
+    /// Pushes `id` onto the free list and returns the free-page image
+    /// (zeroed, next-free pointer in the first 8 bytes) that the caller
+    /// must write back through the buffer pool. Unlike [`Pager::free`],
+    /// nothing touches the file here: the image reaches disk with the
+    /// next checkpoint flush, under journal protection.
+    pub(crate) fn free_deferred(&self, id: PageId) -> Result<PageBuf> {
+        let mut inner = self.inner.lock();
+        if id.is_null() || id.0 >= inner.header.page_count {
+            return Err(Error::InvalidRef(format!("free of invalid page {id}")));
+        }
+        let mut page = new_page();
+        page[0..8].copy_from_slice(&inner.header.free_head.to_le_bytes());
+        inner.header.free_head = id.0;
+        inner.header_dirty = true;
+        Ok(page)
+    }
+
     /// Gets a named root slot.
     pub fn root(&self, slot: usize) -> PageId {
         PageId(self.inner.lock().header.roots[slot])
@@ -301,6 +339,22 @@ impl Pager {
     /// for the space experiments.
     pub fn page_count(&self) -> u64 {
         self.inner.lock().header.page_count
+    }
+
+    /// True when header state (free list, page count, roots) has changed
+    /// since the last flush — i.e. the next [`Pager::sync`] will rewrite
+    /// page 0. The checkpoint path uses this to decide whether a journal
+    /// batch is needed at all.
+    pub fn header_dirty(&self) -> bool {
+        self.inner.lock().header_dirty
+    }
+
+    /// The header page (page 0) as it would be written right now —
+    /// encoded from the in-memory header, without touching the backend.
+    /// The checkpoint path journals this image before [`Pager::sync`]
+    /// overwrites the live header.
+    pub fn header_image(&self) -> PageBuf {
+        self.inner.lock().header_image()
     }
 
     /// Flushes the header and fsyncs the file backend. An fsync failure is
@@ -337,7 +391,7 @@ impl Pager {
 }
 
 impl Inner {
-    fn flush_header(&mut self) -> Result<()> {
+    fn header_image(&self) -> PageBuf {
         let mut buf = new_page();
         buf[0..4].copy_from_slice(&MAGIC.to_le_bytes());
         buf[4..8].copy_from_slice(&FORMAT.to_le_bytes());
@@ -347,6 +401,11 @@ impl Inner {
             let off = 24 + i * 8;
             buf[off..off + 8].copy_from_slice(&r.to_le_bytes());
         }
+        buf
+    }
+
+    fn flush_header(&mut self) -> Result<()> {
+        let buf = self.header_image();
         match &mut self.backend {
             Backend::Memory(pages) => pages[0].copy_from_slice(&buf),
             Backend::File { file, .. } => write_phys(file.as_mut(), PageId(0), &buf)?,
@@ -455,8 +514,34 @@ mod tests {
         let path = tmpfile("bad");
         std::fs::write(&path, vec![0xFFu8; PHYS_PAGE_SIZE]).unwrap();
         assert!(Pager::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_trims_partial_trailing_page() {
+        let path = tmpfile("partial");
+        {
+            let p = Pager::open(&path).unwrap();
+            let a = p.allocate().unwrap();
+            let mut buf = new_page();
+            buf[7] = 0x77;
+            p.write_page(a, &buf).unwrap();
+            p.sync().unwrap();
+        }
+        // A torn tail-extend write: append a partial page of garbage.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&vec![0xEEu8; 3000]).unwrap();
+        }
+        let p = Pager::open(&path).unwrap();
+        assert_eq!(p.read_page(PageId(1)).unwrap()[7], 0x77);
+        assert_eq!(std::fs::metadata(&path).unwrap().len() % PHYS_PAGE_SIZE as u64, 0);
+        // A file shorter than one page (torn fresh-header write) holds
+        // nothing committed: re-initialized, not rejected.
         std::fs::write(&path, b"short").unwrap();
-        assert!(Pager::open(&path).is_err());
+        let p = Pager::open(&path).unwrap();
+        assert_eq!(p.page_count(), 1);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -58,6 +58,11 @@ pub mod roots {
     pub const EID_INDEX: usize = 4;
     /// Reserved for persisted full-text-index metadata (txdb-index).
     pub const FTI_META: usize = 5;
+    /// Checkpoint generation counter (stored as a raw u64 in the slot),
+    /// fencing the double-write journal: a sealed journal whose
+    /// generation is at or below the durable header's value has already
+    /// been applied, and recovery skips (and retires) it.
+    pub const CKPT_GEN: usize = 6;
 }
 
 /// Store configuration.
@@ -152,8 +157,15 @@ pub struct VersionEntry {
     pub snapshot_rid: Option<RecordId>,
 }
 
+/// Magic prefix of every encoded metadata record. Together with the
+/// embedded document id it makes metadata **self-identifying**: a raw
+/// heap sweep can find every document without consulting the catalog —
+/// the basis of [`DocumentStore::salvage_rebuild_catalog`].
+const META_MAGIC: [u8; 2] = [0xDC, 0x01];
+
 #[derive(Clone, Debug)]
 struct DocMeta {
+    doc: DocId,
     name: String,
     next_xid: Xid,
     current_rid: Option<RecordId>,
@@ -163,6 +175,8 @@ struct DocMeta {
 impl DocMeta {
     fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + self.entries.len() * 32);
+        out.extend_from_slice(&META_MAGIC);
+        write_varint(&mut out, self.doc.0 as u64);
         write_varint(&mut out, self.name.len() as u64);
         out.extend_from_slice(self.name.as_bytes());
         write_varint(&mut out, self.next_xid.0);
@@ -233,6 +247,13 @@ impl DocMeta {
             }
         }
         let b = &mut b;
+        if take(b, 2)? != META_MAGIC {
+            return Err(Error::Corrupt("bad doc meta magic".into()));
+        }
+        let doc = DocId(
+            u32::try_from(varint(b)?)
+                .map_err(|_| Error::Corrupt("doc id overflow in doc meta".into()))?,
+        );
         let name_len = varint(b)? as usize;
         let name = String::from_utf8(take(b, name_len)?.to_vec())
             .map_err(|_| Error::Corrupt("bad utf8 in doc name".into()))?;
@@ -258,7 +279,7 @@ impl DocMeta {
                 snapshot_rid,
             });
         }
-        Ok(DocMeta { name, next_xid, current_rid, entries })
+        Ok(DocMeta { doc, name, next_xid, current_rid, entries })
     }
 
     fn last(&self) -> Option<&VersionEntry> {
@@ -335,6 +356,16 @@ pub struct RecoveryReport {
     /// How the persisted index checkpoint participated in this open
     /// (filled in by the database layer).
     pub index_checkpoint: IndexCheckpointReport,
+    /// State of the double-write checkpoint journal found at open
+    /// ([`crate::journal::JournalState`] rendered: "absent", "sealed (…)"
+    /// or "stale (…)"). In-memory stores report "absent".
+    pub journal_state: String,
+    /// Page images replayed from a sealed journal to their home
+    /// locations, before the pager read a single page.
+    pub journal_replayed_pages: usize,
+    /// True when a sealed journal was skipped by the generation fence
+    /// (its apply had completed; only the retire was lost in the crash).
+    pub journal_fenced: bool,
 }
 
 /// Whether the open path could use the persisted index checkpoint.
@@ -417,6 +448,17 @@ pub struct FsckReport {
     /// store unclean — the open path falls back to a full index rebuild,
     /// so no data is at risk, only open time.
     pub index_checkpoint: String,
+    /// State of the double-write checkpoint journal: "absent" (steady
+    /// state), "sealed (…)" (an unapplied batch the next open replays) or
+    /// "stale (…)" (torn residue, removable with
+    /// [`DocumentStore::retire_journal`] / `fsck --repair-tail`). Neither
+    /// residual state makes the store unclean: sealed is recovered at
+    /// open, stale was never applied.
+    pub journal: String,
+    /// Documents whose metadata records survive in the heap and could be
+    /// restored by [`DocumentStore::salvage_rebuild_catalog`]. Only
+    /// counted when the document btree itself is unreadable.
+    pub salvageable_docs: usize,
     /// Human-readable description of every problem found.
     pub errors: Vec<String>,
 }
@@ -443,6 +485,14 @@ impl std::fmt::Display for FsckReport {
         writeln!(f, "wal records:      {}", self.wal_records)?;
         writeln!(f, "wal torn bytes:   {}", self.torn_bytes)?;
         writeln!(f, "index checkpoint: {}", self.index_checkpoint)?;
+        writeln!(f, "journal:          {}", self.journal)?;
+        if self.salvageable_docs > 0 {
+            writeln!(
+                f,
+                "salvageable docs: {} (catalog can be rebuilt from surviving heap pages)",
+                self.salvageable_docs
+            )?;
+        }
         for e in &self.errors {
             writeln!(f, "error: {e}")?;
         }
@@ -518,11 +568,20 @@ impl DocumentStore {
         if let Some(path) = &opts.event_log {
             metrics.set_sink(Arc::new(JsonLinesSink::create(path)?));
         }
+        let mut journal_outcome = crate::journal::RecoverOutcome {
+            state: crate::journal::JournalState::Absent.to_string(),
+            ..Default::default()
+        };
         let (pager, mut wal) = match &opts.path {
             None => (Pager::memory(), Wal::memory()),
             Some(dir) => {
                 std::fs::create_dir_all(dir)?;
                 let vfs: &dyn Vfs = opts.vfs.as_deref().unwrap_or(&RealVfs);
+                // A sealed double-write journal must be replayed before
+                // the pager reads a single page: the crash that left it
+                // behind may have torn any home page — page 0 included —
+                // and the journal holds the only good image.
+                journal_outcome = crate::journal::recover(vfs, dir)?;
                 (
                     Pager::open_with(vfs, &dir.join("data.db"))?,
                     Wal::open_with(vfs, &dir.join("wal.log"), opts.wal_sync)?,
@@ -552,8 +611,27 @@ impl DocumentStore {
             metrics,
             obs,
         };
-        // Recovery: replay WAL tail against the checkpointed page image.
-        let mut report = RecoveryReport::default();
+        // Recovery, phase 2 (journal replay above was phase 1): replay
+        // the WAL tail against the checkpointed page image.
+        let mut report = RecoveryReport {
+            journal_state: journal_outcome.state,
+            journal_replayed_pages: journal_outcome.replayed_pages,
+            journal_fenced: journal_outcome.fenced,
+            ..RecoveryReport::default()
+        };
+        // Register unconditionally so the counter appears (at zero) in
+        // every metrics snapshot, fault-injected open or not.
+        let journal_replays = store.metrics.counter("recovery.journal_replays");
+        if report.journal_replayed_pages > 0 {
+            journal_replays.inc();
+            store.metrics.emit(
+                "recovery.journal_replay",
+                &[
+                    ("pages", EventValue::U64(report.journal_replayed_pages as u64)),
+                    ("state", EventValue::Str(&report.journal_state)),
+                ],
+            );
+        }
         match store.wal.replay() {
             Ok(summary) => {
                 report.torn_bytes = summary.torn_bytes;
@@ -741,6 +819,7 @@ impl DocumentStore {
                 let doc = self.alloc_doc_id();
                 let current_rid = self.heap.insert(&encode_tree(&tree))?;
                 let meta = DocMeta {
+                    doc,
                     name: name.to_string(),
                     next_xid: next,
                     current_rid: Some(current_rid),
@@ -1300,12 +1379,45 @@ impl DocumentStore {
         delta_from_xml(&tree)
     }
 
-    /// Flushes all dirty pages, syncs, and truncates the WAL.
+    /// Flushes all dirty pages atomically, syncs, and truncates the WAL.
+    ///
+    /// File-backed stores use the double-write protocol
+    /// ([`crate::journal`]): the batch of dirty page images — the header
+    /// page included — is sealed into `journal.db` and fsynced *before*
+    /// any home location is overwritten. A crash at any point inside the
+    /// flush therefore leaves every page recoverable: either the old
+    /// image survives untouched (journal not yet sealed) or the new one
+    /// is replayed from the journal at the next open. The journaled
+    /// header carries a bumped [`roots::CKPT_GEN`] generation, which
+    /// fences replay once the apply provably reached disk.
     pub fn checkpoint(&self) -> Result<()> {
         let _span = self.metrics.span("checkpoint.write_us");
         let _g = self.sync.write();
         self.ensure_writable()?;
-        self.pool.flush_all()?;
+        match &self.opts.path {
+            Some(dir) => {
+                let pager = self.pool.pager();
+                let dirty = self.pool.dirty_pages();
+                if dirty.is_empty() && !pager.header_dirty() {
+                    // Nothing will be overwritten: no torn-page exposure,
+                    // no journal needed.
+                    self.pool.flush_all()?;
+                } else {
+                    let generation = pager.root(roots::CKPT_GEN).0.wrapping_add(1);
+                    pager.set_root(roots::CKPT_GEN, crate::pager::PageId(generation));
+                    let header = pager.header_image();
+                    let mut batch: Vec<(u64, &[u8])> = Vec::with_capacity(dirty.len() + 1);
+                    batch.push((0, &header[..]));
+                    batch.extend(dirty.iter().map(|(id, buf)| (id.0, &buf[..])));
+                    let vfs: &dyn Vfs = self.opts.vfs.as_deref().unwrap_or(&RealVfs);
+                    let mut journal = vfs.open(&crate::journal::journal_path(dir))?;
+                    crate::journal::write_batch(journal.as_mut(), generation, &batch)?;
+                    self.pool.flush_all()?;
+                    crate::journal::retire(journal.as_mut())?;
+                }
+            }
+            None => self.pool.flush_all()?,
+        }
         self.wal.reset()
     }
 
@@ -1403,10 +1515,31 @@ impl DocumentStore {
             },
             Err(e) => format!("unreadable ({e}); open falls back to full index rebuild"),
         };
+        // Journal residue is likewise advisory: a sealed journal is
+        // replayed by the next open, stale residue was never applied.
+        r.journal = match &self.opts.path {
+            None => crate::journal::JournalState::Absent.to_string(),
+            Some(dir) => {
+                let vfs: &dyn Vfs = self.opts.vfs.as_deref().unwrap_or(&RealVfs);
+                match vfs.open(&crate::journal::journal_path(dir)) {
+                    Ok(mut f) => crate::journal::inspect(f.as_mut()).to_string(),
+                    Err(e) => {
+                        crate::journal::JournalState::Stale { reason: e.to_string() }.to_string()
+                    }
+                }
+            }
+        };
         let iter = match self.docs.iter() {
             Ok(i) => i,
             Err(e) => {
                 r.errors.push(format!("document btree unreadable: {e}"));
+                // The catalog structure is gone, but the self-identifying
+                // metadata records may survive in the heap: count what a
+                // salvage rebuild could restore.
+                r.salvageable_docs = crate::heap::salvage_scan(&self.pool)
+                    .into_iter()
+                    .filter(|(_, payload)| DocMeta::decode(payload).is_ok())
+                    .count();
                 return r;
             }
         };
@@ -1434,6 +1567,12 @@ impl DocumentStore {
                     continue;
                 }
             };
+            if meta.doc != doc {
+                r.errors.push(format!(
+                    "doc {doc} ({}): metadata claims doc id {}",
+                    meta.name, meta.doc
+                ));
+            }
             if let Some(rid) = meta.current_rid {
                 if let Err(e) = self.heap.get(rid).and_then(|b| decode_tree(&b)) {
                     r.errors.push(format!(
@@ -1476,6 +1615,95 @@ impl DocumentStore {
     pub fn repair_wal_tail(&self) -> Result<u64> {
         let _g = self.sync.write();
         self.wal.repair_tail()
+    }
+
+    /// Removes journal residue: retires a stale (torn, never-replayable)
+    /// journal, or a sealed one whose generation the fence proves fully
+    /// applied. Returns `true` when residue was removed. A sealed journal
+    /// that is *not* provably applied is left alone — it would be needed
+    /// at the next open — though through this handle that state cannot
+    /// arise: open replayed (and retired) any sealed journal it found.
+    /// Allowed in salvage mode: it is part of the repair path.
+    pub fn retire_journal(&self) -> Result<bool> {
+        let _g = self.sync.write();
+        let Some(dir) = &self.opts.path else {
+            return Ok(false);
+        };
+        let vfs: &dyn Vfs = self.opts.vfs.as_deref().unwrap_or(&RealVfs);
+        let mut file = vfs.open(&crate::journal::journal_path(dir))?;
+        match crate::journal::inspect(file.as_mut()) {
+            crate::journal::JournalState::Absent => Ok(false),
+            crate::journal::JournalState::Stale { .. } => {
+                crate::journal::retire(file.as_mut())?;
+                Ok(true)
+            }
+            crate::journal::JournalState::Sealed { generation, .. } => {
+                if generation <= self.pool.pager().root(roots::CKPT_GEN).0 {
+                    crate::journal::retire(file.as_mut())?;
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the catalog and document-directory B+-trees from
+    /// surviving heap records — the deep salvage path for when corruption
+    /// hit the btree pages themselves (or the metadata records they point
+    /// at). Metadata records are self-identifying (magic prefix plus
+    /// embedded document id), so the full `name → id → metadata` mapping
+    /// is reconstructible from a raw page sweep alone. Returns the number
+    /// of documents restored.
+    ///
+    /// The old btree pages are abandoned, not freed: salvage must not
+    /// trust broken structures enough to walk them, so their pages leak
+    /// until the file is rebuilt (`fsck` stays the judge of what else is
+    /// damaged). Allowed in salvage mode; reopen the store afterwards to
+    /// clear read-only and rebuild the in-memory indexes.
+    pub fn salvage_rebuild_catalog(&self) -> Result<usize> {
+        let _g = self.sync.write();
+        let mut metas: std::collections::HashMap<DocId, (RecordId, DocMeta)> =
+            std::collections::HashMap::new();
+        for (rid, payload) in crate::heap::salvage_scan(&self.pool) {
+            let Ok(meta) = DocMeta::decode(&payload) else {
+                continue;
+            };
+            // One live metadata record per document is the invariant;
+            // if corruption broke it, keep the longest history.
+            match metas.entry(meta.doc) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert((rid, meta));
+                }
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    if meta.entries.len() > o.get().1.entries.len() {
+                        o.insert((rid, meta));
+                    }
+                }
+            }
+        }
+        let pager = self.pool.pager();
+        pager.set_root(roots::CATALOG, crate::pager::PageId::NULL);
+        pager.set_root(roots::DOCS, crate::pager::PageId::NULL);
+        // BTree handles are stateless (pool + root slot); re-opening with
+        // a NULL slot plants a fresh empty root that `self.catalog` /
+        // `self.docs` pick up on their next operation.
+        let catalog = BTree::open(self.pool.clone(), roots::CATALOG)?;
+        let docs = BTree::open(self.pool.clone(), roots::DOCS)?;
+        let mut max_id = 0u64;
+        for (doc, (rid, meta)) in &metas {
+            catalog.insert(meta.name.as_bytes(), &doc.0.to_be_bytes())?;
+            docs.insert(&doc.0.to_be_bytes(), &rid.to_bytes())?;
+            max_id = max_id.max(doc.0 as u64);
+        }
+        // NEXT_DOC holds the last id handed out; never let it fall below
+        // a salvaged id (ids must stay unique across the rebuild).
+        let next = pager.root(roots::NEXT_DOC).0.max(max_id);
+        pager.set_root(roots::NEXT_DOC, crate::pager::PageId(next));
+        self.meta_cache.lock().clear();
+        self.vcache.clear();
+        self.pool.flush_all()?;
+        Ok(metas.len())
     }
 }
 

@@ -17,10 +17,14 @@
 //!   through any handle observe it immediately;
 //! * `sync` promotes the shadow image to the *durable* image — only
 //!   durable bytes are guaranteed to survive a crash;
-//! * a **crash** replays the pending (unsynced) writes of each file
-//!   against its durable image, but only a prefix of them, and the last
-//!   surviving write may itself be **torn** (a partial image, cut at a
-//!   4 KiB boundary for large writes). Everything after the cut is lost.
+//! * a **crash** replays the pending (unsynced) writes — a single queue
+//!   across *all* files, in issue order but with seeded cross-file
+//!   reordering (a write cache may retire writes to different files out
+//!   of order; per-file order is preserved) — against the durable
+//!   images, but only a prefix of the queue survives, and the last
+//!   surviving write may itself be **torn**: cut either at a 4 KiB
+//!   sector boundary or at an arbitrary byte offset inside a sector
+//!   (power loss mid-sector). Everything after the cut is lost.
 //!
 //! On top of the crash model, the seeded schedule can inject transient
 //! EIO (the next retry succeeds — the pager and WAL wrap their I/O in
@@ -160,13 +164,17 @@ struct FileState {
     durable: Vec<u8>,
     /// What reads observe (durable + all unsynced writes).
     shadow: Vec<u8>,
-    /// Unsynced operations, in order, for crash replay.
-    pending: Vec<PendingOp>,
+    /// Unsynced operations tagged with their global issue sequence, for
+    /// crash replay across files.
+    pending: Vec<(u64, PendingOp)>,
 }
 
 struct FaultState {
     rng: u64,
     ops: u64,
+    /// Global issue-order stamp for pending ops (crash replay interleaves
+    /// the per-file queues by this).
+    seq: u64,
     /// Crash once `ops` reaches this value.
     crash_at: Option<u64>,
     /// Every k-th op fails with a transient EIO.
@@ -190,44 +198,67 @@ impl FaultState {
         z ^ (z >> 31)
     }
 
-    /// Applies the crash model: per file, replay a prefix of the pending
-    /// ops over the durable image; the cut point and tearing of the last
-    /// surviving write are seeded decisions. Invalidates all handles.
+    /// Applies the crash model: the pending (unsynced) ops of *all*
+    /// files form one queue in global issue order; seeded adjacent
+    /// transpositions reorder ops of different files against each other
+    /// (per-file order is what the cache guarantees and is preserved);
+    /// then a prefix of the queue survives, the last surviving write
+    /// possibly torn — cut at a sector boundary or at an arbitrary byte
+    /// offset inside a sector. Invalidates all handles.
     fn crash(&mut self) {
         let mut paths: Vec<PathBuf> = self.files.keys().cloned().collect();
         paths.sort(); // deterministic order regardless of hash state
-        for path in paths {
-            let n_pending = self.files[&path].pending.len();
-            let decisions: Vec<u64> = (0..n_pending).map(|_| self.next_rand()).collect();
-            let file = self.files.get_mut(&path).expect("file exists");
-            let mut image = file.durable.clone();
-            for (op, roll) in file.pending.iter().zip(decisions) {
-                match roll % 4 {
-                    // Lost: this op and everything after it never hit
-                    // the platter.
-                    0 => break,
-                    // Torn: a prefix of this write survives, nothing
-                    // after it does.
-                    1 => {
-                        if let PendingOp::Write { offset, data } = op {
-                            let cut = if data.len() > TORN_UNIT {
-                                // Cut at a sector boundary strictly
-                                // inside the write.
-                                let units = data.len().div_ceil(TORN_UNIT);
-                                (1 + (roll >> 2) as usize % (units - 1)) * TORN_UNIT
-                            } else if data.is_empty() {
-                                0
-                            } else {
-                                (roll >> 2) as usize % data.len()
-                            };
-                            apply_write(&mut image, *offset, &data[..cut.min(data.len())]);
-                        }
-                        break;
-                    }
-                    // Survived intact.
-                    _ => apply_pending(&mut image, op),
+        let mut queue: Vec<(u64, PathBuf, PendingOp)> = Vec::new();
+        for path in &paths {
+            for (seq, op) in &self.files[path].pending {
+                queue.push((*seq, path.clone(), op.clone()));
+            }
+        }
+        queue.sort_by_key(|(seq, ..)| *seq);
+        // Cross-file reordering: two passes of seeded adjacent swaps,
+        // never between two ops on the same file.
+        for _ in 0..2 {
+            for i in 1..queue.len() {
+                if queue[i - 1].1 != queue[i].1 && self.next_rand() % 2 == 1 {
+                    queue.swap(i - 1, i);
                 }
             }
+        }
+        let mut images: HashMap<PathBuf, Vec<u8>> =
+            self.files.iter().map(|(p, f)| (p.clone(), f.durable.clone())).collect();
+        let decisions: Vec<u64> = (0..queue.len()).map(|_| self.next_rand()).collect();
+        for ((_, path, op), roll) in queue.iter().zip(decisions) {
+            let image = images.get_mut(path).expect("file exists");
+            match roll % 4 {
+                // Lost: this op and everything after it in the (reordered)
+                // queue never hit the platter.
+                0 => break,
+                // Torn: a prefix of this write survives, nothing after it
+                // does.
+                1 => {
+                    if let PendingOp::Write { offset, data } = op {
+                        let cut = if data.is_empty() {
+                            0
+                        } else if data.len() > TORN_UNIT && (roll >> 2) % 2 == 0 {
+                            // Cut at a sector boundary strictly inside
+                            // the write (the classic multi-sector tear).
+                            let units = data.len().div_ceil(TORN_UNIT);
+                            (1 + (roll >> 3) as usize % (units - 1)) * TORN_UNIT
+                        } else {
+                            // Arbitrary byte offset: power loss
+                            // mid-sector leaves a partial sector.
+                            (roll >> 3) as usize % data.len()
+                        };
+                        apply_write(image, *offset, &data[..cut.min(data.len())]);
+                    }
+                    break;
+                }
+                // Survived intact.
+                _ => apply_pending(image, op),
+            }
+        }
+        for (path, image) in images {
+            let file = self.files.get_mut(&path).expect("file exists");
             file.durable = image;
             file.shadow = file.durable.clone();
             file.pending.clear();
@@ -284,6 +315,7 @@ impl FaultyVfs {
             state: Arc::new(Mutex::new(FaultState {
                 rng: seed ^ 0xD1B5_4A32_D192_ED03,
                 ops: 0,
+                seq: 0,
                 crash_at: None,
                 eio_every: None,
                 disk_budget: None,
@@ -443,19 +475,23 @@ impl VfsFile for FaultyFile {
     fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
         let mut s = self.state.lock();
         Self::begin_op(&mut s, self.generation, &OpKind::Write { bytes: data.len() as u64 })?;
+        s.seq += 1;
+        let seq = s.seq;
         let f = s.files.get_mut(&self.path).expect("opened file exists");
         apply_write(&mut f.shadow, offset, data);
-        f.pending.push(PendingOp::Write { offset, data: data.to_vec() });
+        f.pending.push((seq, PendingOp::Write { offset, data: data.to_vec() }));
         Ok(())
     }
 
     fn append(&mut self, data: &[u8]) -> io::Result<()> {
         let mut s = self.state.lock();
         Self::begin_op(&mut s, self.generation, &OpKind::Write { bytes: data.len() as u64 })?;
+        s.seq += 1;
+        let seq = s.seq;
         let f = s.files.get_mut(&self.path).expect("opened file exists");
         let offset = f.shadow.len() as u64;
         apply_write(&mut f.shadow, offset, data);
-        f.pending.push(PendingOp::Write { offset, data: data.to_vec() });
+        f.pending.push((seq, PendingOp::Write { offset, data: data.to_vec() }));
         Ok(())
     }
 
@@ -468,9 +504,11 @@ impl VfsFile for FaultyFile {
     fn set_len(&mut self, len: u64) -> io::Result<()> {
         let mut s = self.state.lock();
         Self::begin_op(&mut s, self.generation, &OpKind::Write { bytes: 0 })?;
+        s.seq += 1;
+        let seq = s.seq;
         let f = s.files.get_mut(&self.path).expect("opened file exists");
         f.shadow.resize(len as usize, 0);
-        f.pending.push(PendingOp::SetLen(len));
+        f.pending.push((seq, PendingOp::SetLen(len)));
         Ok(())
     }
 
@@ -525,27 +563,62 @@ mod tests {
     }
 
     #[test]
-    fn torn_large_write_cut_at_sector() {
-        // With enough seeds, some crash leaves a strict 4 KiB-multiple
-        // prefix of an unsynced 12 KiB write.
-        let mut saw_torn = false;
-        for seed in 0..64u64 {
+    fn torn_large_write_cut_at_sector_or_mid_sector() {
+        // Across enough seeds, a crashed unsynced 12 KiB write is seen
+        // cut both at a 4 KiB sector boundary (the classic multi-sector
+        // tear) and at an arbitrary byte offset inside a sector (power
+        // loss mid-sector). Never more than what was written survives.
+        let (mut saw_sector_cut, mut saw_sub_sector_cut) = (false, false);
+        for seed in 0..256u64 {
             let vfs = FaultyVfs::new(seed);
             let mut f = vfs.open(&p("/a")).unwrap();
             f.write_at(0, &vec![0xABu8; 3 * TORN_UNIT]).unwrap();
             vfs.crash_now();
             let n = vfs.durable_len(&p("/a"));
-            assert!(
-                n == 0
-                    || n == TORN_UNIT as u64
-                    || n == 2 * TORN_UNIT as u64
-                    || n == 3 * TORN_UNIT as u64
-            );
-            if n == TORN_UNIT as u64 || n == 2 * TORN_UNIT as u64 {
-                saw_torn = true;
+            assert!(n <= 3 * TORN_UNIT as u64);
+            if n > 0 && n < 3 * TORN_UNIT as u64 {
+                if n.is_multiple_of(TORN_UNIT as u64) {
+                    saw_sector_cut = true;
+                } else {
+                    saw_sub_sector_cut = true;
+                }
             }
         }
-        assert!(saw_torn, "torn writes occur across seeds");
+        assert!(saw_sector_cut, "sector-boundary tears occur across seeds");
+        assert!(saw_sub_sector_cut, "mid-sector tears occur across seeds");
+    }
+
+    #[test]
+    fn crash_reorders_unsynced_writes_across_files() {
+        // The write to /b is issued *after* the write to /a; a cache that
+        // retires out of order can persist /b while losing /a. Per-file
+        // order must hold: /a's second write never survives without its
+        // first.
+        let mut saw_reorder = false;
+        for seed in 0..256u64 {
+            let vfs = FaultyVfs::new(seed);
+            let mut fa = vfs.open(&p("/a")).unwrap();
+            let mut fb = vfs.open(&p("/b")).unwrap();
+            fa.write_at(0, b"a1").unwrap();
+            fb.write_at(0, b"b1").unwrap();
+            fa.write_at(2, b"a2").unwrap();
+            vfs.crash_now();
+            let a = vfs.durable_len(&p("/a"));
+            let b = vfs.durable_len(&p("/b"));
+            if b == 2 && a == 0 {
+                saw_reorder = true; // /b survived though issued later
+            }
+            assert!(
+                !(a == 4 && {
+                    let mut f = vfs.open(&p("/a")).unwrap();
+                    let mut buf = [0u8; 2];
+                    f.read_at(0, &mut buf).unwrap();
+                    &buf != b"a1"
+                }),
+                "per-file order violated (seed {seed})"
+            );
+        }
+        assert!(saw_reorder, "cross-file reordering occurs across seeds");
     }
 
     #[test]

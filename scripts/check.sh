@@ -52,6 +52,31 @@ assert 'counters' in d and 'histograms' in d, d.keys()" "$out"
 }
 run_phase "txdb metrics --json smoke" metrics_smoke
 
+# Crash robustness: the seeded checkpoint-interior sweep proves a crash at
+# any file-system operation inside a checkpoint flush recovers the exact
+# committed history, and a fault-injected open (torn WAL tail + unsealed
+# journal residue) must expose the journal-replay counter in the metrics.
+crash_sweep() {
+    cargo test -q --offline --test crashpoints checkpoint_interior
+    local dir out
+    dir=$(mktemp -d)
+    echo '<g><r><n>Napoli</n></r></g>' > "$dir/v.xml"
+    cargo run -q --offline -p txdb-cli -- \
+        --db "$dir/db" put guide "$dir/v.xml" --at 01/01/2001 > /dev/null
+    printf 'torn-journal-residue' > "$dir/db/journal.db"
+    printf '\xde\xad\xbe' >> "$dir/db/wal.log"
+    out="$dir/metrics.json"
+    cargo run -q --offline -p txdb-cli -- --db "$dir/db" metrics --json > "$out"
+    if command -v python3 > /dev/null 2>&1; then
+        python3 -c "import json,sys; d=json.load(open(sys.argv[1])); \
+assert 'recovery.journal_replays' in d['counters'], sorted(d['counters'])" "$out"
+    else
+        grep -q '"recovery.journal_replays"' "$out"
+    fi
+    rm -rf "$dir"
+}
+run_phase "crash sweep + journal metrics" crash_sweep
+
 echo "== OK =="
 for i in "${!PHASES[@]}"; do
     printf '  %-38s %ss\n' "${PHASES[$i]}" "${TIMES[$i]}"

@@ -311,6 +311,93 @@ fn crash_mid_checkpoint_never_loses_synced_wal() {
     assert!(verified > 0, "no mid-checkpoint crash recovered cleanly");
 }
 
+fn prefix_put(db: &Database, model: &mut Model, name: &'static str, xml: String, t: u64) {
+    db.put(name, &xml, ts(t)).unwrap();
+    model.entry(name).or_default().push(ModelVersion { ts: t, content: Some(xml) });
+}
+
+/// The state every checkpoint-interior attempt rebuilds: interleaved puts,
+/// one completed checkpoint (so the probed one runs against a non-zero
+/// generation fence), a delete and an overflow-sized document.
+fn build_checkpoint_state(db: &Database) -> Model {
+    let mut model = Model::new();
+    prefix_put(db, &mut model, "alpha", "<a><w>one</w></a>".into(), 1);
+    prefix_put(db, &mut model, "alpha", "<a><w>two</w></a>".into(), 2);
+    prefix_put(db, &mut model, "beta", "<b><w>born</w></b>".into(), 3);
+    db.checkpoint().unwrap();
+    let bulk = format!("<g><w>bulk</w><v>{}</v></g>", "x".repeat(9000));
+    prefix_put(db, &mut model, "gamma", bulk, 4);
+    db.delete("beta", ts(5)).unwrap();
+    model.entry("beta").or_default().push(ModelVersion { ts: 5, content: None });
+    prefix_put(db, &mut model, "alpha", "<a><w>three</w></a>".into(), 6);
+    model
+}
+
+/// Checkpoint-interior strictness: no operation is in flight during a
+/// checkpoint, so the reopened store must hold *exactly* the committed
+/// versions — not one more, not one fewer.
+fn verify_exact(db: &Database, model: &Model, point: u64) {
+    verify_committed(db, model);
+    for (name, versions) in model {
+        let doc = db.store().doc_id(name).unwrap().unwrap();
+        let got = db.store().versions(doc).unwrap().len();
+        assert_eq!(got, versions.len(), "crash point {point}: {name} version count");
+    }
+}
+
+#[test]
+fn checkpoint_interior_sweep_loses_nothing() {
+    // With the double-write journal, a crash at *any* file-system
+    // operation inside a checkpoint flush — including sub-page tears and
+    // cross-file reordering of the unsynced tail — must recover to the
+    // exact committed history: outcome 1, never salvage, never detected
+    // loss. Measure the checkpoint's op count fault-free first (the
+    // fault rng is consumed only at crash time, so the count does not
+    // depend on the seed), then crash after every interior op.
+    let probe_vfs = FaultyVfs::new(1);
+    let probe_dir = tmpdir("ckint-probe");
+    let db = Database::open(db_opts(&probe_vfs, &probe_dir)).unwrap();
+    build_checkpoint_state(&db);
+    let before = probe_vfs.ops();
+    db.checkpoint().unwrap();
+    let n_ops = probe_vfs.ops() - before;
+    drop(db);
+    assert!(n_ops >= 10, "checkpoint too small to sweep ({n_ops} ops)");
+
+    let mut journal_replays = 0u64;
+    for seed in [0xA11C_E5EEu64, 0x0DD5_EED5] {
+        for k in 1..=n_ops {
+            let vfs = FaultyVfs::new(seed.wrapping_add(k.wrapping_mul(0x9E37_79B9)));
+            let dir = tmpdir("ckint");
+            let opts = db_opts(&vfs, &dir);
+            let db = Database::open(opts.clone()).unwrap();
+            let expect = build_checkpoint_state(&db);
+            vfs.crash_after_ops(k);
+            assert!(db.checkpoint().is_err(), "crash point {k}: checkpoint survived its crash");
+            assert_eq!(vfs.crash_count(), 1, "crash point {k} did not fire");
+            drop(db);
+            vfs.clear_faults();
+
+            let db = Database::open(opts)
+                .unwrap_or_else(|e| panic!("crash point {k} seed {seed:#x}: reopen failed: {e}"));
+            let report = db.recovery_report();
+            assert!(
+                report.salvage.is_none(),
+                "crash point {k} seed {seed:#x}: degraded to salvage: {:?}",
+                report.salvage
+            );
+            let fsck = db.store().fsck();
+            assert!(fsck.is_clean(), "crash point {k} seed {seed:#x}: fsck dirty:\n{fsck}");
+            verify_exact(&db, &expect, k);
+            let snap = db.metrics().snapshot();
+            journal_replays += snap.counter("recovery.journal_replays").unwrap_or(0);
+        }
+    }
+    // Crash points inside the home-page flush leave a sealed journal
+    // behind: the sweep must actually exercise its replay path.
+    assert!(journal_replays > 0, "sweep never replayed a checkpoint journal");
+}
+
 #[test]
 fn byte_flip_in_store_file_surfaces_as_corruption() {
     // End-to-end version of the pager unit test: flip one byte in the

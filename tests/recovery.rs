@@ -171,6 +171,143 @@ fn vacuum_is_wal_logged_and_survives_crash() {
 }
 
 #[test]
+fn sealed_journal_replays_before_anything_else_on_open() {
+    use temporal_xml::storage::repo::roots;
+    use temporal_xml::storage::{journal, Pager, RealVfs, Vfs, PAGE_SIZE, PHYS_PAGE_SIZE};
+    let dir = tmpdir("journal-sealed");
+    {
+        let db = opts(&dir).open().unwrap();
+        db.put("a", "<x><w>alpha</w></x>", ts(1)).unwrap();
+        db.put("a", "<x><w>beta</w></x>", ts(2)).unwrap();
+        db.close().unwrap();
+    }
+    let data = dir.join("data.db");
+    // Reconstruct the crash window between journal seal and home flush:
+    // capture page 1's committed logical image into a sealed journal
+    // stamped with the *next* generation, then tear the home copy.
+    let bytes = std::fs::read(&data).unwrap();
+    let image = &bytes[PHYS_PAGE_SIZE..PHYS_PAGE_SIZE + PAGE_SIZE];
+    let generation = Pager::open(&data).unwrap().root(roots::CKPT_GEN).0;
+    {
+        let mut j = RealVfs.open(&journal::journal_path(&dir)).unwrap();
+        journal::write_batch(j.as_mut(), generation + 1, &[(1, image)]).unwrap();
+    }
+    {
+        use std::io::{Seek, SeekFrom, Write};
+        let mut f = std::fs::OpenOptions::new().write(true).open(&data).unwrap();
+        f.seek(SeekFrom::Start(PHYS_PAGE_SIZE as u64 + 777)).unwrap();
+        f.write_all(&[0xAB; 64]).unwrap();
+    }
+    let db = opts(&dir).open().unwrap();
+    let report = db.recovery_report();
+    assert!(report.journal_state.contains("sealed"), "state: {}", report.journal_state);
+    assert_eq!(report.journal_replayed_pages, 1);
+    assert!(!report.journal_fenced);
+    assert!(report.salvage.is_none(), "replay must repair the tear: {:?}", report.salvage);
+    let snap = db.metrics().snapshot();
+    assert_eq!(snap.counter("recovery.journal_replays"), Some(1));
+    // The torn page came back byte-exact: both versions reconstruct.
+    let a = db.store().doc_id("a").unwrap().unwrap();
+    assert_eq!(
+        temporal_xml::xml::to_string(&db.store().version_tree(a, VersionId(0)).unwrap()),
+        "<x><w>alpha</w></x>"
+    );
+    assert_eq!(
+        temporal_xml::xml::to_string(&db.store().current_tree(a).unwrap()),
+        "<x><w>beta</w></x>"
+    );
+    let r = db.store().fsck();
+    assert!(r.is_clean(), "{r}");
+    assert_eq!(r.journal, "absent", "replayed journal was retired");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn stale_journal_is_reported_never_replayed_and_retirable() {
+    let dir = tmpdir("journal-stale");
+    {
+        let db = opts(&dir).open().unwrap();
+        db.put("a", "<x><w>alpha</w></x>", ts(1)).unwrap();
+        db.close().unwrap();
+    }
+    // A torn journal write (crash before the seal reached disk) leaves
+    // unsealed residue. It must never be applied to the data file.
+    let before = std::fs::read(dir.join("data.db")).unwrap();
+    std::fs::write(dir.join("journal.db"), vec![0x5A; 1000]).unwrap();
+    let db = opts(&dir).open().unwrap();
+    let report = db.recovery_report();
+    assert!(report.journal_state.contains("stale"), "state: {}", report.journal_state);
+    assert_eq!(report.journal_replayed_pages, 0);
+    let snap = db.metrics().snapshot();
+    assert_eq!(snap.counter("recovery.journal_replays"), Some(0), "registered but untouched");
+    assert_eq!(std::fs::read(dir.join("data.db")).unwrap(), before, "data untouched");
+    // fsck names the residue without flagging corruption; retiring it
+    // (fsck --repair-tail in the CLI) clears the report.
+    let r = db.store().fsck();
+    assert!(r.is_clean(), "{r}");
+    assert!(r.journal.contains("stale"), "journal: {}", r.journal);
+    assert!(db.store().retire_journal().unwrap());
+    let r = db.store().fsck();
+    assert_eq!(r.journal, "absent");
+    assert!(!db.store().retire_journal().unwrap(), "second retire is a no-op");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn salvage_rebuilds_catalog_from_surviving_heap_pages() {
+    use temporal_xml::storage::repo::roots;
+    use temporal_xml::storage::{DocumentStore, Pager, PHYS_PAGE_SIZE};
+    use temporal_xml::StoreOptions;
+    let dir = tmpdir("salvage-cat");
+    let sopts = StoreOptions { path: Some(dir.clone()), ..Default::default() };
+    {
+        let (store, _) = DocumentStore::open(sopts.clone()).unwrap();
+        store.put("one", "<a><w>uno</w></a>", ts(1)).unwrap();
+        store.put("two", "<b><w>dos</w></b>", ts(2)).unwrap();
+        store.put("two", "<b><w>tres</w></b>", ts(3)).unwrap();
+        store.checkpoint().unwrap();
+    }
+    // Destroy the doc-catalog btree root. The metadata records live in
+    // the heap and identify themselves, so the catalog is rebuildable.
+    let docs_root = Pager::open(&dir.join("data.db")).unwrap().root(roots::DOCS);
+    assert!(!docs_root.is_null());
+    {
+        use std::io::{Seek, SeekFrom, Write};
+        let mut f = std::fs::OpenOptions::new().write(true).open(dir.join("data.db")).unwrap();
+        f.seek(SeekFrom::Start(docs_root.0 * PHYS_PAGE_SIZE as u64 + 40)).unwrap();
+        f.write_all(&[0xFF; 8]).unwrap();
+    }
+    let (store, _) = DocumentStore::open(sopts.clone()).unwrap();
+    let r = store.fsck();
+    assert!(!r.is_clean(), "the smashed root must show up");
+    assert!(r.salvageable_docs >= 2, "fsck counts rebuildable docs:\n{r}");
+    assert!(store.doc_id("two").is_err(), "metadata unreachable before the rebuild");
+    let rebuilt = store.salvage_rebuild_catalog().unwrap();
+    assert!(rebuilt >= 2, "both documents salvaged, got {rebuilt}");
+    // Readable again on the live handle...
+    let one = store.doc_id("one").unwrap().unwrap();
+    assert_eq!(
+        temporal_xml::xml::to_string(&store.current_tree(one).unwrap()),
+        "<a><w>uno</w></a>"
+    );
+    drop(store);
+    // ...and durably: a fresh open finds the full catalog and chains.
+    let (store, report) = DocumentStore::open(sopts).unwrap();
+    assert!(report.salvage.is_none(), "{:?}", report.salvage);
+    let two = store.doc_id("two").unwrap().unwrap();
+    assert_eq!(store.versions(two).unwrap().len(), 2);
+    assert_eq!(
+        temporal_xml::xml::to_string(&store.current_tree(two).unwrap()),
+        "<b><w>tres</w></b>"
+    );
+    // New writes pick up past the highest salvaged doc id.
+    store.put("three", "<c><w>new</w></c>", ts(4)).unwrap();
+    let three = store.doc_id("three").unwrap().unwrap();
+    assert!(three != one && three != two, "doc-id allocator restored");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn rejected_writes_never_poison_the_wal() {
     // Regression: a non-monotonic put used to be WAL-logged before
     // validation, wedging every subsequent open on replay.
