@@ -1,0 +1,119 @@
+//! Streaming-executor benchmark: `LIMIT 1` early exit vs full
+//! materialisation over a multi-thousand-version corpus.
+//!
+//! Builds an in-memory TDocGen database with thousands of document
+//! versions, then times the same `[EVERY]` pattern query two ways:
+//! **full** drains `db.query(q).run()` — every version expanded,
+//! projected and reconstructed — while **limit1** pulls a single row
+//! through `db.query(q).limit(1).stream()`, which early-exits the FTI
+//! posting cursors after the first match chains through. The streamed
+//! full drain also reports its buffered-row high-water mark (the
+//! `exec.peak_rows_buffered` gauge): peak memory stays bounded by
+//! candidate skeletons plus cached trees, well below the result size.
+//! Results go to `BENCH_exec.json` in the current directory.
+//!
+//! ```sh
+//! cargo run --release -p txdb-bench --bin exec_bench
+//! ```
+//!
+//! Set `EXEC_BENCH_QUICK=1` for a small corpus (CI smoke).
+
+use std::time::Instant;
+
+use txdb_bench::step_ts;
+use txdb_core::Database;
+use txdb_query::QueryExt;
+use txdb_wgen::tdocgen::{DocGen, DocGenConfig};
+
+const SEED: u64 = 42;
+const ROUNDS: usize = 3;
+
+fn main() {
+    let quick = std::env::var("EXEC_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let (docs, versions) = if quick { (2, 40u64) } else { (3, 500u64) };
+    println!("== exec_bench: LIMIT 1 early exit vs full materialisation ==");
+    println!("   corpus: {docs} docs x {} versions", versions + 1);
+
+    let db = Database::in_memory();
+    for d in 0..docs {
+        let mut gen = DocGen::new(
+            DocGenConfig { items: 24, changes_per_version: 3, ..Default::default() },
+            SEED + d as u64,
+        );
+        let url = format!("bench{d}.example.org/doc");
+        db.put(&url, &gen.xml(), step_ts(0)).expect("put");
+        for i in 1..=versions {
+            db.put(&url, &gen.step(), step_ts(i)).expect("put");
+        }
+    }
+    let probe = step_ts(versions + 10);
+    let q = r#"SELECT TIME(R) FROM doc("*")[EVERY]//item R"#;
+
+    // Full materialisation: every version row is expanded, projected
+    // (reconstructing its document version) and collected.
+    let mut rows_output = 0usize;
+    let full_start = Instant::now();
+    for _ in 0..ROUNDS {
+        let r = db.query(q).at(probe).run().expect("run");
+        rows_output = r.len();
+        std::hint::black_box(&r);
+    }
+    let full_us = full_start.elapsed().as_secs_f64() * 1e6;
+
+    // LIMIT 1 streamed: the operator tree stops pulling the scan after
+    // the first match — same first row, a fraction of the work.
+    let first_full = db.query(q).at(probe).run().expect("run").rows.remove(0);
+    let mut limit_rows_scanned = 0usize;
+    let mut limit_recon = 0usize;
+    let limit_start = Instant::now();
+    for _ in 0..ROUNDS {
+        let mut stream = db.query(q).at(probe).limit(1).stream().expect("stream");
+        let row = stream.next().expect("one row").expect("ok");
+        assert!(stream.next().is_none(), "limit 1 yields exactly one row");
+        assert_eq!(row, first_full, "limit-1 stream diverges from full run");
+        let s = stream.stats();
+        limit_rows_scanned = s.rows_scanned;
+        limit_recon = s.reconstructions;
+    }
+    let limit_us = limit_start.elapsed().as_secs_f64() * 1e6;
+
+    // One streamed full drain, for the bounded-memory figure.
+    let mut stream = db.query(q).at(probe).stream().expect("stream");
+    let streamed: usize = (&mut stream).map(|r| r.map(|_| 1usize).expect("row")).sum();
+    assert_eq!(streamed, rows_output, "stream and run disagree on row count");
+    let peak = stream.peak_rows_buffered();
+    drop(stream);
+    let gauge = db
+        .metrics()
+        .snapshot()
+        .gauge("exec.peak_rows_buffered")
+        .expect("exec.peak_rows_buffered gauge");
+    assert_eq!(gauge as usize, peak, "gauge must report the stream's peak");
+
+    let speedup = full_us / limit_us.max(0.001);
+    println!("  full:   {:.0} µs/run, {rows_output} rows", full_us / ROUNDS as f64);
+    println!(
+        "  limit1: {:.0} µs/run, {limit_rows_scanned} rows scanned, {limit_recon} reconstructions",
+        limit_us / ROUNDS as f64
+    );
+    println!("  speedup: {speedup:.1}x; peak rows buffered: {peak} (result: {rows_output})");
+    if !quick && speedup < 5.0 {
+        println!("  WARNING: LIMIT 1 early exit below the 5x target");
+    }
+
+    let generated_at = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let engine = db.metrics().snapshot().to_json();
+    let json = format!(
+        "{{\n  \"generated_at\": {generated_at},\n  \"seed\": {SEED},\n  \"workload\": {{\n    \"generator\": \"tdocgen\",\n    \"docs\": {docs},\n    \"versions_per_doc\": {},\n    \"items\": 24,\n    \"rounds\": {ROUNDS},\n    \"query\": \"{}\"\n  }},\n  \"full\": {{\n    \"total_us\": {full_us:.1},\n    \"per_run_us\": {:.1},\n    \"rows\": {rows_output}\n  }},\n  \"limit1\": {{\n    \"total_us\": {limit_us:.1},\n    \"per_run_us\": {:.1},\n    \"rows_scanned\": {limit_rows_scanned},\n    \"reconstructions\": {limit_recon}\n  }},\n  \"speedup\": {speedup:.2},\n  \"peak_rows_buffered\": {peak},\n  \"engine_metrics\": {}\n}}\n",
+        versions + 1,
+        q.replace('"', "\\\""),
+        full_us / ROUNDS as f64,
+        limit_us / ROUNDS as f64,
+        engine.trim_end(),
+    );
+    std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
+    println!("  wrote BENCH_exec.json");
+}

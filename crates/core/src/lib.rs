@@ -29,4 +29,4 @@ pub mod db;
 pub mod ops;
 
 pub use db::{Database, DbOptions};
-pub use ops::pattern::{Match, ScanStats};
+pub use ops::pattern::{Match, MatchCursor, ScanStats};

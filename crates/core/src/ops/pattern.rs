@@ -220,6 +220,36 @@ impl Database {
         self.scan(docs, pattern, Mode::All(interval))
     }
 
+    /// Streaming [`Database::pattern_scan`]: a [`MatchCursor`] that pulls
+    /// one match at a time instead of materializing the result set.
+    pub fn pattern_cursor(
+        &self,
+        docs: Option<DocId>,
+        pattern: &PatternTree,
+    ) -> Result<MatchCursor<'_>> {
+        MatchCursor::new(self, docs, pattern, Mode::Current)
+    }
+
+    /// Streaming [`Database::tpattern_scan`].
+    pub fn tpattern_cursor(
+        &self,
+        docs: Option<DocId>,
+        pattern: &PatternTree,
+        t: Timestamp,
+    ) -> Result<MatchCursor<'_>> {
+        MatchCursor::new(self, docs, pattern, Mode::At(t))
+    }
+
+    /// Streaming [`Database::tpattern_scan_all_between`].
+    pub fn tpattern_cursor_all_between(
+        &self,
+        docs: Option<DocId>,
+        pattern: &PatternTree,
+        interval: txdb_base::Interval,
+    ) -> Result<MatchCursor<'_>> {
+        MatchCursor::new(self, docs, pattern, Mode::All(interval))
+    }
+
     fn scan(
         &self,
         docs: Option<DocId>,
@@ -229,110 +259,10 @@ impl Database {
         let flat = FlatPattern::new(pattern);
         let mut stats = ScanStats::default();
 
-        // Per-document version resolution for the snapshot mode is cached
-        // across all lookups of this scan, as is the decoded delta index.
-        let mut version_cache: HashMap<DocId, Option<VersionId>> = HashMap::new();
-        let mut resolve = |db: &Database, doc: DocId, t: Timestamp| -> Option<VersionId> {
-            *version_cache
-                .entry(doc)
-                .or_insert_with(|| db.store().version_at(doc, t).unwrap_or(None))
-        };
-
-        // Step 1: per-node candidates = same-element intersection of the
-        // node's token posting lists. Nodes are processed most-selective
-        // first (shortest posting list), and each processed node restricts
-        // the documents later lookups touch — the join is per-document, so
-        // documents absent from any node's candidates can never match.
         let fti = self.indexes().fti();
-        for i in 0..flat.nodes.len() {
-            if flat.tokens(i).is_empty() {
-                return Err(Error::Unsupported(
-                    "index pattern scan requires a tag or word on every pattern node".into(),
-                ));
-            }
-        }
-        let mut order: Vec<usize> = (0..flat.nodes.len()).collect();
-        order.sort_by_key(|&i| {
-            flat.tokens(i).iter().map(|(t, _)| fti.list_len(t)).min().unwrap_or(usize::MAX)
-        });
-        let mut allowed: Option<std::collections::HashSet<DocId>> =
-            docs.map(|d| std::collections::HashSet::from([d]));
-        let mut cands: Vec<HashMap<DocId, Vec<Cand<'_>>>> =
-            (0..flat.nodes.len()).map(|_| HashMap::new()).collect();
-        for &i in &order {
-            // Within the node, start from the rarest token too.
-            let mut tokens = flat.tokens(i);
-            tokens.sort_by_key(|(t, _)| fti.list_len(t));
-            let mut per_elem: HashMap<(DocId, Xid), Vec<Cand<'_>>> = HashMap::new();
-            for (tok_idx, (tok, kind)) in tokens.iter().enumerate() {
-                stats.fti_lookups += 1;
-                let postings: Vec<&Posting> = match &mode {
-                    Mode::Current => fti.lookup_scoped(tok, *kind, allowed.as_ref()),
-                    Mode::At(t) => fti.lookup_t_scoped(tok, *kind, allowed.as_ref(), |doc| {
-                        resolve(self, doc, *t)
-                    }),
-                    Mode::All(_) => fti.lookup_h_scoped(tok, *kind, allowed.as_ref()),
-                };
-                stats.postings += postings.len();
-                let require_root = flat.nodes[i].0.at_root;
-                if tok_idx == 0 {
-                    for p in postings {
-                        if require_root && p.path.len() != 1 {
-                            continue;
-                        }
-                        per_elem.entry((p.doc, p.xid)).or_default().push(Cand {
-                            xid: p.xid,
-                            path: &p.path,
-                            from: p.from_version,
-                            to: p.to_version,
-                        });
-                    }
-                } else {
-                    // Intersect ranges with the accumulated candidates.
-                    let mut next: HashMap<(DocId, Xid), Vec<Cand<'_>>> = HashMap::new();
-                    for p in postings {
-                        let Some(acc) = per_elem.get(&(p.doc, p.xid)) else { continue };
-                        for c in acc {
-                            let from = c.from.max(p.from_version);
-                            let to = c.to.min(p.to_version);
-                            if from < to {
-                                // Paths agree within an overlapping range
-                                // (both postings describe the same element
-                                // in the same versions).
-                                next.entry((p.doc, p.xid)).or_default().push(Cand {
-                                    xid: c.xid,
-                                    path: c.path,
-                                    from,
-                                    to,
-                                });
-                            }
-                        }
-                    }
-                    per_elem = next;
-                }
-                if per_elem.is_empty() {
-                    break;
-                }
-            }
-            let mut by_doc: HashMap<DocId, Vec<Cand>> = HashMap::new();
-            for ((doc, _), cs) in per_elem {
-                by_doc.entry(doc).or_default().extend(cs);
-            }
-            allowed = Some(by_doc.keys().copied().collect());
-            cands[i] = by_doc;
-            if allowed.as_ref().is_some_and(|a| a.is_empty()) {
-                break;
-            }
-        }
-
-        // Step 2: multiway structural (and temporal) join, per document.
-        let doc_set: Vec<DocId> = {
-            // Documents that have candidates for every pattern node.
-            let mut docs_iter = cands[0].keys().copied().collect::<Vec<_>>();
-            docs_iter.retain(|d| cands.iter().all(|m| m.contains_key(d)));
-            docs_iter.sort();
-            docs_iter
-        };
+        let mut set = collect_candidates(self, &fti, &flat, docs, mode, &mut stats)?;
+        let doc_set = set.doc_set();
+        let cands = std::mem::take(&mut set.cands);
 
         // Per-document join inputs are materialized up front (delta-index
         // rows, snapshot resolution) so the join itself shares nothing
@@ -341,7 +271,7 @@ impl Database {
         for doc in doc_set {
             let per_node: Vec<&[Cand<'_>]> = cands.iter().map(|m| m[&doc].as_slice()).collect();
             let resolved = match &mode {
-                Mode::At(t) => resolve(self, doc, *t),
+                Mode::At(t) => set.resolve(self, doc, *t),
                 _ => None,
             };
             jobs.push(DocJob { doc, per_node, entries: self.store().versions(doc)?, resolved });
@@ -412,6 +342,381 @@ impl Database {
         out.sort_by(|a, b| (a.doc, a.version, &a.nodes).cmp(&(b.doc, b.version, &b.nodes)));
         stats.matches = out.len();
         Ok((out, stats))
+    }
+}
+
+/// Step-1 output: per-pattern-node candidate elements grouped by document,
+/// plus the snapshot-version resolutions cached along the way.
+struct CandidateSet<'g> {
+    cands: Vec<HashMap<DocId, Vec<Cand<'g>>>>,
+    version_cache: HashMap<DocId, Option<VersionId>>,
+}
+
+impl<'g> CandidateSet<'g> {
+    /// Documents holding candidates for *every* pattern node, ascending.
+    fn doc_set(&self) -> Vec<DocId> {
+        let Some(first) = self.cands.first() else { return Vec::new() };
+        let mut docs: Vec<DocId> = first.keys().copied().collect();
+        docs.retain(|d| self.cands.iter().all(|m| m.contains_key(d)));
+        docs.sort();
+        docs
+    }
+
+    fn resolve(&mut self, db: &Database, doc: DocId, t: Timestamp) -> Option<VersionId> {
+        *self
+            .version_cache
+            .entry(doc)
+            .or_insert_with(|| db.store().version_at(doc, t).unwrap_or(None))
+    }
+}
+
+/// Step 1 of the scan algorithm: per-node candidates = same-element
+/// intersection of the node's token posting lists. Nodes are processed
+/// most-selective first (shortest posting list), and each processed node
+/// restricts the documents later lookups touch — the join is per-document,
+/// so documents absent from any node's candidates can never match.
+/// Postings are pulled lazily off the FTI cursors; the intersection never
+/// materializes a posting `Vec` per token.
+fn collect_candidates<'g>(
+    db: &Database,
+    fti: &'g txdb_index::FullTextIndex,
+    flat: &FlatPattern<'_>,
+    docs: Option<DocId>,
+    mode: Mode,
+    stats: &mut ScanStats,
+) -> Result<CandidateSet<'g>> {
+    for i in 0..flat.nodes.len() {
+        if flat.tokens(i).is_empty() {
+            return Err(Error::Unsupported(
+                "index pattern scan requires a tag or word on every pattern node".into(),
+            ));
+        }
+    }
+
+    // Per-document version resolution for the snapshot mode is cached
+    // across all lookups of this scan.
+    let mut version_cache: HashMap<DocId, Option<VersionId>> = HashMap::new();
+    let mut resolve = |doc: DocId, t: Timestamp| -> Option<VersionId> {
+        *version_cache.entry(doc).or_insert_with(|| db.store().version_at(doc, t).unwrap_or(None))
+    };
+
+    let mut order: Vec<usize> = (0..flat.nodes.len()).collect();
+    order.sort_by_key(|&i| {
+        flat.tokens(i).iter().map(|(t, _)| fti.list_len(t)).min().unwrap_or(usize::MAX)
+    });
+    let mut allowed: Option<std::collections::HashSet<DocId>> =
+        docs.map(|d| std::collections::HashSet::from([d]));
+    let mut cands: Vec<HashMap<DocId, Vec<Cand<'g>>>> =
+        (0..flat.nodes.len()).map(|_| HashMap::new()).collect();
+    for &i in &order {
+        // Within the node, start from the rarest token too.
+        let mut tokens = flat.tokens(i);
+        tokens.sort_by_key(|(t, _)| fti.list_len(t));
+        let mut per_elem: HashMap<(DocId, Xid), Vec<Cand<'g>>> = HashMap::new();
+        for (tok_idx, (tok, kind)) in tokens.iter().enumerate() {
+            stats.fti_lookups += 1;
+            let postings: Box<dyn Iterator<Item = &'g Posting> + '_> = match &mode {
+                Mode::Current => Box::new(fti.open_cursor(tok, *kind, allowed.as_ref())),
+                Mode::At(t) => Box::new(fti.snapshot_cursor(tok, *kind, allowed.as_ref(), {
+                    let resolve = &mut resolve;
+                    move |doc| resolve(doc, *t)
+                })),
+                Mode::All(_) => Box::new(fti.history_cursor(tok, *kind, allowed.as_ref())),
+            };
+            let require_root = flat.nodes[i].0.at_root;
+            if tok_idx == 0 {
+                for p in postings {
+                    stats.postings += 1;
+                    if require_root && p.path.len() != 1 {
+                        continue;
+                    }
+                    per_elem.entry((p.doc, p.xid)).or_default().push(Cand {
+                        xid: p.xid,
+                        path: &p.path,
+                        from: p.from_version,
+                        to: p.to_version,
+                    });
+                }
+            } else {
+                // Intersect ranges with the accumulated candidates.
+                let mut next: HashMap<(DocId, Xid), Vec<Cand<'g>>> = HashMap::new();
+                for p in postings {
+                    stats.postings += 1;
+                    let Some(acc) = per_elem.get(&(p.doc, p.xid)) else { continue };
+                    for c in acc {
+                        let from = c.from.max(p.from_version);
+                        let to = c.to.min(p.to_version);
+                        if from < to {
+                            // Paths agree within an overlapping range
+                            // (both postings describe the same element
+                            // in the same versions).
+                            next.entry((p.doc, p.xid)).or_default().push(Cand {
+                                xid: c.xid,
+                                path: c.path,
+                                from,
+                                to,
+                            });
+                        }
+                    }
+                }
+                per_elem = next;
+            }
+            if per_elem.is_empty() {
+                break;
+            }
+        }
+        let mut by_doc: HashMap<DocId, Vec<Cand<'g>>> = HashMap::new();
+        for ((doc, _), cs) in per_elem {
+            by_doc.entry(doc).or_default().extend(cs);
+        }
+        allowed = Some(by_doc.keys().copied().collect());
+        cands[i] = by_doc;
+        if allowed.as_ref().is_some_and(|a| a.is_empty()) {
+            break;
+        }
+    }
+    Ok(CandidateSet { cands, version_cache })
+}
+
+/// Owned form of [`Cand`]: candidate data cloned out of the postings so a
+/// long-lived cursor never holds the FTI read guard (which would block
+/// index maintenance for the cursor's whole lifetime).
+struct OwnedCand {
+    xid: Xid,
+    path: Box<[Xid]>,
+    from: u32,
+    to: u32,
+}
+
+/// One complete pattern binding in one document: the bound elements in
+/// pattern pre-order and the joint version-validity range.
+struct Binding {
+    nodes: Vec<Eid>,
+    from: u32,
+    to: u32,
+}
+
+/// Per-document iteration state of a [`MatchCursor`]: the document's
+/// structural join has run (its bindings are small — one entry per match
+/// skeleton, not per version) and matches are now enumerated lazily.
+struct DocState {
+    doc: DocId,
+    bindings: Vec<Binding>,
+    entries: Vec<txdb_storage::repo::VersionEntry>,
+    /// Snapshot mode: the version valid at the requested time.
+    resolved: Option<VersionId>,
+    /// Current mode: the latest content version, if any.
+    current: Option<(VersionId, Timestamp)>,
+    entry_idx: usize,
+    bind_idx: usize,
+}
+
+/// Streaming pattern scan: pulls [`Match`]es one at a time in the same
+/// `(doc, version, nodes)` order the materializing scan sorts into.
+///
+/// Construction runs step 1 (the FTI candidate intersection) and clones
+/// the surviving candidates to owned storage — bounded by pattern
+/// selectivity, not by result size — then drops the FTI read guard. The
+/// per-document structural join and the version expansion of
+/// `TPatternScanAll` run lazily as the consumer pulls, so an early-exit
+/// consumer (a `LIMIT` node) never pays for unvisited documents or
+/// versions.
+pub struct MatchCursor<'db> {
+    db: &'db Database,
+    pattern: PatternTree,
+    mode: Mode,
+    stats: ScanStats,
+    docs: Vec<DocId>,
+    cands: Vec<HashMap<DocId, Vec<OwnedCand>>>,
+    version_cache: HashMap<DocId, Option<VersionId>>,
+    doc_idx: usize,
+    cur: Option<DocState>,
+}
+
+impl<'db> MatchCursor<'db> {
+    fn new(
+        db: &'db Database,
+        docs: Option<DocId>,
+        pattern: &PatternTree,
+        mode: Mode,
+    ) -> Result<Self> {
+        let flat = FlatPattern::new(pattern);
+        let mut stats = ScanStats::default();
+        let fti = db.indexes().fti();
+        let set = collect_candidates(db, &fti, &flat, docs, mode, &mut stats)?;
+        let doc_list = set.doc_set();
+        let keep: std::collections::HashSet<DocId> = doc_list.iter().copied().collect();
+        // Only candidates of documents that survived every node are cloned.
+        let cands: Vec<HashMap<DocId, Vec<OwnedCand>>> = set
+            .cands
+            .iter()
+            .map(|m| {
+                m.iter()
+                    .filter(|(d, _)| keep.contains(d))
+                    .map(|(d, cs)| {
+                        let owned = cs
+                            .iter()
+                            .map(|c| OwnedCand {
+                                xid: c.xid,
+                                path: c.path.into(),
+                                from: c.from,
+                                to: c.to,
+                            })
+                            .collect();
+                        (*d, owned)
+                    })
+                    .collect()
+            })
+            .collect();
+        let version_cache = set.version_cache;
+        drop(fti);
+        Ok(MatchCursor {
+            db,
+            pattern: pattern.clone(),
+            mode,
+            stats,
+            docs: doc_list,
+            cands,
+            version_cache,
+            doc_idx: 0,
+            cur: None,
+        })
+    }
+
+    /// Cost counters so far (`matches` counts emitted matches).
+    pub fn stats(&self) -> ScanStats {
+        self.stats
+    }
+
+    /// Rows/candidates currently buffered inside the cursor — the
+    /// bounded-memory figure the executor reports: candidate skeletons
+    /// plus the active document's bindings and version entries, never the
+    /// full match set.
+    pub fn buffered(&self) -> usize {
+        self.cands.iter().map(|m| m.values().map(Vec::len).sum::<usize>()).sum::<usize>()
+            + self.cur.as_ref().map_or(0, |s| s.bindings.len() + s.entries.len())
+    }
+
+    /// Runs the structural join for one document and preps lazy emission.
+    fn build_doc_state(&mut self, doc: DocId) -> Result<DocState> {
+        let flat = FlatPattern::new(&self.pattern);
+        let views: Vec<Vec<Cand<'_>>> = self
+            .cands
+            .iter()
+            .map(|m| {
+                m[&doc]
+                    .iter()
+                    .map(|o| Cand { xid: o.xid, path: &o.path, from: o.from, to: o.to })
+                    .collect()
+            })
+            .collect();
+        let slices: Vec<&[Cand<'_>]> = views.iter().map(|v| v.as_slice()).collect();
+        let mut bindings: Vec<Binding> = Vec::new();
+        let mut bvec: Vec<&Cand<'_>> = Vec::with_capacity(flat.nodes.len());
+        join_rec(&flat, &slices, doc, &mut bvec, &mut |b| {
+            // Joint validity range of the whole binding.
+            let from = b.iter().map(|c| c.from).max().unwrap_or(0);
+            let to = b.iter().map(|c| c.to).min().unwrap_or(OPEN);
+            if from < to {
+                bindings.push(Binding {
+                    nodes: b.iter().map(|c| Eid::new(doc, c.xid)).collect(),
+                    from,
+                    to,
+                });
+            }
+            Ok(())
+        })?;
+        // Same order the materializing scan sorts into: versions ascend via
+        // the entry walk, bindings ascend by bound xids here.
+        bindings.sort_by(|a, b| a.nodes.cmp(&b.nodes));
+        let entries = self.db.store().versions(doc)?;
+        let resolved = match self.mode {
+            Mode::At(t) => match self.version_cache.get(&doc) {
+                Some(v) => *v,
+                None => self.db.store().version_at(doc, t).unwrap_or(None),
+            },
+            _ => None,
+        };
+        let current = entries
+            .iter()
+            .rev()
+            .find(|e| e.kind == VersionKind::Content)
+            .map(|e| (e.version, e.ts));
+        Ok(DocState { doc, bindings, entries, resolved, current, entry_idx: 0, bind_idx: 0 })
+    }
+
+    /// Pulls the next match, or `None` when the scan is exhausted.
+    pub fn try_next(&mut self) -> Result<Option<Match>> {
+        loop {
+            let mode = self.mode;
+            if let Some(st) = self.cur.as_mut() {
+                let emitted = match mode {
+                    Mode::Current => {
+                        // The binding is valid now; report the current
+                        // content version.
+                        match st.current {
+                            Some((v, ts)) if st.bind_idx < st.bindings.len() => {
+                                let b = &st.bindings[st.bind_idx];
+                                st.bind_idx += 1;
+                                Some(Match { doc: st.doc, version: v, ts, nodes: b.nodes.clone() })
+                            }
+                            _ => None,
+                        }
+                    }
+                    Mode::At(_) => match st.resolved {
+                        Some(v) if st.bind_idx < st.bindings.len() => {
+                            let b = &st.bindings[st.bind_idx];
+                            st.bind_idx += 1;
+                            debug_assert!(b.from <= v.0 && v.0 < b.to);
+                            let ts = st.entries[v.0 as usize].ts;
+                            Some(Match { doc: st.doc, version: v, ts, nodes: b.nodes.clone() })
+                        }
+                        _ => None,
+                    },
+                    Mode::All(interval) => {
+                        // Expand bindings to content versions — the
+                        // temporal join's "valid at same time" — keeping
+                        // only versions committed inside the requested
+                        // interval (§8 rewriting), lazily per pull.
+                        let mut found = None;
+                        'outer: while st.entry_idx < st.entries.len() {
+                            let e = &st.entries[st.entry_idx];
+                            if e.kind == VersionKind::Content && interval.contains(e.ts) {
+                                while st.bind_idx < st.bindings.len() {
+                                    let b = &st.bindings[st.bind_idx];
+                                    st.bind_idx += 1;
+                                    if e.version.0 >= b.from && e.version.0 < b.to {
+                                        found = Some(Match {
+                                            doc: st.doc,
+                                            version: e.version,
+                                            ts: e.ts,
+                                            nodes: b.nodes.clone(),
+                                        });
+                                        break 'outer;
+                                    }
+                                }
+                            }
+                            st.entry_idx += 1;
+                            st.bind_idx = 0;
+                        }
+                        found
+                    }
+                };
+                match emitted {
+                    Some(m) => {
+                        self.stats.matches += 1;
+                        return Ok(Some(m));
+                    }
+                    None => self.cur = None,
+                }
+            }
+            if self.doc_idx == self.docs.len() {
+                return Ok(None);
+            }
+            let doc = self.docs[self.doc_idx];
+            self.doc_idx += 1;
+            self.cur = Some(self.build_doc_state(doc)?);
+        }
     }
 }
 

@@ -154,10 +154,23 @@ impl DeltaContentIndex {
     /// delete/…/napoli" becomes `find("napoli", Some(Delete))` joined with
     /// structural tokens).
     pub fn find(&self, token: &str, op: Option<ChangeOp>) -> Vec<&ChangeEntry> {
+        self.find_cursor(token, op).collect()
+    }
+
+    /// Cursor form of [`DeltaContentIndex::find`]: lazily yields matching
+    /// change entries so callers that stop early (intersection emptied,
+    /// LIMIT satisfied) never walk the rest of the list.
+    pub fn find_cursor<'a>(
+        &'a self,
+        token: &str,
+        op: Option<ChangeOp>,
+    ) -> impl Iterator<Item = &'a ChangeEntry> + 'a {
         self.lists
             .get(&token.to_lowercase())
-            .map(|l| l.iter().filter(|e| op.is_none_or(|o| e.op == o)).collect())
+            .map(|l| l.as_slice())
             .unwrap_or_default()
+            .iter()
+            .filter(move |e| op.is_none_or(|o| e.op == o))
     }
 
     /// Conjunction: versions in which *all* tokens took part in a matching

@@ -320,19 +320,22 @@ impl FullTextIndex {
         kind: OccKind,
         docs: Option<&HashSet<DocId>>,
     ) -> Vec<&'a Posting> {
+        self.open_cursor(token, kind, docs).collect()
+    }
+
+    /// Cursor form of [`FullTextIndex::lookup`]: a lazy iterator over the
+    /// open postings. Only the open access lists are touched — cost is
+    /// O(postings consumed), independent of history length, and a caller
+    /// that stops early (pattern intersection emptied, LIMIT satisfied)
+    /// never pays for the rest of the list.
+    pub fn open_cursor<'a>(
+        &'a self,
+        token: &str,
+        kind: OccKind,
+        docs: Option<&HashSet<DocId>>,
+    ) -> OpenCursor<'a> {
         self.metrics.lookups.inc();
-        // Only the open lists are touched: cost is O(open postings),
-        // independent of history length.
-        let mut out = Vec::new();
-        for g in self.doc_groups(token, docs) {
-            for &i in &g.open {
-                let p = &g.postings[i as usize];
-                if p.kind == kind {
-                    out.push(p);
-                }
-            }
-        }
-        out
+        OpenCursor { groups: self.doc_groups(token, docs).into_iter(), cur: None, pos: 0, kind }
     }
 
     /// `FTI_lookup_T(word, t)` — occurrences valid at time *t*. The caller
@@ -354,23 +357,33 @@ impl FullTextIndex {
         token: &str,
         kind: OccKind,
         docs: Option<&HashSet<DocId>>,
-        mut version_at: impl FnMut(DocId) -> Option<VersionId>,
+        version_at: impl FnMut(DocId) -> Option<VersionId>,
     ) -> Vec<&'a Posting> {
+        self.snapshot_cursor(token, kind, docs, version_at).collect()
+    }
+
+    /// Cursor form of [`FullTextIndex::lookup_t`]. The timestamp predicate
+    /// is pushed into the cursor: per document, `from_version` is
+    /// non-decreasing, so a binary search bounds the candidate prefix and
+    /// postings past the partition point are never visited.
+    pub fn snapshot_cursor<'a, F>(
+        &'a self,
+        token: &str,
+        kind: OccKind,
+        docs: Option<&HashSet<DocId>>,
+        version_at: F,
+    ) -> SnapshotCursor<'a, F>
+    where
+        F: FnMut(DocId) -> Option<VersionId>,
+    {
         self.metrics.lookups_t.inc();
-        let mut out = Vec::new();
-        for g in self.doc_groups(token, docs) {
-            let Some(first) = g.postings.first() else { continue };
-            let Some(v) = version_at(first.doc) else { continue };
-            // from_version is non-decreasing: postings past the partition
-            // point cannot be valid at v.
-            let end = g.postings.partition_point(|p| p.from_version <= v.0);
-            for p in &g.postings[..end] {
-                if p.kind == kind && v.0 < p.to_version {
-                    out.push(p);
-                }
-            }
+        SnapshotCursor {
+            groups: self.doc_groups(token, docs).into_iter(),
+            cur: None,
+            pos: 0,
+            kind,
+            version_at,
         }
-        out
     }
 
     /// `FTI_lookup_H(word)` — every posting over the whole history (§7.2).
@@ -385,12 +398,19 @@ impl FullTextIndex {
         kind: OccKind,
         docs: Option<&HashSet<DocId>>,
     ) -> Vec<&'a Posting> {
+        self.history_cursor(token, kind, docs).collect()
+    }
+
+    /// Cursor form of [`FullTextIndex::lookup_h`]: lazily yields every
+    /// posting of the token over the whole history.
+    pub fn history_cursor<'a>(
+        &'a self,
+        token: &str,
+        kind: OccKind,
+        docs: Option<&HashSet<DocId>>,
+    ) -> HistoryCursor<'a> {
         self.metrics.lookups_h.inc();
-        let mut out = Vec::new();
-        for g in self.doc_groups(token, docs) {
-            out.extend(g.postings.iter().filter(|p| p.kind == kind));
-        }
-        out
+        HistoryCursor { groups: self.doc_groups(token, docs).into_iter(), cur: None, kind }
     }
 
     /// Number of postings (index-size metric for E7).
@@ -604,6 +624,101 @@ impl FullTextIndex {
             })
             .sum::<usize>()
             + self.open.len() * 64
+    }
+}
+
+/// Lazy `FTI_lookup` cursor over a token's open postings, created by
+/// [`FullTextIndex::open_cursor`]. Pulls one posting per `next()`; a
+/// caller that stops early never touches the remaining access lists.
+pub struct OpenCursor<'a> {
+    groups: std::vec::IntoIter<&'a DocPostings>,
+    cur: Option<&'a DocPostings>,
+    pos: usize,
+    kind: OccKind,
+}
+
+impl<'a> Iterator for OpenCursor<'a> {
+    type Item = &'a Posting;
+
+    fn next(&mut self) -> Option<&'a Posting> {
+        loop {
+            if let Some(g) = self.cur {
+                while self.pos < g.open.len() {
+                    let p = &g.postings[g.open[self.pos] as usize];
+                    self.pos += 1;
+                    if p.kind == self.kind {
+                        return Some(p);
+                    }
+                }
+                self.cur = None;
+            }
+            self.cur = Some(self.groups.next()?);
+            self.pos = 0;
+        }
+    }
+}
+
+/// Lazy `FTI_lookup_T` cursor, created by
+/// [`FullTextIndex::snapshot_cursor`]. The snapshot version is resolved
+/// once per document group and the non-decreasing `from_version` order is
+/// exploited to bound each group by binary search before iteration — the
+/// timestamp predicate is evaluated inside the cursor, not by the caller.
+pub struct SnapshotCursor<'a, F> {
+    groups: std::vec::IntoIter<&'a DocPostings>,
+    cur: Option<(&'a [Posting], u32)>,
+    pos: usize,
+    kind: OccKind,
+    version_at: F,
+}
+
+impl<'a, F: FnMut(DocId) -> Option<VersionId>> Iterator for SnapshotCursor<'a, F> {
+    type Item = &'a Posting;
+
+    fn next(&mut self) -> Option<&'a Posting> {
+        loop {
+            if let Some((slice, v)) = self.cur {
+                while self.pos < slice.len() {
+                    let p = &slice[self.pos];
+                    self.pos += 1;
+                    if p.kind == self.kind && v < p.to_version {
+                        return Some(p);
+                    }
+                }
+                self.cur = None;
+            }
+            let g = self.groups.next()?;
+            let Some(first) = g.postings.first() else { continue };
+            let Some(v) = (self.version_at)(first.doc) else { continue };
+            let end = g.postings.partition_point(|p| p.from_version <= v.0);
+            self.cur = Some((&g.postings[..end], v.0));
+            self.pos = 0;
+        }
+    }
+}
+
+/// Lazy `FTI_lookup_H` cursor over a token's whole history, created by
+/// [`FullTextIndex::history_cursor`].
+pub struct HistoryCursor<'a> {
+    groups: std::vec::IntoIter<&'a DocPostings>,
+    cur: Option<std::slice::Iter<'a, Posting>>,
+    kind: OccKind,
+}
+
+impl<'a> Iterator for HistoryCursor<'a> {
+    type Item = &'a Posting;
+
+    fn next(&mut self) -> Option<&'a Posting> {
+        loop {
+            if let Some(it) = self.cur.as_mut() {
+                for p in it {
+                    if p.kind == self.kind {
+                        return Some(p);
+                    }
+                }
+                self.cur = None;
+            }
+            self.cur = Some(self.groups.next()?.postings.iter());
+        }
     }
 }
 

@@ -34,6 +34,6 @@ pub mod fti;
 pub mod maint;
 pub mod persist;
 
-pub use fti::{FullTextIndex, OccKind, Posting};
+pub use fti::{FullTextIndex, HistoryCursor, OccKind, OpenCursor, Posting, SnapshotCursor};
 pub use maint::{FtiMode, IndexConfig, IndexSet};
 pub use persist::{DocCover, IndexCheckpoint};

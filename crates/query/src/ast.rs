@@ -14,6 +14,8 @@ pub struct Query {
     pub from: Vec<FromItem>,
     /// Optional filter.
     pub where_clause: Option<Expr>,
+    /// `LIMIT n`: stop after n output rows (early-exit in the executor).
+    pub limit: Option<usize>,
 }
 
 /// One `FROM` entry: `doc("url")[timespec]/path Var`.

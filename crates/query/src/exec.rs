@@ -1,31 +1,31 @@
-//! Query execution.
+//! Query execution: shared state, expression evaluation and statistics.
 //!
-//! The executor materialises rows of variable bindings from each source
-//! (index scans bind TEIDs without touching documents; tree scans
-//! reconstruct), joins sources by nested loops, evaluates the filter, then
-//! projects. Document versions are reconstructed **lazily and cached**:
-//! a `COUNT(R)` query over an index scan finishes with zero
-//! reconstructions — exactly the paper's Q2 observation that "storage of
-//! only deltas of previous document versions does not create performance
-//! problems" for aggregate queries. [`ExecStats`] reports what actually
-//! happened.
+//! Since the Volcano refactor the actual row flow lives in
+//! [`crate::operators`]: the plan is lowered to a pull-based operator tree
+//! (`open`/`next`/`close`) and both [`crate::QueryRequest::run`] and
+//! [`crate::QueryRequest::stream`] drive that tree. This module keeps what
+//! the operators share: the execution context with its lazy, cached
+//! reconstruction (a `COUNT(R)` query over an index scan finishes with
+//! zero reconstructions — exactly the paper's Q2 observation that "storage
+//! of only deltas of previous document versions does not create
+//! performance problems" for aggregate queries), the expression
+//! evaluator, [`ExecStats`], and the `EXPLAIN ANALYZE` [`ExplainNode`]
+//! tree — which since the refactor maps one-to-one onto the live operator
+//! tree, each node metered by its own operator.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
-use std::time::Instant;
 
 use txdb_base::{DocId, Error, Result, Teid, Timestamp, VersionId, Xid};
 use txdb_core::ops::lifetime::LifetimeStrategy;
 use txdb_core::Database;
-use txdb_core::ScanStats;
-use txdb_storage::repo::VersionKind;
 use txdb_xml::equality::shallow_eq;
 use txdb_xml::similarity;
 use txdb_xml::tree::{NodeId, Tree};
 
 use crate::ast::{CmpOp, Expr, Func};
-use crate::plan::{DocSel, Plan, ScanMode, SourcePlan, Strategy};
+use crate::plan::{Plan, ScanMode};
 use crate::result::{OutValue, QueryResult};
 
 /// Execution statistics.
@@ -111,211 +111,68 @@ impl ExplainNode {
     }
 }
 
-/// Captures the executor counters at a stage boundary so the stage's
-/// contribution can be reported as a delta.
-struct Probe {
-    start: Instant,
-    stats0: ExecStats,
-    vc0: (u64, u64),
-}
-
-impl Probe {
-    fn start(ctx: &Ctx<'_>) -> Probe {
-        let (h, m, _, _, _) = ctx.db.store().vcache_stats().snapshot();
-        Probe { start: Instant::now(), stats0: *ctx.stats.borrow(), vc0: (h, m) }
-    }
-
-    fn finish(self, ctx: &Ctx<'_>, label: String, rows: usize) -> ExplainNode {
-        let s1 = *ctx.stats.borrow();
-        let (h1, m1, _, _, _) = ctx.db.store().vcache_stats().snapshot();
-        ExplainNode {
-            label,
-            elapsed_us: self.start.elapsed().as_micros() as u64,
-            rows,
-            counters: vec![
-                ("reconstructions", (s1.reconstructions - self.stats0.reconstructions) as u64),
-                ("deltas_applied", (s1.deltas_applied - self.stats0.deltas_applied) as u64),
-                ("cache_hits", h1.saturating_sub(self.vc0.0)),
-                ("cache_misses", m1.saturating_sub(self.vc0.1)),
-            ],
-            children: Vec::new(),
-        }
-    }
-}
-
-/// Parses, plans and executes a query; `NOW` is the wall clock.
-#[deprecated(since = "0.2.0", note = "use `db.query(text).run()` via `QueryExt`")]
-pub fn execute(db: &Database, text: &str) -> Result<QueryResult> {
-    crate::request::QueryExt::query(db, text).run()
-}
-
-/// Parses, plans and executes a query with an explicit `NOW` anchor
-/// (deterministic tests and the experiment harness use this).
-#[deprecated(since = "0.2.0", note = "use `db.query(text).at(now).run()` via `QueryExt`")]
-pub fn execute_at(db: &Database, text: &str, now: Timestamp) -> Result<QueryResult> {
-    crate::request::QueryExt::query(db, text).at(now).run()
-}
-
-/// Executes an already-built plan.
-#[deprecated(since = "0.2.0", note = "use `db.query(text).at(now).run()` via `QueryExt`")]
-pub fn run_plan(db: &Database, plan: &Plan) -> Result<QueryResult> {
-    run_plan_inner(db, plan, false)
-}
-
-/// Executes an already-built plan (the engine behind [`crate::QueryExt`]).
-/// With `explain`, each stage is probed and the result carries an
-/// annotated [`ExplainNode`] tree.
+/// Executes an already-built plan (the engine behind [`crate::QueryExt`]):
+/// lowers it to an operator tree, drains the resulting
+/// [`crate::operators::RowStream`] and materialises a [`QueryResult`].
+/// With `explain`, the result carries the [`ExplainNode`] tree read back
+/// from the live operators.
 pub(crate) fn run_plan_inner(db: &Database, plan: &Plan, explain: bool) -> Result<QueryResult> {
-    let reg = db.metrics().clone();
-    let _span = reg.span("query.run_us");
-    let (h0, m0, _, _, _) = db.store().vcache_stats().snapshot();
-    let ctx = Ctx {
-        db,
-        now: plan.now,
-        cache: RefCell::new(HashMap::new()),
-        doc_misses: RefCell::new(HashMap::new()),
-        stats: RefCell::new(ExecStats::default()),
-    };
-    // Materialise bindings per source.
-    let mut scan_nodes: Vec<ExplainNode> = Vec::new();
-    let mut source_rows: Vec<Vec<Bound>> = Vec::with_capacity(plan.sources.len());
-    for s in &plan.sources {
-        let probe = explain.then(|| Probe::start(&ctx));
-        let (bounds, scan_stats, label) = scan_source(&ctx, s)?;
-        if let Some(p) = probe {
-            let mut node = p.finish(&ctx, label, bounds.len());
-            node.counters.push(("fti_lookups", scan_stats.fti_lookups as u64));
-            node.counters.push(("postings", scan_stats.postings as u64));
-            scan_nodes.push(node);
-        }
-        source_rows.push(bounds);
+    let mut stream = crate::operators::open_stream(db, plan, explain)?;
+    let mut rows = Vec::new();
+    for r in &mut stream {
+        rows.push(r?);
     }
-    // Nested-loop join over the cartesian product.
-    let probe = explain.then(|| Probe::start(&ctx));
-    let mut rows: Vec<Vec<Bound>> = vec![Vec::new()];
-    for src in &source_rows {
-        let mut next = Vec::with_capacity(rows.len() * src.len().max(1));
-        for row in &rows {
-            for b in src {
-                let mut r = row.clone();
-                r.push(b.clone());
-                next.push(r);
-            }
-        }
-        rows = next;
-    }
-    if source_rows.iter().any(Vec::is_empty) {
-        rows.clear();
-    }
-    ctx.stats.borrow_mut().rows_scanned = rows.len();
-    // The explain tree is built bottom-up: scans feed the join, the join
-    // feeds the filter (when present), which feeds the projection root.
-    let mut tree: Option<ExplainNode> = None;
-    if let Some(p) = probe {
-        let n = plan.sources.len();
-        let label = format!("nested-loop join ({n} source{})", if n == 1 { "" } else { "s" });
-        let mut node = p.finish(&ctx, label, rows.len());
-        node.children = std::mem::take(&mut scan_nodes);
-        tree = Some(node);
-    }
-
-    // Filter.
-    let probe = explain.then(|| Probe::start(&ctx));
-    let mut kept: Vec<Vec<Bound>> = Vec::new();
-    for row in rows {
-        let pass = match &plan.filter {
-            None => true,
-            Some(f) => truthy(&eval(&ctx, f, &row)?),
-        };
-        if pass {
-            kept.push(row);
-        }
-    }
-    if let Some(p) = probe {
-        if plan.filter.is_some() {
-            let mut node = p.finish(&ctx, "filter".to_string(), kept.len());
-            node.children.extend(tree.take());
-            tree = Some(node);
-        }
-    }
-
-    // Project.
-    let probe = explain.then(|| Probe::start(&ctx));
-    let mut out_rows: Vec<Vec<OutValue>> = Vec::new();
-    if plan.aggregate {
-        let mut agg_row = Vec::with_capacity(plan.select.len());
-        for item in &plan.select {
-            agg_row.push(eval_aggregate(&ctx, item, &kept)?);
-        }
-        out_rows.push(agg_row);
-    } else {
-        for row in &kept {
-            let mut out = Vec::with_capacity(plan.select.len());
-            for item in &plan.select {
-                out.push(to_out(&ctx, eval(&ctx, item, row)?));
-            }
-            out_rows.push(out);
-        }
-    }
-    if plan.distinct {
-        let mut seen = std::collections::HashSet::new();
-        out_rows.retain(|r| seen.insert(format!("{r:?}")));
-    }
-    if let Some(p) = probe {
-        let stage = if plan.aggregate {
-            "aggregate"
-        } else if plan.distinct {
-            "project distinct"
-        } else {
-            "project"
-        };
-        let n = plan.select.len();
-        let label = format!("{stage} ({n} item{})", if n == 1 { "" } else { "s" });
-        let mut node = p.finish(&ctx, label, out_rows.len());
-        node.children.extend(tree.take());
-        tree = Some(node);
-    }
-    let mut stats = *ctx.stats.borrow();
-    stats.rows_output = out_rows.len();
-    let (h1, m1, _, _, _) = db.store().vcache_stats().snapshot();
-    stats.cache_hits = h1.saturating_sub(h0) as usize;
-    stats.cache_misses = m1.saturating_sub(m0) as usize;
-    // Fold the run into the engine-wide registry.
-    reg.counter("query.runs").inc();
-    reg.counter("query.rows_scanned").add(stats.rows_scanned as u64);
-    reg.counter("query.rows_output").add(stats.rows_output as u64);
-    Ok(QueryResult { rows: out_rows, stats, explain: tree })
+    Ok(QueryResult { rows, stats: stream.stats(), explain: stream.take_explain() })
 }
 
 /// One bound variable in a row.
 #[derive(Clone, Debug)]
-struct Bound {
-    var: String,
-    teid: Teid,
-    doc: DocId,
-    version: VersionId,
+pub(crate) struct Bound {
+    pub(crate) var: String,
+    pub(crate) teid: Teid,
+    pub(crate) doc: DocId,
+    pub(crate) version: VersionId,
 }
 
 /// A cached reconstructed document version.
-struct CachedDoc {
-    tree: Rc<Tree>,
-    xids: Rc<HashMap<Xid, NodeId>>,
+pub(crate) struct CachedDoc {
+    pub(crate) tree: Rc<Tree>,
+    pub(crate) xids: Rc<HashMap<Xid, NodeId>>,
 }
 
-struct Ctx<'a> {
-    db: &'a Database,
-    now: Timestamp,
+/// Shared execution state: the database handle, the query's `NOW` anchor,
+/// the reconstructed-version cache and the run's [`ExecStats`]. One `Ctx`
+/// is shared (via `Rc`) by every operator of a lowered tree.
+pub(crate) struct Ctx<'a> {
+    pub(crate) db: &'a Database,
+    pub(crate) now: Timestamp,
     cache: RefCell<HashMap<(DocId, VersionId), Rc<CachedDoc>>>,
     /// Cache misses per document: (count, lowest version requested).
     doc_misses: RefCell<HashMap<DocId, (usize, VersionId)>>,
-    stats: RefCell<ExecStats>,
+    pub(crate) stats: RefCell<ExecStats>,
 }
 
 impl Ctx<'_> {
+    /// Fresh context for one query run.
+    pub(crate) fn new(db: &Database, now: Timestamp) -> Ctx<'_> {
+        Ctx {
+            db,
+            now,
+            cache: RefCell::new(HashMap::new()),
+            doc_misses: RefCell::new(HashMap::new()),
+            stats: RefCell::new(ExecStats::default()),
+        }
+    }
+
+    /// Reconstructed versions currently cached (buffered-memory metric).
+    pub(crate) fn cached_trees(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
     /// Loads (and caches) one document version; bulk-loads the whole
     /// history of a document once several versions of it are touched
     /// (the incremental §7.3.4 strategy instead of repeated §7.3.3 runs).
-    fn tree(&self, doc: DocId, version: VersionId) -> Result<Rc<CachedDoc>> {
+    pub(crate) fn tree(&self, doc: DocId, version: VersionId) -> Result<Rc<CachedDoc>> {
         if let Some(c) = self.cache.borrow().get(&(doc, version)) {
             return Ok(c.clone());
         }
@@ -348,7 +205,7 @@ impl Ctx<'_> {
     /// touch many versions of a document — EVERY sources — pay one
     /// incremental §7.3.4 pass instead of repeated §7.3.3 runs, and a
     /// version floor from the §8 interval rewriting bounds the walk).
-    fn preload_history(&self, doc: DocId, from: VersionId) -> Result<()> {
+    pub(crate) fn preload_history(&self, doc: DocId, from: VersionId) -> Result<()> {
         let entries = self.db.store().versions(doc)?;
         let floor =
             entries.get(from.0 as usize).map(|e| e.ts).unwrap_or(txdb_base::Timestamp::ZERO);
@@ -369,7 +226,7 @@ impl Ctx<'_> {
 
 /// Evaluated values.
 #[derive(Clone, Debug)]
-enum Value {
+pub(crate) enum Value {
     Null,
     Bool(bool),
     Num(f64),
@@ -380,14 +237,14 @@ enum Value {
 
 /// A node value: a node within a (shared) tree.
 #[derive(Clone, Debug)]
-struct NodeV {
+pub(crate) struct NodeV {
     teid: Option<Teid>,
     tree: Rc<Tree>,
     node: NodeId,
 }
 
 /// Renders the snapshot mode of a scan for explain labels.
-fn mode_label(mode: &ScanMode) -> String {
+pub(crate) fn mode_label(mode: &ScanMode) -> String {
     match mode {
         ScanMode::Current => String::new(),
         ScanMode::At(t) => format!(" @ {t}"),
@@ -395,122 +252,13 @@ fn mode_label(mode: &ScanMode) -> String {
     }
 }
 
-/// Materialises the bindings of one source, returning the rows, the §6
-/// scan cost counters (zero for tree scans) and an explain label naming
-/// the chosen access path (index operator vs. tree reconstruction).
-fn scan_source(ctx: &Ctx<'_>, s: &SourcePlan) -> Result<(Vec<Bound>, ScanStats, String)> {
-    let docs_filter = match s.docs {
-        DocSel::Missing => {
-            return Ok((
-                Vec::new(),
-                ScanStats::default(),
-                format!("scan {}: no such document", s.var),
-            ))
-        }
-        DocSel::One(d) => Some(d),
-        DocSel::All => None,
-    };
-    match &s.strategy {
-        Strategy::Index(pattern) => {
-            let (matches, scan_stats) = match s.mode {
-                ScanMode::Current => ctx.db.pattern_scan_counted(docs_filter, pattern)?,
-                ScanMode::At(t) => ctx.db.tpattern_scan_counted(docs_filter, pattern, t)?,
-                ScanMode::Every(iv) => {
-                    ctx.db.tpattern_scan_all_between_counted(docs_filter, pattern, iv)?
-                }
-            };
-            let op = match s.mode {
-                ScanMode::Current => "PatternScan",
-                ScanMode::At(_) => "TPatternScan",
-                ScanMode::Every(_) => "TPatternScanAll",
-            };
-            let label = format!("index scan {}: {op}{}", s.var, mode_label(&s.mode));
-            // The variable binds to the pattern node carrying it.
-            let var_idx = pattern
-                .nodes()
-                .iter()
-                .position(|n| n.var.as_deref() == Some(s.var.as_str()))
-                .ok_or_else(|| Error::QueryInvalid("pattern lost its variable".into()))?;
-            let mut out = Vec::with_capacity(matches.len());
-            let mut seen = std::collections::HashSet::new();
-            for m in matches {
-                let eid = m.nodes[var_idx];
-                if seen.insert((m.doc, m.version, eid.xid)) {
-                    out.push(Bound {
-                        var: s.var.clone(),
-                        teid: eid.at(m.ts),
-                        doc: m.doc,
-                        version: m.version,
-                    });
-                }
-            }
-            Ok((out, scan_stats, label))
-        }
-        Strategy::Tree(path) => {
-            let all_docs = ctx.db.store().list()?;
-            let docs: Vec<DocId> = match docs_filter {
-                Some(d) => vec![d],
-                None => all_docs.iter().map(|(d, _)| *d).collect(),
-            };
-            // Resolve every (doc, version) the scan will touch up front,
-            // then warm the materialized-version cache in parallel so the
-            // per-binding loads below are cache hits instead of serial
-            // delta-chain walks.
-            let mut targets: Vec<(DocId, VersionId, Timestamp)> = Vec::new();
-            for doc in docs {
-                let entries = ctx.db.store().versions(doc)?;
-                match s.mode {
-                    ScanMode::Current => {
-                        if let Some(e) = entries.last() {
-                            if e.kind == VersionKind::Content {
-                                targets.push((doc, e.version, e.ts));
-                            }
-                        }
-                    }
-                    ScanMode::At(t) => {
-                        if let Some(v) = ctx.db.store().version_at(doc, t)? {
-                            targets.push((doc, v, entries[v.0 as usize].ts));
-                        }
-                    }
-                    ScanMode::Every(iv) => targets.extend(
-                        entries
-                            .iter()
-                            .filter(|e| e.kind == VersionKind::Content && iv.contains(e.ts))
-                            .map(|e| (doc, e.version, e.ts)),
-                    ),
-                }
-            }
-            if targets.len() > 1 {
-                let pairs: Vec<(DocId, VersionId)> =
-                    targets.iter().map(|&(d, v, _)| (d, v)).collect();
-                ctx.db.prefetch_versions(&pairs);
-            }
-            let mut out = Vec::new();
-            for (doc, v, ts) in targets {
-                let cached = ctx.tree(doc, v)?;
-                for n in path.eval_roots(&cached.tree) {
-                    let xid = cached.tree.node(n).xid;
-                    out.push(Bound {
-                        var: s.var.clone(),
-                        teid: txdb_base::Eid::new(doc, xid).at(ts),
-                        doc,
-                        version: v,
-                    });
-                }
-            }
-            let label = format!("tree scan {}: reconstruct{}", s.var, mode_label(&s.mode));
-            Ok((out, ScanStats::default(), label))
-        }
-    }
-}
-
-fn find_bound<'r>(row: &'r [Bound], var: &str) -> Result<&'r Bound> {
+pub(crate) fn find_bound<'r>(row: &'r [Bound], var: &str) -> Result<&'r Bound> {
     row.iter()
         .find(|b| b.var == var)
         .ok_or_else(|| Error::QueryInvalid(format!("unbound variable `{var}`")))
 }
 
-fn eval(ctx: &Ctx<'_>, e: &Expr, row: &[Bound]) -> Result<Value> {
+pub(crate) fn eval(ctx: &Ctx<'_>, e: &Expr, row: &[Bound]) -> Result<Value> {
     match e {
         Expr::Str(s) => Ok(Value::Str(s.clone())),
         Expr::Num(n) => Ok(Value::Num(*n)),
@@ -644,48 +392,6 @@ fn eval_func(ctx: &Ctx<'_>, name: Func, args: &[Expr], row: &[Bound]) -> Result<
     }
 }
 
-fn eval_aggregate(ctx: &Ctx<'_>, e: &Expr, rows: &[Vec<Bound>]) -> Result<OutValue> {
-    match e {
-        Expr::Func { name: Func::Count, args } => {
-            // COUNT(*) and COUNT(R) for a bound variable need no document
-            // access at all — the paper's Q2 point: the scan already
-            // counted, no reconstruction required.
-            if matches!(args[0], Expr::Star | Expr::Var(_)) {
-                return Ok(OutValue::Num(rows.len() as f64));
-            }
-            let mut n = 0usize;
-            for row in rows {
-                match eval(ctx, &args[0], row)? {
-                    Value::Null => {}
-                    Value::Nodes(nodes) => n += nodes.len().min(1),
-                    _ => n += 1,
-                }
-            }
-            Ok(OutValue::Num(n as f64))
-        }
-        Expr::Func { name: Func::Sum, args } => {
-            let mut sum = 0.0;
-            for row in rows {
-                match eval(ctx, &args[0], row)? {
-                    Value::Num(n) => sum += n,
-                    Value::Str(s) => sum += s.trim().parse::<f64>().unwrap_or(0.0),
-                    Value::Nodes(nodes) => {
-                        for nv in nodes {
-                            let text = node_text(&nv);
-                            sum += text.trim().parse::<f64>().unwrap_or(0.0);
-                        }
-                    }
-                    _ => {}
-                }
-            }
-            Ok(OutValue::Num(sum))
-        }
-        other => {
-            Err(Error::QueryInvalid(format!("select item is not a supported aggregate: {other:?}")))
-        }
-    }
-}
-
 fn first_node(v: &Value) -> Option<&NodeV> {
     match v {
         Value::Nodes(ns) => ns.first(),
@@ -693,14 +399,14 @@ fn first_node(v: &Value) -> Option<&NodeV> {
     }
 }
 
-fn node_text(nv: &NodeV) -> String {
+pub(crate) fn node_text(nv: &NodeV) -> String {
     match nv.tree.node(nv.node).text() {
         Some(t) => t.to_string(),
         None => nv.tree.text_content(nv.node),
     }
 }
 
-fn truthy(v: &Value) -> bool {
+pub(crate) fn truthy(v: &Value) -> bool {
     match v {
         Value::Bool(b) => *b,
         Value::Null => false,
@@ -816,7 +522,7 @@ fn compare_scalars(op: CmpOp, a: &Value, b: &Value) -> bool {
     }
 }
 
-fn to_out(_ctx: &Ctx<'_>, v: Value) -> OutValue {
+pub(crate) fn to_out(_ctx: &Ctx<'_>, v: Value) -> OutValue {
     match v {
         Value::Null => OutValue::Null,
         Value::Bool(b) => OutValue::Bool(b),

@@ -82,6 +82,7 @@ pub enum Kw {
     Now,
     Contains,
     Doc,
+    Limit,
     Days,
     Weeks,
     Hours,
@@ -102,6 +103,7 @@ fn keyword(word: &str) -> Option<Kw> {
         "NOW" => Kw::Now,
         "CONTAINS" => Kw::Contains,
         "DOC" => Kw::Doc,
+        "LIMIT" => Kw::Limit,
         "DAY" | "DAYS" => Kw::Days,
         "WEEK" | "WEEKS" => Kw::Weeks,
         "HOUR" | "HOURS" => Kw::Hours,

@@ -28,15 +28,20 @@
 //! Pipeline: [`lexer`] → [`parser`] → [`ast`] → [`plan`] (strategy choice:
 //! index-backed `TPatternScan*` when every path step names a tag, with
 //! equality-literal word pushdown; reconstruction fallback for wildcard
-//! steps) → [`exec`] (Volcano-style rows with lazy, cached reconstruction
-//! — a `COUNT(R)` never touches a document, the paper's Q2 point).
+//! steps) → [`operators`] (a streaming Volcano engine: the plan lowers to
+//! a pull-based `open`/`next`/`close` operator tree driving lazy FTI
+//! posting cursors — a `COUNT(R)` never touches a document, the paper's
+//! Q2 point, and a `LIMIT 1` stops after the first match).
 //!
 //! The public entry point is the [`request::QueryExt`] extension trait:
 //! `db.query(text).at(ts).run()?` parses, plans and executes in one fluent
-//! chain and returns a [`QueryResult`] carrying [`ExecStats`] (including
-//! materialized-version cache hits/misses). Adding `.explain()` runs the
-//! query as `EXPLAIN ANALYZE`: the result also carries an [`ExplainNode`]
-//! tree annotating every plan node with wall-clock time, rows, the
+//! chain and returns a materialised [`QueryResult`] carrying [`ExecStats`]
+//! (including materialized-version cache hits/misses);
+//! `db.query(text).at(ts).stream()?` returns the [`RowStream`] cursor
+//! itself, producing rows on demand with bounded peak memory. Adding
+//! `.explain()` runs the query as `EXPLAIN ANALYZE`: the result also
+//! carries an [`ExplainNode`] tree that maps one-to-one onto the executed
+//! operator tree, annotating every node with wall-clock time, rows, the
 //! index-vs-scan choice and the §6 cost counters for that stage.
 
 #![forbid(unsafe_code)]
@@ -45,14 +50,14 @@
 pub mod ast;
 pub mod exec;
 pub mod lexer;
+pub mod operators;
 pub mod parser;
 pub mod plan;
 pub mod request;
 pub mod result;
 
-#[allow(deprecated)]
-pub use exec::execute;
 pub use exec::{ExecStats, ExplainNode};
+pub use operators::{Operator, Row, RowStream};
 pub use parser::parse_query;
 pub use request::{QueryExt, QueryRequest};
 pub use result::{OutValue, QueryResult};

@@ -76,7 +76,22 @@ impl Parser {
             from.push(self.source_item()?);
         }
         let where_clause = if self.eat(&Tok::Kw(Kw::Where)) { Some(self.expr()?) } else { None };
-        Ok(Query { distinct, select, from, where_clause })
+        let limit = if self.eat(&Tok::Kw(Kw::Limit)) {
+            match self.bump() {
+                Tok::Number(n) => match n.parse::<usize>() {
+                    Ok(v) => Some(v),
+                    Err(_) => {
+                        return Err(self.err(format!("LIMIT expects a whole row count, found {n}")))
+                    }
+                },
+                other => {
+                    return Err(self.err(format!("expected row count after LIMIT, found {other:?}")))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Query { distinct, select, from, where_clause, limit })
     }
 
     /// `doc("url")` `[timespec]`? path var

@@ -91,6 +91,10 @@ pub struct Plan {
     pub distinct: bool,
     /// The select list aggregates the whole result into one row.
     pub aggregate: bool,
+    /// Stop after this many output rows (`LIMIT n` or
+    /// [`crate::QueryRequest::limit`]); the executor lowers it to an
+    /// early-exit node that stops pulling the tree.
+    pub limit: Option<usize>,
 }
 
 /// Plans a parsed query against a database. `now` anchors `NOW`.
@@ -154,6 +158,7 @@ pub fn plan_query(db: &Database, q: &Query, now: Timestamp) -> Result<Plan> {
         select: q.select.clone(),
         distinct: q.distinct,
         aggregate,
+        limit: q.limit,
     })
 }
 

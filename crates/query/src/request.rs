@@ -2,14 +2,17 @@
 //!
 //! [`QueryExt::query`] starts a [`QueryRequest`]; `.at(ts)` anchors `NOW`
 //! for deterministic replay (tests, the experiment harness); `.run()`
-//! parses, plans and executes, returning a [`QueryResult`] whose
-//! [`crate::ExecStats`] also report materialized-version cache traffic.
-//! The free functions `execute`/`execute_at`/`run_plan` are deprecated
-//! shims over this builder.
+//! parses, plans and executes, returning a materialised [`QueryResult`]
+//! whose [`crate::ExecStats`] also report materialized-version cache
+//! traffic. `.stream()` instead returns a pull-based
+//! [`crate::operators::RowStream`] cursor: rows are produced on demand
+//! with bounded peak memory, and a `.limit(n)` (or `LIMIT n` in the
+//! query text) early-exits the underlying scans.
 
 use txdb_base::{Result, Timestamp};
 use txdb_core::Database;
 
+use crate::operators::RowStream;
 use crate::parser::parse_query;
 use crate::plan::plan_query;
 use crate::result::QueryResult;
@@ -35,6 +38,7 @@ pub struct QueryRequest<'db> {
     text: String,
     now: Option<Timestamp>,
     explain: bool,
+    limit: Option<usize>,
 }
 
 impl<'db> QueryRequest<'db> {
@@ -54,12 +58,37 @@ impl<'db> QueryRequest<'db> {
         self
     }
 
-    /// Parses, plans and executes the query.
-    pub fn run(self) -> Result<QueryResult> {
+    /// Caps the result at `n` rows with scan early-exit, like a `LIMIT n`
+    /// clause in the query text (the tighter of the two wins when both
+    /// are given).
+    pub fn limit(mut self, n: usize) -> QueryRequest<'db> {
+        self.limit = Some(self.limit.map_or(n, |cur| cur.min(n)));
+        self
+    }
+
+    fn plan(&self) -> Result<crate::plan::Plan> {
         let now = self.now.unwrap_or_else(wall_clock);
         let q = parse_query(&self.text)?;
-        let plan = plan_query(self.db, &q, now)?;
+        let mut plan = plan_query(self.db, &q, now)?;
+        if let Some(n) = self.limit {
+            plan.limit = Some(plan.limit.map_or(n, |cur| cur.min(n)));
+        }
+        Ok(plan)
+    }
+
+    /// Parses, plans and executes the query, materialising every row.
+    pub fn run(self) -> Result<QueryResult> {
+        let plan = self.plan()?;
         crate::exec::run_plan_inner(self.db, &plan, self.explain)
+    }
+
+    /// Parses, plans and *opens* the query, returning a pull-based
+    /// [`RowStream`] cursor. Rows are computed as the caller iterates;
+    /// peak memory is bounded by the operator buffers, not the result
+    /// size, and dropping the stream early abandons the remaining work.
+    pub fn stream(self) -> Result<RowStream<'db>> {
+        let plan = self.plan()?;
+        crate::operators::open_stream(self.db, &plan, self.explain)
     }
 }
 
@@ -84,6 +113,12 @@ pub trait QueryExt {
 
 impl QueryExt for Database {
     fn query(&self, text: impl AsRef<str>) -> QueryRequest<'_> {
-        QueryRequest { db: self, text: text.as_ref().to_string(), now: None, explain: false }
+        QueryRequest {
+            db: self,
+            text: text.as_ref().to_string(),
+            now: None,
+            explain: false,
+            limit: None,
+        }
     }
 }

@@ -111,6 +111,11 @@ pub struct RecoverOutcome {
     /// already carries its generation (the apply had completed; only the
     /// retire was lost).
     pub fenced: bool,
+    /// True when stale (unsealed/torn) residue was found and retired.
+    /// Such residue is never replayed — the home pages are untouched at
+    /// the point a journal write tears — so truncating it on open is
+    /// always safe and keeps it from being re-reported forever.
+    pub stale_retired: bool,
 }
 
 /// Writes one sealed batch: header, entries, seal — a single buffer, one
@@ -242,8 +247,12 @@ fn durable_generation(vfs: &dyn Vfs, dir: &Path) -> Option<u64> {
 /// Recovery entry point, run at store open **before** the pager touches
 /// `data.db` (the header page itself may be torn) and before WAL replay.
 /// Replays a sealed journal to the home locations, syncs the data file,
-/// and retires the journal. Unsealed residue is left in place (reported
-/// by `fsck`, removable with `--repair-tail`); it is never replayed.
+/// and retires the journal. Unsealed (stale) residue is never replayed —
+/// the home pages were untouched when the journal write tore — and is
+/// retired on the spot, reported through
+/// [`RecoverOutcome::stale_retired`] so the open can surface a recovery
+/// event instead of leaving the residue around for a manual
+/// `fsck --repair-tail`.
 pub fn recover(vfs: &dyn Vfs, dir: &Path) -> Result<RecoverOutcome> {
     let mut journal = vfs.open(&journal_path(dir))?;
     let mut out = RecoverOutcome::default();
@@ -255,6 +264,9 @@ pub fn recover(vfs: &dyn Vfs, dir: &Path) -> Result<RecoverOutcome> {
         Ok(Some(sealed)) => sealed,
         Err(e) => {
             out.state = JournalState::Stale { reason: e.to_string() }.to_string();
+            // Best-effort: failing to truncate residue must not fail the
+            // open — the next one (or `fsck --repair-tail`) retries.
+            out.stale_retired = retire(journal.as_mut()).is_ok();
             return Ok(out);
         }
     };
@@ -386,6 +398,11 @@ mod tests {
         assert_eq!(out.replayed_pages, 0);
         assert!(out.state.starts_with("stale"), "{}", out.state);
         assert_eq!(read_data(&vfs), before, "home pages untouched");
+        // The residue itself is retired on the spot: a second recovery
+        // sees a clean (absent) journal.
+        assert!(out.stale_retired);
+        let mut j = vfs.open(&journal_path(&dir())).unwrap();
+        assert_eq!(inspect(j.as_mut()), JournalState::Absent, "residue truncated");
     }
 
     proptest! {

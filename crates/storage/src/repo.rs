@@ -366,6 +366,9 @@ pub struct RecoveryReport {
     /// True when a sealed journal was skipped by the generation fence
     /// (its apply had completed; only the retire was lost in the crash).
     pub journal_fenced: bool,
+    /// True when stale (torn, never-replayable) journal residue was
+    /// found and automatically retired during this open.
+    pub journal_stale_retired: bool,
 }
 
 /// Whether the open path could use the persisted index checkpoint.
@@ -450,10 +453,10 @@ pub struct FsckReport {
     pub index_checkpoint: String,
     /// State of the double-write checkpoint journal: "absent" (steady
     /// state), "sealed (…)" (an unapplied batch the next open replays) or
-    /// "stale (…)" (torn residue, removable with
-    /// [`DocumentStore::retire_journal`] / `fsck --repair-tail`). Neither
-    /// residual state makes the store unclean: sealed is recovered at
-    /// open, stale was never applied.
+    /// "stale (…)" (torn residue; open retires it automatically, and
+    /// [`DocumentStore::retire_journal`] / `fsck --repair-tail` remove it
+    /// from a live handle). Neither residual state makes the store
+    /// unclean: sealed is recovered at open, stale was never applied.
     pub journal: String,
     /// Documents whose metadata records survive in the heap and could be
     /// restored by [`DocumentStore::salvage_rebuild_catalog`]. Only
@@ -617,11 +620,13 @@ impl DocumentStore {
             journal_state: journal_outcome.state,
             journal_replayed_pages: journal_outcome.replayed_pages,
             journal_fenced: journal_outcome.fenced,
+            journal_stale_retired: journal_outcome.stale_retired,
             ..RecoveryReport::default()
         };
-        // Register unconditionally so the counter appears (at zero) in
+        // Register unconditionally so the counters appear (at zero) in
         // every metrics snapshot, fault-injected open or not.
         let journal_replays = store.metrics.counter("recovery.journal_replays");
+        let residue_retired = store.metrics.counter("recovery.journal_residue_retired");
         if report.journal_replayed_pages > 0 {
             journal_replays.inc();
             store.metrics.emit(
@@ -630,6 +635,13 @@ impl DocumentStore {
                     ("pages", EventValue::U64(report.journal_replayed_pages as u64)),
                     ("state", EventValue::Str(&report.journal_state)),
                 ],
+            );
+        }
+        if report.journal_stale_retired {
+            residue_retired.inc();
+            store.metrics.emit(
+                "recovery.journal_residue_retired",
+                &[("state", EventValue::Str(&report.journal_state))],
             );
         }
         match store.wal.replay() {

@@ -6,9 +6,10 @@
 //!
 //! The two entry points shown here are the `DbOptions` builder (open an
 //! in-memory or on-disk database — `DbOptions::at(dir).snapshot_every(8)
-//! .cache_bytes(32 << 20).open()?`) and the query builder
-//! (`db.query(text).at(ts).run()?`), whose result carries execution
-//! statistics including materialized-version cache hits.
+//! .cache_bytes(32 << 20).open()?`) and the query builder:
+//! `db.query(text).at(ts).run()?` materialises a `QueryResult` (with
+//! execution statistics including materialized-version cache hits), while
+//! `.stream()?` pulls rows one at a time through the streaming executor.
 
 use temporal_xml::core::ops::lifetime::LifetimeStrategy;
 use temporal_xml::{Database, Eid, Interval, QueryExt, Timestamp};
@@ -55,17 +56,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .run()?;
     println!("{}", r.to_xml());
 
-    // 3. History query: the stock history of product A1.
-    println!("\n== stock history of the espresso machine ==");
-    let r = db
+    // 3. History query, streamed: the stock history of product A1.
+    //    `.stream()` yields rows as the operator tree produces them —
+    //    nothing is materialised up front, so peak memory is bounded by
+    //    the scan's candidate set, not the result size, and a `LIMIT`
+    //    stops the index cursors early.
+    println!("\n== stock history of the espresso machine (streamed) ==");
+    let mut stream = db
         .query(
             r#"SELECT TIME(R), R/stock
                FROM doc("inventory.xml")[EVERY]//product R
                WHERE R/name CONTAINS "espresso""#,
         )
         .at(day(25))
-        .run()?;
-    println!("{}", r.to_xml());
+        .stream()?;
+    for row in &mut stream {
+        let row = row?;
+        println!("  {}: {}", row[0].as_text(), row[1].as_text());
+    }
+    let stats = stream.stats();
+    println!("  ({} rows, {} reconstructions)", stats.rows_output, stats.reconstructions);
 
     // 4. Aggregates never reconstruct documents (the paper's Q2 point).
     println!("\n== product count over time (no reconstruction) ==");

@@ -77,6 +77,28 @@ assert 'recovery.journal_replays' in d['counters'], sorted(d['counters'])" "$out
 }
 run_phase "crash sweep + journal metrics" crash_sweep
 
+# Streaming executor: the exec benchmark in quick mode drives the LIMIT
+# early-exit path, the stream()/run() first-row agreement assertions and
+# the exec.peak_rows_buffered gauge end to end, and must emit parseable
+# JSON with the speedup and peak figures.
+exec_bench_smoke() {
+    local root dir out
+    root=$(pwd)
+    dir=$(mktemp -d)
+    (cd "$dir" && EXEC_BENCH_QUICK=1 cargo run -q --offline \
+        --manifest-path "$root/Cargo.toml" -p txdb-bench --bin exec_bench > /dev/null)
+    out="$dir/BENCH_exec.json"
+    if command -v python3 > /dev/null 2>&1; then
+        python3 -c "import json,sys; d=json.load(open(sys.argv[1])); \
+assert d['speedup'] > 1.0 and 'peak_rows_buffered' in d and \
+d['limit1']['rows_scanned'] < d['full']['rows'], d" "$out"
+    else
+        grep -q '"speedup"' "$out" && grep -q '"peak_rows_buffered"' "$out"
+    fi
+    rm -rf "$dir"
+}
+run_phase "exec_bench smoke (streaming executor)" exec_bench_smoke
+
 echo "== OK =="
 for i in "${!PHASES[@]}"; do
     printf '  %-38s %ss\n' "${PHASES[$i]}" "${TIMES[$i]}"

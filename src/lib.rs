@@ -59,10 +59,9 @@ pub use txdb_base::{
 pub use txdb_core::{self as core, Database, DbOptions};
 pub use txdb_delta as delta;
 pub use txdb_index as index;
-#[allow(deprecated)]
-pub use txdb_query::exec::{execute, execute_at};
 pub use txdb_query::{
     self as query, parse_query, ExecStats, ExplainNode, QueryExt, QueryRequest, QueryResult,
+    RowStream,
 };
 pub use txdb_storage::{self as storage, StoreOptions};
 pub use txdb_stratum as stratum;

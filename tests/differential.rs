@@ -201,3 +201,67 @@ fn doc_history_selection_agrees() {
         }
     }
 }
+
+/// The streaming cursor against the materialising executor: for any
+/// (seeded random) workload and query, `stream()` must yield exactly the
+/// rows `run()` materialises, in the same order — and a `.limit(n)`
+/// stream must yield exactly the first `n` of them.
+#[test]
+fn stream_equals_run_on_random_workloads() {
+    use temporal_xml::QueryExt;
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    for trial in 0..8u64 {
+        let db = Database::in_memory();
+        let docs = 1 + rng.gen_range(0..3) as usize;
+        let mut step = 0u64;
+        for d in 0..docs {
+            let versions = 1 + rng.gen_range(0..5) as usize;
+            for _ in 0..versions {
+                step += 1;
+                let n = 1 + rng.gen_range(0..6) as usize;
+                let xml = format!(
+                    "<shop>{}</shop>",
+                    (0..n)
+                        .map(|k| format!(
+                            "<item><name>n{}</name><price>{}</price></item>",
+                            rng.gen_range(0..4),
+                            10 + k
+                        ))
+                        .collect::<String>()
+                );
+                db.put(&format!("doc{d}"), &xml, ts(step)).unwrap();
+            }
+        }
+        let probe = ts(step + 1);
+        let queries = [
+            r#"SELECT R/name FROM doc("*")//item R"#.to_string(),
+            r#"SELECT R/name, R/price FROM doc("*")[EVERY]//item R"#.to_string(),
+            format!(r#"SELECT R/price FROM doc("*")[{}]//item R"#, ts(step).micros()),
+            r#"SELECT TIME(R) FROM doc("*")[EVERY]//item R WHERE R/name = "n1""#.to_string(),
+            r#"SELECT COUNT(*) FROM doc("*")[EVERY]//item R"#.to_string(),
+            r#"SELECT DISTINCT R/name FROM doc("*")//item R"#.to_string(),
+            r#"SELECT R1/name FROM doc("doc0")//item R1, doc("*")//item R2
+               WHERE R1/price < R2/price"#
+                .to_string(),
+            r#"SELECT R/name FROM doc("*")[EVERY]//item R LIMIT 3"#.to_string(),
+        ];
+        for q in &queries {
+            let ran = db.query(q).at(probe).run().unwrap();
+            let streamed: Vec<_> =
+                db.query(q).at(probe).stream().unwrap().collect::<Result<Vec<_>, _>>().unwrap();
+            assert_eq!(ran.rows, streamed, "trial {trial}: {q}");
+            // A limit-k stream is a strict prefix of the full result.
+            let k = 1 + (trial as usize % 2);
+            let limited: Vec<_> = db
+                .query(q)
+                .at(probe)
+                .limit(k)
+                .stream()
+                .unwrap()
+                .collect::<Result<Vec<_>, _>>()
+                .unwrap();
+            let expect: Vec<_> = ran.rows.iter().take(k).cloned().collect();
+            assert_eq!(limited, expect, "trial {trial} limit {k}: {q}");
+        }
+    }
+}

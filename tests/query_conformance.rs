@@ -256,3 +256,76 @@ fn create_and_delete_time_in_where_and_select() {
     );
     assert_eq!(r.to_xml(), "<results><result><title>Neuromancer</title></result></results>");
 }
+
+#[test]
+fn explain_rows_match_streamed_operator_counts() {
+    // The EXPLAIN ANALYZE tree is read off the live operator tree, so
+    // each node's `rows` must equal the number of rows that operator
+    // actually emitted — which the streaming cursor lets us observe
+    // directly: the root's count is the rows the stream yields, the join
+    // node's count is `rows_scanned` of the same run.
+    let db = library();
+    let q = r#"SELECT R/title FROM doc("lib/catalog")[EVERY]//book R WHERE R/price < 12"#;
+    let explained = db.query(q).at(ts(100)).explain().run().unwrap();
+    let tree = explained.explain.as_ref().unwrap();
+
+    let mut stream = db.query(q).at(ts(100)).stream().unwrap();
+    let streamed: Vec<_> = (&mut stream).collect::<Result<Vec<_>, _>>().unwrap();
+    let streamed_stats = stream.stats();
+
+    assert_eq!(tree.rows, streamed.len(), "root rows == rows the stream yields");
+    assert_eq!(tree.rows, explained.stats.rows_output);
+    let filter = &tree.children[0];
+    assert_eq!(filter.label, "filter");
+    let join = &filter.children[0];
+    assert!(join.label.starts_with("nested-loop join"), "{}", join.label);
+    assert_eq!(join.rows, streamed_stats.rows_scanned, "join rows == streamed rows_scanned");
+    assert_eq!(join.rows, explained.stats.rows_scanned);
+    // The scan leaf feeds the join one row per binding: with a single
+    // source the counts are identical.
+    let scan = &join.children[0];
+    assert_eq!(scan.rows, join.rows, "single-source join passes scan rows through");
+    // And the two executions agree on the §6 cost counters.
+    assert_eq!(streamed_stats.rows_output, streamed.len());
+}
+
+#[test]
+fn streaming_limit_early_exits_and_bounds_memory() {
+    // A many-version document: LIMIT 1 must stop the scan after the
+    // first match, and the stream's buffered-row high-water mark must
+    // not grow with the result size.
+    let db = Database::in_memory();
+    for v in 0..40u64 {
+        let xml = format!(
+            "<log>{}</log>",
+            (0..5).map(|k| format!("<e><n>v{v}e{k}</n></e>")).collect::<String>()
+        );
+        db.put("big/log", &xml, ts(v)).unwrap();
+    }
+    let q = r#"SELECT R/n FROM doc("big/log")[EVERY]//e R"#;
+
+    // Full streamed drain: 40 versions × 5 elements.
+    let mut full = db.query(q).at(ts(1000)).stream().unwrap();
+    let all: Vec<_> = (&mut full).collect::<Result<Vec<_>, _>>().unwrap();
+    assert_eq!(all.len(), 200);
+    let full_peak = full.peak_rows_buffered();
+
+    // LIMIT 1: one row out, scan work cut short.
+    let mut one = db.query(q).at(ts(1000)).limit(1).stream().unwrap();
+    let first: Vec<_> = (&mut one).collect::<Result<Vec<_>, _>>().unwrap();
+    assert_eq!(first.len(), 1);
+    assert_eq!(first[0], all[0], "limit yields the same first row");
+    let one_stats = one.stats();
+    assert!(
+        one_stats.rows_scanned < 200,
+        "LIMIT 1 must not scan the full expansion: {one_stats:?}"
+    );
+    assert!(
+        one_stats.reconstructions <= 1,
+        "LIMIT 1 reconstructs at most the version it returns: {one_stats:?}"
+    );
+    // The bounded-memory claim: the peak is dominated by per-document
+    // candidate state, not by the 200-row result.
+    assert!(full_peak < all.len(), "peak {full_peak} must stay below the result size");
+    assert!(one.peak_rows_buffered() <= full_peak);
+}

@@ -223,7 +223,7 @@ fn sealed_journal_replays_before_anything_else_on_open() {
 }
 
 #[test]
-fn stale_journal_is_reported_never_replayed_and_retirable() {
+fn stale_journal_is_never_replayed_and_auto_retired_on_open() {
     let dir = tmpdir("journal-stale");
     {
         let db = opts(&dir).open().unwrap();
@@ -231,25 +231,30 @@ fn stale_journal_is_reported_never_replayed_and_retirable() {
         db.close().unwrap();
     }
     // A torn journal write (crash before the seal reached disk) leaves
-    // unsealed residue. It must never be applied to the data file.
+    // unsealed residue. It must never be applied to the data file; open
+    // retires it automatically and records a recovery event.
     let before = std::fs::read(dir.join("data.db")).unwrap();
     std::fs::write(dir.join("journal.db"), vec![0x5A; 1000]).unwrap();
     let db = opts(&dir).open().unwrap();
     let report = db.recovery_report();
     assert!(report.journal_state.contains("stale"), "state: {}", report.journal_state);
     assert_eq!(report.journal_replayed_pages, 0);
+    assert!(report.journal_stale_retired, "open retires the residue");
     let snap = db.metrics().snapshot();
     assert_eq!(snap.counter("recovery.journal_replays"), Some(0), "registered but untouched");
+    assert_eq!(snap.counter("recovery.journal_residue_retired"), Some(1));
     assert_eq!(std::fs::read(dir.join("data.db")).unwrap(), before, "data untouched");
-    // fsck names the residue without flagging corruption; retiring it
-    // (fsck --repair-tail in the CLI) clears the report.
+    // The residue is already gone: fsck sees a clean, absent journal and
+    // a manual retire is a no-op.
     let r = db.store().fsck();
     assert!(r.is_clean(), "{r}");
-    assert!(r.journal.contains("stale"), "journal: {}", r.journal);
-    assert!(db.store().retire_journal().unwrap());
-    let r = db.store().fsck();
-    assert_eq!(r.journal, "absent");
-    assert!(!db.store().retire_journal().unwrap(), "second retire is a no-op");
+    assert_eq!(r.journal, "absent", "journal: {}", r.journal);
+    assert!(!db.store().retire_journal().unwrap(), "nothing left to retire");
+    drop(db);
+    // A clean reopen reports no residue and does not bump the counter.
+    let db = opts(&dir).open().unwrap();
+    assert!(!db.recovery_report().journal_stale_retired);
+    assert_eq!(db.metrics().snapshot().counter("recovery.journal_residue_retired"), Some(0));
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
