@@ -1,0 +1,212 @@
+//! Concurrency benchmark: group-commit write throughput and snapshot
+//! reader scaling versus thread count.
+//!
+//! Two sections, written to `BENCH_concurrency.json`:
+//!
+//! * **commit** — a fresh durable (`wal_sync`) store per thread count;
+//!   a fixed total number of tiny `put`s is split across 1/2/4/8
+//!   committer threads writing disjoint documents. One thread pays one
+//!   fsync per commit; eight threads funnel into the WAL group commit
+//!   and share fsync barriers, so throughput should rise ≥3x at 8
+//!   threads. The `wal.group_commit.batch_size` histogram (durable
+//!   watermark advance per fsync) is reported per run and must sum to
+//!   the commit count — every commit crosses exactly one barrier.
+//! * **readers** — one in-memory corpus, 1..16 reader threads each
+//!   running snapshot-anchored queries (`doc("d")[t]`) at skewed
+//!   historical timestamps. Readers share the store's read lock and
+//!   immutable version data, so queries/sec should scale with cores.
+//!
+//! ```sh
+//! cargo run --release -p txdb-bench --bin concurrency_bench
+//! ```
+//!
+//! Set `CONCURRENCY_BENCH_QUICK=1` for a small run (CI smoke).
+
+use std::time::Instant;
+
+use txdb_bench::step_ts;
+use txdb_core::{Database, DbOptions};
+use txdb_query::QueryExt;
+
+const COMMIT_THREADS: &[usize] = &[1, 2, 4, 8];
+const READER_THREADS: &[usize] = &[1, 2, 4, 8, 16];
+
+/// One commit-throughput run at a fixed thread count.
+struct CommitRun {
+    threads: usize,
+    puts: u64,
+    elapsed_us: f64,
+    puts_per_sec: f64,
+    fsyncs: u64,
+    mean_batch: f64,
+    p95_batch: u64,
+    max_batch: u64,
+}
+
+fn bench_commits(threads: usize, total_puts: u64) -> CommitRun {
+    let per_thread = total_puts / threads as u64;
+    let puts = per_thread * threads as u64;
+    let dir =
+        std::env::temp_dir().join(format!("txdb-conc-bench-{}t-{}", threads, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = DbOptions::at(&dir).wal_sync(true).open().expect("open");
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let db = &db;
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    db.put(&format!("doc-{t}"), &format!("<a><v>{i}</v></a>"), step_ts(i + 1))
+                        .expect("put");
+                }
+            });
+        }
+    });
+    let elapsed_us = start.elapsed().as_secs_f64() * 1e6;
+    let h = db
+        .metrics()
+        .snapshot()
+        .histogram("wal.group_commit.batch_size")
+        .expect("wal.group_commit.batch_size histogram");
+    assert_eq!(h.sum, puts, "every commit crosses exactly one fsync barrier");
+    assert!(h.count >= 1 && h.count <= puts);
+    db.close().expect("close");
+    let _ = std::fs::remove_dir_all(&dir);
+    CommitRun {
+        threads,
+        puts,
+        elapsed_us,
+        puts_per_sec: puts as f64 / (elapsed_us / 1e6),
+        fsyncs: h.count,
+        mean_batch: h.sum as f64 / h.count.max(1) as f64,
+        p95_batch: h.p95,
+        max_batch: h.max,
+    }
+}
+
+fn bench_readers(db: &Database, threads: usize, queries: usize, versions: u64) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                // Skewed walk: at any instant the threads sit on
+                // different snapshots, so the meta-cache shards and
+                // version chains are all hot at once.
+                for k in 0..queries {
+                    let v = ((k * 7 + t * 13) % versions as usize) as u64;
+                    let q = format!(
+                        r#"SELECT R/n FROM doc("d")[{}]//log R"#,
+                        step_ts(v * 10 + 5).micros()
+                    );
+                    let r = db.query(&q).run().expect("query");
+                    assert_eq!(r.len(), 1, "snapshot query must hit exactly one version");
+                    std::hint::black_box(&r);
+                }
+            });
+        }
+    });
+    (threads * queries) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let quick = std::env::var("CONCURRENCY_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let total_puts: u64 = if quick { 64 } else { 640 };
+    let rounds = if quick { 1 } else { 3 };
+    let (versions, queries_per_thread) = if quick { (16u64, 20usize) } else { (48, 120) };
+    println!("== concurrency_bench: group-commit writers, snapshot readers ==");
+    println!("   commit: {total_puts} durable puts split over {COMMIT_THREADS:?} threads, best of {rounds}");
+    println!(
+        "   readers: {queries_per_thread} snapshot queries/thread over {READER_THREADS:?} threads"
+    );
+
+    // Warm-up (page cache, allocator, code paths), then `rounds`
+    // interleaved passes per thread count keeping the best: fsync latency
+    // on a shared box is spiky, and interleaving keeps a transient stall
+    // from biasing one thread count.
+    let _ = bench_commits(2, total_puts.min(64));
+    let mut commit_runs: Vec<CommitRun> =
+        COMMIT_THREADS.iter().map(|&t| bench_commits(t, total_puts)).collect();
+    for _ in 1..rounds {
+        for (i, &t) in COMMIT_THREADS.iter().enumerate() {
+            let run = bench_commits(t, total_puts);
+            if run.puts_per_sec > commit_runs[i].puts_per_sec {
+                commit_runs[i] = run;
+            }
+        }
+    }
+    for r in &commit_runs {
+        println!(
+            "  commit {}t: {:.0} puts/s ({} puts, {:.0} µs, {} fsyncs, mean batch {:.1}, p95 {}, max {})",
+            r.threads, r.puts_per_sec, r.puts, r.elapsed_us, r.fsyncs, r.mean_batch,
+            r.p95_batch, r.max_batch
+        );
+    }
+    let base = commit_runs.first().expect("1-thread run").puts_per_sec;
+    let at8 = commit_runs.last().expect("8-thread run").puts_per_sec;
+    let commit_speedup = at8 / base.max(0.001);
+    println!("  commit speedup 8t vs 1t: {commit_speedup:.2}x");
+    if !quick && commit_speedup < 3.0 {
+        println!("  WARNING: group-commit speedup below the 3x target");
+    }
+
+    // Reader corpus: one hot document, periodic full snapshots so a
+    // query's reconstruction cost is bounded and uniform.
+    let db = DbOptions::new().snapshot_every(8).open().expect("open");
+    for v in 0..versions {
+        db.put("d", &format!("<log><n>{v}</n><w>alpha{v}</w></log>"), step_ts(v * 10))
+            .expect("put");
+    }
+    let _ = bench_readers(&db, 2, queries_per_thread.min(20), versions); // warm-up
+    let mut reader_runs: Vec<(usize, f64)> = READER_THREADS
+        .iter()
+        .map(|&t| (t, bench_readers(&db, t, queries_per_thread, versions)))
+        .collect();
+    for _ in 1..rounds {
+        for (i, &t) in READER_THREADS.iter().enumerate() {
+            let qps = bench_readers(&db, t, queries_per_thread, versions);
+            if qps > reader_runs[i].1 {
+                reader_runs[i].1 = qps;
+            }
+        }
+    }
+    for (t, qps) in &reader_runs {
+        println!("  readers {t}t: {qps:.0} queries/s");
+    }
+    let reader_base = reader_runs.first().expect("1-thread run").1;
+    let reader_best = reader_runs.iter().map(|&(_, q)| q).fold(0.0f64, f64::max);
+    println!("  reader speedup best vs 1t: {:.2}x", reader_best / reader_base.max(0.001));
+    assert_eq!(
+        db.metrics().snapshot().gauge("db.active_snapshots"),
+        Some(0),
+        "all query pins released"
+    );
+
+    let generated_at = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let commit_json = commit_runs
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{ \"threads\": {}, \"puts\": {}, \"elapsed_us\": {:.1}, \"puts_per_sec\": {:.1}, \"batch_histogram\": {{ \"fsyncs\": {}, \"sum\": {}, \"mean\": {:.2}, \"p95\": {}, \"max\": {} }} }}",
+                r.threads, r.puts, r.elapsed_us, r.puts_per_sec, r.fsyncs, r.puts,
+                r.mean_batch, r.p95_batch, r.max_batch
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let reader_json = reader_runs
+        .iter()
+        .map(|(t, qps)| format!("      {{ \"threads\": {t}, \"queries_per_sec\": {qps:.1} }}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let engine = db.metrics().snapshot().to_json();
+    let json = format!(
+        "{{\n  \"generated_at\": {generated_at},\n  \"quick\": {quick},\n  \"commit\": {{\n    \"wal_sync\": true,\n    \"total_puts\": {total_puts},\n    \"runs\": [\n{commit_json}\n    ],\n    \"speedup_8v1\": {commit_speedup:.2}\n  }},\n  \"readers\": {{\n    \"corpus_versions\": {versions},\n    \"queries_per_thread\": {queries_per_thread},\n    \"runs\": [\n{reader_json}\n    ],\n    \"speedup_best_v1\": {:.2}\n  }},\n  \"engine_metrics\": {}\n}}\n",
+        reader_best / reader_base.max(0.001),
+        engine.trim_end(),
+    );
+    std::fs::write("BENCH_concurrency.json", &json).expect("write BENCH_concurrency.json");
+    println!("  wrote BENCH_concurrency.json");
+}

@@ -127,13 +127,24 @@ impl DbOptions {
 
 /// The temporal XML database.
 ///
-/// Concurrency contract: the store is single-writer/multi-reader and each
-/// index guards itself, but a write updates the store *then* the indexes —
-/// a reader racing a writer may briefly observe a version in the store
-/// whose postings are not yet open (queries stay crash-free; they may miss
-/// the in-flight version until the put returns). Serialise writers (and
-/// readers that need point-in-time consistency across store + index)
-/// externally if that window matters.
+/// Concurrency contract: `Database` is `Send + Sync` — share one handle
+/// (e.g. in an `Arc`) across any number of threads. Reads run in parallel
+/// under the store's reader lock; writers serialize on the store's writer
+/// lock for validate + WAL append + page apply, then pay the durability
+/// fsync *outside* it through the WAL's group commit, so N concurrent
+/// committers share ~1 fsync. Timestamps are MVCC for free: versions are
+/// immutable once written, so a reader that queries `as of t` (with `t`
+/// at or below the last committed timestamp) sees a stable snapshot no
+/// matter what commits afterwards. [`Database::pin_snapshot`] makes that
+/// explicit and additionally fences vacuum from purging versions the
+/// pinned timestamp can still see.
+///
+/// One narrow window remains: a write updates the store *then* the
+/// indexes, so a reader racing a writer may briefly observe a version in
+/// the store whose postings are not yet open (queries stay crash-free;
+/// they may miss the in-flight version until the put returns). Pin a
+/// timestamp below the in-flight write — or serialise with the writer —
+/// when that window matters.
 pub struct Database {
     store: DocumentStore,
     indexes: IndexSet,
@@ -490,6 +501,17 @@ impl Database {
     /// The version of `doc` valid at `ts` (delta-index lookup).
     pub fn version_at(&self, doc: DocId, ts: Timestamp) -> Result<Option<VersionId>> {
         self.store.version_at(doc, ts)
+    }
+
+    /// Pins `ts` as a live snapshot: until the returned pin drops,
+    /// [`Database::vacuum`] clamps its purge horizon at or below `ts`, so
+    /// every version a query `as of ts` can reach stays reconstructible.
+    /// Reads need no pin for *consistency* (committed versions are
+    /// immutable); the pin buys *durability of history* against a
+    /// concurrent vacuum. Query streams hold one automatically for their
+    /// lifetime. The `db.active_snapshots` gauge tracks live pins.
+    pub fn pin_snapshot(&self, ts: Timestamp) -> txdb_storage::SnapshotPin {
+        self.store.snapshots().pin(ts)
     }
 }
 

@@ -835,12 +835,19 @@ pub(crate) fn open_stream<'db>(
     explain: bool,
 ) -> Result<RowStream<'db>> {
     let span = db.metrics().span("query.run_us");
+    // Pin the oldest snapshot time this plan can touch for the cursor's
+    // whole lifetime: a concurrent vacuum clamps its purge horizon below
+    // this pin, so every version the query can still pull stays
+    // reconstructible even if the caller holds the stream open across
+    // later writes and vacuums.
+    let pin = db.pin_snapshot(plan.min_snapshot_time());
     let (h0, m0, _, _, _) = db.store().vcache_stats().snapshot();
     let ctx = Rc::new(Ctx::new(db, plan.now));
     let mut root = lower(&ctx, plan, explain);
     root.open()?;
     let peak = root.buffered() + ctx.cached_trees();
     Ok(RowStream {
+        _pin: pin,
         ctx,
         root,
         span: Some(span),
@@ -860,6 +867,10 @@ pub(crate) fn open_stream<'db>(
 /// metrics registry (including the `exec.peak_rows_buffered` gauge) and,
 /// under `EXPLAIN ANALYZE`, freezes the explain tree.
 pub struct RowStream<'db> {
+    /// Snapshot pin at the query's `NOW` anchor, held until the stream
+    /// drops: fences concurrent vacuum from purging versions this cursor
+    /// may still reconstruct.
+    _pin: txdb_storage::SnapshotPin,
     ctx: Rc<Ctx<'db>>,
     root: Box<dyn Operator + 'db>,
     span: Option<Span<'db>>,

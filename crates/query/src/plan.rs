@@ -97,6 +97,25 @@ pub struct Plan {
     pub limit: Option<usize>,
 }
 
+impl Plan {
+    /// The oldest committed timestamp this plan can touch: the `NOW`
+    /// anchor, lowered by any fixed snapshot qualifier (`doc(..)[t]`)
+    /// and by the start of any `[EVERY]` version range. The executor
+    /// pins this time for the cursor's lifetime, so vacuum cannot purge
+    /// a version the query may still reconstruct.
+    pub fn min_snapshot_time(&self) -> Timestamp {
+        let mut min = self.now;
+        for s in &self.sources {
+            match s.mode {
+                ScanMode::Current => {}
+                ScanMode::At(t) => min = min.min(t),
+                ScanMode::Every(iv) => min = min.min(iv.start),
+            }
+        }
+        min
+    }
+}
+
 /// Plans a parsed query against a database. `now` anchors `NOW`.
 pub fn plan_query(db: &Database, q: &Query, now: Timestamp) -> Result<Plan> {
     let aggregate = q.select.iter().any(Expr::has_aggregate);

@@ -158,6 +158,31 @@ impl BTree {
         self.pool.pager().root(self.root_slot)
     }
 
+    /// Every page the tree references, from the root down. Best-effort:
+    /// a referenced page is included even when it cannot be read or
+    /// parsed (the referencing node still claims it), the walk just does
+    /// not descend past it. Leaf sibling links are not followed — every
+    /// leaf is already reachable through its parent. Used by fsck's
+    /// reachability sweep.
+    pub fn pages(&self) -> Vec<PageId> {
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            if id.is_null() || !seen.insert(id.0) {
+                continue;
+            }
+            out.push(id);
+            let Ok(frame) = self.pool.get(id) else { continue };
+            let Ok(node) = parse(&frame.read()) else { continue };
+            if let Node::Internal { child0, entries } = node {
+                stack.push(child0);
+                stack.extend(entries.iter().map(|(_, c)| *c));
+            }
+        }
+        out
+    }
+
     fn load(&self, id: PageId) -> Result<Node> {
         let frame = self.pool.get(id)?;
         let node = parse(&frame.read())?;

@@ -249,6 +249,32 @@ impl CheckpointStore {
         }
     }
 
+    /// Every page the checkpoint occupies (root page plus blob chain).
+    /// Best-effort: a referenced page is included even when it cannot be
+    /// read, the walk just stops following the chain there. Used by
+    /// fsck's reachability sweep.
+    pub fn pages(&self) -> Vec<PageId> {
+        let root = self.pool.pager().root(self.slot);
+        if root.is_null() {
+            return Vec::new();
+        }
+        let mut out = vec![root];
+        let Ok(Some((buf, _))) = self.read_root() else { return out };
+        let Ok((_, _, _, first, pages)) = Self::parse_root(&buf) else { return out };
+        let mut next = first;
+        let mut walked = 0u32;
+        let mut seen = std::collections::HashSet::new();
+        while !next.is_null() && walked <= pages && seen.insert(next.0) {
+            out.push(next);
+            walked += 1;
+            let Ok(frame) = self.pool.get(next) else { break };
+            next = PageId(u64::from_le_bytes(
+                frame.read()[0..8].try_into().expect("fixed-width slice"),
+            ));
+        }
+        out
+    }
+
     /// Describes the stored checkpoint without validating chunk CRCs.
     /// `Ok(None)` when absent; an error when the root page itself is
     /// unreadable or malformed.

@@ -305,6 +305,49 @@ impl Heap {
         self.delete(rid)?;
         self.insert(data)
     }
+
+    /// The slotted pages of the heap chain, in chain order. Best-effort:
+    /// a referenced page is included even when it cannot be read (the
+    /// chain stops following links there). Overflow pages are not listed
+    /// — they are only reachable through record ids; see
+    /// [`Heap::record_pages`]. Used by fsck's reachability sweep.
+    pub fn pages(&self) -> Vec<PageId> {
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut cur = self.pool.pager().root(self.root_slot);
+        while !cur.is_null() && seen.insert(cur.0) {
+            out.push(cur);
+            let Ok(frame) = self.pool.get(cur) else { break };
+            let buf = frame.read();
+            if buf[0] != TYPE_SLOTTED {
+                break;
+            }
+            cur = PageId(get_u64(&buf, HDR_NEXT));
+        }
+        out
+    }
+
+    /// The pages a record occupies: the slotted page for inline records,
+    /// the whole overflow chain for blobs. Best-effort: a referenced page
+    /// is included even when it cannot be read, then the walk stops.
+    pub fn record_pages(&self, rid: RecordId) -> Vec<PageId> {
+        if rid.slot != SLOT_BLOB {
+            return vec![rid.page];
+        }
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut cur = rid.page;
+        while !cur.is_null() && seen.insert(cur.0) {
+            out.push(cur);
+            let Ok(frame) = self.pool.get(cur) else { break };
+            let buf = frame.read();
+            if buf[0] != TYPE_OVERFLOW {
+                break;
+            }
+            cur = PageId(get_u64(&buf, OVF_NEXT));
+        }
+        out
+    }
 }
 
 fn write_overflow(frame: &crate::buffer::Frame, chunk: &[u8]) {

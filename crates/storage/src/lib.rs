@@ -25,6 +25,10 @@
 //!   staged in a sealed, CRC-guarded batch before any home location is
 //!   overwritten, so a torn page at a checkpoint crash point is always
 //!   recoverable (old image or journaled new image);
+//! * [`snapshot`] — refcounted snapshot pins: readers pin a commit
+//!   timestamp and vacuum's purge horizon is clamped below the oldest
+//!   live pin, so a pinned snapshot can never lose versions under a
+//!   concurrent reader;
 //! * [`ckpt`] — durable storage for serialized index checkpoints (a
 //!   CRC-guarded page chain), which turns index rebuild at open from
 //!   O(history) into O(index) + a tail replay;
@@ -48,6 +52,7 @@ pub mod heap;
 pub mod journal;
 pub mod pager;
 pub mod repo;
+pub mod snapshot;
 pub mod vcache;
 pub mod vfs;
 pub mod wal;
@@ -60,6 +65,7 @@ pub use repo::{
     DocumentStore, FsckReport, IndexCheckpointReport, IndexCheckpointState, StoreOptions,
     VersionEntry, VersionKind,
 };
+pub use snapshot::{SnapshotPin, SnapshotRegistry};
 pub use vcache::{VersionCache, VersionCacheStats};
 pub use vfs::{FaultyVfs, RealVfs, Vfs, VfsFile};
 pub use wal::{Wal, WalMetrics};

@@ -41,6 +41,7 @@ use crate::buffer::{BufferPool, BufferStats};
 use crate::ckpt::{CheckpointInfo, CheckpointStore};
 use crate::heap::{Heap, RecordId};
 use crate::pager::Pager;
+use crate::snapshot::SnapshotRegistry;
 use crate::vfs::{RealVfs, Vfs};
 use crate::wal::{Wal, WalMetrics};
 
@@ -409,6 +410,10 @@ pub struct VacuumStats {
     pub purged_versions: usize,
     /// Bytes of delta/snapshot records freed.
     pub freed_bytes: u64,
+    /// The purge horizon actually applied: the requested `before`, unless
+    /// a live snapshot pin clamped it lower ([`Timestamp::ZERO`] when the
+    /// document did not exist).
+    pub horizon: Timestamp,
 }
 
 /// Space usage, for the storage experiments (E8).
@@ -431,8 +436,18 @@ pub struct SpaceStats {
 pub struct FsckReport {
     /// Total pages in the store file.
     pub pages: u64,
-    /// Pages whose CRC32 trailer did not match their contents.
+    /// Pages whose CRC32 trailer did not match their contents **and**
+    /// that are reachable from a live structure (header, free list, heap
+    /// chains, btrees, checkpoint chain, document records). These are
+    /// real corruption: some read path can hit them.
     pub bad_pages: Vec<u64>,
+    /// CRC-dirty pages that no live structure references — *leaked*
+    /// pages, typically abandoned by [`DocumentStore::salvage_rebuild_catalog`]
+    /// (which must not trust broken btrees enough to free their pages) or
+    /// by a crash between allocation and linking. They waste space but no
+    /// read path can reach them, so they are reported, not fatal: the
+    /// store stays `clean` and the sweep continues instead of failing.
+    pub leaked_pages: Vec<u64>,
     /// Documents visited in the catalog sweep.
     pub docs: usize,
     /// Version entries (delta-index rows) checked.
@@ -469,7 +484,9 @@ pub struct FsckReport {
 impl FsckReport {
     /// True when no corruption of any kind was found. A torn WAL tail
     /// alone does not make a store unclean — it is the expected residue
-    /// of a crash and recovery already discards it.
+    /// of a crash and recovery already discards it. Leaked pages
+    /// ([`FsckReport::leaked_pages`]) likewise do not: nothing reachable
+    /// references them.
     pub fn is_clean(&self) -> bool {
         self.bad_pages.is_empty() && self.errors.is_empty()
     }
@@ -481,6 +498,16 @@ impl std::fmt::Display for FsckReport {
         writeln!(f, "bad pages:        {}", self.bad_pages.len())?;
         for p in &self.bad_pages {
             writeln!(f, "  page {p}: checksum mismatch")?;
+        }
+        if !self.leaked_pages.is_empty() {
+            writeln!(
+                f,
+                "leaked pages:     {} (checksum-dirty but unreachable; wasted space, not corruption)",
+                self.leaked_pages.len()
+            )?;
+            for p in &self.leaked_pages {
+                writeln!(f, "  page {p}: unreachable, checksum mismatch")?;
+            }
         }
         writeln!(f, "documents:        {}", self.docs)?;
         writeln!(f, "versions checked: {}", self.versions_checked)?;
@@ -507,6 +534,56 @@ const WAL_PUT: u8 = 1;
 const WAL_DELETE: u8 = 2;
 const WAL_VACUUM: u8 = 3;
 
+/// Shard count of the decoded-metadata cache. Like the version cache's
+/// sharding, this keeps a fleet of concurrent readers from convoying on
+/// one mutex; 16 shards make same-shard collisions rare at the thread
+/// counts the store targets (≤ 16 concurrent readers per core group).
+const META_SHARDS: usize = 16;
+
+/// One cached entry: the record id of the metadata record plus its
+/// decoded form, shared with every reader that hit the cache.
+type CachedMeta = Arc<(RecordId, DocMeta)>;
+type MetaShard = Mutex<std::collections::HashMap<DocId, CachedMeta>>;
+
+/// Sharded decoded-metadata cache (doc id → `Arc<(meta rid, DocMeta)>`).
+/// Readers on different documents take different mutexes; each lock is
+/// held only for a `HashMap` probe — never across I/O.
+struct MetaCache {
+    shards: Vec<MetaShard>,
+}
+
+impl MetaCache {
+    fn new() -> MetaCache {
+        MetaCache {
+            shards: (0..META_SHARDS)
+                .map(|_| Mutex::new(std::collections::HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, doc: DocId) -> &MetaShard {
+        &self.shards[doc.0 as usize % META_SHARDS]
+    }
+
+    fn get(&self, doc: DocId) -> Option<CachedMeta> {
+        self.shard(doc).lock().get(&doc).cloned()
+    }
+
+    fn insert(&self, doc: DocId, meta: CachedMeta) {
+        self.shard(doc).lock().insert(doc, meta);
+    }
+
+    fn remove(&self, doc: DocId) {
+        self.shard(doc).lock().remove(&doc);
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
+}
+
 /// The document store.
 pub struct DocumentStore {
     pool: Arc<BufferPool>,
@@ -519,12 +596,20 @@ pub struct DocumentStore {
     opts: StoreOptions,
     /// Single-writer / multi-reader isolation: writers relocate heap
     /// records in place (the current-version record is updated on every
-    /// put), so readers must not observe a half-applied operation.
+    /// put), so readers must not observe a half-applied operation. The
+    /// write-side critical section covers validate + WAL append + page
+    /// apply only — the commit fsync happens *after* the guard drops, so
+    /// readers and other committers proceed while the leader syncs.
     sync: RwLock<()>,
     /// Decoded-metadata cache: document metadata (the delta index) is read
     /// on every temporal lookup; decoding the record each time would make
-    /// `version_at` O(versions) per call. Writers invalidate.
-    meta_cache: Mutex<std::collections::HashMap<DocId, Arc<(RecordId, DocMeta)>>>,
+    /// `version_at` O(versions) per call. Sharded so concurrent readers
+    /// don't convoy on one mutex. Writers invalidate.
+    meta_cache: MetaCache,
+    /// Live snapshot pins: vacuum's purge horizon is clamped below the
+    /// oldest pinned timestamp (before WAL logging, so replay reproduces
+    /// exactly what was applied).
+    snapshots: Arc<SnapshotRegistry>,
     /// Materialized-version cache (§7.3.3 reconstruction results), byte-
     /// budgeted by [`StoreOptions::cache_bytes`]. Writers invalidate per
     /// document; `fsck` bypasses it so the check exercises real chains.
@@ -608,7 +693,8 @@ impl DocumentStore {
             ckpt,
             opts,
             sync: RwLock::new(()),
-            meta_cache: Mutex::new(std::collections::HashMap::new()),
+            meta_cache: MetaCache::new(),
+            snapshots: Arc::new(SnapshotRegistry::new(metrics.gauge("db.active_snapshots"))),
             vcache,
             read_only: Mutex::new(None),
             metrics,
@@ -802,19 +888,32 @@ impl DocumentStore {
     /// Stores a new version of `name`. Creates the document if absent,
     /// diffs against the current version otherwise; assigns XIDs.
     pub fn put_tree(&self, name: &str, tree: Tree, ts: Timestamp) -> Result<PutResult> {
-        let _g = self.sync.write();
-        self.ensure_writable()?;
-        // Validate BEFORE logging: a record that can never apply must not
-        // reach the WAL, or it would poison every future recovery.
-        self.check_monotonic(name, ts)?;
-        // WAL first. The logged tree is the raw parsed content (XIDs are
-        // assigned deterministically during apply, so replay is exact).
-        let mut rec = vec![WAL_PUT];
-        encode_str(&mut rec, name);
-        rec.extend_from_slice(&ts.micros().to_le_bytes());
-        rec.extend_from_slice(&encode_tree(&tree));
-        self.wal.append(&rec)?;
-        self.apply_put(name, tree, ts)
+        let (result, seq) = {
+            // Announce before queueing on the writer lock: a group-commit
+            // leader mid-fsync-decision will hold its barrier briefly so
+            // this record joins the batch.
+            let _announced = self.wal.announce();
+            let _g = self.sync.write();
+            self.ensure_writable()?;
+            // Validate BEFORE logging: a record that can never apply must
+            // not reach the WAL, or it would poison every future recovery.
+            self.check_monotonic(name, ts)?;
+            // WAL first. The logged tree is the raw parsed content (XIDs
+            // are assigned deterministically during apply, so replay is
+            // exact).
+            let mut rec = vec![WAL_PUT];
+            encode_str(&mut rec, name);
+            rec.extend_from_slice(&ts.micros().to_le_bytes());
+            rec.extend_from_slice(&encode_tree(&tree));
+            let seq = self.wal.append(&rec)?;
+            (self.apply_put(name, tree, ts)?, seq)
+        };
+        // Group-commit durability barrier, *outside* the writer lock:
+        // while this thread waits for the fsync (its own, or the current
+        // leader's), other committers append + apply freely, so N
+        // concurrent committers share ~1 fsync instead of paying N.
+        self.wal.commit(seq)?;
+        Ok(result)
     }
 
     fn apply_put(&self, name: &str, mut tree: Tree, ts: Timestamp) -> Result<PutResult> {
@@ -979,21 +1078,26 @@ impl DocumentStore {
     /// stays queryable). Returns `None` if the document does not exist or
     /// is already deleted.
     pub fn delete(&self, name: &str, ts: Timestamp) -> Result<Option<DeleteResult>> {
-        let _g = self.sync.write();
-        self.ensure_writable()?;
-        // No-op deletes (unknown or already-deleted documents) must not
-        // reach the WAL.
-        match self.lookup_meta(name)? {
-            None => return Ok(None),
-            Some((.., meta)) if meta.is_deleted() => return Ok(None),
-            Some(_) => {}
-        }
-        self.check_monotonic(name, ts)?;
-        let mut rec = vec![WAL_DELETE];
-        encode_str(&mut rec, name);
-        rec.extend_from_slice(&ts.micros().to_le_bytes());
-        self.wal.append(&rec)?;
-        self.apply_delete(name, ts)
+        let (result, seq) = {
+            let _announced = self.wal.announce();
+            let _g = self.sync.write();
+            self.ensure_writable()?;
+            // No-op deletes (unknown or already-deleted documents) must
+            // not reach the WAL.
+            match self.lookup_meta(name)? {
+                None => return Ok(None),
+                Some((.., meta)) if meta.is_deleted() => return Ok(None),
+                Some(_) => {}
+            }
+            self.check_monotonic(name, ts)?;
+            let mut rec = vec![WAL_DELETE];
+            encode_str(&mut rec, name);
+            rec.extend_from_slice(&ts.micros().to_le_bytes());
+            let seq = self.wal.append(&rec)?;
+            (self.apply_delete(name, ts)?, seq)
+        };
+        self.wal.commit(seq)?;
+        Ok(result)
     }
 
     fn apply_delete(&self, name: &str, ts: Timestamp) -> Result<Option<DeleteResult>> {
@@ -1037,24 +1141,39 @@ impl DocumentStore {
     /// After a vacuum, temporal queries before the horizon return nothing
     /// and `CreTime` delta traversal bottoms out at the horizon; the
     /// EID-time index keeps exact create times.
+    ///
+    /// Live snapshot pins clamp the horizon: a reader pinned at `t < before`
+    /// caps the effective purge horizon at `t`, so no version that pinned
+    /// reader can still see is freed. The returned stats carry the
+    /// effective horizon in [`VacuumStats::horizon`].
     pub fn vacuum(&self, name: &str, before: Timestamp) -> Result<Option<VacuumStats>> {
-        let _g = self.sync.write();
-        self.ensure_writable()?;
-        if self.lookup_meta(name)?.is_none() {
-            return Ok(None);
-        }
-        let mut rec = vec![WAL_VACUUM];
-        encode_str(&mut rec, name);
-        rec.extend_from_slice(&before.micros().to_le_bytes());
-        self.wal.append(&rec)?;
-        self.apply_vacuum(name, before)
+        let (result, seq) = {
+            let _announced = self.wal.announce();
+            let _g = self.sync.write();
+            self.ensure_writable()?;
+            if self.lookup_meta(name)?.is_none() {
+                return Ok(None);
+            }
+            // Clamp below the oldest pinned snapshot BEFORE logging: the
+            // WAL must carry the *effective* horizon, because recovery
+            // replays with no pins alive and has to reproduce exactly
+            // what was applied here.
+            let before = self.snapshots.clamp(before);
+            let mut rec = vec![WAL_VACUUM];
+            encode_str(&mut rec, name);
+            rec.extend_from_slice(&before.micros().to_le_bytes());
+            let seq = self.wal.append(&rec)?;
+            (self.apply_vacuum(name, before)?, seq)
+        };
+        self.wal.commit(seq)?;
+        Ok(result)
     }
 
     fn apply_vacuum(&self, name: &str, before: Timestamp) -> Result<Option<VacuumStats>> {
         let Some((doc, meta_rid, mut meta)) = self.lookup_meta(name)? else {
             return Ok(None);
         };
-        let mut stats = VacuumStats::default();
+        let mut stats = VacuumStats { horizon: before, ..Default::default() };
         let n = meta.entries.len();
         for i in 0..n {
             let end = meta.entries.get(i + 1).map(|e| e.ts).unwrap_or(Timestamp::FOREVER);
@@ -1145,21 +1264,22 @@ impl DocumentStore {
         Ok((cached.0, cached.1.clone()))
     }
 
-    /// Cached decode of a document's metadata record.
+    /// Cached decode of a document's metadata record. Readers share the
+    /// `Arc` without cloning the (possibly long) entry vector.
     fn meta_arc(&self, doc: DocId) -> Result<Arc<(RecordId, DocMeta)>> {
-        if let Some(hit) = self.meta_cache.lock().get(&doc) {
-            return Ok(hit.clone());
+        if let Some(hit) = self.meta_cache.get(doc) {
+            return Ok(hit);
         }
         let rid_bytes = self.docs.get(&doc.0.to_be_bytes())?.ok_or(Error::NoSuchDocId(doc))?;
         let rid = RecordId::from_bytes(&rid_bytes)?;
         let meta = DocMeta::decode(&self.heap.get(rid)?)?;
         let arc = Arc::new((rid, meta));
-        self.meta_cache.lock().insert(doc, arc.clone());
+        self.meta_cache.insert(doc, arc.clone());
         Ok(arc)
     }
 
     fn invalidate_meta(&self, doc: DocId) {
-        self.meta_cache.lock().remove(&doc);
+        self.meta_cache.remove(doc);
     }
 
     fn current_tree_of(&self, meta: &DocMeta) -> Result<Tree> {
@@ -1169,16 +1289,30 @@ impl DocumentStore {
         decode_tree(&self.heap.get(rid)?)
     }
 
-    /// The doc id of a name, if present.
+    /// The live snapshot-pin registry. Callers pin a commit timestamp
+    /// (`store.snapshots().pin(ts)`) to guarantee vacuum never purges a
+    /// version that timestamp can still see; the pin releases on drop.
+    pub fn snapshots(&self) -> &Arc<SnapshotRegistry> {
+        &self.snapshots
+    }
+
+    /// The doc id of a name, if present. Reads the catalog directly —
+    /// no metadata record is touched or cloned.
     pub fn doc_id(&self, name: &str) -> Result<Option<DocId>> {
         let _g = self.sync.read();
-        Ok(self.lookup_meta(name)?.map(|(d, ..)| d))
+        let Some(docid_bytes) = self.catalog.get(name.as_bytes())? else {
+            return Ok(None);
+        };
+        if docid_bytes.len() != 4 {
+            return Err(Error::Corrupt("bad doc id in catalog".into()));
+        }
+        Ok(Some(DocId(u32::from_be_bytes(docid_bytes[..4].try_into().expect("fixed-width slice")))))
     }
 
     /// The name of a doc id.
     pub fn doc_name(&self, doc: DocId) -> Result<String> {
         let _g = self.sync.read();
-        Ok(self.meta_of(doc)?.1.name)
+        Ok(self.meta_arc(doc)?.1.name.clone())
     }
 
     /// All documents (id, name), in id order.
@@ -1188,7 +1322,7 @@ impl DocumentStore {
         for entry in self.docs.iter()? {
             let (k, _) = entry?;
             let doc = DocId(u32::from_be_bytes(k[..4].try_into().expect("fixed-width slice")));
-            out.push((doc, self.meta_of(doc)?.1.name));
+            out.push((doc, self.meta_arc(doc)?.1.name.clone()));
         }
         Ok(out)
     }
@@ -1197,37 +1331,37 @@ impl DocumentStore {
     /// record locations (§7.1, §7.3.7).
     pub fn versions(&self, doc: DocId) -> Result<Vec<VersionEntry>> {
         let _g = self.sync.read();
-        Ok(self.meta_of(doc)?.1.entries)
+        Ok(self.meta_arc(doc)?.1.entries.clone())
     }
 
     /// True when the document's last version is a tombstone.
     pub fn is_deleted(&self, doc: DocId) -> Result<bool> {
         let _g = self.sync.read();
-        Ok(self.meta_of(doc)?.1.is_deleted())
+        Ok(self.meta_arc(doc)?.1.is_deleted())
     }
 
     /// The XID high-water mark (next to be assigned).
     pub fn next_xid(&self, doc: DocId) -> Result<Xid> {
         let _g = self.sync.read();
-        Ok(self.meta_of(doc)?.1.next_xid)
+        Ok(self.meta_arc(doc)?.1.next_xid)
     }
 
     /// The current tree (last content version). Errors if the document is
     /// deleted — use [`DocumentStore::version_tree`] for history.
     pub fn current_tree(&self, doc: DocId) -> Result<Tree> {
         let _g = self.sync.read();
-        let (_, meta) = self.meta_of(doc)?;
-        if meta.is_deleted() {
+        let meta = self.meta_arc(doc)?;
+        if meta.1.is_deleted() {
             return Err(Error::NotValidAt(doc, Timestamp::FOREVER));
         }
-        self.current_tree_of(&meta)
+        self.current_tree_of(&meta.1)
     }
 
     /// The version valid at time `ts`, if any (the snapshot selector used
     /// by `TPatternScan` and friends). Tombstone intervals yield `None`.
     pub fn version_at(&self, doc: DocId, ts: Timestamp) -> Result<Option<VersionId>> {
         let _g = self.sync.read();
-        let (_, meta) = self.meta_of(doc)?;
+        let meta = &self.meta_arc(doc)?.1;
         let mut found = None;
         for e in &meta.entries {
             if e.ts <= ts {
@@ -1246,7 +1380,7 @@ impl DocumentStore {
     /// `FOREVER`-bounded for the last entry.
     pub fn version_interval(&self, doc: DocId, v: VersionId) -> Result<Interval> {
         let _g = self.sync.read();
-        let (_, meta) = self.meta_of(doc)?;
+        let meta = &self.meta_arc(doc)?.1;
         let e = meta.entries.get(v.0 as usize).ok_or(Error::NoSuchVersion(doc, v))?;
         let end = meta.entries.get(v.0 as usize + 1).map(|n| n.ts).unwrap_or(Timestamp::FOREVER);
         Ok(Interval::new(e.ts, end))
@@ -1259,8 +1393,8 @@ impl DocumentStore {
     /// (the cost metric of experiment E4; a cache hit costs 0).
     pub fn version_tree_counted(&self, doc: DocId, v: VersionId) -> Result<(Tree, usize)> {
         let _g = self.sync.read();
-        let (_, meta) = self.meta_of(doc)?;
-        self.reconstruct_counted(&meta, doc, v, true)
+        let meta = self.meta_arc(doc)?;
+        self.reconstruct_counted(&meta.1, doc, v, true)
     }
 
     /// Lock-free reconstruction core, shared with [`DocumentStore::fsck`]
@@ -1374,7 +1508,7 @@ impl DocumentStore {
     /// version and tombstones).
     pub fn delta(&self, doc: DocId, v: VersionId) -> Result<Option<Delta>> {
         let _g = self.sync.read();
-        let (_, meta) = self.meta_of(doc)?;
+        let meta = &self.meta_arc(doc)?.1;
         let e = meta.entries.get(v.0 as usize).ok_or(Error::NoSuchVersion(doc, v))?;
         match e.delta_rid {
             Some(rid) => Ok(Some(self.load_delta(rid)?)),
@@ -1406,6 +1540,15 @@ impl DocumentStore {
         let _span = self.metrics.span("checkpoint.write_us");
         let _g = self.sync.write();
         self.ensure_writable()?;
+        // Checkpointing under live readers is safe — pages flush atomically
+        // through the journal and pinned versions are immutable — but the
+        // count is operationally interesting (a long-pinned reader holds
+        // back vacuum), so leave a trace.
+        let active = self.snapshots.active();
+        if active > 0 {
+            self.metrics
+                .emit("checkpoint.active_snapshots", &[("count", EventValue::U64(active as u64))]);
+        }
         match &self.opts.path {
             Some(dir) => {
                 let pager = self.pool.pager();
@@ -1617,7 +1760,87 @@ impl DocumentStore {
                 }
             }
         }
+        // Classify checksum failures by reachability: a CRC-dirty page no
+        // live structure references is a *leak* (salvage abandons btree
+        // pages by design), not corruption — report it without failing
+        // the sweep. This partition is skipped on the unreadable-btree
+        // early return above, where reachability cannot be established.
+        if !r.bad_pages.is_empty() {
+            let reachable = self.reachable_pages();
+            let (bad, leaked) =
+                std::mem::take(&mut r.bad_pages).into_iter().partition(|p| reachable.contains(p));
+            r.bad_pages = bad;
+            r.leaked_pages = leaked;
+        }
         r
+    }
+
+    /// Every page id reachable from a live structure, best-effort: the
+    /// header, the free list, the heap's slotted chain, every record's
+    /// overflow chain, the catalog / document-directory / EID btrees and
+    /// the index-checkpoint chain. Unreadable links contribute the
+    /// referenced page id itself (so a corrupt-but-referenced page counts
+    /// as reachable) and end their walk.
+    fn reachable_pages(&self) -> std::collections::HashSet<u64> {
+        use crate::pager::PageId;
+        let mut reach = std::collections::HashSet::new();
+        reach.insert(0u64); // header page
+                            // Free-list chain: each free page holds the next id in its first
+                            // 8 bytes. The insert doubles as the cycle guard.
+        let mut next = self.pool.pager().free_head();
+        while next != 0 && reach.insert(next) {
+            match self.pool.get(PageId(next)) {
+                Ok(frame) => {
+                    let buf = frame.read();
+                    next = u64::from_le_bytes(buf[0..8].try_into().expect("fixed-width slice"));
+                }
+                Err(_) => break,
+            }
+        }
+        for p in self.heap.pages() {
+            reach.insert(p.0);
+        }
+        for p in self.catalog.pages() {
+            reach.insert(p.0);
+        }
+        for p in self.docs.pages() {
+            reach.insert(p.0);
+        }
+        // The EID index root slot belongs to txdb-index; only walk it when
+        // a tree was ever planted (BTree::open would allocate one — fsck
+        // must not mutate the store).
+        if !self.pool.pager().root(roots::EID_INDEX).is_null() {
+            if let Ok(eid) = BTree::open(self.pool.clone(), roots::EID_INDEX) {
+                for p in eid.pages() {
+                    reach.insert(p.0);
+                }
+            }
+        }
+        for p in self.ckpt.pages() {
+            reach.insert(p.0);
+        }
+        // Overflow chains hang off individual records, not the slotted
+        // chain: walk every record the document directory references.
+        if let Ok(iter) = self.docs.iter() {
+            for (_, rid_bytes) in iter.flatten() {
+                let Ok(rid) = RecordId::from_bytes(&rid_bytes) else { continue };
+                for p in self.heap.record_pages(rid) {
+                    reach.insert(p.0);
+                }
+                let Ok(meta) = self.heap.get(rid).and_then(|b| DocMeta::decode(&b)) else {
+                    continue;
+                };
+                let rids = meta.current_rid.into_iter().chain(
+                    meta.entries.iter().flat_map(|e| e.delta_rid.into_iter().chain(e.snapshot_rid)),
+                );
+                for r2 in rids {
+                    for p in self.heap.record_pages(r2) {
+                        reach.insert(p.0);
+                    }
+                }
+            }
+        }
+        reach
     }
 
     /// Physically truncates a torn WAL tail, making the log end at the
@@ -1712,7 +1935,7 @@ impl DocumentStore {
         // a salvaged id (ids must stay unique across the rebuild).
         let next = pager.root(roots::NEXT_DOC).0.max(max_id);
         pager.set_root(roots::NEXT_DOC, crate::pager::PageId(next));
-        self.meta_cache.lock().clear();
+        self.meta_cache.clear();
         self.vcache.clear();
         self.pool.flush_all()?;
         Ok(metas.len())
@@ -2199,6 +2422,43 @@ mod tests {
         assert!(!r.is_clean());
         assert_eq!(r.bad_pages, vec![victim as u64]);
         assert!(r.to_string().contains("CORRUPT"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsck_counts_leaked_pages_without_corrupt_verdict() {
+        let dir = tmpdir("fsck-leak");
+        let opts = StoreOptions { path: Some(dir.clone()), ..Default::default() };
+        let victim;
+        {
+            let (store, _) = DocumentStore::open(opts.clone()).unwrap();
+            store.put("d", "<a>1</a>", ts(1)).unwrap();
+            store.put("e", "<b>2</b>", ts(2)).unwrap();
+            store.checkpoint().unwrap();
+            // Salvage abandons the old catalog/directory btree pages by
+            // design: it must not trust broken structures enough to walk
+            // (and free) them, so they leak until the file is rebuilt.
+            let abandoned = store.catalog.pages();
+            assert!(!abandoned.is_empty());
+            victim = abandoned[0].0;
+            store.salvage_rebuild_catalog().unwrap();
+            store.checkpoint().unwrap();
+        }
+        // Bit-rot on the leaked page: CRC-dirty, but nothing references
+        // it — fsck must report a leak, not corruption.
+        let db = dir.join("data.db");
+        let mut bytes = std::fs::read(&db).unwrap();
+        let phys = crate::pager::PHYS_PAGE_SIZE;
+        bytes[victim as usize * phys + 7] ^= 0x01;
+        std::fs::write(&db, &bytes).unwrap();
+        let (store, _) = DocumentStore::open(opts).unwrap();
+        let r = store.fsck();
+        assert!(r.bad_pages.is_empty(), "leaked page misclassified as corrupt: {r}");
+        assert_eq!(r.leaked_pages, vec![victim]);
+        assert!(r.is_clean(), "a leak must not fail the sweep: {r}");
+        assert!(r.to_string().contains("leaked pages"));
+        // Data survives untouched.
+        assert_eq!(store.list().unwrap().len(), 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

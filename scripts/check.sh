@@ -99,6 +99,37 @@ d['limit1']['rows_scanned'] < d['full']['rows'], d" "$out"
 }
 run_phase "exec_bench smoke (streaming executor)" exec_bench_smoke
 
+# Concurrency: the dedicated stress/differential suite (shared-handle
+# readers vs serial replay, pinned snapshots fencing vacuum, racing
+# writers + vacuum, durable group commit), then the concurrency
+# benchmark in quick mode, whose JSON must carry a group-commit batch
+# histogram accounting for every commit (sum == total puts at the
+# 8-thread point) and per-thread-count throughput figures.
+concurrency_stress() {
+    cargo test -q --offline -p temporal-xml --test concurrency
+}
+run_phase "concurrency stress + differential" concurrency_stress
+
+concurrency_bench_smoke() {
+    local root dir out
+    root=$(pwd)
+    dir=$(mktemp -d)
+    (cd "$dir" && CONCURRENCY_BENCH_QUICK=1 cargo run -q --offline \
+        --manifest-path "$root/Cargo.toml" -p txdb-bench --bin concurrency_bench > /dev/null)
+    out="$dir/BENCH_concurrency.json"
+    if command -v python3 > /dev/null 2>&1; then
+        python3 -c "import json,sys; d=json.load(open(sys.argv[1])); \
+runs=d['commit']['runs']; \
+assert all(r['batch_histogram']['sum'] == r['puts'] for r in runs), runs; \
+assert runs[-1]['threads'] == 8 and runs[-1]['batch_histogram']['max'] >= 1, runs; \
+assert all(r['queries_per_sec'] > 0 for r in d['readers']['runs']), d['readers']" "$out"
+    else
+        grep -q '"batch_histogram"' "$out" && grep -q '"queries_per_sec"' "$out"
+    fi
+    rm -rf "$dir"
+}
+run_phase "concurrency_bench smoke (group commit)" concurrency_bench_smoke
+
 echo "== OK =="
 for i in "${!PHASES[@]}"; do
     printf '  %-38s %ss\n' "${PHASES[$i]}" "${TIMES[$i]}"
