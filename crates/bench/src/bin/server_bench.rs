@@ -1,0 +1,233 @@
+//! Over-the-wire throughput: wire clients versus the in-process engine.
+//!
+//! Two sections, written to `BENCH_server.json`:
+//!
+//! * **puts** — a fresh durable (`wal_sync`) store behind a server per
+//!   client count; a fixed total number of tiny `PUT`s is split across
+//!   1/2/4/8 wire clients writing disjoint documents. Each client is a
+//!   session thread on the server, so concurrent wire commits funnel
+//!   into the WAL group commit exactly like in-process threads — put
+//!   throughput should rise with client count, and the
+//!   `wal.group_commit.batch_size` histogram must sum to the commit
+//!   count (every wire commit crosses exactly one fsync barrier).
+//! * **queries** — one shared corpus, 1/2/4/8 wire clients streaming
+//!   snapshot-anchored queries at skewed historical timestamps. Adds
+//!   the serial in-process rate as the no-wire baseline, so the JSON
+//!   records what the transport costs.
+//!
+//! ```sh
+//! cargo run --release -p txdb-bench --bin server_bench
+//! ```
+//!
+//! Set `SERVER_BENCH_QUICK=1` for a small run (CI smoke).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use txdb_bench::step_ts;
+use txdb_client::Client;
+use txdb_core::{Database, DbOptions};
+use txdb_query::QueryExt;
+use txdb_server::{Server, ServerConfig};
+
+const CLIENT_COUNTS: &[usize] = &[1, 2, 4, 8];
+
+fn start_server(db: Arc<Database>) -> Server {
+    Server::start(db, ServerConfig::default()).expect("server start")
+}
+
+/// One wire-commit run at a fixed client count.
+struct PutRun {
+    clients: usize,
+    puts: u64,
+    elapsed_us: f64,
+    puts_per_sec: f64,
+    fsyncs: u64,
+    mean_batch: f64,
+}
+
+fn bench_wire_puts(clients: usize, total_puts: u64) -> PutRun {
+    let per_client = total_puts / clients as u64;
+    let puts = per_client * clients as u64;
+    let dir =
+        std::env::temp_dir().join(format!("txdb-server-bench-{}c-{}", clients, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Arc::new(DbOptions::at(&dir).wal_sync(true).open().expect("open"));
+    let server = start_server(Arc::clone(&db));
+    let addr = server.addr();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for i in 0..per_client {
+                    let r = client
+                        .put(
+                            &format!("doc-{c}"),
+                            &format!("<a><v>{i}</v></a>"),
+                            Some(step_ts(i + 1).micros()),
+                        )
+                        .expect("wire put");
+                    assert!(r.changed);
+                }
+            });
+        }
+    });
+    let elapsed_us = start.elapsed().as_secs_f64() * 1e6;
+    let h = db
+        .metrics()
+        .snapshot()
+        .histogram("wal.group_commit.batch_size")
+        .expect("wal.group_commit.batch_size histogram");
+    assert_eq!(h.sum, puts, "every wire commit crosses exactly one fsync barrier");
+    server.shutdown().expect("drain");
+    let _ = std::fs::remove_dir_all(&dir);
+    PutRun {
+        clients,
+        puts,
+        elapsed_us,
+        puts_per_sec: puts as f64 / (elapsed_us / 1e6),
+        fsyncs: h.count,
+        mean_batch: h.sum as f64 / h.count.max(1) as f64,
+    }
+}
+
+fn query_at(k: usize, c: usize, versions: u64) -> (String, u64) {
+    let v = ((k * 7 + c * 13) % versions as usize) as u64;
+    (r#"SELECT R/n FROM doc("d")//log R"#.to_string(), step_ts(v * 10 + 5).micros())
+}
+
+fn bench_wire_queries(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    queries: usize,
+    versions: u64,
+) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for k in 0..queries {
+                    let (q, at) = query_at(k, c, versions);
+                    let r = client.query(&q, Some(at)).expect("wire query");
+                    assert_eq!(r.rows.len(), 1, "snapshot query must hit exactly one version");
+                    std::hint::black_box(&r);
+                }
+            });
+        }
+    });
+    (clients * queries) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn bench_inprocess_queries(db: &Database, queries: usize, versions: u64) -> f64 {
+    let start = Instant::now();
+    for k in 0..queries {
+        let (q, at) = query_at(k, 0, versions);
+        let r = db.query(&q).at(txdb_base::Timestamp::from_micros(at)).run().expect("query");
+        assert_eq!(r.len(), 1);
+        std::hint::black_box(&r);
+    }
+    queries as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let quick = std::env::var("SERVER_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let total_puts: u64 = if quick { 64 } else { 640 };
+    let rounds = if quick { 1 } else { 3 };
+    let (versions, queries_per_client) = if quick { (16u64, 20usize) } else { (48, 120) };
+    println!("== server_bench: over-the-wire puts and queries ==");
+    println!("   puts: {total_puts} durable PUTs split over {CLIENT_COUNTS:?} wire clients, best of {rounds}");
+    println!("   queries: {queries_per_client} snapshot QUERYs/client over {CLIENT_COUNTS:?} wire clients");
+
+    // Warm-up, then interleaved best-of-N per client count (fsync
+    // latency is spiky on shared boxes; see concurrency_bench).
+    let _ = bench_wire_puts(2, total_puts.min(64));
+    let mut put_runs: Vec<PutRun> =
+        CLIENT_COUNTS.iter().map(|&c| bench_wire_puts(c, total_puts)).collect();
+    for _ in 1..rounds {
+        for (i, &c) in CLIENT_COUNTS.iter().enumerate() {
+            let run = bench_wire_puts(c, total_puts);
+            if run.puts_per_sec > put_runs[i].puts_per_sec {
+                put_runs[i] = run;
+            }
+        }
+    }
+    for r in &put_runs {
+        println!(
+            "  puts {}c: {:.0} puts/s ({} puts, {:.0} µs, {} fsyncs, mean batch {:.1})",
+            r.clients, r.puts_per_sec, r.puts, r.elapsed_us, r.fsyncs, r.mean_batch
+        );
+    }
+    let put_base = put_runs.first().expect("1-client run").puts_per_sec;
+    let put_at8 = put_runs.last().expect("8-client run").puts_per_sec;
+    let put_speedup = put_at8 / put_base.max(0.001);
+    println!("  put speedup 8c vs 1c: {put_speedup:.2}x");
+    if !quick && put_speedup < 2.0 {
+        println!("  WARNING: wire commits failed to benefit from group commit");
+    }
+
+    // Query corpus behind one long-lived server.
+    let db = Arc::new(DbOptions::new().snapshot_every(8).open().expect("open"));
+    for v in 0..versions {
+        db.put("d", &format!("<log><n>{v}</n><w>alpha{v}</w></log>"), step_ts(v * 10))
+            .expect("put");
+    }
+    let inprocess_qps = bench_inprocess_queries(&db, queries_per_client, versions);
+    let server = start_server(Arc::clone(&db));
+    let addr = server.addr();
+    let _ = bench_wire_queries(addr, 2, queries_per_client.min(20), versions); // warm-up
+    let mut query_runs: Vec<(usize, f64)> = CLIENT_COUNTS
+        .iter()
+        .map(|&c| (c, bench_wire_queries(addr, c, queries_per_client, versions)))
+        .collect();
+    for _ in 1..rounds {
+        for (i, &c) in CLIENT_COUNTS.iter().enumerate() {
+            let qps = bench_wire_queries(addr, c, queries_per_client, versions);
+            if qps > query_runs[i].1 {
+                query_runs[i].1 = qps;
+            }
+        }
+    }
+    println!("  queries in-process (serial, no wire): {inprocess_qps:.0} queries/s");
+    for (c, qps) in &query_runs {
+        println!("  queries {c}c: {qps:.0} queries/s");
+    }
+    let query_base = query_runs.first().expect("1-client run").1;
+    let query_best = query_runs.iter().map(|&(_, q)| q).fold(0.0f64, f64::max);
+    println!("  query speedup best vs 1c: {:.2}x", query_best / query_base.max(0.001));
+    server.shutdown().expect("drain");
+    assert_eq!(
+        db.metrics().snapshot().gauge("db.active_snapshots"),
+        Some(0),
+        "all session and cursor pins released"
+    );
+
+    let generated_at = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let put_json = put_runs
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{ \"clients\": {}, \"puts\": {}, \"elapsed_us\": {:.1}, \"puts_per_sec\": {:.1}, \"fsyncs\": {}, \"mean_batch\": {:.2} }}",
+                r.clients, r.puts, r.elapsed_us, r.puts_per_sec, r.fsyncs, r.mean_batch
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let query_json = query_runs
+        .iter()
+        .map(|(c, qps)| format!("      {{ \"clients\": {c}, \"queries_per_sec\": {qps:.1} }}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let engine = db.metrics().snapshot().to_json();
+    let json = format!(
+        "{{\n  \"generated_at\": {generated_at},\n  \"quick\": {quick},\n  \"puts\": {{\n    \"wal_sync\": true,\n    \"total_puts\": {total_puts},\n    \"runs\": [\n{put_json}\n    ],\n    \"speedup_8v1\": {put_speedup:.2}\n  }},\n  \"queries\": {{\n    \"corpus_versions\": {versions},\n    \"queries_per_client\": {queries_per_client},\n    \"inprocess_serial_qps\": {inprocess_qps:.1},\n    \"runs\": [\n{query_json}\n    ],\n    \"speedup_best_v1\": {:.2}\n  }},\n  \"engine_metrics\": {}\n}}\n",
+        query_best / query_base.max(0.001),
+        engine.trim_end(),
+    );
+    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    println!("  wrote BENCH_server.json");
+}

@@ -7,8 +7,10 @@ use std::io::Write;
 use std::path::PathBuf;
 
 use txdb_base::{Error, Interval, Result, Timestamp, VersionId};
+use txdb_client::{Client, ClientError};
 use txdb_core::{Database, DbOptions};
-use txdb_query::QueryExt;
+use txdb_query::{strip_explain_prefix, QueryExt};
+use txdb_server::{DrainReason, Server, ServerConfig};
 use txdb_storage::repo::VersionKind;
 
 /// Parsed global options + subcommand tail.
@@ -32,12 +34,18 @@ fn usage() -> String {
                                             (or an EXPLAIN ANALYZE prefix)\n\
                                             prints the timed plan tree\n\
        vacuum <name> --before TIME          purge history before a horizon\n\
-       fsck [--repair-tail]                 verify checksums, records and\n\
+       fsck [--repair-tail] [--reclaim]     verify checksums, records and\n\
                                             version chains; optionally\n\
-                                            truncate a torn WAL tail\n\
+                                            truncate a torn WAL tail and\n\
+                                            free leaked (salvaged) pages\n\
        stats                                space and index statistics\n\
        metrics [--json]                     engine metrics registry dump\n\
-       shell                                interactive query shell"
+       serve [PATH] [--addr HOST:PORT]      serve the database over TCP\n\
+             [--max-conns N]                (newline-delimited JSON; see\n\
+             [--max-request-bytes N]        docs/protocol.md); drains on\n\
+             [--no-wal-sync]                stdin EOF or wire SHUTDOWN\n\
+       shell [--connect HOST:PORT]          interactive query shell, local\n\
+                                            or against a running server"
         .to_string()
 }
 
@@ -114,6 +122,24 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<()> {
     let cli = parse_cli(args)?;
     if cli.command.is_empty() {
         return Err(Error::QueryInvalid(usage()));
+    }
+    // `serve` opens the database with its own options (WAL sync on, no
+    // per-command checkpoints) and `shell --connect` opens none at all,
+    // so both are dispatched before the common open below.
+    match cli.command[0].as_str() {
+        "serve" => return serve(&cli, out),
+        "shell" => {
+            let mut tail = cli.command[1..].to_vec();
+            if let Some(addr) = take_flag(&mut tail, "--connect") {
+                if !tail.is_empty() {
+                    return Err(Error::QueryInvalid(
+                        "usage: txdb shell [--connect HOST:PORT]".into(),
+                    ));
+                }
+                return connect_shell(&addr, out);
+            }
+        }
+        _ => {}
     }
     let mut opts = DbOptions::new();
     if let Some(dir) = &cli.db_dir {
@@ -279,11 +305,26 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<()> {
         }
         "fsck" => {
             let repair = take_switch(&mut tail, "--repair-tail");
+            let reclaim = take_switch(&mut tail, "--reclaim");
             if !tail.is_empty() {
-                return Err(Error::QueryInvalid("usage: txdb fsck [--repair-tail]".into()));
+                return Err(Error::QueryInvalid(
+                    "usage: txdb fsck [--repair-tail] [--reclaim]".into(),
+                ));
             }
             let r = db.store().fsck();
             writeln!(out, "{r}")?;
+            if reclaim {
+                let freed = db.store().reclaim_leaked_pages()?;
+                if freed.is_empty() {
+                    writeln!(out, "reclaimed: nothing to do (no leaked pages)")?;
+                } else {
+                    writeln!(
+                        out,
+                        "reclaimed: {} leaked page(s) returned to the free list",
+                        freed.len()
+                    )?;
+                }
+            }
             if repair {
                 let mut repaired = false;
                 if r.torn_bytes > 0 {
@@ -372,21 +413,232 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<()> {
     Ok(())
 }
 
-fn run_query(db: &Database, q: &str, out: &mut dyn Write) -> Result<()> {
-    run_query_explain(db, q, false, out)
+/// `txdb serve [PATH] [--addr A] [--max-conns N] [--max-request-bytes N]
+/// [--no-wal-sync]` — run the TCP front end until a drain is requested.
+///
+/// The database opens with WAL sync **on** (each wire commit is durable;
+/// concurrent committers share fsyncs through group commit) and no
+/// per-command checkpoints — the WAL absorbs the write stream and is
+/// checkpointed once, at drain. Draining is triggered by stdin reaching
+/// EOF (the supervisor closed our input) or a client `SHUTDOWN`.
+fn serve(cli: &Cli, out: &mut dyn Write) -> Result<()> {
+    let mut tail: Vec<String> = cli.command[1..].to_vec();
+    let addr = take_flag(&mut tail, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let max_conns = match take_flag(&mut tail, "--max-conns") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| Error::QueryInvalid("--max-conns needs a number".into()))?,
+        None => ServerConfig::default().max_conns,
+    };
+    let max_request_bytes = match take_flag(&mut tail, "--max-request-bytes") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| Error::QueryInvalid("--max-request-bytes needs a number".into()))?,
+        None => ServerConfig::default().max_request_bytes,
+    };
+    let wal_sync = !take_switch(&mut tail, "--no-wal-sync");
+    let path = match tail.len() {
+        0 => cli.db_dir.clone(),
+        1 => Some(PathBuf::from(tail.remove(0))),
+        _ => return Err(Error::QueryInvalid("usage: txdb serve [PATH] [--addr …]".into())),
+    };
+    let mut opts = DbOptions::new().wal_sync(wal_sync);
+    if let Some(dir) = path {
+        opts = opts.path(dir);
+    }
+    if let Some(k) = cli.snapshot_every {
+        opts = opts.snapshot_every(k);
+    }
+    let db = std::sync::Arc::new(opts.open()?);
+    let report = db.recovery_report();
+    if report.replayed > 0 {
+        writeln!(out, "(recovered {} operations from the WAL)", report.replayed)?;
+    }
+    if let Some(reason) = &report.salvage {
+        writeln!(out, "WARNING: serving read-only (salvage mode): {reason}")?;
+    }
+    let cfg = ServerConfig { addr, max_conns, max_request_bytes };
+    let server = Server::start(std::sync::Arc::clone(&db), cfg)?;
+    writeln!(out, "listening on {}", server.addr())?;
+    out.flush()?;
+    // Supervisor protocol: when our stdin closes, drain. (No signal
+    // handling — the standard library has none and the workspace links
+    // no libc bindings; closing stdin or a wire SHUTDOWN are the two
+    // drain triggers.)
+    let host_drain = server.drain_requester();
+    std::thread::spawn(move || {
+        let mut sink = Vec::new();
+        let mut stdin = std::io::stdin();
+        let _ = std::io::Read::read_to_end(&mut stdin, &mut sink);
+        let _ = host_drain.send(DrainReason::HostRequest);
+    });
+    let reason = server.wait_drain_requested();
+    writeln!(
+        out,
+        "draining ({})",
+        match reason {
+            DrainReason::ClientRequest => "client SHUTDOWN",
+            DrainReason::HostRequest => "stdin closed",
+        }
+    )?;
+    out.flush()?;
+    let drained = server.shutdown()?;
+    writeln!(
+        out,
+        "drained: {} session(s) open at shutdown, {} served in total",
+        drained.sessions_drained, drained.sessions_total
+    )?;
+    Ok(())
 }
 
-/// Strips a leading `EXPLAIN ANALYZE` (any case) from a query, so the
-/// prefix works both as a CLI argument and at the shell prompt.
-fn strip_explain_prefix(q: &str) -> Option<&str> {
-    fn strip_word<'a>(s: &'a str, w: &str) -> Option<&'a str> {
-        let (head, rest) = s.as_bytes().split_at_checked(w.len())?;
-        if !head.eq_ignore_ascii_case(w.as_bytes()) || !rest.first()?.is_ascii_whitespace() {
-            return None;
+/// `txdb shell --connect HOST:PORT` — the interactive shell against a
+/// running server instead of a locally opened database.
+fn connect_shell(addr: &str, out: &mut dyn Write) -> Result<()> {
+    let mut client = Client::connect(addr).map_err(Error::Io)?;
+    writeln!(out, "txdb shell — connected to {addr}; .help for commands")?;
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        write!(out, "txdb> ")?;
+        out.flush()?;
+        line.clear();
+        if stdin.read_line(&mut line)? == 0 {
+            break; // EOF
         }
-        Some(s[w.len()..].trim_start())
+        let input = line.trim();
+        if input.is_empty() {
+            continue;
+        }
+        match connect_shell_line(&mut client, input, out) {
+            Ok(true) => break,
+            Ok(false) => {}
+            // The transport is gone: no further command can succeed.
+            Err(ClientError::Io(e)) => {
+                writeln!(out, "connection lost: {e}")?;
+                break;
+            }
+            Err(e) => writeln!(out, "error: {e}")?,
+        }
     }
-    strip_word(strip_word(q.trim_start(), "EXPLAIN")?, "ANALYZE")
+    Ok(())
+}
+
+/// Executes one remote-shell line; returns `true` to quit.
+fn connect_shell_line(
+    client: &mut Client,
+    input: &str,
+    out: &mut dyn Write,
+) -> std::result::Result<bool, ClientError> {
+    let micros = |s: &str| {
+        Timestamp::parse(s)
+            .map(|t| t.micros())
+            .map_err(|e| ClientError::Protocol(format!("bad time: {e}")))
+    };
+    match input {
+        ".quit" | ".exit" | ".q" => return Ok(true),
+        ".help" => {
+            writeln!(
+                out,
+                ".put NAME FILE [TIME]   store FILE as a new version of NAME\n\
+                 .delete NAME [TIME]     delete (tombstone)\n\
+                 .pin TIME               pin a snapshot; prints the pin id\n\
+                 .unpin ID               release a pin\n\
+                 .stats                  server space/index statistics\n\
+                 .metrics                server metrics snapshot (JSON)\n\
+                 .ping                   round-trip check\n\
+                 .shutdown               ask the server to drain\n\
+                 .quit                   leave\n\
+                 anything else           executed as a temporal query"
+            )?;
+        }
+        ".ping" => {
+            let t = std::time::Instant::now();
+            client.ping()?;
+            writeln!(out, "pong ({:.1} ms)", t.elapsed().as_secs_f64() * 1e3)?;
+        }
+        ".stats" => writeln!(out, "{}", client.stats()?)?,
+        ".metrics" => writeln!(out, "{}", client.metrics()?)?,
+        ".shutdown" => {
+            client.shutdown_server()?;
+            writeln!(out, "server draining")?;
+            return Ok(true);
+        }
+        _ if input.starts_with(".put ") => {
+            let args: Vec<&str> = input[5..].split_whitespace().collect();
+            let (name, file, at) = match args.as_slice() {
+                [n, f] => (n, f, None),
+                [n, f, t] => (n, f, Some(micros(t)?)),
+                _ => return Err(ClientError::Protocol("usage: .put NAME FILE [TIME]".into())),
+            };
+            let xml = std::fs::read_to_string(file)?;
+            let r = client.put(name, &xml, at)?;
+            match r.version {
+                Some(v) => writeln!(out, "{name}: stored version {v}")?,
+                None => writeln!(out, "{name}: unchanged, no version stored")?,
+            }
+        }
+        _ if input.starts_with(".delete ") => {
+            let args: Vec<&str> = input[8..].split_whitespace().collect();
+            let (name, at) = match args.as_slice() {
+                [n] => (n, None),
+                [n, t] => (n, Some(micros(t)?)),
+                _ => return Err(ClientError::Protocol("usage: .delete NAME [TIME]".into())),
+            };
+            if client.delete(name, at)? {
+                writeln!(out, "{name}: deleted")?;
+            } else {
+                writeln!(out, "{name}: not present (nothing deleted)")?;
+            }
+        }
+        _ if input.starts_with(".pin ") => {
+            let id = client.pin(micros(input[5..].trim())?)?;
+            writeln!(out, "pin {id}")?;
+        }
+        _ if input.starts_with(".unpin ") => {
+            let id: u64 = input[7..]
+                .trim()
+                .parse()
+                .map_err(|_| ClientError::Protocol("usage: .unpin ID".into()))?;
+            client.unpin(id)?;
+            writeln!(out, "released")?;
+        }
+        _ if input.starts_with('.') => {
+            writeln!(out, "unknown dot-command; .help lists them")?;
+        }
+        query => {
+            let start = std::time::Instant::now();
+            let mut rows = 0usize;
+            write!(out, "<results>")?;
+            let (explain, done) = client.query_stream(query, None, |row| {
+                let _ = write!(out, "<result>");
+                for v in row {
+                    let _ = write!(out, "{v}");
+                }
+                let _ = write!(out, "</result>");
+                rows += 1;
+            })?;
+            writeln!(out, "</results>")?;
+            if let Some(tree) = explain {
+                write!(out, "{tree}")?;
+            }
+            writeln!(
+                out,
+                "-- {} row{} in {:.1} ms ({} reconstruction{}, {} cache hit{})",
+                rows,
+                if rows == 1 { "" } else { "s" },
+                start.elapsed().as_secs_f64() * 1e3,
+                done.reconstructions,
+                if done.reconstructions == 1 { "" } else { "s" },
+                done.cache_hits,
+                if done.cache_hits == 1 { "" } else { "s" },
+            )?;
+        }
+    }
+    Ok(false)
+}
+
+fn run_query(db: &Database, q: &str, out: &mut dyn Write) -> Result<()> {
+    run_query_explain(db, q, false, out)
 }
 
 fn run_query_explain(db: &Database, q: &str, explain: bool, out: &mut dyn Write) -> Result<()> {
@@ -730,6 +982,8 @@ mod tests {
         let out = run_cmd(&["--db", db_s, "fsck"]).unwrap();
         assert!(out.contains("wal torn bytes:   3"), "{out}");
         assert!(out.contains("status:           clean"), "{out}");
+        let out = run_cmd(&["--db", db_s, "fsck", "--reclaim"]).unwrap();
+        assert!(out.contains("reclaimed: nothing to do (no leaked pages)"), "{out}");
         let out = run_cmd(&["--db", db_s, "fsck", "--repair-tail"]).unwrap();
         assert!(out.contains("truncated from the WAL tail"), "{out}");
         let out = run_cmd(&["--db", db_s, "fsck", "--repair-tail"]).unwrap();

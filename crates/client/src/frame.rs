@@ -1,0 +1,137 @@
+//! Line framing for the wire protocol.
+//!
+//! Every protocol message is one line: a JSON object terminated by `\n`.
+//! [`read_frame`] is the hardened reader both sides use: it enforces a
+//! byte budget *while reading* (an oversized line is drained and reported
+//! without ever being buffered whole), and surfaces invalid UTF-8 as a
+//! structured event instead of an error that would tear the connection
+//! down.
+
+use std::io::{BufRead, Read};
+
+/// One framing event from [`read_frame`].
+#[derive(Debug, PartialEq)]
+pub enum Frame {
+    /// A complete line (without its terminator).
+    Line(String),
+    /// The peer closed the connection (clean EOF at a line boundary).
+    Eof,
+    /// The line exceeded the byte budget; the excess was drained up to
+    /// the next `\n` (or EOF) so the stream stays line-synchronized.
+    TooLarge,
+    /// The line was not valid UTF-8.
+    BadUtf8,
+}
+
+/// Reads one `\n`-terminated line of at most `max_bytes` bytes
+/// (terminator excluded). A final unterminated line before EOF counts as
+/// a line — clients may close without a trailing newline.
+pub fn read_frame(r: &mut impl BufRead, max_bytes: usize) -> std::io::Result<Frame> {
+    let mut buf: Vec<u8> = Vec::new();
+    // +2: one byte to detect overflow, one for the terminator itself.
+    let n = r.by_ref().take(max_bytes as u64 + 2).read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(Frame::Eof);
+    }
+    let terminated = buf.last() == Some(&b'\n');
+    if terminated {
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+    }
+    if buf.len() > max_bytes {
+        if !terminated {
+            drain_line(r)?;
+        }
+        return Ok(Frame::TooLarge);
+    }
+    match String::from_utf8(buf) {
+        Ok(s) => Ok(Frame::Line(s)),
+        Err(_) => Ok(Frame::BadUtf8),
+    }
+}
+
+/// Discards bytes up to and including the next `\n` (or EOF).
+fn drain_line(r: &mut impl BufRead) -> std::io::Result<()> {
+    loop {
+        let available = r.fill_buf()?;
+        if available.is_empty() {
+            return Ok(());
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                r.consume(pos + 1);
+                return Ok(());
+            }
+            None => {
+                let len = available.len();
+                r.consume(len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn frames(input: &[u8], max: usize) -> Vec<Frame> {
+        let mut r = BufReader::new(input);
+        let mut out = Vec::new();
+        loop {
+            let f = read_frame(&mut r, max).unwrap();
+            let done = f == Frame::Eof;
+            out.push(f);
+            if done {
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn plain_lines() {
+        let got = frames(b"one\ntwo\r\nthree", 100);
+        assert_eq!(
+            got,
+            vec![
+                Frame::Line("one".into()),
+                Frame::Line("two".into()),
+                Frame::Line("three".into()),
+                Frame::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn oversized_line_is_drained_not_buffered() {
+        let mut input = vec![b'x'; 10_000];
+        input.push(b'\n');
+        input.extend_from_slice(b"ok\n");
+        let got = frames(&input, 16);
+        assert_eq!(got, vec![Frame::TooLarge, Frame::Line("ok".into()), Frame::Eof]);
+    }
+
+    #[test]
+    fn oversized_exactly_at_boundary() {
+        // 16 bytes with a max of 16: allowed. 17: rejected.
+        let got = frames(b"aaaaaaaaaaaaaaaa\nok\n", 16);
+        assert_eq!(got[0], Frame::Line("aaaaaaaaaaaaaaaa".into()));
+        let got = frames(b"aaaaaaaaaaaaaaaaa\nok\n", 16);
+        assert_eq!(got, vec![Frame::TooLarge, Frame::Line("ok".into()), Frame::Eof]);
+    }
+
+    #[test]
+    fn invalid_utf8_is_reported_in_band() {
+        let got = frames(b"\xff\xfe\nok\n", 100);
+        assert_eq!(got, vec![Frame::BadUtf8, Frame::Line("ok".into()), Frame::Eof]);
+    }
+
+    #[test]
+    fn empty_line_and_eof() {
+        let got = frames(b"\n", 100);
+        assert_eq!(got, vec![Frame::Line(String::new()), Frame::Eof]);
+        assert_eq!(frames(b"", 100), vec![Frame::Eof]);
+    }
+}

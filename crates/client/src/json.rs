@@ -1,0 +1,495 @@
+//! A minimal JSON value: parser and compact serializer.
+//!
+//! The wire protocol is newline-delimited JSON and the workspace builds
+//! offline (no serde), so this module is the whole JSON stack: a
+//! recursive-descent parser with a depth cap and byte-precise errors,
+//! and a compact single-line writer. The parser distinguishes *truncated*
+//! input (the decoder's "client stopped mid-object" case) from malformed
+//! input so the server can answer with the right error code.
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (integers up to 2^53 survive the f64 round-trip).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Why a parse failed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+    /// True when the input ended before the value did — "truncated JSON",
+    /// as opposed to bytes that can never start a valid continuation.
+    pub truncated: bool,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Nesting depth cap: malformed input must not be able to overflow the
+/// parser's stack.
+const MAX_DEPTH: usize = 64;
+
+impl Json {
+    /// Parses one JSON value from `s`, requiring it to span the whole
+    /// input (trailing whitespace allowed).
+    pub fn parse(s: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { b: s.as_bytes(), i: 0 };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.i != p.b.len() {
+            return Err(p.err("trailing garbage after value", false));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (`None` on non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an unsigned integer (rejects negatives and
+    /// fractions).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9.007_199_254_740_992e15 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Builds an object from `(key, value)` pairs; `None` entries are
+    /// dropped, so optional fields compose inline.
+    pub fn obj<const N: usize>(fields: [Option<(&str, Json)>; N]) -> Json {
+        Json::Obj(fields.into_iter().flatten().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Shorthand for a required object field (see [`Json::obj`]).
+    pub fn field(key: &str, v: Json) -> Option<(&str, Json)> {
+        Some((key, v))
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An unsigned integer value.
+    pub fn u64(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str, truncated: bool) -> JsonError {
+        JsonError { offset: self.i, message: message.to_string(), truncated }
+    }
+
+    fn eof(&self, expecting: &str) -> JsonError {
+        JsonError {
+            offset: self.i,
+            message: format!("truncated: input ended expecting {expecting}"),
+            truncated: true,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&c) = self.b.get(self.i) {
+            if c == b' ' || c == b'\t' || c == b'\n' || c == b'\r' {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep", false));
+        }
+        match self.b.get(self.i) {
+            None => Err(self.eof("a value")),
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            Some(_) => Err(self.err("unexpected byte; expected a value", false)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
+        let rest = &self.b[self.i..];
+        if rest.len() < word.len() {
+            if word.as_bytes().starts_with(rest) {
+                return Err(self.eof(word));
+            }
+            return Err(self.err("bad literal", false));
+        }
+        if &rest[..word.len()] == word.as_bytes() {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("bad literal", false))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).expect("ascii digits");
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            _ => Err(self.err("bad number", false)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.i += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err(self.eof("a closing quote")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        None => return Err(self.eof("an escape")),
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let cp = self.unicode_escape()?;
+                            out.push(cp);
+                            continue; // unicode_escape advanced past the digits
+                        }
+                        Some(_) => return Err(self.err("bad escape", false)),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Decode one UTF-8 scalar; the input is a &str so the
+                    // bytes are valid — find the char at this offset.
+                    let rest = std::str::from_utf8(&self.b[self.i..]).expect("input was a str");
+                    let c = rest.chars().next().expect("non-empty");
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("raw control character in string", false));
+                    }
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// `\uXXXX`, including surrogate pairs. Called with `self.i` on the
+    /// `u`; leaves it past the last hex digit.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        self.i += 1; // past 'u'
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate: require the low half.
+            if self.b.get(self.i) != Some(&b'\\') || self.b.get(self.i + 1) != Some(&b'u') {
+                return Err(if self.i >= self.b.len() {
+                    self.eof("a low surrogate")
+                } else {
+                    self.err("unpaired surrogate", false)
+                });
+            }
+            self.i += 2;
+            let lo = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err(self.err("unpaired surrogate", false));
+            }
+            let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+            return char::from_u32(cp).ok_or_else(|| self.err("bad code point", false));
+        }
+        if (0xDC00..0xE000).contains(&hi) {
+            return Err(self.err("unpaired surrogate", false));
+        }
+        char::from_u32(hi).ok_or_else(|| self.err("bad code point", false))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.i + 4 > self.b.len() {
+            return Err(self.eof("4 hex digits"));
+        }
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self.b[self.i];
+            let d = match c {
+                b'0'..=b'9' => (c - b'0') as u32,
+                b'a'..=b'f' => (c - b'a') as u32 + 10,
+                b'A'..=b'F' => (c - b'A') as u32 + 10,
+                _ => return Err(self.err("bad hex digit", false)),
+            };
+            v = v * 16 + d;
+            self.i += 1;
+        }
+        Ok(v)
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.i += 1; // '['
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(out));
+                }
+                None => return Err(self.eof("`,` or `]`")),
+                Some(_) => return Err(self.err("expected `,` or `]`", false)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.i += 1; // '{'
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b'"') => {}
+                None => return Err(self.eof("an object key")),
+                Some(_) => return Err(self.err("expected a string key", false)),
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b':') => self.i += 1,
+                None => return Err(self.eof("`:`")),
+                Some(_) => return Err(self.err("expected `:`", false)),
+            }
+            self.skip_ws();
+            let v = self.value(depth + 1)?;
+            out.push((key, v));
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(out));
+                }
+                None => return Err(self.eof("`,` or `}`")),
+                Some(_) => return Err(self.err("expected `,` or `}`", false)),
+            }
+        }
+    }
+}
+
+/// Escapes `s` into a JSON string literal body (no surrounding quotes).
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    /// Compact, single-line serialization — the wire format.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Json::Str(s) => {
+                let mut out = String::with_capacity(s.len() + 2);
+                escape_into(s, &mut out);
+                write!(f, "\"{out}\"")
+            }
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    let mut key = String::with_capacity(k.len());
+                    escape_into(k, &mut key);
+                    write!(f, "\"{key}\":{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_basics() {
+        let v = Json::parse(r#"{"a":1,"b":[true,null,"x\n"],"c":{"d":-2.5}}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("b").and_then(Json::as_arr).map(<[Json]>::len), Some(3));
+        assert_eq!(v.get("c").and_then(|c| c.get("d")).and_then(Json::as_f64), Some(-2.5));
+        let text = v.to_string();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn truncated_inputs_are_flagged() {
+        for t in ["{", r#"{"a""#, r#"{"a":"#, r#"{"a":1"#, "[1,", "\"ab", "tru", r#""a\"#] {
+            let e = Json::parse(t).unwrap_err();
+            assert!(e.truncated, "{t:?} should be truncated: {e}");
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_not_truncated() {
+        for t in ["{]", "[1 2]", "nul!", "{\"a\" 1}", "1x", "", "{\"a\":01x}"] {
+            let e = Json::parse(t).unwrap_err();
+            if !t.is_empty() {
+                assert!(!e.truncated, "{t:?} should be malformed, not truncated: {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_cap_rejects_bombs() {
+        let bomb = "[".repeat(100_000);
+        let e = Json::parse(&bomb).unwrap_err();
+        assert!(e.message.contains("deep"), "{e}");
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v = Json::parse(r#""aé😀b""#).unwrap();
+        assert_eq!(v, Json::Str("aé😀b".into()));
+        assert!(Json::parse(r#""\ud83d""#).is_err(), "lone surrogate");
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let s = "quote\" slash\\ newline\n tab\t ctrl\u{1} text";
+        let rendered = Json::Str(s.into()).to_string();
+        assert_eq!(Json::parse(&rendered).unwrap(), Json::Str(s.into()));
+    }
+
+    #[test]
+    fn numbers_render_compactly() {
+        assert_eq!(Json::u64(15).to_string(), "15");
+        assert_eq!(Json::Num(2.5).to_string(), "2.5");
+        let micros = 1_700_000_000_000_000u64;
+        assert_eq!(Json::u64(micros).as_u64(), Some(micros), "timestamps survive");
+    }
+}

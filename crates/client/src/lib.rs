@@ -1,0 +1,29 @@
+//! # txdb-client — the wire client for `txdb serve`
+//!
+//! The network protocol keeps the temporal query language itself as the
+//! surface: a client sends the same `SELECT … FROM doc(…)` text it would
+//! hand to the embedded engine, one newline-delimited JSON object per
+//! command, and receives newline-delimited JSON back (rows streamed one
+//! line each, so neither side materializes big results). This crate is
+//! deliberately engine-free — just `std` — so anything can link it:
+//!
+//! * [`json`] — a minimal JSON value, parser and compact writer (the
+//!   workspace builds offline; there is no serde);
+//! * [`frame`] — hardened line framing: byte budgets enforced while
+//!   reading, invalid UTF-8 surfaced in-band;
+//! * [`Client`] — the typed session API (`PING`, `PUT`, `DELETE`,
+//!   streamed `QUERY`, `PIN`/`UNPIN`, `STATS`, `METRICS`, `SHUTDOWN`).
+//!
+//! The grammar, error codes and drain semantics live in
+//! `docs/protocol.md` at the repository root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod json;
+
+pub use client::{Client, ClientError, ClientResult, PutReply, QueryDone, QueryReply};
+pub use frame::{read_frame, Frame};
+pub use json::{Json, JsonError};

@@ -59,5 +59,5 @@ pub mod result;
 pub use exec::{ExecStats, ExplainNode};
 pub use operators::{Operator, Row, RowStream};
 pub use parser::parse_query;
-pub use request::{QueryExt, QueryRequest};
+pub use request::{strip_explain_prefix, QueryExt, QueryRequest};
 pub use result::{OutValue, QueryResult};

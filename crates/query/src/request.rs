@@ -92,6 +92,20 @@ impl<'db> QueryRequest<'db> {
     }
 }
 
+/// Strips a leading `EXPLAIN ANALYZE` (any case) from a query, returning
+/// the remainder. Front ends (the CLI shell, the wire server) accept the
+/// prefix as an alternative to their explicit explain switches.
+pub fn strip_explain_prefix(q: &str) -> Option<&str> {
+    fn strip_word<'a>(s: &'a str, w: &str) -> Option<&'a str> {
+        let (head, rest) = s.as_bytes().split_at_checked(w.len())?;
+        if !head.eq_ignore_ascii_case(w.as_bytes()) || !rest.first()?.is_ascii_whitespace() {
+            return None;
+        }
+        Some(s[w.len()..].trim_start())
+    }
+    strip_word(strip_word(q.trim_start(), "EXPLAIN")?, "ANALYZE")
+}
+
 /// The current wall-clock time as a [`Timestamp`] (the default `NOW`).
 pub(crate) fn wall_clock() -> Timestamp {
     Timestamp::from_micros(

@@ -1,0 +1,20 @@
+//! Concurrent TCP front end for the temporal XML database.
+//!
+//! The server speaks a newline-delimited JSON protocol (one request line,
+//! one or more response lines — see `docs/protocol.md`). Each connection
+//! gets a dedicated session thread over the shared, thread-safe
+//! [`txdb_core::Database`]; queries stream row-by-row through the Volcano
+//! cursor, writes ride the group-commit WAL, and `PIN`/`UNPIN` expose
+//! session-scoped snapshot pins that are released when the connection
+//! closes. [`Server::shutdown`] drains gracefully: in-flight commands
+//! finish, pins release, and the WAL is checkpointed closed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod proto;
+mod server;
+mod session;
+
+pub use server::{DrainReason, DrainReport, Server, ServerConfig, ServerHandle};
+pub use session::SessionEnd;

@@ -1,0 +1,311 @@
+//! Wire-protocol decoding and response encoding.
+//!
+//! One request is one line of JSON: `{"cmd":"QUERY","q":"SELECT …"}`.
+//! The decoder is the hardened edge of the server: byte budgets are
+//! enforced by the framing layer before this module sees anything, and
+//! everything that arrives here — invalid JSON, truncated JSON, wrong
+//! field types, unknown commands — maps to a *structured* error response
+//! (`{"ok":false,"error":{"code":…,"msg":…}}`), never to a dropped
+//! connection. The full grammar lives in `docs/protocol.md`.
+
+use txdb_base::{Error, Timestamp};
+use txdb_client::json::{escape_into, Json};
+
+/// Machine-readable error codes (the `error.code` field).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line was not valid JSON.
+    Parse,
+    /// The line ended mid-value (client stopped or flushed early).
+    Truncated,
+    /// The line exceeded the server's `max_request_bytes`.
+    TooLarge,
+    /// The line was not valid UTF-8.
+    Utf8,
+    /// Well-formed JSON that is not a valid command (unknown `cmd`,
+    /// missing or mistyped field, unknown pin id).
+    BadRequest,
+    /// The query could not be parsed, planned or executed.
+    Query,
+    /// A named document (or version/time) does not exist.
+    NotFound,
+    /// The store is read-only (salvage mode).
+    ReadOnly,
+    /// The connection was rejected by the `--max-conns` accept gate.
+    Busy,
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+    /// Any other engine failure.
+    Engine,
+}
+
+impl ErrorCode {
+    /// The wire string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "parse",
+            ErrorCode::Truncated => "truncated",
+            ErrorCode::TooLarge => "too_large",
+            ErrorCode::Utf8 => "utf8",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Query => "query",
+            ErrorCode::NotFound => "not_found",
+            ErrorCode::ReadOnly => "read_only",
+            ErrorCode::Busy => "busy",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Engine => "engine",
+        }
+    }
+}
+
+/// A decoded command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Run a temporal query, streaming rows back.
+    Query {
+        /// The query text (may carry an `EXPLAIN ANALYZE` prefix).
+        q: String,
+        /// `NOW` anchor in microseconds (server wall clock when absent).
+        at: Option<Timestamp>,
+        /// Row cap with scan early-exit.
+        limit: Option<usize>,
+    },
+    /// Store a new version of a document.
+    Put {
+        /// Document name.
+        doc: String,
+        /// The version's XML text.
+        xml: String,
+        /// Commit timestamp (server wall clock when absent).
+        at: Option<Timestamp>,
+    },
+    /// Tombstone a document.
+    Delete {
+        /// Document name.
+        doc: String,
+        /// Commit timestamp (server wall clock when absent).
+        at: Option<Timestamp>,
+    },
+    /// Pin a snapshot timestamp for this session.
+    Pin {
+        /// The timestamp to pin.
+        at: Timestamp,
+    },
+    /// Release a pin taken by this session.
+    Unpin {
+        /// The id returned by the `PIN` response.
+        pin: u64,
+    },
+    /// Space and index statistics.
+    Stats,
+    /// Engine + server metrics snapshot.
+    Metrics,
+    /// Ask the server to drain gracefully.
+    Shutdown,
+}
+
+impl Request {
+    /// Lower-case command tag, used for metric names and logging.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Query { .. } => "query",
+            Request::Put { .. } => "put",
+            Request::Delete { .. } => "delete",
+            Request::Pin { .. } => "pin",
+            Request::Unpin { .. } => "unpin",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// The per-command latency histogram (static, for `Registry::span`).
+    pub fn span_name(&self) -> &'static str {
+        match self {
+            Request::Ping => "server.cmd.ping_us",
+            Request::Query { .. } => "server.cmd.query_us",
+            Request::Put { .. } => "server.cmd.put_us",
+            Request::Delete { .. } => "server.cmd.delete_us",
+            Request::Pin { .. } => "server.cmd.pin_us",
+            Request::Unpin { .. } => "server.cmd.unpin_us",
+            Request::Stats => "server.cmd.stats_us",
+            Request::Metrics => "server.cmd.metrics_us",
+            Request::Shutdown => "server.cmd.shutdown_us",
+        }
+    }
+}
+
+/// A decode failure, ready to be rendered as an error response.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireError {
+    /// Machine-readable code.
+    pub code: ErrorCode,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl WireError {
+    /// Builds a wire error.
+    pub fn new(code: ErrorCode, msg: impl Into<String>) -> WireError {
+        WireError { code, msg: msg.into() }
+    }
+
+    /// Renders the single-line error response.
+    pub fn render(&self) -> String {
+        let mut msg = String::with_capacity(self.msg.len());
+        escape_into(&self.msg, &mut msg);
+        format!(r#"{{"ok":false,"error":{{"code":"{}","msg":"{msg}"}}}}"#, self.code.as_str())
+    }
+}
+
+/// Maps an engine error onto a wire error code.
+pub fn engine_error(e: &Error) -> WireError {
+    let code = match e {
+        Error::XmlParse { .. }
+        | Error::TimeParse(_)
+        | Error::QueryParse { .. }
+        | Error::QueryInvalid(_) => ErrorCode::Query,
+        Error::NoSuchDocument(_)
+        | Error::NoSuchDocId(_)
+        | Error::NoSuchVersion(_, _)
+        | Error::NotValidAt(_, _)
+        | Error::NoSuchElement(_) => ErrorCode::NotFound,
+        Error::ReadOnly(_) => ErrorCode::ReadOnly,
+        _ => ErrorCode::Engine,
+    };
+    WireError::new(code, e.to_string())
+}
+
+/// Decodes one request line. Every failure carries the precise code the
+/// hardening tests assert on: bad JSON splits into `parse` vs `truncated`
+/// (the framing layer already handled `too_large` and `utf8`), and
+/// well-formed-but-wrong shapes are `bad_request`.
+pub fn decode(line: &str) -> Result<Request, WireError> {
+    let v = Json::parse(line).map_err(|e| {
+        let code = if e.truncated { ErrorCode::Truncated } else { ErrorCode::Parse };
+        WireError::new(code, format!("bad JSON: {e}"))
+    })?;
+    if !matches!(v, Json::Obj(_)) {
+        return Err(WireError::new(ErrorCode::BadRequest, "request must be a JSON object"));
+    }
+    let cmd = v
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError::new(ErrorCode::BadRequest, "missing string field `cmd`"))?;
+    match cmd {
+        "PING" => Ok(Request::Ping),
+        "QUERY" => Ok(Request::Query {
+            q: required_str(&v, "q")?,
+            at: optional_time(&v, "at")?,
+            limit: optional_u64(&v, "limit")?.map(|n| n as usize),
+        }),
+        "PUT" => Ok(Request::Put {
+            doc: required_str(&v, "doc")?,
+            xml: required_str(&v, "xml")?,
+            at: optional_time(&v, "at")?,
+        }),
+        "DELETE" => {
+            Ok(Request::Delete { doc: required_str(&v, "doc")?, at: optional_time(&v, "at")? })
+        }
+        "PIN" => {
+            let at = optional_time(&v, "at")?
+                .ok_or_else(|| WireError::new(ErrorCode::BadRequest, "PIN needs `at`"))?;
+            Ok(Request::Pin { at })
+        }
+        "UNPIN" => {
+            let pin = optional_u64(&v, "pin")?
+                .ok_or_else(|| WireError::new(ErrorCode::BadRequest, "UNPIN needs `pin`"))?;
+            Ok(Request::Unpin { pin })
+        }
+        "STATS" => Ok(Request::Stats),
+        "METRICS" => Ok(Request::Metrics),
+        "SHUTDOWN" => Ok(Request::Shutdown),
+        other => Err(WireError::new(ErrorCode::BadRequest, format!("unknown command `{other}`"))),
+    }
+}
+
+fn required_str(v: &Json, key: &str) -> Result<String, WireError> {
+    v.get(key).and_then(Json::as_str).map(str::to_string).ok_or_else(|| {
+        WireError::new(ErrorCode::BadRequest, format!("missing string field `{key}`"))
+    })
+}
+
+fn optional_u64(v: &Json, key: &str) -> Result<Option<u64>, WireError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(field) => field.as_u64().map(Some).ok_or_else(|| {
+            WireError::new(ErrorCode::BadRequest, format!("`{key}` must be a non-negative integer"))
+        }),
+    }
+}
+
+fn optional_time(v: &Json, key: &str) -> Result<Option<Timestamp>, WireError> {
+    Ok(optional_u64(v, key)?.map(Timestamp::from_micros))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_every_command() {
+        assert_eq!(decode(r#"{"cmd":"PING"}"#).unwrap(), Request::Ping);
+        assert_eq!(
+            decode(r#"{"cmd":"QUERY","q":"SELECT 1","at":5,"limit":2}"#).unwrap(),
+            Request::Query {
+                q: "SELECT 1".into(),
+                at: Some(Timestamp::from_micros(5)),
+                limit: Some(2)
+            }
+        );
+        assert_eq!(
+            decode(r#"{"cmd":"PUT","doc":"d","xml":"<a/>"}"#).unwrap(),
+            Request::Put { doc: "d".into(), xml: "<a/>".into(), at: None }
+        );
+        assert_eq!(
+            decode(r#"{"cmd":"DELETE","doc":"d","at":9}"#).unwrap(),
+            Request::Delete { doc: "d".into(), at: Some(Timestamp::from_micros(9)) }
+        );
+        assert_eq!(
+            decode(r#"{"cmd":"PIN","at":7}"#).unwrap(),
+            Request::Pin { at: Timestamp::from_micros(7) }
+        );
+        assert_eq!(decode(r#"{"cmd":"UNPIN","pin":3}"#).unwrap(), Request::Unpin { pin: 3 });
+        assert_eq!(decode(r#"{"cmd":"STATS"}"#).unwrap(), Request::Stats);
+        assert_eq!(decode(r#"{"cmd":"METRICS"}"#).unwrap(), Request::Metrics);
+        assert_eq!(decode(r#"{"cmd":"SHUTDOWN"}"#).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn error_codes_are_precise() {
+        assert_eq!(decode("{]").unwrap_err().code, ErrorCode::Parse);
+        assert_eq!(decode(r#"{"cmd":"PING""#).unwrap_err().code, ErrorCode::Truncated);
+        assert_eq!(decode("[1,2]").unwrap_err().code, ErrorCode::BadRequest);
+        assert_eq!(decode(r#"{"cmd":"NOPE"}"#).unwrap_err().code, ErrorCode::BadRequest);
+        assert_eq!(decode(r#"{"cmd":"PUT","doc":"d"}"#).unwrap_err().code, ErrorCode::BadRequest);
+        assert_eq!(decode(r#"{"cmd":"PIN"}"#).unwrap_err().code, ErrorCode::BadRequest);
+        assert_eq!(
+            decode(r#"{"cmd":"QUERY","q":"x","at":-1}"#).unwrap_err().code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            decode(r#"{"cmd":"QUERY","q":"x","limit":1.5}"#).unwrap_err().code,
+            ErrorCode::BadRequest
+        );
+    }
+
+    #[test]
+    fn error_responses_render_as_single_json_lines() {
+        let e = WireError::new(ErrorCode::Query, "bad \"thing\"\nline two");
+        let r = e.render();
+        assert!(!r.contains('\n'), "{r}");
+        let v = Json::parse(&r).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("code").and_then(Json::as_str), Some("query"));
+        assert!(err.get("msg").and_then(Json::as_str).unwrap().contains("line two"));
+    }
+}

@@ -1,0 +1,254 @@
+//! The threaded TCP server: accept gate, session threads, graceful drain.
+//!
+//! One thread per connected session over a shared [`Database`] handle —
+//! the engine is `Send + Sync` (PR 8), readers run in parallel under
+//! snapshot isolation and concurrent committers batch their fsyncs
+//! through the WAL's group commit, so wire clients compose exactly like
+//! in-process threads. The accept loop enforces `max_conns` (excess
+//! connections get one structured `busy` error and are closed), and
+//! [`ServerHandle::shutdown`] drains gracefully: stop accepting, let every
+//! in-flight command finish (sessions' *read* halves are shut down, their
+//! write halves stay open for the final response), release session pins,
+//! then checkpoint the store so the WAL closes cleanly.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use txdb_base::obs::EventValue;
+use txdb_base::{Error, Result};
+use txdb_core::Database;
+
+use crate::proto::{ErrorCode, WireError};
+use crate::session::{Session, SessionEnd};
+
+/// Server tunables.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7878` (port `0` = ephemeral).
+    pub addr: String,
+    /// Accept gate: connections beyond this many live sessions receive a
+    /// structured `busy` error and are closed.
+    pub max_conns: usize,
+    /// Request lines longer than this are refused (`too_large`) without
+    /// ever being buffered whole.
+    pub max_request_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig { addr: "127.0.0.1:0".into(), max_conns: 64, max_request_bytes: 1 << 20 }
+    }
+}
+
+/// Why the server is shutting down — delivered to whoever waits on
+/// [`ServerHandle::drain_requests`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainReason {
+    /// A client sent `SHUTDOWN`.
+    ClientRequest,
+    /// The embedding process asked (e.g. stdin closed under `txdb serve`).
+    HostRequest,
+}
+
+/// What the drain accomplished.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DrainReport {
+    /// Sessions that were still connected when the drain began.
+    pub sessions_drained: usize,
+    /// Total sessions served over the listener's lifetime.
+    pub sessions_total: u64,
+}
+
+struct Shared {
+    db: Arc<Database>,
+    cfg: ServerConfig,
+    draining: AtomicBool,
+    active: AtomicUsize,
+    session_seq: AtomicU64,
+    /// Live sessions' streams, for read-half shutdown at drain.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    joins: Mutex<Vec<JoinHandle<()>>>,
+    drain_tx: Sender<DrainReason>,
+}
+
+/// The running server. Dropping the handle aborts without draining; call
+/// [`ServerHandle::shutdown`] for the graceful path.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_join: Option<JoinHandle<()>>,
+    drain_rx: Receiver<DrainReason>,
+}
+
+/// Alias kept for readability at call sites: what [`Server::start`]
+/// returns is a handle, not the accept loop itself.
+pub type ServerHandle = Server;
+
+impl Server {
+    /// Binds `cfg.addr` and spawns the accept loop over `db`.
+    pub fn start(db: Arc<Database>, cfg: ServerConfig) -> Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let (drain_tx, drain_rx) = channel();
+        let shared = Arc::new(Shared {
+            db,
+            cfg,
+            draining: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            session_seq: AtomicU64::new(1),
+            conns: Mutex::new(HashMap::new()),
+            joins: Mutex::new(Vec::new()),
+            drain_tx,
+        });
+        let reg = Arc::clone(shared.db.metrics());
+        reg.emit(
+            "server.listening",
+            &[
+                ("addr", EventValue::Str(&addr.to_string())),
+                ("max_conns", EventValue::U64(shared.cfg.max_conns as u64)),
+            ],
+        );
+        let accept_shared = Arc::clone(&shared);
+        let accept_join = std::thread::Builder::new()
+            .name("txdb-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(Error::Io)?;
+        Ok(Server { shared, addr, accept_join: Some(accept_join), drain_rx })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of live sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until someone asks for a drain (a client `SHUTDOWN`), then
+    /// returns why. Embedders that have their own shutdown signal (stdin
+    /// EOF, a unix signal bridged by the host) race it against this via
+    /// [`Server::drain_requester`].
+    pub fn wait_drain_requested(&self) -> DrainReason {
+        self.drain_rx.recv().unwrap_or(DrainReason::HostRequest)
+    }
+
+    /// A sender the host can use to request a drain from another thread
+    /// (it feeds the same queue `SHUTDOWN` commands use).
+    pub fn drain_requester(&self) -> Sender<DrainReason> {
+        self.shared.drain_tx.clone()
+    }
+
+    /// Graceful drain: stop accepting, shut down every session's read
+    /// half (in-flight commands finish and their responses flush), join
+    /// all session threads — which releases their snapshot pins — then
+    /// checkpoint the store so the WAL closes cleanly.
+    pub fn shutdown(mut self) -> Result<DrainReport> {
+        let shared = Arc::clone(&self.shared);
+        let reg = Arc::clone(shared.db.metrics());
+        shared.draining.store(true, Ordering::SeqCst);
+        // Unblock the accept loop: a throwaway connection to ourselves.
+        // The loop sees `draining` and exits before serving it.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(j) = self.accept_join.take() {
+            let _ = j.join();
+        }
+        let report = DrainReport {
+            sessions_drained: shared.active.load(Ordering::SeqCst),
+            sessions_total: shared.session_seq.load(Ordering::SeqCst) - 1,
+        };
+        for (_, conn) in shared.conns.lock().expect("conns lock").iter() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+        let joins: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *shared.joins.lock().expect("joins lock"));
+        for j in joins {
+            let _ = j.join();
+        }
+        // Every session is gone: their pins are released. Close the WAL
+        // cleanly (checkpoint truncates it and persists the indexes).
+        shared.db.checkpoint()?;
+        reg.emit(
+            "server.drained",
+            &[
+                ("sessions_drained", EventValue::U64(report.sessions_drained as u64)),
+                ("sessions_total", EventValue::U64(report.sessions_total)),
+            ],
+        );
+        Ok(report)
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let reg = Arc::clone(shared.db.metrics());
+    let active_gauge = reg.gauge("server.active_sessions");
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _peer)) => s,
+            Err(_) if shared.draining.load(Ordering::SeqCst) => break,
+            Err(_) => continue,
+        };
+        if shared.draining.load(Ordering::SeqCst) {
+            refuse(stream, ErrorCode::ShuttingDown, "server is draining");
+            break;
+        }
+        // Reap finished session threads so the join list stays bounded.
+        shared.joins.lock().expect("joins lock").retain(|j| !j.is_finished());
+        if shared.active.load(Ordering::SeqCst) >= shared.cfg.max_conns {
+            reg.counter("server.rejected_busy").inc();
+            refuse(
+                stream,
+                ErrorCode::Busy,
+                &format!("connection limit ({}) reached", shared.cfg.max_conns),
+            );
+            continue;
+        }
+        let id = shared.session_seq.fetch_add(1, Ordering::SeqCst);
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        active_gauge.set(shared.active.load(Ordering::SeqCst) as u64);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().expect("conns lock").insert(id, clone);
+        }
+        let session_shared = Arc::clone(&shared);
+        let spawn =
+            std::thread::Builder::new().name(format!("txdb-session-{id}")).spawn(move || {
+                let reg = Arc::clone(session_shared.db.metrics());
+                let session = Session::new(
+                    Arc::clone(&session_shared.db),
+                    id,
+                    session_shared.cfg.max_request_bytes,
+                );
+                let end = session.run(stream);
+                session_shared.conns.lock().expect("conns lock").remove(&id);
+                session_shared.active.fetch_sub(1, Ordering::SeqCst);
+                reg.gauge("server.active_sessions")
+                    .set(session_shared.active.load(Ordering::SeqCst) as u64);
+                if end == SessionEnd::DrainRequested {
+                    let _ = session_shared.drain_tx.send(DrainReason::ClientRequest);
+                }
+            });
+        match spawn {
+            Ok(j) => shared.joins.lock().expect("joins lock").push(j),
+            Err(_) => {
+                // Thread spawn failed (resource exhaustion): undo the
+                // accounting and refuse the connection.
+                shared.conns.lock().expect("conns lock").remove(&id);
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+                active_gauge.set(shared.active.load(Ordering::SeqCst) as u64);
+            }
+        }
+    }
+}
+
+/// Sends one structured error line and closes the connection.
+fn refuse(mut stream: TcpStream, code: ErrorCode, msg: &str) {
+    let line = WireError::new(code, msg).render();
+    let _ = writeln!(stream, "{line}");
+    let _ = stream.flush();
+}

@@ -1,0 +1,309 @@
+//! One connected client: the per-session command loop.
+//!
+//! A session owns one TCP connection, a private map of snapshot pins and
+//! nothing else — all state worth sharing lives in the [`Database`]
+//! handle. Commands execute strictly in arrival order; `QUERY` streams
+//! its rows through the PR 7 cursor, so a result larger than memory never
+//! materializes on the server (and an abandoned connection drops the
+//! cursor, releasing its snapshot pin). Every command runs under a
+//! request-level span feeding the shared metrics registry.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use txdb_base::obs::EventValue;
+use txdb_client::frame::{read_frame, Frame};
+use txdb_client::json::{escape_into, Json};
+use txdb_core::Database;
+use txdb_query::{strip_explain_prefix, QueryExt};
+use txdb_storage::SnapshotPin;
+
+use crate::proto::{decode, engine_error, ErrorCode, Request, WireError};
+
+/// Why the session loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// The client disconnected (EOF) or the transport failed.
+    Disconnected,
+    /// The session asked the server to drain (`SHUTDOWN`).
+    DrainRequested,
+}
+
+/// Per-session state and its command loop.
+pub struct Session {
+    db: Arc<Database>,
+    id: u64,
+    max_request_bytes: usize,
+    pins: HashMap<u64, SnapshotPin>,
+    next_pin: u64,
+    requests: u64,
+}
+
+impl Session {
+    /// Creates the state for session `id`.
+    pub fn new(db: Arc<Database>, id: u64, max_request_bytes: usize) -> Session {
+        Session { db, id, max_request_bytes, pins: HashMap::new(), next_pin: 1, requests: 0 }
+    }
+
+    /// Runs the command loop until the client disconnects or requests a
+    /// drain. Always leaves the session's pins released (they drop with
+    /// `self`); transport errors end the loop instead of propagating.
+    pub fn run(mut self, stream: TcpStream) -> SessionEnd {
+        let reg = Arc::clone(self.db.metrics());
+        reg.counter("server.sessions_opened").inc();
+        reg.emit("server.session_open", &[("session", EventValue::U64(self.id))]);
+        let end = self.command_loop(&stream).unwrap_or(SessionEnd::Disconnected);
+        reg.emit(
+            "server.session_close",
+            &[("session", EventValue::U64(self.id)), ("requests", EventValue::U64(self.requests))],
+        );
+        end
+    }
+
+    fn command_loop(&mut self, stream: &TcpStream) -> std::io::Result<SessionEnd> {
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        loop {
+            let line = match read_frame(&mut reader, self.max_request_bytes)? {
+                Frame::Eof => return Ok(SessionEnd::Disconnected),
+                Frame::TooLarge => {
+                    self.refuse(
+                        &mut writer,
+                        WireError::new(
+                            ErrorCode::TooLarge,
+                            format!("request exceeds {} bytes", self.max_request_bytes),
+                        ),
+                    )?;
+                    continue;
+                }
+                Frame::BadUtf8 => {
+                    self.refuse(
+                        &mut writer,
+                        WireError::new(ErrorCode::Utf8, "request is not valid UTF-8"),
+                    )?;
+                    continue;
+                }
+                Frame::Line(l) => l,
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let req = match decode(&line) {
+                Ok(r) => r,
+                Err(e) => {
+                    self.refuse(&mut writer, e)?;
+                    continue;
+                }
+            };
+            self.requests += 1;
+            let reg = Arc::clone(self.db.metrics());
+            reg.counter("server.requests").inc();
+            let span = reg.span(req.span_name());
+            let drain = matches!(req, Request::Shutdown);
+            let outcome = self.execute(req, &mut writer);
+            drop(span);
+            match outcome {
+                Ok(()) => {
+                    writer.flush()?;
+                    if drain {
+                        return Ok(SessionEnd::DrainRequested);
+                    }
+                }
+                Err(e) => {
+                    reg.counter("server.requests.failed").inc();
+                    self.refuse(&mut writer, e)?;
+                }
+            }
+        }
+    }
+
+    /// Writes one structured error response (and counts it).
+    fn refuse(&self, w: &mut impl Write, e: WireError) -> std::io::Result<()> {
+        self.db.metrics().counter("server.errors").inc();
+        writeln!(w, "{}", e.render())?;
+        w.flush()
+    }
+
+    /// Executes one decoded command, writing its response line(s).
+    /// Engine failures come back as `Err` and are rendered by the caller;
+    /// transport failures surface as `WireError` too (the caller's write
+    /// of that error will fail and end the loop).
+    fn execute(&mut self, req: Request, w: &mut impl Write) -> Result<(), WireError> {
+        match req {
+            Request::Ping => write_line(w, &ok([Json::field("pong", Json::Bool(true))])),
+            Request::Put { doc, xml, at } => {
+                let at = at.unwrap_or_else(wall_clock);
+                let r = self.db.put(&doc, &xml, at).map_err(|e| engine_error(&e))?;
+                write_line(
+                    w,
+                    &ok([
+                        Json::field("changed", Json::Bool(r.changed)),
+                        r.changed.then(|| ("version", Json::u64(r.version.0 as u64))),
+                        Json::field("ts", Json::u64(r.ts.micros())),
+                    ]),
+                )
+            }
+            Request::Delete { doc, at } => {
+                let at = at.unwrap_or_else(wall_clock);
+                let r = self.db.delete(&doc, at).map_err(|e| engine_error(&e))?;
+                write_line(
+                    w,
+                    &ok([
+                        Json::field("deleted", Json::Bool(r.is_some())),
+                        r.map(|d| ("ts", Json::u64(d.ts.micros()))),
+                    ]),
+                )
+            }
+            Request::Query { q, at, limit } => self.execute_query(&q, at, limit, w),
+            Request::Pin { at } => {
+                let pin = self.db.pin_snapshot(at);
+                let id = self.next_pin;
+                self.next_pin += 1;
+                self.pins.insert(id, pin);
+                write_line(
+                    w,
+                    &ok([
+                        Json::field("pin", Json::u64(id)),
+                        Json::field("at", Json::u64(at.micros())),
+                    ]),
+                )
+            }
+            Request::Unpin { pin } => match self.pins.remove(&pin) {
+                Some(_) => write_line(w, &ok([Json::field("released", Json::Bool(true))])),
+                None => Err(WireError::new(
+                    ErrorCode::BadRequest,
+                    format!("no pin {pin} in this session"),
+                )),
+            },
+            Request::Stats => {
+                let s = self.db.store().space_stats().map_err(|e| engine_error(&e))?;
+                let docs = self.db.store().list().map_err(|e| engine_error(&e))?.len();
+                let fti = self.db.indexes().fti();
+                let resp = ok([
+                    Json::field("documents", Json::u64(docs as u64)),
+                    Json::field("pages", Json::u64(s.pages)),
+                    Json::field("current_bytes", Json::u64(s.current_bytes)),
+                    Json::field("delta_bytes", Json::u64(s.delta_bytes)),
+                    Json::field("snapshot_bytes", Json::u64(s.snapshot_bytes)),
+                    Json::field("meta_bytes", Json::u64(s.meta_bytes)),
+                    Json::field("fti_postings", Json::u64(fti.posting_count() as u64)),
+                    Json::field("fti_tokens", Json::u64(fti.token_count() as u64)),
+                    Json::field(
+                        "active_snapshots",
+                        Json::u64(self.db.store().snapshots().active() as u64),
+                    ),
+                    Json::field("session_pins", Json::u64(self.pins.len() as u64)),
+                ]);
+                write_line(w, &resp)
+            }
+            Request::Metrics => {
+                self.db.store().update_derived_metrics();
+                let snap = self.db.metrics().snapshot().to_json();
+                // `to_json` is pretty-printed; the wire wants one line.
+                // Round-tripping through the parser also guarantees the
+                // embedded object really is well-formed JSON.
+                let compact = Json::parse(&snap)
+                    .map_err(|e| {
+                        WireError::new(ErrorCode::Engine, format!("metrics snapshot: {e}"))
+                    })?
+                    .to_string();
+                write_line_str(w, &format!(r#"{{"ok":true,"metrics":{compact}}}"#))
+            }
+            Request::Shutdown => write_line(w, &ok([Json::field("draining", Json::Bool(true))])),
+        }
+    }
+
+    /// `QUERY`: open the streaming cursor, write one `{"row":[…]}` line
+    /// per row, then (under `EXPLAIN ANALYZE`) the rendered plan tree,
+    /// then the `{"ok":true,…}` trailer. An engine error before the first
+    /// row is a plain error response; after rows have flowed it becomes
+    /// the terminating line instead of the trailer, so the client always
+    /// sees a structured end-of-response.
+    fn execute_query(
+        &mut self,
+        q: &str,
+        at: Option<txdb_base::Timestamp>,
+        limit: Option<usize>,
+        w: &mut impl Write,
+    ) -> Result<(), WireError> {
+        let started = std::time::Instant::now();
+        let (q, explain) = match strip_explain_prefix(q) {
+            Some(rest) => (rest, true),
+            None => (q, false),
+        };
+        let mut req = self.db.query(q).at(at.unwrap_or_else(wall_clock));
+        if explain {
+            req = req.explain();
+        }
+        if let Some(n) = limit {
+            req = req.limit(n);
+        }
+        let mut stream = req.stream().map_err(|e| engine_error(&e))?;
+        let mut rows = 0u64;
+        let mut line = String::new();
+        for row in &mut stream {
+            let row = match row {
+                Ok(r) => r,
+                Err(e) => {
+                    // Mid-stream failure: terminate the response in-band.
+                    write_line_str(w, &engine_error(&e).render())?;
+                    return Ok(());
+                }
+            };
+            line.clear();
+            line.push_str(r#"{"row":["#);
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push('"');
+                escape_into(&v.as_text(), &mut line);
+                line.push('"');
+            }
+            line.push_str("]}");
+            write_line_str(w, &line)?;
+            rows += 1;
+        }
+        if let Some(tree) = stream.explain() {
+            let mut text = String::new();
+            escape_into(&tree.render(), &mut text);
+            write_line_str(w, &format!(r#"{{"explain":"{text}"}}"#))?;
+        }
+        let stats = stream.stats();
+        let trailer = ok([
+            Json::field("rows", Json::u64(rows)),
+            Json::field("elapsed_us", Json::u64(started.elapsed().as_micros() as u64)),
+            Json::field("rows_scanned", Json::u64(stats.rows_scanned as u64)),
+            Json::field("reconstructions", Json::u64(stats.reconstructions as u64)),
+            Json::field("cache_hits", Json::u64(stats.cache_hits as u64)),
+        ]);
+        write_line(w, &trailer)
+    }
+}
+
+/// Builds an `{"ok":true,…}` response object.
+fn ok<const N: usize>(fields: [Option<(&str, Json)>; N]) -> Json {
+    let mut all = vec![("ok".to_string(), Json::Bool(true))];
+    all.extend(fields.into_iter().flatten().map(|(k, v)| (k.to_string(), v)));
+    Json::Obj(all)
+}
+
+fn write_line(w: &mut impl Write, v: &Json) -> Result<(), WireError> {
+    write_line_str(w, &v.to_string())
+}
+
+fn write_line_str(w: &mut impl Write, line: &str) -> Result<(), WireError> {
+    writeln!(w, "{line}").map_err(|e| WireError::new(ErrorCode::Engine, format!("write: {e}")))
+}
+
+/// The server wall clock (default commit/`NOW` timestamp).
+pub(crate) fn wall_clock() -> txdb_base::Timestamp {
+    txdb_base::Timestamp::from_micros(
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0),
+    )
+}

@@ -1940,6 +1940,44 @@ impl DocumentStore {
         self.pool.flush_all()?;
         Ok(metas.len())
     }
+
+    /// Returns leaked pages — CRC-dirty pages no live structure
+    /// references, the residue [`DocumentStore::salvage_rebuild_catalog`]
+    /// leaves behind when it abandons broken btree pages — to the free
+    /// list. Freeing rewrites each page (zeroed, next-free pointer in the
+    /// first 8 bytes), so afterwards a full checksum sweep comes back
+    /// clean and `allocate` reuses the space. Returns the reclaimed ids.
+    ///
+    /// Only *unreachable* checksum failures are touched: a CRC-dirty page
+    /// something still references is real corruption and is left in place
+    /// for `fsck` to report. The freed images land through the buffer
+    /// pool (journal-protected) and are made durable by a checkpoint
+    /// before this returns, so a crash can't resurrect half a free list.
+    pub fn reclaim_leaked_pages(&self) -> Result<Vec<u64>> {
+        let leaked = {
+            let _g = self.sync.write();
+            self.ensure_writable()?;
+            let bad = self.pool.pager().verify_checksums()?;
+            if bad.is_empty() {
+                return Ok(Vec::new());
+            }
+            let reachable = self.reachable_pages();
+            let leaked: Vec<u64> = bad.into_iter().filter(|p| !reachable.contains(p)).collect();
+            for &p in &leaked {
+                self.pool.free_page(crate::pager::PageId(p))?;
+            }
+            leaked
+        };
+        // The store lock is released before checkpointing — checkpoint
+        // takes it itself (the locks are not re-entrant). Nothing can
+        // re-reference the freed pages in the window: they are on the
+        // free list, and allocation from it is also behind the lock.
+        if !leaked.is_empty() {
+            self.checkpoint()?;
+            self.metrics.counter("fsck.pages_reclaimed").add(leaked.len() as u64);
+        }
+        Ok(leaked)
+    }
 }
 
 fn encode_str(out: &mut Vec<u8>, s: &str) {
@@ -2459,6 +2497,56 @@ mod tests {
         assert!(r.to_string().contains("leaked pages"));
         // Data survives untouched.
         assert_eq!(store.list().unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reclaim_returns_leaked_pages_to_the_free_list() {
+        let dir = tmpdir("fsck-reclaim");
+        let opts = StoreOptions { path: Some(dir.clone()), ..Default::default() };
+        let victim;
+        {
+            let (store, _) = DocumentStore::open(opts.clone()).unwrap();
+            store.put("d", "<a>1</a>", ts(1)).unwrap();
+            store.put("e", "<b>2</b>", ts(2)).unwrap();
+            store.checkpoint().unwrap();
+            let abandoned = store.catalog.pages();
+            assert!(!abandoned.is_empty());
+            victim = abandoned[0].0;
+            store.salvage_rebuild_catalog().unwrap();
+            store.checkpoint().unwrap();
+        }
+        // Bit-rot on the abandoned btree page, as in the leak test above.
+        let db = dir.join("data.db");
+        let mut bytes = std::fs::read(&db).unwrap();
+        let phys = crate::pager::PHYS_PAGE_SIZE;
+        bytes[victim as usize * phys + 7] ^= 0x01;
+        std::fs::write(&db, &bytes).unwrap();
+        let (store, _) = DocumentStore::open(opts.clone()).unwrap();
+        let before = store.fsck();
+        assert_eq!(before.leaked_pages, vec![victim]);
+        let freed = store.reclaim_leaked_pages().unwrap();
+        assert_eq!(freed, vec![victim]);
+        // The freed page was rewritten: the full CRC sweep is clean and
+        // the leak is gone from the report.
+        let after = store.fsck();
+        assert!(after.is_clean(), "{after}");
+        assert!(after.bad_pages.is_empty(), "{after}");
+        assert!(after.leaked_pages.is_empty(), "{after}");
+        assert_eq!(store.list().unwrap().len(), 2);
+        // Nothing left to do on a second pass.
+        assert!(store.reclaim_leaked_pages().unwrap().is_empty());
+        // The reclaimed page is genuinely reusable: new writes allocate
+        // from the free list before growing the file.
+        let pages_before = store.pool.pager().page_count();
+        store.put("f", "<c>3</c>", ts(3)).unwrap();
+        store.checkpoint().unwrap();
+        assert_eq!(store.pool.pager().page_count(), pages_before);
+        // And it all survives a reopen.
+        drop(store);
+        let (store, _) = DocumentStore::open(opts).unwrap();
+        assert!(store.fsck().is_clean());
+        assert_eq!(store.list().unwrap().len(), 3);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -130,6 +130,126 @@ assert all(r['queries_per_sec'] > 0 for r in d['readers']['runs']), d['readers']
 }
 run_phase "concurrency_bench smoke (group commit)" concurrency_bench_smoke
 
+# Server: boot `txdb serve` on an ephemeral port with stdin held open
+# (stdin EOF is the host-side drain trigger), drive one scripted wire
+# session end to end — PUT, temporal QUERY, EXPLAIN ANALYZE, PIN/UNPIN,
+# METRICS, an error probe, SHUTDOWN — then require a graceful drain and
+# a clean fsck with no WAL tail left behind.
+server_smoke() {
+    if ! command -v python3 > /dev/null 2>&1; then
+        echo "  (python3 not found; skipping the wire session)"
+        return 0
+    fi
+    local dir log addr srv holder
+    dir=$(mktemp -d)
+    log="$dir/serve.log"
+    mkfifo "$dir/stdin"
+    # Keep the fifo's write end open so serve only drains on SHUTDOWN.
+    sleep 600 > "$dir/stdin" &
+    holder=$!
+    cargo run -q --offline -p txdb-cli -- \
+        serve "$dir/db" --addr 127.0.0.1:0 < "$dir/stdin" > "$log" &
+    srv=$!
+    for _ in $(seq 1 300); do
+        grep -q 'listening on' "$log" 2> /dev/null && break
+        sleep 0.1
+    done
+    addr=$(grep -o 'listening on [0-9.:]*' "$log" | awk '{print $3}')
+    test -n "$addr"
+    python3 - "$addr" <<'PYEOF'
+import json, socket, sys
+
+host, port = sys.argv[1].rsplit(":", 1)
+s = socket.create_connection((host, int(port)), timeout=20)
+f = s.makefile("rw", encoding="utf-8", newline="\n")
+
+def send(obj):
+    f.write(json.dumps(obj) + "\n")
+    f.flush()
+
+def recv():
+    line = f.readline()
+    assert line, "server closed the connection unexpectedly"
+    return json.loads(line)
+
+send({"cmd": "PING"})
+r = recv(); assert r["ok"] and r["pong"], r
+send({"cmd": "PUT", "doc": "guide",
+      "xml": "<g><r><n>Napoli</n><p>15</p></r></g>", "at": 1000000})
+r = recv(); assert r["ok"] and r["changed"] and r["version"] == 0, r
+send({"cmd": "PUT", "doc": "guide",
+      "xml": "<g><r><n>Napoli</n><p>18</p></r></g>", "at": 2000000})
+r = recv(); assert r["ok"] and r["version"] == 1, r
+send({"cmd": "PIN", "at": 1000000})
+r = recv(); assert r["ok"], r
+pin = r["pin"]
+send({"cmd": "QUERY",
+      "q": 'SELECT TIME(R), R/p FROM doc("guide")[EVERY]//r R',
+      "at": 2000000})
+rows = []
+while True:
+    r = recv()
+    if "ok" in r:
+        break
+    rows.append(r["row"])
+assert r["ok"] and r["rows"] == 2 and len(rows) == 2, (r, rows)
+assert "<p>15</p>" in "".join(rows[0]), rows
+send({"cmd": "QUERY", "q": 'EXPLAIN ANALYZE SELECT R/p FROM doc("guide")//r R'})
+saw_explain = False
+while True:
+    r = recv()
+    saw_explain = saw_explain or "explain" in r
+    if "ok" in r:
+        break
+assert r["ok"] and saw_explain, r
+send({"cmd": "UNPIN", "pin": pin})
+r = recv(); assert r["ok"] and r["released"], r
+send({"cmd": "METRICS"})
+r = recv()
+assert r["ok"] and "server.requests" in r["metrics"]["counters"], \
+    sorted(r["metrics"]["counters"])
+send({"cmd": "nope"})
+r = recv(); assert not r["ok"] and r["error"]["code"] == "bad_request", r
+send({"cmd": "SHUTDOWN"})
+r = recv(); assert r["ok"] and r["draining"], r
+s.close()
+PYEOF
+    wait "$srv"
+    kill "$holder" 2> /dev/null || true
+    grep -q 'drained' "$log"
+    cargo run -q --offline -p txdb-cli -- --db "$dir/db" fsck > "$dir/fsck.out"
+    grep -q 'bad pages:        0' "$dir/fsck.out"
+    grep -q 'wal records:      0' "$dir/fsck.out"
+    rm -rf "$dir"
+}
+run_phase "server smoke (wire session + drain)" server_smoke
+
+# Over-the-wire benchmark in quick mode: durable PUTs and streamed
+# QUERYs across 1/2/4/8 wire clients. The binary itself asserts the
+# group-commit histogram accounts for every wire commit and that no
+# pins leak past the drain; the JSON must carry per-client-count rates
+# and the in-process baseline.
+server_bench_smoke() {
+    local root dir out
+    root=$(pwd)
+    dir=$(mktemp -d)
+    (cd "$dir" && SERVER_BENCH_QUICK=1 cargo run -q --offline \
+        --manifest-path "$root/Cargo.toml" -p txdb-bench --bin server_bench > /dev/null)
+    out="$dir/BENCH_server.json"
+    if command -v python3 > /dev/null 2>&1; then
+        python3 -c "import json,sys; d=json.load(open(sys.argv[1])); \
+runs=d['puts']['runs']; \
+assert [r['clients'] for r in runs] == [1, 2, 4, 8], runs; \
+assert all(r['puts_per_sec'] > 0 and 0 < r['fsyncs'] <= r['puts'] for r in runs), runs; \
+assert d['queries']['inprocess_serial_qps'] > 0, d['queries']; \
+assert all(r['queries_per_sec'] > 0 for r in d['queries']['runs']), d['queries']" "$out"
+    else
+        grep -q '"puts_per_sec"' "$out" && grep -q '"inprocess_serial_qps"' "$out"
+    fi
+    rm -rf "$dir"
+}
+run_phase "server_bench smoke (over the wire)" server_bench_smoke
+
 echo "== OK =="
 for i in "${!PHASES[@]}"; do
     printf '  %-38s %ss\n' "${PHASES[$i]}" "${TIMES[$i]}"

@@ -56,6 +56,7 @@
 pub use txdb_base::{
     self as base, DocId, Duration, Eid, Interval, Teid, Timestamp, VersionId, Xid,
 };
+pub use txdb_client::{self as client, Client};
 pub use txdb_core::{self as core, Database, DbOptions};
 pub use txdb_delta as delta;
 pub use txdb_index as index;
@@ -63,6 +64,7 @@ pub use txdb_query::{
     self as query, parse_query, ExecStats, ExplainNode, QueryExt, QueryRequest, QueryResult,
     RowStream,
 };
+pub use txdb_server::{self as server, Server, ServerConfig};
 pub use txdb_storage::{self as storage, StoreOptions};
 pub use txdb_stratum as stratum;
 pub use txdb_wgen as wgen;

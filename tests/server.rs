@@ -1,0 +1,346 @@
+//! The network front end, end to end: concurrent wire clients against a
+//! serial in-process replay, session lifecycle (pins released on
+//! disconnect, accept loop survives killed connections), malformed-input
+//! hardening, the busy gate and graceful drain.
+//!
+//! The server's contract: a wire client is just another engine thread.
+//! Whatever a query returns in-process it must return byte-identically
+//! over the wire, concurrency included; and whatever a session holds
+//! (snapshot pins, a half-read cursor) dies with its connection.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use temporal_xml::client::{read_frame, Client, Frame, Json};
+use temporal_xml::server::proto::decode;
+use temporal_xml::{Database, DbOptions, QueryExt, Server, ServerConfig, Timestamp};
+
+fn ts(n: u64) -> Timestamp {
+    Timestamp::from_secs(1_000_000 + n)
+}
+
+fn start(db: Arc<Database>) -> Server {
+    Server::start(db, ServerConfig::default()).unwrap()
+}
+
+/// Polls `cond` for up to two seconds; panics with `what` on timeout.
+fn wait_until(what: &str, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// A raw wire connection, for driving the protocol below the `Client`
+/// abstraction (partial lines, invalid bytes, hand-built frames).
+struct Raw {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Raw {
+    fn connect(addr: std::net::SocketAddr) -> Raw {
+        let stream = TcpStream::connect(addr).unwrap();
+        Raw { reader: BufReader::new(stream.try_clone().unwrap()), writer: stream }
+    }
+
+    fn send(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    /// Sends `bytes` as one newline-terminated request line.
+    fn send_line(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        Json::parse(line.trim_end()).unwrap()
+    }
+
+    fn error_code(&mut self) -> String {
+        let resp = self.recv();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false), "{resp}");
+        resp.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .expect("error.code")
+            .to_string()
+    }
+}
+
+// ------------------------------------------------------- differential
+
+/// Eight concurrent wire clients, each replaying historical probes, must
+/// see exactly what a serial in-process replay sees — byte-identical
+/// rendered results. This is the acceptance bar for the whole front end:
+/// the wire adds transport, never semantics.
+#[test]
+fn eight_wire_clients_match_serial_replay() {
+    let db = Arc::new(Database::in_memory());
+    for i in 0..25u64 {
+        db.put("d", &format!("<log><n>{i}</n><w>alpha{i}</w></log>"), ts(i * 10)).unwrap();
+    }
+    let queries = [
+        r#"SELECT R/n FROM doc("d")[EVERY]//log R"#,
+        r#"SELECT TIME(R), R/w FROM doc("d")[EVERY]//log R"#,
+        r#"SELECT R FROM doc("d")//log R"#,
+    ];
+    // Probe times straddle every version boundary.
+    let probes: Vec<Timestamp> = (0..=50).map(|k| ts(k * 5 + 3)).collect();
+    let expected: Vec<String> = probes
+        .iter()
+        .flat_map(|&p| {
+            queries
+                .iter()
+                .map(move |q| (p, q))
+                .map(|(p, q)| db.query(q).at(p).run().unwrap().to_xml())
+        })
+        .collect();
+    let server = start(Arc::clone(&db));
+    let addr = server.addr();
+    std::thread::scope(|s| {
+        for t in 0..8usize {
+            let probes = &probes;
+            let queries = &queries;
+            let expected = &expected;
+            s.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                // Each thread starts at a different offset so the eight
+                // sessions are always querying different timestamps.
+                for k in 0..probes.len() {
+                    let p = probes[(k + t * 7) % probes.len()];
+                    for (qi, q) in queries.iter().enumerate() {
+                        let got = client.query(q, Some(p.micros())).unwrap().to_xml();
+                        let want = &expected[((k + t * 7) % probes.len()) * queries.len() + qi];
+                        assert_eq!(&got, want, "thread {t} probe {p} query {qi} diverged");
+                    }
+                }
+            });
+        }
+    });
+    server.shutdown().unwrap();
+}
+
+// -------------------------------------------------- session lifecycle
+
+/// A dropped connection releases everything the session held: explicit
+/// `PIN`s and the snapshot pin inside a half-read query cursor. Vacuum's
+/// horizon, fenced while the pins lived, advances once they are gone.
+#[test]
+fn disconnect_mid_stream_releases_pins() {
+    let db = Arc::new(Database::in_memory());
+    for i in 1..=5u64 {
+        db.put("d", &format!("<a><v>{i}</v></a>"), ts(i)).unwrap();
+    }
+    let server = start(Arc::clone(&db));
+    let baseline = db.store().snapshots().active();
+
+    let mut raw = Raw::connect(server.addr());
+    raw.send_line(format!(r#"{{"cmd":"PIN","at":{}}}"#, ts(1).micros()).as_bytes());
+    assert_eq!(raw.recv().get("pin").and_then(Json::as_u64), Some(1));
+    // While the pin lives, vacuum is fenced at ts(1): nothing to purge.
+    let fenced = db.vacuum("d", ts(5)).unwrap().unwrap();
+    assert_eq!(fenced.purged_versions, 0, "pin failed to fence vacuum");
+    // Start a query and walk away after the first row: the cursor (and
+    // its own pin) is abandoned mid-stream.
+    raw.send_line(br#"{"cmd":"QUERY","q":"SELECT R FROM doc(\"d\")[EVERY]//a R"}"#);
+    let first = raw.recv();
+    assert!(first.get("row").is_some(), "{first}");
+    drop(raw); // no UNPIN, no drain of the stream — just gone
+
+    wait_until("session teardown to release pins", || db.store().snapshots().active() == baseline);
+    wait_until("active_sessions gauge to return to 0", || {
+        db.metrics().snapshot().gauge("server.active_sessions") == Some(0)
+    });
+    // The fence is gone: everything before the version valid at ts(5)
+    // (v1..v3; v4 is the one valid at the horizon) is now purgeable.
+    let purged = db.vacuum("d", ts(5)).unwrap().unwrap();
+    assert_eq!(purged.purged_versions, 3, "vacuum horizon failed to advance");
+    server.shutdown().unwrap();
+}
+
+/// A connection that dies mid-line (no terminator, no clean close) must
+/// not wedge the accept loop or leak a session.
+#[test]
+fn killed_connection_never_wedges_the_accept_loop() {
+    let db = Arc::new(Database::in_memory());
+    db.put("d", "<a>x</a>", ts(1)).unwrap();
+    let server = start(Arc::clone(&db));
+
+    for _ in 0..3 {
+        let mut raw = Raw::connect(server.addr());
+        raw.send(br#"{"cmd":"QUERY","q":"SELECT"#); // half a request
+        drop(raw); // RST/EOF with the line unterminated
+    }
+    // The server must still accept and serve promptly.
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.ping().unwrap();
+    assert_eq!(client.query(r#"SELECT R FROM doc("d")//a R"#, None).unwrap().rows.len(), 1);
+    wait_until("dead sessions to be reaped", || {
+        db.metrics().snapshot().gauge("server.active_sessions") == Some(1)
+    });
+    server.shutdown().unwrap();
+}
+
+/// Beyond `max_conns` live sessions, a new connection gets one structured
+/// `busy` error — and a slot freeing up readmits new clients.
+#[test]
+fn busy_gate_refuses_and_recovers() {
+    let db = Arc::new(Database::in_memory());
+    let cfg = ServerConfig { max_conns: 1, ..Default::default() };
+    let server = Server::start(Arc::clone(&db), cfg).unwrap();
+
+    let mut first = Client::connect(server.addr()).unwrap();
+    first.ping().unwrap(); // session is live, the one slot is taken
+    let mut refused = Raw::connect(server.addr());
+    assert_eq!(refused.error_code(), "busy");
+    drop(first);
+    wait_until("the slot to free", || server.active_sessions() == 0);
+    // The accept loop re-checks occupancy per connection: readmitted.
+    wait_until("readmission after the slot freed", || {
+        Client::connect(server.addr())
+            .and_then(|mut c| {
+                c.ping().map_err(|e| match e {
+                    temporal_xml::client::ClientError::Io(io) => io,
+                    other => std::io::Error::other(other.to_string()),
+                })
+            })
+            .is_ok()
+    });
+    server.shutdown().unwrap();
+}
+
+// ------------------------------------------------ malformed input
+
+/// Every malformed request gets a structured, code-bearing error response
+/// on the same connection — which stays usable. Nothing drops the session
+/// but EOF and `SHUTDOWN`.
+#[test]
+fn malformed_input_gets_structured_errors_not_disconnects() {
+    let db = Arc::new(Database::in_memory());
+    db.put("d", "<a>x</a>", ts(1)).unwrap();
+    let cfg = ServerConfig { max_request_bytes: 256, ..Default::default() };
+    let server = Server::start(Arc::clone(&db), cfg).unwrap();
+    let mut raw = Raw::connect(server.addr());
+
+    // Not JSON at all.
+    raw.send(b"hello there\n");
+    assert_eq!(raw.error_code(), "parse");
+    // Truncated mid-value: distinguished from garbage.
+    raw.send(b"{\"cmd\":\"PING\"\n");
+    assert_eq!(raw.error_code(), "truncated");
+    // Invalid UTF-8.
+    raw.send(b"\xff\xfe{\"cmd\":\"PING\"}\n");
+    assert_eq!(raw.error_code(), "utf8");
+    // Oversized line: refused without buffering, connection stays in sync.
+    let mut big = vec![b'x'; 4096];
+    big.push(b'\n');
+    raw.send(&big);
+    assert_eq!(raw.error_code(), "too_large");
+    // Wrong shapes and types.
+    raw.send(b"[1,2,3]\n");
+    assert_eq!(raw.error_code(), "bad_request");
+    raw.send(b"{\"cmd\":5}\n");
+    assert_eq!(raw.error_code(), "bad_request");
+    raw.send(b"{\"cmd\":\"PUT\",\"doc\":\"d\"}\n");
+    assert_eq!(raw.error_code(), "bad_request"); // missing xml
+    raw.send(b"{\"cmd\":\"QUERY\",\"q\":\"SELECT nonsense !!\"}\n");
+    assert_eq!(raw.error_code(), "query");
+    raw.send_line(br#"{"cmd":"PUT","doc":"d","xml":"<unclosed>"}"#);
+    assert_eq!(raw.error_code(), "query"); // XML parse failure
+    raw.send(b"{\"cmd\":\"UNPIN\",\"pin\":99}\n");
+    assert_eq!(raw.error_code(), "bad_request");
+
+    // After all that abuse, the session still answers.
+    raw.send(b"{\"cmd\":\"PING\"}\n");
+    assert_eq!(raw.recv().get("ok").and_then(Json::as_bool), Some(true));
+    server.shutdown().unwrap();
+}
+
+// ------------------------------------------------- graceful drain
+
+/// `shutdown` stops accepting, finishes the in-flight work, releases all
+/// session pins and checkpoints the WAL closed: a reopen replays nothing
+/// and fsck comes back clean with zero leaked pins.
+#[test]
+fn graceful_shutdown_leaves_store_clean_with_zero_pins() {
+    let dir = std::env::temp_dir().join(format!("txdb-server-drain-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Arc::new(DbOptions::at(&dir).open().unwrap());
+    let server = start(Arc::clone(&db));
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    for i in 1..=4u64 {
+        let r = client.put("d", &format!("<a><v>{i}</v></a>"), Some(ts(i).micros())).unwrap();
+        assert!(r.changed);
+    }
+    client.pin(ts(2).micros()).unwrap(); // deliberately never unpinned
+    assert_eq!(db.store().snapshots().active(), 1);
+
+    let report = server.shutdown().unwrap();
+    assert_eq!(report.sessions_drained, 1, "the pinned session was live at drain");
+    assert_eq!(db.store().snapshots().active(), 0, "drain leaked a snapshot pin");
+    let fsck = db.store().fsck();
+    assert!(fsck.is_clean(), "{fsck}");
+    assert_eq!(fsck.wal_records, 0, "drain checkpoint failed to close the WAL: {fsck}");
+    drop(client);
+    drop(db);
+    // Reopen: nothing to recover.
+    let db = DbOptions::at(&dir).open().unwrap();
+    assert_eq!(db.recovery_report().replayed, 0);
+    assert_eq!(db.query(r#"SELECT R FROM doc("d")//a R"#).at(ts(10)).run().unwrap().len(), 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------- decoder fuzz
+
+proptest! {
+    /// The request decoder never panics, whatever line arrives.
+    #[test]
+    fn decode_never_panics(line in ".{0,120}") {
+        let _ = decode(&line);
+    }
+
+    /// Neither does the frame reader, on arbitrary bytes with a tiny
+    /// budget — every frame is one of the four variants, never a panic
+    /// or a stuck loop.
+    #[test]
+    fn frame_reader_never_panics(bytes in prop::collection::vec(0u8..=255u8, 0..256)) {
+        let mut r = std::io::BufReader::new(&bytes[..]);
+        for _ in 0..64 {
+            match read_frame(&mut r, 16) {
+                Ok(Frame::Eof) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    }
+
+    /// Round-trip: a well-formed PUT built with the client's own encoder
+    /// always decodes into the same fields.
+    #[test]
+    fn put_requests_round_trip(doc in "[a-z]{1,12}", xml in "<a>[ -~]{0,40}</a>", at in 0u64..1u64 << 50) {
+        let line = Json::obj([
+            Json::field("cmd", Json::str("PUT")),
+            Json::field("doc", Json::str(&doc)),
+            Json::field("xml", Json::str(&xml)),
+            Json::field("at", Json::u64(at)),
+        ]).to_string();
+        match decode(&line).expect("well-formed PUT must decode") {
+            temporal_xml::server::proto::Request::Put { doc: d, xml: x, at: t } => {
+                prop_assert_eq!(d, doc);
+                prop_assert_eq!(x, xml);
+                prop_assert_eq!(t.map(|t| t.micros()), Some(at));
+            }
+            other => prop_assert!(false, "decoded to {:?}", other),
+        }
+    }
+}
