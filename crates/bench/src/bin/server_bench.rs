@@ -14,6 +14,13 @@
 //!   snapshot-anchored queries at skewed historical timestamps. Adds
 //!   the serial in-process rate as the no-wire baseline, so the JSON
 //!   records what the transport costs.
+//! * **latency** — per-command p50/p95/p99 from the server's
+//!   `server.cmd.*_us` histograms (exact sums, log₂-bucketed tails).
+//! * **tracing** — a 1-client traced-vs-untraced A/B, plus a comparison
+//!   of the untraced rate against the previous `BENCH_server.json` (the
+//!   pre-tracing baseline): with tracing off the instrumentation is one
+//!   thread-local read per span, and a full (non-quick) run asserts the
+//!   cost stays under 2%.
 //!
 //! ```sh
 //! cargo run --release -p txdb-bench --bin server_bench
@@ -24,7 +31,9 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use txdb_base::obs::HistogramSnapshot;
 use txdb_bench::step_ts;
+use txdb_client::json::Json;
 use txdb_client::Client;
 use txdb_core::{Database, DbOptions};
 use txdb_query::QueryExt;
@@ -44,6 +53,21 @@ struct PutRun {
     puts_per_sec: f64,
     fsyncs: u64,
     mean_batch: f64,
+    /// Per-command latency for this run (`server.cmd.put_us`).
+    latency: HistogramSnapshot,
+}
+
+/// Renders one `server.cmd.*_us` summary as a JSON object fragment.
+fn latency_json(h: &HistogramSnapshot) -> String {
+    format!(
+        "{{ \"count\": {}, \"mean_us\": {:.1}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {} }}",
+        h.count,
+        h.mean(),
+        h.p50,
+        h.p95,
+        h.p99,
+        h.max
+    )
 }
 
 fn bench_wire_puts(clients: usize, total_puts: u64) -> PutRun {
@@ -80,6 +104,11 @@ fn bench_wire_puts(clients: usize, total_puts: u64) -> PutRun {
         .histogram("wal.group_commit.batch_size")
         .expect("wal.group_commit.batch_size histogram");
     assert_eq!(h.sum, puts, "every wire commit crosses exactly one fsync barrier");
+    let latency = db
+        .metrics()
+        .snapshot()
+        .histogram("server.cmd.put_us")
+        .expect("server.cmd.put_us histogram");
     server.shutdown().expect("drain");
     let _ = std::fs::remove_dir_all(&dir);
     PutRun {
@@ -89,6 +118,7 @@ fn bench_wire_puts(clients: usize, total_puts: u64) -> PutRun {
         puts_per_sec: puts as f64 / (elapsed_us / 1e6),
         fsyncs: h.count,
         mean_batch: h.sum as f64 / h.count.max(1) as f64,
+        latency,
     }
 }
 
@@ -120,6 +150,22 @@ fn bench_wire_queries(
     (clients * queries) as f64 / start.elapsed().as_secs_f64()
 }
 
+/// One client streaming queries with `"trace":true`: every request pays
+/// for span collection, operator metering and tree assembly.
+fn bench_traced_queries(addr: std::net::SocketAddr, queries: usize, versions: u64) -> f64 {
+    let mut client = Client::connect(addr).expect("connect");
+    let start = Instant::now();
+    for k in 0..queries {
+        let (q, at) = query_at(k, 0, versions);
+        let mut rows = 0usize;
+        let (_explain, trace, _done) =
+            client.query_stream_traced(&q, Some(at), true, |_| rows += 1).expect("traced query");
+        assert_eq!(rows, 1);
+        assert!(trace.is_some(), "traced query must return its span tree");
+    }
+    queries as f64 / start.elapsed().as_secs_f64()
+}
+
 fn bench_inprocess_queries(db: &Database, queries: usize, versions: u64) -> f64 {
     let start = Instant::now();
     for k in 0..queries {
@@ -131,8 +177,26 @@ fn bench_inprocess_queries(db: &Database, queries: usize, versions: u64) -> f64 
     queries as f64 / start.elapsed().as_secs_f64()
 }
 
+/// The previous run's untraced 1-client wire rate, read from the
+/// `BENCH_server.json` this run will overwrite. Quick runs are too noisy
+/// to serve as a baseline and are ignored.
+fn read_baseline_1c_qps() -> Option<f64> {
+    let text = std::fs::read_to_string("BENCH_server.json").ok()?;
+    let v = Json::parse(&text).ok()?;
+    if v.get("quick").and_then(Json::as_bool) != Some(false) {
+        return None;
+    }
+    v.get("queries")?
+        .get("runs")
+        .and_then(Json::as_arr)?
+        .first()?
+        .get("queries_per_sec")
+        .and_then(Json::as_f64)
+}
+
 fn main() {
     let quick = std::env::var("SERVER_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let baseline_1c_qps = read_baseline_1c_qps();
     let total_puts: u64 = if quick { 64 } else { 640 };
     let rounds = if quick { 1 } else { 3 };
     let (versions, queries_per_client) = if quick { (16u64, 20usize) } else { (48, 120) };
@@ -196,6 +260,49 @@ fn main() {
     let query_base = query_runs.first().expect("1-client run").1;
     let query_best = query_runs.iter().map(|&(_, q)| q).fold(0.0f64, f64::max);
     println!("  query speedup best vs 1c: {:.2}x", query_best / query_base.max(0.001));
+
+    // Per-command latency, captured before the traced A/B so the
+    // percentiles describe the untraced runs only.
+    let query_latency = db
+        .metrics()
+        .snapshot()
+        .histogram("server.cmd.query_us")
+        .expect("server.cmd.query_us histogram");
+    println!(
+        "  query latency: p50={}µs p95={}µs p99={}µs over {} requests",
+        query_latency.p50, query_latency.p95, query_latency.p99, query_latency.count
+    );
+
+    // Tracing A/B at one client: what `"trace":true` costs per request,
+    // and — against the previous BENCH_server.json — what the dormant
+    // instrumentation costs when tracing is off (one thread-local read
+    // per span; a full run must stay within 2% of the baseline).
+    let traced_qps = {
+        let mut best = bench_traced_queries(addr, queries_per_client, versions);
+        for _ in 1..rounds {
+            best = best.max(bench_traced_queries(addr, queries_per_client, versions));
+        }
+        best
+    };
+    let traced_overhead_pct = (query_base - traced_qps) / query_base.max(0.001) * 100.0;
+    println!("  traced 1c: {traced_qps:.0} queries/s ({traced_overhead_pct:+.1}% vs untraced)");
+    let untraced_vs_baseline_pct = baseline_1c_qps.map(|base| (base - query_base) / base * 100.0);
+    match (baseline_1c_qps, untraced_vs_baseline_pct) {
+        (Some(base), Some(cost)) => {
+            println!(
+                "  untraced 1c vs previous baseline: {query_base:.0} vs {base:.0} queries/s \
+                 ({cost:+.1}% cost)"
+            );
+            if !quick {
+                assert!(
+                    query_base >= base * 0.98,
+                    "tracing-off overhead {cost:.1}% exceeds the 2% budget \
+                     (untraced {query_base:.0} qps vs baseline {base:.0} qps)"
+                );
+            }
+        }
+        _ => println!("  (no full-run baseline in BENCH_server.json; overhead check skipped)"),
+    }
     server.shutdown().expect("drain");
     assert_eq!(
         db.metrics().snapshot().gauge("db.active_snapshots"),
@@ -211,8 +318,9 @@ fn main() {
         .iter()
         .map(|r| {
             format!(
-                "      {{ \"clients\": {}, \"puts\": {}, \"elapsed_us\": {:.1}, \"puts_per_sec\": {:.1}, \"fsyncs\": {}, \"mean_batch\": {:.2} }}",
-                r.clients, r.puts, r.elapsed_us, r.puts_per_sec, r.fsyncs, r.mean_batch
+                "      {{ \"clients\": {}, \"puts\": {}, \"elapsed_us\": {:.1}, \"puts_per_sec\": {:.1}, \"fsyncs\": {}, \"mean_batch\": {:.2}, \"latency_us\": {} }}",
+                r.clients, r.puts, r.elapsed_us, r.puts_per_sec, r.fsyncs, r.mean_batch,
+                latency_json(&r.latency)
             )
         })
         .collect::<Vec<_>>()
@@ -222,10 +330,19 @@ fn main() {
         .map(|(c, qps)| format!("      {{ \"clients\": {c}, \"queries_per_sec\": {qps:.1} }}"))
         .collect::<Vec<_>>()
         .join(",\n");
+    let baseline_json = match baseline_1c_qps {
+        Some(b) => format!("{b:.1}"),
+        None => "null".into(),
+    };
+    let vs_baseline_json = match untraced_vs_baseline_pct {
+        Some(p) => format!("{p:.2}"),
+        None => "null".into(),
+    };
     let engine = db.metrics().snapshot().to_json();
     let json = format!(
-        "{{\n  \"generated_at\": {generated_at},\n  \"quick\": {quick},\n  \"puts\": {{\n    \"wal_sync\": true,\n    \"total_puts\": {total_puts},\n    \"runs\": [\n{put_json}\n    ],\n    \"speedup_8v1\": {put_speedup:.2}\n  }},\n  \"queries\": {{\n    \"corpus_versions\": {versions},\n    \"queries_per_client\": {queries_per_client},\n    \"inprocess_serial_qps\": {inprocess_qps:.1},\n    \"runs\": [\n{query_json}\n    ],\n    \"speedup_best_v1\": {:.2}\n  }},\n  \"engine_metrics\": {}\n}}\n",
+        "{{\n  \"generated_at\": {generated_at},\n  \"quick\": {quick},\n  \"puts\": {{\n    \"wal_sync\": true,\n    \"total_puts\": {total_puts},\n    \"runs\": [\n{put_json}\n    ],\n    \"speedup_8v1\": {put_speedup:.2}\n  }},\n  \"queries\": {{\n    \"corpus_versions\": {versions},\n    \"queries_per_client\": {queries_per_client},\n    \"inprocess_serial_qps\": {inprocess_qps:.1},\n    \"runs\": [\n{query_json}\n    ],\n    \"speedup_best_v1\": {:.2}\n  }},\n  \"latency\": {{\n    \"query_us\": {}\n  }},\n  \"tracing\": {{\n    \"untraced_1c_qps\": {query_base:.1},\n    \"traced_1c_qps\": {traced_qps:.1},\n    \"traced_overhead_pct\": {traced_overhead_pct:.2},\n    \"baseline_untraced_1c_qps\": {baseline_json},\n    \"untraced_vs_baseline_pct\": {vs_baseline_json}\n  }},\n  \"engine_metrics\": {}\n}}\n",
         query_best / query_base.max(0.001),
+        latency_json(&query_latency),
         engine.trim_end(),
     );
     std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");

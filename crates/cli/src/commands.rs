@@ -7,6 +7,7 @@ use std::io::Write;
 use std::path::PathBuf;
 
 use txdb_base::{Error, Interval, Result, Timestamp, VersionId};
+use txdb_client::json::Json;
 use txdb_client::{Client, ClientError};
 use txdb_core::{Database, DbOptions};
 use txdb_query::{strip_explain_prefix, QueryExt};
@@ -43,7 +44,13 @@ fn usage() -> String {
        serve [PATH] [--addr HOST:PORT]      serve the database over TCP\n\
              [--max-conns N]                (newline-delimited JSON; see\n\
              [--max-request-bytes N]        docs/protocol.md); drains on\n\
-             [--no-wal-sync]                stdin EOF or wire SHUTDOWN\n\
+             [--no-wal-sync]                stdin EOF or wire SHUTDOWN;\n\
+             [--slow-ms N] [--idle-ms N]    --slow-ms logs slow queries,\n\
+                                            --idle-ms times out idle sessions\n\
+       traces --connect HOST:PORT           recent request traces from a\n\
+              [--limit N] [--slow]          server (--slow: slow-query log)\n\
+       top --connect HOST:PORT              live dashboard: rates and\n\
+           [--interval-ms N] [--ticks N]    percentiles from METRICS deltas\n\
        shell [--connect HOST:PORT]          interactive query shell, local\n\
                                             or against a running server"
         .to_string()
@@ -124,10 +131,13 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<()> {
         return Err(Error::QueryInvalid(usage()));
     }
     // `serve` opens the database with its own options (WAL sync on, no
-    // per-command checkpoints) and `shell --connect` opens none at all,
-    // so both are dispatched before the common open below.
+    // per-command checkpoints) while `shell --connect`, `traces` and
+    // `top` open none at all, so all are dispatched before the common
+    // open below.
     match cli.command[0].as_str() {
         "serve" => return serve(&cli, out),
+        "traces" => return traces_cmd(&cli.command[1..], out),
+        "top" => return top_cmd(&cli.command[1..], out),
         "shell" => {
             let mut tail = cli.command[1..].to_vec();
             if let Some(addr) = take_flag(&mut tail, "--connect") {
@@ -414,7 +424,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<()> {
 }
 
 /// `txdb serve [PATH] [--addr A] [--max-conns N] [--max-request-bytes N]
-/// [--no-wal-sync]` — run the TCP front end until a drain is requested.
+/// [--no-wal-sync] [--slow-ms N] [--idle-ms N]` — run the TCP front end
+/// until a drain is requested.
 ///
 /// The database opens with WAL sync **on** (each wire commit is durable;
 /// concurrent committers share fsyncs through group commit) and no
@@ -437,6 +448,25 @@ fn serve(cli: &Cli, out: &mut dyn Write) -> Result<()> {
         None => ServerConfig::default().max_request_bytes,
     };
     let wal_sync = !take_switch(&mut tail, "--no-wal-sync");
+    // `--slow-ms 0` is meaningful: it logs *every* query (threshold 0µs),
+    // which is how the check script exercises the slow log; omitting the
+    // flag disables the log and its metering cost entirely.
+    let slow_us = match take_flag(&mut tail, "--slow-ms") {
+        Some(v) => Some(
+            v.parse::<u64>().map_err(|_| Error::QueryInvalid("--slow-ms needs a number".into()))?
+                * 1000,
+        ),
+        None => None,
+    };
+    let idle_timeout = match take_flag(&mut tail, "--idle-ms") {
+        Some(v) => {
+            let ms = v
+                .parse::<u64>()
+                .map_err(|_| Error::QueryInvalid("--idle-ms needs a number".into()))?;
+            (ms > 0).then(|| std::time::Duration::from_millis(ms))
+        }
+        None => None,
+    };
     let path = match tail.len() {
         0 => cli.db_dir.clone(),
         1 => Some(PathBuf::from(tail.remove(0))),
@@ -457,7 +487,7 @@ fn serve(cli: &Cli, out: &mut dyn Write) -> Result<()> {
     if let Some(reason) = &report.salvage {
         writeln!(out, "WARNING: serving read-only (salvage mode): {reason}")?;
     }
-    let cfg = ServerConfig { addr, max_conns, max_request_bytes };
+    let cfg = ServerConfig { addr, max_conns, max_request_bytes, slow_us, idle_timeout };
     let server = Server::start(std::sync::Arc::clone(&db), cfg)?;
     writeln!(out, "listening on {}", server.addr())?;
     out.flush()?;
@@ -488,6 +518,254 @@ fn serve(cli: &Cli, out: &mut dyn Write) -> Result<()> {
         "drained: {} session(s) open at shutdown, {} served in total",
         drained.sessions_drained, drained.sessions_total
     )?;
+    Ok(())
+}
+
+/// Maps a wire-client failure into the CLI's error type.
+fn wire_err(e: ClientError) -> Error {
+    match e {
+        ClientError::Io(e) => Error::Io(e),
+        other => Error::QueryInvalid(format!("server error: {other}")),
+    }
+}
+
+/// `txdb traces --connect HOST:PORT [--limit N] [--slow]` — fetch and
+/// render the server's trace ring (or, with `--slow`, its slow-query
+/// log), newest first.
+fn traces_cmd(tail: &[String], out: &mut dyn Write) -> Result<()> {
+    const USAGE: &str = "usage: txdb traces --connect HOST:PORT [--limit N] [--slow]";
+    let mut tail = tail.to_vec();
+    let addr =
+        take_flag(&mut tail, "--connect").ok_or_else(|| Error::QueryInvalid(USAGE.into()))?;
+    let limit = match take_flag(&mut tail, "--limit") {
+        Some(v) => Some(
+            v.parse::<u64>().map_err(|_| Error::QueryInvalid("--limit needs a number".into()))?,
+        ),
+        None => None,
+    };
+    let slow = take_switch(&mut tail, "--slow");
+    if !tail.is_empty() {
+        return Err(Error::QueryInvalid(USAGE.into()));
+    }
+    let mut client = Client::connect(&*addr).map_err(Error::Io)?;
+    if slow {
+        let v = client.slowlog(limit).map_err(wire_err)?;
+        render_slowlog(&v, out)
+    } else {
+        let v = client.traces(limit).map_err(wire_err)?;
+        render_traces(&v, out)
+    }
+}
+
+/// Renders a `TRACES` response as indented span trees, mirroring
+/// `TraceTree::render` on the server side.
+fn render_traces(v: &Json, out: &mut dyn Write) -> Result<()> {
+    let traces = v.get("traces").and_then(Json::as_arr).unwrap_or(&[]);
+    if traces.is_empty() {
+        writeln!(out, "(no traces recorded — send requests with \"trace\":true)")?;
+        return Ok(());
+    }
+    for entry in traces {
+        let tree = match entry.get("trace") {
+            Some(t) => t,
+            None => continue,
+        };
+        let id = tree.get("trace_id").and_then(Json::as_u64).unwrap_or(0);
+        write!(out, "trace {id}")?;
+        if let Some(Json::Obj(fields)) = tree.get("fields") {
+            for (k, val) in fields {
+                write!(out, " {k}={}", render_scalar(val))?;
+            }
+        }
+        if let Some(d) = tree.get("dropped").and_then(Json::as_u64) {
+            write!(out, " dropped={d}")?;
+        }
+        writeln!(out)?;
+        for span in tree.get("spans").and_then(Json::as_arr).unwrap_or(&[]) {
+            render_trace_span(span, 1, out)?;
+        }
+    }
+    Ok(())
+}
+
+/// One span line (`name  NNNµs [fields]`) plus its children, indented.
+fn render_trace_span(span: &Json, depth: usize, out: &mut dyn Write) -> Result<()> {
+    let name = span.get("name").and_then(Json::as_str).unwrap_or("?");
+    let us = span.get("us").and_then(Json::as_u64).unwrap_or(0);
+    write!(out, "{}{name}  {us}µs", "  ".repeat(depth))?;
+    if let Some(Json::Obj(fields)) = span.get("fields") {
+        for (k, val) in fields {
+            write!(out, " {k}={}", render_scalar(val))?;
+        }
+    }
+    writeln!(out)?;
+    for c in span.get("children").and_then(Json::as_arr).unwrap_or(&[]) {
+        render_trace_span(c, depth + 1, out)?;
+    }
+    Ok(())
+}
+
+fn render_scalar(v: &Json) -> String {
+    match v {
+        Json::Str(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+/// Renders a `SLOWLOG` response: one header line per entry followed by
+/// the query text and its indented `EXPLAIN ANALYZE` tree.
+fn render_slowlog(v: &Json, out: &mut dyn Write) -> Result<()> {
+    match v.get("slow_us").and_then(Json::as_u64) {
+        Some(us) => writeln!(out, "slow-query log (threshold {us}µs):")?,
+        None => writeln!(out, "slow-query log (disabled — start the server with --slow-ms):")?,
+    }
+    let entries = v.get("entries").and_then(Json::as_arr).unwrap_or(&[]);
+    if entries.is_empty() {
+        writeln!(out, "(empty)")?;
+        return Ok(());
+    }
+    for e in entries {
+        let us = e.get("us").and_then(Json::as_u64).unwrap_or(0);
+        write!(
+            out,
+            "-- {us}µs  session={} rows={} scanned={} reconstructions={}",
+            e.get("session").and_then(Json::as_u64).unwrap_or(0),
+            e.get("rows").and_then(Json::as_u64).unwrap_or(0),
+            e.get("rows_scanned").and_then(Json::as_u64).unwrap_or(0),
+            e.get("reconstructions").and_then(Json::as_u64).unwrap_or(0),
+        )?;
+        if let Some(t) = e.get("trace_id").and_then(Json::as_u64) {
+            write!(out, " trace={t}")?;
+        }
+        writeln!(out)?;
+        writeln!(out, "   {}", e.get("q").and_then(Json::as_str).unwrap_or(""))?;
+        for line in e.get("explain").and_then(Json::as_str).unwrap_or("").lines() {
+            writeln!(out, "   {line}")?;
+        }
+    }
+    Ok(())
+}
+
+/// `txdb top --connect HOST:PORT [--interval-ms N] [--ticks N]` — the
+/// live dashboard: polls `METRICS` with the `since` cursor and prints,
+/// per window, request rates plus per-command latency (window mean,
+/// cumulative p50/p95/p99). `--ticks N` stops after N windows (0, the
+/// default, polls until interrupted or the server goes away).
+fn top_cmd(tail: &[String], out: &mut dyn Write) -> Result<()> {
+    const USAGE: &str = "usage: txdb top --connect HOST:PORT [--interval-ms N] [--ticks N]";
+    let mut tail = tail.to_vec();
+    let addr =
+        take_flag(&mut tail, "--connect").ok_or_else(|| Error::QueryInvalid(USAGE.into()))?;
+    let interval_ms = match take_flag(&mut tail, "--interval-ms") {
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| Error::QueryInvalid("--interval-ms needs a number".into()))?
+            .max(10),
+        None => 1000,
+    };
+    let ticks = match take_flag(&mut tail, "--ticks") {
+        Some(v) => {
+            v.parse::<u64>().map_err(|_| Error::QueryInvalid("--ticks needs a number".into()))?
+        }
+        None => 0,
+    };
+    if !tail.is_empty() {
+        return Err(Error::QueryInvalid(USAGE.into()));
+    }
+    let mut client = Client::connect(&*addr).map_err(Error::Io)?;
+    writeln!(out, "txdb top — {addr}, {interval_ms}ms windows")?;
+    out.flush()?;
+    let first = client.metrics_since(None).map_err(wire_err)?;
+    let mut cursor = first.get("cursor").and_then(Json::as_u64);
+    let mut tick = 0u64;
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        let v = client.metrics_since(cursor).map_err(wire_err)?;
+        cursor = v.get("cursor").and_then(Json::as_u64);
+        render_top_window(&v, out)?;
+        out.flush()?;
+        tick += 1;
+        if ticks > 0 && tick >= ticks {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// One dashboard window from a `METRICS` delta response: gauges, change
+/// counters, and a per-command latency table joining the window's
+/// histogram deltas (rate, window mean) with the cumulative percentiles.
+fn render_top_window(v: &Json, out: &mut dyn Write) -> Result<()> {
+    let window_us = v.get("window_us").and_then(Json::as_u64).unwrap_or(0).max(1);
+    let secs = window_us as f64 / 1e6;
+    let delta = v.get("delta");
+    let sessions = delta
+        .and_then(|d| d.get("gauges"))
+        .and_then(|g| g.get("server.active_sessions"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let requests = delta
+        .and_then(|d| d.get("counters"))
+        .and_then(|c| c.get("server.requests"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    writeln!(out, "── window {secs:.2}s  sessions {sessions}  requests {requests}")?;
+    // Per-command table: every `server.cmd.*_us` histogram that moved
+    // this window, rate and mean from the delta, percentiles cumulative.
+    let hists = v.get("metrics").and_then(|m| m.get("histograms"));
+    if let Some(Json::Obj(moved)) = delta.and_then(|d| d.get("histograms")) {
+        let mut wrote_header = false;
+        for (name, d) in moved {
+            let cmd = match name.strip_prefix("server.cmd.").and_then(|s| s.strip_suffix("_us")) {
+                Some(c) => c,
+                None => continue,
+            };
+            let dc = d.get("count").and_then(Json::as_u64).unwrap_or(0);
+            let ds = d.get("sum").and_then(Json::as_u64).unwrap_or(0);
+            if dc == 0 {
+                continue;
+            }
+            if !wrote_header {
+                writeln!(
+                    out,
+                    "{:<10} {:>9} {:>10} {:>8} {:>8} {:>8}",
+                    "cmd", "rate/s", "mean_us", "p50", "p95", "p99"
+                )?;
+                wrote_header = true;
+            }
+            let cum = hists.and_then(|h| h.get(name));
+            let pct = |p: &str| {
+                cum.and_then(|c| c.get(p)).and_then(Json::as_u64).unwrap_or(0).to_string()
+            };
+            writeln!(
+                out,
+                "{:<10} {:>9.1} {:>10.1} {:>8} {:>8} {:>8}",
+                cmd,
+                dc as f64 / secs,
+                ds as f64 / dc as f64,
+                pct("p50"),
+                pct("p95"),
+                pct("p99"),
+            )?;
+        }
+        if !wrote_header {
+            writeln!(out, "(idle — no commands this window)")?;
+        }
+    }
+    // Noteworthy change counters (slow queries, rejections, timeouts).
+    if let Some(Json::Obj(counters)) = delta.and_then(|d| d.get("counters")) {
+        let mut noted = Vec::new();
+        for key in ["server.slow_queries", "server.rejected_busy", "server.idle_timeouts"] {
+            if let Some(n) = counters.iter().find(|(k, _)| k == key).and_then(|(_, v)| v.as_u64()) {
+                if n > 0 {
+                    noted.push(format!("{} +{n}", key.trim_start_matches("server.")));
+                }
+            }
+        }
+        if !noted.is_empty() {
+            writeln!(out, "{}", noted.join("  "))?;
+        }
+    }
     Ok(())
 }
 
@@ -1009,5 +1287,43 @@ mod tests {
         assert!(run_cmd(&["log", "missing"]).is_err());
         assert!(run_cmd(&["--db"]).is_err());
         assert!(run_cmd(&["-h"]).is_err()); // usage via error path
+        assert!(run_cmd(&["traces"]).is_err()); // --connect is required
+        assert!(run_cmd(&["top"]).is_err());
+    }
+
+    /// `txdb traces` and `txdb top` against an in-process server: traced
+    /// requests render as span trees, the slow log renders with its plan,
+    /// and the dashboard prints windowed rates from `METRICS` deltas.
+    #[test]
+    fn traces_and_top_render_against_a_live_server() {
+        use std::sync::Arc;
+        let db = Arc::new(Database::in_memory());
+        db.put("d", "<a><v>1</v></a>", Timestamp::from_secs(1_000_000)).unwrap();
+        let cfg = ServerConfig { slow_us: Some(0), ..Default::default() };
+        let server = Server::start(Arc::clone(&db), cfg).unwrap();
+        let addr = server.addr().to_string();
+
+        let mut client = Client::connect(&*addr).unwrap();
+        let (_, trace, _) = client
+            .query_stream_traced(r#"SELECT R FROM doc("d")//a R"#, None, true, |_| {})
+            .unwrap();
+        assert!(trace.is_some());
+
+        let out = run_cmd(&["traces", "--connect", &addr]).unwrap();
+        assert!(out.contains("cmd=query"), "{out}");
+        assert!(out.contains("server.cmd.query_us"), "{out}");
+        assert!(out.contains("query.run_us"), "{out}");
+
+        let out = run_cmd(&["traces", "--connect", &addr, "--slow"]).unwrap();
+        assert!(out.contains("slow-query log (threshold 0µs)"), "{out}");
+        assert!(out.contains("SELECT R"), "{out}");
+        assert!(out.contains("scan"), "{out}");
+
+        let out =
+            run_cmd(&["top", "--connect", &addr, "--interval-ms", "20", "--ticks", "2"]).unwrap();
+        assert!(out.contains("txdb top"), "{out}");
+        assert!(out.contains("── window"), "{out}");
+
+        server.shutdown().unwrap();
     }
 }

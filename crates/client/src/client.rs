@@ -195,12 +195,27 @@ impl Client {
         &mut self,
         q: &str,
         at: Option<u64>,
-        mut on_row: impl FnMut(Vec<String>),
+        on_row: impl FnMut(Vec<String>),
     ) -> ClientResult<(Option<String>, QueryDone)> {
+        let (explain, _trace, done) = self.query_stream_traced(q, at, false, on_row)?;
+        Ok((explain, done))
+    }
+
+    /// [`Client::query_stream`] with the request's `trace` flag: when
+    /// `trace` is true the server records a span tree for the request and
+    /// returns it (as parsed JSON) alongside the trailer.
+    pub fn query_stream_traced(
+        &mut self,
+        q: &str,
+        at: Option<u64>,
+        trace: bool,
+        mut on_row: impl FnMut(Vec<String>),
+    ) -> ClientResult<(Option<String>, Option<Json>, QueryDone)> {
         let req = Json::obj([
             Json::field("cmd", Json::str("QUERY")),
             Json::field("q", Json::str(q)),
             at.map(|t| ("at", Json::u64(t))),
+            trace.then_some(("trace", Json::Bool(true))),
         ]);
         self.send_line(&req.to_string())?;
         let mut explain = None;
@@ -223,15 +238,14 @@ impl Client {
             }
             let done = check_ok(msg)?;
             let get = |k: &str| done.get(k).and_then(Json::as_u64).unwrap_or(0);
-            return Ok((
-                explain,
-                QueryDone {
-                    rows: get("rows"),
-                    elapsed_us: get("elapsed_us"),
-                    reconstructions: get("reconstructions"),
-                    cache_hits: get("cache_hits"),
-                },
-            ));
+            let reply = QueryDone {
+                rows: get("rows"),
+                elapsed_us: get("elapsed_us"),
+                reconstructions: get("reconstructions"),
+                cache_hits: get("cache_hits"),
+            };
+            let trace = done.get("trace").cloned();
+            return Ok((explain, trace, reply));
         }
     }
 
@@ -271,7 +285,34 @@ impl Client {
     /// `METRICS` → the engine + server metrics snapshot (the same shape
     /// as `txdb metrics --json`, under the `"metrics"` key).
     pub fn metrics(&mut self) -> ClientResult<Json> {
-        self.call(&Json::obj([Json::field("cmd", Json::str("METRICS"))]))
+        self.metrics_since(None)
+    }
+
+    /// `METRICS [since]`: every response carries a `"cursor"`; passing it
+    /// back as `since` on the next call adds `"window_us"` and `"delta"`
+    /// (counter/histogram changes over the window) — the windowed-rate
+    /// feed `txdb top` polls.
+    pub fn metrics_since(&mut self, since: Option<u64>) -> ClientResult<Json> {
+        self.call(&Json::obj([
+            Json::field("cmd", Json::str("METRICS")),
+            since.map(|c| ("since", Json::u64(c))),
+        ]))
+    }
+
+    /// `TRACES [limit]` → recently recorded request traces, newest first.
+    pub fn traces(&mut self, limit: Option<u64>) -> ClientResult<Json> {
+        self.call(&Json::obj([
+            Json::field("cmd", Json::str("TRACES")),
+            limit.map(|n| ("limit", Json::u64(n))),
+        ]))
+    }
+
+    /// `SLOWLOG [limit]` → the slow-query log, newest first.
+    pub fn slowlog(&mut self, limit: Option<u64>) -> ClientResult<Json> {
+        self.call(&Json::obj([
+            Json::field("cmd", Json::str("SLOWLOG")),
+            limit.map(|n| ("limit", Json::u64(n))),
+        ]))
     }
 
     /// `SHUTDOWN`: asks the server to drain gracefully. The acknowledgment

@@ -18,7 +18,7 @@ use std::collections::{HashSet, VecDeque};
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
-use txdb_base::obs::Span;
+use txdb_base::obs::{Span, TraceContext, TraceValue};
 use txdb_base::{DocId, Error, Result, Timestamp, VersionId};
 use txdb_core::{Database, MatchCursor};
 use txdb_storage::repo::VersionKind;
@@ -825,6 +825,26 @@ fn make_exclusive(node: &mut ExplainNode) {
     }
 }
 
+/// Records a finished (exclusive) explain tree as trace spans under
+/// `trace` — one span per operator, durations re-inflated to inclusive
+/// (own + children) so a child never outlasts its parent and the tree's
+/// exclusive times still sum to the metered total.
+fn record_operator_spans(trace: &TraceContext, node: &ExplainNode) {
+    fn inclusive_us(n: &ExplainNode) -> u64 {
+        n.elapsed_us + n.children.iter().map(inclusive_us).sum::<u64>()
+    }
+    let mut fields = vec![("rows".to_string(), TraceValue::U64(node.rows as u64))];
+    for (name, v) in &node.counters {
+        if *v > 0 {
+            fields.push(((*name).to_string(), TraceValue::U64(*v)));
+        }
+    }
+    let child = trace.record_complete(&node.label, inclusive_us(node), fields);
+    for c in &node.children {
+        record_operator_spans(&child, c);
+    }
+}
+
 /// Lowers the plan and opens the operator tree, returning the pull
 /// cursor. This is the single entry point behind both
 /// [`crate::QueryRequest::run`] (which drains it) and
@@ -835,6 +855,10 @@ pub(crate) fn open_stream<'db>(
     explain: bool,
 ) -> Result<RowStream<'db>> {
     let span = db.metrics().span("query.run_us");
+    // When a trace is installed on this thread, the span above has just
+    // become its innermost node; capture a context pointing at it so the
+    // finished operator tree can be recorded as its children.
+    let trace = TraceContext::current();
     // Pin the oldest snapshot time this plan can touch for the cursor's
     // whole lifetime: a concurrent vacuum clamps its purge horizon below
     // this pin, so every version the query can still pull stays
@@ -851,6 +875,7 @@ pub(crate) fn open_stream<'db>(
         ctx,
         root,
         span: Some(span),
+        trace,
         vc0: (h0, m0),
         explain,
         finished: false,
@@ -874,6 +899,7 @@ pub struct RowStream<'db> {
     ctx: Rc<Ctx<'db>>,
     root: Box<dyn Operator + 'db>,
     span: Option<Span<'db>>,
+    trace: Option<TraceContext>,
     vc0: (u64, u64),
     explain: bool,
     finished: bool,
@@ -894,6 +920,9 @@ impl RowStream<'_> {
         if self.explain {
             let mut tree = self.root.explain_node();
             make_exclusive(&mut tree);
+            if let Some(trace) = &self.trace {
+                record_operator_spans(trace, &tree);
+            }
             self.explain_tree = Some(tree);
         }
         self.root.close();

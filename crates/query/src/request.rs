@@ -67,6 +67,7 @@ impl<'db> QueryRequest<'db> {
     }
 
     fn plan(&self) -> Result<crate::plan::Plan> {
+        let _span = self.db.metrics().span("query.plan_us");
         let now = self.now.unwrap_or_else(wall_clock);
         let q = parse_query(&self.text)?;
         let mut plan = plan_query(self.db, &q, now)?;

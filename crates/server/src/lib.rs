@@ -15,6 +15,8 @@
 pub mod proto;
 mod server;
 mod session;
+pub mod traces;
 
 pub use server::{DrainReason, DrainReport, Server, ServerConfig, ServerHandle};
 pub use session::SessionEnd;
+pub use traces::TraceStore;

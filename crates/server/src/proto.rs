@@ -35,6 +35,8 @@ pub enum ErrorCode {
     Busy,
     /// The server is draining and accepts no new work.
     ShuttingDown,
+    /// The session sat idle past `--idle-ms` and was closed.
+    IdleTimeout,
     /// Any other engine failure.
     Engine,
 }
@@ -53,6 +55,7 @@ impl ErrorCode {
             ErrorCode::ReadOnly => "read_only",
             ErrorCode::Busy => "busy",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::IdleTimeout => "idle_timeout",
             ErrorCode::Engine => "engine",
         }
     }
@@ -100,8 +103,23 @@ pub enum Request {
     },
     /// Space and index statistics.
     Stats,
-    /// Engine + server metrics snapshot.
-    Metrics,
+    /// Engine + server metrics snapshot, optionally as a windowed delta.
+    Metrics {
+        /// A cursor returned by a previous `METRICS` response on this
+        /// session: the reply adds the counter/histogram deltas and the
+        /// window length since that snapshot.
+        since: Option<u64>,
+    },
+    /// Recently recorded request traces.
+    Traces {
+        /// Newest-first cap on returned traces.
+        limit: Option<usize>,
+    },
+    /// The slow-query log.
+    Slowlog {
+        /// Newest-first cap on returned entries.
+        limit: Option<usize>,
+    },
     /// Ask the server to drain gracefully.
     Shutdown,
 }
@@ -117,7 +135,9 @@ impl Request {
             Request::Pin { .. } => "pin",
             Request::Unpin { .. } => "unpin",
             Request::Stats => "stats",
-            Request::Metrics => "metrics",
+            Request::Metrics { .. } => "metrics",
+            Request::Traces { .. } => "traces",
+            Request::Slowlog { .. } => "slowlog",
             Request::Shutdown => "shutdown",
         }
     }
@@ -132,7 +152,9 @@ impl Request {
             Request::Pin { .. } => "server.cmd.pin_us",
             Request::Unpin { .. } => "server.cmd.unpin_us",
             Request::Stats => "server.cmd.stats_us",
-            Request::Metrics => "server.cmd.metrics_us",
+            Request::Metrics { .. } => "server.cmd.metrics_us",
+            Request::Traces { .. } => "server.cmd.traces_us",
+            Request::Slowlog { .. } => "server.cmd.slowlog_us",
             Request::Shutdown => "server.cmd.shutdown_us",
         }
     }
@@ -179,11 +201,13 @@ pub fn engine_error(e: &Error) -> WireError {
     WireError::new(code, e.to_string())
 }
 
-/// Decodes one request line. Every failure carries the precise code the
-/// hardening tests assert on: bad JSON splits into `parse` vs `truncated`
-/// (the framing layer already handled `too_large` and `utf8`), and
-/// well-formed-but-wrong shapes are `bad_request`.
-pub fn decode(line: &str) -> Result<Request, WireError> {
+/// Decodes one request line into the command plus its `trace` flag (any
+/// command may carry `"trace":true` to have the server record a span
+/// tree for it and return it in the response). Every failure carries the
+/// precise code the hardening tests assert on: bad JSON splits into
+/// `parse` vs `truncated` (the framing layer already handled `too_large`
+/// and `utf8`), and well-formed-but-wrong shapes are `bad_request`.
+pub fn decode(line: &str) -> Result<(Request, bool), WireError> {
     let v = Json::parse(line).map_err(|e| {
         let code = if e.truncated { ErrorCode::Truncated } else { ErrorCode::Parse };
         WireError::new(code, format!("bad JSON: {e}"))
@@ -195,36 +219,40 @@ pub fn decode(line: &str) -> Result<Request, WireError> {
         .get("cmd")
         .and_then(Json::as_str)
         .ok_or_else(|| WireError::new(ErrorCode::BadRequest, "missing string field `cmd`"))?;
-    match cmd {
-        "PING" => Ok(Request::Ping),
-        "QUERY" => Ok(Request::Query {
+    let trace = optional_bool(&v, "trace")?.unwrap_or(false);
+    let req = match cmd {
+        "PING" => Request::Ping,
+        "QUERY" => Request::Query {
             q: required_str(&v, "q")?,
             at: optional_time(&v, "at")?,
             limit: optional_u64(&v, "limit")?.map(|n| n as usize),
-        }),
-        "PUT" => Ok(Request::Put {
+        },
+        "PUT" => Request::Put {
             doc: required_str(&v, "doc")?,
             xml: required_str(&v, "xml")?,
             at: optional_time(&v, "at")?,
-        }),
-        "DELETE" => {
-            Ok(Request::Delete { doc: required_str(&v, "doc")?, at: optional_time(&v, "at")? })
-        }
+        },
+        "DELETE" => Request::Delete { doc: required_str(&v, "doc")?, at: optional_time(&v, "at")? },
         "PIN" => {
             let at = optional_time(&v, "at")?
                 .ok_or_else(|| WireError::new(ErrorCode::BadRequest, "PIN needs `at`"))?;
-            Ok(Request::Pin { at })
+            Request::Pin { at }
         }
         "UNPIN" => {
             let pin = optional_u64(&v, "pin")?
                 .ok_or_else(|| WireError::new(ErrorCode::BadRequest, "UNPIN needs `pin`"))?;
-            Ok(Request::Unpin { pin })
+            Request::Unpin { pin }
         }
-        "STATS" => Ok(Request::Stats),
-        "METRICS" => Ok(Request::Metrics),
-        "SHUTDOWN" => Ok(Request::Shutdown),
-        other => Err(WireError::new(ErrorCode::BadRequest, format!("unknown command `{other}`"))),
-    }
+        "STATS" => Request::Stats,
+        "METRICS" => Request::Metrics { since: optional_u64(&v, "since")? },
+        "TRACES" => Request::Traces { limit: optional_u64(&v, "limit")?.map(|n| n as usize) },
+        "SLOWLOG" => Request::Slowlog { limit: optional_u64(&v, "limit")?.map(|n| n as usize) },
+        "SHUTDOWN" => Request::Shutdown,
+        other => {
+            return Err(WireError::new(ErrorCode::BadRequest, format!("unknown command `{other}`")))
+        }
+    };
+    Ok((req, trace))
 }
 
 fn required_str(v: &Json, key: &str) -> Result<String, WireError> {
@@ -246,15 +274,31 @@ fn optional_time(v: &Json, key: &str) -> Result<Option<Timestamp>, WireError> {
     Ok(optional_u64(v, key)?.map(Timestamp::from_micros))
 }
 
+fn optional_bool(v: &Json, key: &str) -> Result<Option<bool>, WireError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(field) => field.as_bool().map(Some).ok_or_else(|| {
+            WireError::new(ErrorCode::BadRequest, format!("`{key}` must be a boolean"))
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Decodes, asserting the request is untraced (the common case).
+    fn decode1(line: &str) -> Result<Request, WireError> {
+        let (req, trace) = decode(line)?;
+        assert!(!trace, "unexpected trace flag in {line}");
+        Ok(req)
+    }
+
     #[test]
     fn decodes_every_command() {
-        assert_eq!(decode(r#"{"cmd":"PING"}"#).unwrap(), Request::Ping);
+        assert_eq!(decode1(r#"{"cmd":"PING"}"#).unwrap(), Request::Ping);
         assert_eq!(
-            decode(r#"{"cmd":"QUERY","q":"SELECT 1","at":5,"limit":2}"#).unwrap(),
+            decode1(r#"{"cmd":"QUERY","q":"SELECT 1","at":5,"limit":2}"#).unwrap(),
             Request::Query {
                 q: "SELECT 1".into(),
                 at: Some(Timestamp::from_micros(5)),
@@ -262,21 +306,42 @@ mod tests {
             }
         );
         assert_eq!(
-            decode(r#"{"cmd":"PUT","doc":"d","xml":"<a/>"}"#).unwrap(),
+            decode1(r#"{"cmd":"PUT","doc":"d","xml":"<a/>"}"#).unwrap(),
             Request::Put { doc: "d".into(), xml: "<a/>".into(), at: None }
         );
         assert_eq!(
-            decode(r#"{"cmd":"DELETE","doc":"d","at":9}"#).unwrap(),
+            decode1(r#"{"cmd":"DELETE","doc":"d","at":9}"#).unwrap(),
             Request::Delete { doc: "d".into(), at: Some(Timestamp::from_micros(9)) }
         );
         assert_eq!(
-            decode(r#"{"cmd":"PIN","at":7}"#).unwrap(),
+            decode1(r#"{"cmd":"PIN","at":7}"#).unwrap(),
             Request::Pin { at: Timestamp::from_micros(7) }
         );
-        assert_eq!(decode(r#"{"cmd":"UNPIN","pin":3}"#).unwrap(), Request::Unpin { pin: 3 });
-        assert_eq!(decode(r#"{"cmd":"STATS"}"#).unwrap(), Request::Stats);
-        assert_eq!(decode(r#"{"cmd":"METRICS"}"#).unwrap(), Request::Metrics);
-        assert_eq!(decode(r#"{"cmd":"SHUTDOWN"}"#).unwrap(), Request::Shutdown);
+        assert_eq!(decode1(r#"{"cmd":"UNPIN","pin":3}"#).unwrap(), Request::Unpin { pin: 3 });
+        assert_eq!(decode1(r#"{"cmd":"STATS"}"#).unwrap(), Request::Stats);
+        assert_eq!(decode1(r#"{"cmd":"METRICS"}"#).unwrap(), Request::Metrics { since: None });
+        assert_eq!(
+            decode1(r#"{"cmd":"METRICS","since":4}"#).unwrap(),
+            Request::Metrics { since: Some(4) }
+        );
+        assert_eq!(decode1(r#"{"cmd":"TRACES"}"#).unwrap(), Request::Traces { limit: None });
+        assert_eq!(
+            decode1(r#"{"cmd":"SLOWLOG","limit":5}"#).unwrap(),
+            Request::Slowlog { limit: Some(5) }
+        );
+        assert_eq!(decode1(r#"{"cmd":"SHUTDOWN"}"#).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn trace_flag_rides_any_command() {
+        let (req, trace) = decode(r#"{"cmd":"QUERY","q":"SELECT 1","trace":true}"#).unwrap();
+        assert_eq!(req, Request::Query { q: "SELECT 1".into(), at: None, limit: None });
+        assert!(trace);
+        let (_, trace) = decode(r#"{"cmd":"PUT","doc":"d","xml":"<a/>","trace":true}"#).unwrap();
+        assert!(trace);
+        let (_, trace) = decode(r#"{"cmd":"PING","trace":false}"#).unwrap();
+        assert!(!trace);
+        assert_eq!(decode(r#"{"cmd":"PING","trace":1}"#).unwrap_err().code, ErrorCode::BadRequest);
     }
 
     #[test]
@@ -293,6 +358,10 @@ mod tests {
         );
         assert_eq!(
             decode(r#"{"cmd":"QUERY","q":"x","limit":1.5}"#).unwrap_err().code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            decode(r#"{"cmd":"METRICS","since":"x"}"#).unwrap_err().code,
             ErrorCode::BadRequest
         );
     }

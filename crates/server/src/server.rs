@@ -25,6 +25,7 @@ use txdb_core::Database;
 
 use crate::proto::{ErrorCode, WireError};
 use crate::session::{Session, SessionEnd};
+use crate::traces::TraceStore;
 
 /// Server tunables.
 #[derive(Clone, Debug)]
@@ -37,11 +38,26 @@ pub struct ServerConfig {
     /// Request lines longer than this are refused (`too_large`) without
     /// ever being buffered whole.
     pub max_request_bytes: usize,
+    /// Slow-query threshold in microseconds: a `QUERY` at or past it is
+    /// recorded — with its `EXPLAIN ANALYZE` tree and session context —
+    /// into the `SLOWLOG` ring. `None` disables the log (and its
+    /// per-query metering cost) entirely.
+    pub slow_us: Option<u64>,
+    /// Idle-session read timeout: a session that sends nothing for this
+    /// long gets one structured `idle_timeout` error and is closed,
+    /// releasing its pins like any disconnect. `None` waits forever.
+    pub idle_timeout: Option<std::time::Duration>,
 }
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
-        ServerConfig { addr: "127.0.0.1:0".into(), max_conns: 64, max_request_bytes: 1 << 20 }
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            max_conns: 64,
+            max_request_bytes: 1 << 20,
+            slow_us: None,
+            idle_timeout: None,
+        }
     }
 }
 
@@ -67,6 +83,7 @@ pub struct DrainReport {
 struct Shared {
     db: Arc<Database>,
     cfg: ServerConfig,
+    traces: Arc<TraceStore>,
     draining: AtomicBool,
     active: AtomicUsize,
     session_seq: AtomicU64,
@@ -98,6 +115,7 @@ impl Server {
         let shared = Arc::new(Shared {
             db,
             cfg,
+            traces: Arc::new(TraceStore::new()),
             draining: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             session_seq: AtomicU64::new(1),
@@ -222,7 +240,8 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 let session = Session::new(
                     Arc::clone(&session_shared.db),
                     id,
-                    session_shared.cfg.max_request_bytes,
+                    &session_shared.cfg,
+                    Arc::clone(&session_shared.traces),
                 );
                 let end = session.run(stream);
                 session_shared.conns.lock().expect("conns lock").remove(&id);

@@ -1,0 +1,216 @@
+//! The server's trace ring and slow-query log.
+//!
+//! Both are bounded in-memory `VecDeque` rings shared by every session:
+//! traced requests (any command sent with `"trace":true`) land in the
+//! trace ring as fully assembled span trees, and any `QUERY` whose wall
+//! clock crosses the `--slow-ms` threshold lands in the slow-query log
+//! with its rendered `EXPLAIN ANALYZE` tree and session context. The
+//! `TRACES` / `SLOWLOG` wire commands read them back newest-first;
+//! `txdb traces` renders them.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use txdb_base::obs::{json_escape, TraceTree};
+use txdb_client::json::escape_into;
+
+/// Traces kept before the oldest is evicted.
+const TRACE_RING: usize = 64;
+/// Slow-query entries kept before the oldest is evicted.
+const SLOW_RING: usize = 128;
+
+/// One recorded request trace.
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// The trace's id (unique per server run).
+    pub trace_id: u64,
+    /// Session that issued the request.
+    pub session: u64,
+    /// Command tag (`query`, `put`, …).
+    pub cmd: &'static str,
+    /// Root duration in microseconds.
+    pub us: u64,
+    /// The assembled span tree, pre-rendered as compact JSON.
+    pub tree_json: String,
+}
+
+/// One slow-query log entry.
+#[derive(Clone, Debug)]
+pub struct SlowEntry {
+    /// Trace id when the offending request was traced.
+    pub trace_id: Option<u64>,
+    /// Session that issued the query.
+    pub session: u64,
+    /// The query text as received (prefix included).
+    pub q: String,
+    /// The query's `NOW` anchor in microseconds.
+    pub at: u64,
+    /// Wall-clock duration in microseconds.
+    pub us: u64,
+    /// Rows returned.
+    pub rows: u64,
+    /// Rows scanned (`ExecStats`).
+    pub rows_scanned: u64,
+    /// Version reconstructions performed.
+    pub reconstructions: u64,
+    /// The rendered `EXPLAIN ANALYZE` tree.
+    pub explain: String,
+}
+
+/// Shared store for traces and slow queries (lives in the server's
+/// `Shared` state; sessions record into it, wire commands read it).
+#[derive(Default)]
+pub struct TraceStore {
+    next_trace_id: AtomicU64,
+    traces: Mutex<VecDeque<TraceEntry>>,
+    slow: Mutex<VecDeque<SlowEntry>>,
+}
+
+impl TraceStore {
+    /// An empty store.
+    pub fn new() -> TraceStore {
+        TraceStore { next_trace_id: AtomicU64::new(1), ..TraceStore::default() }
+    }
+
+    /// Allocates the next trace id.
+    pub fn next_trace_id(&self) -> u64 {
+        self.next_trace_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records one finished trace (evicting the oldest past the cap).
+    pub fn record_trace(&self, session: u64, cmd: &'static str, tree: &TraceTree) {
+        let entry = TraceEntry {
+            trace_id: tree.trace_id,
+            session,
+            cmd,
+            us: tree.roots.iter().map(|r| r.duration_us).max().unwrap_or(0),
+            tree_json: tree.to_json(),
+        };
+        let mut ring = lock(&self.traces);
+        if ring.len() >= TRACE_RING {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+    }
+
+    /// Records one slow query (evicting the oldest past the cap).
+    pub fn record_slow(&self, entry: SlowEntry) {
+        let mut ring = lock(&self.slow);
+        if ring.len() >= SLOW_RING {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+    }
+
+    /// Number of slow entries recorded and still held.
+    pub fn slow_len(&self) -> usize {
+        lock(&self.slow).len()
+    }
+
+    /// Renders the `TRACES` response: newest first, capped at `limit`.
+    pub fn render_traces(&self, limit: Option<usize>) -> String {
+        let ring = lock(&self.traces);
+        let take = limit.unwrap_or(usize::MAX).min(ring.len());
+        let mut out = String::from(r#"{"ok":true,"traces":["#);
+        for (i, e) in ring.iter().rev().take(take).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                r#"{{"trace_id":{},"session":{},"cmd":"{}","us":{},"trace":{}}}"#,
+                e.trace_id, e.session, e.cmd, e.us, e.tree_json
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders the `SLOWLOG` response: newest first, capped at `limit`.
+    pub fn render_slowlog(&self, limit: Option<usize>, slow_us: Option<u64>) -> String {
+        let ring = lock(&self.slow);
+        let take = limit.unwrap_or(usize::MAX).min(ring.len());
+        let mut out = String::from(r#"{"ok":true,"#);
+        match slow_us {
+            Some(us) => out.push_str(&format!(r#""slow_us":{us},"#)),
+            None => out.push_str(r#""slow_us":null,"#),
+        }
+        out.push_str(r#""entries":["#);
+        for (i, e) in ring.iter().rev().take(take).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"q\":\"");
+            escape_into(&e.q, &mut out);
+            out.push_str(&format!(
+                "\",\"session\":{},\"at\":{},\"us\":{},\"rows\":{},\"rows_scanned\":{},\
+                 \"reconstructions\":{}",
+                e.session, e.at, e.us, e.rows, e.rows_scanned, e.reconstructions
+            ));
+            if let Some(t) = e.trace_id {
+                out.push_str(&format!(",\"trace_id\":{t}"));
+            }
+            out.push_str(",\"explain\":\"");
+            out.push_str(&json_escape(&e.explain));
+            out.push_str("\"}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txdb_base::obs::TraceContext;
+    use txdb_client::json::Json;
+
+    #[test]
+    fn rings_are_bounded_and_newest_first() {
+        let store = TraceStore::new();
+        assert_eq!(store.next_trace_id(), 1);
+        assert_eq!(store.next_trace_id(), 2);
+        for i in 0..(TRACE_RING + 5) {
+            let ctx = TraceContext::root(i as u64);
+            ctx.record_complete("cmd_us", 10 + i as u64, Vec::new());
+            store.record_trace(1, "query", &ctx.finish());
+        }
+        let rendered = store.render_traces(Some(2));
+        let v = Json::parse(&rendered).expect("valid JSON");
+        let traces = v.get("traces").and_then(Json::as_arr).expect("array");
+        assert_eq!(traces.len(), 2);
+        // Newest first, and the ring evicted the oldest entries.
+        assert_eq!(traces[0].get("trace_id").and_then(Json::as_u64), Some(TRACE_RING as u64 + 4));
+        let all = Json::parse(&store.render_traces(None)).unwrap();
+        assert_eq!(all.get("traces").and_then(Json::as_arr).unwrap().len(), TRACE_RING);
+
+        for i in 0..(SLOW_RING + 3) {
+            store.record_slow(SlowEntry {
+                trace_id: (i % 2 == 0).then_some(i as u64),
+                session: 9,
+                q: format!("SELECT {i} \"quoted\""),
+                at: 1,
+                us: 5000 + i as u64,
+                rows: 1,
+                rows_scanned: 2,
+                reconstructions: 3,
+                explain: "project\n  scan".into(),
+            });
+        }
+        assert_eq!(store.slow_len(), SLOW_RING);
+        let rendered = store.render_slowlog(Some(1), Some(1000));
+        let v = Json::parse(&rendered).expect("valid JSON");
+        assert_eq!(v.get("slow_us").and_then(Json::as_u64), Some(1000));
+        let entries = v.get("entries").and_then(Json::as_arr).expect("array");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].get("us").and_then(Json::as_u64), Some(5000 + SLOW_RING as u64 + 2));
+        assert!(entries[0].get("explain").and_then(Json::as_str).unwrap().contains("scan"));
+    }
+}

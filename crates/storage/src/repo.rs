@@ -1412,6 +1412,11 @@ impl DocumentStore {
             return Err(Error::NoSuchVersion(doc, v));
         }
         self.obs.reconstructs.inc();
+        let _op = txdb_base::obs::trace_op("storage.reconstruct_us").map(|mut op| {
+            op.add_field("doc", doc.0 as u64);
+            op.add_field("version", v.0 as u64);
+            op
+        });
         // Direct hits first: the cache, then a materialized snapshot, then
         // the current version.
         if use_cache {

@@ -259,6 +259,10 @@ impl Wal {
         if !self.sync_on_append {
             return Ok(());
         }
+        // Under a trace this is the committer's durability wait — the
+        // dominant cost of a traced PUT/DELETE — whether this thread
+        // leads the group fsync or rides another leader's barrier.
+        let _op = txdb_base::obs::trace_op("wal.commit_us");
         loop {
             if self.durable.load(Ordering::Acquire) >= seq {
                 return Ok(());

@@ -224,6 +224,112 @@ PYEOF
 }
 run_phase "server smoke (wire session + drain)" server_smoke
 
+# Observability over the wire: serve with `--slow-ms 0` so every query
+# crosses the slow threshold, issue a traced QUERY, and require (a) a
+# span tree in the done frame rooted at the request span in which no
+# child ever outlasts its parent, (b) the query in SLOWLOG with its
+# EXPLAIN ANALYZE plan attached and the matching trace id, (c) the trace
+# in TRACES, and (d) a METRICS delta window via the since-cursor; then a
+# graceful drain and a clean fsck.
+obs_trace_smoke() {
+    if ! command -v python3 > /dev/null 2>&1; then
+        echo "  (python3 not found; skipping the traced wire session)"
+        return 0
+    fi
+    local dir log addr srv holder
+    dir=$(mktemp -d)
+    log="$dir/serve.log"
+    mkfifo "$dir/stdin"
+    sleep 600 > "$dir/stdin" &
+    holder=$!
+    cargo run -q --offline -p txdb-cli -- \
+        serve "$dir/db" --addr 127.0.0.1:0 --slow-ms 0 < "$dir/stdin" > "$log" &
+    srv=$!
+    for _ in $(seq 1 300); do
+        grep -q 'listening on' "$log" 2> /dev/null && break
+        sleep 0.1
+    done
+    addr=$(grep -o 'listening on [0-9.:]*' "$log" | awk '{print $3}')
+    test -n "$addr"
+    python3 - "$addr" <<'PYEOF'
+import json, socket, sys
+
+host, port = sys.argv[1].rsplit(":", 1)
+s = socket.create_connection((host, int(port)), timeout=20)
+f = s.makefile("rw", encoding="utf-8", newline="\n")
+
+def send(obj):
+    f.write(json.dumps(obj) + "\n")
+    f.flush()
+
+def recv():
+    line = f.readline()
+    assert line, "server closed the connection unexpectedly"
+    return json.loads(line)
+
+send({"cmd": "PUT", "doc": "guide",
+      "xml": "<g><r><n>Napoli</n><p>15</p></r></g>", "at": 1000000})
+r = recv(); assert r["ok"], r
+send({"cmd": "QUERY", "q": 'SELECT R/p FROM doc("guide")[EVERY]//r R',
+      "at": 2000000, "trace": True})
+rows = []
+while True:
+    r = recv()
+    if "ok" in r:
+        break
+    rows.append(r["row"])
+assert r["ok"] and r["rows"] == 1, r
+trace = r.get("trace")
+assert trace and trace.get("spans"), r
+
+def check(span, parent_us=None):
+    us = span["us"]
+    if parent_us is not None:
+        assert us <= parent_us, (span["name"], us, parent_us)
+    return 1 + sum(check(c, us) for c in span.get("children", []))
+
+assert len(trace["spans"]) == 1, trace
+root = trace["spans"][0]
+assert root["name"] == "server.cmd.query_us", root
+assert check(root) >= 3, trace
+assert trace["fields"]["cmd"] == "query", trace
+
+send({"cmd": "SLOWLOG"})
+r = recv()
+assert r["ok"] and r["slow_us"] == 0, r
+entries = r["entries"]
+assert entries and "SELECT" in entries[0]["q"], entries
+assert "scan" in entries[0]["explain"], entries[0]
+assert entries[0]["trace_id"] == trace["trace_id"], (entries[0], trace)
+
+send({"cmd": "TRACES", "limit": 5})
+r = recv()
+assert r["ok"] and r["traces"], r
+assert r["traces"][0]["trace"]["trace_id"] == trace["trace_id"], r
+
+send({"cmd": "METRICS"})
+r = recv(); assert r["ok"] and "cursor" in r and "delta" not in r, r
+cur = r["cursor"]
+send({"cmd": "METRICS", "since": cur})
+r = recv()
+assert r["ok"] and r["window_us"] > 0, r
+assert r["delta"]["counters"].get("server.requests", 0) >= 1, r["delta"]
+assert "server.cmd.metrics_us" in r["delta"]["histograms"], r["delta"]
+
+send({"cmd": "SHUTDOWN"})
+r = recv(); assert r["ok"] and r["draining"], r
+s.close()
+PYEOF
+    wait "$srv"
+    kill "$holder" 2> /dev/null || true
+    grep -q 'drained' "$log"
+    cargo run -q --offline -p txdb-cli -- --db "$dir/db" fsck > "$dir/fsck.out"
+    grep -q 'bad pages:        0' "$dir/fsck.out"
+    grep -q 'wal records:      0' "$dir/fsck.out"
+    rm -rf "$dir"
+}
+run_phase "obs trace smoke (slow log + span tree)" obs_trace_smoke
+
 # Over-the-wire benchmark in quick mode: durable PUTs and streamed
 # QUERYs across 1/2/4/8 wire clients. The binary itself asserts the
 # group-commit histogram accounts for every wire commit and that no
@@ -242,7 +348,10 @@ runs=d['puts']['runs']; \
 assert [r['clients'] for r in runs] == [1, 2, 4, 8], runs; \
 assert all(r['puts_per_sec'] > 0 and 0 < r['fsyncs'] <= r['puts'] for r in runs), runs; \
 assert d['queries']['inprocess_serial_qps'] > 0, d['queries']; \
-assert all(r['queries_per_sec'] > 0 for r in d['queries']['runs']), d['queries']" "$out"
+assert all(r['queries_per_sec'] > 0 for r in d['queries']['runs']), d['queries']; \
+assert d['latency']['query_us']['count'] > 0, d['latency']; \
+assert all(r['latency_us']['p99'] >= r['latency_us']['p50'] for r in runs), runs; \
+assert d['tracing']['traced_1c_qps'] > 0, d['tracing']" "$out"
     else
         grep -q '"puts_per_sec"' "$out" && grep -q '"inprocess_serial_qps"' "$out"
     fi

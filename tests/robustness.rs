@@ -60,12 +60,14 @@ fn concurrent_readers_during_writes() {
 
     let pattern = PatternTree::new(PatternNode::tag("item").project());
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let progress = Arc::new(std::sync::atomic::AtomicUsize::new(0));
 
     // Readers: snapshot scans, history scans, reconstruction, queries.
     let mut readers = Vec::new();
     for r in 0..4 {
         let db = db.clone();
         let stop = stop.clone();
+        let progress = progress.clone();
         let pattern = pattern.clone();
         readers.push(std::thread::spawn(move || {
             let mut iters = 0usize;
@@ -81,6 +83,7 @@ fn concurrent_readers_during_writes() {
                     .run()
                     .unwrap();
                 iters += 1;
+                progress.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             }
             iters
         }));
@@ -90,6 +93,12 @@ fn concurrent_readers_during_writes() {
     for i in 1..=40u64 {
         let items: String = (0..=(i % 5)).map(|k| format!("<item><v>{i}.{k}</v></item>")).collect();
         db.put("shared", &format!("<g>{items}</g>"), ts(i)).unwrap();
+    }
+    // A fast writer can finish before the reader threads are even
+    // scheduled; hold the stop flag until the readers have completed
+    // a few iterations against the post-write state.
+    while progress.load(std::sync::atomic::Ordering::Relaxed) < 4 {
+        std::thread::yield_now();
     }
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     let mut total = 0;

@@ -301,6 +301,144 @@ fn graceful_shutdown_leaves_store_clean_with_zero_pins() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+// --------------------------------------------------- observability
+
+/// A traced wire QUERY returns a span tree whose root duration equals —
+/// to the microsecond — the `server.cmd.query_us` histogram observation
+/// for that request, and every child span fits inside its parent.
+#[test]
+fn traced_query_span_tree_matches_the_metrics_observation() {
+    let db = Arc::new(Database::in_memory());
+    for i in 1..=8u64 {
+        db.put("d", &format!("<a><v>{i}</v></a>"), ts(i)).unwrap();
+    }
+    let server = start(Arc::clone(&db));
+    let mut client = Client::connect(server.addr()).unwrap();
+    let mut rows = 0u64;
+    let (_explain, trace, _done) = client
+        .query_stream_traced(r#"SELECT R FROM doc("d")[EVERY]//a R"#, None, true, |_| rows += 1)
+        .unwrap();
+    assert_eq!(rows, 8);
+    let trace = trace.expect("traced request must carry a trace in its done frame");
+    let fields = trace.get("fields").expect("trace-level fields");
+    assert_eq!(fields.get("cmd").and_then(Json::as_str), Some("query"));
+    assert!(fields.get("session").and_then(Json::as_u64).is_some());
+    let spans = trace.get("spans").and_then(Json::as_arr).expect("spans");
+    assert_eq!(spans.len(), 1, "one root span per request: {trace}");
+    let root = &spans[0];
+    assert_eq!(root.get("name").and_then(Json::as_str), Some("server.cmd.query_us"));
+    let root_us = root.get("us").and_then(Json::as_u64).unwrap();
+    // Exactly one query ran, and histogram sums are exact (only the
+    // percentiles are bucketed): the root span and the observation the
+    // request recorded must agree exactly.
+    let h = db.metrics().snapshot().histogram("server.cmd.query_us").unwrap();
+    assert_eq!(h.count, 1);
+    assert_eq!(h.sum, root_us, "trace root disagrees with server.cmd.query_us");
+    // Children nest: no span outlasts its parent, anywhere in the tree.
+    fn check(span: &Json) -> usize {
+        let us = span.get("us").and_then(Json::as_u64).unwrap();
+        let mut n = 1;
+        for c in span.get("children").and_then(Json::as_arr).unwrap_or(&[]) {
+            assert!(c.get("us").and_then(Json::as_u64).unwrap() <= us, "child outlasts parent");
+            n += check(c);
+        }
+        n
+    }
+    let text = trace.to_string();
+    assert!(check(root) >= 3, "expected plan/run/operator children: {trace}");
+    assert!(text.contains("query.run_us"), "executor span missing: {trace}");
+    assert!(text.contains("query.plan_us"), "planner span missing: {trace}");
+    // The request landed in the trace ring too.
+    let ring = client.traces(None).unwrap();
+    let entries = ring.get("traces").and_then(Json::as_arr).unwrap();
+    assert_eq!(entries.len(), 1);
+    assert_eq!(entries[0].get("cmd").and_then(Json::as_str), Some("query"));
+    assert_eq!(entries[0].get("us").and_then(Json::as_u64), Some(root_us));
+    server.shutdown().unwrap();
+}
+
+/// With the threshold at zero every query is slow: the log captures the
+/// query text, session context, row/scan counts and the full
+/// `EXPLAIN ANALYZE` tree, newest first.
+#[test]
+fn slow_query_log_captures_plan_and_context() {
+    let db = Arc::new(Database::in_memory());
+    for i in 1..=4u64 {
+        db.put("d", &format!("<a><v>{i}</v></a>"), ts(i)).unwrap();
+    }
+    let cfg = ServerConfig { slow_us: Some(0), ..Default::default() };
+    let server = Server::start(Arc::clone(&db), cfg).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let reply = client.query(r#"SELECT R FROM doc("d")[EVERY]//a R"#, None).unwrap();
+    assert_eq!(reply.rows.len(), 4);
+    let log = client.slowlog(None).unwrap();
+    assert_eq!(log.get("slow_us").and_then(Json::as_u64), Some(0));
+    let entries = log.get("entries").and_then(Json::as_arr).unwrap();
+    assert_eq!(entries.len(), 1);
+    let e = &entries[0];
+    assert!(e.get("q").and_then(Json::as_str).unwrap().contains("SELECT"), "{e}");
+    assert_eq!(e.get("rows").and_then(Json::as_u64), Some(4));
+    assert!(e.get("rows_scanned").and_then(Json::as_u64).unwrap() >= 4);
+    assert!(e.get("us").and_then(Json::as_u64).is_some());
+    let explain = e.get("explain").and_then(Json::as_str).unwrap();
+    assert!(explain.contains("scan"), "plan missing from the slow log: {explain:?}");
+    // The query was not traced, so the entry carries no trace id.
+    assert!(e.get("trace_id").is_none(), "{e}");
+    server.shutdown().unwrap();
+}
+
+/// `METRICS` with the previous call's cursor reports the window between
+/// the two calls as deltas; a stale or foreign cursor is refused.
+#[test]
+fn metrics_since_cursor_reports_window_deltas() {
+    let db = Arc::new(Database::in_memory());
+    db.put("d", "<a>x</a>", ts(1)).unwrap();
+    let server = start(Arc::clone(&db));
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let first = client.metrics_since(None).unwrap();
+    let cursor = first.get("cursor").and_then(Json::as_u64).expect("cursor");
+    assert!(first.get("delta").is_none(), "no window without a cursor: {first}");
+    assert!(first.get("metrics").is_some());
+
+    client.query(r#"SELECT R FROM doc("d")//a R"#, None).unwrap();
+    let second = client.metrics_since(Some(cursor)).unwrap();
+    assert!(second.get("window_us").and_then(Json::as_u64).unwrap() > 0);
+    let delta = second.get("delta").expect("delta with a cursor");
+    let dh = delta
+        .get("histograms")
+        .and_then(|h| h.get("server.cmd.query_us"))
+        .expect("query histogram moved this window");
+    assert_eq!(dh.get("count").and_then(Json::as_u64), Some(1));
+    // Cursors are single-use: replaying the consumed one is refused.
+    assert!(client.metrics_since(Some(cursor)).is_err(), "stale cursor must be refused");
+    server.shutdown().unwrap();
+}
+
+/// An idle session is timed out: it receives one structured
+/// `idle_timeout` error, and its pins release like any disconnect.
+#[test]
+fn idle_session_times_out_and_releases_pins() {
+    let db = Arc::new(Database::in_memory());
+    db.put("d", "<a>x</a>", ts(1)).unwrap();
+    let cfg = ServerConfig { idle_timeout: Some(Duration::from_millis(80)), ..Default::default() };
+    let server = Server::start(Arc::clone(&db), cfg).unwrap();
+    let baseline = db.store().snapshots().active();
+
+    let mut raw = Raw::connect(server.addr());
+    raw.send_line(format!(r#"{{"cmd":"PIN","at":{}}}"#, ts(1).micros()).as_bytes());
+    assert_eq!(raw.recv().get("pin").and_then(Json::as_u64), Some(1));
+    assert_eq!(db.store().snapshots().active(), baseline + 1);
+    // Send nothing more: the server's read times out and closes us.
+    assert_eq!(raw.error_code(), "idle_timeout");
+    wait_until("idle teardown to release pins", || db.store().snapshots().active() == baseline);
+    wait_until("active_sessions gauge to return to 0", || {
+        db.metrics().snapshot().gauge("server.active_sessions") == Some(0)
+    });
+    assert!(db.metrics().snapshot().counter("server.idle_timeouts").unwrap() >= 1);
+    server.shutdown().unwrap();
+}
+
 // ---------------------------------------------------- decoder fuzz
 
 proptest! {
@@ -335,7 +473,7 @@ proptest! {
             Json::field("at", Json::u64(at)),
         ]).to_string();
         match decode(&line).expect("well-formed PUT must decode") {
-            temporal_xml::server::proto::Request::Put { doc: d, xml: x, at: t } => {
+            (temporal_xml::server::proto::Request::Put { doc: d, xml: x, at: t }, false) => {
                 prop_assert_eq!(d, doc);
                 prop_assert_eq!(x, xml);
                 prop_assert_eq!(t.map(|t| t.micros()), Some(at));
